@@ -1,0 +1,268 @@
+//! Refinement criteria.
+//!
+//! The paper leaves the refinement/coarsening criterion open ("One can
+//! vary the refinement/coarsening criteria, the extent…, the frequency of
+//! checking…"). This module supplies the standard choices its
+//! applications used — normalized gradient sensors on a monitored variable
+//! — plus a geometric criterion for tests, all behind one trait so the
+//! driver can take anything.
+
+use std::collections::HashMap;
+
+use ablock_core::arena::BlockId;
+use ablock_core::balance::Flag;
+use ablock_core::grid::BlockGrid;
+
+/// Decides, per block, how strongly the solution wants resolution there.
+pub trait Criterion<const D: usize>: Send + Sync {
+    /// A non-negative indicator for one block (ghosts are filled before
+    /// this is called). Bigger = wants refinement.
+    fn indicator(&self, grid: &BlockGrid<D>, id: BlockId) -> f64;
+
+    /// Refine when the indicator exceeds this.
+    fn refine_above(&self) -> f64;
+
+    /// Coarsen when the indicator falls below this.
+    fn coarsen_below(&self) -> f64;
+}
+
+/// Max undivided relative gradient of one variable over the block:
+/// `max_c max_d |u[c+e_d] − u[c−e_d]| / (|u[c]| + eps)`.
+#[derive(Clone, Debug)]
+pub struct GradientCriterion {
+    /// Conserved variable to monitor (density = 0 is the usual choice).
+    pub var: usize,
+    /// Refinement threshold on the relative jump.
+    pub refine_above: f64,
+    /// Coarsening threshold.
+    pub coarsen_below: f64,
+    /// Normalization floor.
+    pub eps: f64,
+}
+
+impl GradientCriterion {
+    /// Monitor variable `var` with the given thresholds.
+    pub fn new(var: usize, refine_above: f64, coarsen_below: f64) -> Self {
+        assert!(coarsen_below <= refine_above);
+        GradientCriterion { var, refine_above, coarsen_below, eps: 1e-12 }
+    }
+}
+
+impl<const D: usize> Criterion<D> for GradientCriterion {
+    fn indicator(&self, grid: &BlockGrid<D>, id: BlockId) -> f64 {
+        let node = grid.block(id);
+        let f = node.field();
+        let mut worst: f64 = 0.0;
+        for c in f.shape().interior_box().iter() {
+            let u0 = f.at(c, self.var).abs() + self.eps;
+            for d in 0..D {
+                let mut cp = c;
+                cp[d] += 1;
+                let mut cm = c;
+                cm[d] -= 1;
+                let jump = (f.at(cp, self.var) - f.at(cm, self.var)).abs();
+                worst = worst.max(jump / u0);
+            }
+        }
+        worst
+    }
+
+    fn refine_above(&self) -> f64 {
+        self.refine_above
+    }
+
+    fn coarsen_below(&self) -> f64 {
+        self.coarsen_below
+    }
+}
+
+/// Geometric criterion: refine blocks intersecting a moving ball (tests
+/// and structured demos — tracks a feature of known position).
+#[derive(Clone, Debug)]
+pub struct BallCriterion<const D: usize> {
+    /// Ball center.
+    pub center: [f64; D],
+    /// Ball radius.
+    pub radius: f64,
+}
+
+impl<const D: usize> Criterion<D> for BallCriterion<D> {
+    fn indicator(&self, grid: &BlockGrid<D>, id: BlockId) -> f64 {
+        let node = grid.block(id);
+        let m = grid.params().block_dims;
+        let o = grid.layout().block_origin(node.key(), m);
+        let h = grid.layout().cell_size(node.key().level, m);
+        let mut d2 = 0.0;
+        for d in 0..D {
+            let lo = o[d];
+            let hi = o[d] + h[d] * m[d] as f64;
+            let c = self.center[d].clamp(lo, hi);
+            d2 += (self.center[d] - c) * (self.center[d] - c);
+        }
+        if d2 <= self.radius * self.radius {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn refine_above(&self) -> f64 {
+        0.5
+    }
+
+    fn coarsen_below(&self) -> f64 {
+        0.5
+    }
+}
+
+/// Combine two criteria by taking the *stronger* signal: the indicator is
+/// the max of the normalized indicators, refine if either would refine,
+/// coarsen only if both would coarsen. Lets a run track, e.g., both a
+/// density gradient and a geometric region at once.
+pub struct MaxCriterion<A, B> {
+    /// First criterion.
+    pub a: A,
+    /// Second criterion.
+    pub b: B,
+}
+
+impl<const D: usize, A: Criterion<D>, B: Criterion<D>> Criterion<D> for MaxCriterion<A, B> {
+    fn indicator(&self, grid: &BlockGrid<D>, id: BlockId) -> f64 {
+        // normalize each indicator by its own refine threshold so the two
+        // scales are comparable; the combined thresholds are then 1.0-based
+        let ia = self.a.indicator(grid, id) / self.a.refine_above().max(1e-300);
+        let ib = self.b.indicator(grid, id) / self.b.refine_above().max(1e-300);
+        ia.max(ib)
+    }
+
+    fn refine_above(&self) -> f64 {
+        1.0
+    }
+
+    fn coarsen_below(&self) -> f64 {
+        // both must be below their own coarsen fraction; use the stricter
+        // (smaller) normalized fraction
+        let fa = self.a.coarsen_below() / self.a.refine_above().max(1e-300);
+        let fb = self.b.coarsen_below() / self.b.refine_above().max(1e-300);
+        fa.min(fb)
+    }
+}
+
+/// Turn a criterion into an adapt flag map: refine above / coarsen below,
+/// respecting `max_level` (capped blocks are not flagged for refinement).
+pub fn flag_blocks<const D: usize>(
+    grid: &BlockGrid<D>,
+    criterion: &dyn Criterion<D>,
+) -> HashMap<BlockId, Flag> {
+    let mut flags = HashMap::new();
+    let max_level = grid.params().max_level;
+    for (id, node) in grid.blocks() {
+        let ind = criterion.indicator(grid, id);
+        if ind > criterion.refine_above() && node.key().level < max_level {
+            flags.insert(id, Flag::Refine);
+        } else if ind < criterion.coarsen_below() && node.key().level > 0 {
+            flags.insert(id, Flag::Coarsen);
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ablock_core::ghost::{fill_ghosts, GhostConfig};
+    use ablock_core::grid::GridParams;
+    use ablock_core::layout::{Boundary, RootLayout};
+
+    fn grid() -> BlockGrid<2> {
+        BlockGrid::new(
+            RootLayout::unit([2, 2], Boundary::Outflow),
+            GridParams::new([4, 4], 2, 1, 3),
+        )
+    }
+
+    #[test]
+    fn gradient_zero_on_uniform_field() {
+        let mut g = grid();
+        for id in g.block_ids() {
+            g.block_mut(id).field_mut().for_each_ghosted(|_, u| u[0] = 3.0);
+        }
+        let c = GradientCriterion::new(0, 0.1, 0.01);
+        for id in g.block_ids() {
+            assert_eq!(Criterion::<2>::indicator(&c, &g, id), 0.0);
+        }
+        let flags = flag_blocks(&g, &c);
+        // uniform level-0 grid: nothing refines, level-0 cannot coarsen
+        assert!(flags.is_empty());
+    }
+
+    #[test]
+    fn gradient_detects_jump() {
+        let mut g = grid();
+        let layout = g.layout().clone();
+        let m = g.params().block_dims;
+        for id in g.block_ids() {
+            let key = g.block(id).key();
+            g.block_mut(id).field_mut().for_each_interior(|c, u| {
+                let x = layout.cell_center(key, m, c);
+                u[0] = if x[0] < 0.5 { 1.0 } else { 2.0 };
+            });
+        }
+        fill_ghosts(&mut g, GhostConfig::default());
+        let c = GradientCriterion::new(0, 0.1, 0.01);
+        let flags = flag_blocks(&g, &c);
+        // the two left blocks touch the jump via ghosts? the jump sits at
+        // the block boundary: both columns see it through ghost stencils
+        assert!(!flags.is_empty());
+        assert!(flags.values().all(|f| *f == Flag::Refine));
+    }
+
+    #[test]
+    fn ball_criterion_flags_intersecting_blocks() {
+        let g = grid();
+        let c = BallCriterion { center: [0.25, 0.25], radius: 0.1 };
+        let flags = flag_blocks(&g, &c);
+        assert_eq!(flags.len(), 1);
+        let (&id, &f) = flags.iter().next().unwrap();
+        assert_eq!(f, Flag::Refine);
+        assert_eq!(g.block(id).key().coords, [0, 0]);
+    }
+
+    #[test]
+    fn max_criterion_combines_signals() {
+        let mut g = grid();
+        // gradient sees nothing (uniform field), ball criterion fires
+        for id in g.block_ids() {
+            g.block_mut(id).field_mut().for_each_ghosted(|_, u| u[0] = 2.0);
+        }
+        let combined = MaxCriterion {
+            a: GradientCriterion::new(0, 0.1, 0.01),
+            b: BallCriterion { center: [0.75, 0.75], radius: 0.05 },
+        };
+        let flags = flag_blocks(&g, &combined);
+        assert_eq!(flags.len(), 1, "only the ball block refines");
+        let (&id, &f) = flags.iter().next().unwrap();
+        assert_eq!(f, Flag::Refine);
+        assert_eq!(g.block(id).key().coords, [1, 1]);
+        // and vice versa: a jump away from the ball also refines
+        let target = g.find(ablock_core::key::BlockKey::new(0, [0, 0])).unwrap();
+        g.block_mut(target).field_mut().for_each_interior(|c, u| {
+            u[0] = if c[0] < 2 { 1.0 } else { 5.0 };
+        });
+        let flags = flag_blocks(&g, &combined);
+        assert!(flags.len() >= 2, "both signals must fire: {flags:?}");
+    }
+
+    #[test]
+    fn refined_blocks_away_from_ball_want_coarsening() {
+        let mut g = grid();
+        let c = BallCriterion { center: [0.25, 0.25], radius: 0.1 };
+        let flags = flag_blocks(&g, &c);
+        ablock_core::balance::adapt(&mut g, &flags, ablock_core::grid::Transfer::None);
+        // move the ball away; refined blocks should flag coarsen
+        let c2 = BallCriterion { center: [0.75, 0.75], radius: 0.1 };
+        let flags2 = flag_blocks(&g, &c2);
+        let coarsens = flags2.values().filter(|f| **f == Flag::Coarsen).count();
+        assert_eq!(coarsens, 4, "all four children of the old site");
+    }
+}

@@ -1,0 +1,18 @@
+//! # ablock-amr — adaptive mesh refinement driver
+//!
+//! Glues `ablock-core` (the data structure) to `ablock-solver` (the
+//! numerics) into the paper's full application loop: step the solution,
+//! evaluate a refinement criterion, adapt the block layout with
+//! conservative solution transfer, rebuild cached plans, repeat.
+//!
+//! * [`criteria`] — gradient and geometric refinement sensors.
+//! * [`driver`] — [`driver::AmrSimulation`]: the solve/adapt cycle with
+//!   cell-count and timing statistics.
+
+#![warn(missing_docs)]
+
+pub mod criteria;
+pub mod driver;
+
+pub use criteria::{flag_blocks, BallCriterion, Criterion, GradientCriterion, MaxCriterion};
+pub use driver::{AmrConfig, AmrSimulation, AmrStats};

@@ -1,0 +1,77 @@
+//! ABL-1: neighbor location cost — stored face pointers (adaptive blocks)
+//! versus parent/child tree traversal (cell-based tree).
+//!
+//! The paper: blocks "locate neighbors directly, as do unstructured
+//! grids, rather than using parent/child tree traversals … in a parallel
+//! system these cells may be located on different processors, so that
+//! extensive interprocessor communication would be required."
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use ablock_celltree::{CellNeighbor, CellTree};
+use ablock_core::balance::refine_ball_to_level;
+use ablock_core::grid::{BlockGrid, GridParams, Transfer};
+use ablock_core::index::Face;
+use ablock_core::layout::{Boundary, RootLayout};
+
+fn bench_block_pointer_lookup(c: &mut Criterion) {
+    let mut grid = BlockGrid::<2>::new(
+        RootLayout::unit([4, 4], Boundary::Periodic),
+        GridParams::new([4, 4], 2, 1, 4),
+    );
+    refine_ball_to_level(&mut grid, [0.5, 0.5], 0.2, 3, Transfer::None);
+    let ids = grid.block_ids();
+    let queries = (ids.len() * 4) as u64;
+    let mut group = c.benchmark_group("abl1_neighbor_lookup");
+    group.throughput(Throughput::Elements(queries));
+    group.bench_function("blocks_pointer", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &id in &ids {
+                let node = grid.block(id);
+                for f in Face::all::<2>() {
+                    acc += node.face(f).ids().len();
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    // the same adapted region as a cell tree (each block cell is a leaf)
+    let mut tree = CellTree::<2>::new(RootLayout::unit([16, 16], Boundary::Periodic), 1, 4);
+    // refine the central disc three levels
+    for _ in 0..3 {
+        for id in tree.leaf_ids() {
+            let x = tree.cell_center(tree.node(id).key);
+            let r = ((x[0] - 0.5).powi(2) + (x[1] - 0.5).powi(2)).sqrt();
+            let n = tree.node(id);
+            if r < 0.2 && n.key.level < 3 && n.is_leaf() {
+                tree.refine(id);
+            }
+        }
+    }
+    tree.balance_21();
+    let leaves = tree.leaf_ids();
+    group.throughput(Throughput::Elements((leaves.len() * 4) as u64));
+    group.bench_function("tree_traversal", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &id in &leaves {
+                for f in Face::all::<2>() {
+                    match tree.neighbor(id, f) {
+                        CellNeighbor::Same(_) | CellNeighbor::Coarser(_) => acc += 1,
+                        CellNeighbor::Finer(n) => {
+                            acc += tree.leaves_on_face(n, f.opposite()).len()
+                        }
+                        CellNeighbor::Boundary(_) => {}
+                    }
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_pointer_lookup);
+criterion_main!(benches);

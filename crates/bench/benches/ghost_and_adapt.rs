@@ -1,0 +1,59 @@
+//! Exchange and adaptation costs: the overheads the paper argues are
+//! amortized over whole blocks.
+//!
+//! * ghost fill throughput (values moved per second) on an adapted grid;
+//! * exchange-plan rebuild cost (paid once per adapt, not per step);
+//! * a full refine+coarsen round trip with conservative transfer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use ablock_core::balance::refine_ball_to_level;
+use ablock_core::ghost::{GhostConfig, GhostExchange};
+use ablock_core::grid::{BlockGrid, GridParams, Transfer};
+use ablock_core::key::BlockKey;
+use ablock_core::layout::{Boundary, RootLayout};
+use ablock_core::ops::ProlongOrder;
+
+fn adapted_grid() -> BlockGrid<3> {
+    let mut g = BlockGrid::<3>::new(
+        RootLayout::unit([2, 2, 2], Boundary::Periodic),
+        GridParams::new([8, 8, 8], 2, 8, 3),
+    );
+    refine_ball_to_level(&mut g, [0.5, 0.5, 0.5], 0.2, 2, Transfer::None);
+    g
+}
+
+fn bench_ghost_fill(c: &mut Criterion) {
+    let mut g = adapted_grid();
+    let plan = GhostExchange::build(&g, GhostConfig::default());
+    let values = plan.comm_volume(&g) as u64;
+    let mut group = c.benchmark_group("ghost_exchange");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(values));
+    group.bench_function("fill", |b| b.iter(|| plan.fill(&mut g)));
+    group.bench_function("build_plan", |b| {
+        b.iter(|| GhostExchange::build(&g, GhostConfig::default()).num_tasks())
+    });
+    group.finish();
+}
+
+fn bench_adapt_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adapt");
+    group.sample_size(20);
+    group.bench_function("refine_coarsen_roundtrip", |b| {
+        let mut g = BlockGrid::<3>::new(
+            RootLayout::unit([2, 2, 2], Boundary::Periodic),
+            GridParams::new([8, 8, 8], 2, 8, 2),
+        );
+        let key = BlockKey::new(0, [0, 0, 0]);
+        b.iter(|| {
+            let id = g.find(key).unwrap();
+            g.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod));
+            g.coarsen(key, Transfer::Conservative(ProlongOrder::Constant));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ghost_fill, bench_adapt_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! ABL-4: how far refinement cascades, and what the k-level knob buys.
+//!
+//! The paper: "Refinement can potentially cascade across the grid" (2:1),
+//! and under *Generalizations*: "the constraint on the relative
+//! refinements of neighbors can be loosened". This ablation measures the
+//! cascade directly: refine a single block at increasing depth in a long
+//! domain and count how many extra blocks the constraint forces into
+//! existence, for k = 1 and k = 2.
+
+use std::collections::HashMap;
+
+use ablock_core::balance::{adapt, Flag};
+use ablock_core::grid::{BlockGrid, GridParams, Transfer};
+use ablock_core::layout::{Boundary, RootLayout};
+use ablock_io::Table;
+
+/// Drill at an *interior interface*: repeatedly refine the deepest leaf
+/// just left of x = 0.5. Each refinement presses ever-finer blocks
+/// against territory that is still coarse, so the jump constraint must
+/// refine neighbors it was never asked about — the cascade. Returns
+/// (total blocks, cascade refinements, max cascade rounds).
+fn interface_drill(k: u8, depth: u8) -> (usize, usize, usize) {
+    let mut g = BlockGrid::<2>::new(
+        RootLayout::unit([8, 1], Boundary::Outflow),
+        GridParams::new([8, 8], 2, 1, depth).with_max_jump(k),
+    );
+    let mut cascades = 0usize;
+    let mut rounds = 0usize;
+    for _ in 0..depth {
+        let id = g.find_leaf_at([0.5 - 1e-9, 1e-9]).unwrap();
+        let flags: HashMap<_, _> = [(id, Flag::Refine)].into_iter().collect();
+        let rep = adapt(&mut g, &flags, Transfer::None);
+        cascades += rep.refined_cascade;
+        rounds = rounds.max(rep.cascade_rounds);
+    }
+    ablock_core::verify::check_grid(&g).unwrap();
+    (g.num_blocks(), cascades, rounds)
+}
+
+/// The pathological ripple: refine a *whole column* of leaves at the
+/// interface to the target depth in one adapt call, forcing a graded
+/// staircase across the strip in a single cascade closure.
+fn column_blast(k: u8, depth: u8) -> (usize, usize, usize) {
+    let mut g = BlockGrid::<2>::new(
+        RootLayout::unit([8, 1], Boundary::Outflow),
+        GridParams::new([8, 8], 2, 1, depth).with_max_jump(k),
+    );
+    let mut cascades = 0usize;
+    let mut rounds = 0usize;
+    for _ in 0..depth {
+        // flag every deepest leaf in the column left of x = 0.5
+        let flags: HashMap<_, _> = g
+            .blocks()
+            .filter(|(_, n)| {
+                let key = n.key();
+                let m = g.params().block_dims;
+                let o = g.layout().block_origin(key, m);
+                let h = g.layout().cell_size(key.level, m);
+                let x1 = o[0] + h[0] * m[0] as f64;
+                (x1 - 0.5).abs() < 1e-12 && key.level == g.max_level_present()
+            })
+            .map(|(id, _)| (id, Flag::Refine))
+            .collect();
+        if flags.is_empty() {
+            // first round: the column is the level-0 block ending at 0.5
+            let id = g.find_leaf_at([0.5 - 1e-9, 1e-9]).unwrap();
+            let rep = adapt(&mut g, &[(id, Flag::Refine)].into_iter().collect(), Transfer::None);
+            cascades += rep.refined_cascade;
+            continue;
+        }
+        let rep = adapt(&mut g, &flags, Transfer::None);
+        cascades += rep.refined_cascade;
+        rounds = rounds.max(rep.cascade_rounds);
+    }
+    ablock_core::verify::check_grid(&g).unwrap();
+    (g.num_blocks(), cascades, rounds)
+}
+
+fn main() {
+    let mut t = Table::new(
+        "ABL-4a: interface drill to depth L (one flag per adapt)",
+        &["depth", "k", "blocks", "cascade refines", "max cascade rounds"],
+    );
+    for depth in [2u8, 3, 4, 5] {
+        for k in [1u8, 2] {
+            let (blocks, cascades, rounds) = interface_drill(k, depth);
+            t.row(&[
+                depth.to_string(),
+                k.to_string(),
+                blocks.to_string(),
+                cascades.to_string(),
+                rounds.to_string(),
+            ]);
+        }
+    }
+    t.print();
+
+    let mut t2 = Table::new(
+        "ABL-4b: column blast (whole interface column per adapt)",
+        &["depth", "k", "blocks", "cascade refines", "max cascade rounds"],
+    );
+    for depth in [3u8, 4, 5] {
+        for k in [1u8, 2] {
+            let (blocks, cascades, rounds) = column_blast(k, depth);
+            t2.row(&[
+                depth.to_string(),
+                k.to_string(),
+                blocks.to_string(),
+                cascades.to_string(),
+                rounds.to_string(),
+            ]);
+        }
+    }
+    t2.print();
+    println!(
+        "reading: k = 2 admits steeper level gradients, so the same drilling\n\
+         pattern forces fewer cascade refinements and fewer total blocks —\n\
+         the paper's loosened-constraint generalization trades grid smoothness\n\
+         for allocation (at the cost of wider ghost operators, 2^(k(d-1))\n\
+         neighbors per face)."
+    );
+}

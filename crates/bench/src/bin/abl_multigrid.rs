@@ -1,0 +1,87 @@
+//! ABL-7: multigrid on block grids — the "other problems involving
+//! spatial decomposition" claim (paper, final section), quantified.
+//!
+//! Solves `∇²u = f` with V-cycles whose smoothers are per-block kernels
+//! and whose transfers are the AMR restriction/prolongation operators.
+//! Prints the V-cycle residual history at several resolutions (the
+//! constant convergence factor is the multigrid signature) and the
+//! wall-clock comparison against single-level Jacobi.
+
+use ablock_bench::time_it;
+use ablock_io::{fmt_g, Table};
+use ablock_solver::poisson::{MultigridPoisson, PoissonBc};
+use std::f64::consts::PI;
+
+fn main() {
+    let rhs = |x: [f64; 2]| -2.0 * PI * PI * (PI * x[0]).sin() * (PI * x[1]).sin();
+    let exact = |x: [f64; 2]| (PI * x[0]).sin() * (PI * x[1]).sin();
+
+    let mut t = Table::new(
+        "ABL-7a: V-cycle residual history (Dirichlet Poisson, 8^2-cell blocks)",
+        &["grid", "cycle 1", "cycle 2", "cycle 3", "cycle 4", "cycle 5", "factor"],
+    );
+    for levels in [3usize, 4, 5] {
+        let n = 8 << (levels - 1);
+        let mut mg = MultigridPoisson::<2>::new([1, 1], 8, levels, PoissonBc::Dirichlet0);
+        mg.set_rhs(rhs);
+        let finest = levels - 1;
+        let mut history = Vec::new();
+        let r0 = mg.residual_norm(finest);
+        let mut prev = r0;
+        for _ in 0..5 {
+            mg.vcycle_public(finest);
+            let r = mg.residual_norm(finest);
+            history.push(r / r0);
+            prev = r;
+        }
+        let _ = prev;
+        let factor = (history[4] / history[1]).powf(1.0 / 3.0);
+        let mut row = vec![format!("{n}^2")];
+        row.extend(history.iter().map(|r| fmt_g(*r)));
+        row.push(format!("{factor:.3}"));
+        t.row(&row);
+    }
+    t.print();
+    println!("multigrid signature: the factor column is flat across resolutions.\n");
+
+    let mut t2 = Table::new(
+        "ABL-7b: V-cycles vs single-level Jacobi to 1e-8 (64^2)",
+        &["method", "iterations", "seconds", "solution err"],
+    );
+    let mut mg = MultigridPoisson::<2>::new([1, 1], 8, 4, PoissonBc::Dirichlet0);
+    mg.set_rhs(rhs);
+    let r0 = mg.residual_norm(3);
+    let mut cycles = 0;
+    let mg_time = time_it(|| {
+        cycles = mg.solve(r0 * 1e-8, 60).0;
+    });
+    t2.row(&[
+        "multigrid V(2,2)".into(),
+        cycles.to_string(),
+        format!("{mg_time:.3}"),
+        fmt_g(mg.error_against(exact)),
+    ]);
+
+    let mut jac = MultigridPoisson::<2>::new([8, 8], 8, 1, PoissonBc::Dirichlet0);
+    jac.set_rhs(rhs);
+    let r0j = jac.residual_norm(0);
+    let mut sweeps = 0usize;
+    let jac_time = time_it(|| {
+        while jac.residual_norm(0) > r0j * 1e-8 && sweeps < 60_000 {
+            jac.smooth_public(0);
+            sweeps += 1;
+        }
+    });
+    t2.row(&[
+        "damped Jacobi".into(),
+        sweeps.to_string(),
+        format!("{jac_time:.3}"),
+        fmt_g(jac.error_against(exact)),
+    ]);
+    t2.print();
+    println!(
+        "blocks pay off twice: the smoother is a dense per-block kernel (Fig. 5's\n\
+         argument) and the V-cycle transfers are the AMR prolongation/restriction\n\
+         operators reused verbatim."
+    );
+}

@@ -1,0 +1,96 @@
+//! FIG3: a three-dimensional adaptive block decomposition.
+//!
+//! Builds a 3-D grid refined around a spherical shell (the solar-wind
+//! style refinement of the paper's Figure 3), prints its composition, and
+//! verifies the structural invariants at scale.
+
+use ablock_core::balance::refine_ball_to_level;
+use ablock_core::grid::{BlockGrid, GridParams, Transfer};
+use ablock_core::index::Face;
+use ablock_core::layout::{Boundary, RootLayout};
+use ablock_core::verify;
+use ablock_io::Table;
+
+fn main() {
+    let mut grid = BlockGrid::<3>::new(
+        RootLayout::unit([2, 2, 2], Boundary::Outflow),
+        GridParams::new([8, 8, 8], 2, 1, 3),
+    );
+    // refine a spherical shell: blocks intersecting the sphere r = 0.35
+    for target in 1..=3u8 {
+        let mut flags = std::collections::HashMap::new();
+        for (id, node) in grid.blocks() {
+            let key = node.key();
+            if key.level != target - 1 {
+                continue;
+            }
+            let m = grid.params().block_dims;
+            let o = grid.layout().block_origin(key, m);
+            let h = grid.layout().cell_size(key.level, m);
+            // distance range of the block's box from the center
+            let c: [f64; 3] = [0.5, 0.5, 0.5];
+            let mut lo2 = 0.0f64;
+            let mut hi2 = 0.0f64;
+            for d in 0..3 {
+                let lo = o[d];
+                let hi = o[d] + h[d] * m[d] as f64;
+                let near = c[d].clamp(lo, hi) - c[d];
+                let far = if (c[d] - lo).abs() > (c[d] - hi).abs() { lo - c[d] } else { hi - c[d] };
+                lo2 += near * near;
+                hi2 += far * far;
+            }
+            let r = 0.35;
+            if lo2.sqrt() <= r && hi2.sqrt() >= r {
+                flags.insert(id, ablock_core::balance::Flag::Refine);
+            }
+        }
+        ablock_core::balance::adapt(&mut grid, &flags, Transfer::None);
+    }
+    // also resolve the "inner boundary" ball like the heliosphere runs
+    refine_ball_to_level(&mut grid, [0.5, 0.5, 0.5], 0.08, 3, Transfer::None);
+
+    verify::check_grid(&grid).expect("invariants at scale");
+
+    let hist = grid.level_histogram();
+    let mut t = Table::new(
+        "FIG3: 3-D block decomposition refined on a spherical shell",
+        &["level", "blocks", "cells", "cell width"],
+    );
+    for (level, &n) in hist.iter().enumerate() {
+        let h = grid
+            .layout()
+            .cell_size(level as u8, grid.params().block_dims)[0];
+        t.row(&[
+            level.to_string(),
+            n.to_string(),
+            (n * 512).to_string(),
+            format!("{h:.5}"),
+        ]);
+    }
+    t.print();
+
+    let uniform = 8 * 512usize << (3 * grid.max_level_present() as usize);
+    println!(
+        "total: {} blocks, {} cells; uniform grid at the finest level would need {} cells ({}x)",
+        grid.num_blocks(),
+        grid.num_cells(),
+        uniform,
+        uniform / grid.num_cells().max(1),
+    );
+
+    // face-neighbor census (paper: at most 2^(d-1) = 4 per face with 2:1)
+    let mut max_per_face = 0usize;
+    let mut total_conns = 0usize;
+    for (_, node) in grid.blocks() {
+        for f in Face::all::<3>() {
+            let n = node.face(f).ids().len();
+            max_per_face = max_per_face.max(n);
+            total_conns += n;
+        }
+    }
+    println!(
+        "face-neighbor census: max {} per face (bound 2^(d-1) = 4), {} pointers total",
+        max_per_face, total_conns
+    );
+    assert!(max_per_face <= 4);
+}

@@ -1,0 +1,153 @@
+//! FIG5: time per cell as a function of block size.
+//!
+//! The motivating measurement of the paper: sweep the cells-per-block
+//! parameter for the 3-D ideal-MHD update on a fixed-size domain and
+//! report nanoseconds per cell. The paper saw >3× improvement from 2³ to
+//! ~16³ and then a plateau, with T3D-cache artifacts at 12³ and 32³ that
+//! padding and sub-blocking removed.
+//!
+//! This harness reproduces:
+//! * the block-size sweep (2³ … 32³) with the second-order MHD kernel,
+//! * a cell-based-tree reference point (block size 1, first-order kernel
+//!   on both structures so the comparison is apples to apples),
+//! * the padding ablation at 12³ and the sub-blocking comparison 32³ vs
+//!   2×16³ (ABL-6).
+//!
+//! Run with `--quick` for a fast smoke pass.
+
+use ablock_bench::{measure_ns_per_cell, mhd_grid_3d};
+use ablock_celltree::{step_fv, CellTree};
+use ablock_core::layout::{Boundary, RootLayout};
+use ablock_io::{fmt_g, Table};
+use ablock_solver::flux::{numerical_flux, Riemann};
+use ablock_solver::kernel::Scheme;
+use ablock_solver::mhd::IdealMhd;
+use ablock_solver::physics::Physics;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mhd = IdealMhd::new(5.0 / 3.0);
+    // hold the domain near 48^3 cells: roots per axis = round(48/m)
+    let domain = if quick { 24 } else { 48 };
+    let sizes: &[i64] = if quick {
+        &[2, 4, 8, 12, 16, 24]
+    } else {
+        &[2, 4, 6, 8, 12, 16, 24, 32, 48]
+    };
+    let reps = |m: i64| -> usize {
+        if quick {
+            1
+        } else if m <= 4 {
+            2
+        } else {
+            4
+        }
+    };
+
+    let mut table = Table::new(
+        "FIG5: 3-D ideal MHD (MUSCL + Rusanov), time per cell vs cells per block",
+        &["block", "cells/blk", "blocks", "total cells", "ns/cell", "speedup vs 2^3"],
+    );
+    let mut base_ns = None;
+    let mut ns_16 = None;
+    for &m in sizes {
+        let r = (domain / m).max(1);
+        let mut grid = mhd_grid_3d([r, r, r], m, 0, 0);
+        let ns = measure_ns_per_cell(&mut grid, &mhd, Scheme::muscl_rusanov(), reps(m));
+        let base = *base_ns.get_or_insert(ns);
+        if m == 16 {
+            ns_16 = Some(ns);
+        }
+        table.row(&[
+            format!("{m}^3"),
+            (m * m * m).to_string(),
+            grid.num_blocks().to_string(),
+            grid.num_cells().to_string(),
+            fmt_g(ns),
+            format!("{:.2}x", base / ns),
+        ]);
+    }
+    table.print();
+    println!(
+        "paper claim: >3x improvement from 2^3 toward 16^3, then little further gain.\n"
+    );
+
+    // ---- the cell-based tree reference (block size ~ 1) ----------------
+    // First order on both structures: the honest octree-vs-block number.
+    let tree_n: i64 = if quick { 12 } else { 16 };
+    let mut tree = CellTree::<3>::new(
+        RootLayout::unit([tree_n, tree_n, tree_n], Boundary::Periodic),
+        8,
+        2,
+    );
+    {
+        // blast ICs on the tree
+        let m2 = mhd.clone();
+        let mut w;
+        for id in tree.leaf_ids() {
+            let x = tree.cell_center(tree.node(id).key);
+            let r2: f64 = x.iter().map(|&v| (v - 0.5) * (v - 0.5)).sum();
+            w = [0.0; 8];
+            w[0] = 1.0;
+            w[4] = 0.5 / 2f64.sqrt();
+            w[5] = 0.5 / 2f64.sqrt();
+            w[7] = if r2 < 0.0625 { 10.0 } else { 0.1 };
+            m2.prim_to_cons(&w, &mut tree.node_mut(id).u);
+        }
+    }
+    let mhd_flux = {
+        let m2 = mhd.clone();
+        move |ul: &[f64], ur: &[f64], dir: usize, out: &mut [f64]| {
+            numerical_flux(&m2, Riemann::Rusanov, ul, ur, dir, out);
+        }
+    };
+    let tree_reps = if quick { 1 } else { 3 };
+    let t0 = std::time::Instant::now();
+    for _ in 0..tree_reps {
+        step_fv(&mut tree, 1e-9, &mhd_flux, &[]);
+    }
+    let tree_ns = t0.elapsed().as_secs_f64() * 1e9 / (tree_reps as f64 * tree.num_leaves() as f64);
+
+    // first-order kernel on blocks for the same comparison
+    let r = (domain / 16).max(1);
+    let mut g16 = mhd_grid_3d([r, r, r], 16, 0, 0);
+    let blk_fo_ns = measure_ns_per_cell(&mut g16, &mhd, Scheme::first_order(), reps(16));
+
+    let mut t2 = Table::new(
+        "FIG5 left endpoint: per-cell tree vs 16^3 blocks (both first-order MHD)",
+        &["structure", "ns/cell", "slowdown vs blocks"],
+    );
+    t2.row(&["cell tree (1 cell/node)".into(), fmt_g(tree_ns), format!("{:.1}x", tree_ns / blk_fo_ns)]);
+    t2.row(&["16^3 blocks".into(), fmt_g(blk_fo_ns), "1.0x".into()]);
+    t2.print();
+    println!("paper: the single-cell structure is far slower than even 2^3 blocks.\n");
+
+    // ---- ABL-6: padding and sub-blocking remedies -----------------------
+    let mut t3 = Table::new(
+        "ABL-6: Fig. 5 remedies (padding at 12^3, sub-blocking 32^3)",
+        &["configuration", "ns/cell"],
+    );
+    let r12 = (domain / 12).max(1);
+    for pad in [0i64, 2] {
+        let mut g = mhd_grid_3d([r12, r12, r12], 12, pad, 0);
+        let ns = measure_ns_per_cell(&mut g, &mhd, Scheme::muscl_rusanov(), reps(12));
+        t3.row(&[format!("12^3, pad {pad}"), fmt_g(ns)]);
+    }
+    if !quick {
+        let mut g32 = mhd_grid_3d([1, 1, 1], 32, 0, 0);
+        let ns32 = measure_ns_per_cell(&mut g32, &mhd, Scheme::muscl_rusanov(), 3);
+        let mut g16b = mhd_grid_3d([2, 2, 2], 16, 0, 0);
+        let ns16b = measure_ns_per_cell(&mut g16b, &mhd, Scheme::muscl_rusanov(), 3);
+        t3.row(&["1 block of 32^3".into(), fmt_g(ns32)]);
+        t3.row(&["8 sub-blocks of 16^3 (same region)".into(), fmt_g(ns16b)]);
+    }
+    t3.print();
+    println!(
+        "paper context: the 12^3/32^3 peaks were T3D direct-mapped-cache artifacts;\n\
+         on modern associative caches expect the padding/sub-blocking deltas to be small\n\
+         (see EXPERIMENTS.md)."
+    );
+    if let (Some(b), Some(n16)) = (base_ns, ns_16) {
+        println!("\nheadline: 2^3 -> 16^3 speedup {:.2}x (paper: > 3x)", b / n16);
+    }
+}

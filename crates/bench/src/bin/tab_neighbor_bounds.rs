@@ -1,0 +1,84 @@
+//! TAB-A: the paper's face-neighbor count bound.
+//!
+//! "For adaptive blocks with at most one level of resolution change
+//! between adjacent blocks, there are at most 2^(d−1) blocks sharing a
+//! given face. If k levels … as many as 2^(k(d−1))."
+//!
+//! Prints the formula table and *verifies it constructively*: builds
+//! worst-case grids for every (d, k) we support and measures the actual
+//! maximum pointer-list length.
+
+use ablock_core::balance::{adapt, Flag};
+use ablock_core::grid::{BlockGrid, GridParams, Transfer};
+use ablock_core::index::{max_face_neighbors, Face};
+use ablock_core::key::BlockKey;
+use ablock_core::layout::{Boundary, RootLayout};
+use ablock_io::Table;
+
+fn worst_case_max<const D: usize>(k: u8) -> usize {
+    // two root blocks side by side; refine the right one down k levels
+    // along the shared face so the left block's +x face sees the maximum
+    let mut roots = [1i64; D];
+    roots[0] = 2;
+    let m = 4i64 << k; // block extent large enough for nghost * 2^k
+    let mut dims = [m; D];
+    dims[0] = m;
+    let mut g = BlockGrid::<D>::new(
+        RootLayout::unit(roots, Boundary::Outflow),
+        GridParams::new(dims, 2, 1, k + 1).with_max_jump(k),
+    );
+    // refine the right root fully k times (all its descendants)
+    for _ in 0..k {
+        let ids: Vec<_> = g
+            .blocks()
+            .filter(|(_, n)| {
+                // any block inside the right root
+                let key = n.key();
+                key.at_coarser_level(0) == BlockKey::new(0, {
+                    let mut c = [0i64; D];
+                    c[0] = 1;
+                    c
+                })
+            })
+            .map(|(id, _)| id)
+            .collect();
+        let flags = ids.into_iter().map(|id| (id, Flag::Refine)).collect();
+        adapt(&mut g, &flags, Transfer::None);
+    }
+    let left = g
+        .find(BlockKey::new(0, {
+            let c = [0i64; D];
+            c
+        }))
+        .unwrap();
+    g.block(left).face(Face::new(0, true)).ids().len()
+}
+
+fn main() {
+    let mut t = Table::new(
+        "TAB-A: max blocks sharing a face = 2^(k(d-1))",
+        &["d", "k", "formula", "measured (worst-case grid)"],
+    );
+    for (d, k, measured) in [
+        (1u32, 1u8, worst_case_max::<1>(1)),
+        (1, 2, worst_case_max::<1>(2)),
+        (2, 1, worst_case_max::<2>(1)),
+        (2, 2, worst_case_max::<2>(2)),
+        (3, 1, worst_case_max::<3>(1)),
+        (3, 2, worst_case_max::<3>(2)),
+    ] {
+        let formula = max_face_neighbors(d as usize, k as usize);
+        assert_eq!(
+            measured, formula,
+            "constructed worst case must achieve the bound (d={d}, k={k})"
+        );
+        t.row(&[
+            d.to_string(),
+            k.to_string(),
+            formula.to_string(),
+            measured.to_string(),
+        ]);
+    }
+    t.print();
+    println!("every measured worst case achieves the paper's bound exactly.");
+}

@@ -1,0 +1,259 @@
+//! Finite-volume updates over the leaves of a cell tree.
+//!
+//! This is the baseline compute path the paper's Fig. 5 implicitly
+//! measures at block size 1: each leaf update performs per-face neighbor
+//! *traversals* and touches per-cell nodes scattered through memory —
+//! neither loop fusion nor cache streaming is possible.
+//!
+//! The scheme is a first-order Godunov-type update with a caller-supplied
+//! numerical flux, matching the first-order path of `ablock-solver` so
+//! baseline-vs-blocks comparisons are apples to apples. At level jumps the
+//! coarse side uses the area-weighted average of the fine face leaves'
+//! fluxes; no refluxing is performed (first-order AMR practice).
+
+use crate::tree::{CellNeighbor, CellTree, MAX_VARS};
+use ablock_core::index::Face;
+use ablock_core::layout::Boundary;
+
+
+/// Apply reflecting/outflow boundary state synthesis for a ghost state.
+fn boundary_state(u: &[f64], bc: Boundary, dir: usize, vectors: &[[usize; 3]], out: &mut [f64]) {
+    out[..u.len()].copy_from_slice(u);
+    if bc == Boundary::Reflect {
+        for vc in vectors {
+            let v = vc[dir];
+            if v < u.len() {
+                out[v] = -out[v];
+            }
+        }
+    }
+}
+
+/// One forward-Euler step of size `dt` over every leaf, using numerical
+/// flux `flux(uL, uR, dir, out)`.
+///
+/// Returns the number of flux evaluations performed (each counted once per
+/// side it is computed from — the duplicated work at level jumps is part of
+/// the baseline's cost profile).
+pub fn step_fv<const D: usize, F>(
+    tree: &mut CellTree<D>,
+    dt: f64,
+    flux: &F,
+    vectors: &[[usize; 3]],
+) -> usize
+where
+    F: Fn(&[f64], &[f64], usize, &mut [f64]),
+{
+    let nvar = tree.nvar();
+    let leaves = tree.leaf_ids();
+    let mut nflux = 0usize;
+
+    // phase 1: accumulate RHS into work
+    for &id in &leaves {
+        let (key, u) = {
+            let n = tree.node(id);
+            (n.key, n.u)
+        };
+        let h = tree.cell_size(key.level);
+        let mut rhs = [0.0f64; MAX_VARS];
+        let mut f = [0.0f64; MAX_VARS];
+        let mut ghost = [0.0f64; MAX_VARS];
+        for face in Face::all::<D>() {
+            let dir = face.dim as usize;
+            let sign = face.sign() as f64;
+            match tree.neighbor(id, face) {
+                CellNeighbor::Same(nid) | CellNeighbor::Coarser(nid) => {
+                    let un = tree.node(nid).u;
+                    let (ul, ur) = if face.high { (&u, &un) } else { (&un, &u) };
+                    flux(&ul[..nvar], &ur[..nvar], dir, &mut f[..nvar]);
+                    nflux += 1;
+                    for v in 0..nvar {
+                        rhs[v] -= sign * f[v] / h[dir];
+                    }
+                }
+                CellNeighbor::Finer(nid) => {
+                    // area-weighted average of fluxes against each fine leaf
+                    let fine = tree.leaves_on_face(nid, face.opposite());
+                    let w = 1.0 / fine.len() as f64;
+                    for fid in fine {
+                        let un = tree.node(fid).u;
+                        let (ul, ur) = if face.high { (&u, &un) } else { (&un, &u) };
+                        flux(&ul[..nvar], &ur[..nvar], dir, &mut f[..nvar]);
+                        nflux += 1;
+                        for v in 0..nvar {
+                            rhs[v] -= sign * w * f[v] / h[dir];
+                        }
+                    }
+                }
+                CellNeighbor::Boundary(bc) => {
+                    boundary_state(&u[..nvar], bc, dir, vectors, &mut ghost);
+                    let (ul, ur) = if face.high { (&u, &ghost) } else { (&ghost, &u) };
+                    flux(&ul[..nvar], &ur[..nvar], dir, &mut f[..nvar]);
+                    nflux += 1;
+                    for v in 0..nvar {
+                        rhs[v] -= sign * f[v] / h[dir];
+                    }
+                }
+            }
+        }
+        let n = tree.node_mut(id);
+        for v in 0..nvar {
+            n.work[v] = rhs[v];
+        }
+    }
+
+    // phase 2: apply
+    for &id in &leaves {
+        let n = tree.node_mut(id);
+        for v in 0..nvar {
+            n.u[v] += dt * n.work[v];
+        }
+    }
+    nflux
+}
+
+/// Largest stable `dt` under CFL number `cfl` for the given speed model.
+pub fn max_dt<const D: usize, S>(tree: &CellTree<D>, speed: &S, cfl: f64) -> f64
+where
+    S: Fn(&[f64], usize) -> f64,
+{
+    let mut limit = f64::INFINITY;
+    for id in tree.leaf_ids() {
+        let n = tree.node(id);
+        let h = tree.cell_size(n.key.level);
+        let mut rate = 0.0;
+        for dir in 0..D {
+            rate += speed(&n.u[..tree.nvar()], dir) / h[dir];
+        }
+        if rate > 0.0 {
+            limit = limit.min(1.0 / rate);
+        }
+    }
+    cfl * limit
+}
+
+/// Upwind flux for linear advection with velocity `vel` (1 variable).
+pub fn advection_flux<const D: usize>(vel: [f64; D]) -> impl Fn(&[f64], &[f64], usize, &mut [f64]) {
+    move |ul, ur, dir, out| {
+        let a = vel[dir];
+        out[0] = if a >= 0.0 { a * ul[0] } else { a * ur[0] };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ablock_core::layout::RootLayout;
+
+    fn advect_tree(n: i64, periodic: bool) -> CellTree<1> {
+        let bc = if periodic { Boundary::Periodic } else { Boundary::Outflow };
+        CellTree::new(RootLayout::unit([n], bc), 1, 4)
+    }
+
+    #[test]
+    fn advection_conserves_on_uniform_periodic() {
+        let mut t = advect_tree(32, true);
+        for (i, id) in t.leaf_ids().into_iter().enumerate() {
+            t.node_mut(id).u[0] = if (8..16).contains(&i) { 1.0 } else { 0.0 };
+        }
+        let flux = advection_flux::<1>([1.0]);
+        let total_before: f64 = t.leaf_ids().iter().map(|&i| t.node(i).u[0]).sum();
+        for _ in 0..20 {
+            step_fv(&mut t, 0.5 / 32.0, &flux, &[]);
+        }
+        let total_after: f64 = t.leaf_ids().iter().map(|&i| t.node(i).u[0]).sum();
+        assert!((total_before - total_after).abs() < 1e-12);
+        // profile moved right and diffused, but stayed in [0, 1]
+        for id in t.leaf_ids() {
+            let v = t.node(id).u[0];
+            assert!((-1e-12..=1.0 + 1e-12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn advection_moves_profile_right() {
+        let mut t = advect_tree(64, true);
+        let ids = t.leaf_ids();
+        for (i, &id) in ids.iter().enumerate() {
+            t.node_mut(id).u[0] = (-((i as f64 - 16.0) / 4.0).powi(2)).exp();
+        }
+        let flux = advection_flux::<1>([1.0]);
+        let dt = 0.5 / 64.0;
+        // advance half the domain: t = 0.5 -> 32 cells
+        let steps = (0.5 / dt) as usize;
+        for _ in 0..steps {
+            step_fv(&mut t, dt, &flux, &[]);
+        }
+        // centroid near cell 48
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, &id) in ids.iter().enumerate() {
+            num += i as f64 * t.node(id).u[0];
+            den += t.node(id).u[0];
+        }
+        let centroid = num / den;
+        assert!(
+            (centroid - 48.0).abs() < 2.0,
+            "centroid {centroid}, expected about 48"
+        );
+    }
+
+    #[test]
+    fn refined_tree_still_stable() {
+        let mut t = advect_tree(16, true);
+        // refine the middle cells
+        for id in t.leaf_ids() {
+            let k = t.node(id).key;
+            if (6..10).contains(&k.coords[0]) {
+                t.refine(id);
+            }
+        }
+        t.balance_21();
+        for id in t.leaf_ids() {
+            let x = t.cell_center(t.node(id).key)[0];
+            t.node_mut(id).u[0] = (-((x - 0.3) / 0.1).powi(2)).exp();
+        }
+        let flux = advection_flux::<1>([1.0]);
+        let dt = max_dt(&t, &|_, _| 1.0, 0.4);
+        for _ in 0..50 {
+            step_fv(&mut t, dt, &flux, &[]);
+        }
+        for id in t.leaf_ids() {
+            let v = t.node(id).u[0];
+            assert!(v.is_finite() && (-0.1..=1.1).contains(&v));
+        }
+    }
+
+    #[test]
+    fn flux_count_scales_with_faces() {
+        let mut t = advect_tree(8, true);
+        let flux = advection_flux::<1>([1.0]);
+        let n = step_fv(&mut t, 1e-4, &flux, &[]);
+        // 8 leaves x 2 faces = 16 one-sided evaluations
+        assert_eq!(n, 16);
+    }
+
+    #[test]
+    fn reflecting_boundary_flips_vector() {
+        let mut t = CellTree::<1>::new(RootLayout::unit([4], Boundary::Reflect), 2, 2);
+        for id in t.leaf_ids() {
+            let n = t.node_mut(id);
+            n.u[0] = 1.0;
+            n.u[1] = 0.5; // "momentum"
+        }
+        // flux = simple upwind on var 0 by sign of var 1 — just probe that
+        // the ghost state arrives flipped at the wall
+        let seen = std::cell::RefCell::new(Vec::new());
+        {
+            let probe = |ul: &[f64], ur: &[f64], _dir: usize, out: &mut [f64]| {
+                seen.borrow_mut().push((ul[1], ur[1]));
+                out[0] = 0.0;
+                out[1] = 0.0;
+            };
+            step_fv(&mut t, 1e-3, &probe, &[[1, usize::MAX, usize::MAX]]);
+        }
+        let pairs = seen.borrow();
+        // wall interfaces must have opposite-sign var-1 pairs
+        assert!(pairs.iter().any(|&(l, r)| (l + r).abs() < 1e-12 && l != 0.0));
+    }
+}

@@ -1,0 +1,23 @@
+//! # ablock-celltree — the cell-based tree baseline
+//!
+//! The comparison structure of the SC'97 *Adaptive Blocks* paper: a
+//! quadtree/octree whose nodes are **single cells**. Subdividing keeps the
+//! parent node (the region gains two representations, paper Fig. 4), only
+//! parent/child links are stored, and neighbor location requires tree
+//! traversal — potentially many link follows, and on a parallel machine
+//! potentially many messages.
+//!
+//! This crate exists so the repository can *measure* the paper's claims
+//! instead of asserting them:
+//!
+//! * Fig. 5's left end (time per cell at block size ~1) runs on this tree;
+//! * ABL-1 counts traversal hops vs. the block grid's O(1) pointer lookups;
+//! * ABL-2 compares cell counts for equal feature resolution.
+
+#![warn(missing_docs)]
+
+pub mod fv;
+pub mod tree;
+
+pub use fv::{advection_flux, max_dt, step_fv};
+pub use tree::{CellNeighbor, CellNode, CellTree, NodeId, MAX_VARS};

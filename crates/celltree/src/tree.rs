@@ -1,0 +1,542 @@
+//! The cell-based tree: one node per cell.
+//!
+//! This is the structure the paper contrasts adaptive blocks against
+//! (Fig. 4): when a cell is subdivided its children are created and **the
+//! parent remains**, so the region has two representations; only
+//! parent/child links are stored, and every value lives in its own node,
+//! reached by indirect addressing.
+//!
+//! Data layout is deliberately per-cell (`[f64; MAX_VARS]` inside each
+//! node) — the indirect addressing and lost loop/cache optimization this
+//! causes is exactly the performance penalty Fig. 5 and ABL-1 quantify.
+
+use ablock_core::arena::{Arena, BlockId};
+use ablock_core::index::{Face, IVec};
+use ablock_core::key::BlockKey;
+use ablock_core::layout::{Boundary, Resolved, RootLayout};
+
+/// Maximum variables a cell can store (ideal MHD needs 8).
+pub const MAX_VARS: usize = 8;
+
+/// Node handle (same generational-arena id type as block grids).
+pub type NodeId = BlockId;
+
+/// One cell of the tree.
+#[derive(Debug)]
+pub struct CellNode<const D: usize> {
+    /// Logical address of the cell (level + lattice coords).
+    pub key: BlockKey<D>,
+    /// Parent cell; `None` for root cells.
+    pub parent: Option<NodeId>,
+    /// Children in child-index order; `None` for leaves. Only the first
+    /// `2^D` entries are meaningful.
+    pub children: Option<[NodeId; 8]>,
+    /// Which child of its parent this node is.
+    pub child_slot: u8,
+    /// Cell-centered state.
+    pub u: [f64; MAX_VARS],
+    /// Scratch state (RK stages, fluxes).
+    pub work: [f64; MAX_VARS],
+}
+
+impl<const D: usize> CellNode<D> {
+    /// True when the cell has no children.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_none()
+    }
+}
+
+/// Result of a neighbor query across one face.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CellNeighbor {
+    /// A leaf at the same level.
+    Same(NodeId),
+    /// A coarser leaf covering the adjacent region.
+    Coarser(NodeId),
+    /// The adjacent region is subdivided: the equal-level *internal* node
+    /// is returned; callers descend to the face children themselves.
+    Finer(NodeId),
+    /// Physical domain boundary.
+    Boundary(Boundary),
+}
+
+/// Cell-based quadtree (2-D) / octree (3-D) over a root lattice of cells.
+pub struct CellTree<const D: usize> {
+    layout: RootLayout<D>,
+    nvar: usize,
+    max_level: u8,
+    arena: Arena<CellNode<D>>,
+    /// Root nodes indexed by row-major root lattice position.
+    roots: Vec<NodeId>,
+    /// Count of traversal link-follows since the last reset (for ABL-1).
+    pub hops: std::cell::Cell<u64>,
+}
+
+impl<const D: usize> CellTree<D> {
+    /// Build the root lattice of cells; `layout.roots` counts root *cells*.
+    pub fn new(layout: RootLayout<D>, nvar: usize, max_level: u8) -> Self {
+        assert!(nvar <= MAX_VARS);
+        layout.validate();
+        let mut arena = Arena::new();
+        let mut roots = Vec::new();
+        for key in layout.root_keys() {
+            let id = arena.insert(CellNode {
+                key,
+                parent: None,
+                children: None,
+                child_slot: 0,
+                u: [0.0; MAX_VARS],
+                work: [0.0; MAX_VARS],
+            });
+            roots.push(id);
+        }
+        CellTree { layout, nvar, max_level, arena, roots, hops: std::cell::Cell::new(0) }
+    }
+
+    /// Domain layout.
+    pub fn layout(&self) -> &RootLayout<D> {
+        &self.layout
+    }
+
+    /// Variables per cell.
+    pub fn nvar(&self) -> usize {
+        self.nvar
+    }
+
+    /// Refinement level cap.
+    pub fn max_level(&self) -> u8 {
+        self.max_level
+    }
+
+    /// Total nodes (leaves *and* internal — the parent remains; contrast
+    /// with `BlockGrid`, which stores only leaves).
+    pub fn num_nodes(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Number of leaf cells.
+    pub fn num_leaves(&self) -> usize {
+        self.arena.iter().filter(|(_, n)| n.is_leaf()).count()
+    }
+
+    /// Access a node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &CellNode<D> {
+        &self.arena[id]
+    }
+
+    /// Mutable access to a node.
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut CellNode<D> {
+        &mut self.arena[id]
+    }
+
+    /// Root node at a root-lattice position.
+    fn root_at(&self, coords: IVec<D>) -> NodeId {
+        let mut idx = 0i64;
+        let mut stride = 1i64;
+        for d in 0..D {
+            idx += coords[d] * stride;
+            stride *= self.layout.roots[d];
+        }
+        self.roots[idx as usize]
+    }
+
+    /// Iterate all leaf ids (depth-first from each root, children in child
+    /// index order).
+    pub fn leaf_ids(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = self.roots.iter().rev().copied().collect();
+        while let Some(id) = stack.pop() {
+            let n = &self.arena[id];
+            match n.children {
+                None => out.push(id),
+                Some(kids) => {
+                    for ci in (0..(1 << D)).rev() {
+                        stack.push(kids[ci]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Physical cell width at a level.
+    pub fn cell_size(&self, level: u8) -> [f64; D] {
+        self.layout.cell_size(level, [1; D])
+    }
+
+    /// Physical center of a cell.
+    pub fn cell_center(&self, key: BlockKey<D>) -> [f64; D] {
+        // each "block" is a single cell here
+        self.layout.cell_center(key, [1; D], [0; D])
+    }
+
+    /// Split a leaf into `2^D` children, distributing `u` by injection.
+    /// Returns the child ids.
+    pub fn refine(&mut self, id: NodeId) -> Vec<NodeId> {
+        let (key, u) = {
+            let n = &self.arena[id];
+            assert!(n.is_leaf(), "refine target must be a leaf");
+            assert!(n.key.level < self.max_level, "max_level reached");
+            (n.key, n.u)
+        };
+        let mut kids = [NodeId::DANGLING; 8];
+        let mut out = Vec::with_capacity(1 << D);
+        for ci in 0..(1usize << D) {
+            let cid = self.arena.insert(CellNode {
+                key: key.child(ci),
+                parent: Some(id),
+                children: None,
+                child_slot: ci as u8,
+                u,
+                work: [0.0; MAX_VARS],
+            });
+            kids[ci] = cid;
+            out.push(cid);
+        }
+        self.arena[id].children = Some(kids);
+        out
+    }
+
+    /// Remove a node's children (which must all be leaves), restricting
+    /// their average into the parent.
+    pub fn coarsen(&mut self, id: NodeId) {
+        let kids = self.arena[id].children.expect("coarsen target must be internal");
+        let inv = 1.0 / (1u32 << D) as f64;
+        let mut acc = [0.0; MAX_VARS];
+        for &cid in kids.iter().take(1 << D) {
+            let c = &self.arena[cid];
+            assert!(c.is_leaf(), "coarsen requires leaf children");
+            for v in 0..self.nvar {
+                acc[v] += c.u[v];
+            }
+        }
+        for &cid in kids.iter().take(1 << D) {
+            self.arena.remove(cid);
+        }
+        let n = &mut self.arena[id];
+        n.children = None;
+        for v in 0..self.nvar {
+            n.u[v] = acc[v] * inv;
+        }
+    }
+
+    /// Neighbor query by pure tree traversal (Samet's algorithm): ascend
+    /// until the face crossing stays inside a common ancestor, step to the
+    /// mirrored sibling, then descend the mirrored path while children
+    /// exist. Counts every link follow in `self.hops`.
+    pub fn neighbor(&self, id: NodeId, face: Face) -> CellNeighbor {
+        let d = face.dim as usize;
+        let mut path: Vec<u8> = Vec::new();
+        let mut cur = id;
+        // ----- ascend -----
+        loop {
+            let n = &self.arena[cur];
+            match n.parent {
+                Some(p) => {
+                    self.hops.set(self.hops.get() + 1);
+                    let ci = n.child_slot as usize;
+                    let on_far_side = ((ci >> d) & 1 == 1) != face.high;
+                    if on_far_side {
+                        // sibling move inside the parent
+                        let sib_ci = ci ^ (1 << d);
+                        let kids = self.arena[p].children.expect("parent is internal");
+                        cur = kids[sib_ci];
+                        self.hops.set(self.hops.get() + 1);
+                        break;
+                    }
+                    path.push(ci as u8);
+                    cur = p;
+                }
+                None => {
+                    // root lattice adjacency
+                    let nk = n.key.face_neighbor(face);
+                    match self.layout.resolve(nk) {
+                        Resolved::Outside(_, bc) => return CellNeighbor::Boundary(bc),
+                        Resolved::InDomain(k) => {
+                            cur = self.root_at(k.coords);
+                            self.hops.set(self.hops.get() + 1);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // ----- descend mirrored path -----
+        while let Some(ci) = path.pop() {
+            let n = &self.arena[cur];
+            match n.children {
+                None => return CellNeighbor::Coarser(cur),
+                Some(kids) => {
+                    let mirrored = (ci as usize) ^ (1 << d);
+                    cur = kids[mirrored];
+                    self.hops.set(self.hops.get() + 1);
+                }
+            }
+        }
+        let n = &self.arena[cur];
+        if n.is_leaf() {
+            CellNeighbor::Same(cur)
+        } else {
+            CellNeighbor::Finer(cur)
+        }
+    }
+
+    /// The leaf descendants of `id` touching `face` (used after a
+    /// [`CellNeighbor::Finer`] result, with the face pointing back).
+    pub fn leaves_on_face(&self, id: NodeId, face: Face) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        let d = face.dim as usize;
+        let side = face.high as usize;
+        while let Some(cur) = stack.pop() {
+            let n = &self.arena[cur];
+            match n.children {
+                None => out.push(cur),
+                Some(kids) => {
+                    for ci in 0..(1usize << D) {
+                        if (ci >> d) & 1 == side {
+                            stack.push(kids[ci]);
+                            self.hops.set(self.hops.get() + 1);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Average traversal hops per `neighbor` query since the last reset.
+    pub fn take_hops(&self) -> u64 {
+        let h = self.hops.get();
+        self.hops.set(0);
+        h
+    }
+
+    /// Memory held by nodes, in bytes (each cell pays the full node).
+    pub fn node_bytes(&self) -> usize {
+        self.arena.len() * std::mem::size_of::<CellNode<D>>()
+    }
+
+    /// Enforce the one-level face-jump constraint by cascading refinement,
+    /// mirroring `ablock_core::balance::adapt` for fairness in comparisons.
+    pub fn balance_21(&mut self) {
+        loop {
+            let mut to_refine: Vec<NodeId> = Vec::new();
+            for id in self.leaf_ids() {
+                let lvl = self.arena[id].key.level;
+                for f in Face::all::<D>() {
+                    if let CellNeighbor::Finer(n) = self.neighbor(id, f) {
+                        // any grandchild on the shared face => jump > 1
+                        let fine = self.leaves_on_face(n, f.opposite());
+                        if fine
+                            .iter()
+                            .any(|&c| self.arena[c].key.level > lvl + 1)
+                        {
+                            to_refine.push(id);
+                            break;
+                        }
+                    }
+                }
+            }
+            if to_refine.is_empty() {
+                return;
+            }
+            for id in to_refine {
+                if self.arena.contains(id) && self.arena[id].is_leaf() {
+                    self.refine(id);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree2(roots: [i64; 2]) -> CellTree<2> {
+        CellTree::new(RootLayout::unit(roots, Boundary::Outflow), 1, 6)
+    }
+
+    #[test]
+    fn roots_and_leaves() {
+        let t = tree2([4, 3]);
+        assert_eq!(t.num_nodes(), 12);
+        assert_eq!(t.num_leaves(), 12);
+        assert_eq!(t.leaf_ids().len(), 12);
+    }
+
+    #[test]
+    fn refine_keeps_parent() {
+        let mut t = tree2([2, 2]);
+        let id = t.roots[0];
+        let kids = t.refine(id);
+        assert_eq!(kids.len(), 4);
+        // the paper's contrast: parent node remains (two representations)
+        assert_eq!(t.num_nodes(), 4 + 4);
+        assert_eq!(t.num_leaves(), 7);
+        assert!(!t.node(id).is_leaf());
+        assert_eq!(t.node(kids[2]).parent, Some(id));
+        assert_eq!(t.node(kids[2]).child_slot, 2);
+    }
+
+    #[test]
+    fn coarsen_restores_and_averages() {
+        let mut t = tree2([1, 1]);
+        let id = t.roots[0];
+        let kids = t.refine(id);
+        for (i, &k) in kids.iter().enumerate() {
+            t.node_mut(k).u[0] = i as f64;
+        }
+        t.coarsen(id);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.node(id).u[0], 1.5);
+        assert!(t.node(id).is_leaf());
+    }
+
+    #[test]
+    fn neighbor_same_level_roots() {
+        let t = tree2([3, 1]);
+        let a = t.roots[0];
+        let b = t.roots[1];
+        assert_eq!(t.neighbor(a, Face::new(0, true)), CellNeighbor::Same(b));
+        assert_eq!(t.neighbor(b, Face::new(0, false)), CellNeighbor::Same(a));
+        assert!(matches!(
+            t.neighbor(a, Face::new(0, false)),
+            CellNeighbor::Boundary(Boundary::Outflow)
+        ));
+    }
+
+    #[test]
+    fn neighbor_within_family() {
+        let mut t = tree2([1, 1]);
+        let kids = t.refine(t.roots[0]);
+        // child 0 (lo,lo) x+ neighbor is child 1
+        assert_eq!(t.neighbor(kids[0], Face::new(0, true)), CellNeighbor::Same(kids[1]));
+        assert_eq!(t.neighbor(kids[3], Face::new(1, false)), CellNeighbor::Same(kids[1]));
+    }
+
+    #[test]
+    fn neighbor_across_families() {
+        let mut t = tree2([2, 1]);
+        let a_kids = t.refine(t.roots[0]);
+        let b_kids = t.refine(t.roots[1]);
+        // right child of a (ci=1) x+ neighbor: left child of b (ci=0)
+        assert_eq!(
+            t.neighbor(a_kids[1], Face::new(0, true)),
+            CellNeighbor::Same(b_kids[0])
+        );
+        assert_eq!(
+            t.neighbor(a_kids[3], Face::new(0, true)),
+            CellNeighbor::Same(b_kids[2])
+        );
+    }
+
+    #[test]
+    fn neighbor_coarser_and_finer() {
+        let mut t = tree2([2, 1]);
+        let a_kids = t.refine(t.roots[0]);
+        // b unrefined: a's right children see Coarser(b)
+        assert_eq!(
+            t.neighbor(a_kids[1], Face::new(0, true)),
+            CellNeighbor::Coarser(t.roots[1])
+        );
+        // b sees Finer(a-root); descending gives the two right children
+        match t.neighbor(t.roots[1], Face::new(0, false)) {
+            CellNeighbor::Finer(n) => {
+                assert_eq!(n, t.roots[0]);
+                let leaves = t.leaves_on_face(n, Face::new(0, true));
+                assert_eq!(leaves.len(), 2);
+                assert!(leaves.contains(&a_kids[1]));
+                assert!(leaves.contains(&a_kids[3]));
+            }
+            other => panic!("expected Finer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn neighbor_periodic_wrap() {
+        let t = CellTree::<2>::new(RootLayout::unit([2, 1], Boundary::Periodic), 1, 4);
+        let a = t.roots[0];
+        let b = t.roots[1];
+        assert_eq!(t.neighbor(a, Face::new(0, false)), CellNeighbor::Same(b));
+        assert_eq!(t.neighbor(a, Face::new(1, true)), CellNeighbor::Same(a));
+    }
+
+    #[test]
+    fn deep_neighbor_traversal_costs_hops() {
+        // Two adjacent roots refined 4 deep along the shared face: neighbor
+        // queries from the deepest cells must walk up and down the tree.
+        let mut t = tree2([2, 1]);
+        let mut left = t.roots[0];
+        for _ in 0..4 {
+            let kids = t.refine(left);
+            left = kids[1]; // (hi, lo): hugs the shared face
+        }
+        t.take_hops();
+        let r = t.neighbor(left, Face::new(0, true));
+        let hops_deep = t.take_hops();
+        assert!(matches!(r, CellNeighbor::Coarser(_)));
+        // sibling query inside the family is much cheaper
+        let sib = t.neighbor(left, Face::new(0, false));
+        let hops_sib = t.take_hops();
+        assert!(matches!(sib, CellNeighbor::Same(_)));
+        assert!(
+            hops_deep > 2 * hops_sib,
+            "deep cross-family lookup ({hops_deep} hops) should dwarf sibling lookup ({hops_sib})"
+        );
+    }
+
+    #[test]
+    fn balance_21_cascades() {
+        let mut t = tree2([2, 1]);
+        // refine left root 3 levels down at the shared face; right root stays
+        let mut cur = t.roots[0];
+        for _ in 0..3 {
+            let kids = t.refine(cur);
+            cur = kids[1];
+        }
+        t.balance_21();
+        // right root must now be refined at least 2 levels near the face
+        let r = t.roots[1];
+        assert!(!t.node(r).is_leaf(), "balance must refine the right root");
+        for id in t.leaf_ids() {
+            let lvl = t.node(id).key.level;
+            for f in Face::all::<2>() {
+                if let CellNeighbor::Finer(n) = t.neighbor(id, f) {
+                    for c in t.leaves_on_face(n, f.opposite()) {
+                        assert!(
+                            t.node(c).key.level <= lvl + 1,
+                            "2:1 violated after balance"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_d_tree() {
+        let mut t = CellTree::<3>::new(
+            RootLayout::unit([2, 1, 1], Boundary::Outflow),
+            5,
+            3,
+        );
+        let kids = t.refine(t.roots[0]);
+        assert_eq!(kids.len(), 8);
+        assert_eq!(t.num_leaves(), 9);
+        // z+ neighbor of low corner child is the ci=4 sibling
+        assert_eq!(t.neighbor(kids[0], Face::new(2, true)), CellNeighbor::Same(kids[4]));
+    }
+
+    #[test]
+    fn node_bytes_grow_per_cell() {
+        let mut t = tree2([1, 1]);
+        let b0 = t.node_bytes();
+        t.refine(t.roots[0]);
+        assert_eq!(t.node_bytes(), b0 * 5, "every cell pays a whole node");
+    }
+}

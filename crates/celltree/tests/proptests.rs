@@ -1,0 +1,173 @@
+//! Property tests for the cell-based tree: the traversal-based neighbor
+//! finder is checked against a key-arithmetic oracle under random
+//! refinement/coarsening sequences.
+
+use ablock_core::index::Face;
+use ablock_core::key::BlockKey;
+use ablock_core::layout::{Boundary, Resolved, RootLayout};
+use ablock_celltree::{CellNeighbor, CellTree};
+use proptest::prelude::*;
+
+/// Build a tree with a deterministic pseudo-random refinement pattern.
+fn random_tree(roots: [i64; 2], periodic: bool, seed: u64, rounds: usize) -> CellTree<2> {
+    let bc = if periodic { Boundary::Periodic } else { Boundary::Outflow };
+    let mut t = CellTree::new(RootLayout::unit(roots, bc), 1, 4);
+    let mut state = seed | 1;
+    for _ in 0..rounds {
+        for id in t.leaf_ids() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if (state >> 33) % 100 < 30 && t.node(id).key.level < 3 {
+                t.refine(id);
+            }
+        }
+    }
+    t
+}
+
+/// Oracle: resolve the neighbor of `key` across `face` using pure key
+/// arithmetic plus a key → leaf map.
+fn oracle_neighbor(
+    t: &CellTree<2>,
+    key: BlockKey<2>,
+    face: Face,
+    by_key: &std::collections::HashMap<BlockKey<2>, ablock_celltree::NodeId>,
+) -> OracleResult {
+    let target = key.face_neighbor(face);
+    match t.layout().resolve(target) {
+        Resolved::Outside(_, bc) => OracleResult::Boundary(bc),
+        Resolved::InDomain(nk) => {
+            // walk up: same key or ancestors
+            let mut k = nk;
+            loop {
+                if let Some(&id) = by_key.get(&k) {
+                    if t.node(id).is_leaf() {
+                        return if k.level == key.level {
+                            OracleResult::SameLevel(id)
+                        } else {
+                            OracleResult::CoarserLevel(id)
+                        };
+                    }
+                    return OracleResult::Subdivided(id);
+                }
+                match k.parent() {
+                    Some(p) => k = p,
+                    None => panic!("no node covers {nk:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum OracleResult {
+    SameLevel(ablock_celltree::NodeId),
+    CoarserLevel(ablock_celltree::NodeId),
+    Subdivided(ablock_celltree::NodeId),
+    Boundary(Boundary),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every traversal answer matches the key-arithmetic oracle, for every
+    /// leaf and every face, on random trees.
+    #[test]
+    fn traversal_matches_oracle(
+        seed in any::<u64>(),
+        rounds in 1usize..3,
+        rx in 1i64..4,
+        ry in 1i64..4,
+        periodic in any::<bool>(),
+    ) {
+        let t = random_tree([rx, ry], periodic, seed, rounds);
+        // all nodes (leaves + internal) by key
+        let mut by_key = std::collections::HashMap::new();
+        for id in t.leaf_ids() {
+            let mut cur = Some(id);
+            while let Some(c) = cur {
+                by_key.insert(t.node(c).key, c);
+                cur = t.node(c).parent;
+            }
+        }
+        for id in t.leaf_ids() {
+            let key = t.node(id).key;
+            for face in Face::all::<2>() {
+                let got = t.neighbor(id, face);
+                let want = oracle_neighbor(&t, key, face, &by_key);
+                let ok = matches!(
+                    (&got, &want),
+                    (CellNeighbor::Same(a), OracleResult::SameLevel(b)) if a == b
+                ) || matches!(
+                    (&got, &want),
+                    (CellNeighbor::Coarser(a), OracleResult::CoarserLevel(b)) if a == b
+                ) || matches!(
+                    (&got, &want),
+                    (CellNeighbor::Finer(a), OracleResult::Subdivided(b)) if a == b
+                ) || matches!(
+                    (&got, &want),
+                    (CellNeighbor::Boundary(a), OracleResult::Boundary(b)) if a == b
+                );
+                prop_assert!(ok, "leaf {key:?} face {face:?}: got {got:?}, want {want:?}");
+            }
+        }
+    }
+
+    /// Node/leaf bookkeeping is consistent under refine+coarsen round trips.
+    #[test]
+    fn refine_coarsen_roundtrip_counts(seed in any::<u64>()) {
+        let mut t = random_tree([2, 2], false, seed, 2);
+        let nodes0 = t.num_nodes();
+        let leaves0 = t.num_leaves();
+        // refine every leaf once, then coarsen all the new families
+        let old_leaves = t.leaf_ids();
+        for &id in &old_leaves {
+            t.refine(id);
+        }
+        prop_assert_eq!(t.num_leaves(), leaves0 * 4);
+        prop_assert_eq!(t.num_nodes(), nodes0 + leaves0 * 4);
+        for &id in &old_leaves {
+            t.coarsen(id);
+        }
+        prop_assert_eq!(t.num_nodes(), nodes0);
+        prop_assert_eq!(t.num_leaves(), leaves0);
+    }
+
+    /// Coarsening averages and refining injects: a refine+coarsen round
+    /// trip preserves every leaf value exactly.
+    #[test]
+    fn refine_coarsen_preserves_values(seed in any::<u64>()) {
+        let mut t = random_tree([2, 1], false, seed, 1);
+        let mut state = seed | 3;
+        for id in t.leaf_ids() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(9);
+            t.node_mut(id).u[0] = (state >> 40) as f64 / 1e4;
+        }
+        let before: Vec<f64> = t.leaf_ids().iter().map(|&i| t.node(i).u[0]).collect();
+        let old_leaves = t.leaf_ids();
+        for &id in &old_leaves {
+            t.refine(id);
+        }
+        for &id in &old_leaves {
+            t.coarsen(id);
+        }
+        let after: Vec<f64> = t.leaf_ids().iter().map(|&i| t.node(i).u[0]).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// After balance_21 no face has a jump above one level.
+    #[test]
+    fn balance_enforces_21(seed in any::<u64>(), rounds in 1usize..3) {
+        let mut t = random_tree([2, 2], true, seed, rounds);
+        t.balance_21();
+        for id in t.leaf_ids() {
+            let lvl = t.node(id).key.level;
+            for f in Face::all::<2>() {
+                if let CellNeighbor::Finer(n) = t.neighbor(id, f) {
+                    for c in t.leaves_on_face(n, f.opposite()) {
+                        prop_assert!(t.node(c).key.level <= lvl + 1);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Generational arena for block storage.
+//!
+//! Blocks are created and destroyed constantly as the mesh adapts, so they
+//! live in a slab with a free list: creation and destruction are O(1) and
+//! ids stay small dense integers (good for the per-rank ownership arrays in
+//! `ablock-par`). Each slot carries a generation counter so an id retained
+//! across an adapt that recycled the slot is detected instead of silently
+//! aliasing a new block.
+
+/// Handle to an arena slot: index plus generation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId {
+    index: u32,
+    generation: u32,
+}
+
+impl BlockId {
+    /// Dense slot index; stable for the lifetime of the block.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+
+    /// Generation of the slot when this id was issued.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+
+    /// An id that no arena will ever issue; useful as a sentinel in tests.
+    pub const DANGLING: BlockId = BlockId { index: u32::MAX, generation: u32::MAX };
+}
+
+impl std::fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "B{}g{}", self.index, self.generation)
+    }
+}
+
+enum Slot<T> {
+    Occupied { generation: u32, value: T },
+    Free { generation: u32, next_free: Option<u32> },
+}
+
+/// Generational arena.
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free_head: Option<u32>,
+    len: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// Empty arena.
+    pub fn new() -> Self {
+        Arena { slots: Vec::new(), free_head: None, len: 0 }
+    }
+
+    /// Empty arena with room for `cap` values before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Arena { slots: Vec::with_capacity(cap), free_head: None, len: 0 }
+    }
+
+    /// Number of live values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no values are live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slots (live + free); ids index into `0..capacity()`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Insert a value, reusing a free slot if one exists.
+    pub fn insert(&mut self, value: T) -> BlockId {
+        self.len += 1;
+        if let Some(idx) = self.free_head {
+            let slot = &mut self.slots[idx as usize];
+            let (generation, next_free) = match slot {
+                Slot::Free { generation, next_free } => (*generation, *next_free),
+                Slot::Occupied { .. } => unreachable!("free list points at occupied slot"),
+            };
+            self.free_head = next_free;
+            let generation = generation.wrapping_add(1);
+            *slot = Slot::Occupied { generation, value };
+            BlockId { index: idx, generation }
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Slot::Occupied { generation: 0, value });
+            BlockId { index: idx, generation: 0 }
+        }
+    }
+
+    /// Remove a value; returns `None` if the id is stale or never existed.
+    pub fn remove(&mut self, id: BlockId) -> Option<T> {
+        let slot = self.slots.get_mut(id.index as usize)?;
+        match slot {
+            Slot::Occupied { generation, .. } if *generation == id.generation => {
+                let old = std::mem::replace(
+                    slot,
+                    Slot::Free { generation: id.generation, next_free: self.free_head },
+                );
+                self.free_head = Some(id.index);
+                self.len -= 1;
+                match old {
+                    Slot::Occupied { value, .. } => Some(value),
+                    Slot::Free { .. } => unreachable!(),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// True if `id` refers to a live value.
+    pub fn contains(&self, id: BlockId) -> bool {
+        matches!(
+            self.slots.get(id.index as usize),
+            Some(Slot::Occupied { generation, .. }) if *generation == id.generation
+        )
+    }
+
+    /// Shared access; `None` on stale id.
+    pub fn get(&self, id: BlockId) -> Option<&T> {
+        match self.slots.get(id.index as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == id.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Exclusive access; `None` on stale id.
+    pub fn get_mut(&mut self, id: BlockId) -> Option<&mut T> {
+        match self.slots.get_mut(id.index as usize) {
+            Some(Slot::Occupied { generation, value }) if *generation == id.generation => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Exclusive access to two distinct slots at once (ghost exchange copies
+    /// between neighbor blocks). Panics if the ids alias.
+    pub fn get2_mut(&mut self, a: BlockId, b: BlockId) -> (Option<&mut T>, Option<&mut T>) {
+        assert_ne!(a.index, b.index, "get2_mut requires distinct slots");
+        let (lo, hi, swap) = if a.index < b.index { (a, b, false) } else { (b, a, true) };
+        let (head, tail) = self.slots.split_at_mut(hi.index as usize);
+        let get = |slot: &mut Slot<T>, id: BlockId| match slot {
+            Slot::Occupied { generation, value } if *generation == id.generation => {
+                Some(value as *mut T)
+            }
+            _ => None,
+        };
+        let pl = head.get_mut(lo.index as usize).and_then(|s| get(s, lo));
+        let ph = tail.first_mut().and_then(|s| get(s, hi));
+        // SAFETY: pl and ph point into disjoint halves of the same slice.
+        unsafe {
+            let l = pl.map(|p| &mut *p);
+            let h = ph.map(|p| &mut *p);
+            if swap {
+                (h, l)
+            } else {
+                (l, h)
+            }
+        }
+    }
+
+    /// Iterate `(id, &value)` over live slots in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Occupied { generation, value } => {
+                Some((BlockId { index: i as u32, generation: *generation }, value))
+            }
+            Slot::Free { .. } => None,
+        })
+    }
+
+    /// Iterate `(id, &mut value)` over live slots in index order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (BlockId, &mut T)> {
+        self.slots.iter_mut().enumerate().filter_map(|(i, s)| match s {
+            Slot::Occupied { generation, value } => {
+                Some((BlockId { index: i as u32, generation: *generation }, value))
+            }
+            Slot::Free { .. } => None,
+        })
+    }
+
+    /// Ids of all live slots in index order.
+    pub fn ids(&self) -> Vec<BlockId> {
+        self.iter().map(|(id, _)| id).collect()
+    }
+}
+
+impl<T> std::ops::Index<BlockId> for Arena<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, id: BlockId) -> &T {
+        self.get(id).expect("stale or invalid BlockId")
+    }
+}
+
+impl<T> std::ops::IndexMut<BlockId> for Arena<T> {
+    #[inline]
+    fn index_mut(&mut self, id: BlockId) -> &mut T {
+        self.get_mut(id).expect("stale or invalid BlockId")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut a = Arena::new();
+        let x = a.insert(10);
+        let y = a.insert(20);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[x], 10);
+        assert_eq!(a[y], 20);
+        assert_eq!(a.remove(x), Some(10));
+        assert_eq!(a.len(), 1);
+        assert!(!a.contains(x));
+        assert!(a.get(x).is_none());
+        assert_eq!(a.remove(x), None);
+    }
+
+    #[test]
+    fn generation_protects_stale_ids() {
+        let mut a = Arena::new();
+        let x = a.insert(1);
+        a.remove(x);
+        let y = a.insert(2); // reuses slot 0
+        assert_eq!(y.index(), x.index());
+        assert_ne!(y.generation(), x.generation());
+        assert!(a.get(x).is_none(), "stale id must not alias the new value");
+        assert_eq!(a[y], 2);
+    }
+
+    #[test]
+    fn free_list_reuse_order() {
+        let mut a = Arena::new();
+        let ids: Vec<_> = (0..4).map(|i| a.insert(i)).collect();
+        a.remove(ids[1]);
+        a.remove(ids[3]);
+        // LIFO reuse
+        let n1 = a.insert(100);
+        assert_eq!(n1.index(), ids[3].index());
+        let n2 = a.insert(200);
+        assert_eq!(n2.index(), ids[1].index());
+        assert_eq!(a.capacity(), 4);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn iteration() {
+        let mut a = Arena::new();
+        let ids: Vec<_> = (0..5).map(|i| a.insert(i * 10)).collect();
+        a.remove(ids[2]);
+        let got: Vec<_> = a.iter().map(|(_, v)| *v).collect();
+        assert_eq!(got, vec![0, 10, 30, 40]);
+        for (_, v) in a.iter_mut() {
+            *v += 1;
+        }
+        assert_eq!(a[ids[0]], 1);
+        assert_eq!(a.ids().len(), 4);
+    }
+
+    #[test]
+    fn get2_mut_disjoint() {
+        let mut a = Arena::new();
+        let x = a.insert(vec![1.0; 4]);
+        let y = a.insert(vec![2.0; 4]);
+        let (px, py) = a.get2_mut(x, y);
+        let (px, py) = (px.unwrap(), py.unwrap());
+        px[0] = 9.0;
+        py[0] = 8.0;
+        assert_eq!(a[x][0], 9.0);
+        assert_eq!(a[y][0], 8.0);
+        // order-independence
+        let (py2, px2) = a.get2_mut(y, x);
+        assert_eq!(py2.unwrap()[0], 8.0);
+        assert_eq!(px2.unwrap()[0], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct slots")]
+    fn get2_mut_alias_panics() {
+        let mut a = Arena::new();
+        let x = a.insert(0);
+        let _ = a.get2_mut(x, x);
+    }
+
+    #[test]
+    fn dangling_never_resolves() {
+        let mut a = Arena::new();
+        for i in 0..10 {
+            a.insert(i);
+        }
+        assert!(a.get(BlockId::DANGLING).is_none());
+    }
+}

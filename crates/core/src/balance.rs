@@ -1,0 +1,443 @@
+//! Flag-driven adaptation with refinement cascading.
+//!
+//! Users mark leaves for refinement or coarsening (from any criterion);
+//! [`adapt`] turns an arbitrary flag set into a legal sequence of
+//! [`BlockGrid::refine`]/[`BlockGrid::coarsen`] calls:
+//!
+//! 1. **Cascade** — a refinement next to a much coarser block forces that
+//!    block to refine too, possibly propagating across the grid (paper:
+//!    "Refinement can potentially cascade across the grid"). The cascade
+//!    closes the flag set under the `max_level_jump` constraint.
+//! 2. **Coarsen vetting** — a sibling group coarsens only if all `2^D`
+//!    siblings are flagged leaves, none is also being refined, and the
+//!    resulting parent would not violate the jump constraint against the
+//!    *post-refinement* levels of its neighbors.
+//! 3. **Execution order** — refinements run coarsest-first (so cascaded
+//!    parents split before their finer neighbors), then coarsenings.
+//!
+//! The function reports what it did in an [`AdaptReport`], which the
+//! cascade ablation (ABL-4) uses to measure how far flags propagate.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::arena::BlockId;
+use crate::grid::{BlockGrid, FaceConn, Transfer};
+use crate::index::Face;
+use crate::key::BlockKey;
+
+/// Per-leaf adaptation request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Flag {
+    /// Leave the block alone.
+    #[default]
+    Keep,
+    /// Split into `2^D` children.
+    Refine,
+    /// Merge with siblings into the parent (requires the whole group).
+    Coarsen,
+}
+
+/// What one [`adapt`] call did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AdaptReport {
+    /// Blocks refined because the caller asked.
+    pub refined_requested: usize,
+    /// Blocks refined only to preserve the jump constraint (cascade).
+    pub refined_cascade: usize,
+    /// Sibling groups coarsened.
+    pub coarsened_groups: usize,
+    /// Coarsen flags dropped (incomplete group, conflict, or jump).
+    pub coarsen_vetoed: usize,
+    /// Number of cascade sweeps until the flag set closed.
+    pub cascade_rounds: usize,
+}
+
+impl AdaptReport {
+    /// Total refinements performed.
+    pub fn refined_total(&self) -> usize {
+        self.refined_requested + self.refined_cascade
+    }
+
+    /// True if the grid changed.
+    pub fn changed(&self) -> bool {
+        self.refined_total() > 0 || self.coarsened_groups > 0
+    }
+}
+
+/// Close a refine set under the jump constraint without touching the grid.
+/// Returns keys→(requested?) for everything that must refine. Exposed for
+/// the ABL-4 cascade experiment.
+pub fn cascade_closure<const D: usize>(
+    grid: &BlockGrid<D>,
+    refine: &HashSet<BlockId>,
+) -> (HashMap<BlockKey<D>, bool>, usize) {
+    let k = grid.params().max_level_jump as i32;
+    // work on keys with their post-adapt level
+    let mut flagged: HashMap<BlockKey<D>, bool> = HashMap::new();
+    let mut work: Vec<BlockId> = Vec::new();
+    for &id in refine {
+        if grid.contains(id) && grid.can_refine_level(id) {
+            flagged.insert(grid.block(id).key(), true);
+            work.push(id);
+        }
+    }
+    let mut rounds = 0;
+    let mut frontier = work;
+    while !frontier.is_empty() {
+        rounds += 1;
+        let mut next = Vec::new();
+        for id in frontier.drain(..) {
+            let node = grid.block(id);
+            let new_level = node.key().level as i32 + 1;
+            for f in Face::all::<D>() {
+                if let FaceConn::Blocks(v) = node.face(f) {
+                    for &n in v {
+                        let nk = grid.block(n).key();
+                        let n_new = nk.level as i32
+                            + if flagged.contains_key(&nk) { 1 } else { 0 };
+                        if new_level - n_new > k
+                            && !flagged.contains_key(&nk)
+                            && grid.can_refine_level(n)
+                        {
+                            flagged.insert(nk, false);
+                            next.push(n);
+                        }
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    (flagged, rounds)
+}
+
+/// Apply a flag map to the grid. `flags` may be sparse; unlisted leaves are
+/// [`Flag::Keep`]. Returns what happened.
+pub fn adapt<const D: usize>(
+    grid: &mut BlockGrid<D>,
+    flags: &HashMap<BlockId, Flag>,
+    transfer: Transfer,
+) -> AdaptReport {
+    let mut report = AdaptReport::default();
+
+    let refine_set: HashSet<BlockId> = flags
+        .iter()
+        .filter(|(_, f)| **f == Flag::Refine)
+        .map(|(id, _)| *id)
+        .collect();
+    let (to_refine, rounds) = cascade_closure(grid, &refine_set);
+    report.cascade_rounds = rounds;
+
+    // --- vet coarsen groups against post-refinement levels -------------
+    let k = grid.params().max_level_jump as i32;
+    let coarsen_ids: HashSet<BlockId> = flags
+        .iter()
+        .filter(|(_, f)| **f == Flag::Coarsen)
+        .map(|(id, _)| *id)
+        .filter(|id| grid.contains(*id))
+        .collect();
+    let mut groups: HashMap<BlockKey<D>, Vec<BlockId>> = HashMap::new();
+    for &id in &coarsen_ids {
+        if let Some(p) = grid.block(id).key().parent() {
+            groups.entry(p).or_default().push(id);
+        } else {
+            report.coarsen_vetoed += 1; // level-0 block cannot coarsen
+        }
+    }
+    let mut approved_groups: Vec<BlockKey<D>> = Vec::new();
+    'group: for (pkey, members) in &groups {
+        if members.len() != (1 << D) {
+            report.coarsen_vetoed += members.len();
+            continue;
+        }
+        for &id in members {
+            let key = grid.block(id).key();
+            if to_refine.contains_key(&key) {
+                report.coarsen_vetoed += members.len();
+                continue 'group; // refine wins over coarsen
+            }
+            // jump check against post-refinement neighbor levels
+            for f in Face::all::<D>() {
+                if let FaceConn::Blocks(v) = grid.block(id).face(f) {
+                    for &n in v {
+                        let nk = grid.block(n).key();
+                        let n_new = nk.level as i32
+                            + if to_refine.contains_key(&nk) { 1 } else { 0 };
+                        if n_new - (pkey.level as i32) > k {
+                            report.coarsen_vetoed += members.len();
+                            continue 'group;
+                        }
+                    }
+                }
+            }
+        }
+        approved_groups.push(*pkey);
+    }
+
+    // --- execute refinements coarsest-first ----------------------------
+    let mut refine_keys: Vec<(BlockKey<D>, bool)> =
+        to_refine.iter().map(|(k, r)| (*k, *r)).collect();
+    refine_keys.sort_by_key(|(k, _)| (k.level, k.coords));
+    for (key, requested) in refine_keys {
+        // ids may have changed as earlier refinements ran; go through keys
+        let id = grid
+            .find(key)
+            .expect("flagged block vanished during adapt");
+        grid.refine(id, transfer);
+        if requested {
+            report.refined_requested += 1;
+        } else {
+            report.refined_cascade += 1;
+        }
+    }
+
+    // --- execute coarsenings (finest-first for safety) -----------------
+    approved_groups.sort_by_key(|k| std::cmp::Reverse((k.level, k.coords)));
+    for pkey in approved_groups {
+        // a cascade refinement may have invalidated the group after vetting
+        if grid.can_coarsen(pkey) {
+            grid.coarsen(pkey, transfer);
+            report.coarsened_groups += 1;
+        } else {
+            report.coarsen_vetoed += 1 << D;
+        }
+    }
+    report
+}
+
+/// Refine every leaf whose region intersects the ball around `center` with
+/// radius `r`, repeatedly, until such leaves reach `target_level`. A common
+/// way to set up feature-tracking test grids; cascades as needed.
+pub fn refine_ball_to_level<const D: usize>(
+    grid: &mut BlockGrid<D>,
+    center: [f64; D],
+    r: f64,
+    target_level: u8,
+    transfer: Transfer,
+) {
+    loop {
+        let mut flags: HashMap<BlockId, Flag> = HashMap::new();
+        for (id, node) in grid.blocks() {
+            let key = node.key();
+            if key.level >= target_level {
+                continue;
+            }
+            let m = grid.params().block_dims;
+            let o = grid.layout().block_origin(key, m);
+            let h = grid.layout().cell_size(key.level, m);
+            // closest point of the block's box to the center
+            let mut d2 = 0.0;
+            for dim in 0..D {
+                let lo = o[dim];
+                let hi = o[dim] + h[dim] * m[dim] as f64;
+                let c = center[dim].clamp(lo, hi);
+                d2 += (center[dim] - c) * (center[dim] - c);
+            }
+            if d2 <= r * r {
+                flags.insert(id, Flag::Refine);
+            }
+        }
+        if flags.is_empty() {
+            break;
+        }
+        let rep = adapt(grid, &flags, transfer);
+        if !rep.changed() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridParams;
+    use crate::layout::{Boundary, RootLayout};
+    use crate::verify;
+
+    fn grid(roots: [i64; 2], max_level: u8) -> BlockGrid<2> {
+        BlockGrid::new(
+            RootLayout::unit(roots, Boundary::Outflow),
+            GridParams::new([4, 4], 2, 1, max_level),
+        )
+    }
+
+    fn flag_all(ids: &[BlockId], f: Flag) -> HashMap<BlockId, Flag> {
+        ids.iter().map(|&i| (i, f)).collect()
+    }
+
+    #[test]
+    fn simple_refine_flags() {
+        let mut g = grid([2, 2], 4);
+        let id = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        let rep = adapt(&mut g, &flag_all(&[id], Flag::Refine), Transfer::None);
+        assert_eq!(rep.refined_requested, 1);
+        assert_eq!(rep.refined_cascade, 0);
+        assert_eq!(g.num_blocks(), 7);
+        verify::check_grid(&g).unwrap();
+    }
+
+    #[test]
+    fn cascade_forces_coarse_neighbor() {
+        // Refine a corner to level 2 directly: its coarse neighbors must
+        // cascade to level 1 (paper's Fig. 2 discussion).
+        let mut g = grid([2, 2], 4);
+        let id = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        adapt(&mut g, &flag_all(&[id], Flag::Refine), Transfer::None);
+        // refine the innermost child (1,1) at level 1 -> forces nothing yet
+        let c = g.find(BlockKey::new(1, [1, 1])).unwrap();
+        let rep = adapt(&mut g, &flag_all(&[c], Flag::Refine), Transfer::None);
+        // (1,1)L1 neighbors: x+: root (1,0)L0, y+: root (0,1)L0 -> cascade
+        assert_eq!(rep.refined_requested, 1);
+        assert_eq!(rep.refined_cascade, 2);
+        verify::check_grid(&g).unwrap();
+        // all face jumps within 1
+        for id in g.block_ids() {
+            for f in Face::all::<2>() {
+                assert!(g.face_level_jump(id, f).abs() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_across_grid() {
+        // A long domain: refining the leftmost block repeatedly ripples
+        // right (the paper: "Refinement can potentially cascade").
+        let mut g = BlockGrid::<2>::new(
+            RootLayout::unit([6, 1], Boundary::Outflow),
+            GridParams::new([4, 4], 2, 1, 6),
+        );
+        // take the left column to level 3 step by step
+        for target in 1..=3u8 {
+            let ids: Vec<BlockId> = g
+                .blocks()
+                .filter(|(_, n)| {
+                    n.key().level == target - 1 && n.key().coords[0] == 0
+                })
+                .map(|(id, _)| id)
+                .collect();
+            adapt(&mut g, &flag_all(&ids, Flag::Refine), Transfer::None);
+        }
+        verify::check_grid(&g).unwrap();
+        let hist = g.level_histogram();
+        assert!(hist.len() >= 4);
+        // levels must step down moving right; at least one level-1 and one
+        // level-2 block must have been created by cascade
+        assert!(hist[1] > 0 && hist[2] > 0 && hist[3] > 0);
+    }
+
+    #[test]
+    fn coarsen_complete_group() {
+        let mut g = grid([2, 2], 4);
+        let id = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        adapt(&mut g, &flag_all(&[id], Flag::Refine), Transfer::None);
+        let kids: Vec<BlockId> = g
+            .blocks()
+            .filter(|(_, n)| n.key().level == 1)
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(kids.len(), 4);
+        let rep = adapt(&mut g, &flag_all(&kids, Flag::Coarsen), Transfer::None);
+        assert_eq!(rep.coarsened_groups, 1);
+        assert_eq!(g.num_blocks(), 4);
+        verify::check_grid(&g).unwrap();
+    }
+
+    #[test]
+    fn incomplete_group_vetoed() {
+        let mut g = grid([2, 2], 4);
+        let id = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        adapt(&mut g, &flag_all(&[id], Flag::Refine), Transfer::None);
+        let one = g.find(BlockKey::new(1, [0, 0])).unwrap();
+        let rep = adapt(&mut g, &flag_all(&[one], Flag::Coarsen), Transfer::None);
+        assert_eq!(rep.coarsened_groups, 0);
+        assert_eq!(rep.coarsen_vetoed, 1);
+        assert_eq!(g.num_blocks(), 7);
+    }
+
+    #[test]
+    fn refine_wins_over_coarsen() {
+        let mut g = grid([2, 2], 4);
+        let id = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        adapt(&mut g, &flag_all(&[id], Flag::Refine), Transfer::None);
+        let kids: Vec<BlockId> = g
+            .blocks()
+            .filter(|(_, n)| n.key().level == 1)
+            .map(|(id, _)| id)
+            .collect();
+        let mut flags = flag_all(&kids, Flag::Coarsen);
+        flags.insert(kids[0], Flag::Refine);
+        let rep = adapt(&mut g, &flags, Transfer::None);
+        assert_eq!(rep.coarsened_groups, 0);
+        assert_eq!(rep.refined_requested, 1);
+        verify::check_grid(&g).unwrap();
+    }
+
+    #[test]
+    fn coarsen_vetoed_by_post_refine_jump() {
+        let mut g = grid([2, 1], 4);
+        let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        let b = g.find(BlockKey::new(0, [1, 0])).unwrap();
+        adapt(&mut g, &flag_all(&[a], Flag::Refine), Transfer::None);
+        adapt(&mut g, &flag_all(&[b], Flag::Refine), Transfer::None);
+        // coarsen a's children while refining b's children next to them
+        let a_kids: Vec<BlockId> = g
+            .blocks()
+            .filter(|(_, n)| n.key().level == 1 && n.key().coords[0] < 2)
+            .map(|(id, _)| id)
+            .collect();
+        let b_edge = g.find(BlockKey::new(1, [2, 0])).unwrap();
+        let mut flags = flag_all(&a_kids, Flag::Coarsen);
+        flags.insert(b_edge, Flag::Refine);
+        let rep = adapt(&mut g, &flags, Transfer::None);
+        assert_eq!(rep.coarsened_groups, 0, "L2 neighbor blocks coarsening to L0");
+        assert!(rep.coarsen_vetoed >= 4);
+        verify::check_grid(&g).unwrap();
+    }
+
+    #[test]
+    fn refine_ball_makes_graded_grid() {
+        let mut g = BlockGrid::<2>::new(
+            RootLayout::unit([2, 2], Boundary::Outflow),
+            GridParams::new([4, 4], 2, 1, 4),
+        );
+        refine_ball_to_level(&mut g, [0.5, 0.5], 0.1, 3, Transfer::None);
+        verify::check_grid(&g).unwrap();
+        assert_eq!(g.max_level_present(), 3);
+        for id in g.block_ids() {
+            for f in Face::all::<2>() {
+                assert!(g.face_level_jump(id, f).abs() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn k2_cascades_less() {
+        // Refining the children that touch still-coarse territory forces a
+        // cascade under k = 1 but not under k = 2 (paper's
+        // loosened-constraint generalization).
+        let mk = |k: u8| {
+            let mut g = BlockGrid::<2>::new(
+                RootLayout::unit([4, 1], Boundary::Outflow),
+                GridParams::new([8, 8], 2, 1, 6).with_max_jump(k),
+            );
+            for key in [
+                BlockKey::new(0, [0, 0]),
+                BlockKey::new(1, [1, 0]), // touches root (1,0) at L0
+                BlockKey::new(1, [1, 1]),
+            ] {
+                let id = g.find(key).unwrap();
+                adapt(
+                    &mut g,
+                    &[(id, Flag::Refine)].into_iter().collect(),
+                    Transfer::None,
+                );
+            }
+            verify::check_grid(&g).unwrap();
+            g.num_blocks()
+        };
+        let n1 = mk(1);
+        let n2 = mk(2);
+        assert_eq!(n1, 16, "k=1 cascades into root (1,0)");
+        assert_eq!(n2, 13, "k=2 needs no cascade");
+    }
+}

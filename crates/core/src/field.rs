@@ -1,0 +1,390 @@
+//! Per-block field storage.
+//!
+//! This is where the paper's performance argument lives: every block stores
+//! its `m1 × … × md` cells (plus ghost layers) in **one flat, contiguous
+//! allocation**, so solver kernels run tight loops over regular arrays —
+//! loop optimization and cache reuse that per-cell tree nodes cannot offer.
+//!
+//! Layout (units of `f64`): variables are innermost (`idx = lin * nvar + v`),
+//! then x, then y, then z. Ghost cells sit at negative interior coordinates,
+//! i.e. interior cell `(0,…)` lives at allocated coordinate `(ng,…)`.
+//!
+//! The optional `pad` adds unused cells to the x-extent of the allocation
+//! without changing the logical shape — the array-padding remedy the paper
+//! applies to remove the 12³ cache peak in Fig. 5.
+
+use crate::index::{IBox, IVec};
+
+/// Shape of a block's field allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FieldShape<const D: usize> {
+    /// Interior cells per axis.
+    pub dims: IVec<D>,
+    /// Ghost layers on every face.
+    pub nghost: i64,
+    /// Variables per cell.
+    pub nvar: usize,
+    /// Unused padding cells appended to the x-extent of the allocation.
+    pub pad: i64,
+}
+
+impl<const D: usize> FieldShape<D> {
+    /// Shape without padding.
+    pub fn new(dims: IVec<D>, nghost: i64, nvar: usize) -> Self {
+        Self::padded(dims, nghost, nvar, 0)
+    }
+
+    /// Shape with explicit x-padding.
+    pub fn padded(dims: IVec<D>, nghost: i64, nvar: usize, pad: i64) -> Self {
+        assert!(dims.iter().all(|&m| m >= 1), "block dims must be >= 1");
+        assert!(nghost >= 0 && nvar >= 1 && pad >= 0);
+        // The paper's restriction operator needs even interior extents once
+        // blocks refine; enforce it only when ghosts are in play.
+        FieldShape { dims, nghost, nvar, pad }
+    }
+
+    /// Ghosted extent per axis (`dims + 2*nghost`).
+    #[inline]
+    pub fn ghosted(&self) -> IVec<D> {
+        let mut g = self.dims;
+        for x in g.iter_mut() {
+            *x += 2 * self.nghost;
+        }
+        g
+    }
+
+    /// Allocated extent per axis (ghosted + x padding).
+    #[inline]
+    pub fn allocated(&self) -> IVec<D> {
+        let mut a = self.ghosted();
+        a[0] += self.pad;
+        a
+    }
+
+    /// Interior cell box in interior coordinates: `[0, dims)`.
+    #[inline]
+    pub fn interior_box(&self) -> IBox<D> {
+        IBox::from_dims(self.dims)
+    }
+
+    /// Ghosted cell box in interior coordinates: `[-ng, dims + ng)`.
+    #[inline]
+    pub fn ghosted_box(&self) -> IBox<D> {
+        self.interior_box().grow(self.nghost)
+    }
+
+    /// Number of interior cells.
+    #[inline]
+    pub fn interior_cells(&self) -> usize {
+        self.dims.iter().product::<i64>() as usize
+    }
+
+    /// Number of allocated cells (ghosted + padding).
+    #[inline]
+    pub fn allocated_cells(&self) -> usize {
+        self.allocated().iter().product::<i64>() as usize
+    }
+
+    /// Number of ghost (non-interior, non-pad) cells.
+    #[inline]
+    pub fn ghost_cells(&self) -> usize {
+        self.ghosted().iter().product::<i64>() as usize - self.interior_cells()
+    }
+
+    /// Ghost-to-computational cell ratio — the paper's Table-B quantity.
+    pub fn ghost_ratio(&self) -> f64 {
+        self.ghost_cells() as f64 / self.interior_cells() as f64
+    }
+
+    /// Total `f64`s allocated.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.allocated_cells() * self.nvar
+    }
+
+    /// Cell strides in units of `f64`, per axis (variable stride is 1).
+    #[inline]
+    pub fn strides(&self) -> IVec<D> {
+        let a = self.allocated();
+        let mut s = [0; D];
+        let mut acc = self.nvar as i64;
+        for d in 0..D {
+            s[d] = acc;
+            acc *= a[d];
+        }
+        s
+    }
+
+    /// Linear offset (in `f64`s) of variable 0 of the cell at interior
+    /// coordinates `c` (ghosts at negative coordinates are valid).
+    #[inline]
+    pub fn lin(&self, c: IVec<D>) -> usize {
+        let s = self.strides();
+        let mut idx = 0i64;
+        for d in 0..D {
+            let a = c[d] + self.nghost;
+            debug_assert!(
+                a >= 0 && a < self.allocated()[d],
+                "cell index {c:?} out of allocated range (dims {:?}, ng {})",
+                self.dims,
+                self.nghost
+            );
+            idx += a * s[d];
+        }
+        idx as usize
+    }
+}
+
+/// A block's field data: shape plus the flat allocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FieldBlock<const D: usize> {
+    shape: FieldShape<D>,
+    data: Vec<f64>,
+}
+
+impl<const D: usize> FieldBlock<D> {
+    /// Zero-filled block of the given shape.
+    pub fn zeros(shape: FieldShape<D>) -> Self {
+        FieldBlock { shape, data: vec![0.0; shape.len()] }
+    }
+
+    /// Block filled with `v` in every variable of every allocated cell.
+    pub fn filled(shape: FieldShape<D>, v: f64) -> Self {
+        FieldBlock { shape, data: vec![v; shape.len()] }
+    }
+
+    /// Shape descriptor.
+    #[inline]
+    pub fn shape(&self) -> &FieldShape<D> {
+        &self.shape
+    }
+
+    /// Raw storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// One variable of one cell.
+    #[inline]
+    pub fn at(&self, c: IVec<D>, v: usize) -> f64 {
+        debug_assert!(v < self.shape.nvar);
+        self.data[self.shape.lin(c) + v]
+    }
+
+    /// Mutable access to one variable of one cell.
+    #[inline]
+    pub fn at_mut(&mut self, c: IVec<D>, v: usize) -> &mut f64 {
+        debug_assert!(v < self.shape.nvar);
+        let i = self.shape.lin(c) + v;
+        &mut self.data[i]
+    }
+
+    /// The full state vector of one cell.
+    #[inline]
+    pub fn cell(&self, c: IVec<D>) -> &[f64] {
+        let i = self.shape.lin(c);
+        &self.data[i..i + self.shape.nvar]
+    }
+
+    /// Mutable state vector of one cell.
+    #[inline]
+    pub fn cell_mut(&mut self, c: IVec<D>) -> &mut [f64] {
+        let i = self.shape.lin(c);
+        let n = self.shape.nvar;
+        &mut self.data[i..i + n]
+    }
+
+    /// Set the full state vector of one cell.
+    #[inline]
+    pub fn set_cell(&mut self, c: IVec<D>, u: &[f64]) {
+        self.cell_mut(c).copy_from_slice(u);
+    }
+
+    /// Apply `f(coords, state)` to every interior cell.
+    pub fn for_each_interior(&mut self, mut f: impl FnMut(IVec<D>, &mut [f64])) {
+        let bx = self.shape.interior_box();
+        for c in bx.iter() {
+            f(c, self.cell_mut(c));
+        }
+    }
+
+    /// Apply `f(coords, state)` to every ghosted cell.
+    pub fn for_each_ghosted(&mut self, mut f: impl FnMut(IVec<D>, &mut [f64])) {
+        let bx = self.shape.ghosted_box();
+        for c in bx.iter() {
+            f(c, self.cell_mut(c));
+        }
+    }
+
+    /// Copy `region` (in this block's interior coordinates) out of `src`,
+    /// where the same cells live at `region.shift(shift)` in `src`'s
+    /// interior coordinates. Both blocks must have equal `nvar`.
+    ///
+    /// This is the same-level ghost-exchange primitive: `region` is a ghost
+    /// slab of `self`; shifted by ± the block extent it lands in `src`'s
+    /// interior.
+    pub fn copy_region_from(&mut self, region: IBox<D>, src: &FieldBlock<D>, shift: IVec<D>) {
+        assert_eq!(self.shape.nvar, src.shape.nvar, "nvar mismatch in copy");
+        let nvar = self.shape.nvar;
+        if region.is_empty() {
+            return;
+        }
+        // Copy row-by-row along x for contiguity.
+        let mut row = region;
+        row.hi[0] = row.lo[0] + 1;
+        let row_len = (region.hi[0] - region.lo[0]) as usize * nvar;
+        for c in row.iter() {
+            let mut sc = c;
+            for d in 0..D {
+                sc[d] += shift[d];
+            }
+            let di = self.shape.lin(c);
+            let si = src.shape.lin(sc);
+            self.data[di..di + row_len].copy_from_slice(&src.data[si..si + row_len]);
+        }
+    }
+
+    /// Sum of one variable over the interior (used by conservation checks).
+    pub fn interior_sum(&self, v: usize) -> f64 {
+        let mut s = 0.0;
+        for c in self.shape.interior_box().iter() {
+            s += self.at(c, v);
+        }
+        s
+    }
+
+    /// Max-norm of one variable over the interior.
+    pub fn interior_max_abs(&self, v: usize) -> f64 {
+        let mut m: f64 = 0.0;
+        for c in self.shape.interior_box().iter() {
+            m = m.max(self.at(c, v).abs());
+        }
+        m
+    }
+
+    /// Fill every allocated value with `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::Face;
+
+    #[test]
+    fn shape_extents() {
+        let s = FieldShape::<3>::new([4, 6, 8], 2, 5);
+        assert_eq!(s.ghosted(), [8, 10, 12]);
+        assert_eq!(s.allocated(), [8, 10, 12]);
+        assert_eq!(s.interior_cells(), 192);
+        assert_eq!(s.allocated_cells(), 960);
+        assert_eq!(s.ghost_cells(), 960 - 192);
+        assert_eq!(s.len(), 960 * 5);
+    }
+
+    #[test]
+    fn padding_changes_allocation_not_logic() {
+        let p = FieldShape::<2>::padded([4, 4], 1, 2, 3);
+        assert_eq!(p.ghosted(), [6, 6]);
+        assert_eq!(p.allocated(), [9, 6]);
+        let s0 = FieldShape::<2>::new([4, 4], 1, 2);
+        assert_eq!(p.interior_box(), s0.interior_box());
+        // strides differ: y stride skips the pad
+        assert_eq!(p.strides(), [2, 18]);
+        assert_eq!(s0.strides(), [2, 12]);
+    }
+
+    #[test]
+    fn ghost_ratio_shrinks_with_block_size() {
+        // TAB-B property: bigger blocks amortize ghosts better.
+        let small = FieldShape::<3>::new([2, 2, 2], 2, 1).ghost_ratio();
+        let big = FieldShape::<3>::new([16, 16, 16], 2, 1).ghost_ratio();
+        assert!(small > 25.0, "2^3 with 2 ghosts: (6^3-8)/8 = 26");
+        assert!(big < 1.0);
+        assert!(small > big);
+    }
+
+    #[test]
+    fn lin_is_bijective_over_ghosted_box() {
+        let s = FieldShape::<2>::padded([3, 4], 1, 2, 2);
+        let mut seen = std::collections::HashSet::new();
+        for c in s.ghosted_box().iter() {
+            assert!(seen.insert(s.lin(c)), "lin must be injective");
+        }
+        assert_eq!(seen.len(), s.ghosted().iter().product::<i64>() as usize);
+    }
+
+    #[test]
+    fn cell_access() {
+        let s = FieldShape::<2>::new([3, 3], 1, 2);
+        let mut f = FieldBlock::zeros(s);
+        *f.at_mut([1, 2], 0) = 5.0;
+        *f.at_mut([1, 2], 1) = 7.0;
+        assert_eq!(f.at([1, 2], 0), 5.0);
+        assert_eq!(f.cell([1, 2]), &[5.0, 7.0]);
+        f.set_cell([-1, -1], &[1.0, 2.0]);
+        assert_eq!(f.at([-1, -1], 1), 2.0);
+    }
+
+    #[test]
+    fn for_each_interior_touches_all() {
+        let s = FieldShape::<3>::new([2, 3, 2], 1, 1);
+        let mut f = FieldBlock::zeros(s);
+        let mut n = 0;
+        f.for_each_interior(|_, u| {
+            u[0] = 1.0;
+            n += 1;
+        });
+        assert_eq!(n, 12);
+        assert_eq!(f.interior_sum(0), 12.0);
+        // ghosts untouched
+        assert_eq!(f.at([-1, 0, 0], 0), 0.0);
+    }
+
+    #[test]
+    fn copy_region_same_level() {
+        // Two 4x4 blocks side by side along x; fill right block's interior
+        // x-low ghost slab from left block's x-high interior slab.
+        let s = FieldShape::<2>::new([4, 4], 2, 1);
+        let mut left = FieldBlock::zeros(s);
+        left.for_each_interior(|c, u| u[0] = (c[0] * 10 + c[1]) as f64);
+        let mut right = FieldBlock::zeros(s);
+        let ghost_slab = s.interior_box().outer_face_slab(Face::new(0, false), 2);
+        // right ghost cell (-1, j) == left interior (3, j): shift = +4 in x
+        right.copy_region_from(ghost_slab, &left, [4, 0]);
+        assert_eq!(right.at([-1, 0], 0), 30.0);
+        assert_eq!(right.at([-2, 3], 0), 23.0);
+        // interior untouched
+        assert_eq!(right.at([0, 0], 0), 0.0);
+    }
+
+    #[test]
+    fn copy_region_with_padding_source() {
+        let sp = FieldShape::<1>::padded([4], 1, 1, 5);
+        let sn = FieldShape::<1>::new([4], 1, 1);
+        let mut a = FieldBlock::zeros(sp);
+        a.for_each_interior(|c, u| u[0] = c[0] as f64 + 1.0);
+        let mut b = FieldBlock::zeros(sn);
+        let slab = sn.interior_box().outer_face_slab(Face::new(0, false), 1);
+        b.copy_region_from(slab, &a, [4]);
+        assert_eq!(b.at([-1], 0), 4.0);
+    }
+
+    #[test]
+    fn sums_and_norms() {
+        let s = FieldShape::<1>::new([4], 1, 1);
+        let mut f = FieldBlock::zeros(s);
+        f.for_each_interior(|c, u| u[0] = -(c[0] as f64));
+        assert_eq!(f.interior_sum(0), -6.0);
+        assert_eq!(f.interior_max_abs(0), 3.0);
+    }
+}

@@ -1,0 +1,975 @@
+//! The adaptive block grid — the paper's data structure.
+//!
+//! A [`BlockGrid`] stores **only leaf blocks** (unlike a cell-based tree,
+//! where subdividing a cell keeps the parent around). Each leaf owns a
+//! regular array of cells with ghost layers ([`FieldBlock`]) and carries
+//! **explicit face-neighbor pointers** ([`FaceConn`]) to the leaves it abuts
+//! — the paper's key departure from quadtrees/octrees, where neighbors must
+//! be recovered by parent/child traversals.
+//!
+//! Refinement replaces a leaf by its `2^D` children; coarsening replaces a
+//! complete sibling group by its parent. Both operations update the
+//! neighbor pointers of the affected blocks (the block itself plus the
+//! blocks its faces pointed at); the rest of the grid is untouched, so
+//! adaptation cost is proportional to the region adapted, amortized over
+//! whole blocks of cells.
+//!
+//! The grid enforces the paper's refinement-jump constraint: adjacent
+//! blocks differ by at most `max_level_jump` levels (1 by default). Direct
+//! [`BlockGrid::refine`]/[`BlockGrid::coarsen`] calls panic if they would
+//! violate it; the `balance` module's [`crate::balance::adapt`] cascades
+//! refinement flags so arbitrary flag sets stay legal.
+
+use std::collections::HashMap;
+
+use crate::arena::{Arena, BlockId};
+use crate::field::{FieldBlock, FieldShape};
+use crate::index::{Face, IVec};
+use crate::key::BlockKey;
+use crate::layout::{Boundary, Resolved, RootLayout};
+use crate::ops::{prolong, restrict_avg, ProlongOrder};
+
+/// Static parameters of a block grid.
+#[derive(Clone, Copy, Debug)]
+pub struct GridParams<const D: usize> {
+    /// Cells per block along each axis (`m1 × … × md` in the paper).
+    pub block_dims: IVec<D>,
+    /// Ghost layers per face (1 for first-order operators, ≥ 2 for
+    /// high-resolution schemes — paper, *Adaptive Blocks*).
+    pub nghost: i64,
+    /// Variables stored per cell.
+    pub nvar: usize,
+    /// Maximum refinement level (root blocks are level 0).
+    pub max_level: u8,
+    /// Maximum refinement-level difference across a face (paper default 1).
+    pub max_level_jump: u8,
+    /// Unused x-padding cells in each block allocation (Fig. 5 remedy).
+    pub pad: i64,
+}
+
+impl<const D: usize> GridParams<D> {
+    /// Conventional parameters: given block dims, 2 ghost layers, 1 jump.
+    pub fn new(block_dims: IVec<D>, nghost: i64, nvar: usize, max_level: u8) -> Self {
+        GridParams { block_dims, nghost, nvar, max_level, max_level_jump: 1, pad: 0 }
+    }
+
+    /// Builder: change the allowed level jump (the paper's loosened
+    /// constraint generalization).
+    pub fn with_max_jump(mut self, k: u8) -> Self {
+        assert!(k >= 1);
+        self.max_level_jump = k;
+        self
+    }
+
+    /// Builder: pad block allocations along x.
+    pub fn with_pad(mut self, pad: i64) -> Self {
+        self.pad = pad;
+        self
+    }
+
+    /// Field shape of every block of this grid.
+    pub fn field_shape(&self) -> FieldShape<D> {
+        FieldShape::padded(self.block_dims, self.nghost, self.nvar, self.pad)
+    }
+
+    fn validate(&self) {
+        assert!(D >= 1 && D <= 3, "supported dimensions are 1, 2, 3");
+        for d in 0..D {
+            let m = self.block_dims[d];
+            assert!(m >= 1, "block dims must be >= 1");
+            // Same-level ghost copies read a slab of depth nghost from the
+            // neighbor's interior.
+            assert!(
+                m >= self.nghost,
+                "block extent {m} smaller than nghost={}",
+                self.nghost
+            );
+            if self.max_level > 0 {
+                // Restriction across a refinement face pulls a fine slab of
+                // depth nghost * 2^jump from the finer neighbor's interior.
+                let need = self.nghost << self.max_level_jump;
+                assert!(
+                    m >= need,
+                    "block extent {m} too small for nghost={} with jump {} (need >= {need})",
+                    self.nghost,
+                    self.max_level_jump
+                );
+                assert!(
+                    m % 2 == 0,
+                    "block dims must be even to refine/coarsen conservatively (got {m})"
+                );
+            }
+        }
+    }
+}
+
+/// Connectivity of one block face: the paper's explicit neighbor pointer(s).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaceConn {
+    /// The face lies on a physical domain boundary.
+    Boundary(Boundary),
+    /// Leaf blocks adjacent across this face, sorted by key for
+    /// determinism. One entry when the neighbor is the same level or
+    /// coarser; up to `2^(k(D-1))` entries when finer.
+    Blocks(Vec<BlockId>),
+}
+
+impl FaceConn {
+    /// Neighbor ids (empty for a boundary face).
+    pub fn ids(&self) -> &[BlockId] {
+        match self {
+            FaceConn::Boundary(_) => &[],
+            FaceConn::Blocks(v) => v,
+        }
+    }
+
+    /// True when the face is a physical boundary.
+    pub fn is_boundary(&self) -> bool {
+        matches!(self, FaceConn::Boundary(_))
+    }
+}
+
+/// One leaf block: key, neighbor pointers, field data.
+#[derive(Debug)]
+pub struct BlockNode<const D: usize> {
+    key: BlockKey<D>,
+    faces: Vec<FaceConn>, // indexed by Face::index(), length 2*D
+    field: FieldBlock<D>,
+}
+
+impl<const D: usize> BlockNode<D> {
+    /// Logical address of the block.
+    #[inline]
+    pub fn key(&self) -> BlockKey<D> {
+        self.key
+    }
+
+    /// Refinement level.
+    #[inline]
+    pub fn level(&self) -> u8 {
+        self.key.level
+    }
+
+    /// Connectivity of one face.
+    #[inline]
+    pub fn face(&self, f: Face) -> &FaceConn {
+        &self.faces[f.index()]
+    }
+
+    /// Field data.
+    #[inline]
+    pub fn field(&self) -> &FieldBlock<D> {
+        &self.field
+    }
+
+    /// Mutable field data.
+    #[inline]
+    pub fn field_mut(&mut self) -> &mut FieldBlock<D> {
+        &mut self.field
+    }
+}
+
+/// How field data moves when blocks refine or coarsen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transfer {
+    /// Leave new blocks zero-filled (structure-only experiments).
+    None,
+    /// Conservative transfer: restriction (average) on coarsen,
+    /// prolongation of the given order on refine.
+    Conservative(ProlongOrder),
+}
+
+/// The adaptive block grid.
+pub struct BlockGrid<const D: usize> {
+    layout: RootLayout<D>,
+    params: GridParams<D>,
+    arena: Arena<BlockNode<D>>,
+    by_key: HashMap<BlockKey<D>, BlockId>,
+}
+
+impl<const D: usize> BlockGrid<D> {
+    /// Build the initial grid: one leaf per root block, neighbor pointers
+    /// resolved, fields zeroed.
+    pub fn new(layout: RootLayout<D>, params: GridParams<D>) -> Self {
+        params.validate();
+        layout.validate();
+        let mut grid = BlockGrid {
+            layout,
+            params,
+            arena: Arena::with_capacity(64),
+            by_key: HashMap::new(),
+        };
+        let shape = params.field_shape();
+        let roots: Vec<BlockKey<D>> = grid.layout.root_keys().collect();
+        for key in &roots {
+            let node = BlockNode {
+                key: *key,
+                faces: vec![FaceConn::Blocks(Vec::new()); 2 * D],
+                field: FieldBlock::zeros(shape),
+            };
+            let id = grid.arena.insert(node);
+            grid.by_key.insert(*key, id);
+        }
+        let ids: Vec<BlockId> = grid.arena.ids();
+        for id in ids {
+            grid.recompute_faces(id);
+        }
+        grid
+    }
+
+    /// Root layout (domain geometry, boundaries).
+    #[inline]
+    pub fn layout(&self) -> &RootLayout<D> {
+        &self.layout
+    }
+
+    /// Static grid parameters.
+    #[inline]
+    pub fn params(&self) -> &GridParams<D> {
+        &self.params
+    }
+
+    /// Number of leaf blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Total number of computational (interior) cells.
+    pub fn num_cells(&self) -> usize {
+        self.num_blocks() * self.params.field_shape().interior_cells()
+    }
+
+    /// Ids of all leaves in arena order.
+    pub fn block_ids(&self) -> Vec<BlockId> {
+        self.arena.ids()
+    }
+
+    /// Iterate `(id, node)` over leaves.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &BlockNode<D>)> {
+        self.arena.iter()
+    }
+
+    /// Iterate `(id, node)` mutably over leaves.
+    pub fn blocks_mut(&mut self) -> impl Iterator<Item = (BlockId, &mut BlockNode<D>)> {
+        self.arena.iter_mut()
+    }
+
+    /// Shared access to a block.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &BlockNode<D> {
+        &self.arena[id]
+    }
+
+    /// Mutable access to a block.
+    #[inline]
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BlockNode<D> {
+        &mut self.arena[id]
+    }
+
+    /// Mutable access to two distinct blocks.
+    #[inline]
+    pub fn block2_mut(
+        &mut self,
+        a: BlockId,
+        b: BlockId,
+    ) -> (&mut BlockNode<D>, &mut BlockNode<D>) {
+        let (pa, pb) = self.arena.get2_mut(a, b);
+        (pa.expect("stale id"), pb.expect("stale id"))
+    }
+
+    /// True if `id` refers to a live leaf.
+    #[inline]
+    pub fn contains(&self, id: BlockId) -> bool {
+        self.arena.contains(id)
+    }
+
+    /// Look up a leaf by key.
+    #[inline]
+    pub fn find(&self, key: BlockKey<D>) -> Option<BlockId> {
+        self.by_key.get(&key).copied()
+    }
+
+    /// The leaf covering `key` (the key itself or an ancestor), if the
+    /// region `key` names is not subdivided below `key.level`.
+    pub fn find_covering(&self, key: BlockKey<D>) -> Option<(BlockId, BlockKey<D>)> {
+        let mut k = key;
+        loop {
+            if let Some(id) = self.find(k) {
+                return Some((id, k));
+            }
+            k = k.parent()?;
+        }
+    }
+
+    /// The leaf whose region contains physical point `x`, if `x` is in the
+    /// domain.
+    pub fn find_leaf_at(&self, x: [f64; D]) -> Option<BlockId> {
+        for d in 0..D {
+            let t = (x[d] - self.layout.origin[d]) / self.layout.size[d];
+            if !(0.0..1.0).contains(&t) {
+                return None;
+            }
+        }
+        // Descend from the containing root.
+        let mut key = {
+            let mut c = [0; D];
+            for d in 0..D {
+                let t = (x[d] - self.layout.origin[d]) / self.layout.size[d];
+                c[d] = ((t * self.layout.roots[d] as f64) as i64).min(self.layout.roots[d] - 1);
+            }
+            BlockKey::<D>::new(0, c)
+        };
+        loop {
+            if let Some(id) = self.find(key) {
+                return Some(id);
+            }
+            if key.level >= self.params.max_level {
+                return None;
+            }
+            // pick the child containing x
+            let mut ci = 0;
+            for d in 0..D {
+                let n = self.layout.blocks_at_level(d, key.level + 1) as f64;
+                let t = (x[d] - self.layout.origin[d]) / self.layout.size[d];
+                let fine = ((t * n) as i64).min(self.layout.blocks_at_level(d, key.level + 1) - 1);
+                if fine.rem_euclid(2) == 1 {
+                    ci |= 1 << d;
+                }
+            }
+            key = key.child(ci);
+        }
+    }
+
+    /// Highest refinement level present.
+    pub fn max_level_present(&self) -> u8 {
+        self.arena.iter().map(|(_, n)| n.key.level).max().unwrap_or(0)
+    }
+
+    /// Number of leaves on each level, indexed by level.
+    pub fn level_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.max_level_present() as usize + 1];
+        for (_, n) in self.arena.iter() {
+            h[n.key.level as usize] += 1;
+        }
+        h
+    }
+
+    // ------------------------------------------------------------------
+    // Connectivity
+    // ------------------------------------------------------------------
+
+    /// True if `id` is below the level cap (ignores the jump constraint —
+    /// the cascade in `balance::adapt` handles that).
+    pub fn can_refine_level(&self, id: BlockId) -> bool {
+        self.block(id).key().level < self.params.max_level
+    }
+
+    /// Compute the connectivity of one face of `key` from the key map.
+    /// Used when pointers must be (re)established after a structural change;
+    /// queries between changes use the stored pointers. Public so the
+    /// verification module can cross-check the maintained pointers.
+    pub fn compute_face_conn(&self, key: BlockKey<D>, f: Face) -> FaceConn {
+        let unwrapped = key.face_neighbor(f);
+        match self.layout.resolve(unwrapped) {
+            Resolved::Outside(_, bc) => FaceConn::Boundary(bc),
+            Resolved::InDomain(nk) => {
+                if let Some((id, _)) = self.find_covering(nk) {
+                    return FaceConn::Blocks(vec![id]);
+                }
+                // Subdivided: collect the finer leaves touching the shared
+                // face (the side of nk facing back toward `key`).
+                let mut out: Vec<(BlockKey<D>, BlockId)> = Vec::new();
+                self.collect_leaves_on_face(nk, f.opposite(), &mut out);
+                debug_assert!(!out.is_empty(), "no leaf covers neighbor key {nk:?}");
+                out.sort_by_key(|(k, _)| *k);
+                let mut ids: Vec<BlockId> = out.into_iter().map(|(_, id)| id).collect();
+                ids.dedup();
+                FaceConn::Blocks(ids)
+            }
+        }
+    }
+
+    /// Recursively collect leaves that descend from `key` and touch `face`.
+    fn collect_leaves_on_face(
+        &self,
+        key: BlockKey<D>,
+        face: Face,
+        out: &mut Vec<(BlockKey<D>, BlockId)>,
+    ) {
+        if let Some(id) = self.find(key) {
+            out.push((key, id));
+            return;
+        }
+        assert!(
+            key.level < self.params.max_level,
+            "grid is inconsistent: no leaf at or below {key:?}"
+        );
+        let d = face.dim as usize;
+        let side = face.high as i64;
+        for ci in 0..(1usize << D) {
+            if ((ci >> d) & 1) as i64 == side {
+                self.collect_leaves_on_face(key.child(ci), face, out);
+            }
+        }
+    }
+
+    /// Recompute all face pointers of one block from the key map.
+    fn recompute_faces(&mut self, id: BlockId) {
+        let key = self.arena[id].key;
+        for f in Face::all::<D>() {
+            let conn = self.compute_face_conn(key, f);
+            self.arena[id].faces[f.index()] = conn;
+        }
+    }
+
+    /// The leaves adjacent to `id` across an arbitrary lattice offset
+    /// `s ∈ {-1,0,1}^D` — the paper's extended-pointer generalization
+    /// ("pointers to blocks sharing lower dimensional faces such as edges
+    /// and corners"). Face offsets return the stored pointer list;
+    /// diagonal offsets are resolved from the key map (they change only at
+    /// adapt time, exactly when the ghost plan is rebuilt). Returns an
+    /// empty list for boundary/hole directions.
+    pub fn neighbors_at_offset(&self, id: BlockId, s: IVec<D>) -> Vec<BlockId> {
+        debug_assert!(s.iter().all(|&x| (-1..=1).contains(&x)));
+        let nonzero: Vec<usize> = (0..D).filter(|&d| s[d] != 0).collect();
+        match nonzero.len() {
+            0 => vec![id],
+            1 => {
+                let d = nonzero[0];
+                let f = Face::new(d, s[d] > 0);
+                self.block(id).face(f).ids().to_vec()
+            }
+            _ => {
+                let key = self.block(id).key();
+                let target = key.offset(s);
+                match self.layout.resolve(target) {
+                    Resolved::Outside(..) => Vec::new(),
+                    Resolved::InDomain(nk) => {
+                        if let Some((nid, _)) = self.find_covering(nk) {
+                            return vec![nid];
+                        }
+                        // subdivided: descend toward the corner facing back
+                        let mut out = Vec::new();
+                        self.collect_leaves_on_corner_side(nk, s, &mut out);
+                        out.sort_by_key(|&i| self.block(i).key());
+                        out.dedup();
+                        out
+                    }
+                }
+            }
+        }
+    }
+
+    fn collect_leaves_on_corner_side(&self, key: BlockKey<D>, s: IVec<D>, out: &mut Vec<BlockId>) {
+        if let Some(id) = self.find(key) {
+            out.push(id);
+            return;
+        }
+        for ci in 0..(1usize << D) {
+            let mut ok = true;
+            for d in 0..D {
+                if s[d] == 1 && (ci >> d) & 1 != 0 {
+                    ok = false;
+                }
+                if s[d] == -1 && (ci >> d) & 1 == 0 {
+                    ok = false;
+                }
+            }
+            if ok {
+                self.collect_leaves_on_corner_side(key.child(ci), s, out);
+            }
+        }
+    }
+
+    /// All distinct neighbor ids of a block (across every face).
+    pub fn neighbor_ids(&self, id: BlockId) -> Vec<BlockId> {
+        let node = &self.arena[id];
+        let mut out: Vec<BlockId> = node
+            .faces
+            .iter()
+            .flat_map(|c| c.ids().iter().copied())
+            .filter(|&n| n != id)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Level difference across face `f` of block `id`: negative when the
+    /// neighbor is coarser, positive when finer, 0 at same level or at a
+    /// boundary.
+    pub fn face_level_jump(&self, id: BlockId, f: Face) -> i32 {
+        let node = &self.arena[id];
+        match node.face(f) {
+            FaceConn::Boundary(_) => 0,
+            FaceConn::Blocks(v) => {
+                let l = node.key.level as i32;
+                v.iter()
+                    .map(|&n| self.arena[n].key.level as i32 - l)
+                    .max()
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Refinement / coarsening
+    // ------------------------------------------------------------------
+
+    /// True if refining `id` would keep every face jump within
+    /// `max_level_jump` and below `max_level`.
+    pub fn can_refine(&self, id: BlockId) -> bool {
+        let node = &self.arena[id];
+        if node.key.level >= self.params.max_level {
+            return false;
+        }
+        let k = self.params.max_level_jump as i32;
+        Face::all::<D>().all(|f| {
+            match node.face(f) {
+                FaceConn::Boundary(_) => true,
+                FaceConn::Blocks(v) => v.iter().all(|&n| {
+                    let nl = self.arena[n].key.level as i32;
+                    (node.key.level as i32 + 1) - nl <= k
+                }),
+            }
+        })
+    }
+
+    /// Refine one leaf into its `2^D` children. Returns the child ids in
+    /// child-index order. Panics if the refinement would break the level
+    /// jump constraint (use [`crate::balance::adapt`] for arbitrary flags)
+    /// or exceed `max_level`.
+    pub fn refine(&mut self, id: BlockId, transfer: Transfer) -> Vec<BlockId> {
+        assert!(
+            self.can_refine(id),
+            "refine would exceed max_level or break the {}-level jump constraint",
+            self.params.max_level_jump
+        );
+        let parent_key = self.arena[id].key;
+        let affected = self.neighbor_ids(id);
+
+        // Remove the parent; only leaves are stored (paper, Fig. 4 contrast).
+        let parent = self.arena.remove(id).expect("live id");
+        self.by_key.remove(&parent_key);
+
+        let shape = self.params.field_shape();
+        let m = self.params.block_dims;
+        let mut child_ids = Vec::with_capacity(1 << D);
+        for ci in 0..(1usize << D) {
+            let ckey = parent_key.child(ci);
+            let mut field = FieldBlock::zeros(shape);
+            if let Transfer::Conservative(order) = transfer {
+                // Child interior from parent interior: fine local cell c in
+                // child ci reads parent cell ((c + ci_bits * m) div 2).
+                let mut p = [0i64; D];
+                for d in 0..D {
+                    p[d] = ((ci >> d) & 1) as i64 * m[d];
+                }
+                prolong(
+                    &mut field,
+                    shape.interior_box(),
+                    parent.field(),
+                    p,
+                    [0; D],
+                    2,
+                    order,
+                    shape.interior_box(), // parent interior only; ghosts may be stale
+                );
+            }
+            let node = BlockNode {
+                key: ckey,
+                faces: vec![FaceConn::Blocks(Vec::new()); 2 * D],
+                field,
+            };
+            let cid = self.arena.insert(node);
+            self.by_key.insert(ckey, cid);
+            child_ids.push(cid);
+        }
+
+        for &cid in &child_ids {
+            self.recompute_faces(cid);
+        }
+        for nid in affected {
+            if self.arena.contains(nid) {
+                self.recompute_faces(nid);
+            }
+        }
+        child_ids
+    }
+
+    /// True if the sibling group under `parent_key` exists as leaves and can
+    /// be coarsened without breaking the jump constraint.
+    pub fn can_coarsen(&self, parent_key: BlockKey<D>) -> bool {
+        let k = self.params.max_level_jump as i32;
+        let child_level = parent_key.level as i32 + 1;
+        for ck in parent_key.children() {
+            let Some(id) = self.find(ck) else { return false };
+            // After coarsening, the parent sits at child_level - 1; any
+            // neighbor finer than child_level + (k-1) would then exceed k.
+            for f in Face::all::<D>() {
+                if let FaceConn::Blocks(v) = self.arena[id].face(f) {
+                    for &n in v {
+                        let nl = self.arena[n].key.level as i32;
+                        if nl - (child_level - 1) > k {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Coarsen a complete sibling group back into its parent. Returns the
+    /// new parent id. Panics if [`BlockGrid::can_coarsen`] is false.
+    pub fn coarsen(&mut self, parent_key: BlockKey<D>, transfer: Transfer) -> BlockId {
+        assert!(
+            self.can_coarsen(parent_key),
+            "coarsen of {parent_key:?}: sibling group missing or jump constraint would break"
+        );
+        let m = self.params.block_dims;
+        let shape = self.params.field_shape();
+
+        let mut affected: Vec<BlockId> = Vec::new();
+        let mut parent_field = FieldBlock::zeros(shape);
+        for (ci, ck) in parent_key.children().enumerate() {
+            let cid = self.find(ck).expect("checked by can_coarsen");
+            affected.extend(self.neighbor_ids(cid));
+            let child = self.arena.remove(cid).expect("live id");
+            self.by_key.remove(&ck);
+            if let Transfer::Conservative(_) = transfer {
+                // Parent quadrant ci: parent cell c reads fine cells with
+                // low corner 2c + q, q = -ci_bits * m.
+                let mut q = [0i64; D];
+                let mut qlo = [0i64; D];
+                let mut qhi = [0i64; D];
+                for d in 0..D {
+                    let bit = ((ci >> d) & 1) as i64;
+                    q[d] = -bit * m[d];
+                    qlo[d] = bit * m[d] / 2;
+                    qhi[d] = (bit + 1) * m[d] / 2;
+                }
+                restrict_avg(
+                    &mut parent_field,
+                    crate::index::IBox::new(qlo, qhi),
+                    child.field(),
+                    q,
+                    2,
+                );
+            }
+        }
+        let node = BlockNode {
+            key: parent_key,
+            faces: vec![FaceConn::Blocks(Vec::new()); 2 * D],
+            field: parent_field,
+        };
+        let pid = self.arena.insert(node);
+        self.by_key.insert(parent_key, pid);
+        self.recompute_faces(pid);
+        affected.sort();
+        affected.dedup();
+        for nid in affected {
+            if self.arena.contains(nid) {
+                self.recompute_faces(nid);
+            }
+        }
+        pid
+    }
+
+    /// Refine every leaf once (uniform refinement helper).
+    pub fn refine_all(&mut self, transfer: Transfer) {
+        for id in self.block_ids() {
+            self.refine(id, transfer);
+        }
+    }
+
+    /// Memory footprint of field storage in bytes (interior + ghosts + pad).
+    pub fn field_bytes(&self) -> usize {
+        self.num_blocks() * self.params.field_shape().len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid2(roots: [i64; 2], bc: Boundary) -> BlockGrid<2> {
+        BlockGrid::new(RootLayout::unit(roots, bc), GridParams::new([4, 4], 2, 1, 5))
+    }
+
+    #[test]
+    fn initial_grid_roots_and_conns() {
+        let g = grid2([2, 2], Boundary::Outflow);
+        assert_eq!(g.num_blocks(), 4);
+        assert_eq!(g.num_cells(), 64);
+        let id = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        // x- is boundary, x+ is block (1,0)
+        assert!(g.block(id).face(Face::new(0, false)).is_boundary());
+        let xp = g.block(id).face(Face::new(0, true)).ids();
+        assert_eq!(xp.len(), 1);
+        assert_eq!(g.block(xp[0]).key(), BlockKey::new(0, [1, 0]));
+    }
+
+    #[test]
+    fn periodic_conns_wrap() {
+        let g = grid2([2, 1], Boundary::Periodic);
+        let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        let b = g.find(BlockKey::new(0, [1, 0])).unwrap();
+        // x- of a wraps to b
+        assert_eq!(g.block(a).face(Face::new(0, false)).ids(), &[b]);
+        // y- of a wraps to a itself (single root along y)
+        assert_eq!(g.block(a).face(Face::new(1, false)).ids(), &[a]);
+    }
+
+    #[test]
+    fn refine_updates_pointers_both_sides() {
+        let mut g = grid2([2, 1], Boundary::Outflow);
+        let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        let b = g.find(BlockKey::new(0, [1, 0])).unwrap();
+        let kids = g.refine(a, Transfer::None);
+        assert_eq!(kids.len(), 4);
+        assert_eq!(g.num_blocks(), 5);
+        assert!(g.find(BlockKey::new(0, [0, 0])).is_none(), "parent is gone");
+        // b's x- face now points at the two right children of a
+        let conn = g.block(b).face(Face::new(0, false)).ids();
+        assert_eq!(conn.len(), 2);
+        let keys: Vec<_> = conn.iter().map(|&i| g.block(i).key()).collect();
+        assert!(keys.contains(&BlockKey::new(1, [1, 0])));
+        assert!(keys.contains(&BlockKey::new(1, [1, 1])));
+        // right children see b as their (coarser) x+ neighbor
+        let rc = g.find(BlockKey::new(1, [1, 0])).unwrap();
+        assert_eq!(g.block(rc).face(Face::new(0, true)).ids(), &[b]);
+        assert_eq!(g.face_level_jump(rc, Face::new(0, true)), -1);
+        assert_eq!(g.face_level_jump(b, Face::new(0, false)), 1);
+        // sibling pointers
+        let c00 = g.find(BlockKey::new(1, [0, 0])).unwrap();
+        let c10 = g.find(BlockKey::new(1, [1, 0])).unwrap();
+        assert_eq!(g.block(c00).face(Face::new(0, true)).ids(), &[c10]);
+    }
+
+    #[test]
+    fn jump_constraint_enforced() {
+        let mut g = grid2([2, 1], Boundary::Outflow);
+        let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        let kids = g.refine(a, Transfer::None);
+        // refining a right child again would put level 2 against level 0
+        let rc = kids
+            .iter()
+            .copied()
+            .find(|&i| g.block(i).key() == BlockKey::new(1, [1, 0]))
+            .unwrap();
+        assert!(!g.can_refine(rc));
+        // but a left child is fine after... no: left child (0,0) level 1 is
+        // adjacent to right children (level 1) and boundary: refinable only
+        // if its finer neighbors allow; its x+ neighbor is level 1, so
+        // refining makes jump 1 -> legal.
+        let lc = g.find(BlockKey::new(1, [0, 0])).unwrap();
+        assert!(g.can_refine(lc));
+    }
+
+    #[test]
+    #[should_panic(expected = "jump constraint")]
+    fn refine_panics_on_jump_violation() {
+        let mut g = grid2([2, 1], Boundary::Outflow);
+        let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        let kids = g.refine(a, Transfer::None);
+        let rc = kids
+            .iter()
+            .copied()
+            .find(|&i| g.block(i).key() == BlockKey::new(1, [1, 0]))
+            .unwrap();
+        g.refine(rc, Transfer::None);
+    }
+
+    #[test]
+    fn max_level_cap() {
+        let mut g = BlockGrid::new(
+            RootLayout::<2>::unit([1, 1], Boundary::Periodic),
+            GridParams::new([4, 4], 1, 1, 1),
+        );
+        let r = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        let kids = g.refine(r, Transfer::None);
+        assert!(!g.can_refine(kids[0]), "max_level reached");
+    }
+
+    #[test]
+    fn coarsen_restores_grid() {
+        let mut g = grid2([2, 2], Boundary::Outflow);
+        let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        g.refine(a, Transfer::None);
+        assert_eq!(g.num_blocks(), 7);
+        assert!(g.can_coarsen(BlockKey::new(0, [0, 0])));
+        let pid = g.coarsen(BlockKey::new(0, [0, 0]), Transfer::None);
+        assert_eq!(g.num_blocks(), 4);
+        assert_eq!(g.block(pid).key(), BlockKey::new(0, [0, 0]));
+        // pointers restored symmetric
+        let b = g.find(BlockKey::new(0, [1, 0])).unwrap();
+        assert_eq!(g.block(b).face(Face::new(0, false)).ids(), &[pid]);
+        assert_eq!(g.block(pid).face(Face::new(0, true)).ids(), &[b]);
+    }
+
+    #[test]
+    fn coarsen_blocked_by_finer_neighbor() {
+        let mut g = grid2([2, 1], Boundary::Outflow);
+        let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        let b = g.find(BlockKey::new(0, [1, 0])).unwrap();
+        g.refine(a, Transfer::None);
+        let bkids = g.refine(b, Transfer::None);
+        // refine one of b's children that touches a's children
+        let bl = bkids
+            .iter()
+            .copied()
+            .find(|&i| g.block(i).key() == BlockKey::new(1, [2, 0]))
+            .unwrap();
+        g.refine(bl, Transfer::None);
+        // coarsening a's group would put level 0 against level 2
+        assert!(!g.can_coarsen(BlockKey::new(0, [0, 0])));
+        // coarsening b's group impossible: children not all leaves
+        assert!(!g.can_coarsen(BlockKey::new(0, [1, 0])));
+    }
+
+    #[test]
+    fn refine_transfer_prolongs_field() {
+        let mut g = grid2([1, 1], Boundary::Periodic);
+        let r = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        g.block_mut(r).field_mut().for_each_interior(|c, u| {
+            u[0] = (c[0] + 10 * c[1]) as f64;
+        });
+        let sum0: f64 = g.block(r).field().interior_sum(0);
+        let kids = g.refine(r, Transfer::Conservative(ProlongOrder::Constant));
+        // conservation: children cells are 1/4 volume
+        let sum1: f64 = kids
+            .iter()
+            .map(|&k| g.block(k).field().interior_sum(0))
+            .sum::<f64>()
+            / 4.0;
+        assert!((sum0 - sum1).abs() < 1e-12);
+        // constant prolongation: child (0,0) cell (0,0) = parent cell (0,0)
+        let c00 = g.find(BlockKey::new(1, [0, 0])).unwrap();
+        assert_eq!(g.block(c00).field().at([0, 0], 0), 0.0);
+        assert_eq!(g.block(c00).field().at([2, 3], 0), 11.0);
+    }
+
+    #[test]
+    fn coarsen_transfer_restricts_field() {
+        let mut g = grid2([1, 1], Boundary::Periodic);
+        let r = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        g.block_mut(r).field_mut().for_each_interior(|c, u| {
+            u[0] = (c[0] + 10 * c[1]) as f64;
+        });
+        let before: f64 = g.block(r).field().interior_sum(0);
+        g.refine(r, Transfer::Conservative(ProlongOrder::LinearMinmod));
+        let pid = g.coarsen(BlockKey::new(0, [0, 0]), Transfer::Conservative(ProlongOrder::Constant));
+        let after = g.block(pid).field().interior_sum(0);
+        assert!(
+            (before - after).abs() < 1e-11,
+            "refine+coarsen round trip must conserve: {before} vs {after}"
+        );
+    }
+
+    #[test]
+    fn find_leaf_at_points() {
+        let mut g = grid2([2, 2], Boundary::Outflow);
+        let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        g.refine(a, Transfer::None);
+        let id = g.find_leaf_at([0.1, 0.1]).unwrap();
+        assert_eq!(g.block(id).key().level, 1);
+        let id2 = g.find_leaf_at([0.9, 0.9]).unwrap();
+        assert_eq!(g.block(id2).key(), BlockKey::new(0, [1, 1]));
+        assert!(g.find_leaf_at([1.5, 0.0]).is_none());
+    }
+
+    #[test]
+    fn find_covering() {
+        let mut g = grid2([2, 1], Boundary::Outflow);
+        let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        g.refine(a, Transfer::None);
+        let b = g.find(BlockKey::new(0, [1, 0])).unwrap();
+        // a level-2 key under block b is covered by b
+        let (id, k) = g.find_covering(BlockKey::new(2, [4, 1])).unwrap();
+        assert_eq!(id, b);
+        assert_eq!(k, BlockKey::new(0, [1, 0]));
+    }
+
+    #[test]
+    fn level_histogram_counts() {
+        let mut g = grid2([2, 1], Boundary::Outflow);
+        let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        g.refine(a, Transfer::None);
+        assert_eq!(g.level_histogram(), vec![1, 4]);
+        assert_eq!(g.max_level_present(), 1);
+    }
+
+    #[test]
+    fn three_dim_refine_pointer_counts() {
+        let mut g = BlockGrid::<3>::new(
+            RootLayout::unit([2, 1, 1], Boundary::Outflow),
+            GridParams::new([4, 4, 4], 2, 1, 3),
+        );
+        let a = g.find(BlockKey::new(0, [0, 0, 0])).unwrap();
+        let b = g.find(BlockKey::new(0, [1, 0, 0])).unwrap();
+        g.refine(a, Transfer::None);
+        // paper: at most 2^(d-1) = 4 blocks share a face with 2:1
+        let conn = g.block(b).face(Face::new(0, false)).ids();
+        assert_eq!(conn.len(), 4);
+        for &n in conn {
+            assert_eq!(g.block(n).key().level, 1);
+            assert_eq!(g.block(n).face(Face::new(0, true)).ids(), &[b]);
+        }
+    }
+
+    #[test]
+    fn k2_jump_allows_two_levels() {
+        let mut g = BlockGrid::<2>::new(
+            RootLayout::unit([2, 1], Boundary::Outflow),
+            GridParams::new([8, 8], 2, 1, 4).with_max_jump(2),
+        );
+        let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        let kids = g.refine(a, Transfer::None);
+        let rc = kids
+            .iter()
+            .copied()
+            .find(|&i| g.block(i).key() == BlockKey::new(1, [1, 0]))
+            .unwrap();
+        assert!(g.can_refine(rc), "k=2 permits a 2-level jump");
+        g.refine(rc, Transfer::None);
+        let b = g.find(BlockKey::new(0, [1, 0])).unwrap();
+        // b's x- face now has 1 level-1 block and 2 level-2 blocks
+        let conn = g.block(b).face(Face::new(0, false)).ids();
+        assert_eq!(conn.len(), 3);
+    }
+
+    #[test]
+    fn neighbors_at_offset_faces_and_corners() {
+        let mut g = grid2([2, 2], Boundary::Outflow);
+        let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        let b = g.find(BlockKey::new(0, [1, 0])).unwrap();
+        let c = g.find(BlockKey::new(0, [0, 1])).unwrap();
+        let d = g.find(BlockKey::new(0, [1, 1])).unwrap();
+        // face offsets delegate to the stored pointers
+        assert_eq!(g.neighbors_at_offset(a, [1, 0]), vec![b]);
+        assert_eq!(g.neighbors_at_offset(a, [0, 1]), vec![c]);
+        // diagonal
+        assert_eq!(g.neighbors_at_offset(a, [1, 1]), vec![d]);
+        // out of the domain
+        assert!(g.neighbors_at_offset(a, [-1, -1]).is_empty());
+        // zero offset is the block itself
+        assert_eq!(g.neighbors_at_offset(a, [0, 0]), vec![a]);
+        // refine d: a's diagonal now sees d's near corner child
+        g.refine(d, Transfer::None);
+        let diag = g.neighbors_at_offset(a, [1, 1]);
+        assert_eq!(diag.len(), 1);
+        assert_eq!(g.block(diag[0]).key(), BlockKey::new(1, [2, 2]));
+        // and d's corner child sees a (coarser) back
+        let back = g.neighbors_at_offset(diag[0], [-1, -1]);
+        assert_eq!(back, vec![a]);
+    }
+
+    #[test]
+    fn field_bytes_accounts_ghosts() {
+        let g = grid2([1, 1], Boundary::Periodic);
+        // (4+4)^2 cells * 1 var * 8 bytes
+        assert_eq!(g.field_bytes(), 64 * 8);
+    }
+}

@@ -1,0 +1,398 @@
+//! Low-level index arithmetic shared by every module.
+//!
+//! The crate is generic over the spatial dimension `D ∈ {1, 2, 3}` via const
+//! generics. An index vector is a plain `[i64; D]`; this module provides the
+//! handful of vector helpers the rest of the crate needs, plus [`Box2`]/
+//! [`IBox`], an axis-aligned integer box used to describe cell regions
+//! (interior slabs, ghost slabs, face overlaps).
+//!
+//! All boxes are **half-open**: `lo[i] <= x[i] < hi[i]`.
+
+/// Integer index vector in `D` dimensions.
+pub type IVec<const D: usize> = [i64; D];
+
+/// Number of faces of a `D`-dimensional block (`2 * D`).
+#[inline]
+pub const fn num_faces(d: usize) -> usize {
+    2 * d
+}
+
+/// Number of children created by one refinement (`2^D`).
+#[inline]
+pub const fn num_children(d: usize) -> usize {
+    1 << d
+}
+
+/// Maximum number of same-face finer neighbors under a `k`-level jump
+/// constraint: `2^(k (d-1))` (paper, Adaptive Blocks section).
+#[inline]
+pub const fn max_face_neighbors(d: usize, k: usize) -> usize {
+    1usize << (k * (d - 1))
+}
+
+/// Element-wise addition.
+#[inline]
+pub fn vadd<const D: usize>(a: IVec<D>, b: IVec<D>) -> IVec<D> {
+    let mut r = a;
+    for i in 0..D {
+        r[i] += b[i];
+    }
+    r
+}
+
+/// Element-wise subtraction.
+#[inline]
+pub fn vsub<const D: usize>(a: IVec<D>, b: IVec<D>) -> IVec<D> {
+    let mut r = a;
+    for i in 0..D {
+        r[i] -= b[i];
+    }
+    r
+}
+
+/// Scale every component by `s`.
+#[inline]
+pub fn vscale<const D: usize>(a: IVec<D>, s: i64) -> IVec<D> {
+    let mut r = a;
+    for x in r.iter_mut() {
+        *x *= s;
+    }
+    r
+}
+
+/// Product of all components (e.g. cell count of an extent).
+#[inline]
+pub fn vprod<const D: usize>(a: IVec<D>) -> i64 {
+    let mut p = 1;
+    for &x in a.iter() {
+        p *= x;
+    }
+    p
+}
+
+/// Unit vector along `dim` scaled by `s`.
+#[inline]
+pub fn unit<const D: usize>(dim: usize, s: i64) -> IVec<D> {
+    let mut r = [0; D];
+    r[dim] = s;
+    r
+}
+
+/// A face of a `D`-dimensional box, identified by axis and side.
+///
+/// Encoded as `2*dim + (side as usize)` so faces can index flat arrays.
+/// The *low* side of axis `d` faces toward `-d`, the *high* side toward `+d`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Face {
+    /// Axis (0 = x, 1 = y, 2 = z).
+    pub dim: u8,
+    /// `false` = low (−) side, `true` = high (+) side.
+    pub high: bool,
+}
+
+impl Face {
+    /// Construct from axis and side.
+    #[inline]
+    pub fn new(dim: usize, high: bool) -> Self {
+        Face { dim: dim as u8, high }
+    }
+
+    /// Flat index in `0 .. 2*D`, laid out `[x-, x+, y-, y+, z-, z+]`.
+    #[inline]
+    pub fn index(self) -> usize {
+        2 * self.dim as usize + self.high as usize
+    }
+
+    /// Inverse of [`Face::index`].
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Face { dim: (i / 2) as u8, high: i % 2 == 1 }
+    }
+
+    /// The face on the opposite side of the same axis.
+    #[inline]
+    pub fn opposite(self) -> Self {
+        Face { dim: self.dim, high: !self.high }
+    }
+
+    /// Outward normal direction: `-1` for a low face, `+1` for a high face.
+    #[inline]
+    pub fn sign(self) -> i64 {
+        if self.high {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Outward normal as an integer vector.
+    #[inline]
+    pub fn normal<const D: usize>(self) -> IVec<D> {
+        unit(self.dim as usize, self.sign())
+    }
+
+    /// All `2*D` faces in flat-index order.
+    pub fn all<const D: usize>() -> impl Iterator<Item = Face> {
+        (0..num_faces(D)).map(Face::from_index)
+    }
+}
+
+/// Half-open axis-aligned integer box: `lo[i] <= x[i] < hi[i]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct IBox<const D: usize> {
+    /// Inclusive lower corner.
+    pub lo: IVec<D>,
+    /// Exclusive upper corner.
+    pub hi: IVec<D>,
+}
+
+impl<const D: usize> IBox<D> {
+    /// Construct from corners. Does not require `lo <= hi`; such a box is
+    /// simply [empty](IBox::is_empty).
+    #[inline]
+    pub fn new(lo: IVec<D>, hi: IVec<D>) -> Self {
+        IBox { lo, hi }
+    }
+
+    /// The box `[0, dims)` in every dimension.
+    #[inline]
+    pub fn from_dims(dims: IVec<D>) -> Self {
+        IBox { lo: [0; D], hi: dims }
+    }
+
+    /// Extent along each axis (clamped at zero).
+    #[inline]
+    pub fn extent(&self) -> IVec<D> {
+        let mut e = [0; D];
+        for i in 0..D {
+            e[i] = (self.hi[i] - self.lo[i]).max(0);
+        }
+        e
+    }
+
+    /// Total number of lattice points contained.
+    #[inline]
+    pub fn volume(&self) -> i64 {
+        vprod(self.extent())
+    }
+
+    /// True when the box contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        (0..D).any(|i| self.hi[i] <= self.lo[i])
+    }
+
+    /// True when `p` lies inside the half-open box.
+    #[inline]
+    pub fn contains(&self, p: IVec<D>) -> bool {
+        (0..D).all(|i| self.lo[i] <= p[i] && p[i] < self.hi[i])
+    }
+
+    /// Intersection (may be empty).
+    #[inline]
+    pub fn intersect(&self, other: &Self) -> Self {
+        let mut lo = [0; D];
+        let mut hi = [0; D];
+        for i in 0..D {
+            lo[i] = self.lo[i].max(other.lo[i]);
+            hi[i] = self.hi[i].min(other.hi[i]);
+        }
+        IBox { lo, hi }
+    }
+
+    /// Translate by `t`.
+    #[inline]
+    pub fn shift(&self, t: IVec<D>) -> Self {
+        IBox { lo: vadd(self.lo, t), hi: vadd(self.hi, t) }
+    }
+
+    /// Scale both corners by `s` (maps a coarse cell box to the fine cells it
+    /// covers when combined with `s = 2`).
+    #[inline]
+    pub fn scale(&self, s: i64) -> Self {
+        IBox { lo: vscale(self.lo, s), hi: vscale(self.hi, s) }
+    }
+
+    /// Coarsen by factor 2: the smallest coarse box covering this fine box.
+    #[inline]
+    pub fn coarsen2(&self) -> Self {
+        let mut lo = [0; D];
+        let mut hi = [0; D];
+        for i in 0..D {
+            lo[i] = self.lo[i].div_euclid(2);
+            hi[i] = (self.hi[i] + 1).div_euclid(2);
+        }
+        IBox { lo, hi }
+    }
+
+    /// The slab of thickness `depth` hugging `face` **inside** the box.
+    pub fn inner_face_slab(&self, face: Face, depth: i64) -> Self {
+        let d = face.dim as usize;
+        let mut r = *self;
+        if face.high {
+            r.lo[d] = self.hi[d] - depth;
+        } else {
+            r.hi[d] = self.lo[d] + depth;
+        }
+        r
+    }
+
+    /// The slab of thickness `depth` hugging `face` **outside** the box.
+    pub fn outer_face_slab(&self, face: Face, depth: i64) -> Self {
+        let d = face.dim as usize;
+        let mut r = *self;
+        if face.high {
+            r.lo[d] = self.hi[d];
+            r.hi[d] = self.hi[d] + depth;
+        } else {
+            r.hi[d] = self.lo[d];
+            r.lo[d] = self.lo[d] - depth;
+        }
+        r
+    }
+
+    /// Grow by `g` in every direction.
+    #[inline]
+    pub fn grow(&self, g: i64) -> Self {
+        let mut r = *self;
+        for i in 0..D {
+            r.lo[i] -= g;
+            r.hi[i] += g;
+        }
+        r
+    }
+
+    /// Iterate all points in row-major order (last axis fastest for `D = 1`,
+    /// i.e. `x` fastest: index order `x`, then `y`, then `z`).
+    pub fn iter(&self) -> BoxIter<D> {
+        BoxIter { bx: *self, cur: self.lo, done: self.is_empty() }
+    }
+}
+
+/// Iterator over the lattice points of an [`IBox`], `x` fastest.
+pub struct BoxIter<const D: usize> {
+    bx: IBox<D>,
+    cur: IVec<D>,
+    done: bool,
+}
+
+impl<const D: usize> Iterator for BoxIter<D> {
+    type Item = IVec<D>;
+
+    fn next(&mut self) -> Option<IVec<D>> {
+        if self.done {
+            return None;
+        }
+        let out = self.cur;
+        // advance x fastest
+        for i in 0..D {
+            self.cur[i] += 1;
+            if self.cur[i] < self.bx.hi[i] {
+                return Some(out);
+            }
+            self.cur[i] = self.bx.lo[i];
+        }
+        self.done = true;
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn face_index_roundtrip() {
+        for i in 0..6 {
+            assert_eq!(Face::from_index(i).index(), i);
+        }
+        assert_eq!(Face::new(0, false).index(), 0);
+        assert_eq!(Face::new(2, true).index(), 5);
+        assert_eq!(Face::new(1, true).opposite(), Face::new(1, false));
+    }
+
+    #[test]
+    fn face_normals() {
+        let f = Face::new(1, true);
+        assert_eq!(f.normal::<3>(), [0, 1, 0]);
+        assert_eq!(f.opposite().normal::<3>(), [0, -1, 0]);
+        assert_eq!(Face::all::<2>().count(), 4);
+        assert_eq!(Face::all::<3>().count(), 6);
+    }
+
+    #[test]
+    fn box_volume_and_contains() {
+        let b = IBox::<3>::new([0, 0, 0], [4, 3, 2]);
+        assert_eq!(b.volume(), 24);
+        assert!(b.contains([3, 2, 1]));
+        assert!(!b.contains([4, 0, 0]));
+        assert!(!b.is_empty());
+        let e = IBox::<3>::new([0, 0, 0], [4, 0, 2]);
+        assert!(e.is_empty());
+        assert_eq!(e.volume(), 0);
+    }
+
+    #[test]
+    fn box_intersection() {
+        let a = IBox::<2>::new([0, 0], [4, 4]);
+        let b = IBox::<2>::new([2, 3], [8, 8]);
+        let c = a.intersect(&b);
+        assert_eq!(c, IBox::new([2, 3], [4, 4]));
+        assert_eq!(c.volume(), 2);
+        let d = IBox::<2>::new([5, 5], [6, 6]);
+        assert!(a.intersect(&d).is_empty());
+    }
+
+    #[test]
+    fn box_face_slabs() {
+        let b = IBox::<2>::new([0, 0], [4, 4]);
+        let inner = b.inner_face_slab(Face::new(0, true), 2);
+        assert_eq!(inner, IBox::new([2, 0], [4, 4]));
+        let outer = b.outer_face_slab(Face::new(0, true), 2);
+        assert_eq!(outer, IBox::new([4, 0], [6, 4]));
+        let outer_lo = b.outer_face_slab(Face::new(1, false), 1);
+        assert_eq!(outer_lo, IBox::new([0, -1], [4, 0]));
+    }
+
+    #[test]
+    fn box_scale_coarsen() {
+        let b = IBox::<2>::new([1, 2], [3, 4]);
+        assert_eq!(b.scale(2), IBox::new([2, 4], [6, 8]));
+        let f = IBox::<2>::new([1, 2], [3, 4]);
+        // coarse cover of fine cells [1,3)x[2,4) is [0,2)x[1,2)
+        assert_eq!(f.coarsen2(), IBox::new([0, 1], [2, 2]));
+        // negative coordinates round toward -inf
+        let n = IBox::<1>::new([-3], [-1]);
+        assert_eq!(n.coarsen2(), IBox::new([-2], [0]));
+    }
+
+    #[test]
+    fn box_iter_order_and_count() {
+        let b = IBox::<2>::new([0, 0], [2, 3]);
+        let pts: Vec<_> = b.iter().collect();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], [0, 0]);
+        assert_eq!(pts[1], [1, 0]); // x fastest
+        assert_eq!(pts[2], [0, 1]);
+        assert_eq!(*pts.last().unwrap(), [1, 2]);
+        assert_eq!(IBox::<3>::new([0; 3], [0; 3]).iter().count(), 0);
+    }
+
+    #[test]
+    fn neighbor_bound_formula() {
+        // Paper: at most 2^(d-1) with 2:1, 2^(k(d-1)) for k levels.
+        assert_eq!(max_face_neighbors(2, 1), 2);
+        assert_eq!(max_face_neighbors(3, 1), 4);
+        assert_eq!(max_face_neighbors(3, 2), 16);
+        assert_eq!(max_face_neighbors(1, 3), 1);
+    }
+
+    #[test]
+    fn vec_helpers() {
+        assert_eq!(vadd([1, 2], [3, 4]), [4, 6]);
+        assert_eq!(vsub([1, 2], [3, 4]), [-2, -2]);
+        assert_eq!(vscale([1, 2, 3], 2), [2, 4, 6]);
+        assert_eq!(vprod([4, 3, 2]), 24);
+        assert_eq!(unit::<3>(1, -1), [0, -1, 0]);
+    }
+}

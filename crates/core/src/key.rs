@@ -1,0 +1,324 @@
+//! Logical block addresses.
+//!
+//! A [`BlockKey`] names a block by refinement `level` and integer `coords`
+//! within the level-`level` lattice of blocks. With a root layout of
+//! `r = [r0, …, r_{D-1}]` root blocks, the valid coordinate range at level
+//! `L` along axis `i` is `0 .. r[i] << L`.
+//!
+//! Keys support the tree arithmetic the data structure needs (parent,
+//! children, sibling index) *and* the lateral arithmetic the paper's explicit
+//! neighbor pointers replace (neighbor coordinates at equal/finer/coarser
+//! levels). Keys are what tests use to recompute connectivity from scratch
+//! and check the incrementally-maintained pointers.
+
+use crate::index::{Face, IBox, IVec};
+
+/// Logical address of a block: refinement level plus lattice coordinates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct BlockKey<const D: usize> {
+    /// Refinement level; level 0 is the root-block lattice.
+    pub level: u8,
+    /// Block coordinates within the level-`level` lattice.
+    pub coords: IVec<D>,
+}
+
+impl<const D: usize> BlockKey<D> {
+    /// Construct a key.
+    #[inline]
+    pub fn new(level: u8, coords: IVec<D>) -> Self {
+        BlockKey { level, coords }
+    }
+
+    /// Root block containing the origin.
+    #[inline]
+    pub fn origin_root() -> Self {
+        BlockKey { level: 0, coords: [0; D] }
+    }
+
+    /// Parent key; `None` for level-0 blocks.
+    #[inline]
+    pub fn parent(&self) -> Option<Self> {
+        if self.level == 0 {
+            return None;
+        }
+        let mut c = self.coords;
+        for x in c.iter_mut() {
+            *x = x.div_euclid(2);
+        }
+        Some(BlockKey { level: self.level - 1, coords: c })
+    }
+
+    /// Ancestor `n` levels up; `None` if that would pass the root.
+    pub fn ancestor(&self, n: u8) -> Option<Self> {
+        if n > self.level {
+            return None;
+        }
+        let mut c = self.coords;
+        for x in c.iter_mut() {
+            *x = x.div_euclid(1 << n);
+        }
+        Some(BlockKey { level: self.level - n, coords: c })
+    }
+
+    /// The `2^D` children, ordered by child index (x fastest).
+    pub fn children(self) -> impl Iterator<Item = BlockKey<D>> {
+        let base = BlockKey {
+            level: self.level + 1,
+            coords: {
+                let mut c = self.coords;
+                for x in c.iter_mut() {
+                    *x *= 2;
+                }
+                c
+            },
+        };
+        (0..(1usize << D)).map(move |ci| {
+            let mut c = base.coords;
+            for (i, x) in c.iter_mut().enumerate() {
+                *x += ((ci >> i) & 1) as i64;
+            }
+            BlockKey { level: base.level, coords: c }
+        })
+    }
+
+    /// The child of this block with the given child index (bit `i` of
+    /// `ci` selects low/high along axis `i`).
+    pub fn child(&self, ci: usize) -> Self {
+        let mut c = self.coords;
+        for (i, x) in c.iter_mut().enumerate() {
+            *x = *x * 2 + ((ci >> i) & 1) as i64;
+        }
+        BlockKey { level: self.level + 1, coords: c }
+    }
+
+    /// Which child of its parent this block is (`0 .. 2^D`);
+    /// 0 for level-0 blocks.
+    #[inline]
+    pub fn child_index(&self) -> usize {
+        if self.level == 0 {
+            return 0;
+        }
+        let mut ci = 0;
+        for (i, &x) in self.coords.iter().enumerate() {
+            ci |= ((x.rem_euclid(2)) as usize) << i;
+        }
+        ci
+    }
+
+    /// All `2^D` keys sharing this block's parent (including itself).
+    pub fn sibling_group(&self) -> Option<impl Iterator<Item = BlockKey<D>>> {
+        self.parent().map(|p| p.children())
+    }
+
+    /// Same-level neighbor key across `face` (unwrapped: may leave the
+    /// domain; root-layout resolution is a separate step).
+    #[inline]
+    pub fn face_neighbor(&self, face: Face) -> Self {
+        let mut c = self.coords;
+        c[face.dim as usize] += face.sign();
+        BlockKey { level: self.level, coords: c }
+    }
+
+    /// Neighbor key offset by an arbitrary lattice step.
+    #[inline]
+    pub fn offset(&self, delta: IVec<D>) -> Self {
+        let mut c = self.coords;
+        for i in 0..D {
+            c[i] += delta[i];
+        }
+        BlockKey { level: self.level, coords: c }
+    }
+
+    /// Re-express this key at a *coarser* level (`to_level <= level`):
+    /// the ancestor at that level.
+    pub fn at_coarser_level(&self, to_level: u8) -> Self {
+        assert!(to_level <= self.level);
+        self.ancestor(self.level - to_level).unwrap()
+    }
+
+    /// The box of descendant keys at level `to_level >= level` covered by
+    /// this block.
+    pub fn descendants_box(&self, to_level: u8) -> IBox<D> {
+        assert!(to_level >= self.level);
+        let f = 1i64 << (to_level - self.level);
+        let mut lo = self.coords;
+        let mut hi = self.coords;
+        for i in 0..D {
+            lo[i] *= f;
+            hi[i] = (hi[i] + 1) * f;
+        }
+        IBox::new(lo, hi)
+    }
+
+    /// True if `other` is this key or a descendant of it.
+    pub fn is_ancestor_of_or_eq(&self, other: &Self) -> bool {
+        if other.level < self.level {
+            return false;
+        }
+        other.at_coarser_level(self.level) == *self
+    }
+
+    /// The keys at `self.level + 1` that touch `face` of this block from the
+    /// outside — i.e. the candidate finer neighbors across that face under a
+    /// one-level jump. There are `2^(D-1)` of them.
+    pub fn finer_face_neighbors(&self, face: Face) -> Vec<BlockKey<D>> {
+        let fine = BlockKey {
+            level: self.level + 1,
+            coords: {
+                let mut c = self.coords;
+                for x in c.iter_mut() {
+                    *x *= 2;
+                }
+                c
+            },
+        };
+        let d = face.dim as usize;
+        // Fine-lattice coordinate along the face normal, just outside.
+        let norm_coord = if face.high { fine.coords[d] + 2 } else { fine.coords[d] - 1 };
+        let mut out = Vec::with_capacity(1 << (D - 1));
+        for t in 0..(1usize << D) {
+            if (t >> d) & 1 != 0 {
+                continue; // only vary transverse axes
+            }
+            let mut c = fine.coords;
+            for i in 0..D {
+                if i != d {
+                    c[i] += ((t >> i) & 1) as i64;
+                }
+            }
+            c[d] = norm_coord;
+            out.push(BlockKey { level: fine.level, coords: c });
+        }
+        out
+    }
+
+    /// The face region of this block expressed as a box of *cell-lattice*
+    /// columns at this block's level: block coords scaled by `block_dims`,
+    /// restricted to the `face` plane (thickness 0 box collapsed to the
+    /// transverse extent; normal axis has lo==hi==face plane index).
+    ///
+    /// Used by ghost exchange to compute overlaps between neighbors of
+    /// different levels: scale by 2 per level difference, intersect.
+    pub fn face_cell_box(&self, face: Face, block_dims: IVec<D>) -> IBox<D> {
+        let mut lo = [0; D];
+        let mut hi = [0; D];
+        for i in 0..D {
+            lo[i] = self.coords[i] * block_dims[i];
+            hi[i] = (self.coords[i] + 1) * block_dims[i];
+        }
+        let d = face.dim as usize;
+        if face.high {
+            lo[d] = hi[d];
+        } else {
+            hi[d] = lo[d];
+        }
+        // half-open box of zero thickness would be empty; represent the face
+        // plane as a thickness-1 slab *outside* the block.
+        if face.high {
+            hi[d] = lo[d] + 1;
+        } else {
+            lo[d] = hi[d] - 1;
+        }
+        IBox::new(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parent_child_roundtrip() {
+        let k = BlockKey::<2>::new(2, [3, 1]);
+        let p = k.parent().unwrap();
+        assert_eq!(p, BlockKey::new(1, [1, 0]));
+        assert!(p.children().any(|c| c == k));
+        assert_eq!(k.child_index(), 0b11); // x=3 odd -> bit0=1; y=1 odd -> bit1=1
+    }
+
+    #[test]
+    fn child_index_bits() {
+        let p = BlockKey::<3>::new(0, [0, 0, 0]);
+        let kids: Vec<_> = p.children().collect();
+        assert_eq!(kids.len(), 8);
+        for (i, k) in kids.iter().enumerate() {
+            assert_eq!(k.child_index(), i);
+            assert_eq!(k.parent().unwrap(), p);
+            assert_eq!(p.child(i), *k);
+        }
+        // x fastest ordering
+        assert_eq!(kids[0].coords, [0, 0, 0]);
+        assert_eq!(kids[1].coords, [1, 0, 0]);
+        assert_eq!(kids[2].coords, [0, 1, 0]);
+        assert_eq!(kids[4].coords, [0, 0, 1]);
+    }
+
+    #[test]
+    fn root_has_no_parent() {
+        assert!(BlockKey::<2>::new(0, [5, 7]).parent().is_none());
+        assert_eq!(BlockKey::<2>::new(0, [5, 7]).child_index(), 0);
+    }
+
+    #[test]
+    fn ancestor_levels() {
+        let k = BlockKey::<1>::new(3, [13]);
+        assert_eq!(k.ancestor(0), Some(k));
+        assert_eq!(k.ancestor(1), Some(BlockKey::new(2, [6])));
+        assert_eq!(k.ancestor(3), Some(BlockKey::new(0, [1])));
+        assert_eq!(k.ancestor(4), None);
+        assert_eq!(k.at_coarser_level(1), BlockKey::new(1, [3]));
+    }
+
+    #[test]
+    fn face_neighbors() {
+        let k = BlockKey::<2>::new(1, [1, 1]);
+        assert_eq!(k.face_neighbor(Face::new(0, true)), BlockKey::new(1, [2, 1]));
+        assert_eq!(k.face_neighbor(Face::new(1, false)), BlockKey::new(1, [1, 0]));
+    }
+
+    #[test]
+    fn finer_face_neighbors_2d() {
+        let k = BlockKey::<2>::new(0, [0, 0]);
+        let f = k.finer_face_neighbors(Face::new(0, true));
+        assert_eq!(f.len(), 2);
+        assert!(f.contains(&BlockKey::new(1, [2, 0])));
+        assert!(f.contains(&BlockKey::new(1, [2, 1])));
+        let g = k.finer_face_neighbors(Face::new(1, false));
+        assert!(g.contains(&BlockKey::new(1, [0, -1])));
+        assert!(g.contains(&BlockKey::new(1, [1, -1])));
+    }
+
+    #[test]
+    fn finer_face_neighbors_3d_count() {
+        let k = BlockKey::<3>::new(1, [1, 0, 1]);
+        for f in Face::all::<3>() {
+            let n = k.finer_face_neighbors(f);
+            assert_eq!(n.len(), 4, "2^(d-1) finer neighbors per face");
+            for kk in &n {
+                assert_eq!(kk.level, 2);
+                // each candidate's parent must be the same-level neighbor
+                assert_eq!(kk.parent().unwrap(), k.face_neighbor(f));
+            }
+        }
+    }
+
+    #[test]
+    fn descendants_box() {
+        let k = BlockKey::<2>::new(1, [1, 0]);
+        let b = k.descendants_box(3);
+        assert_eq!(b, IBox::new([4, 0], [8, 4]));
+        assert_eq!(k.descendants_box(1), IBox::new([1, 0], [2, 1]));
+        assert!(k.is_ancestor_of_or_eq(&BlockKey::new(3, [7, 3])));
+        assert!(!k.is_ancestor_of_or_eq(&BlockKey::new(3, [8, 0])));
+        assert!(!k.is_ancestor_of_or_eq(&BlockKey::new(0, [0, 0])));
+    }
+
+    #[test]
+    fn face_cell_box() {
+        let k = BlockKey::<2>::new(0, [1, 0]);
+        let b = k.face_cell_box(Face::new(0, false), [4, 6]);
+        assert_eq!(b, IBox::new([3, 0], [4, 6]));
+        let b2 = k.face_cell_box(Face::new(0, true), [4, 6]);
+        assert_eq!(b2, IBox::new([8, 0], [9, 6]));
+    }
+}

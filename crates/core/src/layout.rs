@@ -1,0 +1,356 @@
+//! Root-block layout and physical domain geometry.
+//!
+//! The paper's initial configuration is a lattice of root blocks (it "need
+//! not be Cartesian" in general — our generalization hook is the root
+//! lattice plus per-axis periodicity, which covers every experiment in the
+//! paper; see DESIGN.md §6).
+//!
+//! [`RootLayout`] owns
+//! * the number of root blocks per axis,
+//! * the physical bounding box of the domain,
+//! * the boundary condition attached to each domain face.
+//!
+//! Its central operation is [`RootLayout::resolve`]: take an unwrapped
+//! logical key (which may have stepped outside the root lattice) and either
+//! wrap it back in (periodic) or report which domain face it fell off.
+
+use crate::index::{Face, IVec};
+use crate::key::BlockKey;
+
+/// Physical boundary condition attached to a domain face.
+///
+/// The topology only distinguishes *periodic* (neighbor wraps around) from
+/// *physical* (ghost cells are synthesized); how a physical boundary fills
+/// ghosts is the solver's business, so the variants here are tags the
+/// ghost-fill machinery dispatches on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Boundary {
+    /// Wrap around to the opposite side of the domain.
+    Periodic,
+    /// Zero-gradient (copy the nearest interior cell outward).
+    Outflow,
+    /// Mirror cells; vector components normal to the face flip sign.
+    Reflect,
+    /// Ghosts are filled by a user callback registered with the ghost
+    /// exchanger (supersonic inflow, analytic solution, …).
+    Custom(u16),
+}
+
+/// Where an unwrapped key landed after [`RootLayout::resolve`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Resolved<const D: usize> {
+    /// Inside the domain (possibly after periodic wrapping); the in-domain
+    /// key is returned.
+    InDomain(BlockKey<D>),
+    /// Outside across a physical boundary; the face of *the domain* that was
+    /// crossed is returned along with its boundary condition.
+    Outside(Face, Boundary),
+}
+
+/// Lattice of root blocks plus the physical domain they tile.
+///
+/// The paper's generalization that "the initial block configuration need
+/// not be Cartesian" is supported through the optional root **mask**:
+/// masked-out lattice positions hold no blocks, so L-shaped domains,
+/// rings, and solid-body cutouts are all root layouts. Faces toward a
+/// masked position behave as physical boundaries with
+/// [`RootLayout::hole_boundary`].
+#[derive(Clone, Debug)]
+pub struct RootLayout<const D: usize> {
+    /// Number of root blocks along each axis (all ≥ 1).
+    pub roots: IVec<D>,
+    /// Physical coordinate of the domain's low corner.
+    pub origin: [f64; D],
+    /// Physical extent of the domain along each axis (all > 0).
+    pub size: [f64; D],
+    /// Boundary condition per domain face, indexed by [`Face::index`].
+    pub boundaries: [Boundary; 6],
+    /// Active-root mask, row-major (x fastest); `None` = full lattice.
+    pub mask: Option<Vec<bool>>,
+    /// Boundary condition on faces toward masked-out roots.
+    pub hole_boundary: Boundary,
+}
+
+impl<const D: usize> RootLayout<D> {
+    /// Unit-cube domain `[0,1]^D` with the given root lattice and a single
+    /// boundary condition on every face.
+    pub fn unit(roots: IVec<D>, bc: Boundary) -> Self {
+        assert!(D >= 1 && D <= 3, "supported dimensions are 1, 2, 3");
+        assert!(roots.iter().all(|&r| r >= 1), "need at least one root block per axis");
+        RootLayout {
+            roots,
+            origin: [0.0; D],
+            size: [1.0; D],
+            boundaries: [bc; 6],
+            mask: None,
+            hole_boundary: Boundary::Reflect,
+        }
+    }
+
+    /// General constructor.
+    pub fn new(
+        roots: IVec<D>,
+        origin: [f64; D],
+        size: [f64; D],
+        boundaries: [Boundary; 6],
+    ) -> Self {
+        assert!(D >= 1 && D <= 3, "supported dimensions are 1, 2, 3");
+        assert!(roots.iter().all(|&r| r >= 1), "need at least one root block per axis");
+        assert!(size.iter().all(|&s| s > 0.0), "domain extent must be positive");
+        RootLayout { roots, origin, size, boundaries, mask: None, hole_boundary: Boundary::Reflect }
+    }
+
+    /// Builder: restrict the root lattice to the positions where
+    /// `active(coords)` is true (the paper's non-Cartesian initial
+    /// configuration; also models solid bodies cut out of the domain).
+    pub fn with_mask(mut self, active: impl Fn(IVec<D>) -> bool) -> Self {
+        let mut mask = Vec::with_capacity(self.num_lattice_positions());
+        for c in crate::index::IBox::from_dims(self.roots).iter() {
+            mask.push(active(c));
+        }
+        assert!(mask.iter().any(|&a| a), "mask removes every root block");
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Builder: boundary condition applied at faces toward masked roots
+    /// (default [`Boundary::Reflect`] — a solid body).
+    pub fn with_hole_boundary(mut self, bc: Boundary) -> Self {
+        assert_ne!(bc, Boundary::Periodic, "holes cannot be periodic");
+        self.hole_boundary = bc;
+        self
+    }
+
+    /// Total lattice positions (active or not).
+    pub fn num_lattice_positions(&self) -> usize {
+        self.roots.iter().product::<i64>() as usize
+    }
+
+    /// True if the lattice position holds a root block.
+    pub fn is_active(&self, coords: IVec<D>) -> bool {
+        match &self.mask {
+            None => true,
+            Some(m) => {
+                let mut idx = 0i64;
+                let mut stride = 1i64;
+                for d in 0..D {
+                    idx += coords[d] * stride;
+                    stride *= self.roots[d];
+                }
+                m[idx as usize]
+            }
+        }
+    }
+
+    /// Set the boundary condition of one face (builder style).
+    pub fn with_boundary(mut self, face: Face, bc: Boundary) -> Self {
+        self.boundaries[face.index()] = bc;
+        self
+    }
+
+    /// Set the boundary condition of both faces of an axis (builder style).
+    pub fn with_axis_boundary(mut self, dim: usize, bc: Boundary) -> Self {
+        self.boundaries[Face::new(dim, false).index()] = bc;
+        self.boundaries[Face::new(dim, true).index()] = bc;
+        self
+    }
+
+    /// Boundary condition on a given domain face.
+    #[inline]
+    pub fn boundary(&self, face: Face) -> Boundary {
+        self.boundaries[face.index()]
+    }
+
+    /// True if the axis is periodic (both faces must agree; enforced by
+    /// [`RootLayout::validate`]).
+    #[inline]
+    pub fn periodic(&self, dim: usize) -> bool {
+        self.boundaries[Face::new(dim, false).index()] == Boundary::Periodic
+    }
+
+    /// Number of blocks along `dim` at refinement `level`.
+    #[inline]
+    pub fn blocks_at_level(&self, dim: usize, level: u8) -> i64 {
+        self.roots[dim] << level
+    }
+
+    /// Total number of (active) root blocks.
+    pub fn num_roots(&self) -> i64 {
+        match &self.mask {
+            None => self.roots.iter().product(),
+            Some(m) => m.iter().filter(|&&a| a).count() as i64,
+        }
+    }
+
+    /// Iterate active root keys in row-major (x fastest) order.
+    pub fn root_keys(&self) -> impl Iterator<Item = BlockKey<D>> + '_ {
+        crate::index::IBox::from_dims(self.roots)
+            .iter()
+            .filter(|&c| self.is_active(c))
+            .map(|c| BlockKey::new(0, c))
+    }
+
+    /// Check internal consistency (periodic axes must be periodic on both
+    /// faces). Panics with a descriptive message otherwise.
+    pub fn validate(&self) {
+        for d in 0..D {
+            let lo = self.boundaries[Face::new(d, false).index()];
+            let hi = self.boundaries[Face::new(d, true).index()];
+            let lo_p = lo == Boundary::Periodic;
+            let hi_p = hi == Boundary::Periodic;
+            assert_eq!(
+                lo_p, hi_p,
+                "axis {d}: periodic boundary must be set on both faces (got {lo:?}/{hi:?})"
+            );
+        }
+    }
+
+    /// Resolve an unwrapped key: wrap periodic axes, or report the domain
+    /// face crossed. If the key is outside along several non-periodic axes
+    /// (a corner excursion), the lowest such axis is reported.
+    pub fn resolve(&self, key: BlockKey<D>) -> Resolved<D> {
+        let mut c = key.coords;
+        for d in 0..D {
+            let n = self.blocks_at_level(d, key.level);
+            if c[d] < 0 || c[d] >= n {
+                if self.periodic(d) {
+                    c[d] = c[d].rem_euclid(n);
+                } else {
+                    let face = Face::new(d, c[d] >= n);
+                    return Resolved::Outside(face, self.boundary(face));
+                }
+            }
+        }
+        let resolved = BlockKey::new(key.level, c);
+        if self.mask.is_some() {
+            // position of the containing root in the lattice
+            let root = resolved.at_coarser_level(0);
+            if !self.is_active(root.coords) {
+                // the face reported here is a placeholder (holes have no
+                // domain face); callers use only the boundary kind
+                return Resolved::Outside(Face::new(0, false), self.hole_boundary);
+            }
+        }
+        Resolved::InDomain(resolved)
+    }
+
+    /// Physical size of one cell of a block at `level`, given the per-block
+    /// cell dims.
+    pub fn cell_size(&self, level: u8, block_dims: IVec<D>) -> [f64; D] {
+        let mut h = [0.0; D];
+        for d in 0..D {
+            let ncells = (self.blocks_at_level(d, level) * block_dims[d]) as f64;
+            h[d] = self.size[d] / ncells;
+        }
+        h
+    }
+
+    /// Physical low corner of a block.
+    pub fn block_origin(&self, key: BlockKey<D>, block_dims: IVec<D>) -> [f64; D] {
+        let h = self.cell_size(key.level, block_dims);
+        let mut o = [0.0; D];
+        for d in 0..D {
+            o[d] = self.origin[d] + key.coords[d] as f64 * block_dims[d] as f64 * h[d];
+        }
+        o
+    }
+
+    /// Physical center of cell `(i0,…)` (interior indexing, no ghosts) of a
+    /// block.
+    pub fn cell_center(
+        &self,
+        key: BlockKey<D>,
+        block_dims: IVec<D>,
+        cell: IVec<D>,
+    ) -> [f64; D] {
+        let h = self.cell_size(key.level, block_dims);
+        let o = self.block_origin(key, block_dims);
+        let mut x = [0.0; D];
+        for d in 0..D {
+            x[d] = o[d] + (cell[d] as f64 + 0.5) * h[d];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_layout_roots() {
+        let l = RootLayout::<2>::unit([2, 3], Boundary::Outflow);
+        assert_eq!(l.num_roots(), 6);
+        assert_eq!(l.root_keys().count(), 6);
+        assert_eq!(l.blocks_at_level(0, 2), 8);
+        assert_eq!(l.blocks_at_level(1, 1), 6);
+    }
+
+    #[test]
+    fn resolve_periodic_wraps() {
+        let l = RootLayout::<2>::unit([2, 2], Boundary::Periodic);
+        match l.resolve(BlockKey::new(1, [-1, 2])) {
+            Resolved::InDomain(k) => assert_eq!(k, BlockKey::new(1, [3, 2])),
+            _ => panic!("expected wrap"),
+        }
+        match l.resolve(BlockKey::new(0, [2, 0])) {
+            Resolved::InDomain(k) => assert_eq!(k, BlockKey::new(0, [0, 0])),
+            _ => panic!("expected wrap"),
+        }
+    }
+
+    #[test]
+    fn resolve_physical_reports_face() {
+        let l = RootLayout::<2>::unit([2, 2], Boundary::Outflow);
+        match l.resolve(BlockKey::new(0, [-1, 0])) {
+            Resolved::Outside(f, bc) => {
+                assert_eq!(f, Face::new(0, false));
+                assert_eq!(bc, Boundary::Outflow);
+            }
+            _ => panic!("expected outside"),
+        }
+        match l.resolve(BlockKey::new(1, [1, 4])) {
+            Resolved::Outside(f, _) => assert_eq!(f, Face::new(1, true)),
+            _ => panic!("expected outside"),
+        }
+    }
+
+    #[test]
+    fn mixed_boundaries() {
+        let l = RootLayout::<2>::unit([1, 1], Boundary::Outflow)
+            .with_axis_boundary(0, Boundary::Periodic)
+            .with_boundary(Face::new(1, false), Boundary::Reflect);
+        l.validate();
+        assert!(l.periodic(0));
+        assert!(!l.periodic(1));
+        assert_eq!(l.boundary(Face::new(1, false)), Boundary::Reflect);
+        assert_eq!(l.boundary(Face::new(1, true)), Boundary::Outflow);
+    }
+
+    #[test]
+    #[should_panic(expected = "periodic boundary must be set on both faces")]
+    fn half_periodic_rejected() {
+        RootLayout::<1>::unit([1], Boundary::Outflow)
+            .with_boundary(Face::new(0, false), Boundary::Periodic)
+            .validate();
+    }
+
+    #[test]
+    fn geometry() {
+        let l = RootLayout::<2>::new(
+            [2, 1],
+            [0.0, -1.0],
+            [4.0, 2.0],
+            [Boundary::Outflow; 6],
+        );
+        let dims = [4, 4];
+        let h0 = l.cell_size(0, dims);
+        assert_eq!(h0, [0.5, 0.5]);
+        let h1 = l.cell_size(1, dims);
+        assert_eq!(h1, [0.25, 0.25]);
+        let o = l.block_origin(BlockKey::new(0, [1, 0]), dims);
+        assert_eq!(o, [2.0, -1.0]);
+        let c = l.cell_center(BlockKey::new(0, [0, 0]), dims, [0, 0]);
+        assert_eq!(c, [0.25, -0.75]);
+    }
+}

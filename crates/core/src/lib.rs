@@ -1,0 +1,76 @@
+//! # ablock-core — the Adaptive Blocks data structure
+//!
+//! A faithful, from-scratch implementation of the data structure of
+//! Stout, De Zeeuw, Gombosi, Groth, Marshall & Powell, *Adaptive Blocks:
+//! A High Performance Data Structure* (SC 1997).
+//!
+//! The domain is partitioned into non-overlapping **blocks**, each a
+//! regular `m1 × … × md` array of cells. Refinement replaces a block by
+//! its `2^d` children (only leaves are stored); coarsening reverses it.
+//! Each block keeps **explicit face-neighbor pointers** — neighbors are
+//! located directly, not by the parent/child traversals a quadtree or
+//! octree needs — plus ghost-cell layers filled by copy, restriction, or
+//! prolongation from the face neighbors.
+//!
+//! ## Module map
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`index`] | index vectors, faces, half-open integer boxes |
+//! | [`key`] | logical block addresses and their tree/lateral arithmetic |
+//! | [`layout`] | root-block lattice, physical geometry, boundary conditions |
+//! | [`arena`] | generational arena the blocks live in |
+//! | [`field`] | flat per-block cell storage with ghosts (and Fig. 5 padding) |
+//! | [`grid`] | the adaptive block grid: refine/coarsen + pointer maintenance |
+//! | [`balance`] | flag-driven adaptation with 2:1 (or k:1) cascade |
+//! | [`ghost`] | cached ghost-exchange plans (copy / restrict / prolong / BCs) |
+//! | [`ops`] | the restriction & prolongation numerical operators |
+//! | [`sfc`] | Morton and Hilbert orderings for load balancing |
+//! | [`verify`] | from-scratch invariant oracles used by the test suite |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ablock_core::prelude::*;
+//!
+//! // 2 x 2 root blocks of 8 x 8 cells, 2 ghost layers, 1 variable.
+//! let layout = RootLayout::<2>::unit([2, 2], Boundary::Outflow);
+//! let params = GridParams::new([8, 8], 2, 1, 4);
+//! let mut grid = BlockGrid::new(layout, params);
+//!
+//! // Refine the block containing a point of interest, with cascade.
+//! refine_ball_to_level(&mut grid, [0.3, 0.3], 0.05, 2, Transfer::None);
+//! assert!(grid.num_blocks() > 4);
+//!
+//! // Fill ghost cells from neighbors (copy / restrict / prolong).
+//! fill_ghosts(&mut grid, GhostConfig::default());
+//! # ablock_core::verify::check_grid(&grid).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod balance;
+pub mod field;
+pub mod ghost;
+pub mod grid;
+pub mod index;
+pub mod key;
+pub mod layout;
+pub mod ops;
+pub mod sfc;
+pub mod verify;
+
+/// One-stop imports for typical users.
+pub mod prelude {
+    pub use crate::arena::BlockId;
+    pub use crate::balance::{adapt, cascade_closure, refine_ball_to_level, AdaptReport, Flag};
+    pub use crate::field::{FieldBlock, FieldShape};
+    pub use crate::ghost::{fill_ghosts, BoundaryCtx, GhostConfig, GhostExchange, GhostTask};
+    pub use crate::grid::{BlockGrid, BlockNode, FaceConn, GridParams, Transfer};
+    pub use crate::index::{Face, IBox, IVec};
+    pub use crate::key::BlockKey;
+    pub use crate::layout::{Boundary, Resolved, RootLayout};
+    pub use crate::ops::ProlongOrder;
+    pub use crate::sfc::{curve_index, curve_order, required_bits, Curve};
+}

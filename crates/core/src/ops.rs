@@ -1,0 +1,431 @@
+//! Restriction and prolongation primitives.
+//!
+//! These are the two intergrid operators the paper names: *restriction*
+//! fills coarse values from fine ones (ghosts next to a finer neighbor,
+//! parent data when coarsening), *prolongation* fills fine values from
+//! coarse ones (ghosts next to a coarser neighbor, child data when
+//! refining).
+//!
+//! Both are written against an affine index map so one implementation
+//! serves every caller:
+//!
+//! * restriction — destination cell `c` averages the `ratio^D` source cells
+//!   whose low corner is `ratio * c + q`;
+//! * prolongation — destination cell `c` reads source cell
+//!   `(c + p) div ratio - a`, with sub-cell position `(c + p) mod ratio`
+//!   steering the linear correction.
+//!
+//! `ratio = 2^j` where `j` is the level difference; the paper's standard
+//! configuration is `j = 1`, but the operators accept any power of two so
+//! the "refinement level differences greater than one" generalization
+//! (paper, *Generalizations*) works end to end.
+//!
+//! Volume-weighted averaging with equal cell volumes makes restriction
+//! conservative by construction; the limited-linear prolongation is
+//! conservative because the per-axis corrections sum to zero over each
+//! coarse cell's `ratio^D` children.
+
+use crate::field::FieldBlock;
+use crate::index::{IBox, IVec};
+
+/// Restriction: for each destination cell `c ∈ dst_box`, average the
+/// `ratio^D` source cells with low corner `ratio * c + q`.
+pub fn restrict_avg<const D: usize>(
+    dst: &mut FieldBlock<D>,
+    dst_box: IBox<D>,
+    src: &FieldBlock<D>,
+    q: IVec<D>,
+    ratio: i64,
+) {
+    assert!(ratio >= 2 && ratio.count_ones() == 1, "ratio must be a power of two >= 2");
+    let nvar = dst.shape().nvar;
+    assert_eq!(nvar, src.shape().nvar);
+    let inv = 1.0 / (ratio.pow(D as u32)) as f64;
+    let fine_cell = IBox::<D>::from_dims([ratio; D]);
+    let mut acc = vec![0.0; nvar];
+    for c in dst_box.iter() {
+        acc.fill(0.0);
+        let mut base = [0; D];
+        for d in 0..D {
+            base[d] = ratio * c[d] + q[d];
+        }
+        for f in fine_cell.iter() {
+            let mut sc = base;
+            for d in 0..D {
+                sc[d] += f[d];
+            }
+            let u = src.cell(sc);
+            for v in 0..nvar {
+                acc[v] += u[v];
+            }
+        }
+        let out = dst.cell_mut(c);
+        for v in 0..nvar {
+            out[v] = acc[v] * inv;
+        }
+    }
+}
+
+/// Prolongation accuracy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProlongOrder {
+    /// Piecewise-constant injection (first order). One ghost layer suffices.
+    Constant,
+    /// Limited linear reconstruction (second order): per-axis minmod slopes,
+    /// one-sided where the stencil would leave `valid`. The right choice for
+    /// conserved hyperbolic fields (no new extrema).
+    LinearMinmod,
+    /// Unlimited central-difference slopes: higher accuracy on smooth data,
+    /// may overshoot at jumps. The right choice for multigrid corrections.
+    LinearCentral,
+}
+
+#[inline]
+fn minmod(a: f64, b: f64) -> f64 {
+    if a * b <= 0.0 {
+        0.0
+    } else if a.abs() < b.abs() {
+        a
+    } else {
+        b
+    }
+}
+
+/// Prolongation: for each destination cell `c ∈ dst_box`, read source cell
+/// `sc = (c + p) div ratio - a`, applying a limited linear correction when
+/// `order` asks for it. `valid` is the box of source cells that hold
+/// trustworthy data (interior plus whatever ghosts the caller knows are
+/// filled); slope stencils never read outside it.
+#[allow(clippy::too_many_arguments)]
+pub fn prolong<const D: usize>(
+    dst: &mut FieldBlock<D>,
+    dst_box: IBox<D>,
+    src: &FieldBlock<D>,
+    p: IVec<D>,
+    a: IVec<D>,
+    ratio: i64,
+    order: ProlongOrder,
+    valid: IBox<D>,
+) {
+    assert!(ratio >= 2 && ratio.count_ones() == 1, "ratio must be a power of two >= 2");
+    let nvar = dst.shape().nvar;
+    assert_eq!(nvar, src.shape().nvar);
+    for c in dst_box.iter() {
+        let mut sc = [0; D];
+        let mut sub = [0; D];
+        for d in 0..D {
+            let g = c[d] + p[d];
+            sc[d] = g.div_euclid(ratio) - a[d];
+            sub[d] = g.rem_euclid(ratio);
+        }
+        debug_assert!(
+            valid.contains(sc),
+            "prolongation source cell {sc:?} outside valid region {valid:?}"
+        );
+        match order {
+            ProlongOrder::Constant => {
+                let u = src.cell(sc).to_vec();
+                dst.set_cell(c, &u);
+            }
+            ProlongOrder::LinearCentral => {
+                let u0 = src.cell(sc).to_vec();
+                let mut u = u0.clone();
+                for d in 0..D {
+                    let pos = (sub[d] as f64 + 0.5) / ratio as f64 - 0.5;
+                    if pos == 0.0 {
+                        continue;
+                    }
+                    let mut lo = sc;
+                    lo[d] -= 1;
+                    let mut hi = sc;
+                    hi[d] += 1;
+                    let has_lo = valid.contains(lo);
+                    let has_hi = valid.contains(hi);
+                    for v in 0..nvar {
+                        let slope = match (has_lo, has_hi) {
+                            (true, true) => 0.5 * (src.at(hi, v) - src.at(lo, v)),
+                            (true, false) => u0[v] - src.at(lo, v),
+                            (false, true) => src.at(hi, v) - u0[v],
+                            (false, false) => 0.0,
+                        };
+                        u[v] += slope * pos;
+                    }
+                }
+                dst.set_cell(c, &u);
+            }
+            ProlongOrder::LinearMinmod => {
+                let u0 = src.cell(sc).to_vec();
+                let mut u = u0.clone();
+                for d in 0..D {
+                    // normalized offset of the fine subcell center from the
+                    // coarse cell center, in units of the coarse cell
+                    let pos = (sub[d] as f64 + 0.5) / ratio as f64 - 0.5;
+                    if pos == 0.0 {
+                        continue;
+                    }
+                    let mut lo = sc;
+                    lo[d] -= 1;
+                    let mut hi = sc;
+                    hi[d] += 1;
+                    let has_lo = valid.contains(lo);
+                    let has_hi = valid.contains(hi);
+                    for v in 0..nvar {
+                        let slope = match (has_lo, has_hi) {
+                            (true, true) => {
+                                minmod(u0[v] - src.at(lo, v), src.at(hi, v) - u0[v])
+                            }
+                            // one-sided fallbacks keep the operator defined
+                            // at the edge of the valid region; still limited
+                            // against zero to avoid overshoot
+                            (true, false) => minmod(u0[v] - src.at(lo, v), u0[v] - src.at(lo, v)),
+                            (false, true) => minmod(src.at(hi, v) - u0[v], src.at(hi, v) - u0[v]),
+                            (false, false) => 0.0,
+                        };
+                        u[v] += slope * pos;
+                    }
+                }
+                dst.set_cell(c, &u);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::FieldShape;
+
+    fn fill_linear_2d(f: &mut FieldBlock<2>, ax: f64, ay: f64, c0: f64) {
+        let bx = f.shape().ghosted_box();
+        for c in bx.iter() {
+            let u = f.cell_mut(c);
+            u[0] = ax * c[0] as f64 + ay * c[1] as f64 + c0;
+        }
+    }
+
+    #[test]
+    fn restrict_is_average() {
+        let fine = {
+            let mut f = FieldBlock::zeros(FieldShape::<2>::new([4, 4], 0, 1));
+            f.for_each_interior(|c, u| u[0] = (c[0] + 4 * c[1]) as f64);
+            f
+        };
+        let mut coarse = FieldBlock::zeros(FieldShape::<2>::new([2, 2], 0, 1));
+        restrict_avg(&mut coarse, IBox::from_dims([2, 2]), &fine, [0, 0], 2);
+        // coarse (0,0) = avg of fine (0,0),(1,0),(0,1),(1,1) = (0+1+4+5)/4
+        assert_eq!(coarse.at([0, 0], 0), 2.5);
+        assert_eq!(coarse.at([1, 0], 0), 4.5);
+        assert_eq!(coarse.at([0, 1], 0), 10.5);
+    }
+
+    #[test]
+    fn restrict_conserves_sum() {
+        let mut fine = FieldBlock::zeros(FieldShape::<3>::new([4, 4, 4], 0, 2));
+        let mut k = 0.0;
+        fine.for_each_interior(|_, u| {
+            u[0] = k;
+            u[1] = -2.0 * k;
+            k += 1.0;
+        });
+        let mut coarse = FieldBlock::zeros(FieldShape::<3>::new([2, 2, 2], 0, 2));
+        restrict_avg(&mut coarse, IBox::from_dims([2, 2, 2]), &fine, [0, 0, 0], 2);
+        for v in 0..2 {
+            let fs = fine.interior_sum(v);
+            let cs = coarse.interior_sum(v) * 8.0; // coarse cells are 8x volume
+            assert!((fs - cs).abs() < 1e-9 * fs.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn restrict_ratio_4() {
+        let mut fine = FieldBlock::zeros(FieldShape::<1>::new([8], 0, 1));
+        fine.for_each_interior(|c, u| u[0] = c[0] as f64);
+        let mut coarse = FieldBlock::zeros(FieldShape::<1>::new([2], 0, 1));
+        restrict_avg(&mut coarse, IBox::from_dims([2]), &fine, [0], 4);
+        assert_eq!(coarse.at([0], 0), 1.5);
+        assert_eq!(coarse.at([1], 0), 5.5);
+    }
+
+    #[test]
+    fn prolong_constant_injects() {
+        let mut coarse = FieldBlock::zeros(FieldShape::<2>::new([2, 2], 0, 1));
+        coarse.for_each_interior(|c, u| u[0] = (1 + c[0] + 10 * c[1]) as f64);
+        let mut fine = FieldBlock::zeros(FieldShape::<2>::new([4, 4], 0, 1));
+        let valid = coarse.shape().interior_box();
+        prolong(
+            &mut fine,
+            IBox::from_dims([4, 4]),
+            &coarse,
+            [0, 0],
+            [0, 0],
+            2,
+            ProlongOrder::Constant,
+            valid,
+        );
+        assert_eq!(fine.at([0, 0], 0), 1.0);
+        assert_eq!(fine.at([1, 1], 0), 1.0);
+        assert_eq!(fine.at([2, 0], 0), 2.0);
+        assert_eq!(fine.at([3, 3], 0), 12.0);
+    }
+
+    #[test]
+    fn prolong_linear_reproduces_linear_fields() {
+        // A linear field must be prolonged exactly by the limited-linear
+        // operator in the interior of the valid region.
+        let mut coarse = FieldBlock::zeros(FieldShape::<2>::new([4, 4], 1, 1));
+        fill_linear_2d(&mut coarse, 2.0, -3.0, 1.0);
+        let mut fine = FieldBlock::zeros(FieldShape::<2>::new([8, 8], 0, 1));
+        let valid = coarse.shape().ghosted_box();
+        prolong(
+            &mut fine,
+            IBox::from_dims([8, 8]),
+            &coarse,
+            [0, 0],
+            [0, 0],
+            2,
+            ProlongOrder::LinearMinmod,
+            valid,
+        );
+        // fine cell (i,j) center sits at coarse coordinate (i-0.5)/2... check
+        // against the analytic value: u(x) = 2x + -3y + 1 with x = coarse
+        // index; fine cell i has coarse position (i + 0.5)/2 - 0.5.
+        for i in 0..8i64 {
+            for j in 0..8i64 {
+                let x = (i as f64 + 0.5) / 2.0 - 0.5;
+                let y = (j as f64 + 0.5) / 2.0 - 0.5;
+                let want = 2.0 * x - 3.0 * y + 1.0;
+                let got = fine.at([i, j], 0);
+                assert!(
+                    (got - want).abs() < 1e-12,
+                    "fine ({i},{j}): got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prolong_linear_is_conservative() {
+        let mut coarse = FieldBlock::zeros(FieldShape::<2>::new([4, 4], 1, 1));
+        // rough data
+        let bx = coarse.shape().ghosted_box();
+        let mut s = 1.0f64;
+        for c in bx.iter() {
+            coarse.cell_mut(c)[0] = s.sin() * 3.0 + (c[0] * c[1]) as f64;
+            s += 1.7;
+        }
+        let mut fine = FieldBlock::zeros(FieldShape::<2>::new([8, 8], 0, 1));
+        prolong(
+            &mut fine,
+            IBox::from_dims([8, 8]),
+            &coarse,
+            [0, 0],
+            [0, 0],
+            2,
+            ProlongOrder::LinearMinmod,
+            coarse.shape().ghosted_box(),
+        );
+        // each coarse interior cell's 4 children average to the coarse value
+        for c in coarse.shape().interior_box().iter() {
+            let mut avg = 0.0;
+            for dx in 0..2i64 {
+                for dy in 0..2i64 {
+                    avg += fine.at([2 * c[0] + dx, 2 * c[1] + dy], 0);
+                }
+            }
+            avg /= 4.0;
+            let want = coarse.at(c, 0);
+            assert!((avg - want).abs() < 1e-12, "children avg {avg} != parent {want}");
+        }
+    }
+
+    #[test]
+    fn prolong_limits_at_extrema() {
+        // At a local extremum minmod slope is zero: children equal parent.
+        let mut coarse = FieldBlock::zeros(FieldShape::<1>::new([3], 0, 1));
+        coarse.for_each_interior(|c, u| u[0] = if c[0] == 1 { 5.0 } else { 1.0 });
+        let mut fine = FieldBlock::zeros(FieldShape::<1>::new([6], 0, 1));
+        prolong(
+            &mut fine,
+            IBox::from_dims([6]),
+            &coarse,
+            [0],
+            [0],
+            2,
+            ProlongOrder::LinearMinmod,
+            coarse.shape().interior_box(),
+        );
+        assert_eq!(fine.at([2], 0), 5.0);
+        assert_eq!(fine.at([3], 0), 5.0);
+    }
+
+    #[test]
+    fn prolong_with_offsets() {
+        // Fill only the high-x half of a fine block from a shifted coarse
+        // anchor — the index map used for ghost prolongation.
+        let mut coarse = FieldBlock::zeros(FieldShape::<1>::new([4], 0, 1));
+        coarse.for_each_interior(|c, u| u[0] = 100.0 + c[0] as f64);
+        let mut fine = FieldBlock::zeros(FieldShape::<1>::new([4], 1, 1));
+        // fine block's global fine offset p = 12 (block coords 3, m = 4),
+        // coarse anchor a = 4 (coarse block coords 1, m = 4):
+        // fine ghost cell c=-1 -> (12-1) div 2 - 4 = 5-4 = 1
+        prolong(
+            &mut fine,
+            IBox::new([-1], [0]),
+            &coarse,
+            [12],
+            [4],
+            2,
+            ProlongOrder::Constant,
+            coarse.shape().interior_box(),
+        );
+        assert_eq!(fine.at([-1], 0), 101.0);
+    }
+
+    #[test]
+    fn central_prolongation_exact_on_linear_and_overshoots_at_jumps() {
+        let mut coarse = FieldBlock::zeros(FieldShape::<1>::new([4], 1, 1));
+        let gb = coarse.shape().ghosted_box();
+        for c in gb.iter() {
+            coarse.cell_mut(c)[0] = 3.0 * c[0] as f64;
+        }
+        let mut fine = FieldBlock::zeros(FieldShape::<1>::new([8], 0, 1));
+        prolong(
+            &mut fine,
+            IBox::from_dims([8]),
+            &coarse,
+            [0],
+            [0],
+            2,
+            ProlongOrder::LinearCentral,
+            coarse.shape().ghosted_box(),
+        );
+        for i in 0..8i64 {
+            let want = 3.0 * ((i as f64 + 0.5) / 2.0 - 0.5);
+            assert!((fine.at([i], 0) - want).abs() < 1e-13);
+        }
+        // at a step the central slope overshoots (by design — use minmod
+        // for conserved fields)
+        let mut step = FieldBlock::zeros(FieldShape::<1>::new([3], 0, 1));
+        step.for_each_interior(|c, u| u[0] = if c[0] >= 2 { 1.0 } else { 0.0 });
+        let mut out = FieldBlock::zeros(FieldShape::<1>::new([6], 0, 1));
+        prolong(
+            &mut out,
+            IBox::from_dims([6]),
+            &step,
+            [0],
+            [0],
+            2,
+            ProlongOrder::LinearCentral,
+            step.shape().interior_box(),
+        );
+        assert!(out.at([3], 0) > 0.0 || out.at([2], 0) < 0.0, "central slopes act at jumps");
+    }
+
+    #[test]
+    fn minmod_properties() {
+        assert_eq!(minmod(1.0, 2.0), 1.0);
+        assert_eq!(minmod(-3.0, -2.0), -2.0);
+        assert_eq!(minmod(1.0, -1.0), 0.0);
+        assert_eq!(minmod(0.0, 5.0), 0.0);
+    }
+}

@@ -1,0 +1,372 @@
+//! Space-filling-curve orderings of leaf blocks.
+//!
+//! The paper's parallel runs re-balance load after every adapt by walking
+//! the blocks in a locality-preserving order and cutting the walk into `P`
+//! contiguous chunks. This module supplies two such orders over block keys:
+//!
+//! * **Morton** (Z-order) — bit interleaving; cheap, decent locality;
+//! * **Hilbert** — the classic Butz/transpose construction; slightly more
+//!   expensive to compute, strictly better locality (neighbors on the curve
+//!   are always face-adjacent in space).
+//!
+//! Keys at different levels are linearized by mapping every block to the
+//! index of its *first descendant* at a common fine level, which equals the
+//! depth-first pre-order of the leaves — exactly the order a cell-based
+//! tree's leaf traversal would produce. Ties cannot occur because leaves
+//! never overlap.
+
+use crate::key::BlockKey;
+
+/// Which curve to order blocks by.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Curve {
+    /// Z-order (bit interleaving).
+    Morton,
+    /// Hilbert curve (transpose algorithm).
+    Hilbert,
+}
+
+/// Interleave the low `bits` bits of each coordinate: Morton code,
+/// x fastest (bit 0 of x is bit 0 of the code).
+pub fn morton_encode<const D: usize>(coords: [u64; D], bits: u32) -> u128 {
+    debug_assert!(bits as usize * D <= 128);
+    let mut code: u128 = 0;
+    for b in 0..bits {
+        for (d, &c) in coords.iter().enumerate() {
+            let bit = (c >> b) & 1;
+            code |= (bit as u128) << (b as usize * D + d);
+        }
+    }
+    code
+}
+
+/// Inverse of [`morton_encode`].
+pub fn morton_decode<const D: usize>(code: u128, bits: u32) -> [u64; D] {
+    let mut coords = [0u64; D];
+    for b in 0..bits {
+        for (d, c) in coords.iter_mut().enumerate() {
+            let bit = (code >> (b as usize * D + d)) & 1;
+            *c |= (bit as u64) << b;
+        }
+    }
+    coords
+}
+
+/// Hilbert index of a point on the `2^bits`-per-side lattice, using the
+/// transpose algorithm (Skilling, 2004): convert the coordinates to the
+/// "transposed" Hilbert form, then interleave.
+pub fn hilbert_encode<const D: usize>(mut x: [u64; D], bits: u32) -> u128 {
+    if D == 1 {
+        return x[0] as u128;
+    }
+    let n = bits;
+    // Inverse undo excess work
+    let mut q: u64 = 1 << (n - 1);
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..D {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode
+    for i in 1..D {
+        x[i] ^= x[i - 1];
+    }
+    let mut t: u64 = 0;
+    q = 1 << (n - 1);
+    while q > 1 {
+        if x[D - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for xi in x.iter_mut() {
+        *xi ^= t;
+    }
+    // interleave transposed coords, most-significant bit of x[0] first
+    let mut code: u128 = 0;
+    for b in (0..n).rev() {
+        for xi in x.iter() {
+            code = (code << 1) | ((xi >> b) & 1) as u128;
+        }
+    }
+    code
+}
+
+/// Inverse of [`hilbert_encode`]: coordinates of the `h`-th point of the
+/// Hilbert curve on the `2^bits`-per-side lattice.
+pub fn hilbert_decode<const D: usize>(h: u128, bits: u32) -> [u64; D] {
+    if D == 1 {
+        return [h as u64; D];
+    }
+    let n = bits;
+    // de-interleave into the transposed representation
+    let mut x = [0u64; D];
+    let mut bit_index = (n as usize * D) as i32 - 1;
+    for b in (0..n).rev() {
+        for xi in x.iter_mut() {
+            let bitv = (h >> bit_index) & 1;
+            *xi |= (bitv as u64) << b;
+            bit_index -= 1;
+        }
+    }
+    // Gray decode by H ^ (H/2)
+    let mut t: u64 = x[D - 1] >> 1;
+    for i in (1..D).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    // Undo excess work
+    let mut q: u64 = 2;
+    while q != (1u64 << n) {
+        let p = q - 1;
+        for i in (0..D).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+    x
+}
+
+/// Bits per axis needed to index a lattice of `roots_max` root blocks
+/// refined `max_level` times. Every key being compared must use the same
+/// value — Hilbert indices computed with different bit counts are not
+/// comparable.
+pub fn required_bits(roots_max: i64, max_level: u8) -> u32 {
+    assert!(roots_max >= 1);
+    let max_coord = ((roots_max as u64) << max_level) - 1;
+    (64 - max_coord.leading_zeros()).max(1)
+}
+
+/// Linear index of a block key along the chosen curve, comparable across
+/// levels. The key is mapped to its low-corner descendant on the
+/// `2^bits`-per-side lattice at `max_level`; because aligned sub-boxes are
+/// contiguous on both curves and leaves never overlap, this yields a total
+/// order on any leaf set. `max_level` and `bits` must be the same for every
+/// key being compared (see [`required_bits`]).
+pub fn curve_index<const D: usize>(
+    key: &BlockKey<D>,
+    max_level: u8,
+    bits: u32,
+    curve: Curve,
+) -> u128 {
+    assert!(key.level <= max_level);
+    let shift = (max_level - key.level) as u32;
+    let mut c = [0u64; D];
+    for d in 0..D {
+        let x = key.coords[d];
+        debug_assert!(x >= 0, "curve_index requires in-domain keys");
+        c[d] = (x as u64) << shift;
+        debug_assert!(c[d] < (1u64 << bits), "coordinate exceeds bit budget");
+    }
+    match curve {
+        Curve::Morton => morton_encode(c, bits),
+        Curve::Hilbert => hilbert_encode(c, bits),
+    }
+}
+
+/// Sort leaf keys along a curve. Returns indices into the input in curve
+/// order.
+pub fn curve_order<const D: usize>(keys: &[BlockKey<D>], curve: Curve) -> Vec<usize> {
+    let max_level = keys.iter().map(|k| k.level).max().unwrap_or(0);
+    let roots_max = keys
+        .iter()
+        .map(|k| {
+            let shift = k.level; // coord at level L spans root coord / 2^L
+            k.coords.iter().map(|&c| (c >> shift) + 1).max().unwrap_or(1)
+        })
+        .max()
+        .unwrap_or(1);
+    let bits = required_bits(roots_max, max_level);
+    let mut idx: Vec<usize> = (0..keys.len()).collect();
+    idx.sort_by_key(|&i| curve_index(&keys[i], max_level, bits, curve));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morton_roundtrip_2d() {
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let c = morton_encode::<2>([x, y], 6);
+                assert_eq!(morton_decode::<2>(c, 6), [x, y]);
+            }
+        }
+    }
+
+    #[test]
+    fn morton_roundtrip_3d() {
+        for x in [0u64, 1, 5, 7] {
+            for y in [0u64, 2, 6] {
+                for z in [0u64, 3, 7] {
+                    let c = morton_encode::<3>([x, y, z], 4);
+                    assert_eq!(morton_decode::<3>(c, 4), [x, y, z]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn morton_order_first_quadrant_first() {
+        assert!(morton_encode::<2>([0, 0], 4) < morton_encode::<2>([1, 0], 4));
+        assert!(morton_encode::<2>([1, 1], 4) < morton_encode::<2>([0, 2], 4));
+    }
+
+    #[test]
+    fn hilbert_is_a_bijection_2d() {
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                assert!(seen.insert(hilbert_encode::<2>([x, y], 4)));
+            }
+        }
+        assert_eq!(seen.len(), 256);
+        // indices form exactly 0..256
+        assert!(seen.iter().all(|&h| h < 256));
+    }
+
+    #[test]
+    fn hilbert_is_a_bijection_3d() {
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                for z in 0..8u64 {
+                    assert!(seen.insert(hilbert_encode::<3>([x, y, z], 3)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 512);
+        assert!(seen.iter().all(|&h| h < 512));
+    }
+
+    #[test]
+    fn hilbert_decode_roundtrip() {
+        for bits in [2u32, 3, 4] {
+            let n = 1u64 << bits;
+            for x in 0..n {
+                for y in 0..n {
+                    let h = hilbert_encode::<2>([x, y], bits);
+                    assert_eq!(hilbert_decode::<2>(h, bits), [x, y], "2d bits={bits}");
+                }
+            }
+        }
+        for x in 0..8u64 {
+            for y in 0..8 {
+                for z in 0..8 {
+                    let h = hilbert_encode::<3>([x, y, z], 3);
+                    assert_eq!(hilbert_decode::<3>(h, 3), [x, y, z]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_consecutive_indices_are_adjacent_2d() {
+        // The defining property: consecutive curve points are grid neighbors.
+        let n = 16u64;
+        let mut by_index = vec![[0u64; 2]; (n * n) as usize];
+        for x in 0..n {
+            for y in 0..n {
+                by_index[hilbert_encode::<2>([x, y], 4) as usize] = [x, y];
+            }
+        }
+        for w in by_index.windows(2) {
+            let d = w[0][0].abs_diff(w[1][0]) + w[0][1].abs_diff(w[1][1]);
+            assert_eq!(d, 1, "curve jump between {:?} and {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn hilbert_consecutive_indices_are_adjacent_3d() {
+        let n = 8u64;
+        let mut by_index = vec![[0u64; 3]; (n * n * n) as usize];
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    by_index[hilbert_encode::<3>([x, y, z], 3) as usize] = [x, y, z];
+                }
+            }
+        }
+        for w in by_index.windows(2) {
+            let d = w[0][0].abs_diff(w[1][0])
+                + w[0][1].abs_diff(w[1][1])
+                + w[0][2].abs_diff(w[1][2]);
+            assert_eq!(d, 1, "curve jump between {:?} and {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn curve_index_orders_mixed_levels() {
+        // A parent's index must sit at/before all of its descendants and the
+        // descendants of an earlier sibling must come before a later sibling.
+        let parent = BlockKey::<2>::new(0, [0, 0]);
+        let next = BlockKey::<2>::new(0, [1, 0]);
+        let kids: Vec<_> = parent.children().collect();
+        let bits = required_bits(2, 3);
+        for k in &kids {
+            assert!(
+                curve_index(k, 3, bits, Curve::Morton)
+                    < curve_index(&next, 3, bits, Curve::Morton),
+                "descendant of an earlier block must precede the next block"
+            );
+        }
+        assert_eq!(
+            curve_index(&parent, 3, bits, Curve::Morton),
+            curve_index(&kids[0], 3, bits, Curve::Morton),
+            "parent maps to its first descendant"
+        );
+    }
+
+    #[test]
+    fn curve_order_is_a_permutation() {
+        let keys: Vec<BlockKey<2>> = (0..4)
+            .flat_map(|x| (0..4).map(move |y| BlockKey::new(1, [x, y])))
+            .collect();
+        for curve in [Curve::Morton, Curve::Hilbert] {
+            let ord = curve_order(&keys, curve);
+            let mut sorted = ord.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn hilbert_locality_beats_morton() {
+        // Sum of spatial jumps along the curve over a 16x16 lattice: Hilbert
+        // must be strictly better (all jumps are 1).
+        let n = 16u64;
+        let mut pts: Vec<[u64; 2]> = Vec::new();
+        for x in 0..n {
+            for y in 0..n {
+                pts.push([x, y]);
+            }
+        }
+        let total = |enc: &dyn Fn([u64; 2]) -> u128| {
+            let mut v = pts.clone();
+            v.sort_by_key(|&p| enc(p));
+            v.windows(2)
+                .map(|w| w[0][0].abs_diff(w[1][0]) + w[0][1].abs_diff(w[1][1]))
+                .sum::<u64>()
+        };
+        let m = total(&|p| morton_encode::<2>(p, 5));
+        let h = total(&|p| hilbert_encode::<2>(p, 5));
+        assert!(h < m, "hilbert total jump {h} must beat morton {m}");
+        assert_eq!(h, (n * n - 1), "hilbert jumps are all unit steps");
+    }
+}

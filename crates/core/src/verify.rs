@@ -1,0 +1,190 @@
+//! Structural invariant checking.
+//!
+//! The neighbor pointers are maintained *incrementally* as the grid adapts
+//! — the paper's design — so tests need an independent oracle. This module
+//! recomputes everything from the key map and domain tiling and compares:
+//!
+//! 1. the leaves tile the domain exactly (no gaps, no overlaps),
+//! 2. every stored face pointer equals a from-scratch recomputation,
+//! 3. pointers are symmetric (if A points at B across a face, B points
+//!    back across the opposite face),
+//! 4. face level jumps respect `max_level_jump`,
+//! 5. finer-neighbor lists respect the paper's `2^(k(d-1))` bound.
+//!
+//! Property-based tests drive random adapt sequences through
+//! [`check_grid`]; it is also cheap enough to call in debug builds of the
+//! examples.
+
+use crate::grid::{BlockGrid, FaceConn};
+use crate::index::{max_face_neighbors, Face};
+
+/// Check every structural invariant; `Err` carries a human-readable
+/// description of the first violation found.
+pub fn check_grid<const D: usize>(grid: &BlockGrid<D>) -> Result<(), String> {
+    check_tiling(grid)?;
+    check_pointers(grid)?;
+    check_symmetry(grid)?;
+    check_jumps(grid)?;
+    check_neighbor_bounds(grid)?;
+    Ok(())
+}
+
+/// Leaves tile the domain exactly: key lookup is consistent, no leaf is an
+/// ancestor of another, and total covered volume matches the domain.
+pub fn check_tiling<const D: usize>(grid: &BlockGrid<D>) -> Result<(), String> {
+    let max_l = grid.max_level_present();
+    let mut covered: u128 = 0;
+    for (id, node) in grid.blocks() {
+        let key = node.key();
+        if grid.find(key) != Some(id) {
+            return Err(format!("key map lookup of {key:?} does not return its id"));
+        }
+        // no live ancestor
+        let mut k = key;
+        while let Some(p) = k.parent() {
+            if grid.find(p).is_some() {
+                return Err(format!("leaf {key:?} has live ancestor {p:?}"));
+            }
+            k = p;
+        }
+        covered += 1u128 << ((max_l - key.level) as u32 * D as u32);
+    }
+    let want = grid.layout().num_roots() as u128 * (1u128 << (max_l as u32 * D as u32));
+    if covered != want {
+        return Err(format!(
+            "leaves cover {covered} fine-units of {want}: gaps or overlaps"
+        ));
+    }
+    Ok(())
+}
+
+/// Every stored face pointer equals a from-scratch recomputation.
+pub fn check_pointers<const D: usize>(grid: &BlockGrid<D>) -> Result<(), String> {
+    for (_, node) in grid.blocks() {
+        for f in Face::all::<D>() {
+            let stored = node.face(f);
+            let fresh = grid.compute_face_conn(node.key(), f);
+            if *stored != fresh {
+                return Err(format!(
+                    "block {:?} face {f:?}: stored {stored:?} != recomputed {fresh:?}",
+                    node.key()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// If A lists B across face f, then B lists A across some face (f.opposite()
+/// in the absence of periodic wrap; with wrap the faces can coincide, so we
+/// only require membership on the opposite axis side or — for tiny periodic
+/// domains — any face of the same axis).
+pub fn check_symmetry<const D: usize>(grid: &BlockGrid<D>) -> Result<(), String> {
+    for (id, node) in grid.blocks() {
+        for f in Face::all::<D>() {
+            for &nid in node.face(f).ids() {
+                let n = grid.block(nid);
+                let axis = f.dim as usize;
+                let back = n
+                    .face(f.opposite())
+                    .ids()
+                    .contains(&id)
+                    || n.face(f).ids().contains(&id) // periodic self-axis wrap
+                    || nid == id; // self-neighbor in 1-root periodic axes
+                if !back {
+                    return Err(format!(
+                        "asymmetric pointer: {:?} -> {:?} across axis {axis} not reciprocated",
+                        node.key(),
+                        n.key()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Face level jumps stay within `max_level_jump`.
+pub fn check_jumps<const D: usize>(grid: &BlockGrid<D>) -> Result<(), String> {
+    let k = grid.params().max_level_jump as i32;
+    for (id, node) in grid.blocks() {
+        for f in Face::all::<D>() {
+            let j = grid.face_level_jump(id, f);
+            if j.abs() > k {
+                return Err(format!(
+                    "block {:?} face {f:?}: level jump {j} exceeds {k}",
+                    node.key()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Finer-neighbor lists never exceed the paper's `2^(k(d-1))` bound.
+pub fn check_neighbor_bounds<const D: usize>(grid: &BlockGrid<D>) -> Result<(), String> {
+    let k = grid.params().max_level_jump as usize;
+    let bound = max_face_neighbors(D, k);
+    for (_, node) in grid.blocks() {
+        for f in Face::all::<D>() {
+            if let FaceConn::Blocks(v) = node.face(f) {
+                if v.len() > bound {
+                    return Err(format!(
+                        "block {:?} face {f:?}: {} neighbors exceeds 2^(k(d-1)) = {bound}",
+                        node.key(),
+                        v.len()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{GridParams, Transfer};
+    use crate::key::BlockKey;
+    use crate::layout::{Boundary, RootLayout};
+
+    #[test]
+    fn fresh_grid_passes() {
+        let g = BlockGrid::<3>::new(
+            RootLayout::unit([2, 2, 2], Boundary::Outflow),
+            GridParams::new([4, 4, 4], 2, 1, 3),
+        );
+        check_grid(&g).unwrap();
+    }
+
+    #[test]
+    fn refined_grid_passes() {
+        let mut g = BlockGrid::<2>::new(
+            RootLayout::unit([2, 2], Boundary::Periodic),
+            GridParams::new([4, 4], 2, 2, 4),
+        );
+        let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        g.refine(a, Transfer::None);
+        // a second-level refinement needs the cascade (every child of the
+        // refined root touches level-0 roots in a 2x2 periodic domain)
+        let b = g.find(BlockKey::new(1, [1, 1])).unwrap();
+        let rep = crate::balance::adapt(
+            &mut g,
+            &[(b, crate::balance::Flag::Refine)].into_iter().collect(),
+            Transfer::None,
+        );
+        assert!(rep.refined_cascade > 0);
+        check_grid(&g).unwrap();
+    }
+
+    #[test]
+    fn one_d_grid_passes() {
+        let mut g = BlockGrid::<1>::new(
+            RootLayout::unit([4], Boundary::Outflow),
+            GridParams::new([8], 2, 3, 4),
+        );
+        let a = g.find(BlockKey::new(0, [1])).unwrap();
+        g.refine(a, Transfer::None);
+        check_grid(&g).unwrap();
+    }
+}

@@ -1,0 +1,188 @@
+//! Edge-case coverage for the storage layer: unusual shapes, padding
+//! interactions, anisotropic blocks, and the arena under churn.
+
+use ablock_core::arena::Arena;
+use ablock_core::field::{FieldBlock, FieldShape};
+use ablock_core::grid::{BlockGrid, GridParams, Transfer};
+use ablock_core::index::{Face, IBox};
+use ablock_core::key::BlockKey;
+use ablock_core::layout::{Boundary, RootLayout};
+
+#[test]
+fn anisotropic_blocks_work_end_to_end() {
+    // the paper's m1 x m2 x ... need not be cubic (Fig. 2 uses 3x4)
+    // periodic in x (field is constant along x), outflow in y (field is
+    // linear in y, incompatible with a wrap)
+    let mut g = BlockGrid::<2>::new(
+        RootLayout::unit([2, 2], Boundary::Outflow).with_axis_boundary(0, Boundary::Periodic),
+        GridParams::new([8, 4], 2, 1, 2),
+    );
+    assert_eq!(g.num_cells(), 4 * 32);
+    let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
+    g.refine(a, Transfer::None);
+    ablock_core::verify::check_grid(&g).unwrap();
+    // ghost exchange on anisotropic blocks reproduces a linear field
+    let layout = g.layout().clone();
+    let m = g.params().block_dims;
+    for id in g.block_ids() {
+        let key = g.block(id).key();
+        g.block_mut(id).field_mut().for_each_interior(|c, u| {
+            let x = layout.cell_center(key, m, c);
+            u[0] = 5.0 * x[1]; // periodic-in-x safe (constant along x)
+        });
+    }
+    ablock_core::ghost::fill_ghosts(&mut g, ablock_core::ghost::GhostConfig::default());
+    for (_, node) in g.blocks() {
+        for f in [Face::new(1, false), Face::new(1, true)] {
+            if node.face(f).is_boundary() {
+                continue;
+            }
+            for c in IBox::from_dims(m).outer_face_slab(f, 2).iter() {
+                let x = layout.cell_center(node.key(), m, c);
+                let want = 5.0 * x[1];
+                assert!(
+                    (node.field().at(c, 0) - want).abs() < 1e-12,
+                    "aniso ghost {c:?} of {:?}",
+                    node.key()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_cell_thick_blocks() {
+    // extreme anisotropy: 16x2 blocks with 1 ghost layer
+    let g = BlockGrid::<2>::new(
+        RootLayout::unit([1, 4], Boundary::Periodic),
+        GridParams::new([16, 2], 1, 1, 0),
+    );
+    assert_eq!(g.num_cells(), 128);
+    let shape = g.params().field_shape();
+    assert_eq!(shape.ghosted(), [18, 4]);
+    assert!(shape.ghost_ratio() > 1.0);
+}
+
+#[test]
+fn padding_does_not_change_results() {
+    // identical data, padded vs unpadded: every interior op agrees
+    let mk = |pad: i64| {
+        let mut f = FieldBlock::zeros(FieldShape::<3>::padded([4, 4, 4], 2, 2, pad));
+        let mut k = 0.0;
+        f.for_each_interior(|_, u| {
+            u[0] = k;
+            u[1] = -k * 0.5;
+            k += 1.0;
+        });
+        f
+    };
+    let a = mk(0);
+    let b = mk(3);
+    assert_eq!(a.interior_sum(0), b.interior_sum(0));
+    assert_eq!(a.interior_max_abs(1), b.interior_max_abs(1));
+    for c in a.shape().interior_box().iter() {
+        assert_eq!(a.cell(c), b.cell(c));
+    }
+    // allocation actually differs
+    assert!(b.as_slice().len() > a.as_slice().len());
+}
+
+#[test]
+fn zero_ghost_blocks() {
+    let s = FieldShape::<2>::new([6, 6], 0, 3);
+    assert_eq!(s.ghost_cells(), 0);
+    assert_eq!(s.ghost_ratio(), 0.0);
+    let mut f = FieldBlock::zeros(s);
+    f.for_each_ghosted(|_, u| u[0] += 1.0);
+    assert_eq!(f.interior_sum(0), 36.0);
+}
+
+#[test]
+fn arena_heavy_churn_generations() {
+    let mut a: Arena<u64> = Arena::new();
+    let mut live = Vec::new();
+    let mut stale = Vec::new();
+    let mut state = 12345u64;
+    for step in 0..2000u64 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        if state % 3 == 0 && !live.is_empty() {
+            let idx = (state >> 33) as usize % live.len();
+            let id = live.swap_remove(idx);
+            a.remove(id);
+            stale.push(id);
+        } else {
+            live.push(a.insert(step));
+        }
+    }
+    // every stale id is dead, every live id resolves
+    for &id in &stale {
+        assert!(a.get(id).is_none());
+    }
+    for &id in &live {
+        assert!(a.get(id).is_some());
+    }
+    assert_eq!(a.len(), live.len());
+    // capacity bounded by peak live count + frees, not total inserts
+    assert!(a.capacity() <= 2000);
+}
+
+#[test]
+fn deep_refinement_chain() {
+    // refine the same corner down 6 levels (max supported by the params)
+    let mut g = BlockGrid::<2>::new(
+        RootLayout::unit([1, 1], Boundary::Periodic),
+        GridParams::new([4, 4], 2, 1, 6),
+    );
+    for _ in 0..6 {
+        let id = g.find_leaf_at([1e-12, 1e-12]).unwrap();
+        let flags = [(id, ablock_core::balance::Flag::Refine)].into_iter().collect();
+        ablock_core::balance::adapt(&mut g, &flags, Transfer::None);
+    }
+    ablock_core::verify::check_grid(&g).unwrap();
+    assert_eq!(g.max_level_present(), 6);
+    let deepest = g.find_leaf_at([1e-12, 1e-12]).unwrap();
+    assert_eq!(g.block(deepest).key().level, 6);
+    // cell width at level 6: 1 / (4 * 64)
+    let h = g.layout().cell_size(6, [4, 4])[0];
+    assert!((h - 1.0 / 256.0).abs() < 1e-15);
+}
+
+#[test]
+fn one_dimensional_full_stack() {
+    // 1-D: refine, exchange, adapt, verify — the degenerate-dimension path
+    let mut g = BlockGrid::<1>::new(
+        RootLayout::unit([3], Boundary::Outflow),
+        GridParams::new([6], 2, 2, 3),
+    );
+    let mid = g.find(BlockKey::new(0, [1])).unwrap();
+    g.refine(mid, Transfer::None);
+    ablock_core::verify::check_grid(&g).unwrap();
+    // in 1-D a face has exactly 1 neighbor even at a jump (2^(d-1) = 1)
+    for (_, n) in g.blocks() {
+        for f in Face::all::<1>() {
+            assert!(n.face(f).ids().len() <= 1);
+        }
+    }
+    let layout = g.layout().clone();
+    for id in g.block_ids() {
+        let key = g.block(id).key();
+        g.block_mut(id).field_mut().for_each_interior(|c, u| {
+            let x = layout.cell_center(key, [6], c);
+            u[0] = 2.0 - x[0];
+            u[1] = 4.0 * x[0];
+        });
+    }
+    ablock_core::ghost::fill_ghosts(&mut g, ablock_core::ghost::GhostConfig::default());
+    for (_, node) in g.blocks() {
+        for f in Face::all::<1>() {
+            if node.face(f).is_boundary() {
+                continue;
+            }
+            for c in IBox::from_dims([6]).outer_face_slab(f, 2).iter() {
+                let x = layout.cell_center(node.key(), [6], c);
+                assert!((node.field().at(c, 0) - (2.0 - x[0])).abs() < 1e-12);
+                assert!((node.field().at(c, 1) - 4.0 * x[0]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The paper's *Generalizations* section end-to-end: refinement level
+//! differences greater than one (`max_level_jump = 2`), exercised through
+//! adaptation, neighbor bounds, and ghost exchange with ratio-4
+//! restriction/prolongation.
+
+use ablock_core::balance::{adapt, Flag};
+use ablock_core::ghost::{fill_ghosts, GhostConfig};
+use ablock_core::grid::{BlockGrid, GridParams, Transfer};
+use ablock_core::index::{Face, IBox};
+use ablock_core::key::BlockKey;
+use ablock_core::layout::{Boundary, RootLayout};
+use ablock_core::verify;
+
+/// Two roots; drive the left one to level 2 while the right stays at 0.
+fn two_level_jump_grid() -> BlockGrid<2> {
+    let mut g = BlockGrid::<2>::new(
+        RootLayout::unit([2, 1], Boundary::Outflow),
+        GridParams::new([8, 8], 2, 1, 3).with_max_jump(2),
+    );
+    let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
+    adapt(&mut g, &[(a, Flag::Refine)].into_iter().collect(), Transfer::None);
+    // refine the two children hugging the shared face
+    let flags: std::collections::HashMap<_, _> = g
+        .blocks()
+        .filter(|(_, n)| n.key().level == 1 && n.key().coords[0] == 1)
+        .map(|(id, _)| (id, Flag::Refine))
+        .collect();
+    let rep = adapt(&mut g, &flags, Transfer::None);
+    assert_eq!(rep.refined_cascade, 0, "k=2 must not cascade here");
+    g
+}
+
+#[test]
+fn structure_holds_with_k2() {
+    let g = two_level_jump_grid();
+    verify::check_grid(&g).unwrap();
+    // the right root now sees a mix: 2 level-1 blocks? no — left root's
+    // face children at L1 were both refined, so the face carries 4 L2
+    // blocks; bound is 2^(2*(2-1)) = 4
+    let b = g.find(BlockKey::new(0, [1, 0])).unwrap();
+    let conn = g.block(b).face(Face::new(0, false)).ids();
+    assert_eq!(conn.len(), 4);
+    let levels: Vec<u8> = conn.iter().map(|&i| g.block(i).key().level).collect();
+    assert!(levels.iter().all(|&l| l == 2));
+    // and each of those sees the root directly (a 2-level jump pointer)
+    for &id in conn {
+        assert_eq!(g.block(id).face(Face::new(0, true)).ids(), &[b]);
+        assert_eq!(g.face_level_jump(id, Face::new(0, true)), -2);
+    }
+}
+
+#[test]
+fn ghost_exchange_ratio_4_exact_on_linear() {
+    let mut g = two_level_jump_grid();
+    let m = g.params().block_dims;
+    let layout = g.layout().clone();
+    // linear field everywhere
+    for id in g.block_ids() {
+        let key = g.block(id).key();
+        g.block_mut(id).field_mut().for_each_interior(|c, u| {
+            let x = layout.cell_center(key, m, c);
+            u[0] = 3.0 * x[0] - 2.0 * x[1] + 0.5;
+        });
+    }
+    fill_ghosts(&mut g, GhostConfig::default());
+    // check all interior-facing ghosts, including across the 2-level jump
+    let ng = g.params().nghost;
+    for (_, node) in g.blocks() {
+        for f in Face::all::<2>() {
+            if node.face(f).is_boundary() {
+                continue;
+            }
+            let slab = IBox::from_dims(m).outer_face_slab(f, ng);
+            for c in slab.iter() {
+                let x = layout.cell_center(node.key(), m, c);
+                let want = 3.0 * x[0] - 2.0 * x[1] + 0.5;
+                let got = node.field().at(c, 0);
+                assert!(
+                    (got - want).abs() < 1e-12,
+                    "block {:?} ghost {c:?}: {got} vs {want}",
+                    node.key()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn k2_coarsen_respects_looser_bound() {
+    let mut g = two_level_jump_grid();
+    // coarsening the left root's L2 children back to L1 is legal (jump
+    // returns to 1); coarsening all the way to L0 in one go is impossible
+    // because groups coarsen one level at a time anyway.
+    let flags: std::collections::HashMap<_, _> = g
+        .blocks()
+        .filter(|(_, n)| n.key().level == 2)
+        .map(|(id, _)| (id, Flag::Coarsen))
+        .collect();
+    let rep = adapt(&mut g, &flags, Transfer::None);
+    assert_eq!(rep.coarsened_groups, 2);
+    verify::check_grid(&g).unwrap();
+    assert_eq!(g.max_level_present(), 1);
+}
+
+#[test]
+fn k1_vs_k2_block_counts() {
+    // identical flag sequences; k=2 ends with strictly fewer blocks
+    let run = |k: u8| {
+        let mut g = BlockGrid::<2>::new(
+            RootLayout::unit([4, 1], Boundary::Outflow),
+            GridParams::new([8, 8], 2, 1, 4).with_max_jump(k),
+        );
+        for _ in 0..3 {
+            let id = g.find_leaf_at([1e-9, 1e-9]).unwrap();
+            adapt(&mut g, &[(id, Flag::Refine)].into_iter().collect(), Transfer::None);
+        }
+        verify::check_grid(&g).unwrap();
+        g.num_blocks()
+    };
+    let n1 = run(1);
+    let n2 = run(2);
+    assert!(n2 <= n1, "k=2 cannot need more blocks: {n2} vs {n1}");
+}
+
+#[test]
+fn conservative_transfer_across_k2_adapts() {
+    let mut g = BlockGrid::<2>::new(
+        RootLayout::unit([2, 1], Boundary::Periodic),
+        GridParams::new([8, 8], 2, 1, 3).with_max_jump(2),
+    );
+    let layout = g.layout().clone();
+    let m = g.params().block_dims;
+    for id in g.block_ids() {
+        let key = g.block(id).key();
+        g.block_mut(id).field_mut().for_each_interior(|c, u| {
+            let x = layout.cell_center(key, m, c);
+            u[0] = (7.3 * x[0]).sin() + (3.1 * x[1]).cos();
+        });
+    }
+    let total = |g: &BlockGrid<2>| -> f64 {
+        g.blocks()
+            .map(|(_, n)| {
+                let vol = 0.25f64.powi(n.key().level as i32);
+                n.field().interior_sum(0) * vol
+            })
+            .sum()
+    };
+    let before = total(&g);
+    let t = Transfer::Conservative(ablock_core::ops::ProlongOrder::LinearMinmod);
+    let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
+    adapt(&mut g, &[(a, Flag::Refine)].into_iter().collect(), t);
+    let kids: std::collections::HashMap<_, _> = g
+        .blocks()
+        .filter(|(_, n)| n.key().level == 1)
+        .map(|(id, _)| (id, Flag::Refine))
+        .collect();
+    adapt(&mut g, &kids, t);
+    verify::check_grid(&g).unwrap();
+    let after = total(&g);
+    assert!(
+        (before - after).abs() < 1e-10 * before.abs().max(1.0),
+        "conservation broke: {before} vs {after}"
+    );
+}

@@ -1,0 +1,164 @@
+//! Non-Cartesian initial block configurations (paper, *Generalizations*):
+//! masked root lattices — L-shaped domains, rings, and solid-body cutouts
+//! — exercised through construction, adaptation, ghost fill, and the
+//! invariant oracle.
+
+use ablock_core::balance::refine_ball_to_level;
+use ablock_core::ghost::{fill_ghosts, GhostConfig};
+use ablock_core::grid::{BlockGrid, FaceConn, GridParams, Transfer};
+use ablock_core::index::{Face, IBox};
+use ablock_core::key::BlockKey;
+use ablock_core::layout::{Boundary, Resolved, RootLayout};
+use ablock_core::verify;
+
+fn l_shape() -> RootLayout<2> {
+    // 2x2 lattice minus the upper-right root
+    RootLayout::unit([2, 2], Boundary::Outflow)
+        .with_mask(|c| c != [1, 1])
+        .with_hole_boundary(Boundary::Reflect)
+}
+
+#[test]
+fn masked_layout_reports_holes() {
+    let l = l_shape();
+    assert_eq!(l.num_roots(), 3);
+    assert_eq!(l.root_keys().count(), 3);
+    assert!(l.is_active([0, 0]));
+    assert!(!l.is_active([1, 1]));
+    match l.resolve(BlockKey::new(0, [1, 1])) {
+        Resolved::Outside(_, bc) => assert_eq!(bc, Boundary::Reflect),
+        other => panic!("hole must resolve outside, got {other:?}"),
+    }
+    // a refined key inside the hole is also outside
+    match l.resolve(BlockKey::new(2, [7, 6])) {
+        Resolved::Outside(_, bc) => assert_eq!(bc, Boundary::Reflect),
+        other => panic!("descendant of hole must be outside, got {other:?}"),
+    }
+    // ...but the same fine coords under an active root are inside
+    assert!(matches!(
+        l.resolve(BlockKey::new(2, [1, 6])),
+        Resolved::InDomain(_)
+    ));
+}
+
+#[test]
+fn l_shaped_grid_builds_with_hole_faces() {
+    let mut g = BlockGrid::new(l_shape(), GridParams::new([4, 4], 2, 1, 3));
+    assert_eq!(g.num_blocks(), 3);
+    verify::check_grid(&g).unwrap();
+    // faces toward the hole are reflecting boundaries
+    let right = g.find(BlockKey::new(0, [1, 0])).unwrap();
+    assert_eq!(
+        *g.block(right).face(Face::new(1, true)),
+        FaceConn::Boundary(Boundary::Reflect)
+    );
+    let top = g.find(BlockKey::new(0, [0, 1])).unwrap();
+    assert_eq!(
+        *g.block(top).face(Face::new(0, true)),
+        FaceConn::Boundary(Boundary::Reflect)
+    );
+    // interior faces still connect
+    let bl = g.find(BlockKey::new(0, [0, 0])).unwrap();
+    assert_eq!(g.block(bl).face(Face::new(0, true)).ids(), &[right]);
+    // adaptation near the hole cascades only through real blocks
+    refine_ball_to_level(&mut g, [0.45, 0.45], 0.1, 2, Transfer::None);
+    verify::check_grid(&g).unwrap();
+    assert!(g.max_level_present() >= 2);
+    // no leaf exists inside the hole
+    assert!(g.find_leaf_at([0.75, 0.75]).is_none());
+    assert!(g.find_leaf_at([0.25, 0.75]).is_some());
+}
+
+#[test]
+fn ring_of_roots() {
+    // 4x4 lattice with the inner 2x2 removed: an annulus
+    let layout = RootLayout::unit([4, 4], Boundary::Outflow)
+        .with_mask(|c| !(1..3).contains(&c[0]) || !(1..3).contains(&c[1]));
+    let g = BlockGrid::new(layout, GridParams::new([4, 4], 2, 1, 2));
+    assert_eq!(g.num_blocks(), 12);
+    verify::check_grid(&g).unwrap();
+    // every block bordering the cavity sees a boundary
+    let inner = g.find(BlockKey::new(0, [1, 0])).unwrap();
+    assert!(g.block(inner).face(Face::new(1, true)).is_boundary());
+}
+
+#[test]
+fn reflect_hole_behaves_like_a_wall() {
+    // fill with a vector field; ghosts inside the hole mirror the interior
+    // with the normal component flipped — the solid-body condition
+    let mut g = BlockGrid::new(l_shape(), GridParams::new([4, 4], 2, 3, 1));
+    for id in g.block_ids() {
+        g.block_mut(id).field_mut().for_each_interior(|c, u| {
+            u[0] = 1.0 + c[0] as f64;
+            u[1] = 2.0; // vx
+            u[2] = 3.0; // vy
+        });
+    }
+    let cfg = GhostConfig {
+        prolong_order: ablock_core::ops::ProlongOrder::Constant,
+        vector_components: vec![[1, 2, usize::MAX]],
+        corners: false,
+    };
+    fill_ghosts(&mut g, cfg);
+    // block (1,0)'s y+ face borders the hole: vy flips in the ghosts
+    let right = g.find(BlockKey::new(0, [1, 0])).unwrap();
+    let f = g.block(right).field();
+    assert_eq!(f.at([1, 4], 2), -3.0, "normal (vy) flips at the wall");
+    assert_eq!(f.at([1, 4], 1), 2.0, "tangential (vx) passes through");
+    assert_eq!(f.at([1, 4], 0), f.at([1, 3], 0), "scalar mirrors");
+}
+
+#[test]
+fn masked_tiling_oracle_counts_correctly() {
+    // tiling verification must use the active root count, not the lattice
+    let layout = RootLayout::unit([3, 3], Boundary::Outflow).with_mask(|c| (c[0] + c[1]) % 2 == 0);
+    let mut g = BlockGrid::new(layout, GridParams::new([4, 4], 2, 1, 2));
+    assert_eq!(g.num_blocks(), 5); // checkerboard on 3x3
+    // all faces between active diagonal neighbors are boundaries (no face
+    // adjacency on a checkerboard)
+    for (_, node) in g.blocks() {
+        for f in Face::all::<2>() {
+            assert!(node.face(f).is_boundary());
+        }
+    }
+    let id = g.find(BlockKey::new(0, [1, 1])).unwrap();
+    g.refine(id, Transfer::None);
+    verify::check_grid(&g).unwrap();
+}
+
+#[test]
+fn ghost_fill_near_hole_keeps_interior_exchange_exact() {
+    // linear field on the L-shape: interior faces exact, hole faces are
+    // reflect-filled (not linear), domain faces outflow
+    let mut g = BlockGrid::new(l_shape(), GridParams::new([8, 8], 2, 1, 2));
+    let id = g.find(BlockKey::new(0, [0, 0])).unwrap();
+    g.refine(id, Transfer::None);
+    let layout = g.layout().clone();
+    let m = g.params().block_dims;
+    for id in g.block_ids() {
+        let key = g.block(id).key();
+        g.block_mut(id).field_mut().for_each_interior(|c, u| {
+            let x = layout.cell_center(key, m, c);
+            u[0] = 4.0 * x[0] + 9.0 * x[1];
+        });
+    }
+    fill_ghosts(&mut g, GhostConfig::default());
+    verify::check_grid(&g).unwrap();
+    let ng = g.params().nghost;
+    for (_, node) in g.blocks() {
+        for f in Face::all::<2>() {
+            if node.face(f).is_boundary() {
+                continue;
+            }
+            for c in IBox::from_dims(m).outer_face_slab(f, ng).iter() {
+                let x = layout.cell_center(node.key(), m, c);
+                let want = 4.0 * x[0] + 9.0 * x[1];
+                assert!(
+                    (node.field().at(c, 0) - want).abs() < 1e-12,
+                    "block {:?} ghost {c:?}",
+                    node.key()
+                );
+            }
+        }
+    }
+}

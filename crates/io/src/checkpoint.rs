@@ -1,0 +1,409 @@
+//! Checkpoint / restart: serialize a block grid (topology + fields) to a
+//! compact binary stream and reconstruct it exactly.
+//!
+//! Production AMR runs live and die by restart files; this is the
+//! no-dependencies version. Format (little-endian):
+//!
+//! ```text
+//! magic "ABLK" | version u32 | D u32
+//! layout: roots, origin, size, boundaries[6], hole_bc, mask bitmap
+//! params: block_dims, nghost, nvar, max_level, max_level_jump, pad
+//! leaf count u64, then per leaf (sorted by key):
+//!   level u8, coords i64 x D, interior cell data f64 x (cells*nvar)
+//! ```
+//!
+//! Ghost cells are *not* stored — they are derived state; callers refill
+//! after loading. Reconstruction refines the fresh root grid level by
+//! level toward the saved leaf set, which preserves the jump invariant at
+//! every intermediate step (any level-truncation of a legal grid is
+//! legal).
+
+use std::collections::BTreeSet;
+use std::io::{self, Read, Write};
+
+use ablock_core::grid::{BlockGrid, GridParams, Transfer};
+use ablock_core::index::IVec;
+use ablock_core::key::BlockKey;
+use ablock_core::layout::{Boundary, RootLayout};
+
+const MAGIC: &[u8; 4] = b"ABLK";
+const VERSION: u32 = 1;
+
+fn w_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_i64(w: &mut impl Write, v: i64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn w_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn r_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+fn r_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+fn r_i64(r: &mut impl Read) -> io::Result<i64> {
+    let mut b = [0; 8];
+    r.read_exact(&mut b)?;
+    Ok(i64::from_le_bytes(b))
+}
+fn r_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn encode_bc(bc: Boundary) -> u32 {
+    match bc {
+        Boundary::Periodic => 0,
+        Boundary::Outflow => 1,
+        Boundary::Reflect => 2,
+        Boundary::Custom(tag) => 3 | ((tag as u32) << 16),
+    }
+}
+
+fn decode_bc(v: u32) -> io::Result<Boundary> {
+    Ok(match v & 0xFFFF {
+        0 => Boundary::Periodic,
+        1 => Boundary::Outflow,
+        2 => Boundary::Reflect,
+        3 => Boundary::Custom((v >> 16) as u16),
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown boundary code {other}"),
+            ))
+        }
+    })
+}
+
+/// Serialize the grid (layout, params, leaf keys, interior fields).
+pub fn save_grid<const D: usize>(w: &mut impl Write, grid: &BlockGrid<D>) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w_u32(w, VERSION)?;
+    w_u32(w, D as u32)?;
+    let layout = grid.layout();
+    for d in 0..D {
+        w_i64(w, layout.roots[d])?;
+    }
+    for d in 0..D {
+        w_f64(w, layout.origin[d])?;
+    }
+    for d in 0..D {
+        w_f64(w, layout.size[d])?;
+    }
+    for b in layout.boundaries.iter() {
+        w_u32(w, encode_bc(*b))?;
+    }
+    w_u32(w, encode_bc(layout.hole_boundary))?;
+    match &layout.mask {
+        None => w_u32(w, 0)?,
+        Some(m) => {
+            w_u32(w, 1)?;
+            w_u64(w, m.len() as u64)?;
+            for &a in m {
+                w.write_all(&[a as u8])?;
+            }
+        }
+    }
+    let p = grid.params();
+    for d in 0..D {
+        w_i64(w, p.block_dims[d])?;
+    }
+    w_i64(w, p.nghost)?;
+    w_u64(w, p.nvar as u64)?;
+    w_u32(w, p.max_level as u32)?;
+    w_u32(w, p.max_level_jump as u32)?;
+    w_i64(w, p.pad)?;
+
+    let mut leaves: Vec<BlockKey<D>> = grid.blocks().map(|(_, n)| n.key()).collect();
+    leaves.sort();
+    w_u64(w, leaves.len() as u64)?;
+    for key in leaves {
+        w.write_all(&[key.level])?;
+        for d in 0..D {
+            w_i64(w, key.coords[d])?;
+        }
+        let id = grid.find(key).expect("leaf listed");
+        let f = grid.block(id).field();
+        for c in f.shape().interior_box().iter() {
+            for &v in f.cell(c) {
+                w_f64(w, v)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize a grid saved with [`save_grid`]. Ghosts are zero; refill
+/// with a ghost exchange before stepping.
+pub fn load_grid<const D: usize>(r: &mut impl Read) -> io::Result<BlockGrid<D>> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = r_u32(r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported checkpoint version {version}"),
+        ));
+    }
+    let dims = r_u32(r)? as usize;
+    if dims != D {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint is {dims}-D, expected {D}-D"),
+        ));
+    }
+    let mut roots: IVec<D> = [0; D];
+    for x in roots.iter_mut() {
+        *x = r_i64(r)?;
+    }
+    let mut origin = [0.0; D];
+    for x in origin.iter_mut() {
+        *x = r_f64(r)?;
+    }
+    let mut size = [0.0; D];
+    for x in size.iter_mut() {
+        *x = r_f64(r)?;
+    }
+    let mut boundaries = [Boundary::Outflow; 6];
+    for b in boundaries.iter_mut() {
+        *b = decode_bc(r_u32(r)?)?;
+    }
+    let hole = decode_bc(r_u32(r)?)?;
+    let mut layout = RootLayout::new(roots, origin, size, boundaries);
+    layout.hole_boundary = hole;
+    if r_u32(r)? == 1 {
+        let n = r_u64(r)? as usize;
+        let mut mask = vec![false; n];
+        for m in mask.iter_mut() {
+            let mut b = [0u8; 1];
+            r.read_exact(&mut b)?;
+            *m = b[0] != 0;
+        }
+        layout.mask = Some(mask);
+    }
+    let mut block_dims: IVec<D> = [0; D];
+    for x in block_dims.iter_mut() {
+        *x = r_i64(r)?;
+    }
+    let nghost = r_i64(r)?;
+    let nvar = r_u64(r)? as usize;
+    let max_level = r_u32(r)? as u8;
+    let max_level_jump = r_u32(r)? as u8;
+    let pad = r_i64(r)?;
+    let params = GridParams::new(block_dims, nghost, nvar, max_level)
+        .with_max_jump(max_level_jump)
+        .with_pad(pad);
+
+    // read the leaf set and data
+    let nleaves = r_u64(r)? as usize;
+    let cells = params.field_shape().interior_cells();
+    let mut saved: Vec<(BlockKey<D>, Vec<f64>)> = Vec::with_capacity(nleaves);
+    for _ in 0..nleaves {
+        let mut lv = [0u8; 1];
+        r.read_exact(&mut lv)?;
+        let mut coords: IVec<D> = [0; D];
+        for x in coords.iter_mut() {
+            *x = r_i64(r)?;
+        }
+        let mut data = Vec::with_capacity(cells * nvar);
+        for _ in 0..cells * nvar {
+            data.push(r_f64(r)?);
+        }
+        saved.push((BlockKey::new(lv[0], coords), data));
+    }
+
+    // rebuild the topology: refine ancestors level by level
+    let mut grid = BlockGrid::new(layout, params);
+    let targets: BTreeSet<BlockKey<D>> = saved.iter().map(|(k, _)| *k).collect();
+    let mut to_split: Vec<BTreeSet<BlockKey<D>>> = vec![BTreeSet::new(); max_level as usize + 1];
+    for key in &targets {
+        let mut k = *key;
+        while let Some(p) = k.parent() {
+            to_split[p.level as usize].insert(p);
+            k = p;
+        }
+    }
+    for level in 0..=max_level as usize {
+        let keys: Vec<BlockKey<D>> = to_split[level].iter().copied().collect();
+        for key in keys {
+            if let Some(id) = grid.find(key) {
+                grid.refine(id, Transfer::None);
+            }
+        }
+    }
+    // pour the data back
+    for (key, data) in saved {
+        let id = grid.find(key).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("leaf {key:?} not rebuilt"))
+        })?;
+        let field = grid.block_mut(id).field_mut();
+        let mut off = 0;
+        let interior = field.shape().interior_box();
+        for c in interior.iter() {
+            field.set_cell(c, &data[off..off + nvar]);
+            off += nvar;
+        }
+    }
+    Ok(grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ablock_core::balance::refine_ball_to_level;
+    use ablock_core::verify;
+
+    fn sample_grid() -> BlockGrid<2> {
+        let layout = RootLayout::new(
+            [2, 2],
+            [-1.0, 0.5],
+            [2.0, 1.0],
+            [
+                Boundary::Periodic,
+                Boundary::Periodic,
+                Boundary::Reflect,
+                Boundary::Custom(9),
+                Boundary::Outflow,
+                Boundary::Outflow,
+            ],
+        );
+        let mut g = BlockGrid::new(layout, GridParams::new([4, 4], 2, 3, 3));
+        refine_ball_to_level(&mut g, [-0.4, 1.0], 0.15, 2, Transfer::None);
+        let lay = g.layout().clone();
+        let m = g.params().block_dims;
+        for id in g.block_ids() {
+            let key = g.block(id).key();
+            g.block_mut(id).field_mut().for_each_interior(|c, u| {
+                let x = lay.cell_center(key, m, c);
+                u[0] = x[0] * 3.0 + x[1];
+                u[1] = (x[0] * x[1]).sin();
+                u[2] = key.level as f64;
+            });
+        }
+        g
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let g = sample_grid();
+        let mut buf = Vec::new();
+        save_grid(&mut buf, &g).unwrap();
+        let g2: BlockGrid<2> = load_grid(&mut buf.as_slice()).unwrap();
+        verify::check_grid(&g2).unwrap();
+        assert_eq!(g.num_blocks(), g2.num_blocks());
+        // every leaf matches key and interior data exactly
+        for (_, n) in g.blocks() {
+            let id2 = g2.find(n.key()).expect("key present after reload");
+            let f2 = g2.block(id2).field();
+            for c in n.field().shape().interior_box().iter() {
+                assert_eq!(n.field().cell(c), f2.cell(c), "block {:?} cell {c:?}", n.key());
+            }
+        }
+        // layout round-trips including the exotic boundaries
+        assert_eq!(g2.layout().boundaries, g.layout().boundaries);
+        assert_eq!(g2.layout().origin, g.layout().origin);
+    }
+
+    #[test]
+    fn roundtrip_masked_layout() {
+        let layout = RootLayout::unit([2, 2], Boundary::Outflow)
+            .with_mask(|c| c != [1, 1])
+            .with_hole_boundary(Boundary::Reflect);
+        let mut g = BlockGrid::new(layout, GridParams::new([4, 4], 2, 1, 2));
+        let id = g.block_ids()[0];
+        g.refine(id, Transfer::None);
+        let mut buf = Vec::new();
+        save_grid(&mut buf, &g).unwrap();
+        let g2: BlockGrid<2> = load_grid(&mut buf.as_slice()).unwrap();
+        assert_eq!(g2.num_blocks(), g.num_blocks());
+        assert_eq!(g2.layout().mask, g.layout().mask);
+        assert_eq!(g2.layout().hole_boundary, Boundary::Reflect);
+        verify::check_grid(&g2).unwrap();
+    }
+
+    #[test]
+    fn wrong_dimension_rejected() {
+        let g = sample_grid();
+        let mut buf = Vec::new();
+        save_grid(&mut buf, &g).unwrap();
+        let err = match load_grid::<3>(&mut buf.as_slice()) {
+            Err(e) => e,
+            Ok(_) => panic!("3-D load of a 2-D checkpoint must fail"),
+        };
+        assert!(err.to_string().contains("2-D"));
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let buf = b"NOPE****".to_vec();
+        assert!(load_grid::<2>(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let g = sample_grid();
+        let mut buf = Vec::new();
+        save_grid(&mut buf, &g).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load_grid::<2>(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn restart_continues_physics() {
+        // save mid-run, reload, continue: identical to an uninterrupted run
+        use ablock_solver::euler::Euler;
+        use ablock_solver::kernel::Scheme;
+        use ablock_solver::stepper::Stepper;
+        let e = Euler::<2>::new(1.4);
+        let mut g = BlockGrid::new(
+            RootLayout::unit([2, 2], Boundary::Periodic),
+            GridParams::new([4, 4], 2, 4, 2),
+        );
+        ablock_solver::problems::advected_gaussian(&mut g, &e, [1.0, 0.0], [0.5, 0.5], 0.15);
+        let mut st = Stepper::new(e.clone(), Scheme::muscl_rusanov());
+        let dt = 2e-3;
+        for _ in 0..3 {
+            st.step_rk2(&mut g, dt, None);
+        }
+        // checkpoint
+        let mut buf = Vec::new();
+        save_grid(&mut buf, &g).unwrap();
+        // continue original
+        for _ in 0..3 {
+            st.step_rk2(&mut g, dt, None);
+        }
+        // reload and continue with a fresh stepper
+        let mut g2: BlockGrid<2> = load_grid(&mut buf.as_slice()).unwrap();
+        let mut st2 = Stepper::new(e, Scheme::muscl_rusanov());
+        for _ in 0..3 {
+            st2.step_rk2(&mut g2, dt, None);
+        }
+        for (_, n) in g.blocks() {
+            let id2 = g2.find(n.key()).unwrap();
+            let f2 = g2.block(id2).field();
+            for c in n.field().shape().interior_box().iter() {
+                for v in 0..4 {
+                    assert!(
+                        (n.field().at(c, v) - f2.at(c, v)).abs() < 1e-14,
+                        "restart diverged at {:?} {c:?} var {v}",
+                        n.key()
+                    );
+                }
+            }
+        }
+    }
+}

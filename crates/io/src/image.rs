@@ -1,0 +1,154 @@
+//! Field imaging: resample a grid variable onto a uniform raster and write
+//! portable graymap / pixmap images (no external image dependencies).
+
+use ablock_core::grid::BlockGrid;
+
+/// Sample variable `var` of a 2-D grid onto a `w × h` raster (piecewise
+/// constant per cell, the honest finite-volume picture). Row 0 is the top
+/// of the domain (image convention).
+pub fn sample_2d(grid: &BlockGrid<2>, var: usize, w: usize, h: usize) -> Vec<f64> {
+    let layout = grid.layout();
+    let m = grid.params().block_dims;
+    let mut out = vec![0.0; w * h];
+    for j in 0..h {
+        for i in 0..w {
+            let x = layout.origin[0] + (i as f64 + 0.5) / w as f64 * layout.size[0];
+            let y = layout.origin[1]
+                + (1.0 - (j as f64 + 0.5) / h as f64) * layout.size[1];
+            if let Some(id) = grid.find_leaf_at([x, y]) {
+                let node = grid.block(id);
+                let hh = layout.cell_size(node.key().level, m);
+                let o = layout.block_origin(node.key(), m);
+                let ci = (((x - o[0]) / hh[0]) as i64).clamp(0, m[0] - 1);
+                let cj = (((y - o[1]) / hh[1]) as i64).clamp(0, m[1] - 1);
+                out[j * w + i] = node.field().at([ci, cj], var);
+            }
+        }
+    }
+    out
+}
+
+/// Sample a z-slice of a 3-D grid (at physical height `z`).
+pub fn sample_3d_slice(
+    grid: &BlockGrid<3>,
+    var: usize,
+    z: f64,
+    w: usize,
+    h: usize,
+) -> Vec<f64> {
+    let layout = grid.layout();
+    let m = grid.params().block_dims;
+    let mut out = vec![0.0; w * h];
+    for j in 0..h {
+        for i in 0..w {
+            let x = layout.origin[0] + (i as f64 + 0.5) / w as f64 * layout.size[0];
+            let y = layout.origin[1]
+                + (1.0 - (j as f64 + 0.5) / h as f64) * layout.size[1];
+            if let Some(id) = grid.find_leaf_at([x, y, z]) {
+                let node = grid.block(id);
+                let hh = layout.cell_size(node.key().level, m);
+                let o = layout.block_origin(node.key(), m);
+                let ci = (((x - o[0]) / hh[0]) as i64).clamp(0, m[0] - 1);
+                let cj = (((y - o[1]) / hh[1]) as i64).clamp(0, m[1] - 1);
+                let ck = (((z - o[2]) / hh[2]) as i64).clamp(0, m[2] - 1);
+                out[j * w + i] = node.field().at([ci, cj, ck], var);
+            }
+        }
+    }
+    out
+}
+
+/// Encode a raster as a binary PGM (grayscale), auto-scaled to the data
+/// range.
+pub fn to_pgm(data: &[f64], w: usize, h: usize) -> Vec<u8> {
+    assert_eq!(data.len(), w * h);
+    let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let mut out = format!("P5\n{w} {h}\n255\n").into_bytes();
+    out.extend(data.iter().map(|&v| (((v - lo) / span) * 255.0).round() as u8));
+    out
+}
+
+/// Encode a raster as a binary PPM with a blue→white→red diverging map
+/// centered on the data midpoint.
+pub fn to_ppm(data: &[f64], w: usize, h: usize) -> Vec<u8> {
+    assert_eq!(data.len(), w * h);
+    let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let mut out = format!("P6\n{w} {h}\n255\n").into_bytes();
+    for &v in data {
+        let t = ((v - lo) / span).clamp(0.0, 1.0);
+        let (r, g, b) = if t < 0.5 {
+            let s = t * 2.0;
+            (s, s, 1.0)
+        } else {
+            let s = (1.0 - t) * 2.0;
+            (1.0, s, s)
+        };
+        out.push((r * 255.0) as u8);
+        out.push((g * 255.0) as u8);
+        out.push((b * 255.0) as u8);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ablock_core::grid::{GridParams, Transfer};
+    use ablock_core::key::BlockKey;
+    use ablock_core::layout::{Boundary, RootLayout};
+
+    fn grid_with_marker() -> BlockGrid<2> {
+        let mut g = BlockGrid::new(
+            RootLayout::unit([2, 2], Boundary::Outflow),
+            GridParams::new([4, 4], 2, 1, 2),
+        );
+        // make the refined corner hot
+        let id = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        g.refine(id, Transfer::None);
+        for id in g.block_ids() {
+            let lvl = g.block(id).key().level as f64;
+            g.block_mut(id).field_mut().for_each_interior(|_, u| u[0] = lvl);
+        }
+        g
+    }
+
+    #[test]
+    fn sampling_respects_levels() {
+        let g = grid_with_marker();
+        let img = sample_2d(&g, 0, 32, 32);
+        // bottom-left quadrant (rows 16.., cols ..16) holds level-1 value 1
+        assert_eq!(img[31 * 32 + 2], 1.0);
+        // top-right is level 0
+        assert_eq!(img[2 * 32 + 30], 0.0);
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let g = grid_with_marker();
+        let img = sample_2d(&g, 0, 16, 8);
+        let pgm = to_pgm(&img, 16, 8);
+        assert!(pgm.starts_with(b"P5\n16 8\n255\n"));
+        assert_eq!(pgm.len(), 12 + 16 * 8);
+    }
+
+    #[test]
+    fn ppm_size() {
+        let data = vec![0.0, 0.5, 1.0, 0.25];
+        let ppm = to_ppm(&data, 2, 2);
+        assert!(ppm.starts_with(b"P6\n2 2\n255\n"));
+        assert_eq!(ppm.len(), 11 + 12);
+        // first pixel (min) is blue
+        assert_eq!(&ppm[11..14], &[0, 0, 255]);
+    }
+
+    #[test]
+    fn constant_field_does_not_divide_by_zero() {
+        let data = vec![3.0; 9];
+        let pgm = to_pgm(&data, 3, 3);
+        assert_eq!(pgm[pgm.len() - 1], 0);
+    }
+}

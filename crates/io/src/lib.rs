@@ -1,0 +1,29 @@
+//! # ablock-io — output and reporting
+//!
+//! Rendering and serialization for the repository's examples and
+//! benchmark harness:
+//!
+//! * [`render`] — ASCII and SVG drawings of block decompositions and cell
+//!   trees (regenerates the look of the paper's Figs. 2–4);
+//! * [`image`] — uniform resampling of AMR fields plus PGM/PPM encoders;
+//! * [`vtk`] — legacy-VTK writers (structured-points resample, block
+//!   outlines) for ParaView/VisIt;
+//! * [`table`] — aligned text/CSV tables used by every figure binary;
+//! * [`checkpoint`] — binary save/restart of full grids;
+//! * [`profile`] — line sampling + CSV/sparkline for 1-D comparisons.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod image;
+pub mod profile;
+pub mod render;
+pub mod table;
+pub mod vtk;
+
+pub use checkpoint::{load_grid, save_grid};
+pub use image::{sample_2d, sample_3d_slice, to_pgm, to_ppm};
+pub use profile::{line_profile, profile_csv, sparkline, ProfilePoint};
+pub use render::{ascii_grid_2d, svg_celltree_2d, svg_grid_2d, svg_partition_2d};
+pub use table::{fmt_g, Table};
+pub use vtk::{vtk_blocks_2d, vtk_uniform_2d, vtk_uniform_3d};

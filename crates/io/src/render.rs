@@ -1,0 +1,274 @@
+//! Grid-structure renderings: the paper's Figs. 2–4.
+//!
+//! * [`ascii_grid_2d`] draws block outlines in a character raster — good
+//!   enough for terminals and doc tests;
+//! * [`svg_grid_2d`] emits a standalone SVG with blocks outlined and
+//!   shaded by refinement level (what the paper's Figure 2/3 show);
+//! * [`svg_celltree_2d`] draws a cell-based quadtree with its parent
+//!   cells ghosted behind the leaves (the paper's Figure 4 contrast).
+
+use ablock_core::grid::BlockGrid;
+use ablock_celltree::CellTree;
+
+/// Character raster of the block outlines of a 2-D grid. `width` is the
+/// raster width in characters; height follows the domain aspect ratio.
+pub fn ascii_grid_2d(grid: &BlockGrid<2>, width: usize) -> String {
+    let layout = grid.layout();
+    let aspect = layout.size[1] / layout.size[0];
+    let w = width.max(8);
+    let h = ((w as f64) * aspect * 0.5).round().max(4.0) as usize; // chars are ~2:1
+    let mut raster = vec![vec![' '; w + 1]; h + 1];
+    let m = grid.params().block_dims;
+    for (_, node) in grid.blocks() {
+        let o = layout.block_origin(node.key(), m);
+        let hh = layout.cell_size(node.key().level, m);
+        let x0 = ((o[0] - layout.origin[0]) / layout.size[0] * w as f64).round() as usize;
+        let y0 = ((o[1] - layout.origin[1]) / layout.size[1] * h as f64).round() as usize;
+        let x1 = (((o[0] + hh[0] * m[0] as f64) - layout.origin[0]) / layout.size[0]
+            * w as f64)
+            .round() as usize;
+        let y1 = (((o[1] + hh[1] * m[1] as f64) - layout.origin[1]) / layout.size[1]
+            * h as f64)
+            .round() as usize;
+        for x in x0..=x1.min(w) {
+            raster[y0][x] = '-';
+            raster[y1.min(h)][x] = '-';
+        }
+        for row in raster.iter_mut().take(y1.min(h) + 1).skip(y0) {
+            row[x0] = '|';
+            row[x1.min(w)] = '|';
+        }
+        raster[y0][x0] = '+';
+        raster[y0][x1.min(w)] = '+';
+        raster[y1.min(h)][x0] = '+';
+        raster[y1.min(h)][x1.min(w)] = '+';
+    }
+    // flip y so the origin is bottom-left
+    let mut out = String::new();
+    for row in raster.iter().rev() {
+        let line: String = row.iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+fn level_color(level: u8) -> &'static str {
+    const COLORS: [&str; 6] = ["#e8f0fe", "#c2d7fe", "#94b8fc", "#6694f5", "#3b6fe0", "#1d4ebc"];
+    COLORS[(level as usize).min(COLORS.len() - 1)]
+}
+
+/// Standalone SVG of a 2-D block decomposition, shaded by level.
+pub fn svg_grid_2d(grid: &BlockGrid<2>, width_px: f64) -> String {
+    let layout = grid.layout();
+    let scale = width_px / layout.size[0];
+    let height_px = layout.size[1] * scale;
+    let m = grid.params().block_dims;
+    let mut s = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width_px:.0}\" height=\"{height_px:.0}\" viewBox=\"0 0 {width_px:.2} {height_px:.2}\">\n"
+    );
+    for (_, node) in grid.blocks() {
+        let o = layout.block_origin(node.key(), m);
+        let h = layout.cell_size(node.key().level, m);
+        let x = (o[0] - layout.origin[0]) * scale;
+        let w = h[0] * m[0] as f64 * scale;
+        let hh = h[1] * m[1] as f64 * scale;
+        // svg y grows downward; flip
+        let y = height_px - ((o[1] - layout.origin[1]) * scale + hh);
+        s.push_str(&format!(
+            "  <rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{hh:.2}\" fill=\"{}\" stroke=\"#1a1a2e\" stroke-width=\"1\"/>\n",
+            level_color(node.key().level)
+        ));
+        // draw the cell lattice inside the block (thin lines)
+        for i in 1..m[0] {
+            let cx = x + w * i as f64 / m[0] as f64;
+            s.push_str(&format!(
+                "  <line x1=\"{cx:.2}\" y1=\"{y:.2}\" x2=\"{cx:.2}\" y2=\"{:.2}\" stroke=\"#1a1a2e\" stroke-width=\"0.2\"/>\n",
+                y + hh
+            ));
+        }
+        for j in 1..m[1] {
+            let cy = y + hh * j as f64 / m[1] as f64;
+            s.push_str(&format!(
+                "  <line x1=\"{x:.2}\" y1=\"{cy:.2}\" x2=\"{:.2}\" y2=\"{cy:.2}\" stroke=\"#1a1a2e\" stroke-width=\"0.2\"/>\n",
+                x + w
+            ));
+        }
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+/// Standalone SVG of a 2-D cell tree: leaves filled green (as in the
+/// paper's Fig. 4), internal cells outlined only — showing that the
+/// subdivided regions keep two representations.
+pub fn svg_celltree_2d(tree: &CellTree<2>, width_px: f64) -> String {
+    let layout = tree.layout();
+    let scale = width_px / layout.size[0];
+    let height_px = layout.size[1] * scale;
+    let mut s = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width_px:.0}\" height=\"{height_px:.0}\" viewBox=\"0 0 {width_px:.2} {height_px:.2}\">\n"
+    );
+    // collect every node (walk from each leaf to its root), then draw
+    // coarse-to-fine so leaves overlay their ancestors
+    let mut nodes: Vec<_> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for id in tree.leaf_ids() {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if !seen.insert(c) {
+                break;
+            }
+            nodes.push(c);
+            cur = tree.node(c).parent;
+        }
+    }
+    nodes.sort_by_key(|&id| tree.node(id).key.level);
+    for id in nodes {
+        let n = tree.node(id);
+        let h = tree.cell_size(n.key.level);
+        let o = layout.block_origin(n.key, [1, 1]);
+        let x = (o[0] - layout.origin[0]) * scale;
+        let w = h[0] * scale;
+        let hh = h[1] * scale;
+        let y = height_px - ((o[1] - layout.origin[1]) * scale + hh);
+        let fill = if n.is_leaf() { "#9be89b" } else { "none" };
+        s.push_str(&format!(
+            "  <rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{hh:.2}\" fill=\"{fill}\" stroke=\"#333\" stroke-width=\"0.8\"/>\n"
+        ));
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+/// SVG of a 2-D grid with blocks colored by an assignment (rank →
+/// categorical color) and the space-filling-curve walk drawn through the
+/// block centers — the picture behind SFC load balancing.
+pub fn svg_partition_2d(
+    grid: &BlockGrid<2>,
+    assignment: &std::collections::HashMap<ablock_core::arena::BlockId, usize>,
+    curve_order: &[ablock_core::arena::BlockId],
+    width_px: f64,
+) -> String {
+    const RANK_COLORS: [&str; 8] = [
+        "#f4cccc", "#d9ead3", "#cfe2f3", "#fff2cc", "#d9d2e9", "#fce5cd", "#d0e0e3", "#ead1dc",
+    ];
+    let layout = grid.layout();
+    let scale = width_px / layout.size[0];
+    let height_px = layout.size[1] * scale;
+    let m = grid.params().block_dims;
+    let center = |id: ablock_core::arena::BlockId| -> (f64, f64) {
+        let node = grid.block(id);
+        let o = layout.block_origin(node.key(), m);
+        let h = layout.cell_size(node.key().level, m);
+        let cx = (o[0] - layout.origin[0] + 0.5 * h[0] * m[0] as f64) * scale;
+        let cy = height_px - (o[1] - layout.origin[1] + 0.5 * h[1] * m[1] as f64) * scale;
+        (cx, cy)
+    };
+    let mut s = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width_px:.0}\" height=\"{height_px:.0}\" viewBox=\"0 0 {width_px:.2} {height_px:.2}\">\n"
+    );
+    for (id, node) in grid.blocks() {
+        let o = layout.block_origin(node.key(), m);
+        let h = layout.cell_size(node.key().level, m);
+        let x = (o[0] - layout.origin[0]) * scale;
+        let w = h[0] * m[0] as f64 * scale;
+        let hh = h[1] * m[1] as f64 * scale;
+        let y = height_px - ((o[1] - layout.origin[1]) * scale + hh);
+        let color = assignment
+            .get(&id)
+            .map(|r| RANK_COLORS[r % RANK_COLORS.len()])
+            .unwrap_or("#eeeeee");
+        s.push_str(&format!(
+            "  <rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{hh:.2}\" fill=\"{color}\" stroke=\"#333\" stroke-width=\"0.8\"/>\n"
+        ));
+    }
+    if curve_order.len() >= 2 {
+        let mut path = String::from("  <polyline points=\"");
+        for &id in curve_order {
+            let (cx, cy) = center(id);
+            path.push_str(&format!("{cx:.1},{cy:.1} "));
+        }
+        path.push_str("\" fill=\"none\" stroke=\"#c0392b\" stroke-width=\"1.4\"/>\n");
+        s.push_str(&path);
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ablock_core::grid::{GridParams, Transfer};
+    use ablock_core::key::BlockKey;
+    use ablock_core::layout::{Boundary, RootLayout};
+
+    fn fig2_grid() -> BlockGrid<2> {
+        // the paper's Figure 2 (4x4 cells per block rather than 3x4 —
+        // refinement requires even extents): four blocks, one refined
+        let mut g = BlockGrid::new(
+            RootLayout::unit([2, 2], Boundary::Outflow),
+            GridParams::new([4, 4], 2, 1, 2),
+        );
+        let id = g.find(BlockKey::new(0, [0, 1])).unwrap();
+        g.refine(id, Transfer::None);
+        g
+    }
+
+    #[test]
+    fn ascii_render_contains_corners() {
+        let g = fig2_grid();
+        let art = ascii_grid_2d(&g, 40);
+        assert!(art.contains('+'));
+        assert!(art.contains('-'));
+        assert!(art.contains('|'));
+        assert!(art.lines().count() >= 5);
+    }
+
+    #[test]
+    fn svg_render_has_one_rect_per_block() {
+        let g = fig2_grid();
+        let svg = svg_grid_2d(&g, 400.0);
+        assert_eq!(svg.matches("<rect").count(), g.num_blocks());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // two levels present: two fill colors
+        assert!(svg.contains(level_color(0)));
+        assert!(svg.contains(level_color(1)));
+    }
+
+    #[test]
+    fn partition_svg_colors_and_curve() {
+        use ablock_core::sfc::{curve_order, Curve};
+        let g = fig2_grid();
+        let keys: Vec<_> = g.blocks().map(|(_, n)| n.key()).collect();
+        let ids: Vec<_> = g.blocks().map(|(id, _)| id).collect();
+        let order = curve_order(&keys, Curve::Hilbert);
+        let ordered: Vec<_> = order.iter().map(|&i| ids[i]).collect();
+        let assignment: std::collections::HashMap<_, _> = ordered
+            .iter()
+            .enumerate()
+            .map(|(rank_pos, &id)| (id, rank_pos / 4))
+            .collect();
+        let svg = svg_partition_2d(&g, &assignment, &ordered, 300.0);
+        assert_eq!(svg.matches("<rect").count(), g.num_blocks());
+        assert_eq!(svg.matches("<polyline").count(), 1);
+        // the curve visits every block center
+        let pts = svg.split("points=\"").nth(1).unwrap();
+        let n_pts = pts.split('\"').next().unwrap().split_whitespace().count();
+        assert_eq!(n_pts, g.num_blocks());
+    }
+
+    #[test]
+    fn celltree_svg_shows_parents_and_leaves() {
+        let mut t = CellTree::<2>::new(RootLayout::unit([2, 2], Boundary::Outflow), 1, 3);
+        let leaf = t.leaf_ids()[0];
+        let kids = t.refine(leaf);
+        t.refine(kids[0]);
+        let svg = svg_celltree_2d(&t, 300.0);
+        // all nodes drawn: 4 roots + 4 + 4 children
+        assert_eq!(svg.matches("<rect").count(), t.num_nodes());
+        assert!(svg.contains("#9be89b"), "leaves are green");
+        assert!(svg.contains("\"none\""), "internal cells hollow");
+    }
+}

@@ -1,0 +1,148 @@
+//! Plain-text tables and CSV output for the benchmark harness.
+//!
+//! Every figure/table binary in `ablock-bench` prints its rows through
+//! [`Table`], so the harness output is uniform and grep-friendly, and can
+//! be re-emitted as CSV for plotting.
+
+use std::fmt::Write as _;
+
+/// A simple right-aligned column table with a title.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Append a row of displayable values.
+    pub fn rowd(&mut self, cells: &[&dyn std::fmt::Display]) {
+        let v: Vec<String> = cells.iter().map(|c| format!("{c}")).collect();
+        self.row(&v);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let line: String = widths.iter().map(|w| "-".repeat(w + 2)).collect();
+        let _ = writeln!(out, "{line}");
+        let hdr: String = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!(" {h:>w$} ", w = w))
+            .collect();
+        let _ = writeln!(out, "{hdr}");
+        let _ = writeln!(out, "{line}");
+        for row in &self.rows {
+            let r: String = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!(" {c:>w$} ", w = w))
+                .collect();
+            let _ = writeln!(out, "{r}");
+        }
+        let _ = writeln!(out, "{line}");
+        out
+    }
+
+    /// Render as CSV (header row included, title as a comment).
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("# {}\n{}\n", self.title, self.headers.join(","));
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print the text table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a float with engineering-friendly precision.
+pub fn fmt_g(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1e4 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["n", "value"]);
+        t.row(&["1".into(), "10.5".into()]);
+        t.row(&["128".into(), "3".into()]);
+        let s = t.render();
+        assert!(s.contains("# demo"));
+        assert!(s.contains("  n "));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + separator lines present
+        assert!(lines.len() >= 6);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "# x\na,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_g(0.0), "0");
+        assert_eq!(fmt_g(1.25), "1.2500");
+        assert_eq!(fmt_g(123456.0), "1.235e5");
+        assert_eq!(fmt_g(0.0001), "1.000e-4");
+    }
+}

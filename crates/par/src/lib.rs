@@ -1,0 +1,29 @@
+//! # ablock-par — parallel substrates for adaptive blocks
+//!
+//! Everything the SC'97 paper's 512-PE Cray T3D runs needed, rebuilt:
+//!
+//! * [`machine`] — a from-scratch message-passing machine (ranks =
+//!   threads, tagged channels, barrier, allreduce/allgatherv/broadcast);
+//! * [`dist`] — distributed AMR stepping: replicated block topology,
+//!   owner-held field data, halo exchange over the machine, replicated
+//!   adapt with data migration;
+//! * [`balance`] — SFC (Morton/Hilbert), round-robin, and greedy
+//!   partitioners with imbalance and communication metrics;
+//! * [`shared`] — a rayon shared-memory executor (gather/scatter ghost
+//!   fill, parallel block kernels);
+//! * [`costmodel`] — a BSP step-cost model with T3D-like parameters that
+//!   regenerates the paper's Figs. 6–7 scaling shapes at any rank count.
+
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod costmodel;
+pub mod dist;
+pub mod machine;
+pub mod shared;
+
+pub use balance::{comm_stats, imbalance, partition, partition_grid, CommStats, Policy};
+pub use costmodel::{model_step, CostParams, RankCost, StepCost};
+pub use dist::DistSim;
+pub use machine::{Comm, Machine, Msg};
+pub use shared::{par_fill_ghosts, ParStepper};

@@ -1,0 +1,403 @@
+//! A from-scratch message-passing machine: the Cray T3D substitute.
+//!
+//! `Machine::run(P, f)` spawns `P` ranks as OS threads; each receives a
+//! [`Comm`] endpoint with point-to-point tagged send/recv, a barrier, and
+//! the collectives the paper's solver needs (allreduce for the global CFL
+//! step, gather/broadcast for replicated adapt decisions).
+//!
+//! Message payloads are `Vec<f64>` — block field regions are what actually
+//! moves, and control integers fit losslessly in doubles below 2^53.
+//! Channels are unbounded (crossbeam), so sends never block and the
+//! communication patterns in `dist` are deadlock-free by construction
+//! (all sends precede all receives within a phase).
+//!
+//! Every endpoint counts messages and payload volume so tests and the BSP
+//! cost model can be validated against what a run *actually* sent.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::{Arc, Barrier};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// A tagged message.
+#[derive(Debug)]
+pub struct Msg {
+    /// Sending rank.
+    pub src: usize,
+    /// User tag (tags with the top bit set are reserved for collectives).
+    pub tag: u64,
+    /// Payload.
+    pub data: Vec<f64>,
+}
+
+const COLL_TAG: u64 = 1 << 63;
+
+/// Per-rank communication endpoint.
+pub struct Comm {
+    rank: usize,
+    nranks: usize,
+    inbox: Receiver<Msg>,
+    peers: Vec<Sender<Msg>>,
+    barrier: Arc<Barrier>,
+    /// Out-of-order messages waiting for a matching recv.
+    stash: RefCell<VecDeque<Msg>>,
+    /// Point-to-point messages sent.
+    pub sent_msgs: Cell<u64>,
+    /// Total f64s sent point-to-point.
+    pub sent_values: Cell<u64>,
+}
+
+impl Comm {
+    /// This endpoint's rank in `0..nranks`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the machine.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Send `data` to `to` with a user `tag` (top bit reserved).
+    pub fn send(&self, to: usize, tag: u64, data: Vec<f64>) {
+        debug_assert_eq!(tag & COLL_TAG, 0, "top tag bit is reserved");
+        self.send_raw(to, tag, data);
+    }
+
+    fn send_raw(&self, to: usize, tag: u64, data: Vec<f64>) {
+        self.sent_msgs.set(self.sent_msgs.get() + 1);
+        self.sent_values.set(self.sent_values.get() + data.len() as u64);
+        self.peers[to]
+            .send(Msg { src: self.rank, tag, data })
+            .expect("peer hung up");
+    }
+
+    /// Blocking receive matching `(from, tag)`; out-of-order arrivals are
+    /// stashed and delivered to later matching receives.
+    pub fn recv(&self, from: usize, tag: u64) -> Vec<f64> {
+        debug_assert_eq!(tag & COLL_TAG, 0, "top tag bit is reserved");
+        self.recv_raw(from, tag)
+    }
+
+    fn recv_raw(&self, from: usize, tag: u64) -> Vec<f64> {
+        // check the stash first
+        {
+            let mut stash = self.stash.borrow_mut();
+            if let Some(pos) = stash.iter().position(|m| m.src == from && m.tag == tag) {
+                return stash.remove(pos).expect("position valid").data;
+            }
+        }
+        loop {
+            let msg = self.inbox.recv().expect("machine shut down mid-recv");
+            if msg.src == from && msg.tag == tag {
+                return msg.data;
+            }
+            self.stash.borrow_mut().push_back(msg);
+        }
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// All-reduce a vector elementwise with `op`; every rank gets the
+    /// result. Gather-to-root + broadcast (tree depth is modeled, not
+    /// implemented — correctness here, cost in `costmodel`).
+    pub fn allreduce_vec(&self, mut data: Vec<f64>, op: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+        if self.nranks == 1 {
+            return data;
+        }
+        if self.rank == 0 {
+            for src in 1..self.nranks {
+                let theirs = self.recv_raw(src, COLL_TAG);
+                assert_eq!(theirs.len(), data.len(), "allreduce length mismatch");
+                for (a, b) in data.iter_mut().zip(theirs) {
+                    *a = op(*a, b);
+                }
+            }
+            for dst in 1..self.nranks {
+                self.send_raw(dst, COLL_TAG | 1, data.clone());
+            }
+            data
+        } else {
+            self.send_raw(0, COLL_TAG, data);
+            self.recv_raw(0, COLL_TAG | 1)
+        }
+    }
+
+    /// All-reduce a scalar.
+    pub fn allreduce(&self, x: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+        self.allreduce_vec(vec![x], op)[0]
+    }
+
+    /// Global minimum (the CFL reduction).
+    pub fn allreduce_min(&self, x: f64) -> f64 {
+        self.allreduce(x, f64::min)
+    }
+
+    /// Global maximum.
+    pub fn allreduce_max(&self, x: f64) -> f64 {
+        self.allreduce(x, f64::max)
+    }
+
+    /// Global sum.
+    pub fn allreduce_sum(&self, x: f64) -> f64 {
+        self.allreduce(x, |a, b| a + b)
+    }
+
+    /// Gather variable-length vectors to every rank (allgatherv):
+    /// result[r] is rank r's contribution.
+    pub fn allgatherv(&self, data: Vec<f64>) -> Vec<Vec<f64>> {
+        if self.nranks == 1 {
+            return vec![data];
+        }
+        if self.rank == 0 {
+            let mut all = vec![Vec::new(); self.nranks];
+            all[0] = data;
+            for src in 1..self.nranks {
+                all[src] = self.recv_raw(src, COLL_TAG | 2);
+            }
+            // broadcast as a flattened stream with a length header
+            let mut flat = Vec::new();
+            flat.push(self.nranks as f64);
+            for part in &all {
+                flat.push(part.len() as f64);
+            }
+            for part in &all {
+                flat.extend_from_slice(part);
+            }
+            for dst in 1..self.nranks {
+                self.send_raw(dst, COLL_TAG | 3, flat.clone());
+            }
+            all
+        } else {
+            self.send_raw(0, COLL_TAG | 2, data);
+            let flat = self.recv_raw(0, COLL_TAG | 3);
+            let n = flat[0] as usize;
+            let lens: Vec<usize> = (0..n).map(|i| flat[1 + i] as usize).collect();
+            let mut out = Vec::with_capacity(n);
+            let mut off = 1 + n;
+            for len in lens {
+                out.push(flat[off..off + len].to_vec());
+                off += len;
+            }
+            out
+        }
+    }
+
+    /// Broadcast from `root` to all; returns the payload everywhere.
+    pub fn broadcast(&self, root: usize, data: Vec<f64>) -> Vec<f64> {
+        if self.nranks == 1 {
+            return data;
+        }
+        if self.rank == root {
+            for dst in 0..self.nranks {
+                if dst != root {
+                    self.send_raw(dst, COLL_TAG | 4, data.clone());
+                }
+            }
+            data
+        } else {
+            self.recv_raw(root, COLL_TAG | 4)
+        }
+    }
+}
+
+/// The machine: spawns ranks and collects their results.
+pub struct Machine;
+
+impl Machine {
+    /// Run `f` on `nranks` ranks (threads); returns per-rank results in
+    /// rank order. Panics in any rank propagate.
+    pub fn run<T, F>(nranks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Send + Sync,
+    {
+        assert!(nranks >= 1);
+        let mut senders = Vec::with_capacity(nranks);
+        let mut receivers = Vec::with_capacity(nranks);
+        for _ in 0..nranks {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        let barrier = Arc::new(Barrier::new(nranks));
+        let f = &f;
+        let mut comms: Vec<Comm> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| Comm {
+                rank,
+                nranks,
+                inbox,
+                peers: senders.clone(),
+                barrier: barrier.clone(),
+                stash: RefCell::new(VecDeque::new()),
+                sent_msgs: Cell::new(0),
+                sent_values: Cell::new(0),
+            })
+            .collect();
+        drop(senders);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .drain(..)
+                .map(|comm| scope.spawn(move || f(comm)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_trivial() {
+        let out = Machine::run(1, |c| {
+            assert_eq!(c.rank(), 0);
+            assert_eq!(c.nranks(), 1);
+            c.allreduce_sum(5.0)
+        });
+        assert_eq!(out, vec![5.0]);
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let out = Machine::run(4, |c| {
+            let next = (c.rank() + 1) % 4;
+            let prev = (c.rank() + 3) % 4;
+            c.send(next, 7, vec![c.rank() as f64]);
+            let got = c.recv(prev, 7);
+            got[0]
+        });
+        assert_eq!(out, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let out = Machine::run(2, |c| {
+            if c.rank() == 0 {
+                // send two tags; peer receives in opposite order
+                c.send(1, 1, vec![10.0]);
+                c.send(1, 2, vec![20.0]);
+                0.0
+            } else {
+                let b = c.recv(0, 2);
+                let a = c.recv(0, 1);
+                a[0] + b[0]
+            }
+        });
+        assert_eq!(out[1], 30.0);
+    }
+
+    #[test]
+    fn allreduce_ops() {
+        let out = Machine::run(5, |c| {
+            let r = c.rank() as f64;
+            (
+                c.allreduce_sum(r),
+                c.allreduce_min(r),
+                c.allreduce_max(r),
+            )
+        });
+        for (s, lo, hi) in out {
+            assert_eq!(s, 10.0);
+            assert_eq!(lo, 0.0);
+            assert_eq!(hi, 4.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_vec_elementwise() {
+        let out = Machine::run(3, |c| {
+            let r = c.rank() as f64;
+            c.allreduce_vec(vec![r, 10.0 * r], |a, b| a + b)
+        });
+        for v in out {
+            assert_eq!(v, vec![3.0, 30.0]);
+        }
+    }
+
+    #[test]
+    fn allgatherv_variable_lengths() {
+        let out = Machine::run(3, |c| {
+            let mine: Vec<f64> = (0..=c.rank()).map(|i| i as f64).collect();
+            c.allgatherv(mine)
+        });
+        for parts in out {
+            assert_eq!(parts[0], vec![0.0]);
+            assert_eq!(parts[1], vec![0.0, 1.0]);
+            assert_eq!(parts[2], vec![0.0, 1.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let out = Machine::run(4, |c| {
+            let data = if c.rank() == 2 { vec![42.0, 43.0] } else { Vec::new() };
+            c.broadcast(2, data)
+        });
+        for v in out {
+            assert_eq!(v, vec![42.0, 43.0]);
+        }
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        Machine::run(4, |c| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // after the barrier every rank must see all increments
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let out = Machine::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 0, vec![1.0, 2.0, 3.0]);
+            } else {
+                c.recv(0, 0);
+            }
+            c.barrier();
+            (c.sent_msgs.get(), c.sent_values.get())
+        });
+        assert_eq!(out[0], (1, 3));
+        assert_eq!(out[1], (0, 0));
+    }
+
+    #[test]
+    fn many_ranks_stress() {
+        // 32 ranks exchanging with all peers
+        let out = Machine::run(32, |c| {
+            for to in 0..c.nranks() {
+                if to != c.rank() {
+                    c.send(to, 9, vec![c.rank() as f64]);
+                }
+            }
+            let mut sum = 0.0;
+            for from in 0..c.nranks() {
+                if from != c.rank() {
+                    sum += c.recv(from, 9)[0];
+                }
+            }
+            sum
+        });
+        let want: f64 = (0..32).sum::<i64>() as f64;
+        for (r, s) in out.iter().enumerate() {
+            assert_eq!(*s, want - r as f64);
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Shared-memory parallel executor (rayon).
+//!
+//! The paper claims the data structure is "particularly well suited to
+//! high-performance machines, both serial and parallel". This module is
+//! the shared-memory side of that claim: blocks are the natural
+//! parallelization unit — RHS kernels per block are embarrassingly
+//! parallel, and ghost exchange becomes a two-phase **gather/scatter**
+//! (gather reads only sources, scatter writes only destinations), each
+//! phase running over rayon's work-stealing pool with no locks.
+//!
+//! `ParStepper` reproduces `ablock_solver::Stepper`'s SSP-RK2 semantics
+//! exactly (the equivalence test below checks bitwise-level agreement);
+//! only the execution order across blocks differs, and no arithmetic
+//! crosses block boundaries outside the ghost plan.
+
+use std::collections::HashMap;
+
+use rayon::prelude::*;
+
+use ablock_core::arena::BlockId;
+use ablock_core::field::{FieldBlock, FieldShape};
+use ablock_core::ghost::{synthesize_boundary, GhostConfig, GhostExchange, GhostTask};
+use ablock_core::grid::BlockGrid;
+use ablock_core::index::IBox;
+use ablock_core::ops::{prolong, restrict_avg, ProlongOrder};
+
+use ablock_solver::kernel::{apply_floors_block, compute_rhs_block, max_rate_block, Scheme};
+use ablock_solver::physics::Physics;
+use ablock_solver::recon::Recon;
+
+/// Disjoint mutable references `out[i] = &mut v[ids[i].index()]`;
+/// `ids` must be strictly increasing by index (arena order is).
+fn indexed_refs<'a, T>(v: &'a mut [T], ids: &[BlockId]) -> Vec<&'a mut T> {
+    let mut out = Vec::with_capacity(ids.len());
+    let mut rest = v;
+    let mut offset = 0usize;
+    for &id in ids {
+        let idx = id.index();
+        debug_assert!(idx >= offset, "ids must be strictly increasing");
+        let (_, tail) = rest.split_at_mut(idx - offset);
+        let (item, tail2) = tail.split_first_mut().expect("scratch too small");
+        out.push(item);
+        rest = tail2;
+        offset = idx + 1;
+    }
+    out
+}
+
+/// Ghost values computed in the gather phase, ready to be written into one
+/// destination block.
+struct ReadyOp<const D: usize> {
+    region: IBox<D>,
+    data: Vec<f64>,
+}
+
+/// Gather one non-physical task's destination values by reading only the
+/// source block.
+fn gather_task<const D: usize>(
+    grid: &BlockGrid<D>,
+    task: &GhostTask<D>,
+    order: ProlongOrder,
+) -> Option<(BlockId, ReadyOp<D>)> {
+    let nvar = grid.params().nvar;
+    match task {
+        GhostTask::Physical { .. } | GhostTask::ClampCopy { .. } => None,
+        GhostTask::Same { dst, src, region, shift } => {
+            let sf = grid.block(*src).field();
+            let mut data = Vec::with_capacity(region.volume() as usize * nvar);
+            for c in region.iter() {
+                let mut sc = c;
+                for d in 0..D {
+                    sc[d] += shift[d];
+                }
+                data.extend_from_slice(sf.cell(sc));
+            }
+            Some((*dst, ReadyOp { region: *region, data }))
+        }
+        GhostTask::Restrict { dst, src, region, q, ratio } => {
+            let extent = region.extent();
+            let shape = FieldShape::new(extent, 0, nvar);
+            let mut tmp = FieldBlock::zeros(shape);
+            // temp coords c' = c - region.lo  =>  q' = ratio*region.lo + q
+            let mut qp = *q;
+            for d in 0..D {
+                qp[d] += ratio * region.lo[d];
+            }
+            restrict_avg(&mut tmp, IBox::from_dims(extent), grid.block(*src).field(), qp, *ratio);
+            Some((*dst, ReadyOp { region: *region, data: tmp.as_slice().to_vec() }))
+        }
+        GhostTask::Prolong { dst, src, region, p, a, ratio, valid } => {
+            let extent = region.extent();
+            let shape = FieldShape::new(extent, 0, nvar);
+            let mut tmp = FieldBlock::zeros(shape);
+            let mut pp = *p;
+            for d in 0..D {
+                pp[d] += region.lo[d];
+            }
+            prolong(
+                &mut tmp,
+                IBox::from_dims(extent),
+                grid.block(*src).field(),
+                pp,
+                *a,
+                *ratio,
+                order,
+                *valid,
+            );
+            Some((*dst, ReadyOp { region: *region, data: tmp.as_slice().to_vec() }))
+        }
+    }
+}
+
+/// Parallel ghost fill: each phase is gather (parallel over tasks, reads
+/// only) then scatter (parallel over destination blocks, writes only).
+pub fn par_fill_ghosts<const D: usize>(
+    grid: &mut BlockGrid<D>,
+    plan: &GhostExchange<D>,
+    config: &GhostConfig,
+) {
+    let layout = grid.layout().clone();
+    let m = grid.params().block_dims;
+    let ng = grid.params().nghost;
+    for tasks in [plan.phase1(), plan.phase2()] {
+        // gather (immutable grid)
+        let ready: Vec<(BlockId, ReadyOp<D>)> = tasks
+            .par_iter()
+            .filter_map(|t| gather_task(grid, t, config.prolong_order))
+            .collect();
+        // group by destination
+        let mut by_dst: HashMap<BlockId, Vec<ReadyOp<D>>> = HashMap::new();
+        for (dst, op) in ready {
+            by_dst.entry(dst).or_default().push(op);
+        }
+        let mut phys_by_dst: HashMap<BlockId, Vec<&GhostTask<D>>> = HashMap::new();
+        for t in tasks {
+            match t {
+                GhostTask::Physical { dst, .. } | GhostTask::ClampCopy { dst, .. } => {
+                    phys_by_dst.entry(*dst).or_default().push(t);
+                }
+                _ => {}
+            }
+        }
+        // scatter (mutable, one block per work item)
+        let mut nodes: Vec<_> = grid.blocks_mut().collect();
+        nodes.par_iter_mut().for_each(|(id, node)| {
+            if let Some(ops) = by_dst.get(id) {
+                for op in ops {
+                    let nvar = node.field().shape().nvar;
+                    let mut off = 0;
+                    for c in op.region.iter() {
+                        node.field_mut().set_cell(c, &op.data[off..off + nvar]);
+                        off += nvar;
+                    }
+                }
+            }
+            if let Some(ts) = phys_by_dst.get(id) {
+                for t in ts {
+                    match t {
+                        GhostTask::Physical { face, bc, .. } => {
+                            let key = node.key();
+                            synthesize_boundary(
+                                &layout,
+                                m,
+                                ng,
+                                key,
+                                node.field_mut(),
+                                *face,
+                                *bc,
+                                config,
+                                &|_, _, _| {},
+                            );
+                        }
+                        GhostTask::ClampCopy { region, .. } => {
+                            for c in region.iter() {
+                                let mut src = c;
+                                for d in 0..D {
+                                    src[d] = src[d].clamp(0, m[d] - 1);
+                                }
+                                let u = node.field().cell(src).to_vec();
+                                node.field_mut().set_cell(c, &u);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Shared-memory parallel stepper: SSP-RK2 with the same arithmetic as the
+/// serial `Stepper`, parallelized over blocks.
+pub struct ParStepper<const D: usize, P: Physics> {
+    phys: P,
+    scheme: Scheme,
+    plan: Option<GhostExchange<D>>,
+    rhs: Vec<FieldBlock<D>>,
+    stage: Vec<FieldBlock<D>>,
+}
+
+impl<const D: usize, P: Physics> ParStepper<D, P> {
+    /// New parallel stepper.
+    pub fn new(phys: P, scheme: Scheme) -> Self {
+        ParStepper { phys, scheme, plan: None, rhs: Vec::new(), stage: Vec::new() }
+    }
+
+    fn ghost_config(&self) -> GhostConfig {
+        GhostConfig {
+            prolong_order: match self.scheme.recon {
+                Recon::FirstOrder => ProlongOrder::Constant,
+                Recon::Muscl(_) => ProlongOrder::LinearMinmod,
+            },
+            vector_components: self.phys.vector_components(),
+            corners: false,
+        }
+    }
+
+    /// Drop caches after an adapt.
+    pub fn invalidate(&mut self) {
+        self.plan = None;
+        self.rhs.clear();
+        self.stage.clear();
+    }
+
+    fn ensure_ready(&mut self, grid: &BlockGrid<D>) {
+        if self.plan.is_none() {
+            self.plan = Some(GhostExchange::build(grid, self.ghost_config()));
+            let cap = grid.block_ids().iter().map(|i| i.index() + 1).max().unwrap_or(0);
+            let shape = grid.params().field_shape();
+            self.rhs = (0..cap).map(|_| FieldBlock::zeros(shape)).collect();
+            self.stage = (0..cap).map(|_| FieldBlock::zeros(shape)).collect();
+        }
+    }
+
+    /// Global CFL dt (parallel reduction over blocks).
+    pub fn max_dt(&self, grid: &BlockGrid<D>, cfl: f64) -> f64 {
+        let m = grid.params().block_dims;
+        let ids = grid.block_ids();
+        let rate = ids
+            .par_iter()
+            .map(|&id| {
+                let node = grid.block(id);
+                let h = grid.layout().cell_size(node.key().level, m);
+                max_rate_block(&self.phys, node.field(), h)
+            })
+            .reduce(|| 0.0, f64::max);
+        if rate > 0.0 {
+            cfl / rate
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Fill ghosts and evaluate the RHS of every block in parallel.
+    fn eval_rhs(&mut self, grid: &mut BlockGrid<D>) {
+        self.ensure_ready(grid);
+        let plan = self.plan.as_ref().unwrap();
+        let config = self.ghost_config();
+        par_fill_ghosts(grid, plan, &config);
+        let m = grid.params().block_dims;
+        let layout = grid.layout().clone();
+        let phys = &self.phys;
+        let scheme = self.scheme;
+        let ids = grid.block_ids();
+        let rhs_refs = indexed_refs(&mut self.rhs, &ids);
+        ids.par_iter().zip(rhs_refs).for_each_init(Vec::new, |scratch, (&id, rhs_block)| {
+            let node = grid.block(id);
+            let h = layout.cell_size(node.key().level, m);
+            compute_rhs_block(phys, scheme, node.field(), h, rhs_block, scratch);
+        });
+    }
+
+    /// One parallel SSP-RK2 step (Heun), identical arithmetic to the serial
+    /// stepper.
+    pub fn step_rk2(&mut self, grid: &mut BlockGrid<D>, dt: f64) {
+        self.eval_rhs(grid);
+        // stage 1: save u^n, write u* = u + dt L(u)
+        {
+            let rhs = &self.rhs;
+            let phys = &self.phys;
+            let mut nodes: Vec<_> = grid.blocks_mut().collect();
+            let ids: Vec<BlockId> = nodes.iter().map(|(id, _)| *id).collect();
+            let stage_refs = indexed_refs(&mut self.stage, &ids);
+            nodes
+                .par_iter_mut()
+                .zip(stage_refs)
+                .for_each(|((id, node), stage)| {
+                    stage.as_mut_slice().copy_from_slice(node.field().as_slice());
+                    let r = &rhs[id.index()];
+                    for c in node.field().shape().interior_box().iter() {
+                        let rr = r.cell(c);
+                        let u = node.field_mut().cell_mut(c);
+                        for v in 0..u.len() {
+                            u[v] += dt * rr[v];
+                        }
+                    }
+                    apply_floors_block(phys, node.field_mut());
+                });
+        }
+        // stage 2: u^{n+1} = 1/2 u^n + 1/2 (u* + dt L(u*))
+        self.eval_rhs(grid);
+        {
+            let rhs = &self.rhs;
+            let stage = &self.stage;
+            let phys = &self.phys;
+            let mut nodes: Vec<_> = grid.blocks_mut().collect();
+            nodes.par_iter_mut().for_each(|(id, node)| {
+                let r = &rhs[id.index()];
+                let u0b = &stage[id.index()];
+                for c in node.field().shape().interior_box().iter() {
+                    let rr = r.cell(c);
+                    let u0 = u0b.cell(c);
+                    let u = node.field_mut().cell_mut(c);
+                    for v in 0..u.len() {
+                        u[v] = 0.5 * u0[v] + 0.5 * (u[v] + dt * rr[v]);
+                    }
+                }
+                apply_floors_block(phys, node.field_mut());
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ablock_core::grid::{GridParams, Transfer};
+    use ablock_core::key::BlockKey;
+    use ablock_core::layout::{Boundary, RootLayout};
+    use ablock_solver::euler::Euler;
+    use ablock_solver::problems;
+    use ablock_solver::stepper::Stepper;
+
+    fn build() -> (BlockGrid<2>, Euler<2>) {
+        let e = Euler::<2>::new(1.4);
+        let mut g = BlockGrid::new(
+            RootLayout::unit([4, 4], Boundary::Periodic),
+            GridParams::new([4, 4], 2, 4, 3),
+        );
+        problems::advected_gaussian(&mut g, &e, [1.0, -0.5], [0.4, 0.6], 0.15);
+        (g, e)
+    }
+
+    fn collect(g: &BlockGrid<2>) -> Vec<(BlockKey<2>, Vec<f64>)> {
+        let mut v: Vec<_> = g
+            .blocks()
+            .map(|(_, n)| (n.key(), n.field().as_slice().to_vec()))
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    #[test]
+    fn parallel_matches_serial_uniform() {
+        let (mut gs, e) = build();
+        let (mut gp, _) = build();
+        let mut serial = Stepper::new(e.clone(), Scheme::muscl_rusanov());
+        let mut par = ParStepper::new(e, Scheme::muscl_rusanov());
+        let dt = 1.5e-3;
+        for _ in 0..4 {
+            serial.step_rk2(&mut gs, dt, None);
+            par.step_rk2(&mut gp, dt);
+        }
+        let a = collect(&gs);
+        let b = collect(&gp);
+        let shape = gs.params().field_shape();
+        for ((ka, fa), (kb, fb)) in a.iter().zip(&b) {
+            assert_eq!(ka, kb);
+            for c in shape.interior_box().iter() {
+                let i = shape.lin(c);
+                for v in 0..4 {
+                    assert!(
+                        (fa[i + v] - fb[i + v]).abs() < 1e-14,
+                        "block {ka:?} cell {c:?} var {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_refined() {
+        let (mut gs, e) = build();
+        let id = gs.find(BlockKey::new(0, [1, 1])).unwrap();
+        gs.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod));
+        let (mut gp, _) = build();
+        let id = gp.find(BlockKey::new(0, [1, 1])).unwrap();
+        gp.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod));
+
+        let mut serial = Stepper::new(e.clone(), Scheme::muscl_rusanov());
+        let mut par = ParStepper::new(e, Scheme::muscl_rusanov());
+        let dt = 1e-3;
+        for _ in 0..3 {
+            serial.step_rk2(&mut gs, dt, None);
+            par.step_rk2(&mut gp, dt);
+        }
+        let a = collect(&gs);
+        let b = collect(&gp);
+        let shape = gs.params().field_shape();
+        for ((ka, fa), (kb, fb)) in a.iter().zip(&b) {
+            assert_eq!(ka, kb);
+            for c in shape.interior_box().iter() {
+                let i = shape.lin(c);
+                for v in 0..4 {
+                    assert!(
+                        (fa[i + v] - fb[i + v]).abs() < 1e-13,
+                        "block {ka:?} cell {c:?} var {v}: {} vs {}",
+                        fa[i + v],
+                        fb[i + v]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_dt_matches_serial() {
+        let (g, e) = build();
+        let serial = Stepper::new(e.clone(), Scheme::muscl_rusanov());
+        let par = ParStepper::new(e, Scheme::muscl_rusanov());
+        let a = serial.max_dt(&g, 0.4);
+        let b = par.max_dt(&g, 0.4);
+        assert!((a - b).abs() < 1e-16);
+    }
+
+    #[test]
+    fn indexed_refs_disjoint() {
+        let mut v = vec![0i32; 10];
+        let ids: Vec<BlockId> = {
+            // build ids with indices 1, 4, 7 through an arena
+            let mut a = ablock_core::arena::Arena::new();
+            let all: Vec<BlockId> = (0..8).map(|i| a.insert(i)).collect();
+            vec![all[1], all[4], all[7]]
+        };
+        let refs = indexed_refs(&mut v, &ids);
+        assert_eq!(refs.len(), 3);
+        for r in refs {
+            *r += 1;
+        }
+        assert_eq!(v, vec![0, 1, 0, 0, 1, 0, 0, 1, 0, 0]);
+    }
+}

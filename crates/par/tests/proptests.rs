@@ -1,0 +1,146 @@
+//! Property tests for the parallel substrates: partition invariants under
+//! arbitrary weights and rank counts, cost-model sanity, machine
+//! collectives against scalar oracles.
+
+use ablock_core::key::BlockKey;
+use ablock_par::{imbalance, partition, Machine, Policy};
+use proptest::prelude::*;
+
+fn keys_2d(n: i64) -> Vec<BlockKey<2>> {
+    (0..n)
+        .flat_map(|x| (0..n).map(move |y| BlockKey::new(1, [x, y])))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every policy produces a valid assignment: in-range ranks, every
+    /// block assigned, and (for nranks <= blocks with uniform weights)
+    /// no empty rank for the SFC policies.
+    #[test]
+    fn partitions_are_valid(
+        n in 2i64..8,
+        nranks in 1usize..12,
+        heavy in any::<bool>(),
+    ) {
+        let keys = keys_2d(n);
+        let mut weights = vec![1.0; keys.len()];
+        if heavy {
+            weights[0] = 10.0;
+        }
+        for policy in [Policy::SfcMorton, Policy::SfcHilbert, Policy::RoundRobin, Policy::Greedy] {
+            let a = partition(&keys, &weights, nranks, policy);
+            prop_assert_eq!(a.len(), keys.len());
+            prop_assert!(a.iter().all(|&r| r < nranks), "{:?}", policy);
+            if nranks <= keys.len() && !heavy {
+                let mut used = vec![false; nranks];
+                for &r in &a {
+                    used[r] = true;
+                }
+                prop_assert!(used.iter().all(|&u| u), "{:?} left a rank empty", policy);
+            }
+        }
+    }
+
+    /// Imbalance is always >= 1, and greedy (longest-processing-time)
+    /// satisfies the classic LPT guarantee: max load <= 4/3 of the
+    /// optimal lower bound max(mean, heaviest block).
+    #[test]
+    fn greedy_meets_lpt_bound(
+        n in 2i64..7,
+        nranks in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let keys = keys_2d(n);
+        let mut state = seed | 1;
+        let weights: Vec<f64> = keys
+            .iter()
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                1.0 + ((state >> 33) % 100) as f64 / 25.0
+            })
+            .collect();
+        let g = partition(&keys, &weights, nranks, Policy::Greedy);
+        let ig = imbalance(&weights, &g, nranks);
+        prop_assert!(ig >= 1.0 - 1e-12);
+        let total: f64 = weights.iter().sum();
+        let mean = total / nranks as f64;
+        let wmax = weights.iter().cloned().fold(0.0, f64::max);
+        let opt_lb = mean.max(wmax);
+        let mut load = vec![0.0f64; nranks];
+        for (w, &r) in weights.iter().zip(&g) {
+            load[r] += w;
+        }
+        let max_load = load.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(
+            max_load <= 4.0 / 3.0 * opt_lb + 1e-9,
+            "LPT bound violated: {max_load} > 4/3 * {opt_lb}"
+        );
+    }
+
+    /// SFC chunks are contiguous along the curve for any weights.
+    #[test]
+    fn sfc_chunks_contiguous(
+        n in 2i64..7,
+        nranks in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        use ablock_core::sfc::{curve_index, required_bits, Curve};
+        let keys = keys_2d(n);
+        let mut state = seed | 1;
+        let weights: Vec<f64> = keys
+            .iter()
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                0.5 + ((state >> 33) % 10) as f64
+            })
+            .collect();
+        let a = partition(&keys, &weights, nranks, Policy::SfcMorton);
+        let bits = required_bits(n, 1);
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by_key(|&i| curve_index(&keys[i], 1, bits, Curve::Morton));
+        let ranks: Vec<usize> = order.iter().map(|&i| a[i]).collect();
+        prop_assert!(ranks.windows(2).all(|w| w[0] <= w[1]), "{ranks:?}");
+    }
+
+    /// Machine collectives equal their scalar oracles for any rank count.
+    #[test]
+    fn collectives_match_oracles(nranks in 1usize..9, base in -100i64..100) {
+        let outs = Machine::run(nranks, |c| {
+            let x = (base + c.rank() as i64) as f64;
+            (c.allreduce_sum(x), c.allreduce_min(x), c.allreduce_max(x))
+        });
+        let xs: Vec<f64> = (0..nranks).map(|r| (base + r as i64) as f64).collect();
+        let sum: f64 = xs.iter().sum();
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for (s, lo, hi) in outs {
+            prop_assert!((s - sum).abs() < 1e-9);
+            prop_assert_eq!(lo, min);
+            prop_assert_eq!(hi, max);
+        }
+    }
+
+    /// allgatherv reassembles every rank's payload everywhere.
+    #[test]
+    fn allgatherv_is_complete(nranks in 1usize..7, lens in prop::collection::vec(0usize..5, 8)) {
+        let lens = std::sync::Arc::new(lens);
+        let l2 = lens.clone();
+        let outs = Machine::run(nranks, move |c| {
+            let n = l2[c.rank() % l2.len()];
+            let mine: Vec<f64> = (0..n).map(|i| (c.rank() * 100 + i) as f64).collect();
+            c.allgatherv(mine)
+        });
+        for parts in outs {
+            prop_assert_eq!(parts.len(), nranks);
+            for (r, part) in parts.iter().enumerate() {
+                let n = lens[r % lens.len()];
+                prop_assert_eq!(part.len(), n);
+                for (i, &v) in part.iter().enumerate() {
+                    prop_assert_eq!(v, (r * 100 + i) as f64);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The physics interface the finite-volume kernels are generic over.
+//!
+//! A [`Physics`] supplies conserved↔primitive conversions, the physical
+//! flux, and characteristic speed estimates; the kernels in
+//! [`crate::kernel`] turn any such system into a block update. The two
+//! systems the paper's evaluation needs are [`crate::euler::Euler`] (gas
+//! dynamics) and [`crate::mhd::IdealMhd`] (the solar-wind workload).
+
+/// Maximum conserved variables any supported system uses (ideal MHD: 8).
+pub const MAX_VARS: usize = 8;
+
+/// A hyperbolic system of conservation laws, `∂u/∂t + ∇·F(u) = S(u)`.
+///
+/// State slices passed in always have length `nvar()`. Implementations
+/// must be cheap to clone (they are carried by value into kernels).
+pub trait Physics: Clone + Send + Sync + 'static {
+    /// Number of conserved variables.
+    fn nvar(&self) -> usize;
+
+    /// Physical flux along axis `dir` for conserved state `u`.
+    fn flux(&self, u: &[f64], dir: usize, out: &mut [f64]);
+
+    /// Fastest characteristic speed magnitude along `dir` (for CFL and
+    /// Rusanov dissipation): `max_k |λ_k|`.
+    fn max_speed(&self, u: &[f64], dir: usize) -> f64;
+
+    /// Signal speed bounds `(λ_min, λ_max)` along `dir` (for HLL).
+    /// The default derives them from [`Physics::max_speed`] symmetrically.
+    fn signal_speeds(&self, u: &[f64], dir: usize) -> (f64, f64) {
+        let s = self.max_speed(u, dir);
+        (-s, s)
+    }
+
+    /// Conserved → primitive variables.
+    fn cons_to_prim(&self, u: &[f64], w: &mut [f64]);
+
+    /// Primitive → conserved variables.
+    fn prim_to_cons(&self, w: &[f64], u: &mut [f64]);
+
+    /// Human-readable names of the conserved variables (for output).
+    fn var_names(&self) -> &'static [&'static str];
+
+    /// Index triples of variables forming spatial vectors (momentum,
+    /// magnetic field). Reflecting boundaries flip the normal component.
+    fn vector_components(&self) -> Vec<[usize; 3]>;
+
+    /// True if the kernel should add the Powell 8-wave `-(∇·B)(0,B,u,u·B)`
+    /// source term (ideal MHD only).
+    fn powell_source(&self) -> bool {
+        false
+    }
+
+    /// Indices `(bx, by, bz)` of the magnetic field components, if any.
+    fn b_indices(&self) -> Option<[usize; 3]> {
+        None
+    }
+
+    /// Clamp a conserved state back into the physically admissible set
+    /// (density/pressure floors). Returns true if anything was clamped.
+    fn apply_floors(&self, _u: &mut [f64]) -> bool {
+        false
+    }
+}
+
+/// Velocity vector from momentum and density (helper for implementations).
+#[inline]
+pub fn velocity3(rho: f64, m: &[f64]) -> [f64; 3] {
+    let inv = 1.0 / rho;
+    [m[0] * inv, m.get(1).copied().unwrap_or(0.0) * inv, m.get(2).copied().unwrap_or(0.0) * inv]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct Scalar;
+    impl Physics for Scalar {
+        fn nvar(&self) -> usize {
+            1
+        }
+        fn flux(&self, u: &[f64], _dir: usize, out: &mut [f64]) {
+            out[0] = u[0];
+        }
+        fn max_speed(&self, _u: &[f64], _dir: usize) -> f64 {
+            1.0
+        }
+        fn cons_to_prim(&self, u: &[f64], w: &mut [f64]) {
+            w[0] = u[0];
+        }
+        fn prim_to_cons(&self, w: &[f64], u: &mut [f64]) {
+            u[0] = w[0];
+        }
+        fn var_names(&self) -> &'static [&'static str] {
+            &["q"]
+        }
+        fn vector_components(&self) -> Vec<[usize; 3]> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn default_signal_speeds_symmetric() {
+        let s = Scalar;
+        assert_eq!(s.signal_speeds(&[1.0], 0), (-1.0, 1.0));
+        assert!(!s.powell_source());
+        assert!(s.b_indices().is_none());
+        assert!(!s.apply_floors(&mut [1.0]));
+    }
+
+    #[test]
+    fn velocity_helper() {
+        let v = velocity3(2.0, &[4.0, 6.0, 8.0]);
+        assert_eq!(v, [2.0, 3.0, 4.0]);
+        let v1 = velocity3(2.0, &[4.0]);
+        assert_eq!(v1, [2.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,320 @@
+//! Canonical initial conditions used by the tests, examples, and the
+//! benchmark harness.
+//!
+//! Everything is expressed as a primitive-variable profile over physical
+//! coordinates and applied through [`set_initial`], so the same problem
+//! runs unchanged on a uniform grid, an adapted block grid, or inside the
+//! distributed machine.
+
+use ablock_core::grid::BlockGrid;
+
+use crate::euler::Euler;
+use crate::mhd::{IdealMhd, IBX, IMX};
+use crate::physics::Physics;
+
+/// Fill every block's interior from `profile(x, w)` where `w` receives
+/// primitive variables; states are converted and stored conservatively.
+pub fn set_initial<const D: usize, P: Physics>(
+    grid: &mut BlockGrid<D>,
+    phys: &P,
+    profile: impl Fn([f64; D], &mut [f64]),
+) {
+    let m = grid.params().block_dims;
+    let layout = grid.layout().clone();
+    let n = phys.nvar();
+    let mut w = vec![0.0; n];
+    for id in grid.block_ids() {
+        let key = grid.block(id).key();
+        let phys = phys.clone();
+        grid.block_mut(id).field_mut().for_each_interior(|c, u| {
+            let x = layout.cell_center(key, m, c);
+            w.iter_mut().for_each(|v| *v = 0.0);
+            profile(x, &mut w);
+            phys.prim_to_cons(&w, u);
+        });
+    }
+}
+
+/// Sod shock tube along x: `(ρ, u, p) = (1, 0, 1)` left of `x0`,
+/// `(0.125, 0, 0.1)` right.
+pub fn sod<const D: usize>(grid: &mut BlockGrid<D>, e: &Euler<D>, x0: f64) {
+    set_initial(grid, e, |x, w| {
+        if x[0] < x0 {
+            w[0] = 1.0;
+            w[1 + D] = 1.0;
+        } else {
+            w[0] = 0.125;
+            w[1 + D] = 0.1;
+        }
+    });
+}
+
+/// Smooth density pulse advected by a uniform flow (exact solution known;
+/// used for convergence studies).
+pub fn advected_gaussian<const D: usize>(
+    grid: &mut BlockGrid<D>,
+    e: &Euler<D>,
+    vel: [f64; D],
+    center: [f64; D],
+    width: f64,
+) {
+    set_initial(grid, e, |x, w| {
+        let mut r2 = 0.0;
+        for d in 0..D {
+            r2 += (x[d] - center[d]) * (x[d] - center[d]);
+        }
+        w[0] = 1.0 + 0.5 * (-r2 / (width * width)).exp();
+        for d in 0..D {
+            w[1 + d] = vel[d];
+        }
+        w[1 + D] = 1.0;
+    });
+}
+
+/// Sedov-like point blast: ambient `(1, 0, p_amb)` with energy dumped in a
+/// ball of radius `r0` around `center`.
+pub fn sedov_blast<const D: usize>(
+    grid: &mut BlockGrid<D>,
+    e: &Euler<D>,
+    center: [f64; D],
+    r0: f64,
+    p_blast: f64,
+) {
+    set_initial(grid, e, |x, w| {
+        let mut r2 = 0.0;
+        for d in 0..D {
+            r2 += (x[d] - center[d]) * (x[d] - center[d]);
+        }
+        w[0] = 1.0;
+        w[1 + D] = if r2 < r0 * r0 { p_blast } else { 1e-3 };
+    });
+}
+
+/// Brio–Wu MHD shock tube along x (γ = 2 by convention):
+/// left `(ρ, p, By) = (1, 1, 1)`, right `(0.125, 0.1, −1)`, `Bx = 0.75`.
+pub fn brio_wu<const D: usize>(grid: &mut BlockGrid<D>, m: &IdealMhd, x0: f64) {
+    set_initial(grid, m, |x, w| {
+        w[IBX] = 0.75;
+        if x[0] < x0 {
+            w[0] = 1.0;
+            w[IBX + 1] = 1.0;
+            w[7] = 1.0;
+        } else {
+            w[0] = 0.125;
+            w[IBX + 1] = -1.0;
+            w[7] = 0.1;
+        }
+    });
+}
+
+/// Orszag–Tang vortex on a periodic `[0,1]²` domain (2-D MHD turbulence
+/// benchmark). γ = 5/3.
+pub fn orszag_tang(grid: &mut BlockGrid<2>, m: &IdealMhd) {
+    use std::f64::consts::PI;
+    let g = m.gamma;
+    set_initial(grid, m, |x, w| {
+        let (xx, yy) = (2.0 * PI * x[0], 2.0 * PI * x[1]);
+        w[0] = g * g / (4.0 * PI);
+        w[IMX] = -yy.sin();
+        w[IMX + 1] = xx.sin();
+        w[IBX] = -yy.sin() / (4.0 * PI).sqrt();
+        w[IBX + 1] = (2.0 * xx).sin() / (4.0 * PI).sqrt();
+        w[7] = g / (4.0 * PI);
+    });
+}
+
+/// Spherical MHD blast: ambient plasma with uniform `B`, over-pressured
+/// ball — the refinement-chasing workload used for the scaling figures.
+pub fn mhd_blast<const D: usize>(
+    grid: &mut BlockGrid<D>,
+    m: &IdealMhd,
+    center: [f64; D],
+    r0: f64,
+    p_in: f64,
+    b0: f64,
+) {
+    set_initial(grid, m, |x, w| {
+        let mut r2 = 0.0;
+        for d in 0..D {
+            r2 += (x[d] - center[d]) * (x[d] - center[d]);
+        }
+        w[0] = 1.0;
+        w[IBX] = b0 / 2f64.sqrt();
+        w[IBX + 1] = b0 / 2f64.sqrt();
+        w[7] = if r2 < r0 * r0 { p_in } else { 0.1 };
+    });
+}
+
+/// Parker-like radial wind from a central ball (the solar-wind substitute;
+/// see DESIGN.md substitution #3): inside `r_src` the state is pinned to a
+/// radial outflow, optionally boosted by a CME-like pressure pulse.
+#[derive(Clone, Debug)]
+pub struct WindSource<const D: usize> {
+    /// Center of the source ball.
+    pub center: [f64; D],
+    /// Radius of the pinned region.
+    pub r_src: f64,
+    /// Outflow speed at the source surface.
+    pub v_wind: f64,
+    /// Source density.
+    pub rho: f64,
+    /// Source pressure.
+    pub p: f64,
+    /// Radial magnetic field magnitude at the source.
+    pub b: f64,
+    /// CME pulse: `(t_on, t_off, pressure_boost, density_boost)`.
+    pub pulse: Option<(f64, f64, f64, f64)>,
+}
+
+impl<const D: usize> WindSource<D> {
+    /// Overwrite cells inside the source ball with the wind state at time
+    /// `t` (call after every step — the standard inner-boundary trick).
+    pub fn apply(&self, grid: &mut BlockGrid<D>, m: &IdealMhd, t: f64) {
+        let dims = grid.params().block_dims;
+        let layout = grid.layout().clone();
+        let (pb, rb) = match self.pulse {
+            Some((t0, t1, pb, rb)) if t >= t0 && t < t1 => (pb, rb),
+            _ => (1.0, 1.0),
+        };
+        let mut w = [0.0; 8];
+        for id in grid.block_ids() {
+            let key = grid.block(id).key();
+            let m = m.clone();
+            grid.block_mut(id).field_mut().for_each_interior(|c, u| {
+                let x = layout.cell_center(key, dims, c);
+                let mut r2 = 0.0;
+                for d in 0..D {
+                    r2 += (x[d] - self.center[d]) * (x[d] - self.center[d]);
+                }
+                if r2 < self.r_src * self.r_src {
+                    let r = r2.sqrt().max(1e-10);
+                    w = [0.0; 8];
+                    w[0] = self.rho * rb;
+                    for d in 0..D {
+                        let e = (x[d] - self.center[d]) / r;
+                        w[IMX + d] = self.v_wind * e;
+                        w[IBX + d] = self.b * e;
+                    }
+                    w[7] = self.p * pb;
+                    m.prim_to_cons(&w, u);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stepper::total_conserved;
+    use ablock_core::grid::GridParams;
+    use ablock_core::layout::{Boundary, RootLayout};
+
+    #[test]
+    fn sod_sets_two_states() {
+        let e = Euler::<1>::new(1.4);
+        let mut g = BlockGrid::<1>::new(
+            RootLayout::unit([4], Boundary::Outflow),
+            GridParams::new([8], 2, 3, 2),
+        );
+        sod(&mut g, &e, 0.5);
+        let left = g.find_leaf_at([0.1]).unwrap();
+        let right = g.find_leaf_at([0.9]).unwrap();
+        assert!((g.block(left).field().at([0], 0) - 1.0).abs() < 1e-14);
+        assert!((g.block(right).field().at([7], 0) - 0.125).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gaussian_total_mass() {
+        let e = Euler::<2>::new(1.4);
+        let mut g = BlockGrid::<2>::new(
+            RootLayout::unit([2, 2], Boundary::Periodic),
+            GridParams::new([8, 8], 2, 4, 2),
+        );
+        advected_gaussian(&mut g, &e, [1.0, 0.5], [0.5, 0.5], 0.1);
+        let mass = total_conserved(&g, 0);
+        // domain volume 1, background 1, pulse adds ~0.5*pi*w^2
+        assert!(mass > 1.0 && mass < 1.1, "mass {mass}");
+    }
+
+    #[test]
+    fn brio_wu_has_constant_bx() {
+        let m = IdealMhd::new(2.0);
+        let mut g = BlockGrid::<1>::new(
+            RootLayout::unit([8], Boundary::Outflow),
+            GridParams::new([8], 2, 8, 2),
+        );
+        brio_wu(&mut g, &m, 0.5);
+        for (_, n) in g.blocks() {
+            for c in n.field().shape().interior_box().iter() {
+                assert!((n.field().at(c, IBX) - 0.75).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn orszag_tang_is_periodic_compatible() {
+        let m = IdealMhd::new(5.0 / 3.0);
+        let mut g = BlockGrid::<2>::new(
+            RootLayout::unit([2, 2], Boundary::Periodic),
+            GridParams::new([8, 8], 2, 8, 2),
+        );
+        orszag_tang(&mut g, &m);
+        // velocity field has zero mean on the periodic box
+        let mx = total_conserved(&g, IMX);
+        let my = total_conserved(&g, IMX + 1);
+        assert!(mx.abs() < 1e-10, "mean mx {mx}");
+        assert!(my.abs() < 1e-10, "mean my {my}");
+        // all pressures positive
+        for (_, n) in g.blocks() {
+            for c in n.field().shape().interior_box().iter() {
+                assert!(m.pressure(n.field().cell(c)) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn wind_source_pins_center() {
+        let m = IdealMhd::new(5.0 / 3.0);
+        let mut g = BlockGrid::<2>::new(
+            RootLayout::new([2, 2], [-1.0, -1.0], [2.0, 2.0], [Boundary::Outflow; 6]),
+            GridParams::new([8, 8], 2, 8, 2),
+        );
+        set_initial(&mut g, &m, |_, w| {
+            w[0] = 0.01;
+            w[7] = 0.001;
+        });
+        let src = WindSource {
+            center: [0.0, 0.0],
+            r_src: 0.3,
+            v_wind: 1.0,
+            rho: 1.0,
+            p: 0.5,
+            b: 0.1,
+            pulse: Some((1.0, 2.0, 10.0, 4.0)),
+        };
+        src.apply(&mut g, &m, 0.0);
+        let id = g.find_leaf_at([0.1, 0.1]).unwrap();
+        // the cell at (0.1, 0.1) is inside the ball: density pinned to 1
+        let m_dims = g.params().block_dims;
+        let mut found = false;
+        let node = g.block(id);
+        for c in node.field().shape().interior_box().iter() {
+            let x = g.layout().cell_center(node.key(), m_dims, c);
+            if (x[0] * x[0] + x[1] * x[1]).sqrt() < 0.25 {
+                assert!((node.field().at(c, 0) - 1.0).abs() < 1e-12);
+                found = true;
+            }
+        }
+        assert!(found);
+        // during the pulse the density quadruples
+        src.apply(&mut g, &m, 1.5);
+        let node = g.block(id);
+        for c in node.field().shape().interior_box().iter() {
+            let x = g.layout().cell_center(node.key(), m_dims, c);
+            if (x[0] * x[0] + x[1] * x[1]).sqrt() < 0.25 {
+                assert!((node.field().at(c, 0) - 4.0).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! Quantitative solver validation against analytic references.
+//!
+//! * Sod shock tube vs the exact Riemann solution (Toro's iteration),
+//!   with L1-error and wave-position checks;
+//! * Brio–Wu MHD shock tube structure checks (compound wave, jump
+//!   ordering);
+//! * Orszag–Tang vortex robustness (positivity through shock formation).
+//!
+//! These run on multi-block adaptive grids so they validate the data
+//! structure + solver together, not the solver in isolation.
+
+use ablock_core::grid::{BlockGrid, GridParams};
+use ablock_core::key::BlockKey;
+use ablock_core::layout::{Boundary, RootLayout};
+use ablock_solver::euler::Euler;
+use ablock_solver::kernel::Scheme;
+use ablock_solver::mhd::{IdealMhd, IBX};
+use ablock_solver::problems;
+use ablock_solver::stepper::Stepper;
+
+// ---------------------------------------------------------------------
+// exact Riemann solver for the 1-D Euler equations (Toro ch. 4)
+// ---------------------------------------------------------------------
+
+struct ExactRiemann {
+    g: f64,
+    rho_l: f64,
+    u_l: f64,
+    p_l: f64,
+    rho_r: f64,
+    u_r: f64,
+    p_r: f64,
+    p_star: f64,
+    u_star: f64,
+}
+
+impl ExactRiemann {
+    fn new(g: f64, left: (f64, f64, f64), right: (f64, f64, f64)) -> Self {
+        let (rho_l, u_l, p_l) = left;
+        let (rho_r, u_r, p_r) = right;
+        let a_l = (g * p_l / rho_l).sqrt();
+        let a_r = (g * p_r / rho_r).sqrt();
+        // pressure function and derivative for one side
+        let f = |p: f64, rho: f64, pk: f64, a: f64| -> (f64, f64) {
+            if p > pk {
+                // shock
+                let ak = 2.0 / ((g + 1.0) * rho);
+                let bk = (g - 1.0) / (g + 1.0) * pk;
+                let sq = (ak / (p + bk)).sqrt();
+                ((p - pk) * sq, sq * (1.0 - (p - pk) / (2.0 * (p + bk))))
+            } else {
+                // rarefaction
+                let pr = (p / pk).powf((g - 1.0) / (2.0 * g));
+                (
+                    2.0 * a / (g - 1.0) * (pr - 1.0),
+                    1.0 / (rho * a) * (p / pk).powf(-(g + 1.0) / (2.0 * g)),
+                )
+            }
+        };
+        // Newton iteration from the two-rarefaction guess
+        let mut p = ((a_l + a_r - 0.5 * (g - 1.0) * (u_r - u_l))
+            / (a_l / p_l.powf((g - 1.0) / (2.0 * g)) + a_r / p_r.powf((g - 1.0) / (2.0 * g))))
+        .powf(2.0 * g / (g - 1.0));
+        for _ in 0..60 {
+            let (fl, dl) = f(p, rho_l, p_l, a_l);
+            let (fr, dr) = f(p, rho_r, p_r, a_r);
+            let change = (fl + fr + (u_r - u_l)) / (dl + dr);
+            p -= change;
+            if (change / p).abs() < 1e-14 {
+                break;
+            }
+        }
+        let (fl, _) = f(p, rho_l, p_l, a_l);
+        let (fr, _) = f(p, rho_r, p_r, a_r);
+        let u_star = 0.5 * (u_l + u_r) + 0.5 * (fr - fl);
+        ExactRiemann { g, rho_l, u_l, p_l, rho_r, u_r, p_r, p_star: p, u_star }
+    }
+
+    /// Sampled state (rho, u, p) at similarity coordinate `s = x/t`.
+    fn sample(&self, s: f64) -> (f64, f64, f64) {
+        let g = self.g;
+        let (p_star, u_star) = (self.p_star, self.u_star);
+        if s <= u_star {
+            // left of the contact
+            let a_l = (g * self.p_l / self.rho_l).sqrt();
+            if p_star > self.p_l {
+                // left shock
+                let sl = self.u_l
+                    - a_l * ((g + 1.0) / (2.0 * g) * p_star / self.p_l + (g - 1.0) / (2.0 * g))
+                        .sqrt();
+                if s < sl {
+                    (self.rho_l, self.u_l, self.p_l)
+                } else {
+                    let r = self.rho_l
+                        * ((p_star / self.p_l + (g - 1.0) / (g + 1.0))
+                            / ((g - 1.0) / (g + 1.0) * p_star / self.p_l + 1.0));
+                    (r, u_star, p_star)
+                }
+            } else {
+                // left rarefaction
+                let sh = self.u_l - a_l;
+                let a_star = a_l * (p_star / self.p_l).powf((g - 1.0) / (2.0 * g));
+                let st = u_star - a_star;
+                if s < sh {
+                    (self.rho_l, self.u_l, self.p_l)
+                } else if s > st {
+                    let r = self.rho_l * (p_star / self.p_l).powf(1.0 / g);
+                    (r, u_star, p_star)
+                } else {
+                    let u = 2.0 / (g + 1.0) * (a_l + (g - 1.0) / 2.0 * self.u_l + s);
+                    let a = 2.0 / (g + 1.0) * (a_l + (g - 1.0) / 2.0 * (self.u_l - s));
+                    let r = self.rho_l * (a / a_l).powf(2.0 / (g - 1.0));
+                    let p = self.p_l * (a / a_l).powf(2.0 * g / (g - 1.0));
+                    (r, u, p)
+                }
+            }
+        } else {
+            // right of the contact
+            let a_r = (g * self.p_r / self.rho_r).sqrt();
+            if p_star > self.p_r {
+                // right shock
+                let sr = self.u_r
+                    + a_r * ((g + 1.0) / (2.0 * g) * p_star / self.p_r + (g - 1.0) / (2.0 * g))
+                        .sqrt();
+                if s > sr {
+                    (self.rho_r, self.u_r, self.p_r)
+                } else {
+                    let r = self.rho_r
+                        * ((p_star / self.p_r + (g - 1.0) / (g + 1.0))
+                            / ((g - 1.0) / (g + 1.0) * p_star / self.p_r + 1.0));
+                    (r, u_star, p_star)
+                }
+            } else {
+                let sh = self.u_r + a_r;
+                let a_star = a_r * (p_star / self.p_r).powf((g - 1.0) / (2.0 * g));
+                let st = u_star + a_star;
+                if s > sh {
+                    (self.rho_r, self.u_r, self.p_r)
+                } else if s < st {
+                    let r = self.rho_r * (p_star / self.p_r).powf(1.0 / g);
+                    (r, u_star, p_star)
+                } else {
+                    let u = 2.0 / (g + 1.0) * (-a_r + (g - 1.0) / 2.0 * self.u_r + s);
+                    let a = 2.0 / (g + 1.0) * (a_r - (g - 1.0) / 2.0 * (self.u_r - s));
+                    let r = self.rho_r * (a / a_r).powf(2.0 / (g - 1.0));
+                    let p = self.p_r * (a / a_r).powf(2.0 * g / (g - 1.0));
+                    (r, u, p)
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_riemann_solver_sanity() {
+    // Sod: p* ~ 0.30313, u* ~ 0.92745 (Toro table 4.3)
+    let ex = ExactRiemann::new(1.4, (1.0, 0.0, 1.0), (0.125, 0.0, 0.1));
+    assert!((ex.p_star - 0.30313).abs() < 2e-4, "p* = {}", ex.p_star);
+    assert!((ex.u_star - 0.92745).abs() < 2e-4, "u* = {}", ex.u_star);
+    // far field returns inputs
+    assert_eq!(ex.sample(-10.0), (1.0, 0.0, 1.0));
+    assert_eq!(ex.sample(10.0), (0.125, 0.0, 0.1));
+}
+
+fn run_sod(nblocks: i64, m: i64, t_end: f64) -> (BlockGrid<1>, Euler<1>) {
+    let e = Euler::<1>::new(1.4);
+    let mut g = BlockGrid::<1>::new(
+        RootLayout::unit([nblocks], Boundary::Outflow),
+        GridParams::new([m], 2, 3, 2),
+    );
+    problems::sod(&mut g, &e, 0.5);
+    let mut st = Stepper::new(e.clone(), Scheme::muscl_rusanov());
+    st.run_until(&mut g, 0.0, t_end, 0.4, None);
+    (g, e)
+}
+
+#[test]
+fn sod_matches_exact_solution() {
+    let t_end = 0.2;
+    let (g, e) = run_sod(16, 8, t_end); // 128 cells
+    let ex = ExactRiemann::new(1.4, (1.0, 0.0, 1.0), (0.125, 0.0, 0.1));
+    let m = g.params().block_dims;
+    let layout = g.layout().clone();
+    let mut l1_rho = 0.0;
+    let mut n = 0usize;
+    for (_, node) in g.blocks() {
+        for c in node.field().shape().interior_box().iter() {
+            let x = layout.cell_center(node.key(), m, c)[0];
+            let (rho, _, p) = ex.sample((x - 0.5) / t_end);
+            l1_rho += (node.field().at(c, 0) - rho).abs();
+            // pressure positive and bounded by the initial states
+            let pc = e.pressure(node.field().cell(c));
+            assert!(pc > 0.0 && pc < 1.01, "pressure {pc} at x={x}");
+            let _ = p;
+            n += 1;
+        }
+    }
+    l1_rho /= n as f64;
+    assert!(l1_rho < 0.012, "Sod L1 density error {l1_rho} too large at 128 cells");
+}
+
+#[test]
+fn sod_wave_positions() {
+    let t_end = 0.2;
+    let (g, e) = run_sod(16, 8, t_end);
+    let m = g.params().block_dims;
+    let layout = g.layout().clone();
+    // collect (x, rho, u) sorted
+    let mut prof: Vec<(f64, f64, f64)> = Vec::new();
+    for (_, node) in g.blocks() {
+        for c in node.field().shape().interior_box().iter() {
+            let x = layout.cell_center(node.key(), m, c)[0];
+            let rho = node.field().at(c, 0);
+            let u = node.field().at(c, 1) / rho;
+            prof.push((x, rho, u));
+            let _ = &e;
+        }
+    }
+    prof.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // shock: first x from the right where rho > 0.14 (post-shock ~0.2655);
+    // exact shock position = 0.5 + 1.7522 * t = 0.8504
+    let shock_x = prof
+        .iter()
+        .rev()
+        .find(|(_, rho, _)| *rho > 0.2)
+        .map(|(x, _, _)| *x)
+        .unwrap();
+    assert!(
+        (shock_x - 0.8504).abs() < 0.03,
+        "shock at {shock_x}, exact 0.8504"
+    );
+    // contact: density jumps from ~0.4263 to ~0.2655 near 0.5 + 0.9274 t
+    let contact_exact = 0.5 + 0.92745 * t_end;
+    let contact_x = prof
+        .windows(2)
+        .find(|w| w[0].1 > 0.34 && w[1].1 <= 0.34 && w[0].0 > 0.6)
+        .map(|w| w[0].0)
+        .unwrap_or(0.0);
+    assert!(
+        (contact_x - contact_exact).abs() < 0.04,
+        "contact at {contact_x}, exact {contact_exact}"
+    );
+    // rarefaction head moves left at -a_l = -1.1832; numerical diffusion
+    // smears the head upstream by a few cells, so detect a solid drop
+    let head_exact = 0.5 - 1.1832 * t_end;
+    let head_x = prof
+        .iter()
+        .find(|(_, rho, _)| *rho < 0.97)
+        .map(|(x, _, _)| *x)
+        .unwrap();
+    assert!(
+        (head_x - head_exact).abs() < 0.05,
+        "rarefaction head at {head_x}, exact {head_exact}"
+    );
+}
+
+#[test]
+fn sod_converges_with_resolution() {
+    let t_end = 0.2;
+    let ex = ExactRiemann::new(1.4, (1.0, 0.0, 1.0), (0.125, 0.0, 0.1));
+    let err = |nblocks: i64| -> f64 {
+        let (g, _) = run_sod(nblocks, 8, t_end);
+        let m = g.params().block_dims;
+        let layout = g.layout().clone();
+        let mut l1 = 0.0;
+        let mut n = 0;
+        for (_, node) in g.blocks() {
+            for c in node.field().shape().interior_box().iter() {
+                let x = layout.cell_center(node.key(), m, c)[0];
+                let (rho, _, _) = ex.sample((x - 0.5) / t_end);
+                l1 += (node.field().at(c, 0) - rho).abs();
+                n += 1;
+            }
+        }
+        l1 / n as f64
+    };
+    let coarse = err(8);
+    let fine = err(32);
+    // shocks limit convergence to ~O(h) in L1; demand a clear factor
+    assert!(
+        fine < coarse / 1.8,
+        "no convergence: {coarse} -> {fine}"
+    );
+}
+
+#[test]
+fn brio_wu_structure() {
+    // Brio & Wu (gamma = 2), t = 0.1: left fast rarefaction, compound
+    // wave, contact, slow shock, right fast rarefaction.
+    let mhd = IdealMhd::new(2.0);
+    let mut g = BlockGrid::<1>::new(
+        RootLayout::unit([32], Boundary::Outflow),
+        GridParams::new([8], 2, 8, 2),
+    );
+    problems::brio_wu(&mut g, &mhd, 0.5);
+    let mut st = Stepper::new(mhd.clone(), Scheme::muscl_rusanov());
+    st.run_until(&mut g, 0.0, 0.1, 0.4, None);
+    let m = g.params().block_dims;
+    let layout = g.layout().clone();
+    let mut prof: Vec<(f64, f64, f64)> = Vec::new(); // (x, rho, by)
+    for (_, node) in g.blocks() {
+        for c in node.field().shape().interior_box().iter() {
+            let x = layout.cell_center(node.key(), m, c)[0];
+            prof.push((x, node.field().at(c, 0), node.field().at(c, IBX + 1)));
+            // positivity throughout
+            assert!(mhd.pressure(node.field().cell(c)) > 0.0, "p < 0 at x={x}");
+        }
+    }
+    prof.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // density rises above the left state inside the compound wave region
+    let max_rho = prof.iter().map(|p| p.1).fold(0.0, f64::max);
+    assert!(max_rho <= 1.0 + 1e-9, "density must not exceed the left state");
+    // By reverses sign once, left-to-right (1 -> -1)
+    let first = prof.first().unwrap().2;
+    let last = prof.last().unwrap().2;
+    assert!(first > 0.9 && last < -0.9, "By endpoints {first}, {last}");
+    let crossings = prof.windows(2).filter(|w| w[0].2 > 0.0 && w[1].2 <= 0.0).count();
+    assert_eq!(crossings, 1, "By must reverse exactly once");
+    // the compound-wave density plateau (~0.67) exists between x=0.45..0.6
+    let plateau = prof
+        .iter()
+        .filter(|(x, _, _)| (0.45..0.62).contains(x))
+        .map(|p| p.1)
+        .fold(0.0, f64::max);
+    assert!(
+        (0.55..0.85).contains(&plateau),
+        "compound-wave plateau density {plateau} out of range"
+    );
+}
+
+#[test]
+fn orszag_tang_stays_physical_through_shock_formation() {
+    let mhd = IdealMhd::new(5.0 / 3.0);
+    let mut g = BlockGrid::<2>::new(
+        RootLayout::unit([4, 4], Boundary::Periodic),
+        GridParams::new([8, 8], 2, 8, 1),
+    );
+    problems::orszag_tang(&mut g, &mhd);
+    let mut st = Stepper::new(mhd.clone(), Scheme::muscl_rusanov());
+    // t = 0.2: shocks have formed
+    st.run_until(&mut g, 0.0, 0.2, 0.3, None);
+    let mut min_p = f64::INFINITY;
+    for (_, node) in g.blocks() {
+        for c in node.field().shape().interior_box().iter() {
+            let u = node.field().cell(c);
+            assert!(u.iter().all(|x| x.is_finite()));
+            min_p = min_p.min(mhd.pressure(u));
+        }
+    }
+    assert!(min_p > 0.0, "pressure floor violated: {min_p}");
+    // total energy conserved on the periodic box
+    let e0 = {
+        let mut g2 = BlockGrid::<2>::new(
+            RootLayout::unit([4, 4], Boundary::Periodic),
+            GridParams::new([8, 8], 2, 8, 1),
+        );
+        problems::orszag_tang(&mut g2, &mhd);
+        ablock_solver::stepper::total_conserved(&g2, 7)
+    };
+    let e1 = ablock_solver::stepper::total_conserved(&g, 7);
+    // Powell source exchanges energy when divB != 0; bound the effect
+    assert!((e1 - e0).abs() < 5e-3 * e0.abs(), "energy {e0} -> {e1}");
+}
+
+#[test]
+fn sod_on_preadapted_grid_matches_uniform() {
+    // run Sod on a grid pre-refined around the diaphragm: the refined run
+    // must agree with a uniform run of the same finest resolution where
+    // both are fine, demonstrating AMR does not corrupt the solution
+    let t_end = 0.12;
+    let e = Euler::<1>::new(1.4);
+    // uniform 256 cells
+    let (gu, _) = run_sod(32, 8, t_end);
+    // adaptive: 16 blocks of 8 (128 coarse cells), middle refined once
+    let mut ga = BlockGrid::<1>::new(
+        RootLayout::unit([16], Boundary::Outflow),
+        GridParams::new([8], 2, 3, 2),
+    );
+    problems::sod(&mut ga, &e, 0.5);
+    use ablock_core::grid::Transfer;
+    use ablock_core::ops::ProlongOrder;
+    for bx in 6..10 {
+        let id = ga.find(BlockKey::new(0, [bx])).unwrap();
+        ga.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod));
+    }
+    problems::sod(&mut ga, &e, 0.5); // re-impose crisp ICs on fine cells
+    let mut st = Stepper::new(e.clone(), Scheme::muscl_rusanov());
+    st.run_until(&mut ga, 0.0, t_end, 0.4, None);
+    // compare in the refined window [0.4, 0.56] where the contact lives
+    // at t = 0.12 (contact at 0.611 still inside? 0.5+0.927*0.12 = 0.611 —
+    // outside; compare [0.4, 0.56]: rarefaction tail region)
+    let sample = |g: &BlockGrid<1>, x: f64| -> f64 {
+        let id = g.find_leaf_at([x]).unwrap();
+        let node = g.block(id);
+        let m = g.params().block_dims;
+        let h = g.layout().cell_size(node.key().level, m)[0];
+        let o = g.layout().block_origin(node.key(), m)[0];
+        let ci = (((x - o) / h) as i64).clamp(0, m[0] - 1);
+        node.field().at([ci], 0)
+    };
+    for i in 0..8 {
+        let x = 0.41 + i as f64 * 0.02;
+        let du = (sample(&gu, x) - sample(&ga, x)).abs();
+        assert!(du < 0.02, "x={x}: uniform vs adaptive differ by {du}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Supersonic channel flow around a solid body — the masked-root-layout
+//! generalization at work.
+//!
+//! ```text
+//! cargo run --release --example channel_body
+//! ```
+//!
+//! The paper's *Generalizations* section: "the initial block
+//! configuration need not be Cartesian". Here a 8×4 root lattice has a
+//! 2×1 bite taken out of the channel floor; the missing roots behave as
+//! a reflecting solid body. Mach-2 inflow enters from the left (custom
+//! boundary), a bow shock forms off the obstacle, and the gradient
+//! criterion keeps the fine blocks on the shock.
+
+use adaptive_blocks::amr::{AmrConfig, AmrSimulation, GradientCriterion};
+use adaptive_blocks::io::{sample_2d, svg_grid_2d, to_ppm};
+use adaptive_blocks::prelude::*;
+
+const INFLOW_TAG: u16 = 3;
+
+fn main() {
+    let e = Euler::<2>::new(1.4);
+    // channel [0,2]x[0,1]; obstacle occupying roots (3..5, 0)
+    let layout = RootLayout::new(
+        [8, 4],
+        [0.0, 0.0],
+        [2.0, 1.0],
+        [Boundary::Outflow; 6],
+    )
+    .with_boundary(Face::new(0, false), Boundary::Custom(INFLOW_TAG))
+    .with_axis_boundary(1, Boundary::Reflect)
+    .with_mask(|c| !((3..5).contains(&c[0]) && c[1] == 0))
+    .with_hole_boundary(Boundary::Reflect);
+
+    let grid = BlockGrid::new(layout, GridParams::new([8, 8], 2, 4, 2));
+    let mut sim = AmrSimulation::new(
+        grid,
+        e.clone(),
+        Scheme::muscl_rusanov(),
+        GradientCriterion::new(0, 0.12, 0.05),
+        AmrConfig { cfl: 0.3, adapt_every: 4, max_steps: 100_000, ..Default::default() },
+    );
+
+    // Mach-2 flow everywhere initially (impulsive start)
+    let mach = 2.0;
+    let a = (1.4f64).sqrt(); // sound speed at rho = p = 1
+    let vin = mach * a;
+    problems::set_initial(&mut sim.grid, &e, |_, w| {
+        w[0] = 1.0;
+        w[1] = vin;
+        w[3] = 1.0;
+    });
+
+    // supersonic inflow: pin the full state in the left ghosts
+    let e2 = e.clone();
+    let inflow = move |ctx: &BoundaryCtx<2>, _c: IVec<2>, u: &mut [f64]| {
+        if ctx.tag == INFLOW_TAG {
+            e2.prim_to_cons(&[1.0, vin, 0.0, 1.0], u);
+        }
+    };
+
+    println!(
+        "channel with solid body: {} active roots of {} lattice positions",
+        sim.grid.layout().num_roots(),
+        sim.grid.layout().num_lattice_positions()
+    );
+    println!("\n  time   blocks  cells  finest  max rho");
+    let out = std::env::temp_dir();
+    let mut next = 0.1f64;
+    let mut snap = 0usize;
+    while sim.time < 0.8 {
+        sim.advance(Some(&inflow));
+        if sim.time >= next {
+            let mut max_rho: f64 = 0.0;
+            for (_, n) in sim.grid.blocks() {
+                max_rho = max_rho.max(n.field().interior_max_abs(0));
+            }
+            println!(
+                "  {:4.2}  {:6}  {:6}  {:5}  {:7.3}",
+                sim.time,
+                sim.grid.num_blocks(),
+                sim.cells(),
+                sim.grid.max_level_present(),
+                max_rho
+            );
+            let img = sample_2d(&sim.grid, 0, 384, 192);
+            std::fs::write(
+                out.join(format!("channel_rho_{snap}.ppm")),
+                to_ppm(&img, 384, 192),
+            )
+            .unwrap();
+            snap += 1;
+            next += 0.1;
+        }
+    }
+    std::fs::write(out.join("channel_blocks.svg"), svg_grid_2d(&sim.grid, 640.0)).unwrap();
+    println!(
+        "\n{} steps, {} adapts; a bow shock stands off the body (density piles\nup several-fold ahead of it). artifacts: channel_rho_*.ppm, channel_blocks.svg in {}",
+        sim.stats.steps,
+        sim.stats.adapts,
+        out.display()
+    );
+    adaptive_blocks::core::verify::check_grid(&sim.grid).expect("invariants");
+}

@@ -1,0 +1,110 @@
+//! A moving object carried through the domain with the grid in pursuit —
+//! the paper's comet application, distilled.
+//!
+//! ```text
+//! cargo run --release --example comet_tracking
+//! ```
+//!
+//! The paper's group used adaptive blocks for "the first accurate
+//! numerical modeling of the recently observed x-ray emissions from
+//! comets" — a small dense object ploughing through the solar wind, with
+//! the interesting physics confined to a thin interaction region around
+//! the nucleus. The structural challenge is *tracking*: the feature moves
+//! across the whole domain, so blocks must refine ahead of it and coarsen
+//! behind it continuously.
+//!
+//! Here a dense, pressurized bullet of gas is launched across a periodic
+//! box; a gradient criterion keeps the finest blocks on the bow
+//! compression while the wake coarsens. The run reports how many blocks
+//! were created/destroyed in flight — adaptation as a continuous process,
+//! not a one-time setup.
+
+use adaptive_blocks::amr::{AmrConfig, AmrSimulation, GradientCriterion};
+use adaptive_blocks::io::{ascii_grid_2d, sample_2d, to_pgm};
+use adaptive_blocks::prelude::*;
+
+fn main() {
+    let e = Euler::<2>::new(5.0 / 3.0);
+    let grid = BlockGrid::new(
+        RootLayout::new([4, 2], [0.0, 0.0], [2.0, 1.0], [Boundary::Periodic; 6]),
+        GridParams::new([8, 8], 2, 4, 3),
+    );
+    let mut sim = AmrSimulation::new(
+        grid,
+        e.clone(),
+        Scheme::muscl_rusanov(),
+        GradientCriterion::new(0, 0.1, 0.04),
+        AmrConfig { cfl: 0.35, adapt_every: 2, max_steps: 200_000, ..Default::default() },
+    );
+
+    // the "comet": dense bullet moving right at Mach ~2 through still gas
+    let bullet = |g: &mut BlockGrid<2>| {
+        problems::set_initial(g, &e, |x, w| {
+            let r2 = (x[0] - 0.3) * (x[0] - 0.3) + (x[1] - 0.5) * (x[1] - 0.5);
+            if r2 < 0.09 * 0.09 {
+                w[0] = 8.0;
+                w[1] = 2.0;
+                w[3] = 2.0;
+            } else {
+                w[0] = 1.0;
+                w[3] = 1.0;
+            }
+        })
+    };
+    bullet(&mut sim.grid);
+    sim.initial_adapt_with(4, None, bullet);
+
+    println!("launching the bullet; grid snapshots as it crosses the box:\n");
+    let out = std::env::temp_dir();
+    let mut snap = 0usize;
+    let mut next = 0.1f64;
+    while sim.time < 0.75 {
+        sim.advance(None);
+        if sim.time >= next {
+            // locate the densest cell = the bullet
+            let mut best = (0.0f64, [0.0f64, 0.0]);
+            let dims = sim.grid.params().block_dims;
+            for (_, n) in sim.grid.blocks() {
+                for c in n.field().shape().interior_box().iter() {
+                    let rho = n.field().at(c, 0);
+                    if rho > best.0 {
+                        best = (rho, sim.grid.layout().cell_center(n.key(), dims, c));
+                    }
+                }
+            }
+            println!(
+                "t = {:4.2}: bullet at ({:4.2}, {:4.2}), rho_max {:5.2}, {} blocks (+{} -{} so far)",
+                sim.time,
+                best.1[0],
+                best.1[1],
+                best.0,
+                sim.grid.num_blocks(),
+                sim.stats.refined,
+                sim.stats.coarsened * 4,
+            );
+            if snap == 2 {
+                println!("\ngrid at t = {:.2} (fine blocks ride the bullet):", sim.time);
+                print!("{}", ascii_grid_2d(&sim.grid, 72));
+            }
+            let img = sample_2d(&sim.grid, 0, 320, 160);
+            std::fs::write(out.join(format!("comet_{snap}.pgm")), to_pgm(&img, 320, 160))
+                .unwrap();
+            snap += 1;
+            next += 0.1;
+        }
+    }
+    println!(
+        "\n{} steps, {} adapts; {} blocks refined and {} coarsened in flight —",
+        sim.stats.steps,
+        sim.stats.adapts,
+        sim.stats.refined,
+        sim.stats.coarsened * 4
+    );
+    println!(
+        "the refinement followed the object across the domain (peak {} blocks, now {}).",
+        sim.stats.peak_blocks,
+        sim.grid.num_blocks()
+    );
+    println!("snapshots comet_*.pgm in {}", out.display());
+    adaptive_blocks::core::verify::check_grid(&sim.grid).expect("invariants");
+}

@@ -1,0 +1,83 @@
+//! Adaptive blast wave: the block structure chasing a shock front.
+//!
+//! ```text
+//! cargo run --release --example sedov_blast_amr
+//! ```
+//!
+//! A Sedov-like point explosion on a 2-D Euler domain. The gradient
+//! criterion keeps the finest blocks glued to the expanding shock while
+//! the interior and far field coarsen — the cell-count savings the
+//! paper's introduction promises over a fixed uniform mesh. Writes PGM
+//! snapshots and a VTK file you can open in ParaView.
+
+use adaptive_blocks::amr::{AmrConfig, AmrSimulation, GradientCriterion};
+use adaptive_blocks::io::{sample_2d, svg_grid_2d, to_pgm, vtk_uniform_2d};
+use adaptive_blocks::prelude::*;
+use adaptive_blocks::solver::stepper::total_conserved;
+
+fn main() {
+    let e = Euler::<2>::new(1.4);
+    let grid = BlockGrid::new(
+        RootLayout::unit([2, 2], Boundary::Outflow),
+        GridParams::new([8, 8], 2, 4, 4),
+    );
+    // monitor total energy: the initial blast is a pressure disc in a
+    // uniform-density gas
+    let criterion = GradientCriterion::new(3, 0.08, 0.03);
+    let mut sim = AmrSimulation::new(
+        grid,
+        e.clone(),
+        Scheme::muscl_rusanov(),
+        criterion,
+        AmrConfig { cfl: 0.35, adapt_every: 4, max_steps: 50_000, refluxing: true },
+    );
+
+    let ic = |g: &mut BlockGrid<2>| {
+        problems::sedov_blast(g, &e, [0.5, 0.5], 0.08, 50.0)
+    };
+    sim.initial_adapt_with(5, None, ic);
+    println!(
+        "t = 0      : {:4} blocks ({:6} cells), finest level {}, compression {:.3}",
+        sim.grid.num_blocks(),
+        sim.cells(),
+        sim.grid.max_level_present(),
+        sim.compression()
+    );
+    let mass0 = total_conserved(&sim.grid, 0);
+    let energy0 = total_conserved(&sim.grid, 3);
+
+    let out = std::env::temp_dir();
+    for (i, t_end) in [0.01, 0.03, 0.06, 0.1].iter().enumerate() {
+        sim.run_until(*t_end, None);
+        println!(
+            "t = {:<6} : {:4} blocks ({:6} cells), finest level {}, compression {:.3}",
+            t_end,
+            sim.grid.num_blocks(),
+            sim.cells(),
+            sim.grid.max_level_present(),
+            sim.compression()
+        );
+        let img = sample_2d(&sim.grid, 0, 256, 256);
+        let path = out.join(format!("sedov_rho_{i}.pgm"));
+        std::fs::write(&path, to_pgm(&img, 256, 256)).expect("write pgm");
+    }
+
+    let mass1 = total_conserved(&sim.grid, 0);
+    let energy1 = total_conserved(&sim.grid, 3);
+    println!("\nconservation check (closed box until the front exits):");
+    println!("  mass   {mass0:.6} -> {mass1:.6}  (drift {:.2e})", (mass1 - mass0).abs());
+    println!("  energy {energy0:.6} -> {energy1:.6}  (drift {:.2e})", (energy1 - energy0).abs());
+    println!("\nrun stats: {} steps, {} adapts, {} blocks refined, {} groups coarsened",
+        sim.stats.steps, sim.stats.adapts, sim.stats.refined, sim.stats.coarsened);
+    println!(
+        "time split: {:.2}s solve, {:.3}s adapt (the paper's amortization argument)",
+        sim.stats.solve_seconds, sim.stats.adapt_seconds
+    );
+
+    std::fs::write(out.join("sedov_rho.vtk"), vtk_uniform_2d(&sim.grid, 0, "rho", 256))
+        .expect("write vtk");
+    std::fs::write(out.join("sedov_blocks.svg"), svg_grid_2d(&sim.grid, 480.0))
+        .expect("write svg");
+    println!("\nartifacts in {}: sedov_rho_*.pgm, sedov_rho.vtk, sedov_blocks.svg", out.display());
+    adaptive_blocks::core::verify::check_grid(&sim.grid).expect("invariants");
+}

@@ -1,0 +1,38 @@
+//! # adaptive-blocks
+//!
+//! A full Rust reproduction of **Stout, De Zeeuw, Gombosi, Groth,
+//! Marshall & Powell, "Adaptive Blocks: A High Performance Data
+//! Structure" (SC 1997)** — the block-based AMR design that became
+//! standard practice in BATS-R-US, PARAMESH, FLASH, and their
+//! descendants.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`core`](ablock_core) | the adaptive block grid: blocks of regular cell arrays, explicit face-neighbor pointers, 2:1-balanced refine/coarsen, ghost exchange, SFC orderings |
+//! | [`celltree`](ablock_celltree) | the paper's baseline: cell-based quadtree/octree with traversal neighbor finding |
+//! | [`solver`](ablock_solver) | finite-volume Euler and ideal-MHD (Powell 8-wave) kernels, MUSCL + Rusanov/HLL, SSP-RK2 |
+//! | [`amr`](ablock_amr) | criteria + the solve/adapt driver |
+//! | [`par`](ablock_par) | message-passing machine, distributed AMR, shared-memory executor, load balancers, BSP scaling model |
+//! | [`io`](ablock_io) | SVG/ASCII/VTK/PGM output and table printing |
+//!
+//! See `examples/` for runnable entry points and `crates/bench` for the
+//! harness that regenerates every figure and table of the paper.
+
+pub use ablock_amr as amr;
+pub use ablock_celltree as celltree;
+pub use ablock_core as core;
+pub use ablock_io as io;
+pub use ablock_par as par;
+pub use ablock_solver as solver;
+
+/// Convenient glob import for examples and downstream users.
+pub mod prelude {
+    pub use ablock_amr::{AmrConfig, AmrSimulation, BallCriterion, GradientCriterion};
+    pub use ablock_core::prelude::*;
+    pub use ablock_solver::{
+        problems, Euler, IdealMhd, Limiter, Physics, Recon, Riemann, Scheme, Stepper,
+        TimeScheme,
+    };
+}
