@@ -140,7 +140,7 @@ impl<const D: usize, P: Physics, C: Criterion<D>> AmrSimulation<D, P, C> {
 
     /// Advance one CFL-limited step (adapting on cadence). Returns `dt`.
     pub fn advance(&mut self, bc: Option<&BcFn<D>>) -> f64 {
-        if self.stats.steps > 0 && self.stats.steps % self.config.adapt_every == 0 {
+        if self.stats.steps > 0 && self.stats.steps.is_multiple_of(self.config.adapt_every) {
             self.adapt_now(bc);
         }
         let t0 = Instant::now();
@@ -157,7 +157,7 @@ impl<const D: usize, P: Physics, C: Criterion<D>> AmrSimulation<D, P, C> {
     pub fn run_until(&mut self, t_end: f64, bc: Option<&BcFn<D>>) -> usize {
         let mut steps = 0;
         while self.time < t_end - 1e-14 {
-            if self.stats.steps > 0 && self.stats.steps % self.config.adapt_every == 0 {
+            if self.stats.steps > 0 && self.stats.steps.is_multiple_of(self.config.adapt_every) {
                 self.adapt_now(bc);
             }
             let t0 = Instant::now();

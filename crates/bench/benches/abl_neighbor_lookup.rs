@@ -5,16 +5,17 @@
 //! grids, rather than using parent/child tree traversals … in a parallel
 //! system these cells may be located on different processors, so that
 //! extensive interprocessor communication would be required."
-
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+//!
+//! Runs on the in-repo [`ablock_testkit::Bench`] timer (`harness = false`).
 
 use ablock_celltree::{CellNeighbor, CellTree};
 use ablock_core::balance::refine_ball_to_level;
 use ablock_core::grid::{BlockGrid, GridParams, Transfer};
 use ablock_core::index::Face;
 use ablock_core::layout::{Boundary, RootLayout};
+use ablock_testkit::Bench;
 
-fn bench_block_pointer_lookup(c: &mut Criterion) {
+fn main() {
     let mut grid = BlockGrid::<2>::new(
         RootLayout::unit([4, 4], Boundary::Periodic),
         GridParams::new([4, 4], 2, 1, 4),
@@ -22,20 +23,18 @@ fn bench_block_pointer_lookup(c: &mut Criterion) {
     refine_ball_to_level(&mut grid, [0.5, 0.5], 0.2, 3, Transfer::None);
     let ids = grid.block_ids();
     let queries = (ids.len() * 4) as u64;
-    let mut group = c.benchmark_group("abl1_neighbor_lookup");
-    group.throughput(Throughput::Elements(queries));
-    group.bench_function("blocks_pointer", |b| {
-        b.iter(|| {
-            let mut acc = 0usize;
-            for &id in &ids {
-                let node = grid.block(id);
-                for f in Face::all::<2>() {
-                    acc += node.face(f).ids().len();
-                }
+    println!("abl1_neighbor_lookup:");
+    let meas = Bench::new("blocks_pointer").iters(50).run(|| {
+        let mut acc = 0usize;
+        for &id in &ids {
+            let node = grid.block(id);
+            for f in Face::all::<2>() {
+                acc += node.face(f).ids().len();
             }
-            std::hint::black_box(acc)
-        })
+        }
+        std::hint::black_box(acc);
     });
+    println!("    {:>12.1} Mqueries/s", meas.throughput(queries) / 1e6);
 
     // the same adapted region as a cell tree (each block cell is a leaf)
     let mut tree = CellTree::<2>::new(RootLayout::unit([16, 16], Boundary::Periodic), 1, 4);
@@ -52,26 +51,19 @@ fn bench_block_pointer_lookup(c: &mut Criterion) {
     }
     tree.balance_21();
     let leaves = tree.leaf_ids();
-    group.throughput(Throughput::Elements((leaves.len() * 4) as u64));
-    group.bench_function("tree_traversal", |b| {
-        b.iter(|| {
-            let mut acc = 0usize;
-            for &id in &leaves {
-                for f in Face::all::<2>() {
-                    match tree.neighbor(id, f) {
-                        CellNeighbor::Same(_) | CellNeighbor::Coarser(_) => acc += 1,
-                        CellNeighbor::Finer(n) => {
-                            acc += tree.leaves_on_face(n, f.opposite()).len()
-                        }
-                        CellNeighbor::Boundary(_) => {}
-                    }
+    let tree_queries = (leaves.len() * 4) as u64;
+    let meas = Bench::new("tree_traversal").iters(50).run(|| {
+        let mut acc = 0usize;
+        for &id in &leaves {
+            for f in Face::all::<2>() {
+                match tree.neighbor(id, f) {
+                    CellNeighbor::Same(_) | CellNeighbor::Coarser(_) => acc += 1,
+                    CellNeighbor::Finer(n) => acc += tree.leaves_on_face(n, f.opposite()).len(),
+                    CellNeighbor::Boundary(_) => {}
                 }
             }
-            std::hint::black_box(acc)
-        })
+        }
+        std::hint::black_box(acc);
     });
-    group.finish();
+    println!("    {:>12.1} Mqueries/s", meas.throughput(tree_queries) / 1e6);
 }
-
-criterion_group!(benches, bench_block_pointer_lookup);
-criterion_main!(benches);

@@ -1,21 +1,20 @@
-//! Criterion version of the Fig. 5 kernel sweep: per-cell cost of the 3-D
-//! ideal-MHD block update as a function of block size, plus the padding
-//! remedy. (The full table with the cell-tree endpoint is the
-//! `fig5_table` binary; this bench gives statistically robust timings for
-//! the core curve.)
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+//! Fig. 5 kernel sweep: per-cell cost of the 3-D ideal-MHD block update
+//! as a function of block size, plus the padding remedy. (The full table
+//! with the cell-tree endpoint is the `fig5_table` binary; this bench
+//! gives quick wall-clock timings for the core curve.)
+//!
+//! Runs on the in-repo [`ablock_testkit::Bench`] timer (`harness = false`).
 
 use ablock_bench::mhd_grid_3d;
 use ablock_core::field::FieldBlock;
 use ablock_core::ghost::{GhostConfig, GhostExchange};
 use ablock_solver::kernel::{compute_rhs_block, Scheme};
 use ablock_solver::mhd::IdealMhd;
+use ablock_testkit::Bench;
 
-fn bench_block_sizes(c: &mut Criterion) {
+fn bench_block_sizes() {
     let mhd = IdealMhd::new(5.0 / 3.0);
-    let mut group = c.benchmark_group("fig5_time_per_cell");
-    group.sample_size(10);
+    println!("fig5_time_per_cell:");
     for &m in &[2i64, 4, 8, 16, 32] {
         let r = (32 / m).max(1);
         let mut grid = mhd_grid_3d([r, r, r], m, 0, 0);
@@ -25,33 +24,29 @@ fn bench_block_sizes(c: &mut Criterion) {
         let mut rhs = FieldBlock::zeros(shape);
         let mut scratch = Vec::new();
         let cells = grid.num_cells() as u64;
-        group.throughput(Throughput::Elements(cells));
-        group.bench_with_input(BenchmarkId::new("mhd_rhs", format!("{m}^3")), &m, |b, _| {
-            b.iter(|| {
-                for id in grid.block_ids() {
-                    let node = grid.block(id);
-                    let h = grid
-                        .layout()
-                        .cell_size(node.key().level, grid.params().block_dims);
-                    compute_rhs_block(
-                        &mhd,
-                        Scheme::muscl_rusanov(),
-                        node.field(),
-                        h,
-                        &mut rhs,
-                        &mut scratch,
-                    );
-                }
-            })
+        let meas = Bench::new(&format!("mhd_rhs/{m}^3")).iters(10).run(|| {
+            for id in grid.block_ids() {
+                let node = grid.block(id);
+                let h = grid
+                    .layout()
+                    .cell_size(node.key().level, grid.params().block_dims);
+                compute_rhs_block(
+                    &mhd,
+                    Scheme::muscl_rusanov(),
+                    node.field(),
+                    h,
+                    &mut rhs,
+                    &mut scratch,
+                );
+            }
         });
+        println!("    {:>12.1} Mcells/s", meas.throughput(cells) / 1e6);
     }
-    group.finish();
 }
 
-fn bench_padding(c: &mut Criterion) {
+fn bench_padding() {
     let mhd = IdealMhd::new(5.0 / 3.0);
-    let mut group = c.benchmark_group("fig5_padding_remedy");
-    group.sample_size(10);
+    println!("fig5_padding_remedy:");
     for &pad in &[0i64, 2] {
         let mut grid = mhd_grid_3d([2, 2, 2], 12, pad, 0);
         let plan = GhostExchange::build(&grid, GhostConfig::default());
@@ -59,28 +54,28 @@ fn bench_padding(c: &mut Criterion) {
         let shape = grid.params().field_shape();
         let mut rhs = FieldBlock::zeros(shape);
         let mut scratch = Vec::new();
-        group.throughput(Throughput::Elements(grid.num_cells() as u64));
-        group.bench_with_input(BenchmarkId::new("pad", pad), &pad, |b, _| {
-            b.iter(|| {
-                for id in grid.block_ids() {
-                    let node = grid.block(id);
-                    let h = grid
-                        .layout()
-                        .cell_size(node.key().level, grid.params().block_dims);
-                    compute_rhs_block(
-                        &mhd,
-                        Scheme::muscl_rusanov(),
-                        node.field(),
-                        h,
-                        &mut rhs,
-                        &mut scratch,
-                    );
-                }
-            })
+        let cells = grid.num_cells() as u64;
+        let meas = Bench::new(&format!("pad/{pad}")).iters(10).run(|| {
+            for id in grid.block_ids() {
+                let node = grid.block(id);
+                let h = grid
+                    .layout()
+                    .cell_size(node.key().level, grid.params().block_dims);
+                compute_rhs_block(
+                    &mhd,
+                    Scheme::muscl_rusanov(),
+                    node.field(),
+                    h,
+                    &mut rhs,
+                    &mut scratch,
+                );
+            }
         });
+        println!("    {:>12.1} Mcells/s", meas.throughput(cells) / 1e6);
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_block_sizes, bench_padding);
-criterion_main!(benches);
+fn main() {
+    bench_block_sizes();
+    bench_padding();
+}

@@ -4,8 +4,8 @@
 //! * ghost fill throughput (values moved per second) on an adapted grid;
 //! * exchange-plan rebuild cost (paid once per adapt, not per step);
 //! * a full refine+coarsen round trip with conservative transfer.
-
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+//!
+//! Runs on the in-repo [`ablock_testkit::Bench`] timer (`harness = false`).
 
 use ablock_core::balance::refine_ball_to_level;
 use ablock_core::ghost::{GhostConfig, GhostExchange};
@@ -13,6 +13,7 @@ use ablock_core::grid::{BlockGrid, GridParams, Transfer};
 use ablock_core::key::BlockKey;
 use ablock_core::layout::{Boundary, RootLayout};
 use ablock_core::ops::ProlongOrder;
+use ablock_testkit::Bench;
 
 fn adapted_grid() -> BlockGrid<3> {
     let mut g = BlockGrid::<3>::new(
@@ -23,37 +24,35 @@ fn adapted_grid() -> BlockGrid<3> {
     g
 }
 
-fn bench_ghost_fill(c: &mut Criterion) {
+fn bench_ghost_fill() {
     let mut g = adapted_grid();
     let plan = GhostExchange::build(&g, GhostConfig::default());
     let values = plan.comm_volume(&g) as u64;
-    let mut group = c.benchmark_group("ghost_exchange");
-    group.sample_size(20);
-    group.throughput(Throughput::Elements(values));
-    group.bench_function("fill", |b| b.iter(|| plan.fill(&mut g)));
-    group.bench_function("build_plan", |b| {
-        b.iter(|| GhostExchange::build(&g, GhostConfig::default()).num_tasks())
+    println!("ghost_exchange:");
+    let meas = Bench::new("fill").iters(20).run(|| {
+        plan.fill(&mut g);
     });
-    group.finish();
+    println!("    {:>12.1} Mvalues/s", meas.throughput(values) / 1e6);
+    Bench::new("build_plan").iters(20).run(|| {
+        std::hint::black_box(GhostExchange::build(&g, GhostConfig::default()).num_tasks());
+    });
 }
 
-fn bench_adapt_roundtrip(c: &mut Criterion) {
-    let mut group = c.benchmark_group("adapt");
-    group.sample_size(20);
-    group.bench_function("refine_coarsen_roundtrip", |b| {
-        let mut g = BlockGrid::<3>::new(
-            RootLayout::unit([2, 2, 2], Boundary::Periodic),
-            GridParams::new([8, 8, 8], 2, 8, 2),
-        );
-        let key = BlockKey::new(0, [0, 0, 0]);
-        b.iter(|| {
-            let id = g.find(key).unwrap();
-            g.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod));
-            g.coarsen(key, Transfer::Conservative(ProlongOrder::Constant));
-        })
+fn bench_adapt_roundtrip() {
+    println!("adapt:");
+    let mut g = BlockGrid::<3>::new(
+        RootLayout::unit([2, 2, 2], Boundary::Periodic),
+        GridParams::new([8, 8, 8], 2, 8, 2),
+    );
+    let key = BlockKey::new(0, [0, 0, 0]);
+    Bench::new("refine_coarsen_roundtrip").iters(20).run(|| {
+        let id = g.find(key).unwrap();
+        g.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod)).unwrap();
+        g.coarsen(key, Transfer::Conservative(ProlongOrder::Constant)).unwrap();
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_ghost_fill, bench_adapt_roundtrip);
-criterion_main!(benches);
+fn main() {
+    bench_ghost_fill();
+    bench_adapt_roundtrip();
+}

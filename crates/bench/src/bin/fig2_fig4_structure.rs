@@ -22,7 +22,7 @@ fn main() {
         GridParams::new([4, 4], 2, 1, 3),
     );
     let id = grid.find(BlockKey::new(0, [0, 1])).unwrap();
-    grid.refine(id, Transfer::None);
+    grid.refine(id, Transfer::None).unwrap();
     println!("FIG 2 — adaptive block decomposition (one block refined):\n");
     print!("{}", ascii_grid_2d(&grid, 48));
 

@@ -69,7 +69,7 @@ fn main() {
     }
     t.print();
 
-    let uniform = 8 * 512usize << (3 * grid.max_level_present() as usize);
+    let uniform = (8 * 512usize) << (3 * grid.max_level_present() as usize);
     println!(
         "total: {} blocks, {} cells; uniform grid at the finest level would need {} cells ({}x)",
         grid.num_blocks(),

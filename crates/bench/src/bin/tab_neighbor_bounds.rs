@@ -45,12 +45,7 @@ fn worst_case_max<const D: usize>(k: u8) -> usize {
         let flags = ids.into_iter().map(|id| (id, Flag::Refine)).collect();
         adapt(&mut g, &flags, Transfer::None);
     }
-    let left = g
-        .find(BlockKey::new(0, {
-            let c = [0i64; D];
-            c
-        }))
-        .unwrap();
+    let left = g.find(BlockKey::new(0, [0i64; D])).unwrap();
     g.block(left).face(Face::new(0, true)).ids().len()
 }
 

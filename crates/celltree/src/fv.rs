@@ -97,9 +97,7 @@ where
             }
         }
         let n = tree.node_mut(id);
-        for v in 0..nvar {
-            n.work[v] = rhs[v];
-        }
+        n.work[..nvar].copy_from_slice(&rhs[..nvar]);
     }
 
     // phase 2: apply

@@ -1,12 +1,15 @@
 //! Property tests for the cell-based tree: the traversal-based neighbor
 //! finder is checked against a key-arithmetic oracle under random
 //! refinement/coarsening sequences.
+//!
+//! Cases are generated with the in-repo [`ablock_testkit`] seeded driver;
+//! a failing case reports its seed so it can be replayed exactly.
 
+use ablock_celltree::{CellNeighbor, CellTree};
 use ablock_core::index::Face;
 use ablock_core::key::BlockKey;
 use ablock_core::layout::{Boundary, Resolved, RootLayout};
-use ablock_celltree::{CellNeighbor, CellTree};
-use proptest::prelude::*;
+use ablock_testkit::cases;
 
 /// Build a tree with a deterministic pseudo-random refinement pattern.
 fn random_tree(roots: [i64; 2], periodic: bool, seed: u64, rounds: usize) -> CellTree<2> {
@@ -66,19 +69,16 @@ enum OracleResult {
     Boundary(Boundary),
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Every traversal answer matches the key-arithmetic oracle, for every
-    /// leaf and every face, on random trees.
-    #[test]
-    fn traversal_matches_oracle(
-        seed in any::<u64>(),
-        rounds in 1usize..3,
-        rx in 1i64..4,
-        ry in 1i64..4,
-        periodic in any::<bool>(),
-    ) {
+/// Every traversal answer matches the key-arithmetic oracle, for every
+/// leaf and every face, on random trees.
+#[test]
+fn traversal_matches_oracle() {
+    cases(32, 0xCE11_0001, |_, rng| {
+        let seed = rng.next_u64();
+        let rounds = rng.usize_in(1, 3);
+        let rx = rng.i64_in(1, 4);
+        let ry = rng.i64_in(1, 4);
+        let periodic = rng.coin();
         let t = random_tree([rx, ry], periodic, seed, rounds);
         // all nodes (leaves + internal) by key
         let mut by_key = std::collections::HashMap::new();
@@ -107,14 +107,17 @@ proptest! {
                     (&got, &want),
                     (CellNeighbor::Boundary(a), OracleResult::Boundary(b)) if a == b
                 );
-                prop_assert!(ok, "leaf {key:?} face {face:?}: got {got:?}, want {want:?}");
+                assert!(ok, "leaf {key:?} face {face:?}: got {got:?}, want {want:?}");
             }
         }
-    }
+    });
+}
 
-    /// Node/leaf bookkeeping is consistent under refine+coarsen round trips.
-    #[test]
-    fn refine_coarsen_roundtrip_counts(seed in any::<u64>()) {
+/// Node/leaf bookkeeping is consistent under refine+coarsen round trips.
+#[test]
+fn refine_coarsen_roundtrip_counts() {
+    cases(32, 0xCE11_0002, |_, rng| {
+        let seed = rng.next_u64();
         let mut t = random_tree([2, 2], false, seed, 2);
         let nodes0 = t.num_nodes();
         let leaves0 = t.num_leaves();
@@ -123,19 +126,22 @@ proptest! {
         for &id in &old_leaves {
             t.refine(id);
         }
-        prop_assert_eq!(t.num_leaves(), leaves0 * 4);
-        prop_assert_eq!(t.num_nodes(), nodes0 + leaves0 * 4);
+        assert_eq!(t.num_leaves(), leaves0 * 4);
+        assert_eq!(t.num_nodes(), nodes0 + leaves0 * 4);
         for &id in &old_leaves {
             t.coarsen(id);
         }
-        prop_assert_eq!(t.num_nodes(), nodes0);
-        prop_assert_eq!(t.num_leaves(), leaves0);
-    }
+        assert_eq!(t.num_nodes(), nodes0);
+        assert_eq!(t.num_leaves(), leaves0);
+    });
+}
 
-    /// Coarsening averages and refining injects: a refine+coarsen round
-    /// trip preserves every leaf value exactly.
-    #[test]
-    fn refine_coarsen_preserves_values(seed in any::<u64>()) {
+/// Coarsening averages and refining injects: a refine+coarsen round
+/// trip preserves every leaf value exactly.
+#[test]
+fn refine_coarsen_preserves_values() {
+    cases(32, 0xCE11_0003, |_, rng| {
+        let seed = rng.next_u64();
         let mut t = random_tree([2, 1], false, seed, 1);
         let mut state = seed | 3;
         for id in t.leaf_ids() {
@@ -151,12 +157,16 @@ proptest! {
             t.coarsen(id);
         }
         let after: Vec<f64> = t.leaf_ids().iter().map(|&i| t.node(i).u[0]).collect();
-        prop_assert_eq!(before, after);
-    }
+        assert_eq!(before, after);
+    });
+}
 
-    /// After balance_21 no face has a jump above one level.
-    #[test]
-    fn balance_enforces_21(seed in any::<u64>(), rounds in 1usize..3) {
+/// After balance_21 no face has a jump above one level.
+#[test]
+fn balance_enforces_21() {
+    cases(32, 0xCE11_0004, |_, rng| {
+        let seed = rng.next_u64();
+        let rounds = rng.usize_in(1, 3);
         let mut t = random_tree([2, 2], true, seed, rounds);
         t.balance_21();
         for id in t.leaf_ids() {
@@ -164,10 +174,10 @@ proptest! {
             for f in Face::all::<2>() {
                 if let CellNeighbor::Finer(n) = t.neighbor(id, f) {
                     for c in t.leaves_on_face(n, f.opposite()) {
-                        prop_assert!(t.node(c).key.level <= lvl + 1);
+                        assert!(t.node(c).key.level <= lvl + 1);
                     }
                 }
             }
         }
-    }
+    });
 }

@@ -183,7 +183,8 @@ pub fn adapt<const D: usize>(
         let id = grid
             .find(key)
             .expect("flagged block vanished during adapt");
-        grid.refine(id, transfer);
+        grid.refine(id, transfer)
+            .expect("cascade closure guarantees refinement legality");
         if requested {
             report.refined_requested += 1;
         } else {
@@ -196,7 +197,8 @@ pub fn adapt<const D: usize>(
     for pkey in approved_groups {
         // a cascade refinement may have invalidated the group after vetting
         if grid.can_coarsen(pkey) {
-            grid.coarsen(pkey, transfer);
+            grid.coarsen(pkey, transfer)
+                .expect("can_coarsen vetted this group");
             report.coarsened_groups += 1;
         } else {
             report.coarsen_vetoed += 1 << D;

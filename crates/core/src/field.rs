@@ -102,6 +102,12 @@ impl<const D: usize> FieldShape<D> {
         self.allocated_cells() * self.nvar
     }
 
+    /// True when the shape holds no storage (zero cells or variables).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Cell strides in units of `f64`, per axis (variable stride is 1).
     #[inline]
     pub fn strides(&self) -> IVec<D> {

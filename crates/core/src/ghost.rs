@@ -720,7 +720,7 @@ mod tests {
             GridParams::new([8, 8], 2, 1, 3),
         );
         let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
-        g.refine(a, Transfer::None);
+        g.refine(a, Transfer::None).unwrap();
         let b = g.find(BlockKey::new(1, [1, 1])).unwrap();
         crate::balance::adapt(
             &mut g,
@@ -761,7 +761,7 @@ mod tests {
             GridParams::new([4, 4, 4], 2, 1, 2),
         );
         let a = g.find(BlockKey::new(0, [0, 0, 0])).unwrap();
-        g.refine(a, Transfer::None);
+        g.refine(a, Transfer::None).unwrap();
         fill_global_linear(&mut g, [1.0, 2.0, 3.0], -0.5);
         fill_ghosts(&mut g, GhostConfig::default());
         let m = g.params().block_dims;
@@ -793,7 +793,7 @@ mod tests {
             GridParams::new([4, 4], 2, 1, 2),
         );
         let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
-        g.refine(a, Transfer::None);
+        g.refine(a, Transfer::None).unwrap();
         // fine blocks hold distinct constants; coarse ghost = their average
         // where segments meet? No - each ghost cell averages cells of ONE
         // fine block (2x2 fine per coarse ghost), so ghost = that constant.
@@ -910,7 +910,7 @@ mod tests {
         );
         let before = GhostExchange::build(&g, GhostConfig::default()).num_tasks();
         let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
-        g.refine(a, Transfer::None);
+        g.refine(a, Transfer::None).unwrap();
         let after = GhostExchange::build(&g, GhostConfig::default()).num_tasks();
         assert!(after > before);
     }

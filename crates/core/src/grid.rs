@@ -16,9 +16,10 @@
 //!
 //! The grid enforces the paper's refinement-jump constraint: adjacent
 //! blocks differ by at most `max_level_jump` levels (1 by default). Direct
-//! [`BlockGrid::refine`]/[`BlockGrid::coarsen`] calls panic if they would
-//! violate it; the `balance` module's [`crate::balance::adapt`] cascades
-//! refinement flags so arbitrary flag sets stay legal.
+//! [`BlockGrid::refine`]/[`BlockGrid::coarsen`] calls return a
+//! [`GridError`] if they would violate it (or were handed a stale id);
+//! the `balance` module's [`crate::balance::adapt`] cascades refinement
+//! flags so arbitrary flag sets stay legal.
 
 use std::collections::HashMap;
 
@@ -179,6 +180,77 @@ pub enum Transfer {
     Conservative(ProlongOrder),
 }
 
+/// Why a grid-restructuring request was rejected.
+///
+/// [`BlockGrid::refine`] and [`BlockGrid::coarsen`] report illegal
+/// requests — stale ids, level caps, jump-constraint violations — as
+/// values instead of panicking, so distributed drivers (fault recovery,
+/// checkpoint replay) can degrade gracefully. Breaches of *internal*
+/// invariants remain `debug_assert!`s: they indicate grid corruption, not
+/// a bad request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GridError<const D: usize> {
+    /// The id does not name a live leaf (the block was refined or
+    /// coarsened away since the id was obtained).
+    StaleBlock(
+        /// The offending id.
+        BlockId,
+    ),
+    /// Refining the block would exceed `max_level`.
+    MaxLevel {
+        /// Key of the block that was asked to refine.
+        key: BlockKey<D>,
+        /// The grid's level cap.
+        max_level: u8,
+    },
+    /// Refining the block would break the level-jump constraint against a
+    /// coarser neighbor (use [`crate::balance::adapt`] to cascade).
+    RefineJump {
+        /// Key of the block that was asked to refine.
+        key: BlockKey<D>,
+        /// The grid's maximum allowed jump.
+        max_jump: u8,
+    },
+    /// Coarsening needs the complete `2^D` sibling group present as
+    /// leaves; at least one sibling is missing or subdivided.
+    SiblingsIncomplete {
+        /// Parent key of the requested group.
+        parent: BlockKey<D>,
+    },
+    /// Coarsening would break the level-jump constraint against a finer
+    /// neighbor of the group.
+    CoarsenJump {
+        /// Parent key of the requested group.
+        parent: BlockKey<D>,
+        /// The grid's maximum allowed jump.
+        max_jump: u8,
+    },
+}
+
+impl<const D: usize> std::fmt::Display for GridError<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::StaleBlock(id) => {
+                write!(f, "block id {id:?} is stale (not a live leaf)")
+            }
+            GridError::MaxLevel { key, max_level } => {
+                write!(f, "refine of {key:?} would exceed max_level {max_level}")
+            }
+            GridError::RefineJump { key, max_jump } => {
+                write!(f, "refine of {key:?} would break the {max_jump}-level jump constraint")
+            }
+            GridError::SiblingsIncomplete { parent } => {
+                write!(f, "coarsen of {parent:?}: sibling group is not complete leaves")
+            }
+            GridError::CoarsenJump { parent, max_jump } => {
+                write!(f, "coarsen of {parent:?} would break the {max_jump}-level jump constraint")
+            }
+        }
+    }
+}
+
+impl<const D: usize> std::error::Error for GridError<D> {}
+
 /// The adaptive block grid.
 pub struct BlockGrid<const D: usize> {
     layout: RootLayout<D>,
@@ -265,6 +337,20 @@ impl<const D: usize> BlockGrid<D> {
     #[inline]
     pub fn block_mut(&mut self, id: BlockId) -> &mut BlockNode<D> {
         &mut self.arena[id]
+    }
+
+    /// Shared access to a block, reporting a stale id as an error instead
+    /// of panicking.
+    #[inline]
+    pub fn try_block(&self, id: BlockId) -> Result<&BlockNode<D>, GridError<D>> {
+        self.arena.get(id).ok_or(GridError::StaleBlock(id))
+    }
+
+    /// Mutable access to a block, reporting a stale id as an error instead
+    /// of panicking.
+    #[inline]
+    pub fn try_block_mut(&mut self, id: BlockId) -> Result<&mut BlockNode<D>, GridError<D>> {
+        self.arena.get_mut(id).ok_or(GridError::StaleBlock(id))
     }
 
     /// Mutable access to two distinct blocks.
@@ -518,14 +604,22 @@ impl<const D: usize> BlockGrid<D> {
     // ------------------------------------------------------------------
 
     /// True if refining `id` would keep every face jump within
-    /// `max_level_jump` and below `max_level`.
+    /// `max_level_jump` and below `max_level` (false for stale ids).
     pub fn can_refine(&self, id: BlockId) -> bool {
-        let node = &self.arena[id];
+        self.check_refine(id).is_ok()
+    }
+
+    /// Classify why refining `id` would be illegal (`Ok` when legal).
+    fn check_refine(&self, id: BlockId) -> Result<(), GridError<D>> {
+        let node = self.arena.get(id).ok_or(GridError::StaleBlock(id))?;
         if node.key.level >= self.params.max_level {
-            return false;
+            return Err(GridError::MaxLevel {
+                key: node.key,
+                max_level: self.params.max_level,
+            });
         }
         let k = self.params.max_level_jump as i32;
-        Face::all::<D>().all(|f| {
+        let ok = Face::all::<D>().all(|f| {
             match node.face(f) {
                 FaceConn::Boundary(_) => true,
                 FaceConn::Blocks(v) => v.iter().all(|&n| {
@@ -533,19 +627,27 @@ impl<const D: usize> BlockGrid<D> {
                     (node.key.level as i32 + 1) - nl <= k
                 }),
             }
-        })
+        });
+        if ok {
+            Ok(())
+        } else {
+            Err(GridError::RefineJump {
+                key: node.key,
+                max_jump: self.params.max_level_jump,
+            })
+        }
     }
 
     /// Refine one leaf into its `2^D` children. Returns the child ids in
-    /// child-index order. Panics if the refinement would break the level
-    /// jump constraint (use [`crate::balance::adapt`] for arbitrary flags)
-    /// or exceed `max_level`.
-    pub fn refine(&mut self, id: BlockId, transfer: Transfer) -> Vec<BlockId> {
-        assert!(
-            self.can_refine(id),
-            "refine would exceed max_level or break the {}-level jump constraint",
-            self.params.max_level_jump
-        );
+    /// child-index order, or a [`GridError`] when the id is stale or the
+    /// refinement would exceed `max_level` / break the level-jump
+    /// constraint (use [`crate::balance::adapt`] for arbitrary flags).
+    pub fn refine(
+        &mut self,
+        id: BlockId,
+        transfer: Transfer,
+    ) -> Result<Vec<BlockId>, GridError<D>> {
+        self.check_refine(id)?;
         let parent_key = self.arena[id].key;
         let affected = self.neighbor_ids(id);
 
@@ -595,16 +697,25 @@ impl<const D: usize> BlockGrid<D> {
                 self.recompute_faces(nid);
             }
         }
-        child_ids
+        Ok(child_ids)
     }
 
     /// True if the sibling group under `parent_key` exists as leaves and can
     /// be coarsened without breaking the jump constraint.
     pub fn can_coarsen(&self, parent_key: BlockKey<D>) -> bool {
+        self.check_coarsen(parent_key).is_ok()
+    }
+
+    /// Classify why coarsening the group under `parent_key` would be
+    /// illegal; returns the sibling ids in child-index order when legal.
+    fn check_coarsen(&self, parent_key: BlockKey<D>) -> Result<Vec<BlockId>, GridError<D>> {
         let k = self.params.max_level_jump as i32;
         let child_level = parent_key.level as i32 + 1;
+        let mut cids = Vec::with_capacity(1 << D);
         for ck in parent_key.children() {
-            let Some(id) = self.find(ck) else { return false };
+            let id = self
+                .find(ck)
+                .ok_or(GridError::SiblingsIncomplete { parent: parent_key })?;
             // After coarsening, the parent sits at child_level - 1; any
             // neighbor finer than child_level + (k-1) would then exceed k.
             for f in Face::all::<D>() {
@@ -612,29 +723,36 @@ impl<const D: usize> BlockGrid<D> {
                     for &n in v {
                         let nl = self.arena[n].key.level as i32;
                         if nl - (child_level - 1) > k {
-                            return false;
+                            return Err(GridError::CoarsenJump {
+                                parent: parent_key,
+                                max_jump: self.params.max_level_jump,
+                            });
                         }
                     }
                 }
             }
+            cids.push(id);
         }
-        true
+        Ok(cids)
     }
 
     /// Coarsen a complete sibling group back into its parent. Returns the
-    /// new parent id. Panics if [`BlockGrid::can_coarsen`] is false.
-    pub fn coarsen(&mut self, parent_key: BlockKey<D>, transfer: Transfer) -> BlockId {
-        assert!(
-            self.can_coarsen(parent_key),
-            "coarsen of {parent_key:?}: sibling group missing or jump constraint would break"
-        );
+    /// new parent id, or a [`GridError`] when the group is incomplete or
+    /// coarsening would break the level-jump constraint (the cases where
+    /// [`BlockGrid::can_coarsen`] is false).
+    pub fn coarsen(
+        &mut self,
+        parent_key: BlockKey<D>,
+        transfer: Transfer,
+    ) -> Result<BlockId, GridError<D>> {
+        let cids = self.check_coarsen(parent_key)?;
         let m = self.params.block_dims;
         let shape = self.params.field_shape();
 
         let mut affected: Vec<BlockId> = Vec::new();
         let mut parent_field = FieldBlock::zeros(shape);
         for (ci, ck) in parent_key.children().enumerate() {
-            let cid = self.find(ck).expect("checked by can_coarsen");
+            let cid = cids[ci];
             affected.extend(self.neighbor_ids(cid));
             let child = self.arena.remove(cid).expect("live id");
             self.by_key.remove(&ck);
@@ -674,13 +792,15 @@ impl<const D: usize> BlockGrid<D> {
                 self.recompute_faces(nid);
             }
         }
-        pid
+        Ok(pid)
     }
 
-    /// Refine every leaf once (uniform refinement helper).
+    /// Refine every leaf once (uniform refinement helper). Panics if any
+    /// leaf is already at `max_level`.
     pub fn refine_all(&mut self, transfer: Transfer) {
         for id in self.block_ids() {
-            self.refine(id, transfer);
+            self.refine(id, transfer)
+                .expect("refine_all: uniform refinement hit max_level");
         }
     }
 
@@ -727,7 +847,7 @@ mod tests {
         let mut g = grid2([2, 1], Boundary::Outflow);
         let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
         let b = g.find(BlockKey::new(0, [1, 0])).unwrap();
-        let kids = g.refine(a, Transfer::None);
+        let kids = g.refine(a, Transfer::None).unwrap();
         assert_eq!(kids.len(), 4);
         assert_eq!(g.num_blocks(), 5);
         assert!(g.find(BlockKey::new(0, [0, 0])).is_none(), "parent is gone");
@@ -752,7 +872,7 @@ mod tests {
     fn jump_constraint_enforced() {
         let mut g = grid2([2, 1], Boundary::Outflow);
         let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
-        let kids = g.refine(a, Transfer::None);
+        let kids = g.refine(a, Transfer::None).unwrap();
         // refining a right child again would put level 2 against level 0
         let rc = kids
             .iter()
@@ -769,17 +889,70 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "jump constraint")]
-    fn refine_panics_on_jump_violation() {
+    fn refine_rejects_jump_violation() {
         let mut g = grid2([2, 1], Boundary::Outflow);
         let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
-        let kids = g.refine(a, Transfer::None);
+        let kids = g.refine(a, Transfer::None).unwrap();
         let rc = kids
             .iter()
             .copied()
             .find(|&i| g.block(i).key() == BlockKey::new(1, [1, 0]))
             .unwrap();
-        g.refine(rc, Transfer::None);
+        let before = g.num_blocks();
+        let err = g.refine(rc, Transfer::None).unwrap_err();
+        assert!(matches!(err, GridError::RefineJump { max_jump: 1, .. }), "{err}");
+        assert_eq!(g.num_blocks(), before, "rejected refine must not mutate");
+    }
+
+    #[test]
+    fn stale_and_illegal_requests_are_reported_not_panics() {
+        let mut g = grid2([2, 2], Boundary::Outflow);
+        let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        g.refine(a, Transfer::None).unwrap();
+        // the parent id is now stale
+        assert!(!g.can_refine(a));
+        assert_eq!(g.refine(a, Transfer::None), Err(GridError::StaleBlock(a)));
+        assert_eq!(g.try_block(a).unwrap_err(), GridError::StaleBlock(a));
+        assert!(g.try_block_mut(a).is_err());
+        // a live id resolves
+        let b = g.find(BlockKey::new(0, [1, 0])).unwrap();
+        assert_eq!(g.try_block(b).unwrap().key(), BlockKey::new(0, [1, 0]));
+        // coarsening a group whose siblings are not all present
+        let err = g.coarsen(BlockKey::new(0, [1, 1]), Transfer::None).unwrap_err();
+        assert!(matches!(err, GridError::SiblingsIncomplete { .. }), "{err}");
+        // error type renders and round-trips through dyn Error
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.to_string().contains("sibling group"));
+    }
+
+    #[test]
+    fn refine_at_cap_reports_max_level() {
+        let mut g = BlockGrid::new(
+            RootLayout::<2>::unit([1, 1], Boundary::Periodic),
+            GridParams::new([4, 4], 1, 1, 1),
+        );
+        let r = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        let kids = g.refine(r, Transfer::None).unwrap();
+        let err = g.refine(kids[0], Transfer::None).unwrap_err();
+        assert!(matches!(err, GridError::MaxLevel { max_level: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn coarsen_jump_violation_is_reported() {
+        let mut g = grid2([2, 1], Boundary::Outflow);
+        let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
+        let b = g.find(BlockKey::new(0, [1, 0])).unwrap();
+        g.refine(a, Transfer::None).unwrap();
+        let bkids = g.refine(b, Transfer::None).unwrap();
+        let bl = bkids
+            .iter()
+            .copied()
+            .find(|&i| g.block(i).key() == BlockKey::new(1, [2, 0]))
+            .unwrap();
+        g.refine(bl, Transfer::None).unwrap();
+        // coarsening a's group would put level 0 against level 2
+        let err = g.coarsen(BlockKey::new(0, [0, 0]), Transfer::None).unwrap_err();
+        assert!(matches!(err, GridError::CoarsenJump { max_jump: 1, .. }), "{err}");
     }
 
     #[test]
@@ -789,7 +962,7 @@ mod tests {
             GridParams::new([4, 4], 1, 1, 1),
         );
         let r = g.find(BlockKey::new(0, [0, 0])).unwrap();
-        let kids = g.refine(r, Transfer::None);
+        let kids = g.refine(r, Transfer::None).unwrap();
         assert!(!g.can_refine(kids[0]), "max_level reached");
     }
 
@@ -797,10 +970,10 @@ mod tests {
     fn coarsen_restores_grid() {
         let mut g = grid2([2, 2], Boundary::Outflow);
         let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
-        g.refine(a, Transfer::None);
+        g.refine(a, Transfer::None).unwrap();
         assert_eq!(g.num_blocks(), 7);
         assert!(g.can_coarsen(BlockKey::new(0, [0, 0])));
-        let pid = g.coarsen(BlockKey::new(0, [0, 0]), Transfer::None);
+        let pid = g.coarsen(BlockKey::new(0, [0, 0]), Transfer::None).unwrap();
         assert_eq!(g.num_blocks(), 4);
         assert_eq!(g.block(pid).key(), BlockKey::new(0, [0, 0]));
         // pointers restored symmetric
@@ -814,15 +987,15 @@ mod tests {
         let mut g = grid2([2, 1], Boundary::Outflow);
         let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
         let b = g.find(BlockKey::new(0, [1, 0])).unwrap();
-        g.refine(a, Transfer::None);
-        let bkids = g.refine(b, Transfer::None);
+        g.refine(a, Transfer::None).unwrap();
+        let bkids = g.refine(b, Transfer::None).unwrap();
         // refine one of b's children that touches a's children
         let bl = bkids
             .iter()
             .copied()
             .find(|&i| g.block(i).key() == BlockKey::new(1, [2, 0]))
             .unwrap();
-        g.refine(bl, Transfer::None);
+        g.refine(bl, Transfer::None).unwrap();
         // coarsening a's group would put level 0 against level 2
         assert!(!g.can_coarsen(BlockKey::new(0, [0, 0])));
         // coarsening b's group impossible: children not all leaves
@@ -837,7 +1010,7 @@ mod tests {
             u[0] = (c[0] + 10 * c[1]) as f64;
         });
         let sum0: f64 = g.block(r).field().interior_sum(0);
-        let kids = g.refine(r, Transfer::Conservative(ProlongOrder::Constant));
+        let kids = g.refine(r, Transfer::Conservative(ProlongOrder::Constant)).unwrap();
         // conservation: children cells are 1/4 volume
         let sum1: f64 = kids
             .iter()
@@ -859,8 +1032,8 @@ mod tests {
             u[0] = (c[0] + 10 * c[1]) as f64;
         });
         let before: f64 = g.block(r).field().interior_sum(0);
-        g.refine(r, Transfer::Conservative(ProlongOrder::LinearMinmod));
-        let pid = g.coarsen(BlockKey::new(0, [0, 0]), Transfer::Conservative(ProlongOrder::Constant));
+        g.refine(r, Transfer::Conservative(ProlongOrder::LinearMinmod)).unwrap();
+        let pid = g.coarsen(BlockKey::new(0, [0, 0]), Transfer::Conservative(ProlongOrder::Constant)).unwrap();
         let after = g.block(pid).field().interior_sum(0);
         assert!(
             (before - after).abs() < 1e-11,
@@ -872,7 +1045,7 @@ mod tests {
     fn find_leaf_at_points() {
         let mut g = grid2([2, 2], Boundary::Outflow);
         let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
-        g.refine(a, Transfer::None);
+        g.refine(a, Transfer::None).unwrap();
         let id = g.find_leaf_at([0.1, 0.1]).unwrap();
         assert_eq!(g.block(id).key().level, 1);
         let id2 = g.find_leaf_at([0.9, 0.9]).unwrap();
@@ -884,7 +1057,7 @@ mod tests {
     fn find_covering() {
         let mut g = grid2([2, 1], Boundary::Outflow);
         let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
-        g.refine(a, Transfer::None);
+        g.refine(a, Transfer::None).unwrap();
         let b = g.find(BlockKey::new(0, [1, 0])).unwrap();
         // a level-2 key under block b is covered by b
         let (id, k) = g.find_covering(BlockKey::new(2, [4, 1])).unwrap();
@@ -896,7 +1069,7 @@ mod tests {
     fn level_histogram_counts() {
         let mut g = grid2([2, 1], Boundary::Outflow);
         let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
-        g.refine(a, Transfer::None);
+        g.refine(a, Transfer::None).unwrap();
         assert_eq!(g.level_histogram(), vec![1, 4]);
         assert_eq!(g.max_level_present(), 1);
     }
@@ -909,7 +1082,7 @@ mod tests {
         );
         let a = g.find(BlockKey::new(0, [0, 0, 0])).unwrap();
         let b = g.find(BlockKey::new(0, [1, 0, 0])).unwrap();
-        g.refine(a, Transfer::None);
+        g.refine(a, Transfer::None).unwrap();
         // paper: at most 2^(d-1) = 4 blocks share a face with 2:1
         let conn = g.block(b).face(Face::new(0, false)).ids();
         assert_eq!(conn.len(), 4);
@@ -926,14 +1099,14 @@ mod tests {
             GridParams::new([8, 8], 2, 1, 4).with_max_jump(2),
         );
         let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
-        let kids = g.refine(a, Transfer::None);
+        let kids = g.refine(a, Transfer::None).unwrap();
         let rc = kids
             .iter()
             .copied()
             .find(|&i| g.block(i).key() == BlockKey::new(1, [1, 0]))
             .unwrap();
         assert!(g.can_refine(rc), "k=2 permits a 2-level jump");
-        g.refine(rc, Transfer::None);
+        g.refine(rc, Transfer::None).unwrap();
         let b = g.find(BlockKey::new(0, [1, 0])).unwrap();
         // b's x- face now has 1 level-1 block and 2 level-2 blocks
         let conn = g.block(b).face(Face::new(0, false)).ids();
@@ -957,7 +1130,7 @@ mod tests {
         // zero offset is the block itself
         assert_eq!(g.neighbors_at_offset(a, [0, 0]), vec![a]);
         // refine d: a's diagonal now sees d's near corner child
-        g.refine(d, Transfer::None);
+        g.refine(d, Transfer::None).unwrap();
         let diag = g.neighbors_at_offset(a, [1, 1]);
         assert_eq!(diag.len(), 1);
         assert_eq!(g.block(diag[0]).key(), BlockKey::new(1, [2, 2]));

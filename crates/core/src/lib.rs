@@ -67,7 +67,7 @@ pub mod prelude {
     pub use crate::balance::{adapt, cascade_closure, refine_ball_to_level, AdaptReport, Flag};
     pub use crate::field::{FieldBlock, FieldShape};
     pub use crate::ghost::{fill_ghosts, BoundaryCtx, GhostConfig, GhostExchange, GhostTask};
-    pub use crate::grid::{BlockGrid, BlockNode, FaceConn, GridParams, Transfer};
+    pub use crate::grid::{BlockGrid, BlockNode, FaceConn, GridError, GridParams, Transfer};
     pub use crate::index::{Face, IBox, IVec};
     pub use crate::key::BlockKey;
     pub use crate::layout::{Boundary, Resolved, RootLayout};

@@ -164,7 +164,7 @@ mod tests {
             GridParams::new([4, 4], 2, 2, 4),
         );
         let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
-        g.refine(a, Transfer::None);
+        g.refine(a, Transfer::None).unwrap();
         // a second-level refinement needs the cascade (every child of the
         // refined root touches level-0 roots in a 2x2 periodic domain)
         let b = g.find(BlockKey::new(1, [1, 1])).unwrap();
@@ -184,7 +184,7 @@ mod tests {
             GridParams::new([8], 2, 3, 4),
         );
         let a = g.find(BlockKey::new(0, [1])).unwrap();
-        g.refine(a, Transfer::None);
+        g.refine(a, Transfer::None).unwrap();
         check_grid(&g).unwrap();
     }
 }

@@ -19,7 +19,7 @@ fn anisotropic_blocks_work_end_to_end() {
     );
     assert_eq!(g.num_cells(), 4 * 32);
     let a = g.find(BlockKey::new(0, [0, 0])).unwrap();
-    g.refine(a, Transfer::None);
+    g.refine(a, Transfer::None).unwrap();
     ablock_core::verify::check_grid(&g).unwrap();
     // ghost exchange on anisotropic blocks reproduces a linear field
     let layout = g.layout().clone();
@@ -105,7 +105,7 @@ fn arena_heavy_churn_generations() {
     let mut state = 12345u64;
     for step in 0..2000u64 {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-        if state % 3 == 0 && !live.is_empty() {
+        if state.is_multiple_of(3) && !live.is_empty() {
             let idx = (state >> 33) as usize % live.len();
             let id = live.swap_remove(idx);
             a.remove(id);
@@ -155,7 +155,7 @@ fn one_dimensional_full_stack() {
         GridParams::new([6], 2, 2, 3),
     );
     let mid = g.find(BlockKey::new(0, [1])).unwrap();
-    g.refine(mid, Transfer::None);
+    g.refine(mid, Transfer::None).unwrap();
     ablock_core::verify::check_grid(&g).unwrap();
     // in 1-D a face has exactly 1 neighbor even at a jump (2^(d-1) = 1)
     for (_, n) in g.blocks() {

@@ -122,7 +122,7 @@ fn masked_tiling_oracle_counts_correctly() {
         }
     }
     let id = g.find(BlockKey::new(0, [1, 1])).unwrap();
-    g.refine(id, Transfer::None);
+    g.refine(id, Transfer::None).unwrap();
     verify::check_grid(&g).unwrap();
 }
 
@@ -132,7 +132,7 @@ fn ghost_fill_near_hole_keeps_interior_exchange_exact() {
     // reflect-filled (not linear), domain faces outflow
     let mut g = BlockGrid::new(l_shape(), GridParams::new([8, 8], 2, 1, 2));
     let id = g.find(BlockKey::new(0, [0, 0])).unwrap();
-    g.refine(id, Transfer::None);
+    g.refine(id, Transfer::None).unwrap();
     let layout = g.layout().clone();
     let m = g.params().block_dims;
     for id in g.block_ids() {

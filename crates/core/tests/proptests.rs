@@ -5,12 +5,16 @@
 //! against the from-scratch oracle in `ablock_core::verify`. Further
 //! properties: key arithmetic round trips, SFC bijectivity/ordering, and
 //! conservation of the refine/coarsen transfer operators.
+//!
+//! Cases are generated with the in-repo [`ablock_testkit`] seeded driver
+//! (no external property-testing dependency); a failing case reports its
+//! seed so it can be replayed exactly.
 
 use std::collections::HashMap;
 
 use ablock_core::prelude::*;
 use ablock_core::verify;
-use proptest::prelude::*;
+use ablock_testkit::{cases, Rng};
 
 /// Apply a scripted random adapt sequence: each step flags a pseudo-random
 /// subset of leaves for refinement and another for coarsening.
@@ -42,31 +46,34 @@ fn random_adapt_2d(
     grid
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Random `(seed, density)` script for the adapt driver.
+fn random_script(rng: &mut Rng, max_steps: usize, lo: u8, hi: u8) -> Vec<(u64, u8)> {
+    let steps = rng.usize_in(1, max_steps);
+    (0..steps).map(|_| (rng.next_u64(), rng.u64_below((hi - lo) as u64) as u8 + lo)).collect()
+}
 
-    /// After any adapt sequence every structural invariant holds:
-    /// exact tiling, pointer correctness vs. recomputation, pointer
-    /// symmetry, jump bound, and the 2^(k(d-1)) neighbor-count bound.
-    #[test]
-    fn invariants_after_random_adapts(
-        rx in 1i64..3,
-        ry in 1i64..3,
-        periodic in any::<bool>(),
-        script in prop::collection::vec((any::<u64>(), 10u8..60), 1..5),
-    ) {
-        let bc = if periodic { Boundary::Periodic } else { Boundary::Outflow };
+/// After any adapt sequence every structural invariant holds: exact
+/// tiling, pointer correctness vs. recomputation, pointer symmetry, jump
+/// bound, and the 2^(k(d-1)) neighbor-count bound.
+#[test]
+fn invariants_after_random_adapts() {
+    cases(48, 0x5EED_0001, |_, rng| {
+        let rx = rng.i64_in(1, 3);
+        let ry = rng.i64_in(1, 3);
+        let bc = if rng.coin() { Boundary::Periodic } else { Boundary::Outflow };
+        let script = random_script(rng, 5, 10, 60);
         let grid = random_adapt_2d([rx, ry], bc, 3, &script, Transfer::None);
-        verify::check_grid(&grid).map_err(|e| TestCaseError::fail(e))?;
-    }
+        verify::check_grid(&grid).unwrap();
+    });
+}
 
-    /// Conservation: with conservative transfer, the volume-weighted sum of
-    /// every variable is invariant under any adapt sequence.
-    #[test]
-    fn adapt_transfer_conserves(
-        script in prop::collection::vec((any::<u64>(), 10u8..50), 1..4),
-        seed in any::<u64>(),
-    ) {
+/// Conservation: with conservative transfer, the volume-weighted sum of
+/// every variable is invariant under any adapt sequence.
+#[test]
+fn adapt_transfer_conserves() {
+    cases(32, 0x5EED_0002, |_, rng| {
+        let script = random_script(rng, 3, 10, 50);
+        let seed = rng.next_u64();
         let layout = RootLayout::unit([2, 2], Boundary::Periodic);
         let params = GridParams::new([4, 4], 2, 2, 3);
         let mut grid = BlockGrid::new(layout, params);
@@ -105,21 +112,26 @@ proptest! {
         }
         let after0 = total(&grid, 0);
         let after1 = total(&grid, 1);
-        prop_assert!((before0 - after0).abs() < 1e-9 * before0.abs().max(1.0),
-            "var 0 not conserved: {before0} -> {after0}");
-        prop_assert!((before1 - after1).abs() < 1e-9 * before1.abs().max(1.0),
-            "var 1 not conserved: {before1} -> {after1}");
-    }
+        assert!(
+            (before0 - after0).abs() < 1e-9 * before0.abs().max(1.0),
+            "var 0 not conserved: {before0} -> {after0}"
+        );
+        assert!(
+            (before1 - after1).abs() < 1e-9 * before1.abs().max(1.0),
+            "var 1 not conserved: {before1} -> {after1}"
+        );
+    });
+}
 
-    /// Ghost exchange reproduces a global linear field exactly on interior
-    /// faces for any adapted grid (copy, restriction, and limited-linear
-    /// prolongation are all exact on linear data).
-    #[test]
-    fn ghosts_exact_on_linear_fields(
-        script in prop::collection::vec((any::<u64>(), 15u8..50), 1..4),
-        ax in -2.0f64..2.0,
-        ay in -2.0f64..2.0,
-    ) {
+/// Ghost exchange reproduces a global linear field exactly on interior
+/// faces for any adapted grid (copy, restriction, and limited-linear
+/// prolongation are all exact on linear data).
+#[test]
+fn ghosts_exact_on_linear_fields() {
+    cases(32, 0x5EED_0003, |_, rng| {
+        let script = random_script(rng, 3, 15, 50);
+        let ax = rng.f64_in(-2.0, 2.0);
+        let ay = rng.f64_in(-2.0, 2.0);
         let mut grid = random_adapt_2d([2, 2], Boundary::Outflow, 3, &script, Transfer::None);
         let m = grid.params().block_dims;
         let layout = grid.layout().clone();
@@ -135,33 +147,46 @@ proptest! {
         let ng = grid.params().nghost;
         for (_, node) in grid.blocks() {
             for f in Face::all::<2>() {
-                if node.face(f).is_boundary() { continue; }
+                if node.face(f).is_boundary() {
+                    continue;
+                }
                 let slab = IBox::from_dims(m).outer_face_slab(f, ng);
                 for c in slab.iter() {
                     let x = layout.cell_center(node.key(), m, c);
                     let want = ax * x[0] + ay * x[1] + 0.125;
                     let got = node.field().at(c, 0);
-                    prop_assert!((got - want).abs() < 1e-11,
-                        "block {:?} ghost {c:?}: {got} vs {want}", node.key());
-                    prop_assert!((node.field().at(c, 1) + want).abs() < 1e-11);
+                    assert!(
+                        (got - want).abs() < 1e-11,
+                        "block {:?} ghost {c:?}: {got} vs {want}",
+                        node.key()
+                    );
+                    assert!((node.field().at(c, 1) + want).abs() < 1e-11);
                 }
             }
         }
-    }
+    });
+}
 
-    /// Morton encode/decode round-trips arbitrary coordinates.
-    #[test]
-    fn morton_roundtrip(x in 0u64..(1<<20), y in 0u64..(1<<20), z in 0u64..(1<<20)) {
+/// Morton encode/decode round-trips arbitrary coordinates.
+#[test]
+fn morton_roundtrip() {
+    cases(64, 0x5EED_0004, |_, rng| {
+        let x = rng.u64_below(1 << 20);
+        let y = rng.u64_below(1 << 20);
+        let z = rng.u64_below(1 << 20);
         let c = ablock_core::sfc::morton_encode::<3>([x, y, z], 21);
-        prop_assert_eq!(ablock_core::sfc::morton_decode::<3>(c, 21), [x, y, z]);
-    }
+        assert_eq!(ablock_core::sfc::morton_decode::<3>(c, 21), [x, y, z]);
+    });
+}
 
-    /// Hilbert adjacency: consecutive indices differ by one unit step.
-    #[test]
-    fn hilbert_unit_steps(bits in 2u32..5, start in 0u64..64) {
+/// Hilbert adjacency: consecutive indices differ by one unit step.
+#[test]
+fn hilbert_unit_steps() {
+    cases(32, 0x5EED_0005, |_, rng| {
+        let bits = rng.u64_below(3) as u32 + 2;
         let n = 1u64 << bits;
         let total = n * n;
-        let start = start % (total - 1);
+        let start = rng.u64_below(total - 1);
         // decode by brute force over the lattice (encode is the API)
         let mut inv = vec![[0u64; 2]; total as usize];
         for x in 0..n {
@@ -171,32 +196,38 @@ proptest! {
         }
         let a = inv[start as usize];
         let b = inv[start as usize + 1];
-        prop_assert_eq!(a[0].abs_diff(b[0]) + a[1].abs_diff(b[1]), 1);
-    }
+        assert_eq!(a[0].abs_diff(b[0]) + a[1].abs_diff(b[1]), 1);
+    });
+}
 
-    /// Key arithmetic: any descendant chain returns to the ancestor, and
-    /// face-neighbor round trips cancel.
-    #[test]
-    fn key_arithmetic(level in 0u8..6, cx in 0i64..64, cy in 0i64..64, path in prop::collection::vec(0usize..4, 0..5)) {
+/// Key arithmetic: any descendant chain returns to the ancestor, and
+/// face-neighbor round trips cancel.
+#[test]
+fn key_arithmetic() {
+    cases(64, 0x5EED_0006, |_, rng| {
+        let level = rng.u64_below(6) as u8;
+        let cx = rng.i64_in(0, 64);
+        let cy = rng.i64_in(0, 64);
+        let path: Vec<usize> = (0..rng.usize_below(5)).map(|_| rng.usize_below(4)).collect();
         let k = BlockKey::<2>::new(level, [cx, cy]);
         let mut cur = k;
         for &ci in &path {
             cur = cur.child(ci);
         }
-        prop_assert_eq!(cur.ancestor(path.len() as u8), Some(k));
+        assert_eq!(cur.ancestor(path.len() as u8), Some(k));
         for f in Face::all::<2>() {
-            prop_assert_eq!(k.face_neighbor(f).face_neighbor(f.opposite()), k);
+            assert_eq!(k.face_neighbor(f).face_neighbor(f.opposite()), k);
         }
-    }
+    });
+}
 
-    /// 3-D: invariants under random adapt sequences (the 2^(d-1) = 4
-    /// finer-neighbor configuration and octree cascades).
-    #[test]
-    fn invariants_after_random_adapts_3d(
-        periodic in any::<bool>(),
-        script in prop::collection::vec((any::<u64>(), 15u8..50), 1..3),
-    ) {
-        let bc = if periodic { Boundary::Periodic } else { Boundary::Outflow };
+/// 3-D: invariants under random adapt sequences (the 2^(d-1) = 4
+/// finer-neighbor configuration and octree cascades).
+#[test]
+fn invariants_after_random_adapts_3d() {
+    cases(24, 0x5EED_0007, |_, rng| {
+        let bc = if rng.coin() { Boundary::Periodic } else { Boundary::Outflow };
+        let script = random_script(rng, 2, 15, 50);
         let layout = RootLayout::<3>::unit([2, 2, 2], bc);
         let params = GridParams::new([4, 4, 4], 2, 1, 2);
         let mut grid = BlockGrid::new(layout, params);
@@ -214,26 +245,27 @@ proptest! {
             }
             adapt(&mut grid, &flags, Transfer::None);
         }
-        verify::check_grid(&grid).map_err(|e| TestCaseError::fail(e))?;
+        verify::check_grid(&grid).unwrap();
         // corner-enabled ghost plans build and fill without panicking
         fill_ghosts(&mut grid, GhostConfig::default().with_corners(true));
-    }
+    });
+}
 
-    /// The curve order of leaves after adaptation is a permutation and
-    /// groups each sibling family contiguously (aligned sub-boxes are
-    /// contiguous on both curves).
-    #[test]
-    fn curve_order_contiguous_families(
-        script in prop::collection::vec((any::<u64>(), 20u8..60), 1..3),
-        use_hilbert in any::<bool>(),
-    ) {
+/// The curve order of leaves after adaptation is a permutation and
+/// groups each sibling family contiguously (aligned sub-boxes are
+/// contiguous on both curves).
+#[test]
+fn curve_order_contiguous_families() {
+    cases(24, 0x5EED_0008, |_, rng| {
+        let script = random_script(rng, 2, 20, 60);
+        let use_hilbert = rng.coin();
         let grid = random_adapt_2d([2, 2], Boundary::Outflow, 3, &script, Transfer::None);
         let keys: Vec<BlockKey<2>> = grid.blocks().map(|(_, n)| n.key()).collect();
         let curve = if use_hilbert { Curve::Hilbert } else { Curve::Morton };
         let order = curve_order(&keys, curve);
         let mut seen = vec![false; keys.len()];
         for &i in &order {
-            prop_assert!(!seen[i]);
+            assert!(!seen[i]);
             seen[i] = true;
         }
         // families contiguous: for each parent with all 2^D children as
@@ -253,10 +285,13 @@ proptest! {
                 if members.len() == 4 {
                     let mut ranks: Vec<usize> = members.iter().map(|&j| pos[j]).collect();
                     ranks.sort_unstable();
-                    prop_assert_eq!(ranks[3] - ranks[0], 3,
-                        "family of {:?} not contiguous (leaf {})", parent, i);
+                    assert_eq!(
+                        ranks[3] - ranks[0],
+                        3,
+                        "family of {parent:?} not contiguous (leaf {i})"
+                    );
                 }
             }
         }
-    }
+    });
 }

@@ -2,15 +2,25 @@
 //! compact binary stream and reconstruct it exactly.
 //!
 //! Production AMR runs live and die by restart files; this is the
-//! no-dependencies version. Format (little-endian):
+//! no-dependencies version, and it is the foundation of the fault-recovery
+//! driver in `ablock-par`, so a corrupt or truncated stream must **error,
+//! never panic**. Format v2 (little-endian):
 //!
 //! ```text
 //! magic "ABLK" | version u32 | D u32
-//! layout: roots, origin, size, boundaries[6], hole_bc, mask bitmap
-//! params: block_dims, nghost, nvar, max_level, max_level_jump, pad
-//! leaf count u64, then per leaf (sorted by key):
+//! section "LAYT": roots, origin, size, boundaries[6], hole_bc, mask
+//! section "PRMS": block_dims, nghost, nvar, max_level, max_level_jump, pad
+//! section "LEAF": leaf count u64, then per leaf (sorted by key):
 //!   level u8, coords i64 x D, interior cell data f64 x (cells*nvar)
 //! ```
+//!
+//! Each section is framed as `tag [u8;4] | len u64 | bytes | fnv1a64 u64`:
+//! the checksum covers the section bytes, so any bit flip anywhere in the
+//! stream is detected (a flip in the frame itself fails the tag, length
+//! cap, or checksum comparison). Section lengths are capped before
+//! allocation and every count in the payload is validated against the
+//! framed length, so hostile streams cannot trigger huge allocations or
+//! out-of-bounds indexing.
 //!
 //! Ghost cells are *not* stored — they are derived state; callers refill
 //! after loading. Reconstruction refines the fresh root grid level by
@@ -27,7 +37,29 @@ use ablock_core::key::BlockKey;
 use ablock_core::layout::{Boundary, RootLayout};
 
 const MAGIC: &[u8; 4] = b"ABLK";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Hard cap on a framed section length: guards allocation size when the
+/// length field itself is corrupt. Far above any realistic checkpoint.
+const MAX_SECTION: u64 = 1 << 28;
+
+const SEC_LAYOUT: &[u8; 4] = b"LAYT";
+const SEC_PARAMS: &[u8; 4] = b"PRMS";
+const SEC_LEAVES: &[u8; 4] = b"LEAF";
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// FNV-1a 64-bit over raw bytes (the same hash the reliable transport in
+/// `ablock-par` uses for message envelopes).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
 
 fn w_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -77,13 +109,60 @@ fn decode_bc(v: u32) -> io::Result<Boundary> {
         1 => Boundary::Outflow,
         2 => Boundary::Reflect,
         3 => Boundary::Custom((v >> 16) as u16),
-        other => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unknown boundary code {other}"),
-            ))
-        }
+        other => return Err(bad(format!("unknown boundary code {other}"))),
     })
+}
+
+/// Frame `bytes` as a checksummed section.
+fn write_section(w: &mut impl Write, tag: &[u8; 4], bytes: &[u8]) -> io::Result<()> {
+    w.write_all(tag)?;
+    w_u64(w, bytes.len() as u64)?;
+    w.write_all(bytes)?;
+    w_u64(w, fnv1a64(bytes))
+}
+
+/// Read one section, verifying tag, length cap, and checksum.
+fn read_section(r: &mut impl Read, tag: &[u8; 4]) -> io::Result<Vec<u8>> {
+    let mut t = [0u8; 4];
+    r.read_exact(&mut t)?;
+    if &t != tag {
+        return Err(bad(format!(
+            "expected section {:?}, found {:?}",
+            String::from_utf8_lossy(tag),
+            String::from_utf8_lossy(&t)
+        )));
+    }
+    let len = r_u64(r)?;
+    if len > MAX_SECTION {
+        return Err(bad(format!(
+            "section {:?} length {len} exceeds cap {MAX_SECTION}",
+            String::from_utf8_lossy(tag)
+        )));
+    }
+    let mut bytes = vec![0u8; len as usize];
+    r.read_exact(&mut bytes)?;
+    let stored = r_u64(r)?;
+    let computed = fnv1a64(&bytes);
+    if stored != computed {
+        return Err(bad(format!(
+            "section {:?} checksum mismatch: stored {stored:#018x}, computed {computed:#018x}",
+            String::from_utf8_lossy(tag)
+        )));
+    }
+    Ok(bytes)
+}
+
+/// Error unless a fully-parsed section has no trailing bytes.
+fn expect_drained(rest: &[u8], tag: &[u8; 4]) -> io::Result<()> {
+    if rest.is_empty() {
+        Ok(())
+    } else {
+        Err(bad(format!(
+            "section {:?} has {} unparsed trailing byte(s)",
+            String::from_utf8_lossy(tag),
+            rest.len()
+        )))
+    }
 }
 
 /// Serialize the grid (layout, params, leaf keys, interior fields).
@@ -91,145 +170,233 @@ pub fn save_grid<const D: usize>(w: &mut impl Write, grid: &BlockGrid<D>) -> io:
     w.write_all(MAGIC)?;
     w_u32(w, VERSION)?;
     w_u32(w, D as u32)?;
+
+    let mut sec = Vec::new();
     let layout = grid.layout();
     for d in 0..D {
-        w_i64(w, layout.roots[d])?;
+        w_i64(&mut sec, layout.roots[d])?;
     }
     for d in 0..D {
-        w_f64(w, layout.origin[d])?;
+        w_f64(&mut sec, layout.origin[d])?;
     }
     for d in 0..D {
-        w_f64(w, layout.size[d])?;
+        w_f64(&mut sec, layout.size[d])?;
     }
     for b in layout.boundaries.iter() {
-        w_u32(w, encode_bc(*b))?;
+        w_u32(&mut sec, encode_bc(*b))?;
     }
-    w_u32(w, encode_bc(layout.hole_boundary))?;
+    w_u32(&mut sec, encode_bc(layout.hole_boundary))?;
     match &layout.mask {
-        None => w_u32(w, 0)?,
+        None => w_u32(&mut sec, 0)?,
         Some(m) => {
-            w_u32(w, 1)?;
-            w_u64(w, m.len() as u64)?;
+            w_u32(&mut sec, 1)?;
+            w_u64(&mut sec, m.len() as u64)?;
             for &a in m {
-                w.write_all(&[a as u8])?;
+                sec.push(a as u8);
             }
         }
     }
+    write_section(w, SEC_LAYOUT, &sec)?;
+
+    sec.clear();
     let p = grid.params();
     for d in 0..D {
-        w_i64(w, p.block_dims[d])?;
+        w_i64(&mut sec, p.block_dims[d])?;
     }
-    w_i64(w, p.nghost)?;
-    w_u64(w, p.nvar as u64)?;
-    w_u32(w, p.max_level as u32)?;
-    w_u32(w, p.max_level_jump as u32)?;
-    w_i64(w, p.pad)?;
+    w_i64(&mut sec, p.nghost)?;
+    w_u64(&mut sec, p.nvar as u64)?;
+    w_u32(&mut sec, p.max_level as u32)?;
+    w_u32(&mut sec, p.max_level_jump as u32)?;
+    w_i64(&mut sec, p.pad)?;
+    write_section(w, SEC_PARAMS, &sec)?;
 
+    sec.clear();
     let mut leaves: Vec<BlockKey<D>> = grid.blocks().map(|(_, n)| n.key()).collect();
     leaves.sort();
-    w_u64(w, leaves.len() as u64)?;
+    w_u64(&mut sec, leaves.len() as u64)?;
     for key in leaves {
-        w.write_all(&[key.level])?;
+        sec.push(key.level);
         for d in 0..D {
-            w_i64(w, key.coords[d])?;
+            w_i64(&mut sec, key.coords[d])?;
         }
-        let id = grid.find(key).expect("leaf listed");
+        let id = grid
+            .find(key)
+            .ok_or_else(|| bad(format!("grid inconsistent: leaf {key:?} has no block")))?;
         let f = grid.block(id).field();
         for c in f.shape().interior_box().iter() {
             for &v in f.cell(c) {
-                w_f64(w, v)?;
+                w_f64(&mut sec, v)?;
             }
         }
     }
-    Ok(())
+    write_section(w, SEC_LEAVES, &sec)
+}
+
+/// Parse and sanity-check the layout section.
+fn parse_layout<const D: usize>(bytes: &[u8]) -> io::Result<RootLayout<D>> {
+    let mut r = bytes;
+    let mut roots: IVec<D> = [0; D];
+    for x in roots.iter_mut() {
+        *x = r_i64(&mut r)?;
+        if !(1..=1 << 20).contains(x) {
+            return Err(bad(format!("root count {x} out of range")));
+        }
+    }
+    let mut origin = [0.0; D];
+    for x in origin.iter_mut() {
+        *x = r_f64(&mut r)?;
+        if !x.is_finite() {
+            return Err(bad("non-finite domain origin"));
+        }
+    }
+    let mut size = [0.0; D];
+    for x in size.iter_mut() {
+        *x = r_f64(&mut r)?;
+        if !x.is_finite() || *x <= 0.0 {
+            return Err(bad(format!("invalid domain size {x}")));
+        }
+    }
+    let mut boundaries = [Boundary::Outflow; 6];
+    for b in boundaries.iter_mut() {
+        *b = decode_bc(r_u32(&mut r)?)?;
+    }
+    let hole = decode_bc(r_u32(&mut r)?)?;
+    let mut layout = RootLayout::new(roots, origin, size, boundaries);
+    layout.hole_boundary = hole;
+    let has_mask = r_u32(&mut r)?;
+    match has_mask {
+        0 => {}
+        1 => {
+            let n = r_u64(&mut r)? as usize;
+            let nroots: u64 = roots.iter().map(|&x| x as u64).product();
+            if n as u64 != nroots {
+                return Err(bad(format!("mask length {n} != root cell count {nroots}")));
+            }
+            if n > r.len() {
+                return Err(bad("mask extends past section end"));
+            }
+            let mut mask = vec![false; n];
+            for m in mask.iter_mut() {
+                let mut b = [0u8; 1];
+                r.read_exact(&mut b)?;
+                *m = b[0] != 0;
+            }
+            layout.mask = Some(mask);
+        }
+        other => return Err(bad(format!("invalid mask flag {other}"))),
+    }
+    expect_drained(r, SEC_LAYOUT)?;
+    Ok(layout)
+}
+
+/// Parse and sanity-check the params section.
+fn parse_params<const D: usize>(bytes: &[u8]) -> io::Result<GridParams<D>> {
+    let mut r = bytes;
+    let mut block_dims: IVec<D> = [0; D];
+    for x in block_dims.iter_mut() {
+        *x = r_i64(&mut r)?;
+        if !(1..=1024).contains(x) {
+            return Err(bad(format!("block dimension {x} out of range")));
+        }
+    }
+    let nghost = r_i64(&mut r)?;
+    if !(0..=16).contains(&nghost) {
+        return Err(bad(format!("ghost width {nghost} out of range")));
+    }
+    let nvar = r_u64(&mut r)? as usize;
+    if !(1..=64).contains(&nvar) {
+        return Err(bad(format!("variable count {nvar} out of range")));
+    }
+    let max_level = r_u32(&mut r)?;
+    if max_level > 32 {
+        return Err(bad(format!("max level {max_level} out of range")));
+    }
+    let max_level_jump = r_u32(&mut r)?;
+    if !(1..=8).contains(&max_level_jump) {
+        return Err(bad(format!("max level jump {max_level_jump} out of range")));
+    }
+    let pad = r_i64(&mut r)?;
+    if !(0..=64).contains(&pad) {
+        return Err(bad(format!("pad {pad} out of range")));
+    }
+    expect_drained(r, SEC_PARAMS)?;
+    Ok(GridParams::new(block_dims, nghost, nvar, max_level as u8)
+        .with_max_jump(max_level_jump as u8)
+        .with_pad(pad))
 }
 
 /// Deserialize a grid saved with [`save_grid`]. Ghosts are zero; refill
 /// with a ghost exchange before stepping.
+///
+/// Any malformed input — truncation, bit flips, hostile counts — returns
+/// an [`io::Error`]; this function does not panic on bad data.
 pub fn load_grid<const D: usize>(r: &mut impl Read) -> io::Result<BlockGrid<D>> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        return Err(bad("bad magic"));
     }
     let version = r_u32(r)?;
     if version != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported checkpoint version {version}"),
-        ));
+        return Err(bad(format!("unsupported checkpoint version {version}")));
     }
     let dims = r_u32(r)? as usize;
     if dims != D {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("checkpoint is {dims}-D, expected {D}-D"),
-        ));
+        return Err(bad(format!("checkpoint is {dims}-D, expected {D}-D")));
     }
-    let mut roots: IVec<D> = [0; D];
-    for x in roots.iter_mut() {
-        *x = r_i64(r)?;
-    }
-    let mut origin = [0.0; D];
-    for x in origin.iter_mut() {
-        *x = r_f64(r)?;
-    }
-    let mut size = [0.0; D];
-    for x in size.iter_mut() {
-        *x = r_f64(r)?;
-    }
-    let mut boundaries = [Boundary::Outflow; 6];
-    for b in boundaries.iter_mut() {
-        *b = decode_bc(r_u32(r)?)?;
-    }
-    let hole = decode_bc(r_u32(r)?)?;
-    let mut layout = RootLayout::new(roots, origin, size, boundaries);
-    layout.hole_boundary = hole;
-    if r_u32(r)? == 1 {
-        let n = r_u64(r)? as usize;
-        let mut mask = vec![false; n];
-        for m in mask.iter_mut() {
-            let mut b = [0u8; 1];
-            r.read_exact(&mut b)?;
-            *m = b[0] != 0;
-        }
-        layout.mask = Some(mask);
-    }
-    let mut block_dims: IVec<D> = [0; D];
-    for x in block_dims.iter_mut() {
-        *x = r_i64(r)?;
-    }
-    let nghost = r_i64(r)?;
-    let nvar = r_u64(r)? as usize;
-    let max_level = r_u32(r)? as u8;
-    let max_level_jump = r_u32(r)? as u8;
-    let pad = r_i64(r)?;
-    let params = GridParams::new(block_dims, nghost, nvar, max_level)
-        .with_max_jump(max_level_jump)
-        .with_pad(pad);
 
-    // read the leaf set and data
-    let nleaves = r_u64(r)? as usize;
+    let layout = parse_layout::<D>(&read_section(r, SEC_LAYOUT)?)?;
+    let params = parse_params::<D>(&read_section(r, SEC_PARAMS)?)?;
+    let leaf_bytes = read_section(r, SEC_LEAVES)?;
+
+    // read the leaf set and data, validating the count against the framed
+    // section length before any allocation
+    let mut lr = leaf_bytes.as_slice();
+    let nleaves = r_u64(&mut lr)? as usize;
     let cells = params.field_shape().interior_cells();
+    let nvar = params.nvar;
+    let record = 1 + 8 * D + 8 * cells * nvar;
+    if (nleaves as u128) * (record as u128) != lr.len() as u128 {
+        return Err(bad(format!(
+            "leaf section holds {} byte(s), expected {nleaves} records of {record}",
+            lr.len()
+        )));
+    }
     let mut saved: Vec<(BlockKey<D>, Vec<f64>)> = Vec::with_capacity(nleaves);
     for _ in 0..nleaves {
         let mut lv = [0u8; 1];
-        r.read_exact(&mut lv)?;
+        lr.read_exact(&mut lv)?;
+        if lv[0] > params.max_level {
+            return Err(bad(format!(
+                "leaf level {} above max level {}",
+                lv[0], params.max_level
+            )));
+        }
         let mut coords: IVec<D> = [0; D];
         for x in coords.iter_mut() {
-            *x = r_i64(r)?;
+            *x = r_i64(&mut lr)?;
+        }
+        let key = BlockKey::new(lv[0], coords);
+        let per_level = 1i64 << lv[0];
+        for d in 0..D {
+            let max = layout.roots[d].saturating_mul(per_level);
+            if coords[d] < 0 || coords[d] >= max {
+                return Err(bad(format!("leaf {key:?} outside the domain")));
+            }
         }
         let mut data = Vec::with_capacity(cells * nvar);
         for _ in 0..cells * nvar {
-            data.push(r_f64(r)?);
+            data.push(r_f64(&mut lr)?);
         }
-        saved.push((BlockKey::new(lv[0], coords), data));
+        saved.push((key, data));
     }
+    expect_drained(lr, SEC_LEAVES)?;
 
     // rebuild the topology: refine ancestors level by level
     let mut grid = BlockGrid::new(layout, params);
     let targets: BTreeSet<BlockKey<D>> = saved.iter().map(|(k, _)| *k).collect();
-    let mut to_split: Vec<BTreeSet<BlockKey<D>>> = vec![BTreeSet::new(); max_level as usize + 1];
+    let mut to_split: Vec<BTreeSet<BlockKey<D>>> =
+        vec![BTreeSet::new(); params.max_level as usize + 1];
     for key in &targets {
         let mut k = *key;
         while let Some(p) = k.parent() {
@@ -237,19 +404,20 @@ pub fn load_grid<const D: usize>(r: &mut impl Read) -> io::Result<BlockGrid<D>> 
             k = p;
         }
     }
-    for level in 0..=max_level as usize {
-        let keys: Vec<BlockKey<D>> = to_split[level].iter().copied().collect();
+    for level_set in &to_split {
+        let keys: Vec<BlockKey<D>> = level_set.iter().copied().collect();
         for key in keys {
             if let Some(id) = grid.find(key) {
-                grid.refine(id, Transfer::None);
+                grid.refine(id, Transfer::None)
+                    .map_err(|e| bad(format!("topology rebuild: {e}")))?;
             }
         }
     }
     // pour the data back
     for (key, data) in saved {
-        let id = grid.find(key).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("leaf {key:?} not rebuilt"))
-        })?;
+        let id = grid
+            .find(key)
+            .ok_or_else(|| bad(format!("leaf {key:?} not rebuilt")))?;
         let field = grid.block_mut(id).field_mut();
         let mut off = 0;
         let interior = field.shape().interior_box();
@@ -325,7 +493,7 @@ mod tests {
             .with_hole_boundary(Boundary::Reflect);
         let mut g = BlockGrid::new(layout, GridParams::new([4, 4], 2, 1, 2));
         let id = g.block_ids()[0];
-        g.refine(id, Transfer::None);
+        g.refine(id, Transfer::None).unwrap();
         let mut buf = Vec::new();
         save_grid(&mut buf, &g).unwrap();
         let g2: BlockGrid<2> = load_grid(&mut buf.as_slice()).unwrap();
@@ -360,6 +528,54 @@ mod tests {
         save_grid(&mut buf, &g).unwrap();
         buf.truncate(buf.len() / 2);
         assert!(load_grid::<2>(&mut buf.as_slice()).is_err());
+    }
+
+    /// Truncation at *every* prefix length errors cleanly — no panic, no
+    /// bogus success.
+    #[test]
+    fn truncation_sweep_never_panics() {
+        let g = sample_grid();
+        let mut buf = Vec::new();
+        save_grid(&mut buf, &g).unwrap();
+        for len in 0..buf.len() {
+            let cut = &buf[..len];
+            let result = std::panic::catch_unwind(|| load_grid::<2>(&mut &cut[..]));
+            let loaded = result.unwrap_or_else(|_| panic!("panicked at truncation {len}"));
+            assert!(loaded.is_err(), "truncation to {len} bytes loaded successfully");
+        }
+    }
+
+    /// Flipping any single bit is either detected (checksum / validation
+    /// error) — and in particular never panics. The header bytes before
+    /// the first section frame are each validated directly.
+    #[test]
+    fn bit_flip_sweep_never_panics() {
+        let g = sample_grid();
+        let mut buf = Vec::new();
+        save_grid(&mut buf, &g).unwrap();
+        // every byte, one flipped bit per byte (rotating position)
+        for i in 0..buf.len() {
+            let mut evil = buf.clone();
+            evil[i] ^= 1 << (i % 8);
+            let result = std::panic::catch_unwind(|| load_grid::<2>(&mut evil.as_slice()));
+            let loaded = result.unwrap_or_else(|_| panic!("panicked on bit flip at byte {i}"));
+            assert!(loaded.is_err(), "bit flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn oversized_section_length_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(SEC_LAYOUT);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd length
+        let err = match load_grid::<2>(&mut buf.as_slice()) {
+            Err(e) => e,
+            Ok(_) => panic!("absurd section length must be rejected"),
+        };
+        assert!(err.to_string().contains("exceeds cap"), "{err}");
     }
 
     #[test]

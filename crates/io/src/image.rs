@@ -108,7 +108,7 @@ mod tests {
         );
         // make the refined corner hot
         let id = g.find(BlockKey::new(0, [0, 0])).unwrap();
-        g.refine(id, Transfer::None);
+        g.refine(id, Transfer::None).unwrap();
         for id in g.block_ids() {
             let lvl = g.block(id).key().level as f64;
             g.block_mut(id).field_mut().for_each_interior(|_, u| u[0] = lvl);

@@ -115,7 +115,7 @@ mod tests {
             GridParams::new([4, 4], 2, 2, 2),
         );
         let id = g.find(BlockKey::new(0, [1, 0])).unwrap();
-        g.refine(id, Transfer::None);
+        g.refine(id, Transfer::None).unwrap();
         let layout = g.layout().clone();
         let m = g.params().block_dims;
         for id in g.block_ids() {

@@ -30,9 +30,10 @@ pub fn ascii_grid_2d(grid: &BlockGrid<2>, width: usize) -> String {
         let y1 = (((o[1] + hh[1] * m[1] as f64) - layout.origin[1]) / layout.size[1]
             * h as f64)
             .round() as usize;
-        for x in x0..=x1.min(w) {
-            raster[y0][x] = '-';
-            raster[y1.min(h)][x] = '-';
+        for row_y in [y0, y1.min(h)] {
+            for cell in raster[row_y][x0..=x1.min(w)].iter_mut() {
+                *cell = '-';
+            }
         }
         for row in raster.iter_mut().take(y1.min(h) + 1).skip(y0) {
             row[x0] = '|';
@@ -211,7 +212,7 @@ mod tests {
             GridParams::new([4, 4], 2, 1, 2),
         );
         let id = g.find(BlockKey::new(0, [0, 1])).unwrap();
-        g.refine(id, Transfer::None);
+        g.refine(id, Transfer::None).unwrap();
         g
     }
 

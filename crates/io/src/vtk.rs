@@ -113,7 +113,7 @@ mod tests {
             GridParams::new([4, 4], 2, 2, 2),
         );
         let id = g.find(BlockKey::new(0, [1, 1])).unwrap();
-        g.refine(id, Transfer::None);
+        g.refine(id, Transfer::None).unwrap();
         for id in g.block_ids() {
             g.block_mut(id).field_mut().for_each_interior(|c, u| {
                 u[0] = c[0] as f64;

@@ -1,0 +1,121 @@
+//! Property test: checkpoint save → load is the identity, bit for bit.
+//!
+//! Random adapt sequences (including masked root layouts and a loosened
+//! `max_level_jump = 2` constraint) produce grids whose reload must pass
+//! the from-scratch `check_grid` oracle and reproduce every interior cell
+//! of every leaf with exact bit equality — a checkpoint that is "close"
+//! is a checkpoint that breaks deterministic restart equivalence.
+
+use std::collections::HashMap;
+
+use ablock_core::prelude::*;
+use ablock_core::verify;
+use ablock_io::checkpoint::{load_grid, save_grid};
+use ablock_testkit::{cases, Rng};
+
+/// Drive a scripted random adapt sequence on `grid`.
+fn random_adapts(grid: &mut BlockGrid<2>, rng: &mut Rng, steps: usize, transfer: Transfer) {
+    for _ in 0..steps {
+        let mut flags: HashMap<BlockId, Flag> = HashMap::new();
+        for id in grid.block_ids() {
+            let r = rng.u64_below(100);
+            if r < 35 {
+                flags.insert(id, Flag::Refine);
+            } else if r < 55 {
+                flags.insert(id, Flag::Coarsen);
+            }
+        }
+        adapt(grid, &flags, transfer);
+    }
+}
+
+/// Fill every interior cell with pseudo-random values.
+fn randomize_fields(grid: &mut BlockGrid<2>, rng: &mut Rng) {
+    for (_, node) in grid.blocks_mut() {
+        node.field_mut().for_each_interior(|_, u| {
+            for v in u.iter_mut() {
+                *v = rng.f64_in(-1e3, 1e3);
+            }
+        });
+    }
+}
+
+/// Save, reload, and demand structural validity plus bitwise field
+/// equality against the original.
+fn assert_roundtrip_exact(grid: &BlockGrid<2>) {
+    let mut buf = Vec::new();
+    save_grid(&mut buf, grid).expect("writing to a Vec cannot fail");
+    let reloaded: BlockGrid<2> = load_grid(&mut buf.as_slice()).expect("own checkpoint must load");
+    verify::check_grid(&reloaded).unwrap();
+    assert_eq!(reloaded.num_blocks(), grid.num_blocks());
+    assert_eq!(reloaded.layout().mask, grid.layout().mask);
+    assert_eq!(reloaded.layout().boundaries, grid.layout().boundaries);
+    assert_eq!(reloaded.params().max_level_jump, grid.params().max_level_jump);
+    for (_, node) in grid.blocks() {
+        let id2 = reloaded
+            .find(node.key())
+            .unwrap_or_else(|| panic!("leaf {:?} missing after reload", node.key()));
+        let f2 = reloaded.block(id2).field();
+        for c in node.field().shape().interior_box().iter() {
+            for v in 0..grid.params().nvar {
+                assert_eq!(
+                    node.field().at(c, v).to_bits(),
+                    f2.at(c, v).to_bits(),
+                    "block {:?} cell {c:?} var {v} not bit-identical",
+                    node.key()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn roundtrip_exact_over_random_adapts() {
+    cases(24, 0x10_5EED_0001, |_, rng| {
+        let rx = rng.i64_in(1, 4);
+        let ry = rng.i64_in(1, 4);
+        let bc = if rng.coin() { Boundary::Periodic } else { Boundary::Outflow };
+        let mut g = BlockGrid::new(
+            RootLayout::unit([rx, ry], bc),
+            GridParams::new([4, 4], 2, 2, 3),
+        );
+        let steps = rng.usize_in(1, 4);
+        random_adapts(&mut g, rng, steps, Transfer::Conservative(ProlongOrder::LinearMinmod));
+        randomize_fields(&mut g, rng);
+        assert_roundtrip_exact(&g);
+    });
+}
+
+#[test]
+fn roundtrip_exact_with_masked_roots() {
+    cases(16, 0x10_5EED_0002, |_, rng| {
+        // 3x3 root lattice with one interior root masked out (an L- or
+        // ring-shaped domain), random hole boundary condition
+        let hole = [rng.i64_in(0, 3), rng.i64_in(0, 3)];
+        let hole_bc = *rng.choose(&[Boundary::Reflect, Boundary::Outflow, Boundary::Custom(3)]);
+        let layout = RootLayout::unit([3, 3], Boundary::Outflow)
+            .with_mask(move |c| c != hole)
+            .with_hole_boundary(hole_bc);
+        let mut g = BlockGrid::new(layout, GridParams::new([4, 4], 2, 2, 2));
+        let steps = rng.usize_in(1, 3);
+        random_adapts(&mut g, rng, steps, Transfer::None);
+        randomize_fields(&mut g, rng);
+        assert_roundtrip_exact(&g);
+    });
+}
+
+#[test]
+fn roundtrip_exact_with_max_jump_2() {
+    cases(16, 0x10_5EED_0003, |_, rng| {
+        // loosened constraint: 2-level jumps are legal and must survive
+        // the save -> rebuild-topology -> load path
+        let mut g = BlockGrid::new(
+            RootLayout::unit([2, 2], Boundary::Periodic),
+            GridParams::new([8, 8], 2, 2, 3).with_max_jump(2),
+        );
+        let steps = rng.usize_in(1, 4);
+        random_adapts(&mut g, rng, steps, Transfer::Conservative(ProlongOrder::Constant));
+        randomize_fields(&mut g, rng);
+        assert_roundtrip_exact(&g);
+    });
+}

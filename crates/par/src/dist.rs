@@ -372,6 +372,43 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
         report.changed()
     }
 
+    /// Gather every owned block's interior data onto every rank. After
+    /// this collective, the replicated grid holds authoritative field
+    /// data everywhere — the precondition for writing a consistent
+    /// checkpoint from any single rank (the recovery driver does exactly
+    /// that on rank 0).
+    pub fn gather_full(&mut self, comm: &Comm) {
+        let me = comm.rank();
+        let params = self.grid.params();
+        let values = params.field_shape().interior_cells() * params.nvar;
+        let rec = 1 + D + values;
+        let mut payload = Vec::new();
+        for id in self.owned_ids(me) {
+            let node = self.grid.block(id);
+            let key = node.key();
+            payload.push(key.level as f64);
+            for d in 0..D {
+                payload.push(key.coords[d] as f64);
+            }
+            let bx = node.field().shape().interior_box();
+            payload.extend(extract_box(node.field(), bx));
+        }
+        let all = comm.allgatherv(payload);
+        for part in all {
+            for chunk in part.chunks_exact(rec) {
+                let level = chunk[0] as u8;
+                let mut coords = [0i64; D];
+                for d in 0..D {
+                    coords[d] = chunk[1 + d] as i64;
+                }
+                if let Some(id) = self.grid.find(BlockKey::new(level, coords)) {
+                    let bx = self.grid.block(id).field().shape().interior_box();
+                    insert_box(self.grid.block_mut(id).field_mut(), bx, &chunk[1 + D..]);
+                }
+            }
+        }
+    }
+
     /// Repartition with `policy` and migrate block data to new owners.
     pub fn rebalance(&mut self, comm: &Comm, policy: Policy) {
         let me = comm.rank();
@@ -479,7 +516,8 @@ mod tests {
                 .collect();
             out.sort_by_key(|(k, _)| *k);
             out
-        });
+        })
+        .unwrap();
         let mut all: Vec<(BlockKey<2>, Vec<f64>)> = results.into_iter().flatten().collect();
         all.sort_by_key(|(k, _)| *k);
         all
@@ -528,7 +566,8 @@ mod tests {
             init(&mut g, &e);
             let sim = DistSim::partitioned(g, 3, Policy::SfcMorton, e, Scheme::muscl_rusanov());
             sim.max_dt(&comm, 0.4)
-        });
+        })
+        .unwrap();
         assert!((dts[0] - dts[1]).abs() < 1e-15);
         assert!((dts[1] - dts[2]).abs() < 1e-15);
         assert!(dts[0].is_finite() && dts[0] > 0.0);
@@ -558,7 +597,8 @@ mod tests {
             }
             let total = comm.allreduce_sum(local);
             (total, total_ref)
-        });
+        })
+        .unwrap();
         for (total, total_ref) in sums {
             assert!((total - total_ref).abs() < 1e-12 * total_ref);
         }
@@ -594,7 +634,8 @@ mod tests {
             let total_owned = comm.allreduce_sum(owned as f64) as usize;
             assert_eq!(total_owned, nblocks);
             (changed, nblocks)
-        });
+        })
+        .unwrap();
         assert!(reports[0].0);
         assert_eq!(reports[0].1, reports[1].1);
         assert_eq!(reports[0].1, 16 - 2 + 8);
@@ -627,6 +668,7 @@ mod tests {
                     assert!(n.field().at(c, 0) > 0.0);
                 }
             }
-        });
+        })
+        .unwrap();
     }
 }

@@ -1,0 +1,303 @@
+//! Deterministic, seeded fault injection for the message-passing machine.
+//!
+//! A [`FaultPlan`] wraps every point-to-point physical send (user messages
+//! and acks — never collectives) in a deterministic decision derived from
+//! `(seed, src, dst, tag, per-endpoint send counter)`: deliver, drop,
+//! duplicate, corrupt one bit, or delay. Because retries re-enter the
+//! decision with a fresh counter value, a dropped message is not dropped
+//! forever — the reliable transport's retransmissions get independent
+//! draws, so runs terminate with probability 1 while remaining exactly
+//! reproducible for a given seed.
+//!
+//! The plan can also crash one rank at a chosen user-level communication
+//! op (`crash_rank`), modeling a hard process failure. The crash fires
+//! once per plan — a recovery restart with the same plan does not re-kill
+//! the (already re-ranked) machine.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// FNV-1a 64-bit hash over a stream of `u64` words (fed byte-wise).
+pub fn fnv1a64(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// SplitMix64 finalizer: a strong 64-bit mixing function.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// What the plan decided for one physical message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultAction {
+    /// Deliver normally.
+    Deliver,
+    /// Silently discard the message.
+    Drop,
+    /// Deliver two copies.
+    Duplicate,
+    /// Deliver with one bit flipped in word `word`.
+    Corrupt { word: usize, bit: u32 },
+    /// Deliver after the sender sleeps for the plan's delay.
+    Delay,
+}
+
+/// Counters of injected faults (read via [`FaultPlan::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages silently discarded.
+    pub dropped: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Messages delivered with a flipped bit.
+    pub corrupted: u64,
+    /// Messages delayed before delivery.
+    pub delayed: u64,
+    /// Corrupt envelopes detected (checksum mismatch) by receivers.
+    pub detected_corrupt: u64,
+    /// Duplicate envelopes detected (stale sequence number) by receivers.
+    pub detected_duplicate: u64,
+}
+
+/// A deterministic, seeded plan of communication faults.
+///
+/// Construct with [`FaultPlan::new`], chain the builder methods, then pass
+/// (wrapped in an `Arc`) to `Machine::run_with`. All probabilities are per
+/// physical message.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_p: f64,
+    dup_p: f64,
+    corrupt_p: f64,
+    delay_p: f64,
+    delay: Duration,
+    crash: Option<(usize, u64)>,
+    crash_fired: AtomicBool,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    corrupted: AtomicU64,
+    delayed: AtomicU64,
+    detected_corrupt: AtomicU64,
+    detected_duplicate: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (add faults with the builder methods).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_p: 0.0,
+            dup_p: 0.0,
+            corrupt_p: 0.0,
+            delay_p: 0.0,
+            delay: Duration::ZERO,
+            crash: None,
+            crash_fired: AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            corrupted: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            detected_corrupt: AtomicU64::new(0),
+            detected_duplicate: AtomicU64::new(0),
+        }
+    }
+
+    /// Drop each physical message with probability `p`.
+    pub fn drop_messages(mut self, p: f64) -> Self {
+        self.drop_p = p;
+        self
+    }
+
+    /// Duplicate each physical message with probability `p`.
+    pub fn duplicate_messages(mut self, p: f64) -> Self {
+        self.dup_p = p;
+        self
+    }
+
+    /// Flip one bit of each physical message with probability `p`.
+    pub fn corrupt_messages(mut self, p: f64) -> Self {
+        self.corrupt_p = p;
+        self
+    }
+
+    /// Delay each physical message by `delay` with probability `p`.
+    pub fn delay_messages(mut self, p: f64, delay: Duration) -> Self {
+        self.delay_p = p;
+        self.delay = delay;
+        self
+    }
+
+    /// Crash `rank` (panic, modeling a process death) when it issues its
+    /// `at_op`-th user-level communication operation (0-based count over
+    /// send/recv/barrier/collective calls). Fires at most once per plan.
+    pub fn crash_rank(mut self, rank: usize, at_op: u64) -> Self {
+        self.crash = Some((rank, at_op));
+        self
+    }
+
+    /// The configured crash site, if any.
+    pub fn crash_site(&self) -> Option<(usize, u64)> {
+        self.crash
+    }
+
+    /// Snapshot of the injected-fault counters.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            dropped: self.dropped.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            corrupted: self.corrupted.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            detected_corrupt: self.detected_corrupt.load(Ordering::Relaxed),
+            detected_duplicate: self.detected_duplicate.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sender-side delay duration (when [`FaultAction::Delay`] is decided).
+    pub(crate) fn delay_duration(&self) -> Duration {
+        self.delay
+    }
+
+    /// True exactly once: when `rank`'s user-op counter hits the crash op.
+    pub(crate) fn should_crash(&self, rank: usize, op: u64) -> bool {
+        match self.crash {
+            Some((r, at)) if r == rank && op >= at => self
+                .crash_fired
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok(),
+            _ => false,
+        }
+    }
+
+    /// Decide the fate of one physical message. `counter` is the sending
+    /// endpoint's physical-send counter, which makes retransmissions of
+    /// the same `(src, dst, tag)` independent draws.
+    pub(crate) fn decide(
+        &self,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        counter: u64,
+        len: usize,
+    ) -> FaultAction {
+        if self.drop_p == 0.0 && self.dup_p == 0.0 && self.corrupt_p == 0.0 && self.delay_p == 0.0
+        {
+            return FaultAction::Deliver;
+        }
+        let mut s = mix(
+            self.seed
+                ^ mix(src as u64)
+                ^ mix((dst as u64).wrapping_mul(0x9E3779B97F4A7C15))
+                ^ mix(tag)
+                ^ mix(counter.wrapping_mul(0xD6E8FEB86659FD93)),
+        );
+        let mut draw = || {
+            s = mix(s);
+            s
+        };
+        if self.drop_p > 0.0 && unit(draw()) < self.drop_p {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return FaultAction::Drop;
+        }
+        if self.dup_p > 0.0 && unit(draw()) < self.dup_p {
+            self.duplicated.fetch_add(1, Ordering::Relaxed);
+            return FaultAction::Duplicate;
+        }
+        if self.corrupt_p > 0.0 && unit(draw()) < self.corrupt_p && len > 0 {
+            self.corrupted.fetch_add(1, Ordering::Relaxed);
+            let word = (draw() % len as u64) as usize;
+            let bit = (draw() % 64) as u32;
+            return FaultAction::Corrupt { word, bit };
+        }
+        if self.delay_p > 0.0 && unit(draw()) < self.delay_p {
+            self.delayed.fetch_add(1, Ordering::Relaxed);
+            return FaultAction::Delay;
+        }
+        FaultAction::Deliver
+    }
+
+    /// Record a receiver-side checksum-mismatch detection.
+    pub(crate) fn note_detected_corrupt(&self) {
+        self.detected_corrupt.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a receiver-side duplicate-sequence detection.
+    pub(crate) fn note_detected_duplicate(&self) {
+        self.detected_duplicate.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = FaultPlan::new(11).drop_messages(0.3).corrupt_messages(0.2);
+        let b = FaultPlan::new(11).drop_messages(0.3).corrupt_messages(0.2);
+        for counter in 0..200 {
+            assert_eq!(a.decide(0, 1, 7, counter, 16), b.decide(0, 1, 7, counter, 16));
+        }
+    }
+
+    #[test]
+    fn retries_get_fresh_draws() {
+        let p = FaultPlan::new(5).drop_messages(0.5);
+        let fates: Vec<_> = (0..100).map(|c| p.decide(2, 3, 9, c, 8)).collect();
+        assert!(fates.contains(&FaultAction::Drop));
+        assert!(fates.contains(&FaultAction::Deliver));
+    }
+
+    #[test]
+    fn drop_rate_roughly_matches_probability() {
+        let p = FaultPlan::new(1234).drop_messages(0.25);
+        let n = 10_000;
+        let dropped = (0..n)
+            .filter(|&c| p.decide(0, 1, 0, c, 4) == FaultAction::Drop)
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.03, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn crash_fires_exactly_once() {
+        let p = FaultPlan::new(0).crash_rank(2, 10);
+        assert!(!p.should_crash(1, 10));
+        assert!(!p.should_crash(2, 9));
+        assert!(p.should_crash(2, 10));
+        assert!(!p.should_crash(2, 10));
+        assert!(!p.should_crash(2, 11));
+    }
+
+    #[test]
+    fn stats_count_decisions() {
+        let p = FaultPlan::new(77).drop_messages(0.5);
+        for c in 0..100 {
+            let _ = p.decide(0, 1, 0, c, 4);
+        }
+        let s = p.stats();
+        assert!(s.dropped > 0);
+        assert_eq!(s.duplicated, 0);
+    }
+
+    #[test]
+    fn fnv_distinguishes_streams() {
+        assert_ne!(fnv1a64([1, 2, 3]), fnv1a64([1, 2, 4]));
+        assert_ne!(fnv1a64([1, 2, 3]), fnv1a64([1, 3, 2]));
+        assert_eq!(fnv1a64([]), fnv1a64([]));
+    }
+}

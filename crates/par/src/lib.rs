@@ -9,21 +9,30 @@
 //!   adapt with data migration;
 //! * [`balance`] — SFC (Morton/Hilbert), round-robin, and greedy
 //!   partitioners with imbalance and communication metrics;
-//! * [`shared`] — a rayon shared-memory executor (gather/scatter ghost
-//!   fill, parallel block kernels);
+//! * [`shared`] — a shared-memory executor on scoped threads
+//!   (gather/scatter ghost fill, parallel block kernels via [`pool`]);
 //! * [`costmodel`] — a BSP step-cost model with T3D-like parameters that
-//!   regenerates the paper's Figs. 6–7 scaling shapes at any rank count.
+//!   regenerates the paper's Figs. 6–7 scaling shapes at any rank count;
+//! * [`fault`] — deterministic, seeded fault injection for the machine
+//!   (drop/delay/duplicate/corrupt messages, crash a rank at a chosen op);
+//! * [`recover`] — checkpoint-based recovery driver: periodic in-memory
+//!   checkpoints, rank-failure detection, restart on the survivors.
 
 #![warn(missing_docs)]
 
 pub mod balance;
 pub mod costmodel;
 pub mod dist;
+pub mod fault;
 pub mod machine;
+pub mod pool;
+pub mod recover;
 pub mod shared;
 
 pub use balance::{comm_stats, imbalance, partition, partition_grid, CommStats, Policy};
 pub use costmodel::{model_step, CostParams, RankCost, StepCost};
 pub use dist::DistSim;
-pub use machine::{Comm, Machine, Msg};
+pub use fault::{FaultPlan, FaultStats};
+pub use machine::{Comm, CommError, Machine, MachineConfig, MachineError, Msg, RankFailure};
+pub use recover::{run_resilient, RecoverConfig, RecoverError, RecoverOutcome};
 pub use shared::{par_fill_ghosts, ParStepper};

@@ -7,31 +7,288 @@
 //!
 //! Message payloads are `Vec<f64>` — block field regions are what actually
 //! moves, and control integers fit losslessly in doubles below 2^53.
-//! Channels are unbounded (crossbeam), so sends never block and the
-//! communication patterns in `dist` are deadlock-free by construction
-//! (all sends precede all receives within a phase).
+//! Channels are unbounded (`std::sync::mpsc`), so plain sends never block
+//! and the communication patterns in `dist` are deadlock-free by
+//! construction (all sends precede all receives within a phase).
+//!
+//! Unlike the paper's T3D, this machine does **not** assume a reliable
+//! interconnect or immortal ranks:
+//!
+//! * every rank body runs under `catch_unwind`, so [`Machine::run`]
+//!   returns `Result<Vec<T>, MachineError>` naming the failed rank
+//!   instead of propagating a panic (or worse, hanging the join);
+//! * blocking receives and barriers carry a **watchdog**: a silent
+//!   deadlock becomes a [`RankFailure::Stuck`] report naming the stuck
+//!   `(from, tag)` pair;
+//! * [`Comm::recv_timeout`] / [`Comm::try_recv`] expose fallible receives
+//!   returning a typed [`CommError`];
+//! * with a [`FaultPlan`] attached (or `reliable: Some(true)`), user
+//!   point-to-point traffic is upgraded to a sequence-numbered,
+//!   checksummed, ack/retry **reliable transport** that delivers
+//!   exactly-once, in-order even when messages are dropped, duplicated,
+//!   corrupted, or delayed. Collectives use reserved tags and are never
+//!   fault-injected.
 //!
 //! Every endpoint counts messages and payload volume so tests and the BSP
 //! cost model can be validated against what a run *actually* sent.
 
+use std::any::Any;
 use std::cell::{Cell, RefCell};
-use std::collections::VecDeque;
-use std::sync::{Arc, Barrier};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::fault::{fnv1a64, FaultAction, FaultPlan};
 
 /// A tagged message.
 #[derive(Debug)]
 pub struct Msg {
     /// Sending rank.
     pub src: usize,
-    /// User tag (tags with the top bit set are reserved for collectives).
+    /// User tag (tags with the top two bits set are reserved).
     pub tag: u64,
     /// Payload.
     pub data: Vec<f64>,
 }
 
+/// Reserved tag bit for collectives.
 const COLL_TAG: u64 = 1 << 63;
+/// Reserved tag for reliable-transport acknowledgements.
+const ACK_TAG: u64 = 1 << 62;
+
+/// Tuning knobs for timeouts and the reliable transport.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// How long a blocking `recv`/`barrier` may wait before the rank is
+    /// declared stuck (deadlock detection).
+    pub watchdog: Duration,
+    /// Granularity of abort-flag polling while blocked.
+    pub poll: Duration,
+    /// How long a reliable send waits for an ack before retransmitting.
+    pub retry_timeout: Duration,
+    /// Retransmissions before a reliable send declares the peer dead.
+    pub max_retries: u32,
+    /// Force the reliable transport on/off; `None` enables it exactly
+    /// when a fault plan is attached.
+    pub reliable: Option<bool>,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            watchdog: Duration::from_secs(30),
+            poll: Duration::from_millis(2),
+            retry_timeout: Duration::from_millis(25),
+            max_retries: 400,
+            reliable: None,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A configuration with tight timeouts for tests: failures are
+    /// detected in hundreds of milliseconds rather than tens of seconds.
+    pub fn fast() -> Self {
+        MachineConfig {
+            watchdog: Duration::from_millis(500),
+            poll: Duration::from_millis(1),
+            retry_timeout: Duration::from_millis(10),
+            max_retries: 100,
+            reliable: None,
+        }
+    }
+}
+
+/// Error from a fallible receive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// No matching message arrived within the deadline.
+    Timeout {
+        /// Rank the receive was matching on.
+        from: usize,
+        /// Tag the receive was matching on.
+        tag: u64,
+        /// How long the receive waited.
+        waited: Duration,
+    },
+    /// The machine is shutting down because another rank failed.
+    Aborted,
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Timeout { from, tag, waited } => {
+                write!(f, "no message (from={from}, tag={tag}) within {waited:?}")
+            }
+            CommError::Aborted => write!(f, "machine aborted (another rank failed)"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Why one rank stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RankFailure {
+    /// The rank body panicked (message captured).
+    Panic(String),
+    /// A [`FaultPlan`] crash fired on this rank.
+    InjectedCrash,
+    /// A blocking receive exceeded the watchdog — names the deadlock.
+    Stuck {
+        /// Rank the receive was matching on.
+        from: usize,
+        /// Tag the receive was matching on.
+        tag: u64,
+        /// How long it waited.
+        waited: Duration,
+    },
+    /// A barrier wait exceeded the watchdog.
+    StuckBarrier {
+        /// How long it waited.
+        waited: Duration,
+    },
+    /// A reliable send exhausted its retransmissions without an ack.
+    SendStuck {
+        /// Destination rank.
+        to: usize,
+        /// Message tag.
+        tag: u64,
+        /// Retransmissions attempted.
+        attempts: u32,
+    },
+    /// A send found the peer's endpoint already dropped.
+    PeerGone {
+        /// The dead peer.
+        peer: usize,
+    },
+    /// The rank shut down cooperatively after another rank failed.
+    Aborted,
+}
+
+impl RankFailure {
+    /// Lower = more likely the root cause (used to pick the headline
+    /// failure when several ranks report).
+    fn severity(&self) -> u8 {
+        match self {
+            RankFailure::Panic(_) | RankFailure::InjectedCrash => 0,
+            RankFailure::Stuck { .. }
+            | RankFailure::StuckBarrier { .. }
+            | RankFailure::SendStuck { .. } => 1,
+            RankFailure::PeerGone { .. } => 2,
+            RankFailure::Aborted => 3,
+        }
+    }
+}
+
+impl fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RankFailure::Panic(msg) => write!(f, "panicked: {msg}"),
+            RankFailure::InjectedCrash => write!(f, "crashed (injected fault)"),
+            RankFailure::Stuck { from, tag, waited } => {
+                write!(f, "stuck receiving (from={from}, tag={tag}) for {waited:?}")
+            }
+            RankFailure::StuckBarrier { waited } => write!(f, "stuck at barrier for {waited:?}"),
+            RankFailure::SendStuck { to, tag, attempts } => {
+                write!(f, "send to rank {to} (tag {tag}) unacked after {attempts} attempts")
+            }
+            RankFailure::PeerGone { peer } => write!(f, "peer rank {peer} hung up"),
+            RankFailure::Aborted => write!(f, "aborted after another rank failed"),
+        }
+    }
+}
+
+/// A machine run failed: at least one rank died.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineError {
+    /// The rank identified as the root cause.
+    pub rank: usize,
+    /// Its failure.
+    pub failure: RankFailure,
+    /// Every failure reported, sorted by rank.
+    pub all: Vec<(usize, RankFailure)>,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rank {} {} ({} rank(s) reported failures)",
+            self.rank,
+            self.failure,
+            self.all.len()
+        )
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// State shared by all ranks of one machine run.
+struct Shared {
+    abort: AtomicBool,
+    failures: Mutex<Vec<(usize, RankFailure)>>,
+    /// Ranks whose endpoint has been dropped (finished or died); finished
+    /// reliable endpoints keep draining their inbox until all are done.
+    done: AtomicUsize,
+    bar_m: Mutex<BarrierState>,
+    bar_cv: Condvar,
+}
+
+struct BarrierState {
+    count: usize,
+    generation: u64,
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+thread_local! {
+    /// Set just before a *controlled* abort panic so the global hook
+    /// stays silent; real user panics still print a backtrace.
+    static QUIET_PANIC: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANIC.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Unwind this rank with a structured failure (classified in `run`).
+fn die(failure: RankFailure) -> ! {
+    QUIET_PANIC.with(|q| q.set(true));
+    std::panic::panic_any(failure);
+}
+
+fn classify(payload: Box<dyn Any + Send>) -> RankFailure {
+    match payload.downcast::<RankFailure>() {
+        Ok(f) => *f,
+        Err(p) => {
+            let msg = if let Some(s) = p.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = p.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "<non-string panic payload>".to_string()
+            };
+            RankFailure::Panic(msg)
+        }
+    }
+}
 
 /// Per-rank communication endpoint.
 pub struct Comm {
@@ -39,10 +296,24 @@ pub struct Comm {
     nranks: usize,
     inbox: Receiver<Msg>,
     peers: Vec<Sender<Msg>>,
-    barrier: Arc<Barrier>,
+    shared: Arc<Shared>,
+    cfg: MachineConfig,
+    faults: Option<Arc<FaultPlan>>,
+    reliable: bool,
     /// Out-of-order messages waiting for a matching recv.
     stash: RefCell<VecDeque<Msg>>,
-    /// Point-to-point messages sent.
+    /// Reliable transport: next sequence number per (dst, tag).
+    send_seq: RefCell<HashMap<(usize, u64), u64>>,
+    /// Reliable transport: next expected sequence per (src, tag).
+    recv_seq: RefCell<HashMap<(usize, u64), u64>>,
+    /// The ack a reliable send is currently blocked on: (peer, tag, seq).
+    awaiting_ack: Cell<Option<(usize, u64, u64)>>,
+    /// Physical sends issued (feeds deterministic fault decisions).
+    phys_sends: Cell<u64>,
+    /// User-level communication ops issued (feeds crash injection).
+    ops: Cell<u64>,
+    /// Point-to-point physical messages sent (includes retries and acks
+    /// when the reliable transport is active).
     pub sent_msgs: Cell<u64>,
     /// Total f64s sent point-to-point.
     pub sent_values: Cell<u64>,
@@ -61,71 +332,375 @@ impl Comm {
         self.nranks
     }
 
-    /// Send `data` to `to` with a user `tag` (top bit reserved).
-    pub fn send(&self, to: usize, tag: u64, data: Vec<f64>) {
-        debug_assert_eq!(tag & COLL_TAG, 0, "top tag bit is reserved");
-        self.send_raw(to, tag, data);
+    /// Count a user-level communication op and fire a planned crash.
+    fn user_op(&self) {
+        let op = self.ops.get();
+        self.ops.set(op + 1);
+        if let Some(fp) = &self.faults {
+            if fp.should_crash(self.rank, op) {
+                die(RankFailure::InjectedCrash);
+            }
+        }
     }
 
-    fn send_raw(&self, to: usize, tag: u64, data: Vec<f64>) {
+    fn aborted(&self) -> bool {
+        self.shared.abort.load(Ordering::Relaxed)
+    }
+
+    // ---- physical layer -------------------------------------------------
+
+    /// Push one message to `to`'s inbox, applying fault injection to
+    /// non-collective traffic.
+    fn send_physical(&self, to: usize, tag: u64, mut data: Vec<f64>) {
         self.sent_msgs.set(self.sent_msgs.get() + 1);
         self.sent_values.set(self.sent_values.get() + data.len() as u64);
-        self.peers[to]
-            .send(Msg { src: self.rank, tag, data })
-            .expect("peer hung up");
+        if tag & COLL_TAG == 0 {
+            if let Some(fp) = &self.faults {
+                let counter = self.phys_sends.get();
+                self.phys_sends.set(counter + 1);
+                match fp.decide(self.rank, to, tag, counter, data.len()) {
+                    FaultAction::Deliver => {}
+                    FaultAction::Drop => return,
+                    FaultAction::Duplicate => {
+                        let copy = Msg { src: self.rank, tag, data: data.clone() };
+                        let _ = self.peers[to].send(copy);
+                    }
+                    FaultAction::Corrupt { word, bit } => {
+                        let bits = data[word].to_bits() ^ (1u64 << bit);
+                        data[word] = f64::from_bits(bits);
+                    }
+                    FaultAction::Delay => std::thread::sleep(fp.delay_duration()),
+                }
+            }
+        }
+        if self.peers[to].send(Msg { src: self.rank, tag, data }).is_err() {
+            die(RankFailure::PeerGone { peer: to });
+        }
+    }
+
+    /// Checksum binding an envelope to its route, tag, and sequence.
+    fn envelope_checksum(src: usize, dst: usize, tag: u64, seq: u64, payload: &[f64]) -> u64 {
+        fnv1a64(
+            [src as u64, dst as u64, tag, seq]
+                .into_iter()
+                .chain(payload.iter().map(|x| x.to_bits())),
+        )
+    }
+
+    fn send_ack(&self, to: usize, tag: u64, seq: u64) {
+        self.send_physical(to, ACK_TAG, vec![f64::from_bits(tag), f64::from_bits(seq)]);
+    }
+
+    /// Handle one raw arrival. Returns the user-visible message, or `None`
+    /// if the arrival was consumed by the transport (ack, duplicate,
+    /// corrupt envelope).
+    fn process_arrival(&self, mut msg: Msg) -> Option<Msg> {
+        if msg.tag == ACK_TAG {
+            if msg.data.len() == 2 {
+                if let Some((peer, tag, seq)) = self.awaiting_ack.get() {
+                    if msg.src == peer
+                        && msg.data[0].to_bits() == tag
+                        && msg.data[1].to_bits() == seq
+                    {
+                        return Some(msg);
+                    }
+                }
+            }
+            return None; // stale ack from an already-satisfied retransmission
+        }
+        if self.reliable && msg.tag & COLL_TAG == 0 {
+            if msg.data.len() < 2 {
+                return None; // mangled beyond recognition
+            }
+            let seq = msg.data[0].to_bits();
+            let ck = msg.data[1].to_bits();
+            let payload = &msg.data[2..];
+            if ck != Self::envelope_checksum(msg.src, self.rank, msg.tag, seq, payload) {
+                if let Some(fp) = &self.faults {
+                    fp.note_detected_corrupt();
+                }
+                return None; // no ack => sender retransmits
+            }
+            let expected = {
+                let mut seqs = self.recv_seq.borrow_mut();
+                *seqs.entry((msg.src, msg.tag)).or_insert(0)
+            };
+            if seq < expected {
+                if let Some(fp) = &self.faults {
+                    fp.note_detected_duplicate();
+                }
+                self.send_ack(msg.src, msg.tag, seq); // the original ack was lost
+                return None;
+            }
+            // FIFO channels + stop-and-wait make a gap impossible.
+            debug_assert_eq!(seq, expected, "reliable transport sequence gap");
+            if seq != expected {
+                return None;
+            }
+            self.recv_seq.borrow_mut().insert((msg.src, msg.tag), seq + 1);
+            self.send_ack(msg.src, msg.tag, seq);
+            msg.data.drain(..2);
+            return Some(msg);
+        }
+        Some(msg)
+    }
+
+    /// Drain every available arrival through the transport layer without
+    /// blocking; user messages are stashed for later receives. Keeps the
+    /// reliable transport live (re-acking retransmissions whose acks were
+    /// lost) from wait points that do not otherwise read the inbox.
+    fn pump_inbox(&self) {
+        while let Ok(raw) = self.inbox.try_recv() {
+            if let Some(m) = self.process_arrival(raw) {
+                self.stash.borrow_mut().push_back(m);
+            }
+        }
+    }
+
+    fn take_stashed(&self, from: usize, tag: u64) -> Option<Vec<f64>> {
+        let mut stash = self.stash.borrow_mut();
+        let pos = stash.iter().position(|m| m.src == from && m.tag == tag)?;
+        Some(stash.remove(pos).expect("position valid").data)
+    }
+
+    /// Core matching receive. With `user_timeout`, returns
+    /// `CommError::Timeout` at that deadline; without, the machine
+    /// watchdog is the deadline.
+    fn recv_match(
+        &self,
+        from: usize,
+        tag: u64,
+        user_timeout: Option<Duration>,
+    ) -> Result<Vec<f64>, CommError> {
+        if let Some(data) = self.take_stashed(from, tag) {
+            return Ok(data);
+        }
+        let start = Instant::now();
+        loop {
+            if self.aborted() {
+                return Err(CommError::Aborted);
+            }
+            match self.inbox.recv_timeout(self.cfg.poll) {
+                Ok(raw) => {
+                    if let Some(m) = self.process_arrival(raw) {
+                        if m.src == from && m.tag == tag {
+                            return Ok(m.data);
+                        }
+                        self.stash.borrow_mut().push_back(m);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("endpoint holds its own sender; inbox cannot disconnect")
+                }
+            }
+            let waited = start.elapsed();
+            let deadline = user_timeout.unwrap_or(self.cfg.watchdog);
+            if waited >= deadline {
+                return Err(CommError::Timeout { from, tag, waited });
+            }
+        }
+    }
+
+    /// Infallible receive used internally; converts errors into a
+    /// structured rank death.
+    fn recv_or_die(&self, from: usize, tag: u64) -> Vec<f64> {
+        match self.recv_match(from, tag, None) {
+            Ok(data) => data,
+            Err(CommError::Aborted) => die(RankFailure::Aborted),
+            Err(CommError::Timeout { from, tag, waited }) => {
+                die(RankFailure::Stuck { from, tag, waited })
+            }
+        }
+    }
+
+    /// Stop-and-wait reliable send: frame with (seq, checksum), then
+    /// retransmit until the matching ack arrives. Incoming data
+    /// envelopes are still processed (and acked) while waiting, so two
+    /// ranks sending to each other cannot deadlock.
+    fn send_reliable(&self, to: usize, tag: u64, data: Vec<f64>) {
+        let seq = {
+            let mut seqs = self.send_seq.borrow_mut();
+            let e = seqs.entry((to, tag)).or_insert(0);
+            let s = *e;
+            *e += 1;
+            s
+        };
+        let ck = Self::envelope_checksum(self.rank, to, tag, seq, &data);
+        let mut framed = Vec::with_capacity(data.len() + 2);
+        framed.push(f64::from_bits(seq));
+        framed.push(f64::from_bits(ck));
+        framed.extend_from_slice(&data);
+        for _ in 0..self.cfg.max_retries {
+            self.send_physical(to, tag, framed.clone());
+            if self.wait_ack(to, tag, seq) {
+                return;
+            }
+            if self.aborted() {
+                die(RankFailure::Aborted);
+            }
+        }
+        die(RankFailure::SendStuck { to, tag, attempts: self.cfg.max_retries });
+    }
+
+    /// Pump the inbox until the ack for `(to, tag, seq)` arrives or the
+    /// retry timeout expires.
+    fn wait_ack(&self, to: usize, tag: u64, seq: u64) -> bool {
+        self.awaiting_ack.set(Some((to, tag, seq)));
+        let start = Instant::now();
+        let acked = loop {
+            if self.aborted() {
+                break false;
+            }
+            if start.elapsed() >= self.cfg.retry_timeout {
+                break false;
+            }
+            match self.inbox.recv_timeout(self.cfg.poll.min(self.cfg.retry_timeout)) {
+                Ok(raw) => {
+                    if let Some(m) = self.process_arrival(raw) {
+                        if m.tag == ACK_TAG {
+                            break true; // process_arrival only passes the awaited ack
+                        }
+                        self.stash.borrow_mut().push_back(m);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("endpoint holds its own sender; inbox cannot disconnect")
+                }
+            }
+        };
+        self.awaiting_ack.set(None);
+        acked
+    }
+
+    // ---- public point-to-point ------------------------------------------
+
+    /// Send `data` to `to` with a user `tag` (top two bits reserved).
+    /// With the reliable transport active this blocks until acked.
+    pub fn send(&self, to: usize, tag: u64, data: Vec<f64>) {
+        self.user_op();
+        debug_assert_eq!(tag & (COLL_TAG | ACK_TAG), 0, "top tag bits are reserved");
+        if self.reliable {
+            self.send_reliable(to, tag, data);
+        } else {
+            self.send_physical(to, tag, data);
+        }
     }
 
     /// Blocking receive matching `(from, tag)`; out-of-order arrivals are
-    /// stashed and delivered to later matching receives.
+    /// stashed and delivered to later matching receives. If the machine
+    /// watchdog expires, the rank dies with [`RankFailure::Stuck`] —
+    /// deadlocks become reports, not hangs.
     pub fn recv(&self, from: usize, tag: u64) -> Vec<f64> {
-        debug_assert_eq!(tag & COLL_TAG, 0, "top tag bit is reserved");
-        self.recv_raw(from, tag)
+        self.user_op();
+        debug_assert_eq!(tag & (COLL_TAG | ACK_TAG), 0, "top tag bits are reserved");
+        self.recv_or_die(from, tag)
     }
 
-    fn recv_raw(&self, from: usize, tag: u64) -> Vec<f64> {
-        // check the stash first
-        {
-            let mut stash = self.stash.borrow_mut();
-            if let Some(pos) = stash.iter().position(|m| m.src == from && m.tag == tag) {
-                return stash.remove(pos).expect("position valid").data;
-            }
+    /// Receive matching `(from, tag)`, waiting at most `timeout`.
+    pub fn recv_timeout(
+        &self,
+        from: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<f64>, CommError> {
+        self.user_op();
+        debug_assert_eq!(tag & (COLL_TAG | ACK_TAG), 0, "top tag bits are reserved");
+        self.recv_match(from, tag, Some(timeout))
+    }
+
+    /// Non-blocking receive: drains arrivals, then returns a matching
+    /// message if one is waiting.
+    pub fn try_recv(&self, from: usize, tag: u64) -> Result<Option<Vec<f64>>, CommError> {
+        self.user_op();
+        debug_assert_eq!(tag & (COLL_TAG | ACK_TAG), 0, "top tag bits are reserved");
+        if self.aborted() {
+            return Err(CommError::Aborted);
         }
         loop {
-            let msg = self.inbox.recv().expect("machine shut down mid-recv");
-            if msg.src == from && msg.tag == tag {
-                return msg.data;
+            match self.inbox.try_recv() {
+                Ok(raw) => {
+                    if let Some(m) = self.process_arrival(raw) {
+                        self.stash.borrow_mut().push_back(m);
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    unreachable!("endpoint holds its own sender; inbox cannot disconnect")
+                }
             }
-            self.stash.borrow_mut().push_back(msg);
         }
+        Ok(self.take_stashed(from, tag))
     }
 
-    /// Synchronize all ranks.
+    // ---- barrier & collectives ------------------------------------------
+
+    /// Synchronize all ranks. Watchdogged and abortable: if another rank
+    /// dies, waiters shut down instead of blocking forever.
     pub fn barrier(&self) {
-        self.barrier.wait();
+        self.user_op();
+        let sh = &self.shared;
+        let mut g = lock_unpoisoned(&sh.bar_m);
+        let gen = g.generation;
+        g.count += 1;
+        if g.count == self.nranks {
+            g.count = 0;
+            g.generation += 1;
+            drop(g);
+            sh.bar_cv.notify_all();
+            return;
+        }
+        let start = Instant::now();
+        while g.generation == gen {
+            if self.aborted() {
+                drop(g);
+                die(RankFailure::Aborted);
+            }
+            let waited = start.elapsed();
+            if waited >= self.cfg.watchdog {
+                drop(g);
+                die(RankFailure::StuckBarrier { waited });
+            }
+            let (g2, _) = sh
+                .bar_cv
+                .wait_timeout(g, self.cfg.poll)
+                .unwrap_or_else(|p| p.into_inner());
+            g = g2;
+            if self.reliable {
+                // A peer may be retransmitting a message whose ack was
+                // dropped; re-ack it or it burns its whole retry budget
+                // against a rank parked silently at this barrier.
+                drop(g);
+                self.pump_inbox();
+                g = lock_unpoisoned(&sh.bar_m);
+            }
+        }
     }
 
     /// All-reduce a vector elementwise with `op`; every rank gets the
     /// result. Gather-to-root + broadcast (tree depth is modeled, not
     /// implemented — correctness here, cost in `costmodel`).
     pub fn allreduce_vec(&self, mut data: Vec<f64>, op: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+        self.user_op();
         if self.nranks == 1 {
             return data;
         }
         if self.rank == 0 {
             for src in 1..self.nranks {
-                let theirs = self.recv_raw(src, COLL_TAG);
+                let theirs = self.recv_or_die(src, COLL_TAG);
                 assert_eq!(theirs.len(), data.len(), "allreduce length mismatch");
                 for (a, b) in data.iter_mut().zip(theirs) {
                     *a = op(*a, b);
                 }
             }
             for dst in 1..self.nranks {
-                self.send_raw(dst, COLL_TAG | 1, data.clone());
+                self.send_physical(dst, COLL_TAG | 1, data.clone());
             }
             data
         } else {
-            self.send_raw(0, COLL_TAG, data);
-            self.recv_raw(0, COLL_TAG | 1)
+            self.send_physical(0, COLL_TAG, data);
+            self.recv_or_die(0, COLL_TAG | 1)
         }
     }
 
@@ -152,14 +727,15 @@ impl Comm {
     /// Gather variable-length vectors to every rank (allgatherv):
     /// result[r] is rank r's contribution.
     pub fn allgatherv(&self, data: Vec<f64>) -> Vec<Vec<f64>> {
+        self.user_op();
         if self.nranks == 1 {
             return vec![data];
         }
         if self.rank == 0 {
             let mut all = vec![Vec::new(); self.nranks];
             all[0] = data;
-            for src in 1..self.nranks {
-                all[src] = self.recv_raw(src, COLL_TAG | 2);
+            for (src, slot) in all.iter_mut().enumerate().skip(1) {
+                *slot = self.recv_or_die(src, COLL_TAG | 2);
             }
             // broadcast as a flattened stream with a length header
             let mut flat = Vec::new();
@@ -171,12 +747,12 @@ impl Comm {
                 flat.extend_from_slice(part);
             }
             for dst in 1..self.nranks {
-                self.send_raw(dst, COLL_TAG | 3, flat.clone());
+                self.send_physical(dst, COLL_TAG | 3, flat.clone());
             }
             all
         } else {
-            self.send_raw(0, COLL_TAG | 2, data);
-            let flat = self.recv_raw(0, COLL_TAG | 3);
+            self.send_physical(0, COLL_TAG | 2, data);
+            let flat = self.recv_or_die(0, COLL_TAG | 3);
             let n = flat[0] as usize;
             let lens: Vec<usize> = (0..n).map(|i| flat[1 + i] as usize).collect();
             let mut out = Vec::with_capacity(n);
@@ -191,18 +767,43 @@ impl Comm {
 
     /// Broadcast from `root` to all; returns the payload everywhere.
     pub fn broadcast(&self, root: usize, data: Vec<f64>) -> Vec<f64> {
+        self.user_op();
         if self.nranks == 1 {
             return data;
         }
         if self.rank == root {
             for dst in 0..self.nranks {
                 if dst != root {
-                    self.send_raw(dst, COLL_TAG | 4, data.clone());
+                    self.send_physical(dst, COLL_TAG | 4, data.clone());
                 }
             }
             data
         } else {
-            self.recv_raw(root, COLL_TAG | 4)
+            self.recv_or_die(root, COLL_TAG | 4)
+        }
+    }
+}
+
+impl Drop for Comm {
+    /// Linger-on-close for the reliable transport. A rank that finishes
+    /// keeps its inbox alive until every rank is done, re-acking
+    /// retransmissions whose acks were lost in flight; without this, a
+    /// peer still in ack-retry would watch this endpoint vanish
+    /// (`PeerGone`) even though its message *was* delivered. Dying ranks
+    /// skip the drain — their peers are redirected by the abort flag.
+    fn drop(&mut self) {
+        self.shared.done.fetch_add(1, Ordering::SeqCst);
+        if !self.reliable || std::thread::panicking() {
+            return;
+        }
+        let start = Instant::now();
+        while self.shared.done.load(Ordering::SeqCst) < self.nranks
+            && !self.aborted()
+            && start.elapsed() < self.cfg.watchdog
+        {
+            if let Ok(raw) = self.inbox.recv_timeout(self.cfg.poll) {
+                let _ = self.process_arrival(raw);
+            }
         }
     }
 }
@@ -212,22 +813,45 @@ pub struct Machine;
 
 impl Machine {
     /// Run `f` on `nranks` ranks (threads); returns per-rank results in
-    /// rank order. Panics in any rank propagate.
-    pub fn run<T, F>(nranks: usize, f: F) -> Vec<T>
+    /// rank order, or a [`MachineError`] naming the rank that died.
+    pub fn run<T, F>(nranks: usize, f: F) -> Result<Vec<T>, MachineError>
+    where
+        T: Send,
+        F: Fn(Comm) -> T + Send + Sync,
+    {
+        Self::run_with(MachineConfig::default(), None, nranks, f)
+    }
+
+    /// [`Machine::run`] with explicit timeouts and an optional fault
+    /// plan. Attaching a plan auto-enables the reliable transport
+    /// (override with `cfg.reliable`).
+    pub fn run_with<T, F>(
+        cfg: MachineConfig,
+        faults: Option<Arc<FaultPlan>>,
+        nranks: usize,
+        f: F,
+    ) -> Result<Vec<T>, MachineError>
     where
         T: Send,
         F: Fn(Comm) -> T + Send + Sync,
     {
         assert!(nranks >= 1);
+        install_quiet_hook();
+        let reliable = cfg.reliable.unwrap_or(faults.is_some());
         let mut senders = Vec::with_capacity(nranks);
         let mut receivers = Vec::with_capacity(nranks);
         for _ in 0..nranks {
-            let (s, r) = unbounded();
+            let (s, r) = channel();
             senders.push(s);
             receivers.push(r);
         }
-        let barrier = Arc::new(Barrier::new(nranks));
-        let f = &f;
+        let shared = Arc::new(Shared {
+            abort: AtomicBool::new(false),
+            failures: Mutex::new(Vec::new()),
+            done: AtomicUsize::new(0),
+            bar_m: Mutex::new(BarrierState { count: 0, generation: 0 }),
+            bar_cv: Condvar::new(),
+        });
         let mut comms: Vec<Comm> = receivers
             .into_iter()
             .enumerate()
@@ -236,23 +860,66 @@ impl Machine {
                 nranks,
                 inbox,
                 peers: senders.clone(),
-                barrier: barrier.clone(),
+                shared: shared.clone(),
+                cfg: cfg.clone(),
+                faults: faults.clone(),
+                reliable,
                 stash: RefCell::new(VecDeque::new()),
+                send_seq: RefCell::new(HashMap::new()),
+                recv_seq: RefCell::new(HashMap::new()),
+                awaiting_ack: Cell::new(None),
+                phys_sends: Cell::new(0),
+                ops: Cell::new(0),
                 sent_msgs: Cell::new(0),
                 sent_values: Cell::new(0),
             })
             .collect();
         drop(senders);
-        std::thread::scope(|scope| {
+        let f = &f;
+        let results: Vec<Option<T>> = std::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .drain(..)
-                .map(|comm| scope.spawn(move || f(comm)))
+                .map(|comm| {
+                    let shared = shared.clone();
+                    scope.spawn(move || {
+                        let rank = comm.rank;
+                        // `comm` (and with it this rank's inbox) is dropped
+                        // during the unwind, so peers see the death promptly.
+                        let out = catch_unwind(AssertUnwindSafe(|| f(comm)));
+                        QUIET_PANIC.with(|q| q.set(false));
+                        match out {
+                            Ok(v) => Some(v),
+                            Err(payload) => {
+                                let failure = classify(payload);
+                                shared.abort.store(true, Ordering::SeqCst);
+                                lock_unpoisoned(&shared.failures).push((rank, failure));
+                                shared.bar_cv.notify_all();
+                                None
+                            }
+                        }
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
+                .map(|h| h.join().expect("rank wrapper never panics"))
                 .collect()
-        })
+        });
+        let mut failures = std::mem::take(&mut *lock_unpoisoned(&shared.failures));
+        if failures.is_empty() {
+            Ok(results
+                .into_iter()
+                .map(|r| r.expect("no failure recorded, so every rank returned"))
+                .collect())
+        } else {
+            let (rank, failure) = failures
+                .iter()
+                .min_by_key(|(_, f)| f.severity())
+                .expect("non-empty")
+                .clone();
+            failures.sort_by_key(|(r, _)| *r);
+            Err(MachineError { rank, failure, all: failures })
+        }
     }
 }
 
@@ -266,7 +933,8 @@ mod tests {
             assert_eq!(c.rank(), 0);
             assert_eq!(c.nranks(), 1);
             c.allreduce_sum(5.0)
-        });
+        })
+        .unwrap();
         assert_eq!(out, vec![5.0]);
     }
 
@@ -278,7 +946,8 @@ mod tests {
             c.send(next, 7, vec![c.rank() as f64]);
             let got = c.recv(prev, 7);
             got[0]
-        });
+        })
+        .unwrap();
         assert_eq!(out, vec![3.0, 0.0, 1.0, 2.0]);
     }
 
@@ -295,7 +964,8 @@ mod tests {
                 let a = c.recv(0, 1);
                 a[0] + b[0]
             }
-        });
+        })
+        .unwrap();
         assert_eq!(out[1], 30.0);
     }
 
@@ -303,12 +973,9 @@ mod tests {
     fn allreduce_ops() {
         let out = Machine::run(5, |c| {
             let r = c.rank() as f64;
-            (
-                c.allreduce_sum(r),
-                c.allreduce_min(r),
-                c.allreduce_max(r),
-            )
-        });
+            (c.allreduce_sum(r), c.allreduce_min(r), c.allreduce_max(r))
+        })
+        .unwrap();
         for (s, lo, hi) in out {
             assert_eq!(s, 10.0);
             assert_eq!(lo, 0.0);
@@ -321,7 +988,8 @@ mod tests {
         let out = Machine::run(3, |c| {
             let r = c.rank() as f64;
             c.allreduce_vec(vec![r, 10.0 * r], |a, b| a + b)
-        });
+        })
+        .unwrap();
         for v in out {
             assert_eq!(v, vec![3.0, 30.0]);
         }
@@ -332,7 +1000,8 @@ mod tests {
         let out = Machine::run(3, |c| {
             let mine: Vec<f64> = (0..=c.rank()).map(|i| i as f64).collect();
             c.allgatherv(mine)
-        });
+        })
+        .unwrap();
         for parts in out {
             assert_eq!(parts[0], vec![0.0]);
             assert_eq!(parts[1], vec![0.0, 1.0]);
@@ -345,7 +1014,8 @@ mod tests {
         let out = Machine::run(4, |c| {
             let data = if c.rank() == 2 { vec![42.0, 43.0] } else { Vec::new() };
             c.broadcast(2, data)
-        });
+        })
+        .unwrap();
         for v in out {
             assert_eq!(v, vec![42.0, 43.0]);
         }
@@ -360,7 +1030,8 @@ mod tests {
             c.barrier();
             // after the barrier every rank must see all increments
             assert_eq!(counter.load(Ordering::SeqCst), 4);
-        });
+        })
+        .unwrap();
     }
 
     #[test]
@@ -373,7 +1044,8 @@ mod tests {
             }
             c.barrier();
             (c.sent_msgs.get(), c.sent_values.get())
-        });
+        })
+        .unwrap();
         assert_eq!(out[0], (1, 3));
         assert_eq!(out[1], (0, 0));
     }
@@ -394,10 +1066,178 @@ mod tests {
                 }
             }
             sum
-        });
+        })
+        .unwrap();
         let want: f64 = (0..32).sum::<i64>() as f64;
         for (r, s) in out.iter().enumerate() {
             assert_eq!(*s, want - r as f64);
         }
+    }
+
+    // ---- fault tolerance -------------------------------------------------
+
+    #[test]
+    fn panicking_rank_is_reported_not_hung() {
+        let err = Machine::run_with(MachineConfig::fast(), None, 3, |c| {
+            if c.rank() == 1 {
+                panic!("boom at rank 1");
+            }
+            c.barrier();
+            c.rank()
+        })
+        .unwrap_err();
+        assert_eq!(err.rank, 1);
+        assert!(
+            matches!(err.failure, RankFailure::Panic(ref m) if m.contains("boom")),
+            "{err}"
+        );
+        // survivors reported their cooperative shutdown
+        assert!(err.all.len() >= 2, "{err}");
+    }
+
+    #[test]
+    fn deadlock_becomes_stuck_report() {
+        let err = Machine::run_with(MachineConfig::fast(), None, 2, |c| {
+            // both ranks receive messages nobody sends
+            let tag = 70 + c.rank() as u64;
+            c.recv(1 - c.rank(), tag)
+        })
+        .unwrap_err();
+        let stuck = err
+            .all
+            .iter()
+            .filter(|(_, f)| matches!(f, RankFailure::Stuck { .. }))
+            .count();
+        assert!(stuck >= 1, "{err}");
+        if let RankFailure::Stuck { from, tag, .. } = err.failure {
+            assert_eq!(from, 1 - err.rank);
+            assert_eq!(tag, 70 + err.rank as u64);
+        } else {
+            panic!("expected Stuck root cause, got {err}");
+        }
+    }
+
+    #[test]
+    fn recv_timeout_is_typed_and_bounded() {
+        let out = Machine::run_with(MachineConfig::fast(), None, 2, |c| {
+            if c.rank() == 0 {
+                let r = c.recv_timeout(1, 5, Duration::from_millis(40));
+                c.barrier();
+                matches!(r, Err(CommError::Timeout { from: 1, tag: 5, .. }))
+            } else {
+                c.barrier();
+                true
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![true, true]);
+    }
+
+    #[test]
+    fn try_recv_sees_sent_message_after_barrier() {
+        let out = Machine::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 11, vec![9.0]);
+                c.barrier();
+                true
+            } else {
+                assert_eq!(c.try_recv(0, 12).unwrap(), None);
+                c.barrier();
+                let got = c.try_recv(0, 11).unwrap();
+                got == Some(vec![9.0])
+            }
+        })
+        .unwrap();
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn injected_crash_is_identified() {
+        let plan = Arc::new(FaultPlan::new(3).crash_rank(2, 5));
+        let err = Machine::run_with(MachineConfig::fast(), Some(plan), 4, |c| {
+            for _ in 0..10 {
+                c.barrier();
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.rank, 2, "{err}");
+        assert_eq!(err.failure, RankFailure::InjectedCrash);
+    }
+
+    #[test]
+    fn reliable_transport_exactly_once_under_faults() {
+        let plan = Arc::new(
+            FaultPlan::new(42)
+                .drop_messages(0.25)
+                .duplicate_messages(0.15)
+                .corrupt_messages(0.15),
+        );
+        let n = 20;
+        let out = Machine::run_with(MachineConfig::fast(), Some(plan.clone()), 3, move |c| {
+            let next = (c.rank() + 1) % 3;
+            let prev = (c.rank() + 2) % 3;
+            for i in 0..n {
+                c.send(next, 3, vec![i as f64, c.rank() as f64]);
+            }
+            let mut got = Vec::new();
+            for _ in 0..n {
+                let m = c.recv(prev, 3);
+                assert_eq!(m[1] as usize, prev);
+                got.push(m[0] as i64);
+            }
+            got
+        })
+        .unwrap();
+        // exactly-once, in-order delivery despite drops/dups/corruption
+        let want: Vec<i64> = (0..n as i64).collect();
+        for g in out {
+            assert_eq!(g, want);
+        }
+        let stats = plan.stats();
+        assert!(stats.dropped > 0, "plan never dropped anything: {stats:?}");
+        assert!(
+            stats.detected_corrupt > 0 || stats.corrupted == 0,
+            "corruption must be caught: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn delayed_messages_still_deliver() {
+        let plan = Arc::new(FaultPlan::new(8).delay_messages(0.5, Duration::from_millis(2)));
+        let out = Machine::run_with(MachineConfig::fast(), Some(plan.clone()), 2, |c| {
+            if c.rank() == 0 {
+                for i in 0..10 {
+                    c.send(1, 1, vec![i as f64]);
+                }
+                0
+            } else {
+                (0..10).map(|_| c.recv(0, 1)[0] as i64).sum()
+            }
+        })
+        .unwrap();
+        assert_eq!(out[1], 45);
+        assert!(plan.stats().delayed > 0);
+    }
+
+    #[test]
+    fn crash_mid_exchange_names_the_dead_rank() {
+        // rank 1 dies after its first op; ranks 0 and 2 wait on it
+        let plan = Arc::new(FaultPlan::new(0).crash_rank(1, 1));
+        let err = Machine::run_with(MachineConfig::fast(), Some(plan), 3, |c| {
+            if c.rank() == 1 {
+                c.barrier(); // op 0
+                c.barrier(); // op 1: crash fires here
+                c.send(0, 2, vec![1.0]);
+            } else {
+                c.barrier();
+                c.barrier();
+                if c.rank() == 0 {
+                    let _ = c.recv(1, 2);
+                }
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.rank, 1, "{err}");
+        assert_eq!(err.failure, RankFailure::InjectedCrash);
     }
 }

@@ -1,0 +1,127 @@
+//! Minimal data-parallel helpers on `std::thread::scope`.
+//!
+//! The shared-memory executor only needs three shapes of parallelism —
+//! an ordered map, a disjoint mutable for-each, and a for-each with
+//! per-worker scratch — so a work-stealing pool is overkill. Blocks are
+//! homogeneous in cost (same cell count per block), which makes static
+//! chunking over `available_parallelism` threads a good schedule.
+
+use std::num::NonZeroUsize;
+
+/// Worker count: `available_parallelism`, clamped to at least 1.
+pub fn nthreads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Ordered parallel map: `out[i] = f(&items[i])`.
+pub fn par_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) -> Vec<R> {
+    let n = items.len();
+    let workers = nthreads().min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (x, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(x));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|o| o.expect("par_map slot filled")).collect()
+}
+
+/// Parallel for-each over disjoint mutable items, with one `scratch`
+/// value per worker (the `for_each_init` pattern).
+pub fn par_for_each_mut_init<T, S, I, F>(items: &mut [T], init: I, f: F)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &mut T) + Sync,
+{
+    let n = items.len();
+    let workers = nthreads().min(n);
+    if workers <= 1 {
+        let mut scratch = init();
+        for item in items {
+            f(&mut scratch, item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    let (init, f) = (&init, &f);
+    std::thread::scope(|scope| {
+        for chunk_items in items.chunks_mut(chunk) {
+            scope.spawn(move || {
+                let mut scratch = init();
+                for item in chunk_items {
+                    f(&mut scratch, item);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel for-each over disjoint mutable items.
+pub fn par_for_each_mut<T: Send, F: Fn(&mut T) + Sync>(items: &mut [T], f: F) {
+    par_for_each_mut_init(items, || (), |_, item| f(item));
+}
+
+/// Parallel max-reduction of `f` over items (empty input yields `init`).
+pub fn par_max_f64<T: Sync, F: Fn(&T) -> f64 + Sync>(items: &[T], init: f64, f: F) -> f64 {
+    par_map(items, f).into_iter().fold(init, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_is_ordered() {
+        let xs: Vec<usize> = (0..1000).collect();
+        let ys = par_map(&xs, |&x| x * 2);
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        let mut xs = vec![0u64; 777];
+        par_for_each_mut(&mut xs, |x| *x += 1);
+        assert!(xs.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn scratch_is_reused_within_worker() {
+        let mut xs = vec![0usize; 64];
+        par_for_each_mut_init(
+            &mut xs,
+            Vec::<u8>::new,
+            |scratch, x| {
+                scratch.push(0);
+                *x = scratch.len();
+            },
+        );
+        // every item was visited with a growing per-worker scratch
+        assert!(xs.iter().all(|&x| x >= 1));
+    }
+
+    #[test]
+    fn max_reduction_matches_serial() {
+        let xs: Vec<f64> = (0..501).map(|i| (i as f64 * 0.37).sin()).collect();
+        let par = par_max_f64(&xs, 0.0, |&x| x);
+        let ser = xs.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert_eq!(par, ser);
+        assert_eq!(par_max_f64(&[] as &[f64], -3.0, |&x| x), -3.0);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let ys: Vec<u8> = par_map(&[] as &[u8], |&x| x);
+        assert!(ys.is_empty());
+        par_for_each_mut(&mut [] as &mut [u8], |_| {});
+    }
+}

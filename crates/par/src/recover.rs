@@ -1,0 +1,189 @@
+//! Checkpoint-based recovery: keep a distributed run alive through rank
+//! failures.
+//!
+//! [`run_resilient`] is a supervisor around `Machine::run_with`: it steps
+//! a [`DistSim`] for a fixed number of steps, writing a consistent
+//! in-memory checkpoint (via `ablock_io::checkpoint`) every
+//! `checkpoint_every` steps. When a rank dies — injected crash, panic,
+//! watchdog-detected deadlock — the machine run returns a `MachineError`
+//! naming it; the supervisor then **restarts from the last checkpoint on
+//! one fewer rank**, letting the existing SFC balancer redistribute the
+//! dead rank's blocks across the survivors, and continues the step loop.
+//!
+//! The recovery guarantee mirrors what production AMR codes provide:
+//! the final state is the fault-free result *to checkpoint granularity* —
+//! steps since the last checkpoint are recomputed, not lost, and the
+//! recomputation is deterministic because every source of randomness is
+//! seeded and the step loop uses a fixed `dt`.
+
+use std::sync::{Arc, Mutex};
+
+use ablock_core::grid::BlockGrid;
+use ablock_io::checkpoint;
+use ablock_solver::kernel::Scheme;
+use ablock_solver::physics::Physics;
+
+use crate::balance::Policy;
+use crate::dist::DistSim;
+use crate::fault::FaultPlan;
+use crate::machine::{Machine, MachineConfig, MachineError};
+
+/// Settings for a resilient run.
+#[derive(Debug, Clone)]
+pub struct RecoverConfig {
+    /// Write a checkpoint every this many completed steps (0 = only the
+    /// implicit step-0 state, i.e. failures restart from scratch).
+    pub checkpoint_every: usize,
+    /// Partitioner used at start and after every recovery.
+    pub policy: Policy,
+    /// Timeouts for failure detection (`MachineConfig::fast()` in tests).
+    pub machine: MachineConfig,
+    /// Restarts allowed before giving up.
+    pub max_restarts: usize,
+}
+
+impl Default for RecoverConfig {
+    fn default() -> Self {
+        RecoverConfig {
+            checkpoint_every: 5,
+            policy: Policy::SfcHilbert,
+            machine: MachineConfig::default(),
+            max_restarts: 3,
+        }
+    }
+}
+
+/// What a successful resilient run produced.
+pub struct RecoverOutcome<const D: usize> {
+    /// The final grid (full field data, gathered from all ranks).
+    pub grid: BlockGrid<D>,
+    /// How many times the run restarted from a checkpoint.
+    pub restarts: usize,
+    /// Rank count of the final (surviving) configuration.
+    pub final_nranks: usize,
+    /// The machine errors that triggered each restart.
+    pub failures: Vec<MachineError>,
+}
+
+/// A resilient run that could not be completed.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// The restart budget (or the rank pool) ran out.
+    Unrecoverable {
+        /// The failure that ended the run.
+        last: MachineError,
+        /// Restarts consumed before giving up.
+        restarts: usize,
+    },
+    /// The final checkpoint bytes failed to decode.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Unrecoverable { last, restarts } => {
+                write!(f, "unrecoverable after {restarts} restart(s): {last}")
+            }
+            RecoverError::Io(e) => write!(f, "checkpoint decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// Step a distributed simulation for `steps` steps of size `dt`,
+/// surviving rank failures by restarting from the last checkpoint on
+/// `nranks - 1` ranks (graceful degradation down to a single rank).
+///
+/// `make_grid` builds the initial condition; it runs once per attempt on
+/// every rank, so it must be deterministic. The returned grid holds the
+/// full final state regardless of how many recoveries happened.
+#[allow(clippy::too_many_arguments)]
+pub fn run_resilient<const D: usize, P>(
+    nranks: usize,
+    steps: usize,
+    dt: f64,
+    phys: P,
+    scheme: Scheme,
+    make_grid: impl Fn() -> BlockGrid<D> + Send + Sync,
+    cfg: RecoverConfig,
+    faults: Option<Arc<FaultPlan>>,
+) -> Result<RecoverOutcome<D>, RecoverError>
+where
+    P: Physics + Clone + Send + Sync,
+{
+    assert!(nranks >= 1);
+    // (steps completed, serialized grid) — written by rank 0 of a healthy
+    // collective, read by every rank of a restart.
+    let slot: Mutex<Option<(usize, Vec<u8>)>> = Mutex::new(None);
+    let mut ranks_now = nranks;
+    let mut restarts = 0usize;
+    let mut failures: Vec<MachineError> = Vec::new();
+    loop {
+        let phys = phys.clone();
+        let attempt = Machine::run_with(cfg.machine.clone(), faults.clone(), ranks_now, |comm| {
+            let (start_step, grid) = {
+                let guard = slot.lock().unwrap_or_else(|p| p.into_inner());
+                match &*guard {
+                    Some((step, bytes)) => {
+                        let g = checkpoint::load_grid::<D>(&mut bytes.as_slice())
+                            .expect("in-memory checkpoint must decode");
+                        (*step, g)
+                    }
+                    None => (0, make_grid()),
+                }
+            };
+            let mut sim =
+                DistSim::partitioned(grid, comm.nranks(), cfg.policy, phys.clone(), scheme);
+            for step in start_step..steps {
+                sim.step_rk2(&comm, dt);
+                let done = step + 1;
+                if cfg.checkpoint_every > 0 && done % cfg.checkpoint_every == 0 && done < steps {
+                    // gather_full is a collective: when rank 0 completes it,
+                    // it holds a consistent snapshot of step `done` even if
+                    // peers die immediately afterwards.
+                    sim.gather_full(&comm);
+                    if comm.rank() == 0 {
+                        let mut bytes = Vec::new();
+                        checkpoint::save_grid(&mut bytes, &sim.grid)
+                            .expect("writing to a Vec cannot fail");
+                        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some((done, bytes));
+                    }
+                    comm.barrier();
+                }
+            }
+            sim.gather_full(&comm);
+            if comm.rank() == 0 {
+                let mut bytes = Vec::new();
+                checkpoint::save_grid(&mut bytes, &sim.grid)
+                    .expect("writing to a Vec cannot fail");
+                Some(bytes)
+            } else {
+                None
+            }
+        });
+        match attempt {
+            Ok(results) => {
+                let bytes = results
+                    .into_iter()
+                    .flatten()
+                    .next()
+                    .expect("rank 0 returns the final state");
+                let grid =
+                    checkpoint::load_grid::<D>(&mut bytes.as_slice()).map_err(RecoverError::Io)?;
+                return Ok(RecoverOutcome { grid, restarts, final_nranks: ranks_now, failures });
+            }
+            Err(err) => {
+                restarts += 1;
+                if restarts > cfg.max_restarts || ranks_now <= 1 {
+                    return Err(RecoverError::Unrecoverable { last: err, restarts: restarts - 1 });
+                }
+                failures.push(err);
+                // graceful degradation: the dead rank's blocks go to the
+                // survivors via the partitioner on the next attempt
+                ranks_now -= 1;
+            }
+        }
+    }
+}

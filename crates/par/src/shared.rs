@@ -1,4 +1,4 @@
-//! Shared-memory parallel executor (rayon).
+//! Shared-memory parallel executor (scoped std threads).
 //!
 //! The paper claims the data structure is "particularly well suited to
 //! high-performance machines, both serial and parallel". This module is
@@ -6,7 +6,7 @@
 //! parallelization unit — RHS kernels per block are embarrassingly
 //! parallel, and ghost exchange becomes a two-phase **gather/scatter**
 //! (gather reads only sources, scatter writes only destinations), each
-//! phase running over rayon's work-stealing pool with no locks.
+//! phase running over the [`crate::pool`] helpers with no locks.
 //!
 //! `ParStepper` reproduces `ablock_solver::Stepper`'s SSP-RK2 semantics
 //! exactly (the equivalence test below checks bitwise-level agreement);
@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 
-use rayon::prelude::*;
+use crate::pool;
 
 use ablock_core::arena::BlockId;
 use ablock_core::field::{FieldBlock, FieldShape};
@@ -122,10 +122,11 @@ pub fn par_fill_ghosts<const D: usize>(
     let ng = grid.params().nghost;
     for tasks in [plan.phase1(), plan.phase2()] {
         // gather (immutable grid)
-        let ready: Vec<(BlockId, ReadyOp<D>)> = tasks
-            .par_iter()
-            .filter_map(|t| gather_task(grid, t, config.prolong_order))
-            .collect();
+        let ready: Vec<(BlockId, ReadyOp<D>)> =
+            pool::par_map(tasks, |t| gather_task(grid, t, config.prolong_order))
+                .into_iter()
+                .flatten()
+                .collect();
         // group by destination
         let mut by_dst: HashMap<BlockId, Vec<ReadyOp<D>>> = HashMap::new();
         for (dst, op) in ready {
@@ -142,7 +143,7 @@ pub fn par_fill_ghosts<const D: usize>(
         }
         // scatter (mutable, one block per work item)
         let mut nodes: Vec<_> = grid.blocks_mut().collect();
-        nodes.par_iter_mut().for_each(|(id, node)| {
+        pool::par_for_each_mut(&mut nodes, |(id, node)| {
             if let Some(ops) = by_dst.get(id) {
                 for op in ops {
                     let nvar = node.field().shape().nvar;
@@ -236,14 +237,11 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
     pub fn max_dt(&self, grid: &BlockGrid<D>, cfl: f64) -> f64 {
         let m = grid.params().block_dims;
         let ids = grid.block_ids();
-        let rate = ids
-            .par_iter()
-            .map(|&id| {
-                let node = grid.block(id);
-                let h = grid.layout().cell_size(node.key().level, m);
-                max_rate_block(&self.phys, node.field(), h)
-            })
-            .reduce(|| 0.0, f64::max);
+        let rate = pool::par_max_f64(&ids, 0.0, |&id| {
+            let node = grid.block(id);
+            let h = grid.layout().cell_size(node.key().level, m);
+            max_rate_block(&self.phys, node.field(), h)
+        });
         if rate > 0.0 {
             cfl / rate
         } else {
@@ -263,8 +261,9 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
         let scheme = self.scheme;
         let ids = grid.block_ids();
         let rhs_refs = indexed_refs(&mut self.rhs, &ids);
-        ids.par_iter().zip(rhs_refs).for_each_init(Vec::new, |scratch, (&id, rhs_block)| {
-            let node = grid.block(id);
+        let mut work: Vec<_> = ids.iter().copied().zip(rhs_refs).collect();
+        pool::par_for_each_mut_init(&mut work, Vec::new, |scratch, (id, rhs_block)| {
+            let node = grid.block(*id);
             let h = layout.cell_size(node.key().level, m);
             compute_rhs_block(phys, scheme, node.field(), h, rhs_block, scratch);
         });
@@ -278,24 +277,22 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
         {
             let rhs = &self.rhs;
             let phys = &self.phys;
-            let mut nodes: Vec<_> = grid.blocks_mut().collect();
+            let nodes: Vec<_> = grid.blocks_mut().collect();
             let ids: Vec<BlockId> = nodes.iter().map(|(id, _)| *id).collect();
             let stage_refs = indexed_refs(&mut self.stage, &ids);
-            nodes
-                .par_iter_mut()
-                .zip(stage_refs)
-                .for_each(|((id, node), stage)| {
-                    stage.as_mut_slice().copy_from_slice(node.field().as_slice());
-                    let r = &rhs[id.index()];
-                    for c in node.field().shape().interior_box().iter() {
-                        let rr = r.cell(c);
-                        let u = node.field_mut().cell_mut(c);
-                        for v in 0..u.len() {
-                            u[v] += dt * rr[v];
-                        }
+            let mut work: Vec<_> = nodes.into_iter().zip(stage_refs).collect();
+            pool::par_for_each_mut(&mut work, |((id, node), stage)| {
+                stage.as_mut_slice().copy_from_slice(node.field().as_slice());
+                let r = &rhs[id.index()];
+                for c in node.field().shape().interior_box().iter() {
+                    let rr = r.cell(c);
+                    let u = node.field_mut().cell_mut(c);
+                    for v in 0..u.len() {
+                        u[v] += dt * rr[v];
                     }
-                    apply_floors_block(phys, node.field_mut());
-                });
+                }
+                apply_floors_block(phys, node.field_mut());
+            });
         }
         // stage 2: u^{n+1} = 1/2 u^n + 1/2 (u* + dt L(u*))
         self.eval_rhs(grid);
@@ -304,7 +301,7 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
             let stage = &self.stage;
             let phys = &self.phys;
             let mut nodes: Vec<_> = grid.blocks_mut().collect();
-            nodes.par_iter_mut().for_each(|(id, node)| {
+            pool::par_for_each_mut(&mut nodes, |(id, node)| {
                 let r = &rhs[id.index()];
                 let u0b = &stage[id.index()];
                 for c in node.field().shape().interior_box().iter() {
@@ -382,10 +379,10 @@ mod tests {
     fn parallel_matches_serial_refined() {
         let (mut gs, e) = build();
         let id = gs.find(BlockKey::new(0, [1, 1])).unwrap();
-        gs.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod));
+        gs.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod)).unwrap();
         let (mut gp, _) = build();
         let id = gp.find(BlockKey::new(0, [1, 1])).unwrap();
-        gp.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod));
+        gp.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod)).unwrap();
 
         let mut serial = Stepper::new(e.clone(), Scheme::muscl_rusanov());
         let mut par = ParStepper::new(e, Scheme::muscl_rusanov());

@@ -114,7 +114,7 @@ fn distributed_amr_blast_matches_serial() {
                     (n.key(), n.field().as_slice().to_vec())
                 })
                 .collect::<Vec<_>>()
-        });
+        }).unwrap();
         let flat: Vec<(BlockKey<2>, Vec<f64>)> = results.into_iter().flatten().collect();
         assert_eq!(
             flat.len(),
@@ -170,7 +170,7 @@ fn distributed_amr_conserves_mass() {
             local += n.field().interior_sum(0) * h[0] * h[1];
         }
         (comm.allreduce_sum(local), total0)
-    });
+    }).unwrap();
     for (total, total0) in totals {
         // periodic box; only the coarse/fine flux mismatch leaks
         assert!(

@@ -52,7 +52,7 @@ fn distributed_masked_grid_matches_serial() {
                 (n.key(), n.field().as_slice().to_vec())
             })
             .collect::<Vec<_>>()
-    });
+    }).unwrap();
     let shape = gs.params().field_shape();
     let mut checked = 0;
     for (key, data) in results.into_iter().flatten() {
@@ -110,5 +110,5 @@ fn masked_grid_walls_reflect_momentum_distributed() {
             (total - expected).abs() < 1e-9 * expected,
             "closed-box mass {total} vs {expected}"
         );
-    });
+    }).unwrap();
 }

@@ -1,0 +1,180 @@
+//! End-to-end fault tolerance: a seeded crash kills a rank mid-run, the
+//! supervisor restarts from the last checkpoint on the survivors, and the
+//! final state matches the fault-free run.
+//!
+//! The recovery guarantee under test (see `ablock_par::recover`): with a
+//! fixed `dt` and seeded everything, recomputing the steps since the last
+//! checkpoint is deterministic, so an injected-fault run must end with
+//! `check_grid` passing and fields equal to the fault-free run to
+//! roundoff. The default tests are the quick reduced mode; the full
+//! crash-site x rank sweep runs with `--ignored`.
+
+use std::sync::Arc;
+
+use ablock_core::grid::{BlockGrid, GridParams};
+use ablock_core::layout::{Boundary, RootLayout};
+use ablock_par::{
+    run_resilient, FaultPlan, Machine, MachineConfig, Policy, RankFailure, RecoverConfig,
+};
+use ablock_solver::euler::Euler;
+use ablock_solver::kernel::Scheme;
+use ablock_solver::problems;
+
+const DT: f64 = 1.0e-3;
+const STEPS: usize = 8;
+
+fn make_grid() -> BlockGrid<2> {
+    let e = Euler::<2>::new(1.4);
+    let mut g = BlockGrid::new(
+        RootLayout::unit([4, 4], Boundary::Periodic),
+        GridParams::new([4, 4], 2, 4, 1),
+    );
+    problems::advected_gaussian(&mut g, &e, [0.6, -0.3], [0.5, 0.5], 0.15);
+    g
+}
+
+fn recover_cfg() -> RecoverConfig {
+    RecoverConfig {
+        checkpoint_every: 2,
+        policy: Policy::SfcHilbert,
+        machine: MachineConfig::fast(),
+        max_restarts: 3,
+    }
+}
+
+fn run(nranks: usize, faults: Option<Arc<FaultPlan>>) -> ablock_par::RecoverOutcome<2> {
+    run_resilient(
+        nranks,
+        STEPS,
+        DT,
+        Euler::<2>::new(1.4),
+        Scheme::muscl_rusanov(),
+        make_grid,
+        recover_cfg(),
+        faults,
+    )
+    .expect("resilient run must complete")
+}
+
+/// Assert two grids share topology and agree on every interior cell.
+fn assert_grids_match(a: &BlockGrid<2>, b: &BlockGrid<2>, what: &str) {
+    assert_eq!(a.num_blocks(), b.num_blocks(), "{what}: block counts differ");
+    for (_, node) in a.blocks() {
+        let id_b = b
+            .find(node.key())
+            .unwrap_or_else(|| panic!("{what}: {:?} missing from reference", node.key()));
+        let fb = b.block(id_b).field();
+        for c in node.field().shape().interior_box().iter() {
+            for v in 0..a.params().nvar {
+                let (x, y) = (node.field().at(c, v), fb.at(c, v));
+                assert!(
+                    (x - y).abs() <= 1e-12 * (1.0 + y.abs()),
+                    "{what}: block {:?} cell {c:?} var {v}: {x} vs {y}",
+                    node.key()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_mid_run_recovers_and_matches_fault_free() {
+    let nranks = 3;
+    let fault_free = run(nranks, None);
+    assert_eq!(fault_free.restarts, 0, "control run must not restart");
+    assert_eq!(fault_free.final_nranks, nranks);
+    ablock_core::verify::check_grid(&fault_free.grid).unwrap();
+
+    // kill rank 1 at its 30th communication op: mid-run, after the first
+    // checkpoint (each RK2 step costs well over a dozen ops per rank)
+    let plan = Arc::new(FaultPlan::new(0xFA17_0001).crash_rank(1, 30));
+    let outcome = run(nranks, Some(plan));
+    assert!(outcome.restarts >= 1, "the injected crash must trigger a restart");
+    assert_eq!(outcome.final_nranks, nranks - 1, "graceful degradation to survivors");
+    assert!(
+        outcome
+            .failures
+            .iter()
+            .any(|f| matches!(f.failure, RankFailure::InjectedCrash) && f.rank == 1),
+        "root cause must name the crashed rank: {:?}",
+        outcome.failures
+    );
+    ablock_core::verify::check_grid(&outcome.grid).unwrap();
+    assert_grids_match(&outcome.grid, &fault_free.grid, "crash-recovery");
+}
+
+#[test]
+fn crash_with_message_faults_still_converges() {
+    // crash + lossy transport in one plan: drops, duplicates and bit flips
+    // ride on the reliable transport while the crash forces a recovery
+    let nranks = 3;
+    let fault_free = run(nranks, None);
+    let plan = Arc::new(
+        FaultPlan::new(0xFA17_0002)
+            .drop_messages(0.02)
+            .duplicate_messages(0.02)
+            .corrupt_messages(0.02)
+            .crash_rank(2, 40),
+    );
+    let outcome = run(nranks, Some(plan.clone()));
+    assert!(outcome.restarts >= 1);
+    assert_eq!(outcome.final_nranks, nranks - 1);
+    ablock_core::verify::check_grid(&outcome.grid).unwrap();
+    assert_grids_match(&outcome.grid, &fault_free.grid, "crash+faults");
+    let stats = plan.stats();
+    assert!(
+        stats.dropped + stats.duplicated + stats.corrupted > 0,
+        "the plan must actually have injected message faults: {stats:?}"
+    );
+}
+
+#[test]
+fn panicking_rank_is_reported_not_hung() {
+    // Acceptance check on the machine layer itself: a panicking rank turns
+    // into Err(MachineError) naming it, within the watchdog timeout.
+    let start = std::time::Instant::now();
+    let err = Machine::run_with(MachineConfig::fast(), None, 3, |comm| {
+        if comm.rank() == 1 {
+            panic!("rank 1 dies");
+        }
+        comm.barrier();
+    })
+    .unwrap_err();
+    assert_eq!(err.rank, 1);
+    assert!(
+        matches!(&err.failure, RankFailure::Panic(m) if m.contains("rank 1 dies")),
+        "{err}"
+    );
+    assert!(
+        start.elapsed() < MachineConfig::fast().watchdog * 10,
+        "failure detection took {:?}", start.elapsed()
+    );
+}
+
+/// Full sweep: every rank, several crash sites, on 2 and 3 ranks. Slow —
+/// run with `cargo test -p ablock-par --test fault_tolerance -- --ignored`.
+#[test]
+#[ignore = "full crash-site sweep; the quick reduced mode runs by default"]
+fn crash_sweep_all_ranks_and_sites() {
+    for nranks in [2usize, 3] {
+        let fault_free = run(nranks, None);
+        for rank in 0..nranks {
+            for at_op in [5u64, 30, 120] {
+                let seed = 0xFA17_5EED ^ (nranks as u64) << 16 ^ (rank as u64) << 8 ^ at_op;
+                let plan = Arc::new(FaultPlan::new(seed).crash_rank(rank, at_op));
+                let outcome = run(nranks, Some(plan));
+                assert!(
+                    outcome.restarts >= 1,
+                    "P={nranks} rank={rank} op={at_op}: crash did not fire"
+                );
+                assert_eq!(outcome.final_nranks, nranks - 1);
+                ablock_core::verify::check_grid(&outcome.grid).unwrap();
+                assert_grids_match(
+                    &outcome.grid,
+                    &fault_free.grid,
+                    &format!("sweep P={nranks} rank={rank} op={at_op}"),
+                );
+            }
+        }
+    }
+}

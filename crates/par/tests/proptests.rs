@@ -1,10 +1,13 @@
 //! Property tests for the parallel substrates: partition invariants under
 //! arbitrary weights and rank counts, cost-model sanity, machine
 //! collectives against scalar oracles.
+//!
+//! Cases are generated with the in-repo [`ablock_testkit`] seeded driver;
+//! a failing case reports its seed so it can be replayed exactly.
 
 use ablock_core::key::BlockKey;
 use ablock_par::{imbalance, partition, Machine, Policy};
-use proptest::prelude::*;
+use ablock_testkit::cases;
 
 fn keys_2d(n: i64) -> Vec<BlockKey<2>> {
     (0..n)
@@ -12,18 +15,15 @@ fn keys_2d(n: i64) -> Vec<BlockKey<2>> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every policy produces a valid assignment: in-range ranks, every
-    /// block assigned, and (for nranks <= blocks with uniform weights)
-    /// no empty rank for the SFC policies.
-    #[test]
-    fn partitions_are_valid(
-        n in 2i64..8,
-        nranks in 1usize..12,
-        heavy in any::<bool>(),
-    ) {
+/// Every policy produces a valid assignment: in-range ranks, every
+/// block assigned, and (for nranks <= blocks with uniform weights)
+/// no empty rank for the SFC policies.
+#[test]
+fn partitions_are_valid() {
+    cases(24, 0xBA1A_0001, |_, rng| {
+        let n = rng.i64_in(2, 8);
+        let nranks = rng.usize_in(1, 12);
+        let heavy = rng.coin();
         let keys = keys_2d(n);
         let mut weights = vec![1.0; keys.len()];
         if heavy {
@@ -31,27 +31,28 @@ proptest! {
         }
         for policy in [Policy::SfcMorton, Policy::SfcHilbert, Policy::RoundRobin, Policy::Greedy] {
             let a = partition(&keys, &weights, nranks, policy);
-            prop_assert_eq!(a.len(), keys.len());
-            prop_assert!(a.iter().all(|&r| r < nranks), "{:?}", policy);
+            assert_eq!(a.len(), keys.len());
+            assert!(a.iter().all(|&r| r < nranks), "{policy:?}");
             if nranks <= keys.len() && !heavy {
                 let mut used = vec![false; nranks];
                 for &r in &a {
                     used[r] = true;
                 }
-                prop_assert!(used.iter().all(|&u| u), "{:?} left a rank empty", policy);
+                assert!(used.iter().all(|&u| u), "{policy:?} left a rank empty");
             }
         }
-    }
+    });
+}
 
-    /// Imbalance is always >= 1, and greedy (longest-processing-time)
-    /// satisfies the classic LPT guarantee: max load <= 4/3 of the
-    /// optimal lower bound max(mean, heaviest block).
-    #[test]
-    fn greedy_meets_lpt_bound(
-        n in 2i64..7,
-        nranks in 2usize..8,
-        seed in any::<u64>(),
-    ) {
+/// Imbalance is always >= 1, and greedy (longest-processing-time)
+/// satisfies the classic LPT guarantee: max load <= 4/3 of the
+/// optimal lower bound max(mean, heaviest block).
+#[test]
+fn greedy_meets_lpt_bound() {
+    cases(24, 0xBA1A_0002, |_, rng| {
+        let n = rng.i64_in(2, 7);
+        let nranks = rng.usize_in(2, 8);
+        let seed = rng.next_u64();
         let keys = keys_2d(n);
         let mut state = seed | 1;
         let weights: Vec<f64> = keys
@@ -63,7 +64,7 @@ proptest! {
             .collect();
         let g = partition(&keys, &weights, nranks, Policy::Greedy);
         let ig = imbalance(&weights, &g, nranks);
-        prop_assert!(ig >= 1.0 - 1e-12);
+        assert!(ig >= 1.0 - 1e-12);
         let total: f64 = weights.iter().sum();
         let mean = total / nranks as f64;
         let wmax = weights.iter().cloned().fold(0.0, f64::max);
@@ -73,20 +74,21 @@ proptest! {
             load[r] += w;
         }
         let max_load = load.iter().cloned().fold(0.0, f64::max);
-        prop_assert!(
+        assert!(
             max_load <= 4.0 / 3.0 * opt_lb + 1e-9,
             "LPT bound violated: {max_load} > 4/3 * {opt_lb}"
         );
-    }
+    });
+}
 
-    /// SFC chunks are contiguous along the curve for any weights.
-    #[test]
-    fn sfc_chunks_contiguous(
-        n in 2i64..7,
-        nranks in 1usize..10,
-        seed in any::<u64>(),
-    ) {
+/// SFC chunks are contiguous along the curve for any weights.
+#[test]
+fn sfc_chunks_contiguous() {
+    cases(24, 0xBA1A_0003, |_, rng| {
         use ablock_core::sfc::{curve_index, required_bits, Curve};
+        let n = rng.i64_in(2, 7);
+        let nranks = rng.usize_in(1, 10);
+        let seed = rng.next_u64();
         let keys = keys_2d(n);
         let mut state = seed | 1;
         let weights: Vec<f64> = keys
@@ -101,46 +103,56 @@ proptest! {
         let mut order: Vec<usize> = (0..keys.len()).collect();
         order.sort_by_key(|&i| curve_index(&keys[i], 1, bits, Curve::Morton));
         let ranks: Vec<usize> = order.iter().map(|&i| a[i]).collect();
-        prop_assert!(ranks.windows(2).all(|w| w[0] <= w[1]), "{ranks:?}");
-    }
+        assert!(ranks.windows(2).all(|w| w[0] <= w[1]), "{ranks:?}");
+    });
+}
 
-    /// Machine collectives equal their scalar oracles for any rank count.
-    #[test]
-    fn collectives_match_oracles(nranks in 1usize..9, base in -100i64..100) {
-        let outs = Machine::run(nranks, |c| {
+/// Machine collectives equal their scalar oracles for any rank count.
+#[test]
+fn collectives_match_oracles() {
+    cases(12, 0xBA1A_0004, |_, rng| {
+        let nranks = rng.usize_in(1, 9);
+        let base = rng.i64_in(-100, 100);
+        let outs = Machine::run(nranks, move |c| {
             let x = (base + c.rank() as i64) as f64;
             (c.allreduce_sum(x), c.allreduce_min(x), c.allreduce_max(x))
-        });
+        })
+        .unwrap();
         let xs: Vec<f64> = (0..nranks).map(|r| (base + r as i64) as f64).collect();
         let sum: f64 = xs.iter().sum();
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         for (s, lo, hi) in outs {
-            prop_assert!((s - sum).abs() < 1e-9);
-            prop_assert_eq!(lo, min);
-            prop_assert_eq!(hi, max);
+            assert!((s - sum).abs() < 1e-9);
+            assert_eq!(lo, min);
+            assert_eq!(hi, max);
         }
-    }
+    });
+}
 
-    /// allgatherv reassembles every rank's payload everywhere.
-    #[test]
-    fn allgatherv_is_complete(nranks in 1usize..7, lens in prop::collection::vec(0usize..5, 8)) {
+/// allgatherv reassembles every rank's payload everywhere.
+#[test]
+fn allgatherv_is_complete() {
+    cases(12, 0xBA1A_0005, |_, rng| {
+        let nranks = rng.usize_in(1, 7);
+        let lens: Vec<usize> = (0..8).map(|_| rng.usize_below(5)).collect();
         let lens = std::sync::Arc::new(lens);
         let l2 = lens.clone();
         let outs = Machine::run(nranks, move |c| {
             let n = l2[c.rank() % l2.len()];
             let mine: Vec<f64> = (0..n).map(|i| (c.rank() * 100 + i) as f64).collect();
             c.allgatherv(mine)
-        });
+        })
+        .unwrap();
         for parts in outs {
-            prop_assert_eq!(parts.len(), nranks);
+            assert_eq!(parts.len(), nranks);
             for (r, part) in parts.iter().enumerate() {
                 let n = lens[r % lens.len()];
-                prop_assert_eq!(part.len(), n);
+                assert_eq!(part.len(), n);
                 for (i, &v) in part.iter().enumerate() {
-                    prop_assert_eq!(v, (r * 100 + i) as f64);
+                    assert_eq!(v, (r * 100 + i) as f64);
                 }
             }
         }
-    }
+    });
 }

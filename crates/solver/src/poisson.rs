@@ -148,8 +148,7 @@ impl<const D: usize> MultigridPoisson<D> {
         let mut new = vec![0.0; (m.iter().product::<i64>()) as usize];
         for id in grid.block_ids() {
             let field = grid.block_mut(id).field_mut();
-            let mut idx = 0;
-            for c in IBox::from_dims(m).iter() {
+            for (idx, c) in IBox::from_dims(m).iter().enumerate() {
                 let mut nb = 0.0;
                 for d in 0..D {
                     let mut cp = c;
@@ -160,12 +159,9 @@ impl<const D: usize> MultigridPoisson<D> {
                 }
                 let jac = (nb - h2 * field.at(c, IF)) * inv_diag;
                 new[idx] = (1.0 - omega) * field.at(c, IU) + omega * jac;
-                idx += 1;
             }
-            let mut idx = 0;
-            for c in IBox::from_dims(m).iter() {
+            for (idx, c) in IBox::from_dims(m).iter().enumerate() {
                 *field.at_mut(c, IU) = new[idx];
-                idx += 1;
             }
         }
     }

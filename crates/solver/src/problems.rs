@@ -64,9 +64,7 @@ pub fn advected_gaussian<const D: usize>(
             r2 += (x[d] - center[d]) * (x[d] - center[d]);
         }
         w[0] = 1.0 + 0.5 * (-r2 / (width * width)).exp();
-        for d in 0..D {
-            w[1 + d] = vel[d];
-        }
+        w[1..1 + D].copy_from_slice(&vel);
         w[1 + D] = 1.0;
     });
 }

@@ -203,7 +203,7 @@ mod tests {
         );
         problems::advected_gaussian(&mut g, &e, [0.7, 0.3], [0.4, 0.45], 0.15);
         let id = g.find(BlockKey::new(0, [0, 0])).unwrap();
-        g.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod));
+        g.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod)).unwrap();
         (g, e)
     }
 

@@ -414,7 +414,7 @@ mod tests {
         set_sine_density(&mut g, &e, 0.5);
         // refine one block (conservatively)
         let id = g.find(BlockKey::new(0, [1])).unwrap();
-        g.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod));
+        g.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod)).unwrap();
         let m0 = total_conserved(&g, 0);
         let mut st = Stepper::new(e, Scheme::muscl_rusanov());
         st.run_until(&mut g, 0.0, 0.1, 0.4, None);
@@ -466,7 +466,7 @@ mod tests {
             let mut g = periodic_grid_1d(4, 8);
             set_sine_density(&mut g, &e, 0.5);
             let id = g.find(BlockKey::new(0, [1])).unwrap();
-            g.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod));
+            g.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod)).unwrap();
             let m0 = total_conserved(&g, 0);
             let mut st = Stepper::new(e, Scheme::muscl_rusanov()).with_refluxing(reflux);
             st.run_until(&mut g, 0.0, 0.1, 0.4, None);
@@ -488,7 +488,7 @@ mod tests {
         );
         crate::problems::advected_gaussian(&mut g, &e, [0.6, -0.3], [0.5, 0.5], 0.15);
         let id = g.find(BlockKey::new(0, [1, 1])).unwrap();
-        g.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod));
+        g.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod)).unwrap();
         let m0 = total_conserved(&g, 0);
         let e0 = total_conserved(&g, 3);
         let mut st = Stepper::new(e, Scheme::muscl_rusanov()).with_refluxing(true);
@@ -505,7 +505,7 @@ mod tests {
         let mut st = Stepper::new(e, Scheme::muscl_rusanov());
         st.step(&mut g, 1e-4, None);
         let id = g.block_ids()[0];
-        g.refine(id, Transfer::Conservative(ProlongOrder::Constant));
+        g.refine(id, Transfer::Conservative(ProlongOrder::Constant)).unwrap();
         st.invalidate();
         st.step(&mut g, 1e-4, None); // must not panic on stale scratch
         assert!(st.flux_evals > 0);

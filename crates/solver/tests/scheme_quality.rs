@@ -176,7 +176,8 @@ fn refluxing_cost_is_modest() {
         g.refine(
             id,
             ablock_core::grid::Transfer::Conservative(ablock_core::ops::ProlongOrder::Constant),
-        );
+        )
+        .unwrap();
         let mut st = Stepper::new(e, Scheme::muscl_rusanov()).with_refluxing(reflux);
         for _ in 0..3 {
             st.step_rk2(&mut g, 1e-3, None);

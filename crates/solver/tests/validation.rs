@@ -381,7 +381,7 @@ fn sod_on_preadapted_grid_matches_uniform() {
     use ablock_core::ops::ProlongOrder;
     for bx in 6..10 {
         let id = ga.find(BlockKey::new(0, [bx])).unwrap();
-        ga.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod));
+        ga.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod)).unwrap();
     }
     problems::sod(&mut ga, &e, 0.5); // re-impose crisp ICs on fine cells
     let mut st = Stepper::new(e.clone(), Scheme::muscl_rusanov());

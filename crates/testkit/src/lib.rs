@@ -1,0 +1,255 @@
+//! # ablock-testkit — dependency-free test utilities
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! the usual suspects (`rand`, `proptest`, `criterion`) are rebuilt here
+//! in miniature:
+//!
+//! * [`Rng`] — a seeded SplitMix64 generator with the handful of sampling
+//!   helpers the test suite needs. Fully deterministic: the same seed
+//!   always yields the same stream on every platform.
+//! * [`cases`] — a property-test case runner: derives one sub-seed per
+//!   case, runs the property, and on failure re-raises the panic with the
+//!   failing case seed prepended so the case can be replayed in isolation.
+//! * [`Bench`] — a tiny fixed-iteration timing harness for the
+//!   `harness = false` benchmark binaries.
+
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Seeded SplitMix64 pseudo-random generator.
+///
+/// SplitMix64 passes BigCrush, needs only a u64 of state, and — crucially
+/// for reproducing failures — is trivially portable.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Generator seeded with `seed` (any value, including 0, is fine).
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform `u64` in `[0, n)`; `n` must be nonzero.
+    pub fn u64_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "u64_below(0)");
+        // multiply-shift; bias is < 2^-53 for the small ranges tests use
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    pub fn usize_below(&mut self, n: usize) -> usize {
+        self.u64_below(n as u64) as usize
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.u64_below((hi - lo) as u64) as i64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.i64_in(lo as i64, hi as i64) as usize
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// A 50/50 coin.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Choose one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.usize_below(xs.len())]
+    }
+}
+
+/// Derive a decorrelated sub-seed from a base seed and an index.
+pub fn subseed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0xA24BAED4963EE407);
+    z = (z ^ (z >> 32)).wrapping_mul(0x9FB21C651E98DF25);
+    z ^ (z >> 28)
+}
+
+/// Run `n` property-test cases. Each case gets a fresh [`Rng`] seeded from
+/// `subseed(base_seed, i)`; the closure also receives that seed so failure
+/// messages can name it. A panicking case is re-raised with the case seed
+/// prepended, so `cases(1, SEED, ..)`-style replays are one edit away.
+pub fn cases<F: FnMut(u64, &mut Rng)>(n: u64, base_seed: u64, mut f: F) {
+    for i in 0..n {
+        let seed = subseed(base_seed, i);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = Rng::new(seed);
+            f(seed, &mut rng);
+        }));
+        if let Err(payload) = result {
+            // `.as_ref()` matters: `&payload` would unsize the Box itself
+            // into `dyn Any` and every downcast would miss
+            let msg = payload_str(payload.as_ref());
+            panic!("property case {i} (seed {seed:#018x}) failed: {msg}");
+        }
+    }
+}
+
+/// Best-effort stringification of a panic payload.
+pub fn payload_str(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Fixed-iteration micro-benchmark timer: warmup, then `iters` timed
+/// iterations, reporting mean wall time per iteration.
+pub struct Bench {
+    name: String,
+    warmup: u32,
+    iters: u32,
+}
+
+/// One benchmark measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Mean wall time of one iteration.
+    pub mean: Duration,
+    /// Total wall time of the timed loop.
+    pub total: Duration,
+    /// Timed iterations.
+    pub iters: u32,
+}
+
+impl Measurement {
+    /// Mean nanoseconds per iteration.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.total.as_secs_f64() * 1e9 / self.iters as f64
+    }
+
+    /// Throughput in elements/second given per-iteration element count.
+    pub fn throughput(&self, elements_per_iter: u64) -> f64 {
+        elements_per_iter as f64 / self.mean.as_secs_f64()
+    }
+}
+
+impl Bench {
+    /// New benchmark with default 3 warmup and 10 timed iterations.
+    pub fn new(name: &str) -> Self {
+        Bench { name: name.to_string(), warmup: 3, iters: 10 }
+    }
+
+    /// Set the number of timed iterations.
+    pub fn iters(mut self, n: u32) -> Self {
+        self.iters = n.max(1);
+        self
+    }
+
+    /// Set the number of warmup iterations.
+    pub fn warmup(mut self, n: u32) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    /// Run the closure, print `name: mean ± note` and return the numbers.
+    pub fn run<F: FnMut()>(&self, mut f: F) -> Measurement {
+        for _ in 0..self.warmup {
+            f();
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            f();
+        }
+        let total = start.elapsed();
+        let m = Measurement { mean: total / self.iters, total, iters: self.iters };
+        println!("  {:<40} {:>12.3} us/iter", self.name, m.ns_per_iter() / 1e3);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_ranges_in_bounds() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            let x = r.i64_in(-5, 9);
+            assert!((-5..9).contains(&x));
+            let u = r.usize_below(3);
+            assert!(u < 3);
+            let f = r.f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn rng_f64_covers_range() {
+        let mut r = Rng::new(1);
+        let xs: Vec<f64> = (0..1000).map(|_| r.f64()).collect();
+        assert!(xs.iter().any(|&x| x < 0.1));
+        assert!(xs.iter().any(|&x| x > 0.9));
+    }
+
+    #[test]
+    fn cases_reports_seed_on_failure() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            cases(10, 99, |_, rng| {
+                assert!(rng.f64() < 2.0); // never fails
+            });
+        }));
+        assert!(err.is_ok());
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            cases(10, 99, |_, _| panic!("boom"));
+        }));
+        let msg = payload_str(err.unwrap_err().as_ref());
+        assert!(msg.contains("seed"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn subseeds_differ() {
+        let a = subseed(1, 0);
+        let b = subseed(1, 1);
+        let c = subseed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

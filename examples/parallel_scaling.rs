@@ -52,7 +52,7 @@ fn main() {
                 local += sim.grid.block(id).field().interior_sum(0);
             }
             comm.allreduce_sum(local)
-        });
+        }).unwrap();
         println!("  P = {nranks}: total density checksum = {:.12}", sums[0]);
         checksums.push(sums[0]);
     }

@@ -22,7 +22,7 @@ fn main() {
     println!("initial grid: {} blocks, {} cells", grid.num_blocks(), grid.num_cells());
 
     let target = grid.find(BlockKey::new(0, [0, 1])).unwrap();
-    grid.refine(target, Transfer::None);
+    grid.refine(target, Transfer::None).unwrap();
     println!("\nafter refining the upper-left block (paper Fig. 2):");
     print!("{}", ascii_grid_2d(&grid, 56));
 

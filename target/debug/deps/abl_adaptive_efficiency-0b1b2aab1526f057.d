@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_adaptive_efficiency-0b1b2aab1526f057.d: crates/bench/src/bin/abl_adaptive_efficiency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_adaptive_efficiency-0b1b2aab1526f057.rmeta: crates/bench/src/bin/abl_adaptive_efficiency.rs Cargo.toml
+
+crates/bench/src/bin/abl_adaptive_efficiency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

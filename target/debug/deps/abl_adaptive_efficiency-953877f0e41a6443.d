@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_adaptive_efficiency-953877f0e41a6443.d: crates/bench/src/bin/abl_adaptive_efficiency.rs
+
+/root/repo/target/debug/deps/abl_adaptive_efficiency-953877f0e41a6443: crates/bench/src/bin/abl_adaptive_efficiency.rs
+
+crates/bench/src/bin/abl_adaptive_efficiency.rs:

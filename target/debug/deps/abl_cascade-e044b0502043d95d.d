@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_cascade-e044b0502043d95d.d: crates/bench/src/bin/abl_cascade.rs
+
+/root/repo/target/debug/deps/abl_cascade-e044b0502043d95d: crates/bench/src/bin/abl_cascade.rs
+
+crates/bench/src/bin/abl_cascade.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_cascade-fba820d54cf37e7e.d: crates/bench/src/bin/abl_cascade.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_cascade-fba820d54cf37e7e.rmeta: crates/bench/src/bin/abl_cascade.rs Cargo.toml
+
+crates/bench/src/bin/abl_cascade.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

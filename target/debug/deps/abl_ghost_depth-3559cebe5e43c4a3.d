@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_ghost_depth-3559cebe5e43c4a3.d: crates/bench/src/bin/abl_ghost_depth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_ghost_depth-3559cebe5e43c4a3.rmeta: crates/bench/src/bin/abl_ghost_depth.rs Cargo.toml
+
+crates/bench/src/bin/abl_ghost_depth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_ghost_depth-b17e674061365217.d: crates/bench/src/bin/abl_ghost_depth.rs
+
+/root/repo/target/debug/deps/abl_ghost_depth-b17e674061365217: crates/bench/src/bin/abl_ghost_depth.rs
+
+crates/bench/src/bin/abl_ghost_depth.rs:

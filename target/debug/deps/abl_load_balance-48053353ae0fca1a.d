@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_load_balance-48053353ae0fca1a.d: crates/bench/src/bin/abl_load_balance.rs
+
+/root/repo/target/debug/deps/abl_load_balance-48053353ae0fca1a: crates/bench/src/bin/abl_load_balance.rs
+
+crates/bench/src/bin/abl_load_balance.rs:

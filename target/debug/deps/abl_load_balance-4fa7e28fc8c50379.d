@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_load_balance-4fa7e28fc8c50379.d: crates/bench/src/bin/abl_load_balance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_load_balance-4fa7e28fc8c50379.rmeta: crates/bench/src/bin/abl_load_balance.rs Cargo.toml
+
+crates/bench/src/bin/abl_load_balance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

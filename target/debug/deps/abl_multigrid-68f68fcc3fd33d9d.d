@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_multigrid-68f68fcc3fd33d9d.d: crates/bench/src/bin/abl_multigrid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_multigrid-68f68fcc3fd33d9d.rmeta: crates/bench/src/bin/abl_multigrid.rs Cargo.toml
+
+crates/bench/src/bin/abl_multigrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_multigrid-b5d548acdf7fdbf2.d: crates/bench/src/bin/abl_multigrid.rs
+
+/root/repo/target/debug/deps/abl_multigrid-b5d548acdf7fdbf2: crates/bench/src/bin/abl_multigrid.rs
+
+crates/bench/src/bin/abl_multigrid.rs:

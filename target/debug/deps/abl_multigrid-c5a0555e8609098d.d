@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_multigrid-c5a0555e8609098d.d: crates/bench/src/bin/abl_multigrid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_multigrid-c5a0555e8609098d.rmeta: crates/bench/src/bin/abl_multigrid.rs Cargo.toml
+
+crates/bench/src/bin/abl_multigrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

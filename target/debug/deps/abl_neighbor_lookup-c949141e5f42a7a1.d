@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_neighbor_lookup-c949141e5f42a7a1.d: crates/bench/benches/abl_neighbor_lookup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_neighbor_lookup-c949141e5f42a7a1.rmeta: crates/bench/benches/abl_neighbor_lookup.rs Cargo.toml
+
+crates/bench/benches/abl_neighbor_lookup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

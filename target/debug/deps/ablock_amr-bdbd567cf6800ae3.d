@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ablock_amr-bdbd567cf6800ae3.d: crates/amr/src/lib.rs crates/amr/src/criteria.rs crates/amr/src/driver.rs
+
+/root/repo/target/debug/deps/ablock_amr-bdbd567cf6800ae3: crates/amr/src/lib.rs crates/amr/src/criteria.rs crates/amr/src/driver.rs
+
+crates/amr/src/lib.rs:
+crates/amr/src/criteria.rs:
+crates/amr/src/driver.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablock_amr-d2791c207fe2ff2f.d: crates/amr/src/lib.rs crates/amr/src/criteria.rs crates/amr/src/driver.rs
+
+/root/repo/target/debug/deps/libablock_amr-d2791c207fe2ff2f.rlib: crates/amr/src/lib.rs crates/amr/src/criteria.rs crates/amr/src/driver.rs
+
+/root/repo/target/debug/deps/libablock_amr-d2791c207fe2ff2f.rmeta: crates/amr/src/lib.rs crates/amr/src/criteria.rs crates/amr/src/driver.rs
+
+crates/amr/src/lib.rs:
+crates/amr/src/criteria.rs:
+crates/amr/src/driver.rs:

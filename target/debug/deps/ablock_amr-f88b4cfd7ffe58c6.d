@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ablock_amr-f88b4cfd7ffe58c6.d: crates/amr/src/lib.rs crates/amr/src/criteria.rs crates/amr/src/driver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablock_amr-f88b4cfd7ffe58c6.rmeta: crates/amr/src/lib.rs crates/amr/src/criteria.rs crates/amr/src/driver.rs Cargo.toml
+
+crates/amr/src/lib.rs:
+crates/amr/src/criteria.rs:
+crates/amr/src/driver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ablock_bench-0e0806723748ddcc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libablock_bench-0e0806723748ddcc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libablock_bench-0e0806723748ddcc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

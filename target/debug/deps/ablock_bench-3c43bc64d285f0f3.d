@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablock_bench-3c43bc64d285f0f3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ablock_bench-3c43bc64d285f0f3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

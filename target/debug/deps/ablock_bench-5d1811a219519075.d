@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablock_bench-5d1811a219519075.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablock_bench-5d1811a219519075.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablock_celltree-68b26bbb09693bc3.d: crates/celltree/src/lib.rs crates/celltree/src/fv.rs crates/celltree/src/tree.rs
+
+/root/repo/target/debug/deps/libablock_celltree-68b26bbb09693bc3.rlib: crates/celltree/src/lib.rs crates/celltree/src/fv.rs crates/celltree/src/tree.rs
+
+/root/repo/target/debug/deps/libablock_celltree-68b26bbb09693bc3.rmeta: crates/celltree/src/lib.rs crates/celltree/src/fv.rs crates/celltree/src/tree.rs
+
+crates/celltree/src/lib.rs:
+crates/celltree/src/fv.rs:
+crates/celltree/src/tree.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ablock_celltree-6d1dd9add9a4544f.d: crates/celltree/src/lib.rs crates/celltree/src/fv.rs crates/celltree/src/tree.rs
+
+/root/repo/target/debug/deps/ablock_celltree-6d1dd9add9a4544f: crates/celltree/src/lib.rs crates/celltree/src/fv.rs crates/celltree/src/tree.rs
+
+crates/celltree/src/lib.rs:
+crates/celltree/src/fv.rs:
+crates/celltree/src/tree.rs:

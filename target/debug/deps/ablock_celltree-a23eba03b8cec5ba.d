@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ablock_celltree-a23eba03b8cec5ba.d: crates/celltree/src/lib.rs crates/celltree/src/fv.rs crates/celltree/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablock_celltree-a23eba03b8cec5ba.rmeta: crates/celltree/src/lib.rs crates/celltree/src/fv.rs crates/celltree/src/tree.rs Cargo.toml
+
+crates/celltree/src/lib.rs:
+crates/celltree/src/fv.rs:
+crates/celltree/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ablock_celltree-ad870f80f266264a.d: crates/celltree/src/lib.rs crates/celltree/src/fv.rs crates/celltree/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablock_celltree-ad870f80f266264a.rmeta: crates/celltree/src/lib.rs crates/celltree/src/fv.rs crates/celltree/src/tree.rs Cargo.toml
+
+crates/celltree/src/lib.rs:
+crates/celltree/src/fv.rs:
+crates/celltree/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ablock_core-264bf61d1b04c1ea.d: crates/core/src/lib.rs crates/core/src/arena.rs crates/core/src/balance.rs crates/core/src/field.rs crates/core/src/ghost.rs crates/core/src/grid.rs crates/core/src/index.rs crates/core/src/key.rs crates/core/src/layout.rs crates/core/src/ops.rs crates/core/src/sfc.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/ablock_core-264bf61d1b04c1ea: crates/core/src/lib.rs crates/core/src/arena.rs crates/core/src/balance.rs crates/core/src/field.rs crates/core/src/ghost.rs crates/core/src/grid.rs crates/core/src/index.rs crates/core/src/key.rs crates/core/src/layout.rs crates/core/src/ops.rs crates/core/src/sfc.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/arena.rs:
+crates/core/src/balance.rs:
+crates/core/src/field.rs:
+crates/core/src/ghost.rs:
+crates/core/src/grid.rs:
+crates/core/src/index.rs:
+crates/core/src/key.rs:
+crates/core/src/layout.rs:
+crates/core/src/ops.rs:
+crates/core/src/sfc.rs:
+crates/core/src/verify.rs:

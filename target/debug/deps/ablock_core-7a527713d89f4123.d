@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ablock_core-7a527713d89f4123.d: crates/core/src/lib.rs crates/core/src/arena.rs crates/core/src/balance.rs crates/core/src/field.rs crates/core/src/ghost.rs crates/core/src/grid.rs crates/core/src/index.rs crates/core/src/key.rs crates/core/src/layout.rs crates/core/src/ops.rs crates/core/src/sfc.rs crates/core/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablock_core-7a527713d89f4123.rmeta: crates/core/src/lib.rs crates/core/src/arena.rs crates/core/src/balance.rs crates/core/src/field.rs crates/core/src/ghost.rs crates/core/src/grid.rs crates/core/src/index.rs crates/core/src/key.rs crates/core/src/layout.rs crates/core/src/ops.rs crates/core/src/sfc.rs crates/core/src/verify.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/arena.rs:
+crates/core/src/balance.rs:
+crates/core/src/field.rs:
+crates/core/src/ghost.rs:
+crates/core/src/grid.rs:
+crates/core/src/index.rs:
+crates/core/src/key.rs:
+crates/core/src/layout.rs:
+crates/core/src/ops.rs:
+crates/core/src/sfc.rs:
+crates/core/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

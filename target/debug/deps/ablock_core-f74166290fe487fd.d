@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ablock_core-f74166290fe487fd.d: crates/core/src/lib.rs crates/core/src/arena.rs crates/core/src/balance.rs crates/core/src/field.rs crates/core/src/ghost.rs crates/core/src/grid.rs crates/core/src/index.rs crates/core/src/key.rs crates/core/src/layout.rs crates/core/src/ops.rs crates/core/src/sfc.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libablock_core-f74166290fe487fd.rlib: crates/core/src/lib.rs crates/core/src/arena.rs crates/core/src/balance.rs crates/core/src/field.rs crates/core/src/ghost.rs crates/core/src/grid.rs crates/core/src/index.rs crates/core/src/key.rs crates/core/src/layout.rs crates/core/src/ops.rs crates/core/src/sfc.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libablock_core-f74166290fe487fd.rmeta: crates/core/src/lib.rs crates/core/src/arena.rs crates/core/src/balance.rs crates/core/src/field.rs crates/core/src/ghost.rs crates/core/src/grid.rs crates/core/src/index.rs crates/core/src/key.rs crates/core/src/layout.rs crates/core/src/ops.rs crates/core/src/sfc.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/arena.rs:
+crates/core/src/balance.rs:
+crates/core/src/field.rs:
+crates/core/src/ghost.rs:
+crates/core/src/grid.rs:
+crates/core/src/index.rs:
+crates/core/src/key.rs:
+crates/core/src/layout.rs:
+crates/core/src/ops.rs:
+crates/core/src/sfc.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ablock_io-3995af8bc517d554.d: crates/io/src/lib.rs crates/io/src/checkpoint.rs crates/io/src/image.rs crates/io/src/profile.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/vtk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablock_io-3995af8bc517d554.rmeta: crates/io/src/lib.rs crates/io/src/checkpoint.rs crates/io/src/image.rs crates/io/src/profile.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/vtk.rs Cargo.toml
+
+crates/io/src/lib.rs:
+crates/io/src/checkpoint.rs:
+crates/io/src/image.rs:
+crates/io/src/profile.rs:
+crates/io/src/render.rs:
+crates/io/src/table.rs:
+crates/io/src/vtk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

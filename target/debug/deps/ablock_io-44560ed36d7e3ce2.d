@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ablock_io-44560ed36d7e3ce2.d: crates/io/src/lib.rs crates/io/src/checkpoint.rs crates/io/src/image.rs crates/io/src/profile.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/vtk.rs
+
+/root/repo/target/debug/deps/ablock_io-44560ed36d7e3ce2: crates/io/src/lib.rs crates/io/src/checkpoint.rs crates/io/src/image.rs crates/io/src/profile.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/vtk.rs
+
+crates/io/src/lib.rs:
+crates/io/src/checkpoint.rs:
+crates/io/src/image.rs:
+crates/io/src/profile.rs:
+crates/io/src/render.rs:
+crates/io/src/table.rs:
+crates/io/src/vtk.rs:

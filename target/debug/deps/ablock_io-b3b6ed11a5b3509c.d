@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ablock_io-b3b6ed11a5b3509c.d: crates/io/src/lib.rs crates/io/src/checkpoint.rs crates/io/src/image.rs crates/io/src/profile.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/vtk.rs
+
+/root/repo/target/debug/deps/libablock_io-b3b6ed11a5b3509c.rlib: crates/io/src/lib.rs crates/io/src/checkpoint.rs crates/io/src/image.rs crates/io/src/profile.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/vtk.rs
+
+/root/repo/target/debug/deps/libablock_io-b3b6ed11a5b3509c.rmeta: crates/io/src/lib.rs crates/io/src/checkpoint.rs crates/io/src/image.rs crates/io/src/profile.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/vtk.rs
+
+crates/io/src/lib.rs:
+crates/io/src/checkpoint.rs:
+crates/io/src/image.rs:
+crates/io/src/profile.rs:
+crates/io/src/render.rs:
+crates/io/src/table.rs:
+crates/io/src/vtk.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ablock_par-6d19099bc62f3c06.d: crates/par/src/lib.rs crates/par/src/balance.rs crates/par/src/costmodel.rs crates/par/src/dist.rs crates/par/src/fault.rs crates/par/src/machine.rs crates/par/src/pool.rs crates/par/src/recover.rs crates/par/src/shared.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablock_par-6d19099bc62f3c06.rmeta: crates/par/src/lib.rs crates/par/src/balance.rs crates/par/src/costmodel.rs crates/par/src/dist.rs crates/par/src/fault.rs crates/par/src/machine.rs crates/par/src/pool.rs crates/par/src/recover.rs crates/par/src/shared.rs Cargo.toml
+
+crates/par/src/lib.rs:
+crates/par/src/balance.rs:
+crates/par/src/costmodel.rs:
+crates/par/src/dist.rs:
+crates/par/src/fault.rs:
+crates/par/src/machine.rs:
+crates/par/src/pool.rs:
+crates/par/src/recover.rs:
+crates/par/src/shared.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

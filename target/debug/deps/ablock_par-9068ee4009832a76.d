@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ablock_par-9068ee4009832a76.d: crates/par/src/lib.rs crates/par/src/balance.rs crates/par/src/costmodel.rs crates/par/src/dist.rs crates/par/src/fault.rs crates/par/src/machine.rs crates/par/src/pool.rs crates/par/src/recover.rs crates/par/src/shared.rs
+
+/root/repo/target/debug/deps/libablock_par-9068ee4009832a76.rlib: crates/par/src/lib.rs crates/par/src/balance.rs crates/par/src/costmodel.rs crates/par/src/dist.rs crates/par/src/fault.rs crates/par/src/machine.rs crates/par/src/pool.rs crates/par/src/recover.rs crates/par/src/shared.rs
+
+/root/repo/target/debug/deps/libablock_par-9068ee4009832a76.rmeta: crates/par/src/lib.rs crates/par/src/balance.rs crates/par/src/costmodel.rs crates/par/src/dist.rs crates/par/src/fault.rs crates/par/src/machine.rs crates/par/src/pool.rs crates/par/src/recover.rs crates/par/src/shared.rs
+
+crates/par/src/lib.rs:
+crates/par/src/balance.rs:
+crates/par/src/costmodel.rs:
+crates/par/src/dist.rs:
+crates/par/src/fault.rs:
+crates/par/src/machine.rs:
+crates/par/src/pool.rs:
+crates/par/src/recover.rs:
+crates/par/src/shared.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ablock_par-aded3e30e1bf5b6d.d: crates/par/src/lib.rs crates/par/src/balance.rs crates/par/src/costmodel.rs crates/par/src/dist.rs crates/par/src/fault.rs crates/par/src/machine.rs crates/par/src/pool.rs crates/par/src/recover.rs crates/par/src/shared.rs
+
+/root/repo/target/debug/deps/ablock_par-aded3e30e1bf5b6d: crates/par/src/lib.rs crates/par/src/balance.rs crates/par/src/costmodel.rs crates/par/src/dist.rs crates/par/src/fault.rs crates/par/src/machine.rs crates/par/src/pool.rs crates/par/src/recover.rs crates/par/src/shared.rs
+
+crates/par/src/lib.rs:
+crates/par/src/balance.rs:
+crates/par/src/costmodel.rs:
+crates/par/src/dist.rs:
+crates/par/src/fault.rs:
+crates/par/src/machine.rs:
+crates/par/src/pool.rs:
+crates/par/src/recover.rs:
+crates/par/src/shared.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ablock_solver-081f2eb12bcee1e5.d: crates/solver/src/lib.rs crates/solver/src/euler.rs crates/solver/src/flux.rs crates/solver/src/kernel.rs crates/solver/src/mhd.rs crates/solver/src/physics.rs crates/solver/src/poisson.rs crates/solver/src/problems.rs crates/solver/src/recon.rs crates/solver/src/reflux.rs crates/solver/src/stepper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablock_solver-081f2eb12bcee1e5.rmeta: crates/solver/src/lib.rs crates/solver/src/euler.rs crates/solver/src/flux.rs crates/solver/src/kernel.rs crates/solver/src/mhd.rs crates/solver/src/physics.rs crates/solver/src/poisson.rs crates/solver/src/problems.rs crates/solver/src/recon.rs crates/solver/src/reflux.rs crates/solver/src/stepper.rs Cargo.toml
+
+crates/solver/src/lib.rs:
+crates/solver/src/euler.rs:
+crates/solver/src/flux.rs:
+crates/solver/src/kernel.rs:
+crates/solver/src/mhd.rs:
+crates/solver/src/physics.rs:
+crates/solver/src/poisson.rs:
+crates/solver/src/problems.rs:
+crates/solver/src/recon.rs:
+crates/solver/src/reflux.rs:
+crates/solver/src/stepper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablock_testkit-0bb9519d5fd076fd.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/ablock_testkit-0bb9519d5fd076fd: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ablock_testkit-67e07f66184138ef.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libablock_testkit-67e07f66184138ef.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libablock_testkit-67e07f66184138ef.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

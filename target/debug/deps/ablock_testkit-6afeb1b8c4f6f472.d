@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablock_testkit-6afeb1b8c4f6f472.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablock_testkit-6afeb1b8c4f6f472.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

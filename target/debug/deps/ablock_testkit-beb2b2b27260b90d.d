@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablock_testkit-beb2b2b27260b90d.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablock_testkit-beb2b2b27260b90d.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaptive_blocks-5987f6dd2fbe316d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptive_blocks-5987f6dd2fbe316d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

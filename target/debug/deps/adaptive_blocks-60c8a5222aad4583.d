@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive_blocks-60c8a5222aad4583.d: src/lib.rs
+
+/root/repo/target/debug/deps/adaptive_blocks-60c8a5222aad4583: src/lib.rs
+
+src/lib.rs:

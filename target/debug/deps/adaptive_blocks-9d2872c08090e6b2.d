@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adaptive_blocks-9d2872c08090e6b2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libadaptive_blocks-9d2872c08090e6b2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libadaptive_blocks-9d2872c08090e6b2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaptive_blocks-fad053f7884f5ff1.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptive_blocks-fad053f7884f5ff1.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

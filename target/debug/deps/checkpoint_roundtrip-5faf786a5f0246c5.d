@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoint_roundtrip-5faf786a5f0246c5.d: crates/io/tests/checkpoint_roundtrip.rs
+
+/root/repo/target/debug/deps/checkpoint_roundtrip-5faf786a5f0246c5: crates/io/tests/checkpoint_roundtrip.rs
+
+crates/io/tests/checkpoint_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checkpoint_roundtrip-b7d888f36eb167b1.d: crates/io/tests/checkpoint_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheckpoint_roundtrip-b7d888f36eb167b1.rmeta: crates/io/tests/checkpoint_roundtrip.rs Cargo.toml
+
+crates/io/tests/checkpoint_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corner_ghosts-7c5aed7588c84866.d: crates/core/tests/corner_ghosts.rs
+
+/root/repo/target/debug/deps/corner_ghosts-7c5aed7588c84866: crates/core/tests/corner_ghosts.rs
+
+crates/core/tests/corner_ghosts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corner_ghosts-d5f2ff138fc9573c.d: crates/core/tests/corner_ghosts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorner_ghosts-d5f2ff138fc9573c.rmeta: crates/core/tests/corner_ghosts.rs Cargo.toml
+
+crates/core/tests/corner_ghosts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dist_amr-79f0b2591b0c1e0b.d: crates/par/tests/dist_amr.rs
+
+/root/repo/target/debug/deps/dist_amr-79f0b2591b0c1e0b: crates/par/tests/dist_amr.rs
+
+crates/par/tests/dist_amr.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dist_amr-f019a3f096b3d970.d: crates/par/tests/dist_amr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdist_amr-f019a3f096b3d970.rmeta: crates/par/tests/dist_amr.rs Cargo.toml
+
+crates/par/tests/dist_amr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dist_masked-69e2de9c2404e0ca.d: crates/par/tests/dist_masked.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdist_masked-69e2de9c2404e0ca.rmeta: crates/par/tests/dist_masked.rs Cargo.toml
+
+crates/par/tests/dist_masked.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dist_masked-9fadd58fc5490e1e.d: crates/par/tests/dist_masked.rs
+
+/root/repo/target/debug/deps/dist_masked-9fadd58fc5490e1e: crates/par/tests/dist_masked.rs
+
+crates/par/tests/dist_masked.rs:

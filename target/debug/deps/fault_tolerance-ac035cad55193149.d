@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-ac035cad55193149.d: crates/par/tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-ac035cad55193149: crates/par/tests/fault_tolerance.rs
+
+crates/par/tests/fault_tolerance.rs:

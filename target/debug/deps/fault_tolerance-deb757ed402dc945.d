@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_tolerance-deb757ed402dc945.d: crates/par/tests/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_tolerance-deb757ed402dc945.rmeta: crates/par/tests/fault_tolerance.rs Cargo.toml
+
+crates/par/tests/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/field_edge_cases-6c23959d6aa9e7a9.d: crates/core/tests/field_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfield_edge_cases-6c23959d6aa9e7a9.rmeta: crates/core/tests/field_edge_cases.rs Cargo.toml
+
+crates/core/tests/field_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/field_edge_cases-d8e82b46c537c850.d: crates/core/tests/field_edge_cases.rs
+
+/root/repo/target/debug/deps/field_edge_cases-d8e82b46c537c850: crates/core/tests/field_edge_cases.rs
+
+crates/core/tests/field_edge_cases.rs:

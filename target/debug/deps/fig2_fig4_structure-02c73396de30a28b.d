@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_fig4_structure-02c73396de30a28b.d: crates/bench/src/bin/fig2_fig4_structure.rs
+
+/root/repo/target/debug/deps/fig2_fig4_structure-02c73396de30a28b: crates/bench/src/bin/fig2_fig4_structure.rs
+
+crates/bench/src/bin/fig2_fig4_structure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_fig4_structure-690b4ed147d3a726.d: crates/bench/src/bin/fig2_fig4_structure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_fig4_structure-690b4ed147d3a726.rmeta: crates/bench/src/bin/fig2_fig4_structure.rs Cargo.toml
+
+crates/bench/src/bin/fig2_fig4_structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_structure-c0993485c330401e.d: crates/bench/src/bin/fig3_structure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_structure-c0993485c330401e.rmeta: crates/bench/src/bin/fig3_structure.rs Cargo.toml
+
+crates/bench/src/bin/fig3_structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

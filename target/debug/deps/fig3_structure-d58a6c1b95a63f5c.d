@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_structure-d58a6c1b95a63f5c.d: crates/bench/src/bin/fig3_structure.rs
+
+/root/repo/target/debug/deps/fig3_structure-d58a6c1b95a63f5c: crates/bench/src/bin/fig3_structure.rs
+
+crates/bench/src/bin/fig3_structure.rs:

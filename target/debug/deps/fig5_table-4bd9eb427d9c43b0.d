@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_table-4bd9eb427d9c43b0.d: crates/bench/src/bin/fig5_table.rs
+
+/root/repo/target/debug/deps/fig5_table-4bd9eb427d9c43b0: crates/bench/src/bin/fig5_table.rs
+
+crates/bench/src/bin/fig5_table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_table-86c393cda154eefd.d: crates/bench/src/bin/fig5_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_table-86c393cda154eefd.rmeta: crates/bench/src/bin/fig5_table.rs Cargo.toml
+
+crates/bench/src/bin/fig5_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

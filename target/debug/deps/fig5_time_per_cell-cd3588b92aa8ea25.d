@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_time_per_cell-cd3588b92aa8ea25.d: crates/bench/benches/fig5_time_per_cell.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_time_per_cell-cd3588b92aa8ea25.rmeta: crates/bench/benches/fig5_time_per_cell.rs Cargo.toml
+
+crates/bench/benches/fig5_time_per_cell.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_weak_scaling-8cba4f15526f3efb.d: crates/bench/src/bin/fig6_weak_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_weak_scaling-8cba4f15526f3efb.rmeta: crates/bench/src/bin/fig6_weak_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig6_weak_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

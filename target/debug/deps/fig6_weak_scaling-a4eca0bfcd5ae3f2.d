@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_weak_scaling-a4eca0bfcd5ae3f2.d: crates/bench/src/bin/fig6_weak_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_weak_scaling-a4eca0bfcd5ae3f2.rmeta: crates/bench/src/bin/fig6_weak_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig6_weak_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

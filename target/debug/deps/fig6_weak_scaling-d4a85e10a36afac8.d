@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_weak_scaling-d4a85e10a36afac8.d: crates/bench/src/bin/fig6_weak_scaling.rs
+
+/root/repo/target/debug/deps/fig6_weak_scaling-d4a85e10a36afac8: crates/bench/src/bin/fig6_weak_scaling.rs
+
+crates/bench/src/bin/fig6_weak_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_strong_scaling-b7e28643785f9e3d.d: crates/bench/src/bin/fig7_strong_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_strong_scaling-b7e28643785f9e3d.rmeta: crates/bench/src/bin/fig7_strong_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig7_strong_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

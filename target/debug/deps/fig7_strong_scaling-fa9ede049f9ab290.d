@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_strong_scaling-fa9ede049f9ab290.d: crates/bench/src/bin/fig7_strong_scaling.rs
+
+/root/repo/target/debug/deps/fig7_strong_scaling-fa9ede049f9ab290: crates/bench/src/bin/fig7_strong_scaling.rs
+
+crates/bench/src/bin/fig7_strong_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ghost_and_adapt-778f997b35f946cf.d: crates/bench/benches/ghost_and_adapt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libghost_and_adapt-778f997b35f946cf.rmeta: crates/bench/benches/ghost_and_adapt.rs Cargo.toml
+
+crates/bench/benches/ghost_and_adapt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-1a20b567b8c87fff.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-1a20b567b8c87fff: tests/integration.rs
+
+tests/integration.rs:

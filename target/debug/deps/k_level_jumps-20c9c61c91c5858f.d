@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/k_level_jumps-20c9c61c91c5858f.d: crates/core/tests/k_level_jumps.rs
+
+/root/repo/target/debug/deps/k_level_jumps-20c9c61c91c5858f: crates/core/tests/k_level_jumps.rs
+
+crates/core/tests/k_level_jumps.rs:

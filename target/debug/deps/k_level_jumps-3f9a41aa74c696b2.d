@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/k_level_jumps-3f9a41aa74c696b2.d: crates/core/tests/k_level_jumps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libk_level_jumps-3f9a41aa74c696b2.rmeta: crates/core/tests/k_level_jumps.rs Cargo.toml
+
+crates/core/tests/k_level_jumps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/masked_roots-8625f76329e28b6f.d: crates/core/tests/masked_roots.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmasked_roots-8625f76329e28b6f.rmeta: crates/core/tests/masked_roots.rs Cargo.toml
+
+crates/core/tests/masked_roots.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/masked_roots-ddd71e27ee396479.d: crates/core/tests/masked_roots.rs
+
+/root/repo/target/debug/deps/masked_roots-ddd71e27ee396479: crates/core/tests/masked_roots.rs
+
+crates/core/tests/masked_roots.rs:

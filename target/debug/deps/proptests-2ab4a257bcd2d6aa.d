@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2ab4a257bcd2d6aa.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-2ab4a257bcd2d6aa: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-2b82d24162af8d27.d: crates/celltree/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-2b82d24162af8d27.rmeta: crates/celltree/tests/proptests.rs Cargo.toml
+
+crates/celltree/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

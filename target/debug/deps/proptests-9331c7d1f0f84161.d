@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-9331c7d1f0f84161.d: crates/par/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-9331c7d1f0f84161.rmeta: crates/par/tests/proptests.rs Cargo.toml
+
+crates/par/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-df0f1ca5c6f8d936.d: crates/celltree/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-df0f1ca5c6f8d936: crates/celltree/tests/proptests.rs
+
+crates/celltree/tests/proptests.rs:

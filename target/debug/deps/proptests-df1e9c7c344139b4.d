@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-df1e9c7c344139b4.d: crates/par/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-df1e9c7c344139b4: crates/par/tests/proptests.rs
+
+crates/par/tests/proptests.rs:

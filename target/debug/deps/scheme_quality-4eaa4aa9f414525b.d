@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheme_quality-4eaa4aa9f414525b.d: crates/solver/tests/scheme_quality.rs
+
+/root/repo/target/debug/deps/scheme_quality-4eaa4aa9f414525b: crates/solver/tests/scheme_quality.rs
+
+crates/solver/tests/scheme_quality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheme_quality-c3bc7dc4f8dc4048.d: crates/solver/tests/scheme_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheme_quality-c3bc7dc4f8dc4048.rmeta: crates/solver/tests/scheme_quality.rs Cargo.toml
+
+crates/solver/tests/scheme_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_ghost_ratio-a012aebc529b2fd1.d: crates/bench/src/bin/tab_ghost_ratio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_ghost_ratio-a012aebc529b2fd1.rmeta: crates/bench/src/bin/tab_ghost_ratio.rs Cargo.toml
+
+crates/bench/src/bin/tab_ghost_ratio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

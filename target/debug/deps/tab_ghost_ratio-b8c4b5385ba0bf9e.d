@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_ghost_ratio-b8c4b5385ba0bf9e.d: crates/bench/src/bin/tab_ghost_ratio.rs
+
+/root/repo/target/debug/deps/tab_ghost_ratio-b8c4b5385ba0bf9e: crates/bench/src/bin/tab_ghost_ratio.rs
+
+crates/bench/src/bin/tab_ghost_ratio.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab_neighbor_bounds-129057045ffe51fc.d: crates/bench/src/bin/tab_neighbor_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab_neighbor_bounds-129057045ffe51fc.rmeta: crates/bench/src/bin/tab_neighbor_bounds.rs Cargo.toml
+
+crates/bench/src/bin/tab_neighbor_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

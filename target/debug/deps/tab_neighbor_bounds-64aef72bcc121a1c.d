@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_neighbor_bounds-64aef72bcc121a1c.d: crates/bench/src/bin/tab_neighbor_bounds.rs
+
+/root/repo/target/debug/deps/tab_neighbor_bounds-64aef72bcc121a1c: crates/bench/src/bin/tab_neighbor_bounds.rs
+
+crates/bench/src/bin/tab_neighbor_bounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validation-372e3d7db926a685.d: crates/solver/tests/validation.rs
+
+/root/repo/target/debug/deps/validation-372e3d7db926a685: crates/solver/tests/validation.rs
+
+crates/solver/tests/validation.rs:

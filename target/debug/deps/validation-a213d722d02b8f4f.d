@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validation-a213d722d02b8f4f.d: crates/solver/tests/validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidation-a213d722d02b8f4f.rmeta: crates/solver/tests/validation.rs Cargo.toml
+
+crates/solver/tests/validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

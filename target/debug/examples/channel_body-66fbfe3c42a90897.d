@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/channel_body-66fbfe3c42a90897.d: examples/channel_body.rs
+
+/root/repo/target/debug/examples/channel_body-66fbfe3c42a90897: examples/channel_body.rs
+
+examples/channel_body.rs:

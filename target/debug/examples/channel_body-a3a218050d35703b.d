@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/channel_body-a3a218050d35703b.d: examples/channel_body.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchannel_body-a3a218050d35703b.rmeta: examples/channel_body.rs Cargo.toml
+
+examples/channel_body.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

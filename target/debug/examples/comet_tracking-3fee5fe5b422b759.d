@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/comet_tracking-3fee5fe5b422b759.d: examples/comet_tracking.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcomet_tracking-3fee5fe5b422b759.rmeta: examples/comet_tracking.rs Cargo.toml
+
+examples/comet_tracking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

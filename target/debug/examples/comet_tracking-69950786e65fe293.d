@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/comet_tracking-69950786e65fe293.d: examples/comet_tracking.rs
+
+/root/repo/target/debug/examples/comet_tracking-69950786e65fe293: examples/comet_tracking.rs
+
+examples/comet_tracking.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_recovery-f6c8d17cbda7ae40.d: examples/fault_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_recovery-f6c8d17cbda7ae40.rmeta: examples/fault_recovery.rs Cargo.toml
+
+examples/fault_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

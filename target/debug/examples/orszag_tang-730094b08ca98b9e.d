@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/orszag_tang-730094b08ca98b9e.d: examples/orszag_tang.rs
+
+/root/repo/target/debug/examples/orszag_tang-730094b08ca98b9e: examples/orszag_tang.rs
+
+examples/orszag_tang.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/orszag_tang-a7d983a8a07d496a.d: examples/orszag_tang.rs Cargo.toml
+
+/root/repo/target/debug/examples/liborszag_tang-a7d983a8a07d496a.rmeta: examples/orszag_tang.rs Cargo.toml
+
+examples/orszag_tang.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_scaling-34685669caecafe9.d: examples/parallel_scaling.rs
+
+/root/repo/target/debug/examples/parallel_scaling-34685669caecafe9: examples/parallel_scaling.rs
+
+examples/parallel_scaling.rs:

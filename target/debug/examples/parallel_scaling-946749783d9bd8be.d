@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parallel_scaling-946749783d9bd8be.d: examples/parallel_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparallel_scaling-946749783d9bd8be.rmeta: examples/parallel_scaling.rs Cargo.toml
+
+examples/parallel_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3ae4779450052b5a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3ae4779450052b5a: examples/quickstart.rs
+
+examples/quickstart.rs:

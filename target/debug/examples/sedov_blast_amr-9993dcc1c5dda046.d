@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sedov_blast_amr-9993dcc1c5dda046.d: examples/sedov_blast_amr.rs
+
+/root/repo/target/debug/examples/sedov_blast_amr-9993dcc1c5dda046: examples/sedov_blast_amr.rs
+
+examples/sedov_blast_amr.rs:

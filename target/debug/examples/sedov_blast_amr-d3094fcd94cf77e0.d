@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sedov_blast_amr-d3094fcd94cf77e0.d: examples/sedov_blast_amr.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsedov_blast_amr-d3094fcd94cf77e0.rmeta: examples/sedov_blast_amr.rs Cargo.toml
+
+examples/sedov_blast_amr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

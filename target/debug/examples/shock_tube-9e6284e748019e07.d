@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/shock_tube-9e6284e748019e07.d: examples/shock_tube.rs Cargo.toml
+
+/root/repo/target/debug/examples/libshock_tube-9e6284e748019e07.rmeta: examples/shock_tube.rs Cargo.toml
+
+examples/shock_tube.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

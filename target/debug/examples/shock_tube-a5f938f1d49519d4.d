@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shock_tube-a5f938f1d49519d4.d: examples/shock_tube.rs
+
+/root/repo/target/debug/examples/shock_tube-a5f938f1d49519d4: examples/shock_tube.rs
+
+examples/shock_tube.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/solar_wind_cme-9e573abbeb6efe6b.d: examples/solar_wind_cme.rs
+
+/root/repo/target/debug/examples/solar_wind_cme-9e573abbeb6efe6b: examples/solar_wind_cme.rs
+
+examples/solar_wind_cme.rs:

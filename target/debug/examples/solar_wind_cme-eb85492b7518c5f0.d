@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/solar_wind_cme-eb85492b7518c5f0.d: examples/solar_wind_cme.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsolar_wind_cme-eb85492b7518c5f0.rmeta: examples/solar_wind_cme.rs Cargo.toml
+
+examples/solar_wind_cme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

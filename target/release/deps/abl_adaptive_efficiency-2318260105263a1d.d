@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_adaptive_efficiency-2318260105263a1d.d: crates/bench/src/bin/abl_adaptive_efficiency.rs
+
+/root/repo/target/release/deps/abl_adaptive_efficiency-2318260105263a1d: crates/bench/src/bin/abl_adaptive_efficiency.rs
+
+crates/bench/src/bin/abl_adaptive_efficiency.rs:

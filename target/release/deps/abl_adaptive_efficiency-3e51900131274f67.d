@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_adaptive_efficiency-3e51900131274f67.d: crates/bench/src/bin/abl_adaptive_efficiency.rs
+
+/root/repo/target/release/deps/abl_adaptive_efficiency-3e51900131274f67: crates/bench/src/bin/abl_adaptive_efficiency.rs
+
+crates/bench/src/bin/abl_adaptive_efficiency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_cascade-c7cbd4c13ff1cb6f.d: crates/bench/src/bin/abl_cascade.rs
+
+/root/repo/target/release/deps/abl_cascade-c7cbd4c13ff1cb6f: crates/bench/src/bin/abl_cascade.rs
+
+crates/bench/src/bin/abl_cascade.rs:

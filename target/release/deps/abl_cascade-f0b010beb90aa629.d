@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_cascade-f0b010beb90aa629.d: crates/bench/src/bin/abl_cascade.rs
+
+/root/repo/target/release/deps/abl_cascade-f0b010beb90aa629: crates/bench/src/bin/abl_cascade.rs
+
+crates/bench/src/bin/abl_cascade.rs:

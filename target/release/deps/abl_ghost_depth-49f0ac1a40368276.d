@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_ghost_depth-49f0ac1a40368276.d: crates/bench/src/bin/abl_ghost_depth.rs
+
+/root/repo/target/release/deps/abl_ghost_depth-49f0ac1a40368276: crates/bench/src/bin/abl_ghost_depth.rs
+
+crates/bench/src/bin/abl_ghost_depth.rs:

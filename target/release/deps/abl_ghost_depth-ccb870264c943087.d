@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_ghost_depth-ccb870264c943087.d: crates/bench/src/bin/abl_ghost_depth.rs
+
+/root/repo/target/release/deps/abl_ghost_depth-ccb870264c943087: crates/bench/src/bin/abl_ghost_depth.rs
+
+crates/bench/src/bin/abl_ghost_depth.rs:

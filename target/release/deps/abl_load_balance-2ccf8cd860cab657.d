@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_load_balance-2ccf8cd860cab657.d: crates/bench/src/bin/abl_load_balance.rs
+
+/root/repo/target/release/deps/abl_load_balance-2ccf8cd860cab657: crates/bench/src/bin/abl_load_balance.rs
+
+crates/bench/src/bin/abl_load_balance.rs:

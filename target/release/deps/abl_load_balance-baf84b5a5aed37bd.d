@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_load_balance-baf84b5a5aed37bd.d: crates/bench/src/bin/abl_load_balance.rs
+
+/root/repo/target/release/deps/abl_load_balance-baf84b5a5aed37bd: crates/bench/src/bin/abl_load_balance.rs
+
+crates/bench/src/bin/abl_load_balance.rs:

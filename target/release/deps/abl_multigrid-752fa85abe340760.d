@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_multigrid-752fa85abe340760.d: crates/bench/src/bin/abl_multigrid.rs
+
+/root/repo/target/release/deps/abl_multigrid-752fa85abe340760: crates/bench/src/bin/abl_multigrid.rs
+
+crates/bench/src/bin/abl_multigrid.rs:

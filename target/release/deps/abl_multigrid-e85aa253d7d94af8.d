@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_multigrid-e85aa253d7d94af8.d: crates/bench/src/bin/abl_multigrid.rs
+
+/root/repo/target/release/deps/abl_multigrid-e85aa253d7d94af8: crates/bench/src/bin/abl_multigrid.rs
+
+crates/bench/src/bin/abl_multigrid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_neighbor_lookup-835b3a7c257d09b4.d: crates/bench/benches/abl_neighbor_lookup.rs
+
+/root/repo/target/release/deps/abl_neighbor_lookup-835b3a7c257d09b4: crates/bench/benches/abl_neighbor_lookup.rs
+
+crates/bench/benches/abl_neighbor_lookup.rs:

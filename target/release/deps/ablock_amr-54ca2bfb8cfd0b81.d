@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ablock_amr-54ca2bfb8cfd0b81.d: crates/amr/src/lib.rs crates/amr/src/criteria.rs crates/amr/src/driver.rs
+
+/root/repo/target/release/deps/ablock_amr-54ca2bfb8cfd0b81: crates/amr/src/lib.rs crates/amr/src/criteria.rs crates/amr/src/driver.rs
+
+crates/amr/src/lib.rs:
+crates/amr/src/criteria.rs:
+crates/amr/src/driver.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablock_amr-f968f9cedaa6c4d2.d: crates/amr/src/lib.rs crates/amr/src/criteria.rs crates/amr/src/driver.rs
+
+/root/repo/target/release/deps/libablock_amr-f968f9cedaa6c4d2.rlib: crates/amr/src/lib.rs crates/amr/src/criteria.rs crates/amr/src/driver.rs
+
+/root/repo/target/release/deps/libablock_amr-f968f9cedaa6c4d2.rmeta: crates/amr/src/lib.rs crates/amr/src/criteria.rs crates/amr/src/driver.rs
+
+crates/amr/src/lib.rs:
+crates/amr/src/criteria.rs:
+crates/amr/src/driver.rs:

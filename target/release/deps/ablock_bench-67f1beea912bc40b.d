@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablock_bench-67f1beea912bc40b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/ablock_bench-67f1beea912bc40b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ablock_bench-99a6f1415d22770b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libablock_bench-99a6f1415d22770b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libablock_bench-99a6f1415d22770b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

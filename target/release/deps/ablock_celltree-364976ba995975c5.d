@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ablock_celltree-364976ba995975c5.d: crates/celltree/src/lib.rs crates/celltree/src/fv.rs crates/celltree/src/tree.rs
+
+/root/repo/target/release/deps/ablock_celltree-364976ba995975c5: crates/celltree/src/lib.rs crates/celltree/src/fv.rs crates/celltree/src/tree.rs
+
+crates/celltree/src/lib.rs:
+crates/celltree/src/fv.rs:
+crates/celltree/src/tree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablock_celltree-742d5715188e137e.d: crates/celltree/src/lib.rs crates/celltree/src/fv.rs crates/celltree/src/tree.rs
+
+/root/repo/target/release/deps/libablock_celltree-742d5715188e137e.rlib: crates/celltree/src/lib.rs crates/celltree/src/fv.rs crates/celltree/src/tree.rs
+
+/root/repo/target/release/deps/libablock_celltree-742d5715188e137e.rmeta: crates/celltree/src/lib.rs crates/celltree/src/fv.rs crates/celltree/src/tree.rs
+
+crates/celltree/src/lib.rs:
+crates/celltree/src/fv.rs:
+crates/celltree/src/tree.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/ablock_core-3e501e2ce84faf5d.d: crates/core/src/lib.rs crates/core/src/arena.rs crates/core/src/balance.rs crates/core/src/field.rs crates/core/src/ghost.rs crates/core/src/grid.rs crates/core/src/index.rs crates/core/src/key.rs crates/core/src/layout.rs crates/core/src/ops.rs crates/core/src/sfc.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libablock_core-3e501e2ce84faf5d.rlib: crates/core/src/lib.rs crates/core/src/arena.rs crates/core/src/balance.rs crates/core/src/field.rs crates/core/src/ghost.rs crates/core/src/grid.rs crates/core/src/index.rs crates/core/src/key.rs crates/core/src/layout.rs crates/core/src/ops.rs crates/core/src/sfc.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libablock_core-3e501e2ce84faf5d.rmeta: crates/core/src/lib.rs crates/core/src/arena.rs crates/core/src/balance.rs crates/core/src/field.rs crates/core/src/ghost.rs crates/core/src/grid.rs crates/core/src/index.rs crates/core/src/key.rs crates/core/src/layout.rs crates/core/src/ops.rs crates/core/src/sfc.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/arena.rs:
+crates/core/src/balance.rs:
+crates/core/src/field.rs:
+crates/core/src/ghost.rs:
+crates/core/src/grid.rs:
+crates/core/src/index.rs:
+crates/core/src/key.rs:
+crates/core/src/layout.rs:
+crates/core/src/ops.rs:
+crates/core/src/sfc.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ablock_io-4b5d6be2406c0a33.d: crates/io/src/lib.rs crates/io/src/checkpoint.rs crates/io/src/image.rs crates/io/src/profile.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/vtk.rs
+
+/root/repo/target/release/deps/libablock_io-4b5d6be2406c0a33.rlib: crates/io/src/lib.rs crates/io/src/checkpoint.rs crates/io/src/image.rs crates/io/src/profile.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/vtk.rs
+
+/root/repo/target/release/deps/libablock_io-4b5d6be2406c0a33.rmeta: crates/io/src/lib.rs crates/io/src/checkpoint.rs crates/io/src/image.rs crates/io/src/profile.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/vtk.rs
+
+crates/io/src/lib.rs:
+crates/io/src/checkpoint.rs:
+crates/io/src/image.rs:
+crates/io/src/profile.rs:
+crates/io/src/render.rs:
+crates/io/src/table.rs:
+crates/io/src/vtk.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ablock_io-e8b93456f50b16d4.d: crates/io/src/lib.rs crates/io/src/checkpoint.rs crates/io/src/image.rs crates/io/src/profile.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/vtk.rs
+
+/root/repo/target/release/deps/ablock_io-e8b93456f50b16d4: crates/io/src/lib.rs crates/io/src/checkpoint.rs crates/io/src/image.rs crates/io/src/profile.rs crates/io/src/render.rs crates/io/src/table.rs crates/io/src/vtk.rs
+
+crates/io/src/lib.rs:
+crates/io/src/checkpoint.rs:
+crates/io/src/image.rs:
+crates/io/src/profile.rs:
+crates/io/src/render.rs:
+crates/io/src/table.rs:
+crates/io/src/vtk.rs:

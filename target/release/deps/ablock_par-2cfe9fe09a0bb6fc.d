@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ablock_par-2cfe9fe09a0bb6fc.d: crates/par/src/lib.rs crates/par/src/balance.rs crates/par/src/costmodel.rs crates/par/src/dist.rs crates/par/src/fault.rs crates/par/src/machine.rs crates/par/src/pool.rs crates/par/src/recover.rs crates/par/src/shared.rs
+
+/root/repo/target/release/deps/ablock_par-2cfe9fe09a0bb6fc: crates/par/src/lib.rs crates/par/src/balance.rs crates/par/src/costmodel.rs crates/par/src/dist.rs crates/par/src/fault.rs crates/par/src/machine.rs crates/par/src/pool.rs crates/par/src/recover.rs crates/par/src/shared.rs
+
+crates/par/src/lib.rs:
+crates/par/src/balance.rs:
+crates/par/src/costmodel.rs:
+crates/par/src/dist.rs:
+crates/par/src/fault.rs:
+crates/par/src/machine.rs:
+crates/par/src/pool.rs:
+crates/par/src/recover.rs:
+crates/par/src/shared.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ablock_par-c77df07bc7c8100c.d: crates/par/src/lib.rs crates/par/src/balance.rs crates/par/src/costmodel.rs crates/par/src/dist.rs crates/par/src/fault.rs crates/par/src/machine.rs crates/par/src/pool.rs crates/par/src/recover.rs crates/par/src/shared.rs
+
+/root/repo/target/release/deps/libablock_par-c77df07bc7c8100c.rlib: crates/par/src/lib.rs crates/par/src/balance.rs crates/par/src/costmodel.rs crates/par/src/dist.rs crates/par/src/fault.rs crates/par/src/machine.rs crates/par/src/pool.rs crates/par/src/recover.rs crates/par/src/shared.rs
+
+/root/repo/target/release/deps/libablock_par-c77df07bc7c8100c.rmeta: crates/par/src/lib.rs crates/par/src/balance.rs crates/par/src/costmodel.rs crates/par/src/dist.rs crates/par/src/fault.rs crates/par/src/machine.rs crates/par/src/pool.rs crates/par/src/recover.rs crates/par/src/shared.rs
+
+crates/par/src/lib.rs:
+crates/par/src/balance.rs:
+crates/par/src/costmodel.rs:
+crates/par/src/dist.rs:
+crates/par/src/fault.rs:
+crates/par/src/machine.rs:
+crates/par/src/pool.rs:
+crates/par/src/recover.rs:
+crates/par/src/shared.rs:

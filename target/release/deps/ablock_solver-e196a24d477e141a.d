@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ablock_solver-e196a24d477e141a.d: crates/solver/src/lib.rs crates/solver/src/euler.rs crates/solver/src/flux.rs crates/solver/src/kernel.rs crates/solver/src/mhd.rs crates/solver/src/physics.rs crates/solver/src/poisson.rs crates/solver/src/problems.rs crates/solver/src/recon.rs crates/solver/src/reflux.rs crates/solver/src/stepper.rs
+
+/root/repo/target/release/deps/ablock_solver-e196a24d477e141a: crates/solver/src/lib.rs crates/solver/src/euler.rs crates/solver/src/flux.rs crates/solver/src/kernel.rs crates/solver/src/mhd.rs crates/solver/src/physics.rs crates/solver/src/poisson.rs crates/solver/src/problems.rs crates/solver/src/recon.rs crates/solver/src/reflux.rs crates/solver/src/stepper.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/euler.rs:
+crates/solver/src/flux.rs:
+crates/solver/src/kernel.rs:
+crates/solver/src/mhd.rs:
+crates/solver/src/physics.rs:
+crates/solver/src/poisson.rs:
+crates/solver/src/problems.rs:
+crates/solver/src/recon.rs:
+crates/solver/src/reflux.rs:
+crates/solver/src/stepper.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablock_testkit-0cbd25a2d6ee6934.d: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/ablock_testkit-0cbd25a2d6ee6934: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

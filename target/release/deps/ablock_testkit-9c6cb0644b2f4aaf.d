@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ablock_testkit-9c6cb0644b2f4aaf.d: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libablock_testkit-9c6cb0644b2f4aaf.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libablock_testkit-9c6cb0644b2f4aaf.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/adaptive_blocks-0caad55f90b1dc21.d: src/lib.rs
+
+/root/repo/target/release/deps/libadaptive_blocks-0caad55f90b1dc21.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libadaptive_blocks-0caad55f90b1dc21.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/adaptive_blocks-1c9b6d4ba209f2af.d: src/lib.rs
+
+/root/repo/target/release/deps/adaptive_blocks-1c9b6d4ba209f2af: src/lib.rs
+
+src/lib.rs:

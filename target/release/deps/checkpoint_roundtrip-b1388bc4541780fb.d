@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/checkpoint_roundtrip-b1388bc4541780fb.d: crates/io/tests/checkpoint_roundtrip.rs
+
+/root/repo/target/release/deps/checkpoint_roundtrip-b1388bc4541780fb: crates/io/tests/checkpoint_roundtrip.rs
+
+crates/io/tests/checkpoint_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/corner_ghosts-6403d14b8771c690.d: crates/core/tests/corner_ghosts.rs
+
+/root/repo/target/release/deps/corner_ghosts-6403d14b8771c690: crates/core/tests/corner_ghosts.rs
+
+crates/core/tests/corner_ghosts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dist_amr-2cb4d7d16f51646d.d: crates/par/tests/dist_amr.rs
+
+/root/repo/target/release/deps/dist_amr-2cb4d7d16f51646d: crates/par/tests/dist_amr.rs
+
+crates/par/tests/dist_amr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dist_masked-bffa3a80fd3d42c1.d: crates/par/tests/dist_masked.rs
+
+/root/repo/target/release/deps/dist_masked-bffa3a80fd3d42c1: crates/par/tests/dist_masked.rs
+
+crates/par/tests/dist_masked.rs:

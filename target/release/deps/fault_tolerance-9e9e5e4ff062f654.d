@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-9e9e5e4ff062f654.d: crates/par/tests/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-9e9e5e4ff062f654: crates/par/tests/fault_tolerance.rs
+
+crates/par/tests/fault_tolerance.rs:

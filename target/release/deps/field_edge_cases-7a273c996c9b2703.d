@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/field_edge_cases-7a273c996c9b2703.d: crates/core/tests/field_edge_cases.rs
+
+/root/repo/target/release/deps/field_edge_cases-7a273c996c9b2703: crates/core/tests/field_edge_cases.rs
+
+crates/core/tests/field_edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_fig4_structure-2ece289f98ba1801.d: crates/bench/src/bin/fig2_fig4_structure.rs
+
+/root/repo/target/release/deps/fig2_fig4_structure-2ece289f98ba1801: crates/bench/src/bin/fig2_fig4_structure.rs
+
+crates/bench/src/bin/fig2_fig4_structure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_fig4_structure-5a7866831478fd7a.d: crates/bench/src/bin/fig2_fig4_structure.rs
+
+/root/repo/target/release/deps/fig2_fig4_structure-5a7866831478fd7a: crates/bench/src/bin/fig2_fig4_structure.rs
+
+crates/bench/src/bin/fig2_fig4_structure.rs:

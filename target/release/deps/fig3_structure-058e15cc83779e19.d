@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_structure-058e15cc83779e19.d: crates/bench/src/bin/fig3_structure.rs
+
+/root/repo/target/release/deps/fig3_structure-058e15cc83779e19: crates/bench/src/bin/fig3_structure.rs
+
+crates/bench/src/bin/fig3_structure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_structure-d0678cda95908eb7.d: crates/bench/src/bin/fig3_structure.rs
+
+/root/repo/target/release/deps/fig3_structure-d0678cda95908eb7: crates/bench/src/bin/fig3_structure.rs
+
+crates/bench/src/bin/fig3_structure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_table-ac1c268b146ec797.d: crates/bench/src/bin/fig5_table.rs
+
+/root/repo/target/release/deps/fig5_table-ac1c268b146ec797: crates/bench/src/bin/fig5_table.rs
+
+crates/bench/src/bin/fig5_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_table-ca95f55fdcab9234.d: crates/bench/src/bin/fig5_table.rs
+
+/root/repo/target/release/deps/fig5_table-ca95f55fdcab9234: crates/bench/src/bin/fig5_table.rs
+
+crates/bench/src/bin/fig5_table.rs:

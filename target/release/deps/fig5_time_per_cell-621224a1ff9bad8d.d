@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_time_per_cell-621224a1ff9bad8d.d: crates/bench/benches/fig5_time_per_cell.rs
+
+/root/repo/target/release/deps/fig5_time_per_cell-621224a1ff9bad8d: crates/bench/benches/fig5_time_per_cell.rs
+
+crates/bench/benches/fig5_time_per_cell.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_weak_scaling-babd7e6cb3657dad.d: crates/bench/src/bin/fig6_weak_scaling.rs
+
+/root/repo/target/release/deps/fig6_weak_scaling-babd7e6cb3657dad: crates/bench/src/bin/fig6_weak_scaling.rs
+
+crates/bench/src/bin/fig6_weak_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_weak_scaling-f9b9c7202724dd17.d: crates/bench/src/bin/fig6_weak_scaling.rs
+
+/root/repo/target/release/deps/fig6_weak_scaling-f9b9c7202724dd17: crates/bench/src/bin/fig6_weak_scaling.rs
+
+crates/bench/src/bin/fig6_weak_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_strong_scaling-79605dfdb2ce1d04.d: crates/bench/src/bin/fig7_strong_scaling.rs
+
+/root/repo/target/release/deps/fig7_strong_scaling-79605dfdb2ce1d04: crates/bench/src/bin/fig7_strong_scaling.rs
+
+crates/bench/src/bin/fig7_strong_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ghost_and_adapt-159162027bad8f27.d: crates/bench/benches/ghost_and_adapt.rs
+
+/root/repo/target/release/deps/ghost_and_adapt-159162027bad8f27: crates/bench/benches/ghost_and_adapt.rs
+
+crates/bench/benches/ghost_and_adapt.rs:

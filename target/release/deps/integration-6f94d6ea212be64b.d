@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration-6f94d6ea212be64b.d: tests/integration.rs
+
+/root/repo/target/release/deps/integration-6f94d6ea212be64b: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/k_level_jumps-db32382972645b2e.d: crates/core/tests/k_level_jumps.rs
+
+/root/repo/target/release/deps/k_level_jumps-db32382972645b2e: crates/core/tests/k_level_jumps.rs
+
+crates/core/tests/k_level_jumps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/masked_roots-c09cd3e10873b5ad.d: crates/core/tests/masked_roots.rs
+
+/root/repo/target/release/deps/masked_roots-c09cd3e10873b5ad: crates/core/tests/masked_roots.rs
+
+crates/core/tests/masked_roots.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-0fdc325c0a1dec29.d: crates/par/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-0fdc325c0a1dec29: crates/par/tests/proptests.rs
+
+crates/par/tests/proptests.rs:

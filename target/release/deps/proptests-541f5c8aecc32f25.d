@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-541f5c8aecc32f25.d: crates/celltree/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-541f5c8aecc32f25: crates/celltree/tests/proptests.rs
+
+crates/celltree/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-d6607280e2dbd10f.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-d6607280e2dbd10f: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

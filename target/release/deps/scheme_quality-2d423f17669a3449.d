@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheme_quality-2d423f17669a3449.d: crates/solver/tests/scheme_quality.rs
+
+/root/repo/target/release/deps/scheme_quality-2d423f17669a3449: crates/solver/tests/scheme_quality.rs
+
+crates/solver/tests/scheme_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_ghost_ratio-cfe9c4c3030127d9.d: crates/bench/src/bin/tab_ghost_ratio.rs
+
+/root/repo/target/release/deps/tab_ghost_ratio-cfe9c4c3030127d9: crates/bench/src/bin/tab_ghost_ratio.rs
+
+crates/bench/src/bin/tab_ghost_ratio.rs:

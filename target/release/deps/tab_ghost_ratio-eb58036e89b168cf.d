@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_ghost_ratio-eb58036e89b168cf.d: crates/bench/src/bin/tab_ghost_ratio.rs
+
+/root/repo/target/release/deps/tab_ghost_ratio-eb58036e89b168cf: crates/bench/src/bin/tab_ghost_ratio.rs
+
+crates/bench/src/bin/tab_ghost_ratio.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_neighbor_bounds-e2e53d5208ce0b13.d: crates/bench/src/bin/tab_neighbor_bounds.rs
+
+/root/repo/target/release/deps/tab_neighbor_bounds-e2e53d5208ce0b13: crates/bench/src/bin/tab_neighbor_bounds.rs
+
+crates/bench/src/bin/tab_neighbor_bounds.rs:

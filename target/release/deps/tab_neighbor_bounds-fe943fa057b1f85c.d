@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab_neighbor_bounds-fe943fa057b1f85c.d: crates/bench/src/bin/tab_neighbor_bounds.rs
+
+/root/repo/target/release/deps/tab_neighbor_bounds-fe943fa057b1f85c: crates/bench/src/bin/tab_neighbor_bounds.rs
+
+crates/bench/src/bin/tab_neighbor_bounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validation-eb20db89c964a9db.d: crates/solver/tests/validation.rs
+
+/root/repo/target/release/deps/validation-eb20db89c964a9db: crates/solver/tests/validation.rs
+
+crates/solver/tests/validation.rs:

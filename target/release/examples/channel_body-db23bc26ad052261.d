@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/channel_body-db23bc26ad052261.d: examples/channel_body.rs
+
+/root/repo/target/release/examples/channel_body-db23bc26ad052261: examples/channel_body.rs
+
+examples/channel_body.rs:

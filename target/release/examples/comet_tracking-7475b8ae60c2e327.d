@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/comet_tracking-7475b8ae60c2e327.d: examples/comet_tracking.rs
+
+/root/repo/target/release/examples/comet_tracking-7475b8ae60c2e327: examples/comet_tracking.rs
+
+examples/comet_tracking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dbg_ft-9ba2a42d5af7625f.d: examples/dbg_ft.rs
+
+/root/repo/target/release/examples/dbg_ft-9ba2a42d5af7625f: examples/dbg_ft.rs
+
+examples/dbg_ft.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_recovery-a685a3580ebc5f09.d: examples/fault_recovery.rs
+
+/root/repo/target/release/examples/fault_recovery-a685a3580ebc5f09: examples/fault_recovery.rs
+
+examples/fault_recovery.rs:

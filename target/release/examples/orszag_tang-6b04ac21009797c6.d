@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/orszag_tang-6b04ac21009797c6.d: examples/orszag_tang.rs
+
+/root/repo/target/release/examples/orszag_tang-6b04ac21009797c6: examples/orszag_tang.rs
+
+examples/orszag_tang.rs:

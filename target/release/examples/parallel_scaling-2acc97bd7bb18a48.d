@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/parallel_scaling-2acc97bd7bb18a48.d: examples/parallel_scaling.rs
+
+/root/repo/target/release/examples/parallel_scaling-2acc97bd7bb18a48: examples/parallel_scaling.rs
+
+examples/parallel_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-c565f3e4c41de860.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-c565f3e4c41de860: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sedov_blast_amr-1a588c8d58c6208f.d: examples/sedov_blast_amr.rs
+
+/root/repo/target/release/examples/sedov_blast_amr-1a588c8d58c6208f: examples/sedov_blast_amr.rs
+
+examples/sedov_blast_amr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/shock_tube-9b23986ae105658a.d: examples/shock_tube.rs
+
+/root/repo/target/release/examples/shock_tube-9b23986ae105658a: examples/shock_tube.rs
+
+examples/shock_tube.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/solar_wind_cme-9926dabc9fe5da65.d: examples/solar_wind_cme.rs
+
+/root/repo/target/release/examples/solar_wind_cme-9926dabc9fe5da65: examples/solar_wind_cme.rs
+
+examples/solar_wind_cme.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libablock_testkit.rlib: /root/repo/crates/testkit/src/lib.rs

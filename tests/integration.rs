@@ -48,7 +48,7 @@ fn uniform_vs_refined_blocks_converge_to_same_solution() {
         .into_iter()
         .collect();
     for p in parents {
-        fine.coarsen(p, Transfer::Conservative(ProlongOrder::Constant));
+        fine.coarsen(p, Transfer::Conservative(ProlongOrder::Constant)).unwrap();
     }
     let mut l1 = 0.0;
     let mut n_cells = 0usize;
@@ -118,7 +118,7 @@ fn distributed_machine_matches_serial_with_adaptive_grid() {
     let build = || {
         let (mut g, e) = pulse_grid([2, 2], 8, 2);
         let id = g.find(BlockKey::new(0, [0, 0])).unwrap();
-        g.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod));
+        g.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod)).unwrap();
         (g, e)
     };
     let (mut gs, e) = build();
@@ -144,7 +144,7 @@ fn distributed_machine_matches_serial_with_adaptive_grid() {
                 (n.key(), n.field().as_slice().to_vec())
             })
             .collect::<Vec<_>>()
-    });
+    }).unwrap();
     let shape = gs.params().field_shape();
     let mut checked = 0;
     for (key, data) in results.into_iter().flatten() {
