@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_recovery-a9072e35cec75831.d: examples/fault_recovery.rs
+
+/root/repo/target/debug/examples/fault_recovery-a9072e35cec75831: examples/fault_recovery.rs
+
+examples/fault_recovery.rs:
