@@ -109,7 +109,8 @@ impl<const D: usize, P: Physics, C: Criterion<D>> AmrSimulation<D, P, C> {
         let transfer = self.transfer();
         let report = adapt(&mut self.grid, &flags, transfer);
         if report.changed() {
-            self.stepper.invalidate();
+            // refine/coarsen bumped the grid epoch: the stepper's engine
+            // rebuilds its plan on the next step automatically
             self.stats.adapts += 1;
         }
         self.stats.refined += report.refined_total();

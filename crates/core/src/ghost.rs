@@ -49,7 +49,7 @@ pub struct BoundaryCtx<'a, const D: usize> {
 
 /// One ghost-fill task. All regions are in the destination block's
 /// interior-relative coordinates; field meanings are given per variant.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 #[allow(missing_docs)]
 pub enum GhostTask<const D: usize> {
     /// Same-level copy: `dst[region] = src[region + shift]`.
@@ -111,10 +111,15 @@ impl GhostConfig {
 }
 
 /// A cached exchange plan for one grid topology.
+///
+/// The plan records the grid's [topology epoch](BlockGrid::epoch) it was
+/// built at; [`GhostExchange::is_current`] tells a cache holder whether
+/// the plan still matches the grid without comparing any tasks.
 pub struct GhostExchange<const D: usize> {
     phase1: Vec<GhostTask<D>>,
     phase2: Vec<GhostTask<D>>,
     config: GhostConfig,
+    epoch: u64,
 }
 
 impl<const D: usize> GhostExchange<D> {
@@ -217,7 +222,23 @@ impl<const D: usize> GhostExchange<D> {
                 }
             }
         }
-        GhostExchange { phase1, phase2, config }
+        GhostExchange { phase1, phase2, config, epoch: grid.epoch() }
+    }
+
+    /// The grid topology epoch this plan was built at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True when the plan still matches the grid's topology (no refine,
+    /// coarsen, or explicit epoch bump since the plan was built).
+    pub fn is_current(&self, grid: &BlockGrid<D>) -> bool {
+        self.epoch == grid.epoch()
+    }
+
+    /// The config the plan was built with.
+    pub fn config(&self) -> &GhostConfig {
+        &self.config
     }
 
     /// Number of tasks (both phases).

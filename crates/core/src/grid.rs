@@ -257,6 +257,8 @@ pub struct BlockGrid<const D: usize> {
     params: GridParams<D>,
     arena: Arena<BlockNode<D>>,
     by_key: HashMap<BlockKey<D>, BlockId>,
+    /// Monotonically increasing topology version; see [`BlockGrid::epoch`].
+    epoch: u64,
 }
 
 impl<const D: usize> BlockGrid<D> {
@@ -270,6 +272,7 @@ impl<const D: usize> BlockGrid<D> {
             params,
             arena: Arena::with_capacity(64),
             by_key: HashMap::new(),
+            epoch: 0,
         };
         let shape = params.field_shape();
         let roots: Vec<BlockKey<D>> = grid.layout.root_keys().collect();
@@ -299,6 +302,27 @@ impl<const D: usize> BlockGrid<D> {
     #[inline]
     pub fn params(&self) -> &GridParams<D> {
         &self.params
+    }
+
+    /// The grid's **topology epoch**: a monotonically increasing version
+    /// number bumped by every structural change — [`BlockGrid::refine`],
+    /// [`BlockGrid::coarsen`], and explicit [`BlockGrid::bump_epoch`]
+    /// calls from drivers that restructure derived state (redistribution,
+    /// checkpoint rebuild). Consumers key caches of topology-derived
+    /// structures (ghost-exchange plans, scratch arenas, cost models) on
+    /// this value: a cache stamped with the current epoch is valid, any
+    /// other stamp means the topology moved underneath it.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advance the topology epoch without restructuring. For operations
+    /// outside the grid's own refine/coarsen — data redistribution across
+    /// ranks, in-place rebuilds — that must invalidate epoch-keyed caches.
+    #[inline]
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     /// Number of leaf blocks.
@@ -697,6 +721,7 @@ impl<const D: usize> BlockGrid<D> {
                 self.recompute_faces(nid);
             }
         }
+        self.epoch += 1;
         Ok(child_ids)
     }
 
@@ -792,6 +817,7 @@ impl<const D: usize> BlockGrid<D> {
                 self.recompute_faces(nid);
             }
         }
+        self.epoch += 1;
         Ok(pid)
     }
 

@@ -251,6 +251,45 @@ fn invariants_after_random_adapts_3d() {
     });
 }
 
+/// Epoch-keyed plan caching: a `GhostExchange` revalidated only when
+/// `is_current` reports the topology epoch moved is always task-for-task
+/// identical to a from-scratch build — i.e. every structural change bumps
+/// the epoch, so a cached plan can never silently go stale.
+#[test]
+fn cached_ghost_plan_tracks_topology_epoch() {
+    use ablock_core::ghost::GhostExchange;
+    cases(24, 0x5EED_0009, |_, rng| {
+        let layout = RootLayout::unit([2, 2], Boundary::Periodic);
+        let params = GridParams::new([4, 4], 2, 2, 3);
+        let mut grid = BlockGrid::new(layout, params);
+        let mut plan = GhostExchange::build(&grid, GhostConfig::default());
+        let script = random_script(rng, 5, 10, 60);
+        for &(seed, density) in &script {
+            let mut flags: HashMap<BlockId, Flag> = HashMap::new();
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            for id in grid.block_ids() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let r = (state >> 33) as u8 % 100;
+                if r < density {
+                    flags.insert(id, Flag::Refine);
+                } else if r > 100 - density / 2 {
+                    flags.insert(id, Flag::Coarsen);
+                }
+            }
+            adapt(&mut grid, &flags, Transfer::None);
+            if !plan.is_current(&grid) {
+                plan = GhostExchange::build(&grid, GhostConfig::default());
+            }
+            // the cache-managed plan must equal a from-scratch build
+            let fresh = GhostExchange::build(&grid, GhostConfig::default());
+            assert_eq!(plan.epoch(), fresh.epoch());
+            assert_eq!(plan.phase1(), fresh.phase1(), "stale phase-1 tasks served from cache");
+            assert_eq!(plan.phase2(), fresh.phase2(), "stale phase-2 tasks served from cache");
+            verify::check_grid(&grid).unwrap();
+        }
+    });
+}
+
 /// The curve order of leaves after adaptation is a permutation and
 /// groups each sibling family contiguously (aligned sub-boxes are
 /// contiguous on both curves).

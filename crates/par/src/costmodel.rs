@@ -31,6 +31,7 @@ use std::collections::HashMap;
 use ablock_core::arena::BlockId;
 use ablock_core::ghost::{GhostExchange, GhostTask};
 use ablock_core::grid::BlockGrid;
+use ablock_solver::engine::SweepEngine;
 
 /// Machine and scheme rates for the step model.
 #[derive(Clone, Copy, Debug)]
@@ -117,6 +118,20 @@ impl StepCost {
     pub fn speedup(&self) -> f64 {
         self.compute_serial / self.time
     }
+}
+
+/// Evaluate the step model against a [`SweepEngine`]'s cached plan,
+/// revalidating it against the grid's topology epoch first — repeated
+/// what-if costing over an unchanged grid reuses one plan build.
+pub fn model_step_cached<const D: usize>(
+    grid: &BlockGrid<D>,
+    engine: &mut SweepEngine<D>,
+    owner: &HashMap<BlockId, usize>,
+    nranks: usize,
+    p: &CostParams,
+) -> StepCost {
+    engine.revalidate(grid);
+    model_step(grid, engine.plan(), owner, nranks, p)
 }
 
 /// Evaluate the step model for a grid + plan + ownership at `nranks`.
@@ -287,6 +302,22 @@ mod tests {
             cs.time,
             cb.time
         );
+    }
+
+    #[test]
+    fn cached_model_matches_fresh_plan_and_reuses_it() {
+        let g = topo([2, 2, 2]);
+        let owner = partition_grid(&g, 4, Policy::SfcHilbert);
+        let p = CostParams::t3d_like(2e-6, 16.0, 4.0, 8.0);
+        let plan = GhostExchange::build(&g, GhostConfig::default());
+        let fresh = model_step(&g, &plan, &owner, 4, &p);
+        let mut engine = SweepEngine::new(GhostConfig::default());
+        let a = model_step_cached(&g, &mut engine, &owner, 4, &p);
+        let b = model_step_cached(&g, &mut engine, &owner, 4, &p);
+        assert!((a.time - fresh.time).abs() < 1e-15);
+        assert!((b.time - fresh.time).abs() < 1e-15);
+        assert_eq!(engine.stats().rebuilds, 1);
+        assert_eq!(engine.stats().reuses, 1);
     }
 
     #[test]

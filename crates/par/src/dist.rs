@@ -24,13 +24,14 @@ use std::collections::HashMap;
 use ablock_core::arena::BlockId;
 use ablock_core::balance::{adapt, Flag};
 use ablock_core::field::FieldBlock;
-use ablock_core::ghost::{GhostConfig, GhostExchange, GhostTask};
+use ablock_core::ghost::{GhostExchange, GhostTask};
 use ablock_core::grid::{BlockGrid, Transfer};
 use ablock_core::index::IBox;
 use ablock_core::key::BlockKey;
 use ablock_core::ops::ProlongOrder;
 
-use ablock_solver::kernel::{apply_floors_block, compute_rhs_block, max_rate_block, Scheme};
+use ablock_solver::engine::{rk2_stage1_block, rk2_stage2_block, SweepEngine};
+use ablock_solver::kernel::{compute_rhs_block, max_rate_block, Scheme};
 use ablock_solver::physics::Physics;
 use ablock_solver::recon::Recon;
 
@@ -92,10 +93,7 @@ pub struct DistSim<const D: usize, P: Physics> {
     pub owner: HashMap<BlockId, usize>,
     phys: P,
     scheme: Scheme,
-    plan: Option<GhostExchange<D>>,
-    rhs: HashMap<BlockId, FieldBlock<D>>,
-    stage: HashMap<BlockId, FieldBlock<D>>,
-    prim_scratch: Vec<f64>,
+    engine: SweepEngine<D>,
     /// Halo values received from peers (diagnostics).
     pub halo_values_recv: u64,
 }
@@ -109,17 +107,8 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
         phys: P,
         scheme: Scheme,
     ) -> Self {
-        DistSim {
-            grid,
-            owner,
-            phys,
-            scheme,
-            plan: None,
-            rhs: HashMap::new(),
-            stage: HashMap::new(),
-            prim_scratch: Vec::new(),
-            halo_values_recv: 0,
-        }
+        let engine = SweepEngine::for_scheme(&phys, scheme);
+        DistSim { grid, owner, phys, scheme, engine, halo_values_recv: 0 }
     }
 
     /// Partition-and-wrap convenience.
@@ -128,15 +117,9 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
         Self::new(grid, owner, phys, scheme)
     }
 
-    fn ghost_config(&self) -> GhostConfig {
-        GhostConfig {
-            prolong_order: match self.scheme.recon {
-                Recon::FirstOrder => ProlongOrder::Constant,
-                Recon::Muscl(_) => ProlongOrder::LinearMinmod,
-            },
-            vector_components: self.phys.vector_components(),
-            corners: false,
-        }
+    /// The underlying sweep engine (plan cache stats).
+    pub fn engine(&self) -> &SweepEngine<D> {
+        &self.engine
     }
 
     /// Blocks owned by `rank`.
@@ -151,32 +134,19 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
         v
     }
 
-    /// Drop cached plans and scratch (topology changed).
+    /// Force a plan/scratch rebuild on the next sweep. **Not** needed after
+    /// adapt or rebalance — both bump the grid's topology epoch, which the
+    /// engine tracks automatically.
     pub fn invalidate(&mut self) {
-        self.plan = None;
-        self.rhs.clear();
-        self.stage.clear();
-    }
-
-    fn ensure_ready(&mut self, rank: usize) {
-        if self.plan.is_none() {
-            self.plan = Some(GhostExchange::build(&self.grid, self.ghost_config()));
-            let shape = self.grid.params().field_shape();
-            self.rhs.clear();
-            self.stage.clear();
-            for id in self.owned_ids(rank) {
-                self.rhs.insert(id, FieldBlock::zeros(shape));
-                self.stage.insert(id, FieldBlock::zeros(shape));
-            }
-        }
+        self.engine.invalidate();
     }
 
     /// Distributed ghost fill: remote source regions are received from
     /// their owners; everything else mirrors the serial plan.
     pub fn halo_exchange(&mut self, comm: &Comm) {
-        self.ensure_ready(comm.rank());
+        self.engine.revalidate(&self.grid);
         let me = comm.rank();
-        let plan = self.plan.take().expect("plan ready");
+        let plan = self.engine.plan();
         let phase1_len = plan.phase1().len();
 
         for (phase_idx, tasks) in [plan.phase1(), plan.phase2()].into_iter().enumerate() {
@@ -199,7 +169,7 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
                 match task {
                     GhostTask::Physical { dst, .. } | GhostTask::ClampCopy { dst, .. } => {
                         if self.owner[dst] == me {
-                            run_one_task(&mut self.grid, task, &plan);
+                            run_one_task(&mut self.grid, task, plan);
                         }
                     }
                     _ => {
@@ -213,7 +183,7 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
                             self.halo_values_recv += data.len() as u64;
                             insert_box(self.grid.block_mut(src).field_mut(), bx, &data);
                         }
-                        run_one_task(&mut self.grid, task, &plan);
+                        run_one_task(&mut self.grid, task, plan);
                     }
                 }
             }
@@ -223,7 +193,6 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
                 comm.barrier();
             }
         }
-        self.plan = Some(plan);
     }
 
     /// Global CFL time step across all owned blocks.
@@ -248,50 +217,53 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
 
     fn eval_rhs(&mut self, comm: &Comm) {
         self.halo_exchange(comm);
-        let me = comm.rank();
-        for id in self.owned_ids(me) {
+        let ids = self.owned_ids(comm.rank());
+        let sw = self.engine.sweep();
+        for id in ids {
             let node = self.grid.block(id);
             let h = self
                 .grid
                 .layout()
                 .cell_size(node.key().level, self.grid.params().block_dims);
-            let rhs = self.rhs.get_mut(&id).expect("owned scratch");
-            compute_rhs_block(&self.phys, self.scheme, node.field(), h, rhs, &mut self.prim_scratch);
+            compute_rhs_block(
+                &self.phys,
+                self.scheme,
+                node.field(),
+                h,
+                &mut sw.rhs[id.index()],
+                sw.prim_scratch,
+            );
         }
     }
 
     /// One SSP-RK2 step of the owned blocks.
     pub fn step_rk2(&mut self, comm: &Comm, dt: f64) {
-        let me = comm.rank();
+        let ids = self.owned_ids(comm.rank());
         self.eval_rhs(comm);
-        for id in self.owned_ids(me) {
-            let rhs = &self.rhs[&id];
-            let stage = self.stage.get_mut(&id).expect("scratch");
-            let node = self.grid.block_mut(id);
-            stage.as_mut_slice().copy_from_slice(node.field().as_slice());
-            for c in node.field().shape().interior_box().iter() {
-                let r = rhs.cell(c);
-                let u = node.field_mut().cell_mut(c);
-                for v in 0..u.len() {
-                    u[v] += dt * r[v];
-                }
+        {
+            let sw = self.engine.sweep();
+            for &id in &ids {
+                let node = self.grid.block_mut(id);
+                rk2_stage1_block(
+                    &self.phys,
+                    node.field_mut(),
+                    &sw.rhs[id.index()],
+                    &mut sw.stage[id.index()],
+                    dt,
+                );
             }
-            apply_floors_block(&self.phys, node.field_mut());
         }
         self.eval_rhs(comm);
-        for id in self.owned_ids(me) {
-            let rhs = &self.rhs[&id];
-            let stage = &self.stage[&id];
+        let sw = self.engine.sweep();
+        for &id in &ids {
             let node = self.grid.block_mut(id);
-            for c in node.field().shape().interior_box().iter() {
-                let r = rhs.cell(c);
-                let u0 = stage.cell(c);
-                let u = node.field_mut().cell_mut(c);
-                for v in 0..u.len() {
-                    u[v] = 0.5 * u0[v] + 0.5 * (u[v] + dt * r[v]);
-                }
-            }
-            apply_floors_block(&self.phys, node.field_mut());
+            rk2_stage2_block(
+                &self.phys,
+                node.field_mut(),
+                &sw.rhs[id.index()],
+                &sw.stage[id.index()],
+                dt,
+            );
         }
     }
 
@@ -365,7 +337,8 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
             new_owner.insert(id, r);
         }
         self.owner = new_owner;
-        self.invalidate();
+        // no invalidation needed: adapt's refine/coarsen calls bumped the
+        // grid epoch, and rebalance below bumps it for ownership changes
         if report.changed() || comm.nranks() > 1 {
             self.rebalance(comm, policy);
         }
@@ -442,7 +415,9 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
         for (i, (_, id)) in keyed.iter().enumerate() {
             self.owner.insert(*id, assign[i]);
         }
-        self.invalidate();
+        // redistribution changes which ranks hold authoritative data;
+        // bump the epoch so every epoch-keyed cache sees the new layout
+        self.grid.bump_epoch();
         comm.barrier();
     }
 }

@@ -24,9 +24,9 @@ use ablock_core::grid::BlockGrid;
 use ablock_core::index::IBox;
 use ablock_core::ops::{prolong, restrict_avg, ProlongOrder};
 
-use ablock_solver::kernel::{apply_floors_block, compute_rhs_block, max_rate_block, Scheme};
+use ablock_solver::engine::{rk2_stage1_block, rk2_stage2_block, SweepEngine};
+use ablock_solver::kernel::{compute_rhs_block, max_rate_block, Scheme};
 use ablock_solver::physics::Physics;
-use ablock_solver::recon::Recon;
 
 /// Disjoint mutable references `out[i] = &mut v[ids[i].index()]`;
 /// `ids` must be strictly increasing by index (arena order is).
@@ -190,47 +190,32 @@ pub fn par_fill_ghosts<const D: usize>(
 }
 
 /// Shared-memory parallel stepper: SSP-RK2 with the same arithmetic as the
-/// serial `Stepper`, parallelized over blocks.
+/// serial `Stepper` (both call the per-block helpers in
+/// `ablock_solver::engine`), parallelized over blocks. The engine's
+/// epoch-keyed cache makes stepping safe across grid adaptation without
+/// manual invalidation.
 pub struct ParStepper<const D: usize, P: Physics> {
     phys: P,
     scheme: Scheme,
-    plan: Option<GhostExchange<D>>,
-    rhs: Vec<FieldBlock<D>>,
-    stage: Vec<FieldBlock<D>>,
+    engine: SweepEngine<D>,
 }
 
 impl<const D: usize, P: Physics> ParStepper<D, P> {
     /// New parallel stepper.
     pub fn new(phys: P, scheme: Scheme) -> Self {
-        ParStepper { phys, scheme, plan: None, rhs: Vec::new(), stage: Vec::new() }
+        let engine = SweepEngine::for_scheme(&phys, scheme);
+        ParStepper { phys, scheme, engine }
     }
 
-    fn ghost_config(&self) -> GhostConfig {
-        GhostConfig {
-            prolong_order: match self.scheme.recon {
-                Recon::FirstOrder => ProlongOrder::Constant,
-                Recon::Muscl(_) => ProlongOrder::LinearMinmod,
-            },
-            vector_components: self.phys.vector_components(),
-            corners: false,
-        }
+    /// The underlying sweep engine (plan cache stats).
+    pub fn engine(&self) -> &SweepEngine<D> {
+        &self.engine
     }
 
-    /// Drop caches after an adapt.
+    /// Force a plan/scratch rebuild on the next step. **Not** needed after
+    /// grid adaptation — the topology epoch covers that automatically.
     pub fn invalidate(&mut self) {
-        self.plan = None;
-        self.rhs.clear();
-        self.stage.clear();
-    }
-
-    fn ensure_ready(&mut self, grid: &BlockGrid<D>) {
-        if self.plan.is_none() {
-            self.plan = Some(GhostExchange::build(grid, self.ghost_config()));
-            let cap = grid.block_ids().iter().map(|i| i.index() + 1).max().unwrap_or(0);
-            let shape = grid.params().field_shape();
-            self.rhs = (0..cap).map(|_| FieldBlock::zeros(shape)).collect();
-            self.stage = (0..cap).map(|_| FieldBlock::zeros(shape)).collect();
-        }
+        self.engine.invalidate();
     }
 
     /// Global CFL dt (parallel reduction over blocks).
@@ -251,16 +236,15 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
 
     /// Fill ghosts and evaluate the RHS of every block in parallel.
     fn eval_rhs(&mut self, grid: &mut BlockGrid<D>) {
-        self.ensure_ready(grid);
-        let plan = self.plan.as_ref().unwrap();
-        let config = self.ghost_config();
-        par_fill_ghosts(grid, plan, &config);
+        self.engine.revalidate(grid);
+        par_fill_ghosts(grid, self.engine.plan(), self.engine.config());
         let m = grid.params().block_dims;
         let layout = grid.layout().clone();
         let phys = &self.phys;
         let scheme = self.scheme;
         let ids = grid.block_ids();
-        let rhs_refs = indexed_refs(&mut self.rhs, &ids);
+        let sw = self.engine.sweep();
+        let rhs_refs = indexed_refs(sw.rhs, &ids);
         let mut work: Vec<_> = ids.iter().copied().zip(rhs_refs).collect();
         pool::par_for_each_mut_init(&mut work, Vec::new, |scratch, (id, rhs_block)| {
             let node = grid.block(*id);
@@ -275,44 +259,27 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
         self.eval_rhs(grid);
         // stage 1: save u^n, write u* = u + dt L(u)
         {
-            let rhs = &self.rhs;
             let phys = &self.phys;
+            let sw = self.engine.sweep();
+            let rhs: &[FieldBlock<D>] = sw.rhs;
             let nodes: Vec<_> = grid.blocks_mut().collect();
             let ids: Vec<BlockId> = nodes.iter().map(|(id, _)| *id).collect();
-            let stage_refs = indexed_refs(&mut self.stage, &ids);
+            let stage_refs = indexed_refs(sw.stage, &ids);
             let mut work: Vec<_> = nodes.into_iter().zip(stage_refs).collect();
             pool::par_for_each_mut(&mut work, |((id, node), stage)| {
-                stage.as_mut_slice().copy_from_slice(node.field().as_slice());
-                let r = &rhs[id.index()];
-                for c in node.field().shape().interior_box().iter() {
-                    let rr = r.cell(c);
-                    let u = node.field_mut().cell_mut(c);
-                    for v in 0..u.len() {
-                        u[v] += dt * rr[v];
-                    }
-                }
-                apply_floors_block(phys, node.field_mut());
+                rk2_stage1_block(phys, node.field_mut(), &rhs[id.index()], stage, dt);
             });
         }
         // stage 2: u^{n+1} = 1/2 u^n + 1/2 (u* + dt L(u*))
         self.eval_rhs(grid);
         {
-            let rhs = &self.rhs;
-            let stage = &self.stage;
             let phys = &self.phys;
+            let sw = self.engine.sweep();
+            let rhs: &[FieldBlock<D>] = sw.rhs;
+            let stage: &[FieldBlock<D>] = sw.stage;
             let mut nodes: Vec<_> = grid.blocks_mut().collect();
             pool::par_for_each_mut(&mut nodes, |(id, node)| {
-                let r = &rhs[id.index()];
-                let u0b = &stage[id.index()];
-                for c in node.field().shape().interior_box().iter() {
-                    let rr = r.cell(c);
-                    let u0 = u0b.cell(c);
-                    let u = node.field_mut().cell_mut(c);
-                    for v in 0..u.len() {
-                        u[v] = 0.5 * u0[v] + 0.5 * (u[v] + dt * rr[v]);
-                    }
-                }
-                apply_floors_block(phys, node.field_mut());
+                rk2_stage2_block(phys, node.field_mut(), &rhs[id.index()], &stage[id.index()], dt);
             });
         }
     }

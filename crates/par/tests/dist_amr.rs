@@ -67,7 +67,6 @@ fn serial_run() -> (Vec<(BlockKey<2>, Vec<f64>)>, usize) {
         st.fill_ghosts(&mut g, None);
         let flags = energy_flags(&g);
         adapt(&mut g, &flags, Transfer::Conservative(ProlongOrder::LinearMinmod));
-        st.invalidate();
     }
     let mut out: Vec<(BlockKey<2>, Vec<f64>)> = g
         .blocks()

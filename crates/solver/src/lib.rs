@@ -10,6 +10,8 @@
 //!   reconstruction with minmod / MC / van Leer limiters.
 //! * [`flux`] — Rusanov and HLL approximate Riemann solvers.
 //! * [`kernel`] — the dense per-block update loops Fig. 5 measures.
+//! * [`engine`] — the shared sweep engine: epoch-keyed ghost-plan cache and
+//!   reusable scratch consumed by every executor (serial, pool, distributed).
 //! * [`stepper`] — forward-Euler and SSP-RK2 integration over a grid,
 //!   including ghost exchange and global CFL reduction.
 //! * [`problems`] — Sod, Brio–Wu, Orszag–Tang, Sedov, MHD blast, and the
@@ -19,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod euler;
 pub mod flux;
 pub mod kernel;
@@ -30,6 +33,7 @@ pub mod recon;
 pub mod reflux;
 pub mod stepper;
 
+pub use engine::{ghost_config_for, EngineStats, SweepEngine};
 pub use euler::Euler;
 pub use flux::Riemann;
 pub use kernel::{compute_rhs_block, compute_rhs_block_fluxes, max_rate_block, FaceFluxStore, Scheme};

@@ -17,13 +17,16 @@
 //! mode) or homogeneous Dirichlet via odd ghost reflection (second order
 //! for cell-centered grids).
 
+use ablock_core::arena::BlockId;
 use ablock_core::field::FieldBlock;
-use ablock_core::ghost::{BoundaryCtx, GhostConfig, GhostExchange};
+use ablock_core::ghost::{BoundaryCtx, GhostConfig};
 use ablock_core::grid::{BlockGrid, GridParams};
 use ablock_core::index::{IBox, IVec};
 use ablock_core::key::BlockKey;
 use ablock_core::layout::{Boundary, RootLayout};
 use ablock_core::ops::{prolong, restrict_avg, ProlongOrder};
+
+use crate::engine::SweepEngine;
 
 /// Solution variable index.
 const IU: usize = 0;
@@ -42,10 +45,13 @@ pub enum PoissonBc {
     Dirichlet0,
 }
 
-/// Geometric multigrid V-cycle solver.
+/// Geometric multigrid V-cycle solver. Each level owns a [`SweepEngine`]
+/// for its ghost plan and per-block scratch (residual staging, correction
+/// prolongation, the Jacobi half-sweep buffer), so V-cycles allocate
+/// nothing after the first.
 pub struct MultigridPoisson<const D: usize> {
     levels: Vec<BlockGrid<D>>, // [0] = coarsest
-    plans: Vec<GhostExchange<D>>,
+    engines: Vec<SweepEngine<D>>,
     bc: PoissonBc,
     /// Pre-smoothing sweeps per level.
     pub nu_pre: usize,
@@ -63,7 +69,7 @@ impl<const D: usize> MultigridPoisson<D> {
     pub fn new(roots: IVec<D>, m: i64, nlevels: usize, bc: PoissonBc) -> Self {
         assert!(nlevels >= 1);
         let mut levels = Vec::with_capacity(nlevels);
-        let mut plans = Vec::with_capacity(nlevels);
+        let mut engines = Vec::with_capacity(nlevels);
         for k in 0..nlevels {
             let mut r = roots;
             for x in r.iter_mut() {
@@ -76,18 +82,16 @@ impl<const D: usize> MultigridPoisson<D> {
                 }
             };
             let grid = BlockGrid::new(layout, GridParams::new([m; D], 1, 2, 0));
-            let plan = GhostExchange::build(
-                &grid,
-                GhostConfig {
-                    prolong_order: ProlongOrder::Constant,
-                    vector_components: Vec::new(),
-                    corners: false,
-                },
-            );
+            let mut engine = SweepEngine::new(GhostConfig {
+                prolong_order: ProlongOrder::Constant,
+                vector_components: Vec::new(),
+                corners: false,
+            });
+            engine.revalidate(&grid);
             levels.push(grid);
-            plans.push(plan);
+            engines.push(engine);
         }
-        MultigridPoisson { levels, plans, bc, nu_pre: 2, nu_post: 2, omega: 0.8, nu_coarse: 40 }
+        MultigridPoisson { levels, engines, bc, nu_pre: 2, nu_post: 2, omega: 0.8, nu_coarse: 40 }
     }
 
     /// The finest grid (read access for sampling the solution).
@@ -127,14 +131,15 @@ impl<const D: usize> MultigridPoisson<D> {
 
     fn fill_ghosts(&mut self, k: usize) {
         let dirichlet = self.bc == PoissonBc::Dirichlet0;
-        let plan = &self.plans[k];
+        let engine = &mut self.engines[k];
         let grid = &mut self.levels[k];
-        plan.fill_with(grid, &|ctx: &BoundaryCtx<D>, _c, u: &mut [f64]| {
+        let bc = move |ctx: &BoundaryCtx<D>, _c: IVec<D>, u: &mut [f64]| {
             if dirichlet && ctx.tag == DIRICHLET_TAG {
                 u[IU] = -ctx.interior[IU]; // odd reflection: u = 0 on face
                 u[IF] = ctx.interior[IF];
             }
-        });
+        };
+        engine.fill_ghosts(grid, Some(&bc));
     }
 
     /// One damped-Jacobi sweep over every block of level `k`.
@@ -145,7 +150,8 @@ impl<const D: usize> MultigridPoisson<D> {
         let grid = &mut self.levels[k];
         let m = grid.params().block_dims;
         let inv_diag = 1.0 / (2.0 * D as f64);
-        let mut new = vec![0.0; (m.iter().product::<i64>()) as usize];
+        let new = self.engines[k].sweep().prim_scratch;
+        new.resize((m.iter().product::<i64>()) as usize, 0.0);
         for id in grid.block_ids() {
             let field = grid.block_mut(id).field_mut();
             for (idx, c) in IBox::from_dims(m).iter().enumerate() {
@@ -188,24 +194,30 @@ impl<const D: usize> MultigridPoisson<D> {
         self.fill_ghosts(k);
         let h2 = self.h(k) * self.h(k);
         let m = self.levels[k].params().block_dims;
-        // stage fine residuals into scratch blocks (nvar 2: residual in IF)
-        let fine_ids = self.levels[k].block_ids();
-        let shape = self.levels[k].params().field_shape();
-        let mut res_blocks: Vec<(BlockKey<D>, FieldBlock<D>)> = Vec::with_capacity(fine_ids.len());
-        for id in fine_ids {
+        // stage fine residuals into the engine's rhs scratch (nvar 2:
+        // residual in IF, IU zeroed so restriction also zeroes the coarse
+        // initial guess)
+        let fine: Vec<(BlockId, BlockKey<D>)> = self.levels[k]
+            .block_ids()
+            .into_iter()
+            .map(|id| (id, self.levels[k].block(id).key()))
+            .collect();
+        let sw = self.engines[k].sweep();
+        for &(id, _) in &fine {
             let node = self.levels[k].block(id);
-            let mut rb = FieldBlock::zeros(shape);
+            let rb = &mut sw.rhs[id.index()];
             for c in IBox::from_dims(m).iter() {
-                rb.cell_mut(c)[IF] = residual_at(node.field(), c, h2);
+                let cell = rb.cell_mut(c);
+                cell[IU] = 0.0;
+                cell[IF] = residual_at(node.field(), c, h2);
             }
-            res_blocks.push((node.key(), rb));
         }
         // zero the coarse level and pour restricted residuals in
         let coarse = &mut self.levels[k - 1];
         for id in coarse.block_ids() {
             coarse.block_mut(id).field_mut().fill(0.0);
         }
-        for (fkey, rb) in res_blocks {
+        for &(id, fkey) in &fine {
             // fine block (0, c) maps to quadrant (c mod 2) of coarse (0, c/2)
             let ckey = BlockKey::new(0, {
                 let mut cc = fkey.coords;
@@ -227,22 +239,20 @@ impl<const D: usize> MultigridPoisson<D> {
             restrict_avg(
                 coarse.block_mut(cid).field_mut(),
                 IBox::new(qlo, qhi),
-                &rb,
+                &sw.rhs[id.index()],
                 q,
                 2,
             );
         }
-        // restriction only filled IU? no: residual lives in IF of rb and
-        // restrict_avg moves all nvar; IU of rb is zero, so coarse IU is
-        // zeroed too — exactly the zero initial guess we want. But the
-        // coarse RHS must be the restricted residual: it landed in IF. ✓
+        // restrict_avg moves all nvar: the residual lands in the coarse IF
+        // (the RHS) and the zeroed IU lands in the coarse IU (the guess). ✓
     }
 
     /// Prolong the coarse correction up and add it to the fine solution.
     fn prolong_correction(&mut self, k: usize) {
         let m = self.levels[k].params().block_dims;
         let fine_ids = self.levels[k].block_ids();
-        let shape = self.levels[k].params().field_shape();
+        let sw = self.engines[k].sweep();
         for id in fine_ids {
             let fkey = self.levels[k].block(id).key();
             let ckey = BlockKey::new(0, {
@@ -255,13 +265,14 @@ impl<const D: usize> MultigridPoisson<D> {
             let coarse = &self.levels[k - 1];
             let cid = coarse.find(ckey).expect("coarse block");
             let cfield = coarse.block(cid).field();
-            let mut corr = FieldBlock::zeros(shape);
+            // prolong into the engine's stage scratch (fully overwritten)
+            let corr = &mut sw.stage[id.index()];
             let mut p = [0i64; D];
             for d in 0..D {
                 p[d] = fkey.coords[d].rem_euclid(2) * m[d];
             }
             prolong(
-                &mut corr,
+                corr,
                 IBox::from_dims(m),
                 cfield,
                 p,

@@ -1,31 +1,30 @@
 //! Time integration over an entire adaptive block grid.
 //!
-//! A [`Stepper`] owns the scratch storage (RHS blocks, stage copies, the
-//! primitive buffer) and the cached ghost-exchange plan; the grid itself
-//! stays a plain data structure. After every adapt the caller invalidates
-//! the stepper ([`Stepper::invalidate`]) so plans and scratch are rebuilt —
-//! the paper's amortization argument: adaptation is infrequent, stepping
-//! is hot.
+//! A [`Stepper`] is the *serial executor* over the shared
+//! [`SweepEngine`](crate::engine::SweepEngine), which owns the cached
+//! ghost-exchange plan and the RHS/stage scratch; the grid itself stays a
+//! plain data structure. The plan cache is keyed on the grid's
+//! [topology epoch](BlockGrid::epoch): adapting the grid bumps the epoch
+//! and the next step rebuilds automatically — no manual invalidation on
+//! the hot path. That is the paper's amortization argument (adaptation is
+//! infrequent, stepping is hot) made safe by construction.
 //!
 //! Integrators: forward Euler and Heun's 2-stage SSP-RK2 (matching the
 //! second-order MUSCL spatial scheme).
 
 use ablock_core::arena::BlockId;
-use ablock_core::field::FieldBlock;
-use ablock_core::ghost::{BoundaryCtx, GhostConfig, GhostExchange};
+use ablock_core::ghost::{GhostConfig, GhostExchange};
 use ablock_core::grid::BlockGrid;
-use ablock_core::index::IVec;
-use ablock_core::ops::ProlongOrder;
 
-use crate::kernel::{
-    apply_floors_block, compute_rhs_block_fluxes, max_rate_block, FaceFluxStore, Scheme,
+use crate::engine::{
+    fe_update_block, ghost_config_for, rk2_stage1_block, rk2_stage2_block, SweepEngine,
 };
+use crate::kernel::{compute_rhs_block_fluxes, max_rate_block, Scheme};
 use crate::reflux::reflux_rhs;
 use crate::physics::Physics;
 use crate::recon::Recon;
 
-/// Custom physical-boundary ghost synthesizer.
-pub type BcFn<const D: usize> = dyn Fn(&BoundaryCtx<D>, IVec<D>, &mut [f64]);
+pub use crate::engine::BcFn;
 
 /// Time integrator choice.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -36,17 +35,14 @@ pub enum TimeScheme {
     SspRk2,
 }
 
-/// Owns scratch state and drives steps of `∂u/∂t = L(u)` on a block grid.
+/// Serial executor: drives steps of `∂u/∂t = L(u)` on a block grid over a
+/// [`SweepEngine`] (which owns plan cache and scratch).
 pub struct Stepper<const D: usize, P: Physics> {
     phys: P,
     scheme: Scheme,
     time_scheme: TimeScheme,
-    exchange: Option<GhostExchange<D>>,
-    rhs: Vec<FieldBlock<D>>,
-    stage: Vec<FieldBlock<D>>,
-    flux_stores: Vec<FaceFluxStore<D>>,
+    engine: SweepEngine<D>,
     refluxing: bool,
-    prim_scratch: Vec<f64>,
     /// Cells clamped by positivity floors since construction.
     pub floored_cells: usize,
     /// Interface flux evaluations since construction.
@@ -60,16 +56,13 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
             Recon::FirstOrder => TimeScheme::ForwardEuler,
             Recon::Muscl(_) => TimeScheme::SspRk2,
         };
+        let engine = SweepEngine::for_scheme(&phys, scheme);
         Stepper {
             phys,
             scheme,
             time_scheme,
-            exchange: None,
-            rhs: Vec::new(),
-            stage: Vec::new(),
-            flux_stores: Vec::new(),
+            engine,
             refluxing: false,
-            prim_scratch: Vec::new(),
             floored_cells: 0,
             flux_evals: 0,
         }
@@ -86,6 +79,7 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
     /// grids at the cost of recording block-face fluxes each stage.
     pub fn with_refluxing(mut self, on: bool) -> Self {
         self.refluxing = on;
+        self.engine = SweepEngine::for_scheme(&self.phys, self.scheme).with_flux_stores(on);
         self
     }
 
@@ -101,56 +95,30 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
 
     /// Ghost config consistent with the physics and scheme.
     pub fn ghost_config(&self) -> GhostConfig {
-        GhostConfig {
-            prolong_order: match self.scheme.recon {
-                Recon::FirstOrder => ProlongOrder::Constant,
-                Recon::Muscl(_) => ProlongOrder::LinearMinmod,
-            },
-            vector_components: self.phys.vector_components(),
-            corners: false,
-        }
+        ghost_config_for(&self.phys, self.scheme)
     }
 
-    /// Drop cached plans and scratch (call after the grid adapts).
+    /// The underlying sweep engine (plan cache stats, scratch).
+    pub fn engine(&self) -> &SweepEngine<D> {
+        &self.engine
+    }
+
+    /// Force a plan/scratch rebuild on the next step. **Not** needed after
+    /// grid adaptation — the topology epoch covers that automatically; only
+    /// for out-of-band changes the epoch cannot see.
     pub fn invalidate(&mut self) {
-        self.exchange = None;
-        self.rhs.clear();
-        self.stage.clear();
-        self.flux_stores.clear();
+        self.engine.invalidate();
     }
 
-    fn ensure_ready(&mut self, grid: &BlockGrid<D>) {
-        if self.exchange.is_none() {
-            self.exchange = Some(GhostExchange::build(grid, self.ghost_config()));
-            let cap = grid
-                .block_ids()
-                .iter()
-                .map(|id| id.index() + 1)
-                .max()
-                .unwrap_or(0);
-            let shape = grid.params().field_shape();
-            self.rhs = (0..cap).map(|_| FieldBlock::zeros(shape)).collect();
-            self.stage = (0..cap).map(|_| FieldBlock::zeros(shape)).collect();
-            self.flux_stores = (0..cap)
-                .map(|_| FaceFluxStore::new(grid.params().block_dims, self.phys.nvar()))
-                .collect();
-        }
-    }
-
-    /// Access the cached exchange plan (building it if needed).
+    /// Access the cached exchange plan (revalidating it first).
     pub fn exchange<'a>(&'a mut self, grid: &BlockGrid<D>) -> &'a GhostExchange<D> {
-        self.ensure_ready(grid);
-        self.exchange.as_ref().unwrap()
+        self.engine.revalidate(grid);
+        self.engine.plan()
     }
 
     /// Fill ghosts with the cached plan.
     pub fn fill_ghosts(&mut self, grid: &mut BlockGrid<D>, bc: Option<&BcFn<D>>) {
-        self.ensure_ready(grid);
-        let ex = self.exchange.as_ref().unwrap();
-        match bc {
-            Some(f) => ex.fill_with(grid, f),
-            None => ex.fill(grid),
-        }
+        self.engine.fill_ghosts(grid, bc);
     }
 
     /// Largest stable `dt` (global CFL reduction over all blocks).
@@ -167,16 +135,17 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
         }
     }
 
-    /// Evaluate `L(u)` into the rhs scratch for every block. Ghosts are
-    /// filled first. Returns ids processed.
+    /// Evaluate `L(u)` into the engine's rhs scratch for every block.
+    /// Ghosts are filled first. Returns ids processed.
     fn eval_rhs(&mut self, grid: &mut BlockGrid<D>, bc: Option<&BcFn<D>>) -> Vec<BlockId> {
-        self.fill_ghosts(grid, bc);
+        self.engine.fill_ghosts(grid, bc);
         let ids = grid.block_ids();
+        let sw = self.engine.sweep();
         for &id in &ids {
             let node = grid.block(id);
             let h = grid.layout().cell_size(node.key().level, grid.params().block_dims);
             let store = if self.refluxing {
-                Some(&mut self.flux_stores[id.index()])
+                Some(&mut sw.flux_stores[id.index()])
             } else {
                 None
             };
@@ -185,13 +154,13 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
                 self.scheme,
                 node.field(),
                 h,
-                &mut self.rhs[id.index()],
-                &mut self.prim_scratch,
+                &mut sw.rhs[id.index()],
+                sw.prim_scratch,
                 store,
             );
         }
         if self.refluxing {
-            reflux_rhs(grid, &self.flux_stores, &mut self.rhs);
+            reflux_rhs(grid, sw.flux_stores, sw.rhs);
         }
         ids
     }
@@ -207,58 +176,44 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
     /// One forward-Euler step.
     pub fn step_fe(&mut self, grid: &mut BlockGrid<D>, dt: f64, bc: Option<&BcFn<D>>) {
         let ids = self.eval_rhs(grid, bc);
+        let sw = self.engine.sweep();
         for id in ids {
-            let rhs = &self.rhs[id.index()];
             let node = grid.block_mut(id);
-            let interior = node.field().shape().interior_box();
-            for c in interior.iter() {
-                let r = rhs.cell(c);
-                let u = node.field_mut().cell_mut(c);
-                for v in 0..u.len() {
-                    u[v] += dt * r[v];
-                }
-            }
-            self.floored_cells += apply_floors_block(&self.phys, node.field_mut());
+            self.floored_cells +=
+                fe_update_block(&self.phys, node.field_mut(), &sw.rhs[id.index()], dt);
         }
     }
 
     /// One Heun (SSP-RK2) step: `u* = u + dt L(u)`,
     /// `u^{n+1} = ½u + ½(u* + dt L(u*))`.
     pub fn step_rk2(&mut self, grid: &mut BlockGrid<D>, dt: f64, bc: Option<&BcFn<D>>) {
-        // stage 1
+        // stage 1: save u^n, then overwrite grid with u*
         let ids = self.eval_rhs(grid, bc);
-        for &id in &ids {
-            // save u^n, then overwrite grid with u*
-            let rhs = &self.rhs[id.index()];
-            let stage = &mut self.stage[id.index()];
-            let node = grid.block_mut(id);
-            stage.as_mut_slice().copy_from_slice(node.field().as_slice());
-            let interior = node.field().shape().interior_box();
-            for c in interior.iter() {
-                let r = rhs.cell(c);
-                let u = node.field_mut().cell_mut(c);
-                for v in 0..u.len() {
-                    u[v] += dt * r[v];
-                }
+        {
+            let sw = self.engine.sweep();
+            for &id in &ids {
+                let node = grid.block_mut(id);
+                self.floored_cells += rk2_stage1_block(
+                    &self.phys,
+                    node.field_mut(),
+                    &sw.rhs[id.index()],
+                    &mut sw.stage[id.index()],
+                    dt,
+                );
             }
-            self.floored_cells += apply_floors_block(&self.phys, node.field_mut());
         }
         // stage 2 (ghosts refilled for u*)
         let ids = self.eval_rhs(grid, bc);
+        let sw = self.engine.sweep();
         for id in ids {
-            let rhs = &self.rhs[id.index()];
-            let stage = &self.stage[id.index()];
             let node = grid.block_mut(id);
-            let interior = node.field().shape().interior_box();
-            for c in interior.iter() {
-                let r = rhs.cell(c);
-                let u0 = stage.cell(c);
-                let u = node.field_mut().cell_mut(c);
-                for v in 0..u.len() {
-                    u[v] = 0.5 * u0[v] + 0.5 * (u[v] + dt * r[v]);
-                }
-            }
-            self.floored_cells += apply_floors_block(&self.phys, node.field_mut());
+            self.floored_cells += rk2_stage2_block(
+                &self.phys,
+                node.field_mut(),
+                &sw.rhs[id.index()],
+                &sw.stage[id.index()],
+                dt,
+            );
         }
     }
 
@@ -305,6 +260,7 @@ mod tests {
     use ablock_core::grid::{GridParams, Transfer};
     use ablock_core::key::BlockKey;
     use ablock_core::layout::{Boundary, RootLayout};
+    use ablock_core::ops::ProlongOrder;
 
     fn periodic_grid_1d(nblocks: i64, m: i64) -> BlockGrid<1> {
         BlockGrid::new(
@@ -498,7 +454,7 @@ mod tests {
     }
 
     #[test]
-    fn stepper_invalidate_after_adapt() {
+    fn stepper_survives_adapt_without_invalidate() {
         let e = Euler::<1>::new(1.4);
         let mut g = periodic_grid_1d(4, 8);
         set_sine_density(&mut g, &e, 0.5);
@@ -506,8 +462,9 @@ mod tests {
         st.step(&mut g, 1e-4, None);
         let id = g.block_ids()[0];
         g.refine(id, Transfer::Conservative(ProlongOrder::Constant)).unwrap();
-        st.invalidate();
-        st.step(&mut g, 1e-4, None); // must not panic on stale scratch
+        // no invalidate: the epoch bump makes the engine rebuild on its own
+        st.step(&mut g, 1e-4, None);
         assert!(st.flux_evals > 0);
+        assert_eq!(st.engine().stats().rebuilds, 2);
     }
 }

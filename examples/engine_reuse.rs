@@ -1,0 +1,68 @@
+//! Plan-cache economics of the sweep engine: rebuilds vs. reuses.
+//!
+//! ```text
+//! cargo run --release --example engine_reuse
+//! ```
+//!
+//! The stepper's `SweepEngine` keys its ghost-exchange plan on the
+//! grid's topology epoch: every sweep revalidates with one integer
+//! compare, and only an actual refine/coarsen forces a rebuild. This
+//! example runs a small adaptive blast and prints the engine's
+//! counters after each phase — the plan is rebuilt once per structural
+//! change and reused for every other sweep, with no `invalidate()`
+//! call anywhere.
+
+use adaptive_blocks::amr::{AmrConfig, AmrSimulation, GradientCriterion};
+use adaptive_blocks::prelude::*;
+
+fn main() {
+    let e = Euler::<2>::new(1.4);
+    let grid = BlockGrid::new(
+        RootLayout::unit([2, 2], Boundary::Outflow),
+        GridParams::new([8, 8], 2, 4, 3),
+    );
+    let criterion = GradientCriterion::new(3, 0.08, 0.03);
+    let mut sim = AmrSimulation::new(
+        grid,
+        e.clone(),
+        Scheme::muscl_rusanov(),
+        criterion,
+        AmrConfig { cfl: 0.35, adapt_every: 4, max_steps: 10_000, refluxing: false },
+    );
+    let ic = |g: &mut BlockGrid<2>| problems::sedov_blast(g, &e, [0.5, 0.5], 0.1, 20.0);
+    sim.initial_adapt_with(3, None, ic);
+
+    let s0 = sim.stepper.engine().stats();
+    println!(
+        "after initial adapt : {:3} rebuilds, {:4} reuses ({} blocks)",
+        s0.rebuilds,
+        s0.reuses,
+        sim.grid.num_blocks()
+    );
+
+    for t_end in [0.01, 0.02, 0.04] {
+        sim.run_until(t_end, None);
+        let s = sim.stepper.engine().stats();
+        println!(
+            "t = {t_end:<5}          : {:3} rebuilds, {:4} reuses ({} blocks, {} adapts, {} steps)",
+            s.rebuilds,
+            s.reuses,
+            sim.grid.num_blocks(),
+            sim.stats.adapts,
+            sim.stats.steps
+        );
+    }
+
+    let s = sim.stepper.engine().stats();
+    assert!(
+        s.rebuilds as usize <= sim.stats.adapts + 4,
+        "plan rebuilt more often than the topology changed: {} rebuilds for {} adapts",
+        s.rebuilds,
+        sim.stats.adapts
+    );
+    assert!(s.reuses > s.rebuilds, "the cache should be reused far more than rebuilt");
+    println!(
+        "every sweep between adapts reused the cached plan ({:.1} reuses per rebuild)",
+        s.reuses as f64 / s.rebuilds.max(1) as f64
+    );
+}

@@ -57,7 +57,6 @@ fn main() {
         sim.grid.refine_all(Transfer::Conservative(ProlongOrder::LinearMinmod));
         sim.grid.refine_all(Transfer::Conservative(ProlongOrder::LinearMinmod));
         problems::orszag_tang(&mut sim.grid, &mhd); // crisp ICs at full res
-        sim.stepper.invalidate();
         println!("uniform mode: {} blocks / {} cells", sim.grid.num_blocks(), sim.cells());
     }
 

@@ -86,8 +86,7 @@ fn shared_memory_executor_matches_serial_through_amr_cycle() {
             Transfer::Conservative(ProlongOrder::LinearMinmod),
         );
     }
-    serial.invalidate();
-    par.invalidate();
+    // no invalidate: both engines revalidate off the bumped topology epoch
     for _ in 0..2 {
         serial.step_rk2(&mut ga, dt, None);
         par.step_rk2(&mut gb, dt);
