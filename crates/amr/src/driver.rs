@@ -13,32 +13,30 @@ use std::time::Instant;
 use ablock_core::balance::{adapt, AdaptReport};
 use ablock_core::grid::{BlockGrid, Transfer};
 use ablock_core::ops::ProlongOrder;
+use ablock_obs::phase;
 
-use ablock_solver::kernel::Scheme;
+use ablock_solver::config::SolverConfig;
 use ablock_solver::physics::Physics;
 use ablock_solver::recon::Recon;
 use ablock_solver::stepper::{BcFn, Stepper};
 
 use crate::criteria::{flag_blocks, Criterion};
 
-/// Driver configuration.
+/// Driver knobs for the adapt cadence. Numerics (CFL, refluxing, time
+/// scheme) live on the [`SolverConfig`] instead, so one configuration
+/// object serves every executor.
 #[derive(Clone, Copy, Debug)]
 pub struct AmrConfig {
-    /// CFL number for time-step selection.
-    pub cfl: f64,
     /// Steps between criterion checks (paper: adaptation "need not occur
     /// as frequently" for blocks).
     pub adapt_every: usize,
     /// Hard cap on steps in `run_until` (divergence guard).
     pub max_steps: usize,
-    /// Apply Berger–Colella flux correction at coarse/fine faces (exactly
-    /// conservative adaptive runs, at the cost of per-stage flux records).
-    pub refluxing: bool,
 }
 
 impl Default for AmrConfig {
     fn default() -> Self {
-        AmrConfig { cfl: 0.4, adapt_every: 4, max_steps: 100_000, refluxing: false }
+        AmrConfig { adapt_every: 4, max_steps: 100_000 }
     }
 }
 
@@ -78,10 +76,16 @@ pub struct AmrSimulation<const D: usize, P: Physics, C: Criterion<D>> {
 }
 
 impl<const D: usize, P: Physics, C: Criterion<D>> AmrSimulation<D, P, C> {
-    /// Assemble a simulation (initial data should already be on the grid,
-    /// or use [`AmrSimulation::initial_adapt_with`] afterwards).
-    pub fn new(grid: BlockGrid<D>, phys: P, scheme: Scheme, criterion: C, config: AmrConfig) -> Self {
-        let stepper = Stepper::new(phys, scheme).with_refluxing(config.refluxing);
+    /// Assemble a simulation from a [`SolverConfig`] (initial data should
+    /// already be on the grid, or use
+    /// [`AmrSimulation::initial_adapt_with`] afterwards).
+    pub fn new(
+        grid: BlockGrid<D>,
+        solver: SolverConfig<P>,
+        criterion: C,
+        config: AmrConfig,
+    ) -> Self {
+        let stepper = Stepper::new(solver);
         let peak = grid.num_blocks();
         AmrSimulation {
             grid,
@@ -104,15 +108,26 @@ impl<const D: usize, P: Physics, C: Criterion<D>> AmrSimulation<D, P, C> {
     /// Adapt once from the current solution. Returns the report.
     pub fn adapt_now(&mut self, bc: Option<&BcFn<D>>) -> AdaptReport {
         let t0 = Instant::now();
+        let metrics = self.stepper.metrics().clone();
+        let _span = metrics.span(phase::ADAPT);
         self.stepper.fill_ghosts(&mut self.grid, bc);
-        let flags = flag_blocks(&self.grid, &self.criterion);
+        let flags = {
+            let _flag = metrics.span("flag");
+            flag_blocks(&self.grid, &self.criterion)
+        };
         let transfer = self.transfer();
-        let report = adapt(&mut self.grid, &flags, transfer);
+        let report = {
+            let _cascade = metrics.span("cascade");
+            adapt(&mut self.grid, &flags, transfer)
+        };
         if report.changed() {
             // refine/coarsen bumped the grid epoch: the stepper's engine
             // rebuilds its plan on the next step automatically
             self.stats.adapts += 1;
+            metrics.incr("amr.adapts", 1);
         }
+        metrics.incr("amr.blocks_refined", report.refined_total() as u64);
+        metrics.incr("amr.groups_coarsened", report.coarsened_groups as u64);
         self.stats.refined += report.refined_total();
         self.stats.coarsened += report.coarsened_groups;
         self.stats.peak_blocks = self.stats.peak_blocks.max(self.grid.num_blocks());
@@ -145,7 +160,7 @@ impl<const D: usize, P: Physics, C: Criterion<D>> AmrSimulation<D, P, C> {
             self.adapt_now(bc);
         }
         let t0 = Instant::now();
-        let dt = self.stepper.max_dt(&self.grid, self.config.cfl);
+        let dt = self.stepper.max_dt(&self.grid);
         assert!(dt.is_finite() && dt > 0.0, "non-positive dt at t = {}", self.time);
         self.stepper.step(&mut self.grid, dt, bc);
         self.time += dt;
@@ -162,10 +177,7 @@ impl<const D: usize, P: Physics, C: Criterion<D>> AmrSimulation<D, P, C> {
                 self.adapt_now(bc);
             }
             let t0 = Instant::now();
-            let dt = self
-                .stepper
-                .max_dt(&self.grid, self.config.cfl)
-                .min(t_end - self.time);
+            let dt = self.stepper.max_dt(&self.grid).min(t_end - self.time);
             assert!(dt.is_finite() && dt > 0.0, "non-positive dt at t = {}", self.time);
             self.stepper.step(&mut self.grid, dt, bc);
             self.time += dt;
@@ -214,6 +226,7 @@ mod tests {
     use ablock_core::grid::GridParams;
     use ablock_core::layout::{Boundary, RootLayout};
     use ablock_solver::euler::Euler;
+    use ablock_solver::kernel::Scheme;
     use ablock_solver::problems;
     use ablock_solver::stepper::total_conserved;
 
@@ -229,8 +242,7 @@ mod tests {
         let crit = GradientCriterion::new(3, 0.05, 0.02);
         let mut sim = AmrSimulation::new(
             grid,
-            e.clone(),
-            Scheme::muscl_rusanov(),
+            SolverConfig::new(e.clone(), Scheme::muscl_rusanov()),
             crit,
             AmrConfig::default(),
         );
@@ -253,10 +265,9 @@ mod tests {
         let crit = GradientCriterion::new(0, 0.08, 0.03);
         let mut sim = AmrSimulation::new(
             grid,
-            e.clone(),
-            Scheme::muscl_rusanov(),
+            SolverConfig::new(e.clone(), Scheme::muscl_rusanov()).with_cfl(0.3),
             crit,
-            AmrConfig { cfl: 0.3, adapt_every: 3, max_steps: 10_000, ..Default::default() },
+            AmrConfig { adapt_every: 3, max_steps: 10_000 },
         );
         problems::sedov_blast(&mut sim.grid, &e, [0.5, 0.5], 0.1, 20.0);
         sim.initial_adapt_with(3, None, |g| {
@@ -289,8 +300,7 @@ mod tests {
         );
         let mut sim = AmrSimulation::new(
             grid,
-            e.clone(),
-            Scheme::muscl_rusanov(),
+            SolverConfig::new(e.clone(), Scheme::muscl_rusanov()),
             BallCriterion { center: [0.25, 0.25], radius: 0.05 },
             AmrConfig::default(),
         );
@@ -324,8 +334,7 @@ mod tests {
         );
         let mut sim = AmrSimulation::new(
             grid,
-            e,
-            Scheme::first_order(),
+            SolverConfig::new(e, Scheme::first_order()),
             BallCriterion { center: [0.1, 0.1], radius: 0.02 },
             AmrConfig::default(),
         );

@@ -15,6 +15,7 @@ use ablock_solver::euler::Euler;
 use ablock_solver::kernel::Scheme;
 use ablock_solver::problems;
 use ablock_solver::stepper::Stepper;
+use ablock_solver::SolverConfig;
 
 /// L1 error of advecting a smooth density profile once around a periodic
 /// domain split into `nblocks` blocks of `m` cells.
@@ -30,8 +31,8 @@ fn advection_error(scheme: Scheme, nghost: i64, nblocks: i64, m: i64) -> f64 {
         w[1] = 1.0;
         w[2] = 1.0; // uniform p & u: an exact contact-advection solution
     });
-    let mut st = Stepper::new(e.clone(), scheme);
-    st.run_until(&mut g, 0.0, 1.0, 0.4, None);
+    let mut st = Stepper::new(SolverConfig::new(e.clone(), scheme).with_cfl(0.4));
+    st.run_until(&mut g, 0.0, 1.0, None);
     // compare to the exact translated (= initial) profile
     let dims = g.params().block_dims;
     let layout = g.layout().clone();

@@ -1,0 +1,155 @@
+//! OBL: per-phase time breakdown through the observability layer.
+//!
+//! Two runs, one export format (`BENCH_phase.json`):
+//!
+//! 1. **Measured shared-memory run** (real monotonic clock): a 2-D Euler
+//!    blast stepped by the pool-parallel [`ParStepper`] with adaptation
+//!    driven by [`AmrSimulation`], both recording into one registry — so
+//!    the snapshot holds `ghost_fill` (with the scatter under
+//!    `ghost_fill/comm`), `flux`, `update`, `adapt` (with `flag` and
+//!    `cascade` nested), plus pool busy/idle counters.
+//! 2. **Modeled 64-rank run** (virtual clock): the BSP cost model of a
+//!    3-D MHD topology replayed through [`record_step_phases`] /
+//!    [`record_adapt_phases`] at T3D-era rates. The virtual clock only
+//!    moves by modeled durations, so the replay is fully deterministic:
+//!    it is executed twice and the two JSON serializations are asserted
+//!    byte-identical before anything is written.
+//!
+//! `--quick` shrinks step counts for CI.
+
+use std::collections::HashMap;
+
+use ablock_amr::{AmrConfig, AmrSimulation, GradientCriterion};
+use ablock_bench::near_cubic_factors;
+use ablock_core::grid::{BlockGrid, GridParams};
+use ablock_core::layout::{Boundary, RootLayout};
+use ablock_io::{phase_table, spans_table, write_metrics_json};
+use ablock_obs::{phase, Metrics, MetricsSnapshot};
+use ablock_par::{
+    model_step_cached, partition_grid, record_adapt_phases, record_step_phases, CostParams,
+    ParStepper, Policy,
+};
+use ablock_solver::euler::Euler;
+use ablock_solver::kernel::Scheme;
+use ablock_solver::{problems, SolverConfig};
+
+const PHASES: [&str; 5] =
+    [phase::GHOST_FILL, phase::FLUX, phase::UPDATE, phase::ADAPT, phase::COMM];
+
+/// Shared-memory run: AMR driver (serial stepper + adapt spans) and the
+/// pool-parallel stepper share one real-clock registry.
+fn shared_memory_run(steps: usize) -> MetricsSnapshot {
+    let metrics = Metrics::recording();
+    let e = Euler::<2>::new(1.4);
+    let solver = SolverConfig::new(e.clone(), Scheme::muscl_rusanov())
+        .with_cfl(0.3)
+        .with_metrics(metrics.clone());
+
+    let make_grid = || {
+        BlockGrid::new(
+            RootLayout::unit([4, 4], Boundary::Outflow),
+            GridParams::new([8, 8], 2, 4, 2),
+        )
+    };
+    let ic = |g: &mut BlockGrid<2>| problems::sedov_blast(g, &e, [0.5, 0.5], 0.1, 20.0);
+
+    // AMR: adapt cadence 2 guarantees adapt spans even in --quick runs
+    let mut sim = AmrSimulation::new(
+        make_grid(),
+        solver.clone(),
+        GradientCriterion::new(3, 0.08, 0.03),
+        AmrConfig { adapt_every: 2, max_steps: 10_000 },
+    );
+    sim.initial_adapt_with(2, None, |g| ic(g));
+    for _ in 0..steps {
+        sim.advance(None);
+    }
+
+    // pool-parallel stepping on a fresh uniform grid, same registry
+    let mut grid = make_grid();
+    ic(&mut grid);
+    let mut par = ParStepper::new(solver);
+    for _ in 0..steps {
+        let dt = par.max_dt(&grid);
+        par.step_rk2(&mut grid, dt);
+    }
+    metrics.snapshot()
+}
+
+/// Modeled 64-rank run on the virtual clock; returns (snapshot, json).
+fn cost_model_run(steps: usize) -> (MetricsSnapshot, String) {
+    const NRANKS: usize = 64;
+    let metrics = Metrics::with_virtual_clock();
+    // 8 blocks per rank, topology 4^3 costed as 16^3 MHD (paper scaling)
+    let grid = ablock_bench::mhd_grid_3d(near_cubic_factors(8 * NRANKS), 4, 0, 0);
+    let owner: HashMap<_, _> = partition_grid(&grid, NRANKS, Policy::SfcHilbert);
+    let params = CostParams::t3d_like(700.0 / 33.0e6, 16.0, 4.0, 8.0);
+    let mut engine = SolverConfig::new(Euler::<3>::new(1.4), Scheme::muscl_rusanov())
+        .with_metrics(metrics.clone())
+        .engine();
+    for step in 0..steps {
+        let cost = model_step_cached(&grid, &mut engine, &owner, NRANKS, &params);
+        record_step_phases(&metrics, &cost, &params);
+        if (step + 1) % 4 == 0 {
+            // model an adapt that migrates ~5% of one rank's cells
+            let migrated = cost.ranks[0].cells * params.nvar * 0.05;
+            record_adapt_phases(&metrics, NRANKS, migrated, &params);
+        }
+    }
+    let snap = metrics.snapshot();
+    let json = snap.to_json();
+    (snap, json)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sm_steps, cm_steps) = if quick { (4, 8) } else { (12, 64) };
+
+    let shared = shared_memory_run(sm_steps);
+
+    let (model, model_json) = cost_model_run(cm_steps);
+    let (_, model_json2) = cost_model_run(cm_steps);
+    assert_eq!(
+        model_json, model_json2,
+        "virtual-clock cost-model metrics must be byte-identical across runs"
+    );
+    println!(
+        "determinism self-check: two {cm_steps}-step cost-model replays \
+         serialized to identical {}-byte JSON\n",
+        model_json.len()
+    );
+
+    phase_table(
+        "OBL: per-phase totals (ms), measured vs modeled",
+        &PHASES,
+        &[("shared_mem", &shared), ("model_64rank", &model)],
+    )
+    .print();
+    println!();
+    spans_table("shared-memory span detail", &shared).print();
+    println!();
+    spans_table("64-rank cost-model span detail", &model).print();
+
+    for ph in PHASES {
+        assert!(
+            shared.span_total_ns(ph) > 0,
+            "shared-memory run recorded no time in phase '{ph}'"
+        );
+        assert!(
+            model.span_total_ns(ph) > 0,
+            "cost-model run recorded no time in phase '{ph}'"
+        );
+    }
+
+    let mut out = Vec::new();
+    out.extend_from_slice(b"{\n\"shared_memory\": ");
+    write_metrics_json(&mut out, &shared).expect("vec write");
+    while out.last() == Some(&b'\n') {
+        out.pop();
+    }
+    out.extend_from_slice(b",\n\"cost_model_64rank\": ");
+    out.extend_from_slice(model_json.trim_end().as_bytes());
+    out.extend_from_slice(b"\n}\n");
+    std::fs::write("BENCH_phase.json", &out).expect("write BENCH_phase.json");
+    println!("\nwrote BENCH_phase.json ({} bytes)", out.len());
+}

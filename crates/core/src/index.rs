@@ -2,7 +2,7 @@
 //!
 //! The crate is generic over the spatial dimension `D ∈ {1, 2, 3}` via const
 //! generics. An index vector is a plain `[i64; D]`; this module provides the
-//! handful of vector helpers the rest of the crate needs, plus [`Box2`]/
+//! handful of vector helpers the rest of the crate needs, plus
 //! [`IBox`], an axis-aligned integer box used to describe cell regions
 //! (interior slabs, ghost slabs, face overlaps).
 //!

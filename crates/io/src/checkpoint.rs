@@ -584,13 +584,14 @@ mod tests {
         use ablock_solver::euler::Euler;
         use ablock_solver::kernel::Scheme;
         use ablock_solver::stepper::Stepper;
+        use ablock_solver::SolverConfig;
         let e = Euler::<2>::new(1.4);
         let mut g = BlockGrid::new(
             RootLayout::unit([2, 2], Boundary::Periodic),
             GridParams::new([4, 4], 2, 4, 2),
         );
         ablock_solver::problems::advected_gaussian(&mut g, &e, [1.0, 0.0], [0.5, 0.5], 0.15);
-        let mut st = Stepper::new(e.clone(), Scheme::muscl_rusanov());
+        let mut st = Stepper::new(SolverConfig::new(e.clone(), Scheme::muscl_rusanov()));
         let dt = 2e-3;
         for _ in 0..3 {
             st.step_rk2(&mut g, dt, None);
@@ -604,7 +605,7 @@ mod tests {
         }
         // reload and continue with a fresh stepper
         let mut g2: BlockGrid<2> = load_grid(&mut buf.as_slice()).unwrap();
-        let mut st2 = Stepper::new(e, Scheme::muscl_rusanov());
+        let mut st2 = Stepper::new(SolverConfig::new(e, Scheme::muscl_rusanov()));
         for _ in 0..3 {
             st2.step_rk2(&mut g2, dt, None);
         }

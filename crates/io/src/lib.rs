@@ -10,12 +10,15 @@
 //!   outlines) for ParaView/VisIt;
 //! * [`table`] — aligned text/CSV tables used by every figure binary;
 //! * [`checkpoint`] — binary save/restart of full grids;
-//! * [`profile`] — line sampling + CSV/sparkline for 1-D comparisons.
+//! * [`profile`] — line sampling + CSV/sparkline for 1-D comparisons;
+//! * [`metrics`] — metric-snapshot export (deterministic JSON, aligned
+//!   span/counter/phase tables).
 
 #![warn(missing_docs)]
 
 pub mod checkpoint;
 pub mod image;
+pub mod metrics;
 pub mod profile;
 pub mod render;
 pub mod table;
@@ -23,6 +26,7 @@ pub mod vtk;
 
 pub use checkpoint::{load_grid, save_grid};
 pub use image::{sample_2d, sample_3d_slice, to_pgm, to_ppm};
+pub use metrics::{counters_table, phase_table, spans_table, write_metrics_json};
 pub use profile::{line_profile, profile_csv, sparkline, ProfilePoint};
 pub use render::{ascii_grid_2d, svg_celltree_2d, svg_grid_2d, svg_partition_2d};
 pub use table::{fmt_g, Table};

@@ -1,0 +1,117 @@
+//! Metric-snapshot export: deterministic JSON plus the aligned
+//! text/CSV tables the benchmark harness prints.
+//!
+//! The JSON writer is a thin adapter over
+//! [`MetricsSnapshot::to_json`] (sorted keys, integers only), so two
+//! snapshots with equal contents produce byte-identical files — the
+//! property the cost-model determinism tests assert. The table builders
+//! feed [`Table`], keeping metric output grep-aligned with every other
+//! harness artifact.
+
+use std::io::{self, Write};
+
+use ablock_obs::MetricsSnapshot;
+
+use crate::table::{fmt_g, Table};
+
+/// Write a snapshot as deterministic JSON (byte-identical for equal
+/// snapshots).
+pub fn write_metrics_json<W: Write>(w: &mut W, snap: &MetricsSnapshot) -> io::Result<()> {
+    w.write_all(snap.to_json().as_bytes())
+}
+
+/// Span totals as an aligned table: one row per span path, with total
+/// milliseconds and mean microseconds per open/close.
+pub fn spans_table(title: &str, snap: &MetricsSnapshot) -> Table {
+    let mut t = Table::new(title, &["span", "count", "total_ms", "mean_us"]);
+    for (path, s) in &snap.spans {
+        let mean_us =
+            if s.count > 0 { s.total_ns as f64 / s.count as f64 / 1e3 } else { 0.0 };
+        t.row(&[
+            path.clone(),
+            s.count.to_string(),
+            fmt_g(s.total_ns as f64 / 1e6),
+            fmt_g(mean_us),
+        ]);
+    }
+    t
+}
+
+/// Counters as an aligned two-column table.
+pub fn counters_table(title: &str, snap: &MetricsSnapshot) -> Table {
+    let mut t = Table::new(title, &["counter", "value"]);
+    for (k, v) in &snap.counters {
+        t.row(&[k.clone(), v.to_string()]);
+    }
+    t
+}
+
+/// Side-by-side phase comparison: one row per phase (leaf-aggregated
+/// span totals, in milliseconds), one column per labeled run.
+pub fn phase_table(
+    title: &str,
+    phases: &[&str],
+    runs: &[(&str, &MetricsSnapshot)],
+) -> Table {
+    let mut headers = vec!["phase"];
+    headers.extend(runs.iter().map(|(label, _)| *label));
+    let mut t = Table::new(title, &headers);
+    for &ph in phases {
+        let mut row = vec![ph.to_string()];
+        for (_, snap) in runs {
+            row.push(fmt_g(snap.span_total_ns(ph) as f64 / 1e6));
+        }
+        t.row(&row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ablock_obs::Metrics;
+
+    fn sample() -> MetricsSnapshot {
+        let m = Metrics::with_virtual_clock();
+        {
+            let _s = m.span("step");
+            let _f = m.span("flux");
+            m.advance_ns(2_000_000);
+        }
+        m.incr("engine.plan_rebuilds", 1);
+        m.snapshot()
+    }
+
+    #[test]
+    fn json_writer_is_deterministic() {
+        let snap = sample();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_metrics_json(&mut a, &snap).unwrap();
+        write_metrics_json(&mut b, &snap).unwrap();
+        assert_eq!(a, b);
+        let s = String::from_utf8(a).unwrap();
+        assert!(s.contains("\"step/flux\""));
+        assert!(s.contains("\"engine.plan_rebuilds\": 1"));
+    }
+
+    #[test]
+    fn tables_cover_snapshot_contents() {
+        let snap = sample();
+        let spans = spans_table("spans", &snap);
+        assert_eq!(spans.len(), 2); // "step" and "step/flux"
+        assert!(spans.render().contains("step/flux"));
+        let counters = counters_table("counters", &snap);
+        assert_eq!(counters.len(), 1);
+        assert!(counters.to_csv().contains("engine.plan_rebuilds,1"));
+    }
+
+    #[test]
+    fn phase_table_aggregates_leaves() {
+        let snap = sample();
+        let t = phase_table("phases", &["flux", "update"], &[("run", &snap)]);
+        let csv = t.to_csv();
+        assert!(csv.contains("flux,2.0000"), "{csv}");
+        assert!(csv.contains("update,0"), "{csv}");
+    }
+}

@@ -1,0 +1,537 @@
+//! # ablock-obs — observability for adaptive-block solvers
+//!
+//! Zero-dependency instrumentation shared by every layer of the
+//! workspace: the sweep engine, the serial/shared-memory/distributed
+//! steppers, the AMR driver, and the message-passing machine all report
+//! through one [`Metrics`] handle installed via the solver configuration.
+//!
+//! Three primitives:
+//!
+//! * **monotonic counters** ([`Metrics::incr`]) — rebuild/reuse counts,
+//!   bytes on the wire, retries, blocks refined;
+//! * **value histograms** ([`Metrics::observe`]) — fixed log-2 buckets,
+//!   so the recorded *values* path contains no wall-clock and identical
+//!   runs produce identical histograms;
+//! * **hierarchical span timers** ([`Metrics::span`]) — nested
+//!   phase timers ("step/ghost_fill", "step/flux") read from a pluggable
+//!   clock.
+//!
+//! The clock is the substitution point: a real [monotonic
+//! clock](Metrics::recording) measures wall time on the host, while a
+//! [virtual clock](Metrics::with_virtual_clock) is advanced explicitly by
+//! the BSP cost model ([`Metrics::advance_ns`]) so a simulated 512-rank
+//! run reports a *deterministic* phase breakdown — two identical
+//! cost-model runs serialize to byte-identical JSON.
+//!
+//! The default handle is the **null sink** ([`Metrics::null`]): every
+//! recording call is a single `Option` test and spans are inert guards,
+//! so instrumented hot paths cost nothing when observability is off, and
+//! results are bitwise identical either way (the solver test suite
+//! asserts this).
+//!
+//! Span discipline: spans nest LIFO on the *control* thread (guards close
+//! innermost-first); counters and histograms may be recorded from any
+//! thread.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Canonical phase names used across the workspace so exports line up.
+pub mod phase {
+    /// Ghost-cell exchange (plan execution, local copies + remote fills).
+    pub const GHOST_FILL: &str = "ghost_fill";
+    /// Reconstruction + Riemann fluxes (the dense per-block kernels).
+    pub const FLUX: &str = "flux";
+    /// Conserved-variable update (FE/RK2 stage arithmetic + floors).
+    pub const UPDATE: &str = "update";
+    /// Berger–Colella flux correction at coarse/fine faces.
+    pub const REFLUX: &str = "reflux";
+    /// Grid adaptation (flagging, cascade, refine/coarsen, transfer).
+    pub const ADAPT: &str = "adapt";
+    /// Point-to-point communication (halo sends/receives, migration).
+    pub const COMM: &str = "comm";
+    /// Global reductions (CFL allreduce) and barrier waits.
+    pub const REDUCE: &str = "reduce";
+    /// Load-balance repartition + block migration.
+    pub const REBALANCE: &str = "rebalance";
+}
+
+/// Which clock a registry reads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ClockKind {
+    /// Host monotonic clock (`std::time::Instant`), origin at creation.
+    Monotonic,
+    /// Explicitly advanced tick counter; see [`Metrics::advance_ns`].
+    Virtual,
+}
+
+/// Totals for one span path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Times the span was opened and closed.
+    pub count: u64,
+    /// Total nanoseconds (clock ticks) spent inside.
+    pub total_ns: u64,
+}
+
+/// Number of log-2 histogram buckets: bucket `i` holds values `v` with
+/// `floor(log2(v)) + 1 == i` (bucket 0 holds only `v == 0`).
+pub const HIST_BUCKETS: usize = 65;
+
+/// A fixed log-2 bucket histogram of `u64` values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket counts; see [`HIST_BUCKETS`] for the bucket rule.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; HIST_BUCKETS], count: 0, sum: 0 }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a value.
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+}
+
+/// The mutable state behind a recording [`Metrics`] handle.
+struct Registry {
+    clock: ClockKind,
+    origin: Instant,
+    virtual_ns: u64,
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Histogram>,
+    spans: BTreeMap<String, SpanStat>,
+    /// Open-span name stack (control thread only); keys are joined paths.
+    stack: Vec<&'static str>,
+}
+
+impl Registry {
+    fn new(clock: ClockKind) -> Self {
+        Registry {
+            clock,
+            origin: Instant::now(),
+            virtual_ns: 0,
+            counters: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            spans: BTreeMap::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        match self.clock {
+            ClockKind::Monotonic => self.origin.elapsed().as_nanos() as u64,
+            ClockKind::Virtual => self.virtual_ns,
+        }
+    }
+}
+
+fn lock_unpoisoned(m: &Mutex<Registry>) -> MutexGuard<'_, Registry> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A shareable metrics sink. `Clone` is cheap (an [`Arc`] bump, or nothing
+/// for the null sink); the default value is the null sink.
+#[derive(Clone, Default)]
+pub struct Metrics(Option<Arc<Mutex<Registry>>>);
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => write!(f, "Metrics(null)"),
+            Some(r) => write!(f, "Metrics({:?})", lock_unpoisoned(r).clock),
+        }
+    }
+}
+
+impl Metrics {
+    /// The null sink: every call is a no-op behind one branch.
+    pub fn null() -> Self {
+        Metrics(None)
+    }
+
+    /// A recording sink on the host monotonic clock (wall-time spans).
+    pub fn recording() -> Self {
+        Metrics(Some(Arc::new(Mutex::new(Registry::new(ClockKind::Monotonic)))))
+    }
+
+    /// A recording sink on a virtual clock that only moves when
+    /// [`Metrics::advance_ns`] is called — deterministic span totals for
+    /// cost-model replays.
+    pub fn with_virtual_clock() -> Self {
+        Metrics(Some(Arc::new(Mutex::new(Registry::new(ClockKind::Virtual)))))
+    }
+
+    /// `true` unless this is the null sink.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Add `by` to a named monotonic counter.
+    #[inline]
+    pub fn incr(&self, counter: &str, by: u64) {
+        if let Some(r) = &self.0 {
+            let mut g = lock_unpoisoned(r);
+            *g.counters.entry(counter.to_string()).or_insert(0) += by;
+        }
+    }
+
+    /// Record a value into a named log-2 histogram.
+    #[inline]
+    pub fn observe(&self, hist: &str, value: u64) {
+        if let Some(r) = &self.0 {
+            lock_unpoisoned(r).hists.entry(hist.to_string()).or_default().record(value);
+        }
+    }
+
+    /// Advance the virtual clock by `ns`. No-op on the monotonic clock
+    /// (and on the null sink), so cost-model drivers can call it
+    /// unconditionally.
+    #[inline]
+    pub fn advance_ns(&self, ns: u64) {
+        if let Some(r) = &self.0 {
+            let mut g = lock_unpoisoned(r);
+            if g.clock == ClockKind::Virtual {
+                g.virtual_ns += ns;
+            }
+        }
+    }
+
+    /// Current clock reading in nanoseconds (0 for the null sink).
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        match &self.0 {
+            None => 0,
+            Some(r) => lock_unpoisoned(r).now_ns(),
+        }
+    }
+
+    /// Open a hierarchical span; it closes (and records) when the guard
+    /// drops. Nested opens build slash-joined paths ("step/flux").
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span {
+        match &self.0 {
+            None => Span(None),
+            Some(r) => {
+                let mut g = lock_unpoisoned(r);
+                let depth = g.stack.len();
+                g.stack.push(name);
+                let path = g.stack.join("/");
+                let start_ns = g.now_ns();
+                Span(Some(SpanInner { registry: r.clone(), path, depth, start_ns }))
+            }
+        }
+    }
+
+    /// Snapshot every counter, histogram, and span total.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.0 {
+            None => MetricsSnapshot::empty(),
+            Some(r) => {
+                let g = lock_unpoisoned(r);
+                MetricsSnapshot {
+                    clock: match g.clock {
+                        ClockKind::Monotonic => "monotonic",
+                        ClockKind::Virtual => "virtual",
+                    },
+                    counters: g.counters.clone(),
+                    hists: g.hists.clone(),
+                    spans: g.spans.clone(),
+                }
+            }
+        }
+    }
+}
+
+struct SpanInner {
+    registry: Arc<Mutex<Registry>>,
+    path: String,
+    depth: usize,
+    start_ns: u64,
+}
+
+/// Guard for an open span; records `count += 1` and the elapsed clock
+/// ticks into the span's path total on drop.
+pub struct Span(Option<SpanInner>);
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.0.take() {
+            let mut g = lock_unpoisoned(&inner.registry);
+            let elapsed = g.now_ns().saturating_sub(inner.start_ns);
+            // restore the stack to this span's open depth even if inner
+            // guards were leaked or dropped out of order
+            g.stack.truncate(inner.depth);
+            let stat = g.spans.entry(inner.path).or_default();
+            stat.count += 1;
+            stat.total_ns += elapsed;
+        }
+    }
+}
+
+/// An immutable copy of a registry's state, ready for export. All maps
+/// are ordered ([`BTreeMap`]), so serialization is deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `"monotonic"`, `"virtual"`, or `"null"` for an empty snapshot.
+    pub clock: &'static str,
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram name → buckets.
+    pub hists: BTreeMap<String, Histogram>,
+    /// Span path → totals.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl MetricsSnapshot {
+    fn empty() -> Self {
+        MetricsSnapshot { clock: "null", ..Default::default() }
+    }
+
+    /// A counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total nanoseconds across every span path whose **last** component
+    /// equals `leaf` — "flux" sums "step/flux" and "mg/smooth/flux".
+    pub fn span_total_ns(&self, leaf: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|(path, _)| path.rsplit('/').next() == Some(leaf))
+            .map(|(_, s)| s.total_ns)
+            .sum()
+    }
+
+    /// Deterministic JSON: keys sorted, integers only, no whitespace
+    /// dependence on locale. Two snapshots with equal contents serialize
+    /// to byte-identical strings.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"clock\": ");
+        json_escape(self.clock, &mut out);
+        out.push_str(",\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            json_escape(k, &mut out);
+            let _ = write!(out, ": {v}");
+        }
+        out.push_str("\n  },\n  \"spans\": {");
+        for (i, (k, s)) in self.spans.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            json_escape(k, &mut out);
+            let _ = write!(out, ": {{\"count\": {}, \"total_ns\": {}}}", s.count, s.total_ns);
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in self.hists.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            json_escape(k, &mut out);
+            let _ = write!(out, ": {{\"count\": {}, \"sum\": {}, \"buckets\": {{", h.count, h.sum);
+            let mut first = true;
+            for (b, &n) in h.buckets.iter().enumerate() {
+                if n > 0 {
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "\"{b}\": {n}");
+                    first = false;
+                }
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_records_nothing() {
+        let m = Metrics::null();
+        assert!(!m.is_enabled());
+        m.incr("a", 3);
+        m.observe("h", 17);
+        m.advance_ns(100);
+        {
+            let _s = m.span("x");
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.clock, "null");
+        assert!(snap.counters.is_empty());
+        assert!(snap.spans.is_empty());
+        assert!(snap.hists.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::recording();
+        m.incr("c", 1);
+        m.incr("c", 2);
+        m.incr("d", 5);
+        let s = m.snapshot();
+        assert_eq!(s.counter("c"), 3);
+        assert_eq!(s.counter("d"), 5);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let m = Metrics::with_virtual_clock();
+        {
+            let _outer = m.span("step");
+            m.advance_ns(10);
+            {
+                let _inner = m.span("flux");
+                m.advance_ns(30);
+            }
+            {
+                let _inner = m.span("update");
+                m.advance_ns(5);
+            }
+            m.advance_ns(2);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.spans["step"], SpanStat { count: 1, total_ns: 47 });
+        assert_eq!(s.spans["step/flux"], SpanStat { count: 1, total_ns: 30 });
+        assert_eq!(s.spans["step/update"], SpanStat { count: 1, total_ns: 5 });
+        // leaf aggregation sums across parents
+        {
+            let _other = m.span("mg");
+            let _inner = m.span("flux");
+            m.advance_ns(4);
+        }
+        assert_eq!(m.snapshot().span_total_ns("flux"), 34);
+    }
+
+    #[test]
+    fn span_counts_accumulate_in_order() {
+        let m = Metrics::with_virtual_clock();
+        for i in 0..4 {
+            let _s = m.span("tick");
+            m.advance_ns(i);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.spans["tick"], SpanStat { count: 4, total_ns: 6 });
+    }
+
+    #[test]
+    fn sibling_span_after_leaked_inner_keeps_depth() {
+        // dropping guards out of LIFO order must not corrupt later paths
+        let m = Metrics::with_virtual_clock();
+        let outer = m.span("a");
+        let inner = m.span("b");
+        m.advance_ns(1);
+        drop(outer); // closes "a" and truncates the stack
+        drop(inner); // records "a/b" without pushing garbage
+        {
+            let _top = m.span("c");
+            m.advance_ns(1);
+        }
+        let s = m.snapshot();
+        assert!(s.spans.contains_key("a"));
+        assert!(s.spans.contains_key("a/b"));
+        assert!(s.spans.contains_key("c"), "got {:?}", s.spans.keys());
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        let m = Metrics::recording();
+        for v in [0, 1, 2, 3, 1000] {
+            m.observe("h", v);
+        }
+        let s = m.snapshot();
+        let h = &s.hists["h"];
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1006);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 2);
+        assert_eq!(h.buckets[10], 1); // 512 <= 1000 < 1024
+    }
+
+    #[test]
+    fn virtual_clock_only_moves_on_advance() {
+        let m = Metrics::with_virtual_clock();
+        assert_eq!(m.now_ns(), 0);
+        m.advance_ns(7);
+        assert_eq!(m.now_ns(), 7);
+        // monotonic clock ignores advance
+        let w = Metrics::recording();
+        w.advance_ns(1_000_000_000);
+        assert!(w.now_ns() < 1_000_000_000);
+    }
+
+    #[test]
+    fn identical_virtual_runs_serialize_identically() {
+        let run = || {
+            let m = Metrics::with_virtual_clock();
+            for i in 0..10u64 {
+                let _step = m.span("step");
+                {
+                    let _f = m.span("flux");
+                    m.advance_ns(100 + i);
+                }
+                m.incr("steps", 1);
+                m.observe("sizes", 1 << (i % 7));
+            }
+            m.snapshot().to_json()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "virtual-clock runs must be byte-identical");
+        assert!(a.contains("\"step/flux\""));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let m = Metrics::with_virtual_clock();
+        m.incr("a\"b", 1); // quote in a name must be escaped
+        let j = m.snapshot().to_json();
+        assert!(j.contains("a\\\"b"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -31,6 +31,7 @@ use std::collections::HashMap;
 use ablock_core::arena::BlockId;
 use ablock_core::ghost::{GhostExchange, GhostTask};
 use ablock_core::grid::BlockGrid;
+use ablock_obs::{phase, Metrics};
 use ablock_solver::engine::SweepEngine;
 
 /// Machine and scheme rates for the step model.
@@ -88,6 +89,9 @@ pub struct RankCost {
     pub msgs: f64,
     /// Remote f64s sent or received per exchange.
     pub values: f64,
+    /// f64s copied between same-rank blocks per exchange (the local part
+    /// of the ghost fill — memory traffic, not messages).
+    pub local_values: f64,
 }
 
 /// Modeled cost of one time step.
@@ -160,12 +164,14 @@ pub fn model_step<const D: usize>(
             GhostTask::Physical { .. } | GhostTask::ClampCopy { .. } => continue,
         };
         let (od, os) = (owner[&dst], owner[&src]);
+        let values = vol as f64 * face_scale * nvar;
         if od != os {
-            let values = vol as f64 * face_scale * nvar;
             ranks[od].msgs += 1.0;
             ranks[od].values += values;
             ranks[os].msgs += 1.0;
             ranks[os].values += values;
+        } else {
+            ranks[od].local_values += values;
         }
     }
 
@@ -190,6 +196,78 @@ pub fn model_step<const D: usize>(
         comm_max,
         reduce,
     }
+}
+
+/// Round a modeled duration to integer nanoseconds (the only currency a
+/// metric sink accepts — keeping the replay exactly reproducible).
+fn model_ns(seconds: f64) -> u64 {
+    (seconds.max(0.0) * 1e9).round() as u64
+}
+
+/// Replay one modeled step into a metric sink as phase spans, advancing
+/// the sink's **virtual clock** by each phase's modeled duration. The
+/// phase decomposition mirrors the instrumented executors, so a modeled
+/// 512-rank run and a measured shared-memory run produce snapshots with
+/// the same span paths:
+///
+/// * `ghost_fill` — local ghost copies of the busiest rank (at the
+///   point-to-point bandwidth, a memory-traffic proxy), with the remote
+///   part nested as `ghost_fill/comm` (the model's `comm_max`);
+/// * `flux` — `compute_max` (the per-cell RHS rate covers the sweeps);
+/// * `update` — the busiest rank's cell updates charged as
+///   bandwidth-bound axpy traffic (`cells · nvar · stages` values);
+/// * `reduce` — the allreduce tree.
+///
+/// Aggregate model counters (`model.msgs`, `model.values`,
+/// `model.local_values`, rounded to integers) are recorded alongside, so
+/// two replays of the same topology are byte-identical snapshots.
+pub fn record_step_phases(metrics: &Metrics, cost: &StepCost, p: &CostParams) {
+    let local_max = cost.ranks.iter().map(|r| r.local_values).fold(0.0f64, f64::max);
+    {
+        let _gf = metrics.span(phase::GHOST_FILL);
+        metrics.advance_ns(model_ns(local_max * p.stages * p.t_value));
+        let _comm = metrics.span(phase::COMM);
+        metrics.advance_ns(model_ns(cost.comm_max));
+    }
+    {
+        let _flux = metrics.span(phase::FLUX);
+        metrics.advance_ns(model_ns(cost.compute_max));
+    }
+    {
+        let _update = metrics.span(phase::UPDATE);
+        let cells_max = if p.t_cell > 0.0 {
+            cost.compute_max / (p.stages * p.t_cell)
+        } else {
+            0.0
+        };
+        metrics.advance_ns(model_ns(cells_max * p.nvar * p.stages * p.t_value));
+    }
+    {
+        let _reduce = metrics.span(phase::REDUCE);
+        metrics.advance_ns(model_ns(cost.reduce));
+    }
+    let total = |f: fn(&RankCost) -> f64| cost.ranks.iter().map(f).sum::<f64>().round() as u64;
+    metrics.incr("model.steps", 1);
+    metrics.incr("model.msgs", total(|r| r.msgs));
+    metrics.incr("model.values", total(|r| r.values));
+    metrics.incr("model.local_values", total(|r| r.local_values));
+}
+
+/// Replay one modeled adapt-and-rebalance into a metric sink: an
+/// allgather of refine flags (two tree traversals) under `adapt`, and the
+/// migration of `migrated_values` f64s under a nested `adapt/rebalance`
+/// span. Companion to [`record_step_phases`] for virtual-clock runs.
+pub fn record_adapt_phases(
+    metrics: &Metrics,
+    nranks: usize,
+    migrated_values: f64,
+    p: &CostParams,
+) {
+    let hops = (nranks as f64).log2().ceil().max(0.0);
+    let _adapt = metrics.span(phase::ADAPT);
+    metrics.advance_ns(model_ns(2.0 * hops * p.t_reduce_hop));
+    let _rb = metrics.span(phase::REBALANCE);
+    metrics.advance_ns(model_ns(migrated_values * p.t_value + p.t_msg * hops));
 }
 
 #[cfg(test)]

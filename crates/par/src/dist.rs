@@ -31,9 +31,10 @@ use ablock_core::key::BlockKey;
 use ablock_core::ops::ProlongOrder;
 
 use ablock_solver::engine::{rk2_stage1_block, rk2_stage2_block, SweepEngine};
-use ablock_solver::kernel::{compute_rhs_block, max_rate_block, Scheme};
+use ablock_solver::kernel::{compute_rhs_block, max_rate_block};
 use ablock_solver::physics::Physics;
 use ablock_solver::recon::Recon;
+use ablock_solver::SolverConfig;
 
 use crate::balance::{partition, Policy};
 use crate::machine::Comm;
@@ -91,8 +92,7 @@ pub struct DistSim<const D: usize, P: Physics> {
     pub grid: BlockGrid<D>,
     /// Block → owning rank.
     pub owner: HashMap<BlockId, usize>,
-    phys: P,
-    scheme: Scheme,
+    cfg: SolverConfig<P>,
     engine: SweepEngine<D>,
     /// Halo values received from peers (diagnostics).
     pub halo_values_recv: u64,
@@ -100,26 +100,41 @@ pub struct DistSim<const D: usize, P: Physics> {
 
 impl<const D: usize, P: Physics> DistSim<D, P> {
     /// Wrap a (deterministically identical on every rank) grid with an
-    /// ownership map.
-    pub fn new(
-        grid: BlockGrid<D>,
-        owner: HashMap<BlockId, usize>,
-        phys: P,
-        scheme: Scheme,
-    ) -> Self {
-        let engine = SweepEngine::for_scheme(&phys, scheme);
-        DistSim { grid, owner, phys, scheme, engine, halo_values_recv: 0 }
+    /// ownership map. The [`SolverConfig`] must be identical on every
+    /// rank (physics, scheme, CFL — the replicated-topology invariant
+    /// extends to the solver parameters).
+    pub fn new(grid: BlockGrid<D>, owner: HashMap<BlockId, usize>, cfg: SolverConfig<P>) -> Self {
+        let engine = cfg.engine();
+        DistSim { grid, owner, cfg, engine, halo_values_recv: 0 }
     }
 
     /// Partition-and-wrap convenience.
-    pub fn partitioned(grid: BlockGrid<D>, nranks: usize, policy: Policy, phys: P, scheme: Scheme) -> Self {
+    pub fn partitioned(
+        grid: BlockGrid<D>,
+        nranks: usize,
+        policy: Policy,
+        cfg: SolverConfig<P>,
+    ) -> Self {
         let owner = crate::balance::partition_grid(&grid, nranks, policy);
-        Self::new(grid, owner, phys, scheme)
+        Self::new(grid, owner, cfg)
+    }
+
+    /// The solver configuration this simulation was built from.
+    pub fn config(&self) -> &SolverConfig<P> {
+        &self.cfg
     }
 
     /// The underlying sweep engine (plan cache stats).
     pub fn engine(&self) -> &SweepEngine<D> {
         &self.engine
+    }
+
+    /// Mutable engine access — the single escape hatch for out-of-band
+    /// invalidation (`engine_mut().invalidate()`). **Not** needed after
+    /// adapt or rebalance — both bump the grid's topology epoch, which
+    /// the engine tracks automatically.
+    pub fn engine_mut(&mut self) -> &mut SweepEngine<D> {
+        &mut self.engine
     }
 
     /// Blocks owned by `rank`.
@@ -132,13 +147,6 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
             .collect();
         v.sort();
         v
-    }
-
-    /// Force a plan/scratch rebuild on the next sweep. **Not** needed after
-    /// adapt or rebalance — both bump the grid's topology epoch, which the
-    /// engine tracks automatically.
-    pub fn invalidate(&mut self) {
-        self.engine.invalidate();
     }
 
     /// Distributed ghost fill: remote source regions are received from
@@ -181,6 +189,7 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
                             let data =
                                 comm.recv(self.owner[&src], TAG_HALO + (base + i) as u64);
                             self.halo_values_recv += data.len() as u64;
+                            self.cfg.metrics.incr("dist.halo_values_recv", data.len() as u64);
                             insert_box(self.grid.block_mut(src).field_mut(), bx, &data);
                         }
                         run_one_task(&mut self.grid, task, plan);
@@ -195,8 +204,9 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
         }
     }
 
-    /// Global CFL time step across all owned blocks.
-    pub fn max_dt(&self, comm: &Comm, cfl: f64) -> f64 {
+    /// Global CFL time step across all owned blocks, at the configured
+    /// CFL number.
+    pub fn max_dt(&self, comm: &Comm) -> f64 {
         let me = comm.rank();
         let mut rate: f64 = 0.0;
         for id in self.owned_ids(me) {
@@ -205,11 +215,11 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
                 .grid
                 .layout()
                 .cell_size(node.key().level, self.grid.params().block_dims);
-            rate = rate.max(max_rate_block(&self.phys, node.field(), h));
+            rate = rate.max(max_rate_block(&self.cfg.physics, node.field(), h));
         }
         let global = comm.allreduce_max(rate);
         if global > 0.0 {
-            cfl / global
+            self.cfg.cfl / global
         } else {
             f64::INFINITY
         }
@@ -226,8 +236,8 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
                 .layout()
                 .cell_size(node.key().level, self.grid.params().block_dims);
             compute_rhs_block(
-                &self.phys,
-                self.scheme,
+                &self.cfg.physics,
+                self.cfg.scheme,
                 node.field(),
                 h,
                 &mut sw.rhs[id.index()],
@@ -245,7 +255,7 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
             for &id in &ids {
                 let node = self.grid.block_mut(id);
                 rk2_stage1_block(
-                    &self.phys,
+                    &self.cfg.physics,
                     node.field_mut(),
                     &sw.rhs[id.index()],
                     &mut sw.stage[id.index()],
@@ -258,7 +268,7 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
         for &id in &ids {
             let node = self.grid.block_mut(id);
             rk2_stage2_block(
-                &self.phys,
+                &self.cfg.physics,
                 node.field_mut(),
                 &sw.rhs[id.index()],
                 &sw.stage[id.index()],
@@ -315,7 +325,7 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
             .blocks()
             .map(|(id, n)| (n.key(), self.owner[&id]))
             .collect();
-        let transfer = Transfer::Conservative(match self.scheme.recon {
+        let transfer = Transfer::Conservative(match self.cfg.scheme.recon {
             Recon::FirstOrder => ProlongOrder::Constant,
             Recon::Muscl(_) => ProlongOrder::LinearMinmod,
         });
@@ -339,6 +349,9 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
         self.owner = new_owner;
         // no invalidation needed: adapt's refine/coarsen calls bumped the
         // grid epoch, and rebalance below bumps it for ownership changes
+        if report.changed() {
+            self.cfg.metrics.incr("dist.adapts", 1);
+        }
         if report.changed() || comm.nranks() > 1 {
             self.rebalance(comm, policy);
         }
@@ -401,6 +414,7 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
                 let bx = self.grid.block(*id).field().shape().interior_box();
                 let data = extract_box(self.grid.block(*id).field(), bx);
                 comm.send(new, TAG_MIGRATE + i as u64, data);
+                self.cfg.metrics.incr("dist.migrated_blocks", 1);
             }
         }
         for (i, (_, id)) in keyed.iter().enumerate() {
@@ -439,6 +453,7 @@ mod tests {
     use ablock_core::grid::GridParams;
     use ablock_core::layout::{Boundary, RootLayout};
     use ablock_solver::euler::Euler;
+    use ablock_solver::kernel::Scheme;
     use ablock_solver::problems;
     use ablock_solver::stepper::Stepper;
 
@@ -458,7 +473,7 @@ mod tests {
         let e = Euler::<2>::new(1.4);
         let mut g = build_grid();
         init(&mut g, &e);
-        let mut st = Stepper::new(e, Scheme::muscl_rusanov());
+        let mut st = Stepper::new(SolverConfig::new(e, Scheme::muscl_rusanov()));
         for _ in 0..steps {
             st.step_rk2(&mut g, dt, None);
         }
@@ -475,7 +490,7 @@ mod tests {
             let e = Euler::<2>::new(1.4);
             let mut g = build_grid();
             init(&mut g, &e);
-            let mut sim = DistSim::partitioned(g, nranks, policy, e, Scheme::muscl_rusanov());
+            let mut sim = DistSim::partitioned(g, nranks, policy, SolverConfig::new(e, Scheme::muscl_rusanov()));
             for _ in 0..steps {
                 sim.step_rk2(&comm, dt);
             }
@@ -539,8 +554,8 @@ mod tests {
             let e = Euler::<2>::new(1.4);
             let mut g = build_grid();
             init(&mut g, &e);
-            let sim = DistSim::partitioned(g, 3, Policy::SfcMorton, e, Scheme::muscl_rusanov());
-            sim.max_dt(&comm, 0.4)
+            let sim = DistSim::partitioned(g, 3, Policy::SfcMorton, SolverConfig::new(e, Scheme::muscl_rusanov()));
+            sim.max_dt(&comm)
         })
         .unwrap();
         assert!((dts[0] - dts[1]).abs() < 1e-15);
@@ -556,7 +571,7 @@ mod tests {
             init(&mut g, &e);
             let total_ref: f64 = ablock_solver::stepper::total_conserved(&g, 0);
             let mut sim =
-                DistSim::partitioned(g, 2, Policy::RoundRobin, e, Scheme::muscl_rusanov());
+                DistSim::partitioned(g, 2, Policy::RoundRobin, SolverConfig::new(e, Scheme::muscl_rusanov()));
             // rebalance to SFC: lots of migration
             sim.rebalance(&comm, Policy::SfcHilbert);
             // total mass over owned blocks, reduced
@@ -586,7 +601,7 @@ mod tests {
             let mut g = build_grid();
             init(&mut g, &e);
             let mut sim =
-                DistSim::partitioned(g, 2, Policy::SfcHilbert, e, Scheme::muscl_rusanov());
+                DistSim::partitioned(g, 2, Policy::SfcHilbert, SolverConfig::new(e, Scheme::muscl_rusanov()));
             // rank-local flags: refine the two blocks covering the pulse
             let me = comm.rank();
             let mut flags = HashMap::new();
@@ -623,7 +638,7 @@ mod tests {
             let mut g = build_grid();
             init(&mut g, &e);
             let mut sim =
-                DistSim::partitioned(g, 2, Policy::SfcHilbert, e, Scheme::muscl_rusanov());
+                DistSim::partitioned(g, 2, Policy::SfcHilbert, SolverConfig::new(e, Scheme::muscl_rusanov()));
             let me = comm.rank();
             let mut flags = HashMap::new();
             for id in sim.owned_ids(me) {
@@ -633,7 +648,7 @@ mod tests {
             }
             sim.adapt_rebalance(&comm, &flags, Policy::SfcHilbert);
             for _ in 0..3 {
-                let dt = sim.max_dt(&comm, 0.3);
+                let dt = sim.max_dt(&comm);
                 sim.step_rk2(&comm, dt);
             }
             for id in sim.owned_ids(me) {

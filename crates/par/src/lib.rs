@@ -30,9 +30,12 @@ pub mod recover;
 pub mod shared;
 
 pub use balance::{comm_stats, imbalance, partition, partition_grid, CommStats, Policy};
-pub use costmodel::{model_step, CostParams, RankCost, StepCost};
+pub use costmodel::{
+    model_step, model_step_cached, record_adapt_phases, record_step_phases, CostParams, RankCost,
+    StepCost,
+};
 pub use dist::DistSim;
 pub use fault::{FaultPlan, FaultStats};
 pub use machine::{Comm, CommError, Machine, MachineConfig, MachineError, Msg, RankFailure};
 pub use recover::{run_resilient, RecoverConfig, RecoverError, RecoverOutcome};
-pub use shared::{par_fill_ghosts, ParStepper};
+pub use shared::{par_fill_ghosts, par_fill_ghosts_with, ParStepper};

@@ -42,6 +42,8 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError}
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
 use std::time::{Duration, Instant};
 
+use ablock_obs::Metrics;
+
 use crate::fault::{fnv1a64, FaultAction, FaultPlan};
 
 /// A tagged message.
@@ -290,6 +292,37 @@ fn classify(payload: Box<dyn Any + Send>) -> RankFailure {
     }
 }
 
+/// Per-rank metric sink with precomputed counter keys, so the hot send
+/// and receive paths never format strings. Rank bodies run on worker
+/// threads, so only counters/histograms are recorded here — never spans
+/// (those nest on the control thread).
+struct CommMetrics {
+    m: Metrics,
+    sent_msgs: String,
+    sent_values: String,
+    recv_msgs: String,
+    recv_values: String,
+    retries: String,
+    timeouts: String,
+    barrier_wait_ns: String,
+}
+
+impl CommMetrics {
+    fn new(rank: usize, m: Metrics) -> Self {
+        let key = |suffix: &str| format!("comm.r{rank}.{suffix}");
+        CommMetrics {
+            m,
+            sent_msgs: key("sent_msgs"),
+            sent_values: key("sent_values"),
+            recv_msgs: key("recv_msgs"),
+            recv_values: key("recv_values"),
+            retries: key("retries"),
+            timeouts: key("recv_timeouts"),
+            barrier_wait_ns: key("barrier_wait_ns"),
+        }
+    }
+}
+
 /// Per-rank communication endpoint.
 pub struct Comm {
     rank: usize,
@@ -317,6 +350,8 @@ pub struct Comm {
     pub sent_msgs: Cell<u64>,
     /// Total f64s sent point-to-point.
     pub sent_values: Cell<u64>,
+    /// Optional per-rank metric sink (see [`Comm::install_metrics`]).
+    metrics: RefCell<Option<CommMetrics>>,
 }
 
 impl Comm {
@@ -330,6 +365,25 @@ impl Comm {
     #[inline]
     pub fn nranks(&self) -> usize {
         self.nranks
+    }
+
+    /// Attach a metric sink to this endpoint. Traffic is recorded under
+    /// rank-qualified counters (`comm.r<rank>.sent_msgs`, `.sent_values`,
+    /// `.recv_msgs`, `.recv_values`, `.retries`, `.recv_timeouts`,
+    /// `.barrier_wait_ns`). A null sink is a no-op install.
+    pub fn install_metrics(&self, metrics: &Metrics) {
+        if metrics.is_enabled() {
+            *self.metrics.borrow_mut() = Some(CommMetrics::new(self.rank, metrics.clone()));
+        }
+    }
+
+    /// Record `f(keys) -> (key, delta)` against the installed sink, if any.
+    #[inline]
+    fn note(&self, f: impl Fn(&CommMetrics) -> (&str, u64)) {
+        if let Some(cm) = self.metrics.borrow().as_ref() {
+            let (key, delta) = f(cm);
+            cm.m.incr(key, delta);
+        }
     }
 
     /// Count a user-level communication op and fire a planned crash.
@@ -354,6 +408,8 @@ impl Comm {
     fn send_physical(&self, to: usize, tag: u64, mut data: Vec<f64>) {
         self.sent_msgs.set(self.sent_msgs.get() + 1);
         self.sent_values.set(self.sent_values.get() + data.len() as u64);
+        self.note(|cm| (&cm.sent_msgs, 1));
+        self.note(|cm| (&cm.sent_values, data.len() as u64));
         if tag & COLL_TAG == 0 {
             if let Some(fp) = &self.faults {
                 let counter = self.phys_sends.get();
@@ -440,8 +496,12 @@ impl Comm {
             self.recv_seq.borrow_mut().insert((msg.src, msg.tag), seq + 1);
             self.send_ack(msg.src, msg.tag, seq);
             msg.data.drain(..2);
+            self.note(|cm| (&cm.recv_msgs, 1));
+            self.note(|cm| (&cm.recv_values, msg.data.len() as u64));
             return Some(msg);
         }
+        self.note(|cm| (&cm.recv_msgs, 1));
+        self.note(|cm| (&cm.recv_values, msg.data.len() as u64));
         Some(msg)
     }
 
@@ -497,6 +557,7 @@ impl Comm {
             let waited = start.elapsed();
             let deadline = user_timeout.unwrap_or(self.cfg.watchdog);
             if waited >= deadline {
+                self.note(|cm| (&cm.timeouts, 1));
                 return Err(CommError::Timeout { from, tag, waited });
             }
         }
@@ -531,7 +592,10 @@ impl Comm {
         framed.push(f64::from_bits(seq));
         framed.push(f64::from_bits(ck));
         framed.extend_from_slice(&data);
-        for _ in 0..self.cfg.max_retries {
+        for attempt in 0..self.cfg.max_retries {
+            if attempt > 0 {
+                self.note(|cm| (&cm.retries, 1));
+            }
             self.send_physical(to, tag, framed.clone());
             if self.wait_ack(to, tag, seq) {
                 return;
@@ -676,6 +740,8 @@ impl Comm {
                 g = lock_unpoisoned(&sh.bar_m);
             }
         }
+        drop(g);
+        self.note(|cm| (&cm.barrier_wait_ns, start.elapsed().as_nanos() as u64));
     }
 
     /// All-reduce a vector elementwise with `op`; every rank gets the
@@ -725,7 +791,7 @@ impl Comm {
     }
 
     /// Gather variable-length vectors to every rank (allgatherv):
-    /// result[r] is rank r's contribution.
+    /// `result[r]` is rank r's contribution.
     pub fn allgatherv(&self, data: Vec<f64>) -> Vec<Vec<f64>> {
         self.user_op();
         if self.nranks == 1 {
@@ -872,6 +938,7 @@ impl Machine {
                 ops: Cell::new(0),
                 sent_msgs: Cell::new(0),
                 sent_values: Cell::new(0),
+                metrics: RefCell::new(None),
             })
             .collect();
         drop(senders);

@@ -71,6 +71,46 @@ pub fn par_for_each_mut<T: Send, F: Fn(&mut T) + Sync>(items: &mut [T], f: F) {
     par_for_each_mut_init(items, || (), |_, item| f(item));
 }
 
+/// Like [`par_for_each_mut_init`], but returns each worker's busy time in
+/// nanoseconds (time spent inside its chunk loop). Used by instrumented
+/// executors to report busy/idle balance; the untimed variants stay on the
+/// default path so the null-metrics cost is zero.
+pub fn par_for_each_mut_init_timed<T, S, I, F>(items: &mut [T], init: I, f: F) -> Vec<u64>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &mut T) + Sync,
+{
+    let n = items.len();
+    let workers = nthreads().min(n);
+    if workers <= 1 {
+        let t0 = std::time::Instant::now();
+        let mut scratch = init();
+        for item in items {
+            f(&mut scratch, item);
+        }
+        return vec![t0.elapsed().as_nanos() as u64];
+    }
+    let chunk = n.div_ceil(workers);
+    let (init, f) = (&init, &f);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .map(|chunk_items| {
+                scope.spawn(move || {
+                    let t0 = std::time::Instant::now();
+                    let mut scratch = init();
+                    for item in chunk_items {
+                        f(&mut scratch, item);
+                    }
+                    t0.elapsed().as_nanos() as u64
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+    })
+}
+
 /// Parallel max-reduction of `f` over items (empty input yields `init`).
 pub fn par_max_f64<T: Sync, F: Fn(&T) -> f64 + Sync>(items: &[T], init: f64, f: F) -> f64 {
     par_map(items, f).into_iter().fold(init, f64::max)

@@ -20,8 +20,8 @@ use std::sync::{Arc, Mutex};
 
 use ablock_core::grid::BlockGrid;
 use ablock_io::checkpoint;
-use ablock_solver::kernel::Scheme;
 use ablock_solver::physics::Physics;
+use ablock_solver::SolverConfig;
 
 use crate::balance::Policy;
 use crate::dist::DistSim;
@@ -98,14 +98,15 @@ impl std::error::Error for RecoverError {}
 ///
 /// `make_grid` builds the initial condition; it runs once per attempt on
 /// every rank, so it must be deterministic. The returned grid holds the
-/// full final state regardless of how many recoveries happened.
-#[allow(clippy::too_many_arguments)]
+/// full final state regardless of how many recoveries happened. The
+/// [`SolverConfig`]'s metric sink (if recording) is installed on every
+/// rank's comm endpoint, so rank-qualified traffic counters survive into
+/// the supervisor's registry across restarts.
 pub fn run_resilient<const D: usize, P>(
     nranks: usize,
     steps: usize,
     dt: f64,
-    phys: P,
-    scheme: Scheme,
+    solver: SolverConfig<P>,
     make_grid: impl Fn() -> BlockGrid<D> + Send + Sync,
     cfg: RecoverConfig,
     faults: Option<Arc<FaultPlan>>,
@@ -121,8 +122,9 @@ where
     let mut restarts = 0usize;
     let mut failures: Vec<MachineError> = Vec::new();
     loop {
-        let phys = phys.clone();
+        let solver = solver.clone();
         let attempt = Machine::run_with(cfg.machine.clone(), faults.clone(), ranks_now, |comm| {
+            comm.install_metrics(&solver.metrics);
             let (start_step, grid) = {
                 let guard = slot.lock().unwrap_or_else(|p| p.into_inner());
                 match &*guard {
@@ -134,8 +136,7 @@ where
                     None => (0, make_grid()),
                 }
             };
-            let mut sim =
-                DistSim::partitioned(grid, comm.nranks(), cfg.policy, phys.clone(), scheme);
+            let mut sim = DistSim::partitioned(grid, comm.nranks(), cfg.policy, solver.clone());
             for step in start_step..steps {
                 sim.step_rk2(&comm, dt);
                 let done = step + 1;

@@ -23,9 +23,11 @@ use ablock_core::ghost::{synthesize_boundary, GhostConfig, GhostExchange, GhostT
 use ablock_core::grid::BlockGrid;
 use ablock_core::index::IBox;
 use ablock_core::ops::{prolong, restrict_avg, ProlongOrder};
+use ablock_obs::{phase, Metrics};
 
+use ablock_solver::config::SolverConfig;
 use ablock_solver::engine::{rk2_stage1_block, rk2_stage2_block, SweepEngine};
-use ablock_solver::kernel::{compute_rhs_block, max_rate_block, Scheme};
+use ablock_solver::kernel::{compute_rhs_block, max_rate_block};
 use ablock_solver::physics::Physics;
 
 /// Disjoint mutable references `out[i] = &mut v[ids[i].index()]`;
@@ -117,6 +119,18 @@ pub fn par_fill_ghosts<const D: usize>(
     plan: &GhostExchange<D>,
     config: &GhostConfig,
 ) {
+    par_fill_ghosts_with(grid, plan, config, &Metrics::null());
+}
+
+/// [`par_fill_ghosts`] with a metrics sink: the write-side scatter phase
+/// (the inter-block data movement) is recorded under a
+/// [`phase::COMM`] span, nested inside whatever span the caller holds.
+pub fn par_fill_ghosts_with<const D: usize>(
+    grid: &mut BlockGrid<D>,
+    plan: &GhostExchange<D>,
+    config: &GhostConfig,
+    metrics: &Metrics,
+) {
     let layout = grid.layout().clone();
     let m = grid.params().block_dims;
     let ng = grid.params().nghost;
@@ -142,6 +156,7 @@ pub fn par_fill_ghosts<const D: usize>(
             }
         }
         // scatter (mutable, one block per work item)
+        let _comm = metrics.span(phase::COMM);
         let mut nodes: Vec<_> = grid.blocks_mut().collect();
         pool::par_for_each_mut(&mut nodes, |(id, node)| {
             if let Some(ops) = by_dst.get(id) {
@@ -195,16 +210,21 @@ pub fn par_fill_ghosts<const D: usize>(
 /// epoch-keyed cache makes stepping safe across grid adaptation without
 /// manual invalidation.
 pub struct ParStepper<const D: usize, P: Physics> {
-    phys: P,
-    scheme: Scheme,
+    cfg: SolverConfig<P>,
     engine: SweepEngine<D>,
 }
 
 impl<const D: usize, P: Physics> ParStepper<D, P> {
-    /// New parallel stepper.
-    pub fn new(phys: P, scheme: Scheme) -> Self {
-        let engine = SweepEngine::for_scheme(&phys, scheme);
-        ParStepper { phys, scheme, engine }
+    /// New parallel stepper from a [`SolverConfig`] (the same bundle the
+    /// serial stepper and the distributed executor consume).
+    pub fn new(cfg: SolverConfig<P>) -> Self {
+        let engine = cfg.engine();
+        ParStepper { cfg, engine }
+    }
+
+    /// The configuration this stepper was built from.
+    pub fn config(&self) -> &SolverConfig<P> {
+        &self.cfg
     }
 
     /// The underlying sweep engine (plan cache stats).
@@ -212,23 +232,24 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
         &self.engine
     }
 
-    /// Force a plan/scratch rebuild on the next step. **Not** needed after
-    /// grid adaptation — the topology epoch covers that automatically.
-    pub fn invalidate(&mut self) {
-        self.engine.invalidate();
+    /// Mutable engine access — the single escape hatch for out-of-band
+    /// invalidation ([`SweepEngine::invalidate`]); never needed after grid
+    /// adaptation (the topology epoch covers that).
+    pub fn engine_mut(&mut self) -> &mut SweepEngine<D> {
+        &mut self.engine
     }
 
-    /// Global CFL dt (parallel reduction over blocks).
-    pub fn max_dt(&self, grid: &BlockGrid<D>, cfl: f64) -> f64 {
+    /// Global CFL dt (parallel reduction over blocks, config's CFL).
+    pub fn max_dt(&self, grid: &BlockGrid<D>) -> f64 {
         let m = grid.params().block_dims;
         let ids = grid.block_ids();
         let rate = pool::par_max_f64(&ids, 0.0, |&id| {
             let node = grid.block(id);
             let h = grid.layout().cell_size(node.key().level, m);
-            max_rate_block(&self.phys, node.field(), h)
+            max_rate_block(&self.cfg.physics, node.field(), h)
         });
         if rate > 0.0 {
-            cfl / rate
+            self.cfg.cfl / rate
         } else {
             f64::INFINITY
         }
@@ -237,20 +258,40 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
     /// Fill ghosts and evaluate the RHS of every block in parallel.
     fn eval_rhs(&mut self, grid: &mut BlockGrid<D>) {
         self.engine.revalidate(grid);
-        par_fill_ghosts(grid, self.engine.plan(), self.engine.config());
+        {
+            let _span = self.cfg.metrics.span(phase::GHOST_FILL);
+            par_fill_ghosts_with(grid, self.engine.plan(), self.engine.config(), &self.cfg.metrics);
+        }
+        let metrics = self.cfg.metrics.clone();
+        let _span = metrics.span(phase::FLUX);
         let m = grid.params().block_dims;
         let layout = grid.layout().clone();
-        let phys = &self.phys;
-        let scheme = self.scheme;
+        let phys = &self.cfg.physics;
+        let scheme = self.cfg.scheme;
         let ids = grid.block_ids();
         let sw = self.engine.sweep();
         let rhs_refs = indexed_refs(sw.rhs, &ids);
         let mut work: Vec<_> = ids.iter().copied().zip(rhs_refs).collect();
-        pool::par_for_each_mut_init(&mut work, Vec::new, |scratch, (id, rhs_block)| {
+        let body = |scratch: &mut Vec<f64>, (id, rhs_block): &mut (BlockId, &mut FieldBlock<D>)| {
             let node = grid.block(*id);
             let h = layout.cell_size(node.key().level, m);
             compute_rhs_block(phys, scheme, node.field(), h, rhs_block, scratch);
-        });
+        };
+        if metrics.is_enabled() {
+            // timed path: per-worker busy histogram + busy/idle totals
+            let t0 = std::time::Instant::now();
+            let busy = pool::par_for_each_mut_init_timed(&mut work, Vec::new, body);
+            let wall = t0.elapsed().as_nanos() as u64;
+            let total_busy: u64 = busy.iter().sum();
+            for b in &busy {
+                metrics.observe("pool.worker_busy_ns", *b);
+            }
+            metrics.incr("pool.busy_ns", total_busy);
+            metrics
+                .incr("pool.idle_ns", (wall * busy.len() as u64).saturating_sub(total_busy));
+        } else {
+            pool::par_for_each_mut_init(&mut work, Vec::new, body);
+        }
     }
 
     /// One parallel SSP-RK2 step (Heun), identical arithmetic to the serial
@@ -259,7 +300,8 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
         self.eval_rhs(grid);
         // stage 1: save u^n, write u* = u + dt L(u)
         {
-            let phys = &self.phys;
+            let _span = self.cfg.metrics.span(phase::UPDATE);
+            let phys = &self.cfg.physics;
             let sw = self.engine.sweep();
             let rhs: &[FieldBlock<D>] = sw.rhs;
             let nodes: Vec<_> = grid.blocks_mut().collect();
@@ -273,7 +315,8 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
         // stage 2: u^{n+1} = 1/2 u^n + 1/2 (u* + dt L(u*))
         self.eval_rhs(grid);
         {
-            let phys = &self.phys;
+            let _span = self.cfg.metrics.span(phase::UPDATE);
+            let phys = &self.cfg.physics;
             let sw = self.engine.sweep();
             let rhs: &[FieldBlock<D>] = sw.rhs;
             let stage: &[FieldBlock<D>] = sw.stage;
@@ -292,6 +335,7 @@ mod tests {
     use ablock_core::key::BlockKey;
     use ablock_core::layout::{Boundary, RootLayout};
     use ablock_solver::euler::Euler;
+    use ablock_solver::kernel::Scheme;
     use ablock_solver::problems;
     use ablock_solver::stepper::Stepper;
 
@@ -318,8 +362,8 @@ mod tests {
     fn parallel_matches_serial_uniform() {
         let (mut gs, e) = build();
         let (mut gp, _) = build();
-        let mut serial = Stepper::new(e.clone(), Scheme::muscl_rusanov());
-        let mut par = ParStepper::new(e, Scheme::muscl_rusanov());
+        let mut serial = Stepper::new(SolverConfig::new(e.clone(), Scheme::muscl_rusanov()));
+        let mut par = ParStepper::new(SolverConfig::new(e, Scheme::muscl_rusanov()));
         let dt = 1.5e-3;
         for _ in 0..4 {
             serial.step_rk2(&mut gs, dt, None);
@@ -351,8 +395,8 @@ mod tests {
         let id = gp.find(BlockKey::new(0, [1, 1])).unwrap();
         gp.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod)).unwrap();
 
-        let mut serial = Stepper::new(e.clone(), Scheme::muscl_rusanov());
-        let mut par = ParStepper::new(e, Scheme::muscl_rusanov());
+        let mut serial = Stepper::new(SolverConfig::new(e.clone(), Scheme::muscl_rusanov()));
+        let mut par = ParStepper::new(SolverConfig::new(e, Scheme::muscl_rusanov()));
         let dt = 1e-3;
         for _ in 0..3 {
             serial.step_rk2(&mut gs, dt, None);
@@ -380,10 +424,10 @@ mod tests {
     #[test]
     fn max_dt_matches_serial() {
         let (g, e) = build();
-        let serial = Stepper::new(e.clone(), Scheme::muscl_rusanov());
-        let par = ParStepper::new(e, Scheme::muscl_rusanov());
-        let a = serial.max_dt(&g, 0.4);
-        let b = par.max_dt(&g, 0.4);
+        let serial = Stepper::new(SolverConfig::new(e.clone(), Scheme::muscl_rusanov()));
+        let par = ParStepper::new(SolverConfig::new(e, Scheme::muscl_rusanov()));
+        let a = serial.max_dt(&g);
+        let b = par.max_dt(&g);
         assert!((a - b).abs() < 1e-16);
     }
 

@@ -13,6 +13,7 @@ use ablock_par::{DistSim, Machine, Policy};
 use ablock_solver::euler::Euler;
 use ablock_solver::kernel::Scheme;
 use ablock_solver::problems;
+use ablock_solver::SolverConfig;
 use ablock_solver::stepper::Stepper;
 
 fn build() -> (BlockGrid<2>, Euler<2>) {
@@ -59,7 +60,7 @@ const STEPS_PER_ROUND: usize = 2;
 /// Serial reference: step, adapt on cadence, step.
 fn serial_run() -> (Vec<(BlockKey<2>, Vec<f64>)>, usize) {
     let (mut g, e) = build();
-    let mut st = Stepper::new(e, Scheme::muscl_rusanov());
+    let mut st = Stepper::new(SolverConfig::new(e, Scheme::muscl_rusanov()));
     for _ in 0..ROUNDS {
         for _ in 0..STEPS_PER_ROUND {
             st.step_rk2(&mut g, DT, None);
@@ -85,7 +86,7 @@ fn distributed_amr_blast_matches_serial() {
         let results = Machine::run(nranks, |comm| {
             let (g, e) = build();
             let mut sim =
-                DistSim::partitioned(g, nranks, Policy::SfcHilbert, e, Scheme::muscl_rusanov());
+                DistSim::partitioned(g, nranks, Policy::SfcHilbert, SolverConfig::new(e, Scheme::muscl_rusanov()));
             for _ in 0..ROUNDS {
                 for _ in 0..STEPS_PER_ROUND {
                     sim.step_rk2(&comm, DT);
@@ -145,10 +146,10 @@ fn distributed_amr_conserves_mass() {
     let totals = Machine::run(2, |comm| {
         let (g, e) = build();
         let total0 = ablock_solver::stepper::total_conserved(&g, 0);
-        let mut sim = DistSim::partitioned(g, 2, Policy::SfcMorton, e, Scheme::muscl_rusanov());
+        let mut sim = DistSim::partitioned(g, 2, Policy::SfcMorton, SolverConfig::new(e, Scheme::muscl_rusanov()));
         for _ in 0..2 {
             for _ in 0..2 {
-                let dt = sim.max_dt(&comm, 0.3);
+                let dt = sim.max_dt(&comm);
                 sim.step_rk2(&comm, dt);
             }
             sim.halo_exchange(&comm);

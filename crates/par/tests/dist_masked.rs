@@ -12,6 +12,7 @@ use ablock_solver::euler::Euler;
 use ablock_solver::kernel::Scheme;
 use ablock_solver::problems;
 use ablock_solver::stepper::Stepper;
+use ablock_solver::SolverConfig;
 
 fn build() -> (BlockGrid<2>, Euler<2>) {
     let e = Euler::<2>::new(1.4);
@@ -30,7 +31,7 @@ fn distributed_masked_grid_matches_serial() {
     let steps = 4;
     let (mut gs, e) = build();
     assert_eq!(gs.num_blocks(), 14, "two roots are masked out");
-    let mut st = Stepper::new(e, Scheme::muscl_rusanov());
+    let mut st = Stepper::new(SolverConfig::new(e, Scheme::muscl_rusanov()));
     for _ in 0..steps {
         st.step_rk2(&mut gs, dt, None);
     }
@@ -41,7 +42,7 @@ fn distributed_masked_grid_matches_serial() {
 
     let results = Machine::run(3, move |comm| {
         let (g, e) = build();
-        let mut sim = DistSim::partitioned(g, 3, Policy::SfcHilbert, e, Scheme::muscl_rusanov());
+        let mut sim = DistSim::partitioned(g, 3, Policy::SfcHilbert, SolverConfig::new(e, Scheme::muscl_rusanov()));
         for _ in 0..steps {
             sim.step_rk2(&comm, dt);
         }
@@ -88,9 +89,9 @@ fn masked_grid_walls_reflect_momentum_distributed() {
             w[2] = 0.4;
             w[3] = 1.0;
         });
-        let mut sim = DistSim::partitioned(g, 2, Policy::SfcMorton, e, Scheme::muscl_rusanov());
+        let mut sim = DistSim::partitioned(g, 2, Policy::SfcMorton, SolverConfig::new(e, Scheme::muscl_rusanov()));
         for _ in 0..40 {
-            let dt = sim.max_dt(&comm, 0.3);
+            let dt = sim.max_dt(&comm);
             sim.step_rk2(&comm, dt);
         }
         let me = comm.rank();

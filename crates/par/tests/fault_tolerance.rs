@@ -19,6 +19,7 @@ use ablock_par::{
 use ablock_solver::euler::Euler;
 use ablock_solver::kernel::Scheme;
 use ablock_solver::problems;
+use ablock_solver::SolverConfig;
 
 const DT: f64 = 1.0e-3;
 const STEPS: usize = 8;
@@ -47,8 +48,7 @@ fn run(nranks: usize, faults: Option<Arc<FaultPlan>>) -> ablock_par::RecoverOutc
         nranks,
         STEPS,
         DT,
-        Euler::<2>::new(1.4),
-        Scheme::muscl_rusanov(),
+        SolverConfig::new(Euler::<2>::new(1.4), Scheme::muscl_rusanov()),
         make_grid,
         recover_cfg(),
         faults,

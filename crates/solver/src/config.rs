@@ -1,0 +1,119 @@
+//! One construction surface for every executor in the workspace.
+//!
+//! A [`SolverConfig`] bundles what used to be scattered across positional
+//! constructor arguments and per-type builder methods: the physics
+//! system, the spatial [`Scheme`], the time integrator, the CFL number,
+//! refluxing, the derived [`GhostConfig`], and the [`Metrics`] sink. The
+//! serial [`Stepper`](crate::stepper::Stepper), the shared-memory and
+//! distributed executors in `ablock-par`, and the AMR driver in
+//! `ablock-amr` all consume it unchanged, so a simulation is configured
+//! once and handed to whichever executor fits the machine:
+//!
+//! ```
+//! use ablock_solver::{Euler, Scheme, SolverConfig, Stepper};
+//! use ablock_obs::Metrics;
+//!
+//! let cfg = SolverConfig::new(Euler::<2>::new(1.4), Scheme::muscl_rusanov())
+//!     .with_cfl(0.35)
+//!     .with_metrics(Metrics::recording());
+//! let stepper: Stepper<2, _> = Stepper::new(cfg);
+//! # let _ = stepper;
+//! ```
+//!
+//! Defaults are derived, not guessed twice: the time integrator matches
+//! the reconstruction order (RK2 for MUSCL, forward Euler for first
+//! order) and the ghost configuration matches the physics and scheme via
+//! [`ghost_config_for`]. Every field stays public and overridable.
+
+use ablock_core::ghost::GhostConfig;
+use ablock_obs::Metrics;
+
+use crate::engine::{ghost_config_for, SweepEngine};
+use crate::kernel::Scheme;
+use crate::physics::Physics;
+use crate::recon::Recon;
+use crate::stepper::TimeScheme;
+
+/// Complete configuration for one solver instance. See the
+/// [module docs](self) for the construction story.
+#[derive(Clone, Debug)]
+pub struct SolverConfig<P: Physics> {
+    /// The physics system being integrated.
+    pub physics: P,
+    /// The spatial scheme (reconstruction + Riemann solver).
+    pub scheme: Scheme,
+    /// Time integrator; defaults to match the reconstruction order.
+    pub time_scheme: TimeScheme,
+    /// CFL number used by `max_dt`/`run_until` on every executor.
+    pub cfl: f64,
+    /// Berger–Colella flux correction at coarse/fine faces.
+    pub refluxing: bool,
+    /// Ghost-exchange configuration; defaults via [`ghost_config_for`].
+    pub ghost: GhostConfig,
+    /// Observability sink shared by the engine and the executor (null by
+    /// default: instrumentation compiles to one branch).
+    pub metrics: Metrics,
+}
+
+impl<P: Physics> SolverConfig<P> {
+    /// Config with derived defaults: RK2 for MUSCL (else forward Euler),
+    /// CFL 0.4, no refluxing, ghost config from physics + scheme, null
+    /// metrics.
+    pub fn new(physics: P, scheme: Scheme) -> Self {
+        let time_scheme = match scheme.recon {
+            Recon::FirstOrder => TimeScheme::ForwardEuler,
+            Recon::Muscl(_) => TimeScheme::SspRk2,
+        };
+        let ghost = ghost_config_for(&physics, scheme);
+        SolverConfig {
+            physics,
+            scheme,
+            time_scheme,
+            cfl: 0.4,
+            refluxing: false,
+            ghost,
+            metrics: Metrics::null(),
+        }
+    }
+
+    /// Override the CFL number.
+    pub fn with_cfl(mut self, cfl: f64) -> Self {
+        self.cfl = cfl;
+        self
+    }
+
+    /// Override the time integrator.
+    pub fn with_time_scheme(mut self, ts: TimeScheme) -> Self {
+        self.time_scheme = ts;
+        self
+    }
+
+    /// Enable flux correction at coarse/fine faces: the scheme becomes
+    /// exactly conservative on adaptive grids at the cost of recording
+    /// block-face fluxes each stage.
+    pub fn with_refluxing(mut self, on: bool) -> Self {
+        self.refluxing = on;
+        self
+    }
+
+    /// Override the derived ghost configuration.
+    pub fn with_ghost(mut self, ghost: GhostConfig) -> Self {
+        self.ghost = ghost;
+        self
+    }
+
+    /// Install a metrics sink (spans, counters, histograms flow into it
+    /// from every layer this config reaches).
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Build the [`SweepEngine`] this config describes: ghost config,
+    /// flux stores iff refluxing, metrics sink installed.
+    pub fn engine<const D: usize>(&self) -> SweepEngine<D> {
+        SweepEngine::new(self.ghost.clone())
+            .with_flux_stores(self.refluxing)
+            .with_metrics(self.metrics.clone())
+    }
+}

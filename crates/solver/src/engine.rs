@@ -29,6 +29,7 @@ use ablock_core::ghost::{BoundaryCtx, GhostConfig, GhostExchange};
 use ablock_core::grid::BlockGrid;
 use ablock_core::index::IVec;
 use ablock_core::ops::ProlongOrder;
+use ablock_obs::{phase, Metrics};
 
 use crate::kernel::{apply_floors_block, FaceFluxStore, Scheme};
 use crate::physics::Physics;
@@ -87,6 +88,7 @@ pub struct SweepEngine<const D: usize> {
     flux_stores: Vec<FaceFluxStore<D>>,
     prim_scratch: Vec<f64>,
     stats: EngineStats,
+    metrics: Metrics,
 }
 
 impl<const D: usize> SweepEngine<D> {
@@ -102,6 +104,7 @@ impl<const D: usize> SweepEngine<D> {
             flux_stores: Vec::new(),
             prim_scratch: Vec::new(),
             stats: EngineStats::default(),
+            metrics: Metrics::null(),
         }
     }
 
@@ -116,6 +119,24 @@ impl<const D: usize> SweepEngine<D> {
     pub fn with_flux_stores(mut self, on: bool) -> Self {
         self.want_flux_stores = on;
         self
+    }
+
+    /// Builder: install a metrics sink (plan rebuild/reuse counters and a
+    /// [`phase::GHOST_FILL`] span flow into it). Null by default.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Setter form of [`SweepEngine::with_metrics`] for engines that are
+    /// already built (e.g. the per-level multigrid engines).
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
+    /// The installed metrics sink (the null sink unless overridden).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// The ghost config plans are built with.
@@ -142,6 +163,7 @@ impl<const D: usize> SweepEngine<D> {
     pub fn revalidate(&mut self, grid: &BlockGrid<D>) -> bool {
         if self.plan.as_ref().is_some_and(|p| p.is_current(grid)) {
             self.stats.reuses += 1;
+            self.metrics.incr("engine.plan_reuses", 1);
             return false;
         }
         self.plan = Some(GhostExchange::build(grid, self.config.clone()));
@@ -166,6 +188,7 @@ impl<const D: usize> SweepEngine<D> {
                 .resize_with(cap, || FaceFluxStore::new(dims, shape.nvar));
         }
         self.stats.rebuilds += 1;
+        self.metrics.incr("engine.plan_rebuilds", 1);
         true
     }
 
@@ -180,6 +203,7 @@ impl<const D: usize> SweepEngine<D> {
     /// Revalidate, then fill ghosts with the cached plan.
     pub fn fill_ghosts(&mut self, grid: &mut BlockGrid<D>, bc: Option<&BcFn<D>>) {
         self.revalidate(grid);
+        let _span = self.metrics.span(phase::GHOST_FILL);
         let plan = self.plan.as_ref().unwrap();
         match bc {
             Some(f) => plan.fill_with(grid, f),

@@ -6,10 +6,12 @@
 //!
 //! * [`physics`] — the system interface; [`euler`] and [`mhd`] implement it
 //!   (MHD includes the Powell 8-wave `∇·B` source the paper's group used).
-//! * [`recon`] — first-order and MUSCL (van Leer, paper ref. [6])
+//! * [`recon`] — first-order and MUSCL (van Leer, paper ref. \[6\])
 //!   reconstruction with minmod / MC / van Leer limiters.
 //! * [`flux`] — Rusanov and HLL approximate Riemann solvers.
 //! * [`kernel`] — the dense per-block update loops Fig. 5 measures.
+//! * [`config`] — [`SolverConfig`], the one construction surface every
+//!   executor consumes (physics, scheme, CFL, ghost config, metrics sink).
 //! * [`engine`] — the shared sweep engine: epoch-keyed ghost-plan cache and
 //!   reusable scratch consumed by every executor (serial, pool, distributed).
 //! * [`stepper`] — forward-Euler and SSP-RK2 integration over a grid,
@@ -21,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod engine;
 pub mod euler;
 pub mod flux;
@@ -33,6 +36,7 @@ pub mod recon;
 pub mod reflux;
 pub mod stepper;
 
+pub use config::SolverConfig;
 pub use engine::{ghost_config_for, EngineStats, SweepEngine};
 pub use euler::Euler;
 pub use flux::Riemann;

@@ -25,6 +25,7 @@ use ablock_core::index::{IBox, IVec};
 use ablock_core::key::BlockKey;
 use ablock_core::layout::{Boundary, RootLayout};
 use ablock_core::ops::{prolong, restrict_avg, ProlongOrder};
+use ablock_obs::Metrics;
 
 use crate::engine::SweepEngine;
 
@@ -53,6 +54,7 @@ pub struct MultigridPoisson<const D: usize> {
     levels: Vec<BlockGrid<D>>, // [0] = coarsest
     engines: Vec<SweepEngine<D>>,
     bc: PoissonBc,
+    metrics: Metrics,
     /// Pre-smoothing sweeps per level.
     pub nu_pre: usize,
     /// Post-smoothing sweeps per level.
@@ -91,7 +93,28 @@ impl<const D: usize> MultigridPoisson<D> {
             levels.push(grid);
             engines.push(engine);
         }
-        MultigridPoisson { levels, engines, bc, nu_pre: 2, nu_post: 2, omega: 0.8, nu_coarse: 40 }
+        MultigridPoisson {
+            levels,
+            engines,
+            bc,
+            metrics: Metrics::null(),
+            nu_pre: 2,
+            nu_post: 2,
+            omega: 0.8,
+            nu_coarse: 40,
+        }
+    }
+
+    /// Install a metrics sink, shared with every level's engine — the same
+    /// sink a [`SolverConfig`](crate::config::SolverConfig) would carry.
+    /// Each V-cycle records a `vcycle` span; per-level ghost fills report
+    /// through the engines.
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        for e in &mut self.engines {
+            e.set_metrics(metrics.clone());
+        }
+        self.metrics = metrics;
+        self
     }
 
     /// The finest grid (read access for sampling the solution).
@@ -302,6 +325,7 @@ impl<const D: usize> MultigridPoisson<D> {
     /// One V-cycle from level `k` down (public for harness/diagnostics;
     /// [`MultigridPoisson::solve`] is the normal entry point).
     pub fn vcycle_public(&mut self, k: usize) {
+        let _span = self.metrics.span("vcycle");
         self.vcycle(k);
         if self.bc == PoissonBc::Periodic {
             self.remove_mean(k, IU);
@@ -338,6 +362,7 @@ impl<const D: usize> MultigridPoisson<D> {
         let mut res = self.residual_norm(finest);
         let mut cycles = 0;
         while res > tol && cycles < max_cycles {
+            let _span = self.metrics.span("vcycle");
             self.vcycle(finest);
             if self.bc == PoissonBc::Periodic {
                 self.remove_mean(finest, IU);

@@ -3,7 +3,7 @@
 //!
 //! The paper's ghost-cell discussion distinguishes first-order operators
 //! (one ghost layer) from "so-called higher-resolution methods" (van Leer
-//! ref. [6]; more layers). MUSCL reconstruction here needs two ghost
+//! ref. \[6\]; more layers). MUSCL reconstruction here needs two ghost
 //! layers, matching the default `nghost = 2` of the grids.
 //!
 //! Reconstruction runs in primitive variables (robust near shocks) and

@@ -1,28 +1,48 @@
 //! Time integration over an entire adaptive block grid.
 //!
 //! A [`Stepper`] is the *serial executor* over the shared
-//! [`SweepEngine`](crate::engine::SweepEngine), which owns the cached
+//! [`SweepEngine`], which owns the cached
 //! ghost-exchange plan and the RHS/stage scratch; the grid itself stays a
-//! plain data structure. The plan cache is keyed on the grid's
+//! plain data structure. Construction takes a
+//! [`SolverConfig`] — the same bundle the
+//! shared-memory and distributed executors in `ablock-par` and the AMR
+//! driver consume — so physics, scheme, time integrator, CFL, refluxing,
+//! and the metrics sink are chosen once:
+//!
+//! ```
+//! use ablock_solver::{Euler, Scheme, SolverConfig, Stepper};
+//!
+//! let cfg = SolverConfig::new(Euler::<1>::new(1.4), Scheme::muscl_rusanov());
+//! let mut st: Stepper<1, _> = Stepper::new(cfg);
+//! # let _ = &mut st;
+//! ```
+//!
+//! The plan cache is keyed on the grid's
 //! [topology epoch](BlockGrid::epoch): adapting the grid bumps the epoch
 //! and the next step rebuilds automatically — no manual invalidation on
 //! the hot path. That is the paper's amortization argument (adaptation is
-//! infrequent, stepping is hot) made safe by construction.
+//! infrequent, stepping is hot) made safe by construction. For
+//! out-of-band changes the epoch cannot see, the engine's
+//! [`invalidate`](crate::engine::SweepEngine::invalidate) (via
+//! [`Stepper::engine_mut`]) is the single escape hatch.
 //!
 //! Integrators: forward Euler and Heun's 2-stage SSP-RK2 (matching the
-//! second-order MUSCL spatial scheme).
+//! second-order MUSCL spatial scheme). When the config carries a
+//! recording [`Metrics`] sink, each step reports
+//! `ghost_fill`/`flux`/`reflux`/`update` phase spans; with the default
+//! null sink the instrumentation is a branch per phase and results are
+//! bitwise identical (asserted by `tests/metrics_obs.rs`).
 
 use ablock_core::arena::BlockId;
 use ablock_core::ghost::{GhostConfig, GhostExchange};
 use ablock_core::grid::BlockGrid;
+use ablock_obs::{phase, Metrics};
 
-use crate::engine::{
-    fe_update_block, ghost_config_for, rk2_stage1_block, rk2_stage2_block, SweepEngine,
-};
+use crate::config::SolverConfig;
+use crate::engine::{fe_update_block, rk2_stage1_block, rk2_stage2_block, SweepEngine};
 use crate::kernel::{compute_rhs_block_fluxes, max_rate_block, Scheme};
-use crate::reflux::reflux_rhs;
 use crate::physics::Physics;
-use crate::recon::Recon;
+use crate::reflux::reflux_rhs;
 
 pub use crate::engine::BcFn;
 
@@ -38,11 +58,8 @@ pub enum TimeScheme {
 /// Serial executor: drives steps of `∂u/∂t = L(u)` on a block grid over a
 /// [`SweepEngine`] (which owns plan cache and scratch).
 pub struct Stepper<const D: usize, P: Physics> {
-    phys: P,
-    scheme: Scheme,
-    time_scheme: TimeScheme,
+    cfg: SolverConfig<P>,
     engine: SweepEngine<D>,
-    refluxing: bool,
     /// Cells clamped by positivity floors since construction.
     pub floored_cells: usize,
     /// Interface flux evaluations since construction.
@@ -50,52 +67,36 @@ pub struct Stepper<const D: usize, P: Physics> {
 }
 
 impl<const D: usize, P: Physics> Stepper<D, P> {
-    /// New stepper; RK2 for MUSCL, forward Euler for first order.
-    pub fn new(phys: P, scheme: Scheme) -> Self {
-        let time_scheme = match scheme.recon {
-            Recon::FirstOrder => TimeScheme::ForwardEuler,
-            Recon::Muscl(_) => TimeScheme::SspRk2,
-        };
-        let engine = SweepEngine::for_scheme(&phys, scheme);
-        Stepper {
-            phys,
-            scheme,
-            time_scheme,
-            engine,
-            refluxing: false,
-            floored_cells: 0,
-            flux_evals: 0,
-        }
+    /// New stepper from a [`SolverConfig`] (time scheme, CFL, refluxing,
+    /// ghost config, and metrics sink all come from it).
+    pub fn new(cfg: SolverConfig<P>) -> Self {
+        let engine = cfg.engine();
+        Stepper { cfg, engine, floored_cells: 0, flux_evals: 0 }
     }
 
-    /// Override the time integrator.
-    pub fn with_time_scheme(mut self, ts: TimeScheme) -> Self {
-        self.time_scheme = ts;
-        self
-    }
-
-    /// Enable flux correction at coarse/fine faces (Berger–Colella
-    /// refluxing): the scheme becomes exactly conservative on adaptive
-    /// grids at the cost of recording block-face fluxes each stage.
-    pub fn with_refluxing(mut self, on: bool) -> Self {
-        self.refluxing = on;
-        self.engine = SweepEngine::for_scheme(&self.phys, self.scheme).with_flux_stores(on);
-        self
+    /// The configuration this stepper was built from.
+    pub fn config(&self) -> &SolverConfig<P> {
+        &self.cfg
     }
 
     /// The physics being integrated.
     pub fn physics(&self) -> &P {
-        &self.phys
+        &self.cfg.physics
     }
 
     /// The spatial scheme.
     pub fn scheme(&self) -> Scheme {
-        self.scheme
+        self.cfg.scheme
     }
 
-    /// Ghost config consistent with the physics and scheme.
+    /// The ghost config in effect (from the [`SolverConfig`]).
     pub fn ghost_config(&self) -> GhostConfig {
-        ghost_config_for(&self.phys, self.scheme)
+        self.cfg.ghost.clone()
+    }
+
+    /// The metrics sink in effect (null unless the config installed one).
+    pub fn metrics(&self) -> &Metrics {
+        &self.cfg.metrics
     }
 
     /// The underlying sweep engine (plan cache stats, scratch).
@@ -103,11 +104,11 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
         &self.engine
     }
 
-    /// Force a plan/scratch rebuild on the next step. **Not** needed after
-    /// grid adaptation — the topology epoch covers that automatically; only
-    /// for out-of-band changes the epoch cannot see.
-    pub fn invalidate(&mut self) {
-        self.engine.invalidate();
+    /// Mutable engine access — the single escape hatch for out-of-band
+    /// invalidation ([`SweepEngine::invalidate`]); never needed after
+    /// grid adaptation (the topology epoch covers that).
+    pub fn engine_mut(&mut self) -> &mut SweepEngine<D> {
+        &mut self.engine
     }
 
     /// Access the cached exchange plan (revalidating it first).
@@ -121,15 +122,16 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
         self.engine.fill_ghosts(grid, bc);
     }
 
-    /// Largest stable `dt` (global CFL reduction over all blocks).
-    pub fn max_dt(&self, grid: &BlockGrid<D>, cfl: f64) -> f64 {
+    /// Largest stable `dt` (global CFL reduction over all blocks, using
+    /// the config's CFL number).
+    pub fn max_dt(&self, grid: &BlockGrid<D>) -> f64 {
         let mut rate: f64 = 0.0;
         for (_, node) in grid.blocks() {
             let h = grid.layout().cell_size(node.key().level, grid.params().block_dims);
-            rate = rate.max(max_rate_block(&self.phys, node.field(), h));
+            rate = rate.max(max_rate_block(&self.cfg.physics, node.field(), h));
         }
         if rate > 0.0 {
-            cfl / rate
+            self.cfg.cfl / rate
         } else {
             f64::INFINITY
         }
@@ -140,26 +142,31 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
     fn eval_rhs(&mut self, grid: &mut BlockGrid<D>, bc: Option<&BcFn<D>>) -> Vec<BlockId> {
         self.engine.fill_ghosts(grid, bc);
         let ids = grid.block_ids();
-        let sw = self.engine.sweep();
-        for &id in &ids {
-            let node = grid.block(id);
-            let h = grid.layout().cell_size(node.key().level, grid.params().block_dims);
-            let store = if self.refluxing {
-                Some(&mut sw.flux_stores[id.index()])
-            } else {
-                None
-            };
-            self.flux_evals += compute_rhs_block_fluxes(
-                &self.phys,
-                self.scheme,
-                node.field(),
-                h,
-                &mut sw.rhs[id.index()],
-                sw.prim_scratch,
-                store,
-            );
+        {
+            let _span = self.cfg.metrics.span(phase::FLUX);
+            let sw = self.engine.sweep();
+            for &id in &ids {
+                let node = grid.block(id);
+                let h = grid.layout().cell_size(node.key().level, grid.params().block_dims);
+                let store = if self.cfg.refluxing {
+                    Some(&mut sw.flux_stores[id.index()])
+                } else {
+                    None
+                };
+                self.flux_evals += compute_rhs_block_fluxes(
+                    &self.cfg.physics,
+                    self.cfg.scheme,
+                    node.field(),
+                    h,
+                    &mut sw.rhs[id.index()],
+                    sw.prim_scratch,
+                    store,
+                );
+            }
         }
-        if self.refluxing {
+        if self.cfg.refluxing {
+            let _span = self.cfg.metrics.span(phase::REFLUX);
+            let sw = self.engine.sweep();
             reflux_rhs(grid, sw.flux_stores, sw.rhs);
         }
         ids
@@ -167,7 +174,7 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
 
     /// Advance the grid by `dt` with the configured integrator.
     pub fn step(&mut self, grid: &mut BlockGrid<D>, dt: f64, bc: Option<&BcFn<D>>) {
-        match self.time_scheme {
+        match self.cfg.time_scheme {
             TimeScheme::ForwardEuler => self.step_fe(grid, dt, bc),
             TimeScheme::SspRk2 => self.step_rk2(grid, dt, bc),
         }
@@ -176,11 +183,12 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
     /// One forward-Euler step.
     pub fn step_fe(&mut self, grid: &mut BlockGrid<D>, dt: f64, bc: Option<&BcFn<D>>) {
         let ids = self.eval_rhs(grid, bc);
+        let _span = self.cfg.metrics.span(phase::UPDATE);
         let sw = self.engine.sweep();
         for id in ids {
             let node = grid.block_mut(id);
             self.floored_cells +=
-                fe_update_block(&self.phys, node.field_mut(), &sw.rhs[id.index()], dt);
+                fe_update_block(&self.cfg.physics, node.field_mut(), &sw.rhs[id.index()], dt);
         }
     }
 
@@ -190,11 +198,12 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
         // stage 1: save u^n, then overwrite grid with u*
         let ids = self.eval_rhs(grid, bc);
         {
+            let _span = self.cfg.metrics.span(phase::UPDATE);
             let sw = self.engine.sweep();
             for &id in &ids {
                 let node = grid.block_mut(id);
                 self.floored_cells += rk2_stage1_block(
-                    &self.phys,
+                    &self.cfg.physics,
                     node.field_mut(),
                     &sw.rhs[id.index()],
                     &mut sw.stage[id.index()],
@@ -204,11 +213,12 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
         }
         // stage 2 (ghosts refilled for u*)
         let ids = self.eval_rhs(grid, bc);
+        let _span = self.cfg.metrics.span(phase::UPDATE);
         let sw = self.engine.sweep();
         for id in ids {
             let node = grid.block_mut(id);
             self.floored_cells += rk2_stage2_block(
-                &self.phys,
+                &self.cfg.physics,
                 node.field_mut(),
                 &sw.rhs[id.index()],
                 &sw.stage[id.index()],
@@ -223,13 +233,12 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
         grid: &mut BlockGrid<D>,
         t0: f64,
         t_end: f64,
-        cfl: f64,
         bc: Option<&BcFn<D>>,
     ) -> usize {
         let mut t = t0;
         let mut steps = 0;
         while t < t_end - 1e-14 {
-            let dt = self.max_dt(grid, cfl).min(t_end - t);
+            let dt = self.max_dt(grid).min(t_end - t);
             assert!(dt.is_finite() && dt > 0.0, "non-positive dt at t = {t}");
             self.step(grid, dt, bc);
             t += dt;
@@ -293,10 +302,11 @@ mod tests {
                 e.prim_to_cons(&[1.0, 0.5, 1.0], u);
             });
         }
-        let mut st = Stepper::new(e, Scheme::muscl_rusanov());
+        let mut st =
+            Stepper::new(SolverConfig::new(e, Scheme::muscl_rusanov()).with_cfl(0.5));
         let before = total_conserved(&g, 0);
         for _ in 0..10 {
-            let dt = st.max_dt(&g, 0.5);
+            let dt = st.max_dt(&g);
             st.step(&mut g, dt, None);
         }
         for (_, n) in g.blocks() {
@@ -314,8 +324,8 @@ mod tests {
         set_sine_density(&mut g, &e, 0.7);
         let m0 = total_conserved(&g, 0);
         let e0 = total_conserved(&g, 2);
-        let mut st = Stepper::new(e, Scheme::muscl_rusanov());
-        st.run_until(&mut g, 0.0, 0.2, 0.4, None);
+        let mut st = Stepper::new(SolverConfig::new(e, Scheme::muscl_rusanov()));
+        st.run_until(&mut g, 0.0, 0.2, None);
         assert!((total_conserved(&g, 0) - m0).abs() < 1e-12 * m0.abs());
         assert!((total_conserved(&g, 2) - e0).abs() < 1e-12 * e0.abs());
     }
@@ -340,8 +350,8 @@ mod tests {
                     .collect::<Vec<_>>()
             })
             .collect();
-        let mut st = Stepper::new(e, Scheme::muscl_rusanov());
-        st.run_until(&mut g, 0.0, 1.0, 0.4, None);
+        let mut st = Stepper::new(SolverConfig::new(e, Scheme::muscl_rusanov()));
+        st.run_until(&mut g, 0.0, 1.0, None);
         let after: Vec<f64> = g
             .block_ids()
             .iter()
@@ -372,8 +382,8 @@ mod tests {
         let id = g.find(BlockKey::new(0, [1])).unwrap();
         g.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod)).unwrap();
         let m0 = total_conserved(&g, 0);
-        let mut st = Stepper::new(e, Scheme::muscl_rusanov());
-        st.run_until(&mut g, 0.0, 0.1, 0.4, None);
+        let mut st = Stepper::new(SolverConfig::new(e, Scheme::muscl_rusanov()));
+        st.run_until(&mut g, 0.0, 0.1, None);
         let m1 = total_conserved(&g, 0);
         // flux mismatch at coarse-fine faces is the known first-order AMR
         // conservation defect; bound it tightly
@@ -391,8 +401,11 @@ mod tests {
             let e = Euler::<1>::new(1.4);
             let mut g = periodic_grid_1d(8, 8);
             set_sine_density(&mut g, &e, 1.0);
-            let mut st = Stepper::new(e, Scheme::muscl_rusanov()).with_time_scheme(ts);
-            st.run_until(&mut g, 0.0, 1.0, 0.3, None);
+            let cfg = SolverConfig::new(e, Scheme::muscl_rusanov())
+                .with_time_scheme(ts)
+                .with_cfl(0.3);
+            let mut st = Stepper::new(cfg);
+            st.run_until(&mut g, 0.0, 1.0, None);
             let m = g.params().block_dims;
             let layout = g.layout().clone();
             let mut err = 0.0;
@@ -424,8 +437,9 @@ mod tests {
             let id = g.find(BlockKey::new(0, [1])).unwrap();
             g.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod)).unwrap();
             let m0 = total_conserved(&g, 0);
-            let mut st = Stepper::new(e, Scheme::muscl_rusanov()).with_refluxing(reflux);
-            st.run_until(&mut g, 0.0, 0.1, 0.4, None);
+            let cfg = SolverConfig::new(e, Scheme::muscl_rusanov()).with_refluxing(reflux);
+            let mut st = Stepper::new(cfg);
+            st.run_until(&mut g, 0.0, 0.1, None);
             (total_conserved(&g, 0) - m0).abs() / m0.abs()
         };
         let with = run(true);
@@ -447,8 +461,11 @@ mod tests {
         g.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod)).unwrap();
         let m0 = total_conserved(&g, 0);
         let e0 = total_conserved(&g, 3);
-        let mut st = Stepper::new(e, Scheme::muscl_rusanov()).with_refluxing(true);
-        st.run_until(&mut g, 0.0, 0.05, 0.35, None);
+        let cfg = SolverConfig::new(e, Scheme::muscl_rusanov())
+            .with_refluxing(true)
+            .with_cfl(0.35);
+        let mut st = Stepper::new(cfg);
+        st.run_until(&mut g, 0.0, 0.05, None);
         assert!((total_conserved(&g, 0) - m0).abs() < 1e-12 * m0.abs());
         assert!((total_conserved(&g, 3) - e0).abs() < 1e-12 * e0.abs());
     }
@@ -458,7 +475,7 @@ mod tests {
         let e = Euler::<1>::new(1.4);
         let mut g = periodic_grid_1d(4, 8);
         set_sine_density(&mut g, &e, 0.5);
-        let mut st = Stepper::new(e, Scheme::muscl_rusanov());
+        let mut st = Stepper::new(SolverConfig::new(e, Scheme::muscl_rusanov()));
         st.step(&mut g, 1e-4, None);
         let id = g.block_ids()[0];
         g.refine(id, Transfer::Conservative(ProlongOrder::Constant)).unwrap();
@@ -466,5 +483,27 @@ mod tests {
         st.step(&mut g, 1e-4, None);
         assert!(st.flux_evals > 0);
         assert_eq!(st.engine().stats().rebuilds, 2);
+    }
+
+    #[test]
+    fn recording_steps_report_phase_spans() {
+        let e = Euler::<1>::new(1.4);
+        let mut g = periodic_grid_1d(4, 8);
+        set_sine_density(&mut g, &e, 0.5);
+        let metrics = ablock_obs::Metrics::recording();
+        let cfg = SolverConfig::new(e, Scheme::muscl_rusanov())
+            .with_refluxing(true)
+            .with_metrics(metrics.clone());
+        let mut st = Stepper::new(cfg);
+        st.step(&mut g, 1e-4, None);
+        let s = metrics.snapshot();
+        // RK2: two rhs evals (ghost_fill + flux + reflux each) and two
+        // stage updates per step
+        assert_eq!(s.spans[phase::GHOST_FILL].count, 2);
+        assert_eq!(s.spans[phase::FLUX].count, 2);
+        assert_eq!(s.spans[phase::REFLUX].count, 2);
+        assert_eq!(s.spans[phase::UPDATE].count, 2);
+        assert_eq!(s.counter("engine.plan_rebuilds"), 1);
+        assert_eq!(s.counter("engine.plan_reuses"), 1);
     }
 }

@@ -11,6 +11,7 @@ use ablock_solver::euler::Euler;
 use ablock_solver::kernel::Scheme;
 use ablock_solver::problems;
 use ablock_solver::stepper::Stepper;
+use ablock_solver::SolverConfig;
 
 fn build() -> (BlockGrid<2>, Euler<2>) {
     let e = Euler::<2>::new(1.4);
@@ -42,7 +43,7 @@ fn adapt_then_step_without_invalidate_matches_fresh_stepper() {
 
     // run A: one stepper lives across the adapt, never invalidated
     let (mut ga, e) = build();
-    let mut sta = Stepper::new(e.clone(), Scheme::muscl_rusanov());
+    let mut sta = Stepper::new(SolverConfig::new(e.clone(), Scheme::muscl_rusanov()));
     for _ in 0..2 {
         sta.step_rk2(&mut ga, dt, None);
     }
@@ -53,12 +54,12 @@ fn adapt_then_step_without_invalidate_matches_fresh_stepper() {
 
     // run B: identical, but a brand-new stepper takes over after the adapt
     let (mut gb, e2) = build();
-    let mut stb = Stepper::new(e2.clone(), Scheme::muscl_rusanov());
+    let mut stb = Stepper::new(SolverConfig::new(e2.clone(), Scheme::muscl_rusanov()));
     for _ in 0..2 {
         stb.step_rk2(&mut gb, dt, None);
     }
     refine_center(&mut gb);
-    let mut stb2 = Stepper::new(e2, Scheme::muscl_rusanov());
+    let mut stb2 = Stepper::new(SolverConfig::new(e2, Scheme::muscl_rusanov()));
     for _ in 0..2 {
         stb2.step_rk2(&mut gb, dt, None);
     }
@@ -90,7 +91,7 @@ fn adapt_then_step_without_invalidate_matches_fresh_stepper() {
 #[test]
 fn plans_are_reused_across_steps_and_rebuilt_once_per_adapt() {
     let (mut g, e) = build();
-    let mut st = Stepper::new(e, Scheme::muscl_rusanov());
+    let mut st = Stepper::new(SolverConfig::new(e, Scheme::muscl_rusanov()));
     for _ in 0..5 {
         st.step_rk2(&mut g, 1e-3, None);
     }

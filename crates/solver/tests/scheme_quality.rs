@@ -14,6 +14,7 @@ use ablock_solver::mhd::IdealMhd;
 use ablock_solver::problems;
 use ablock_solver::recon::{Limiter, Recon};
 use ablock_solver::stepper::Stepper;
+use ablock_solver::SolverConfig;
 use ablock_solver::Riemann;
 
 fn sod_l1_error(scheme: Scheme) -> f64 {
@@ -26,8 +27,8 @@ fn sod_l1_error(scheme: Scheme) -> f64 {
             GridParams::new([8], 2, 3, 0),
         );
         problems::sod(&mut g, &e, 0.5);
-        let mut st = Stepper::new(e, scheme);
-        st.run_until(&mut g, 0.0, 0.2, 0.4, None);
+        let mut st = Stepper::new(SolverConfig::new(e, scheme));
+        st.run_until(&mut g, 0.0, 0.2, None);
         let m = g.params().block_dims;
         let layout = g.layout().clone();
         let mut prof = Vec::new();
@@ -90,11 +91,11 @@ fn limiter_ordering_on_smooth_advection() {
             w[1] = 1.0;
             w[2] = 1.0;
         });
-        let mut st = Stepper::new(
+        let mut st = Stepper::new(SolverConfig::new(
             e,
             Scheme { recon: Recon::Muscl(lim), riemann: Riemann::Rusanov },
-        );
-        st.run_until(&mut g, 0.0, 1.0, 0.4, None);
+        ));
+        st.run_until(&mut g, 0.0, 1.0, None);
         let m = g.params().block_dims;
         let layout = g.layout().clone();
         let mut err = 0.0;
@@ -129,8 +130,9 @@ fn powell_source_limits_divb_growth() {
             GridParams::new([8, 8], 2, 8, 0),
         );
         problems::orszag_tang(&mut g, &mhd);
-        let mut st = Stepper::new(mhd, Scheme::muscl_rusanov());
-        st.run_until(&mut g, 0.0, 0.15, 0.3, None);
+        let cfg = SolverConfig::new(mhd, Scheme::muscl_rusanov()).with_cfl(0.3);
+        let mut st = Stepper::new(cfg);
+        st.run_until(&mut g, 0.0, 0.15, None);
         let m = g.params().block_dims;
         st.fill_ghosts(&mut g, None);
         let mut worst: f64 = 0.0;
@@ -178,7 +180,8 @@ fn refluxing_cost_is_modest() {
             ablock_core::grid::Transfer::Conservative(ablock_core::ops::ProlongOrder::Constant),
         )
         .unwrap();
-        let mut st = Stepper::new(e, Scheme::muscl_rusanov()).with_refluxing(reflux);
+        let cfg = SolverConfig::new(e, Scheme::muscl_rusanov()).with_refluxing(reflux);
+        let mut st = Stepper::new(cfg);
         for _ in 0..3 {
             st.step_rk2(&mut g, 1e-3, None);
         }

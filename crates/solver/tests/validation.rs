@@ -17,6 +17,7 @@ use ablock_solver::kernel::Scheme;
 use ablock_solver::mhd::{IdealMhd, IBX};
 use ablock_solver::problems;
 use ablock_solver::stepper::Stepper;
+use ablock_solver::SolverConfig;
 
 // ---------------------------------------------------------------------
 // exact Riemann solver for the 1-D Euler equations (Toro ch. 4)
@@ -169,8 +170,8 @@ fn run_sod(nblocks: i64, m: i64, t_end: f64) -> (BlockGrid<1>, Euler<1>) {
         GridParams::new([m], 2, 3, 2),
     );
     problems::sod(&mut g, &e, 0.5);
-    let mut st = Stepper::new(e.clone(), Scheme::muscl_rusanov());
-    st.run_until(&mut g, 0.0, t_end, 0.4, None);
+    let mut st = Stepper::new(SolverConfig::new(e.clone(), Scheme::muscl_rusanov()));
+    st.run_until(&mut g, 0.0, t_end, None);
     (g, e)
 }
 
@@ -293,8 +294,8 @@ fn brio_wu_structure() {
         GridParams::new([8], 2, 8, 2),
     );
     problems::brio_wu(&mut g, &mhd, 0.5);
-    let mut st = Stepper::new(mhd.clone(), Scheme::muscl_rusanov());
-    st.run_until(&mut g, 0.0, 0.1, 0.4, None);
+    let mut st = Stepper::new(SolverConfig::new(mhd.clone(), Scheme::muscl_rusanov()));
+    st.run_until(&mut g, 0.0, 0.1, None);
     let m = g.params().block_dims;
     let layout = g.layout().clone();
     let mut prof: Vec<(f64, f64, f64)> = Vec::new(); // (x, rho, by)
@@ -336,9 +337,10 @@ fn orszag_tang_stays_physical_through_shock_formation() {
         GridParams::new([8, 8], 2, 8, 1),
     );
     problems::orszag_tang(&mut g, &mhd);
-    let mut st = Stepper::new(mhd.clone(), Scheme::muscl_rusanov());
+    let cfg = SolverConfig::new(mhd.clone(), Scheme::muscl_rusanov()).with_cfl(0.3);
+    let mut st = Stepper::new(cfg);
     // t = 0.2: shocks have formed
-    st.run_until(&mut g, 0.0, 0.2, 0.3, None);
+    st.run_until(&mut g, 0.0, 0.2, None);
     let mut min_p = f64::INFINITY;
     for (_, node) in g.blocks() {
         for c in node.field().shape().interior_box().iter() {
@@ -384,8 +386,8 @@ fn sod_on_preadapted_grid_matches_uniform() {
         ga.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod)).unwrap();
     }
     problems::sod(&mut ga, &e, 0.5); // re-impose crisp ICs on fine cells
-    let mut st = Stepper::new(e.clone(), Scheme::muscl_rusanov());
-    st.run_until(&mut ga, 0.0, t_end, 0.4, None);
+    let mut st = Stepper::new(SolverConfig::new(e.clone(), Scheme::muscl_rusanov()));
+    st.run_until(&mut ga, 0.0, t_end, None);
     // compare in the refined window [0.4, 0.56] where the contact lives
     // at t = 0.12 (contact at 0.611 still inside? 0.5+0.927*0.12 = 0.611 —
     // outside; compare [0.4, 0.56]: rarefaction tail region)

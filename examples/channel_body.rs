@@ -35,10 +35,9 @@ fn main() {
     let grid = BlockGrid::new(layout, GridParams::new([8, 8], 2, 4, 2));
     let mut sim = AmrSimulation::new(
         grid,
-        e.clone(),
-        Scheme::muscl_rusanov(),
+        SolverConfig::new(e.clone(), Scheme::muscl_rusanov()).with_cfl(0.3),
         GradientCriterion::new(0, 0.12, 0.05),
-        AmrConfig { cfl: 0.3, adapt_every: 4, max_steps: 100_000, ..Default::default() },
+        AmrConfig { adapt_every: 4, max_steps: 100_000 },
     );
 
     // Mach-2 flow everywhere initially (impulsive start)

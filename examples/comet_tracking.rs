@@ -31,10 +31,9 @@ fn main() {
     );
     let mut sim = AmrSimulation::new(
         grid,
-        e.clone(),
-        Scheme::muscl_rusanov(),
+        SolverConfig::new(e.clone(), Scheme::muscl_rusanov()).with_cfl(0.35),
         GradientCriterion::new(0, 0.1, 0.04),
-        AmrConfig { cfl: 0.35, adapt_every: 2, max_steps: 200_000, ..Default::default() },
+        AmrConfig { adapt_every: 2, max_steps: 200_000 },
     );
 
     // the "comet": dense bullet moving right at Mach ~2 through still gas

@@ -24,10 +24,9 @@ fn main() {
     let criterion = GradientCriterion::new(3, 0.08, 0.03);
     let mut sim = AmrSimulation::new(
         grid,
-        e.clone(),
-        Scheme::muscl_rusanov(),
+        SolverConfig::new(e.clone(), Scheme::muscl_rusanov()).with_cfl(0.35),
         criterion,
-        AmrConfig { cfl: 0.35, adapt_every: 4, max_steps: 10_000, refluxing: false },
+        AmrConfig { adapt_every: 4, max_steps: 10_000 },
     );
     let ic = |g: &mut BlockGrid<2>| problems::sedov_blast(g, &e, [0.5, 0.5], 0.1, 20.0);
     sim.initial_adapt_with(3, None, ic);

@@ -16,7 +16,7 @@ use adaptive_blocks::par::{
 };
 use adaptive_blocks::solver::euler::Euler;
 use adaptive_blocks::solver::kernel::Scheme;
-use adaptive_blocks::solver::problems;
+use adaptive_blocks::solver::{problems, SolverConfig};
 
 fn make_grid() -> BlockGrid<2> {
     let e = Euler::<2>::new(1.4);
@@ -33,8 +33,7 @@ fn run(nranks: usize, faults: Option<Arc<FaultPlan>>) -> adaptive_blocks::par::R
         nranks,
         8,
         1.0e-3,
-        Euler::<2>::new(1.4),
-        Scheme::muscl_rusanov(),
+        SolverConfig::new(Euler::<2>::new(1.4), Scheme::muscl_rusanov()),
         make_grid,
         RecoverConfig {
             checkpoint_every: 2,

@@ -47,10 +47,9 @@ fn main() {
     );
     let mut sim = AmrSimulation::new(
         grid,
-        mhd.clone(),
-        Scheme::muscl_rusanov(),
+        SolverConfig::new(mhd.clone(), Scheme::muscl_rusanov()).with_cfl(0.3),
         GradientCriterion::new(0, 0.1, 0.04),
-        AmrConfig { cfl: 0.3, adapt_every: 5, max_steps: 200_000, ..Default::default() },
+        AmrConfig { adapt_every: 5, max_steps: 200_000 },
     );
     problems::orszag_tang(&mut sim.grid, &mhd);
     if uniform {

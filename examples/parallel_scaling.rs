@@ -39,11 +39,10 @@ fn main() {
                 g,
                 nranks,
                 Policy::SfcHilbert,
-                mhd.clone(),
-                Scheme::muscl_rusanov(),
+                SolverConfig::new(mhd.clone(), Scheme::muscl_rusanov()).with_cfl(0.3),
             );
             for _ in 0..5 {
-                let dt = sim.max_dt(&comm, 0.3);
+                let dt = sim.max_dt(&comm);
                 sim.step_rk2(&comm, dt);
             }
             // checksum of owned interiors

@@ -24,12 +24,14 @@ fn main() {
     // monitor total energy: the initial blast is a pressure disc in a
     // uniform-density gas
     let criterion = GradientCriterion::new(3, 0.08, 0.03);
+    let solver = SolverConfig::new(e.clone(), Scheme::muscl_rusanov())
+        .with_cfl(0.35)
+        .with_refluxing(true);
     let mut sim = AmrSimulation::new(
         grid,
-        e.clone(),
-        Scheme::muscl_rusanov(),
+        solver,
         criterion,
-        AmrConfig { cfl: 0.35, adapt_every: 4, max_steps: 50_000, refluxing: true },
+        AmrConfig { adapt_every: 4, max_steps: 50_000 },
     );
 
     let ic = |g: &mut BlockGrid<2>| {

@@ -19,8 +19,8 @@ fn run(scheme: Scheme, nghost: i64) -> BlockGrid<1> {
         GridParams::new([16], nghost, 3, 0),
     );
     problems::sod(&mut g, &e, 0.5);
-    let mut st = Stepper::new(e, scheme);
-    st.run_until(&mut g, 0.0, 0.2, 0.4, None);
+    let mut st = Stepper::new(SolverConfig::new(e, scheme).with_cfl(0.4));
+    st.run_until(&mut g, 0.0, 0.2, None);
     g
 }
 

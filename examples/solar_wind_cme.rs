@@ -31,10 +31,9 @@ fn main() {
     let criterion = GradientCriterion::new(0, 0.12, 0.04);
     let mut sim = AmrSimulation::new(
         grid,
-        mhd.clone(),
-        Scheme::muscl_rusanov(),
+        SolverConfig::new(mhd.clone(), Scheme::muscl_rusanov()).with_cfl(0.3),
         criterion,
-        AmrConfig { cfl: 0.3, adapt_every: 4, max_steps: 100_000, ..Default::default() },
+        AmrConfig { adapt_every: 4, max_steps: 100_000 },
     );
 
     let wind = WindSource {

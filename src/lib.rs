@@ -10,12 +10,13 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
-//! | [`core`](ablock_core) | the adaptive block grid: blocks of regular cell arrays, explicit face-neighbor pointers, 2:1-balanced refine/coarsen, ghost exchange, SFC orderings |
-//! | [`celltree`](ablock_celltree) | the paper's baseline: cell-based quadtree/octree with traversal neighbor finding |
-//! | [`solver`](ablock_solver) | finite-volume Euler and ideal-MHD (Powell 8-wave) kernels, MUSCL + Rusanov/HLL, SSP-RK2 |
-//! | [`amr`](ablock_amr) | criteria + the solve/adapt driver |
-//! | [`par`](ablock_par) | message-passing machine, distributed AMR, shared-memory executor, load balancers, BSP scaling model |
-//! | [`io`](ablock_io) | SVG/ASCII/VTK/PGM output and table printing |
+//! | [`core`] | the adaptive block grid: blocks of regular cell arrays, explicit face-neighbor pointers, 2:1-balanced refine/coarsen, ghost exchange, SFC orderings |
+//! | [`celltree`] | the paper's baseline: cell-based quadtree/octree with traversal neighbor finding |
+//! | [`solver`] | finite-volume Euler and ideal-MHD (Powell 8-wave) kernels, MUSCL + Rusanov/HLL, SSP-RK2 |
+//! | [`amr`] | criteria + the solve/adapt driver |
+//! | [`par`] | message-passing machine, distributed AMR, shared-memory executor, load balancers, BSP scaling model |
+//! | [`io`] | SVG/ASCII/VTK/PGM output and table printing |
+//! | [`obs`] | observability: phase-span timers, counters, histograms, deterministic snapshots |
 //!
 //! See `examples/` for runnable entry points and `crates/bench` for the
 //! harness that regenerates every figure and table of the paper.
@@ -24,15 +25,32 @@ pub use ablock_amr as amr;
 pub use ablock_celltree as celltree;
 pub use ablock_core as core;
 pub use ablock_io as io;
+pub use ablock_obs as obs;
 pub use ablock_par as par;
 pub use ablock_solver as solver;
 
 /// Convenient glob import for examples and downstream users.
+///
+/// Every executor is built from one
+/// [`SolverConfig`](ablock_solver::SolverConfig): construct it with
+/// physics + scheme, chain `with_*` builders (CFL, refluxing, time
+/// scheme, ghost config, [`Metrics`](ablock_obs::Metrics) sink), and
+/// hand clones to [`Stepper::new`](ablock_solver::Stepper::new),
+/// [`ParStepper::new`](ablock_par::ParStepper::new),
+/// [`DistSim::partitioned`](ablock_par::DistSim::partitioned), or
+/// [`AmrSimulation::new`](ablock_amr::AmrSimulation::new). Errors
+/// ([`GridError`](ablock_core::grid::GridError),
+/// [`CommError`](ablock_par::CommError),
+/// [`MachineError`](ablock_par::MachineError),
+/// [`RecoverError`](ablock_par::RecoverError)) all implement
+/// [`std::error::Error`], so `?` works against `Box<dyn Error>` mains.
 pub mod prelude {
     pub use ablock_amr::{AmrConfig, AmrSimulation, BallCriterion, GradientCriterion};
     pub use ablock_core::prelude::*;
+    pub use ablock_obs::{phase, Metrics, MetricsSnapshot};
+    pub use ablock_par::{CommError, MachineError, RecoverError};
     pub use ablock_solver::{
-        problems, Euler, IdealMhd, Limiter, Physics, Recon, Riemann, Scheme, Stepper,
-        TimeScheme,
+        problems, ghost_config_for, EngineStats, Euler, IdealMhd, Limiter, Physics, Recon,
+        Riemann, Scheme, SolverConfig, Stepper, SweepEngine, TimeScheme,
     };
 }

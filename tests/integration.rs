@@ -33,10 +33,11 @@ fn uniform_vs_refined_blocks_converge_to_same_solution() {
     fine.refine_all(Transfer::Conservative(ProlongOrder::LinearMinmod));
     problems::advected_gaussian(&mut fine, &e, [0.8, 0.4], [0.5, 0.5], 0.12);
 
-    let mut st_c = Stepper::new(e.clone(), Scheme::muscl_rusanov());
-    let mut st_f = Stepper::new(e.clone(), Scheme::muscl_rusanov());
-    st_c.run_until(&mut coarse, 0.0, 0.1, 0.4, None);
-    st_f.run_until(&mut fine, 0.0, 0.1, 0.4, None);
+    let cfg = SolverConfig::new(e.clone(), Scheme::muscl_rusanov()).with_cfl(0.4);
+    let mut st_c = Stepper::new(cfg.clone());
+    let mut st_f = Stepper::new(cfg);
+    st_c.run_until(&mut coarse, 0.0, 0.1, None);
+    st_f.run_until(&mut fine, 0.0, 0.1, None);
 
     // restrict the fine solution onto the coarse lattice (coarsen every
     // fine block conservatively) and compare cell averages in L1 — the
@@ -71,8 +72,9 @@ fn shared_memory_executor_matches_serial_through_amr_cycle() {
     let (mut gb, _) = pulse_grid([2, 2], 8, 2);
     let dt = 1e-3;
 
-    let mut serial = Stepper::new(e.clone(), Scheme::muscl_rusanov());
-    let mut par = ParStepper::new(e.clone(), Scheme::muscl_rusanov());
+    let cfg = SolverConfig::new(e.clone(), Scheme::muscl_rusanov());
+    let mut serial = Stepper::new(cfg.clone());
+    let mut par = ParStepper::new(cfg);
     for _ in 0..2 {
         serial.step_rk2(&mut ga, dt, None);
         par.step_rk2(&mut gb, dt);
@@ -121,7 +123,7 @@ fn distributed_machine_matches_serial_with_adaptive_grid() {
         (g, e)
     };
     let (mut gs, e) = build();
-    let mut st = Stepper::new(e.clone(), Scheme::muscl_rusanov());
+    let mut st = Stepper::new(SolverConfig::new(e.clone(), Scheme::muscl_rusanov()));
     for _ in 0..steps {
         st.step_rk2(&mut gs, dt, None);
     }
@@ -132,7 +134,12 @@ fn distributed_machine_matches_serial_with_adaptive_grid() {
 
     let results = Machine::run(3, move |comm| {
         let (g, e) = build();
-        let mut sim = DistSim::partitioned(g, 3, Policy::SfcHilbert, e, Scheme::muscl_rusanov());
+        let mut sim = DistSim::partitioned(
+            g,
+            3,
+            Policy::SfcHilbert,
+            SolverConfig::new(e, Scheme::muscl_rusanov()),
+        );
         for _ in 0..steps {
             sim.step_rk2(&comm, dt);
         }
@@ -173,10 +180,9 @@ fn amr_simulation_beats_uniform_cost_at_equal_front_resolution() {
     );
     let mut sim = AmrSimulation::new(
         grid,
-        e.clone(),
-        Scheme::muscl_rusanov(),
+        SolverConfig::new(e.clone(), Scheme::muscl_rusanov()).with_cfl(0.3),
         GradientCriterion::new(3, 0.08, 0.03),
-        AmrConfig { cfl: 0.3, adapt_every: 4, max_steps: 20_000, ..Default::default() },
+        AmrConfig { adapt_every: 4, max_steps: 20_000 },
     );
     problems::sedov_blast(&mut sim.grid, &e, [0.5, 0.5], 0.08, 30.0);
     sim.initial_adapt_with(4, None, |g| {
@@ -263,10 +269,9 @@ fn conservation_through_full_pipeline() {
     let (g, e) = pulse_grid([2, 2], 8, 2);
     let mut sim = AmrSimulation::new(
         g,
-        e,
-        Scheme::muscl_rusanov(),
+        SolverConfig::new(e, Scheme::muscl_rusanov()).with_cfl(0.35),
         GradientCriterion::new(0, 0.03, 0.01),
-        AmrConfig { cfl: 0.35, adapt_every: 3, max_steps: 10_000, ..Default::default() },
+        AmrConfig { adapt_every: 3, max_steps: 10_000 },
     );
     sim.adapt_now(None);
     let m0 = total_conserved(&sim.grid, 0);
@@ -303,10 +308,10 @@ fn wind_source_mhd_pipeline_smoke() {
         pulse: None,
     };
     wind.apply(&mut g, &mhd, 0.0);
-    let mut st = Stepper::new(mhd.clone(), Scheme::muscl_rusanov());
+    let mut st = Stepper::new(SolverConfig::new(mhd.clone(), Scheme::muscl_rusanov()).with_cfl(0.3));
     let mut t = 0.0;
     for _ in 0..30 {
-        let dt = st.max_dt(&g, 0.3);
+        let dt = st.max_dt(&g);
         st.step(&mut g, dt, None);
         t += dt;
         wind.apply(&mut g, &mhd, t);
