@@ -1,0 +1,124 @@
+//! Bounded fuzz smoke driver for CI (DESIGN.md §12): run the stateful
+//! grid fuzzer for a fixed budget of seeded command sequences across
+//! D ∈ {2, 3}, and on failure write the shrunk script to
+//! `fuzz-failure.txt` (uploaded as a CI artifact) and exit nonzero.
+//!
+//! Modes:
+//!
+//! * `abl_fuzz [--quick]` — run the sweep (quick: ~700 2-D + ~400 3-D
+//!   sequences; full: 4x that). Seeds are fixed, so CI runs are
+//!   reproducible by construction.
+//! * `abl_fuzz --replay D SEED 'SCRIPT'` — re-execute one failing case
+//!   exactly as printed in a failure's replay line.
+
+use std::process::ExitCode;
+
+use ablock_testkit::{parse_script, run_fuzz, run_script, FuzzConfig, FuzzFailure, FuzzOutcome};
+
+const SEED_2D: u64 = 0x5EED_0040;
+const SEED_3D: u64 = 0x5EED_0041;
+
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|e| format!("bad hex seed {t:?}: {e}"))
+    } else {
+        t.parse().map_err(|e| format!("bad seed {t:?}: {e}"))
+    }
+}
+
+fn report_failure(f: &FuzzFailure) -> ExitCode {
+    eprintln!("FUZZ FAILURE (D={}, seed {:#018x})", f.dim, f.seed);
+    eprintln!("  error:  {}", f.error);
+    eprintln!("  script: {}", f.script);
+    eprintln!("  shrunk: {} ({} command(s))", f.shrunk, f.shrunk_len);
+    eprintln!("  replay: {}", f.replay);
+    let artifact = format!(
+        "dim: {}\nseed: {:#018x}\nerror: {}\nscript: {}\nshrunk: {}\nreplay: {}\n",
+        f.dim, f.seed, f.error, f.script, f.shrunk, f.replay
+    );
+    if let Err(e) = std::fs::write("fuzz-failure.txt", artifact) {
+        eprintln!("  (could not write fuzz-failure.txt: {e})");
+    } else {
+        eprintln!("  wrote fuzz-failure.txt");
+    }
+    ExitCode::FAILURE
+}
+
+fn replay(args: &[String]) -> ExitCode {
+    let [dim, seed, script] = args else {
+        eprintln!("usage: abl_fuzz --replay D SEED 'SCRIPT'");
+        return ExitCode::FAILURE;
+    };
+    let seed = match parse_seed(seed) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cmds = match parse_script(script) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bad script: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match dim.as_str() {
+        "2" => run_script::<2>(seed, &cmds),
+        "3" => run_script::<3>(seed, &cmds),
+        other => {
+            eprintln!("unsupported dimension {other:?} (expected 2 or 3)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => {
+            println!("replay D={dim} seed {seed:#018x}: {} command(s) passed", cmds.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("replay D={dim} seed {seed:#018x} FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn sweep(quick: bool) -> ExitCode {
+    // quick: >= 1000 sequences total (the ISSUE floor); full: 4x
+    let scale = if quick { 1 } else { 4 };
+    let mut total_seq = 0u64;
+    let mut total_cmds = 0u64;
+
+    let cfg2 = FuzzConfig { max_cmds: 24, ..FuzzConfig::quick(700 * scale, SEED_2D) };
+    match run_fuzz::<2>(&cfg2) {
+        FuzzOutcome::Pass { sequences, commands } => {
+            println!("D=2: {sequences} sequences, {commands} commands — ok");
+            total_seq += sequences;
+            total_cmds += commands;
+        }
+        FuzzOutcome::Fail(f) => return report_failure(&f),
+    }
+
+    let cfg3 = FuzzConfig { max_cmds: 16, ..FuzzConfig::quick(400 * scale, SEED_3D) };
+    match run_fuzz::<3>(&cfg3) {
+        FuzzOutcome::Pass { sequences, commands } => {
+            println!("D=3: {sequences} sequences, {commands} commands — ok");
+            total_seq += sequences;
+            total_cmds += commands;
+        }
+        FuzzOutcome::Fail(f) => return report_failure(&f),
+    }
+
+    println!("fuzz sweep clean: {total_seq} sequences, {total_cmds} commands");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--replay") {
+        return replay(&args[pos + 1..]);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    sweep(quick)
+}

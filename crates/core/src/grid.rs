@@ -834,6 +834,29 @@ impl<const D: usize> BlockGrid<D> {
     pub fn field_bytes(&self) -> usize {
         self.num_blocks() * self.params.field_shape().len() * std::mem::size_of::<f64>()
     }
+
+    /// Deliberately break one stored face pointer of block `idx % num_blocks`
+    /// (the first non-boundary face loses its neighbor list; an all-boundary
+    /// block gets face 0 overwritten with an empty pointer list). Neither the
+    /// symmetric pointer nor the epoch is touched, so the grid is left in a
+    /// state every from-scratch oracle must reject. Exists solely so the
+    /// verification harness can prove its oracles catch pointer rot; never
+    /// called by production code.
+    #[doc(hidden)]
+    pub fn testonly_corrupt_face(&mut self, idx: usize) {
+        let ids = self.block_ids();
+        let id = ids[idx % ids.len()];
+        let node = &mut self.arena[id];
+        for f in Face::all::<D>() {
+            if let FaceConn::Blocks(v) = &mut node.faces[f.index()] {
+                if !v.is_empty() {
+                    v.clear();
+                    return;
+                }
+            }
+        }
+        node.faces[0] = FaceConn::Blocks(Vec::new());
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,91 @@
+//! Model-based structural fuzzing of [`ablock_core::grid::BlockGrid`]
+//! (DESIGN.md §12): random refine/coarsen/adapt/remask/checkpoint/ghost/
+//! step scripts run against the grid and the flat reference model in
+//! lockstep, with the full from-scratch oracle stack after every command.
+//!
+//! A failure panics with a copy-pasteable replay line; run it via
+//! `cargo run --release -p ablock-bench --bin abl_fuzz -- --replay …`.
+
+use ablock_testkit::{
+    parse_script, run_fuzz, run_script, FuzzConfig, FuzzOutcome,
+};
+
+fn expect_pass<const D: usize>(cfg: &FuzzConfig) -> u64 {
+    match run_fuzz::<D>(cfg) {
+        FuzzOutcome::Pass { sequences, commands } => {
+            assert_eq!(sequences, cfg.sequences);
+            commands
+        }
+        FuzzOutcome::Fail(f) => panic!(
+            "{}-D fuzz failed after shrinking to {} command(s)\n  error: {}\n  replay: {}",
+            D, f.shrunk_len, f.error, f.replay
+        ),
+    }
+}
+
+#[test]
+fn fuzz_grid_2d() {
+    let commands = expect_pass::<2>(&FuzzConfig {
+        sequences: 60,
+        base_seed: 0x5EED_0010,
+        max_cmds: 24,
+        sabotage: false,
+    });
+    assert!(commands >= 60, "degenerate generation: {commands} commands");
+}
+
+#[test]
+fn fuzz_grid_3d() {
+    expect_pass::<3>(&FuzzConfig {
+        sequences: 25,
+        base_seed: 0x5EED_0011,
+        max_cmds: 16,
+        sabotage: false,
+    });
+}
+
+/// The acceptance gate for the harness itself: a deliberately seeded
+/// invariant break (the `testonly_corrupt_face` hook) must be caught by
+/// the oracle stack on the same command, shrink to at most 5 commands,
+/// and come back with a replay line that reproduces the failure.
+#[test]
+fn sabotage_is_caught_and_shrunk() {
+    for (i, base) in [0x5EED_0012u64, 0x5EED_0013, 0x5EED_0014].iter().enumerate() {
+        let cfg = FuzzConfig { sequences: 2, base_seed: *base, max_cmds: 20, sabotage: true };
+        match run_fuzz::<2>(&cfg) {
+            FuzzOutcome::Pass { .. } => panic!("sabotaged run {i} did not fail"),
+            FuzzOutcome::Fail(f) => {
+                println!("shrunk sabotage replay: {}", f.replay);
+                assert!(
+                    f.shrunk_len <= 5,
+                    "run {i}: shrunk to {} commands (> 5): {}",
+                    f.shrunk_len,
+                    f.shrunk
+                );
+                assert!(f.replay.contains("--replay 2"), "{}", f.replay);
+                assert!(f.replay.contains(&f.shrunk), "{}", f.replay);
+                // the printed script must parse and replay to the failure
+                let script = parse_script(&f.shrunk).unwrap();
+                assert!(
+                    run_script::<2>(f.seed, &script).is_err(),
+                    "run {i}: shrunk script no longer fails"
+                );
+            }
+        }
+    }
+}
+
+/// Shrinking on a real (non-sabotage) failure predicate over grid scripts
+/// stays deterministic: same seed, same failing script, same minimum.
+#[test]
+fn fuzz_failure_shrinks_deterministically() {
+    let cfg = FuzzConfig { sequences: 1, base_seed: 0x5EED_0015, max_cmds: 12, sabotage: true };
+    let (a, b) = (run_fuzz::<2>(&cfg), run_fuzz::<2>(&cfg));
+    match (a, b) {
+        (FuzzOutcome::Fail(fa), FuzzOutcome::Fail(fb)) => {
+            assert_eq!(fa.shrunk, fb.shrunk);
+            assert_eq!(fa.replay, fb.replay);
+        }
+        _ => panic!("sabotaged runs must fail"),
+    }
+}

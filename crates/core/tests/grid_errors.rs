@@ -1,0 +1,115 @@
+//! Error-path tests for [`GridError`]: every rejection is asserted down
+//! to the specific variant (and its payload), not just `is_err()`.
+
+use ablock_core::prelude::*;
+
+fn grid(roots: [i64; 2], max_level: u8) -> BlockGrid<2> {
+    BlockGrid::new(
+        RootLayout::unit(roots, Boundary::Outflow),
+        GridParams::new([4, 4], 2, 1, max_level),
+    )
+}
+
+#[test]
+fn refine_at_max_level_reports_max_level() {
+    let mut g = grid([1, 1], 1);
+    let root = BlockKey::new(0, [0, 0]);
+    g.refine(g.find(root).unwrap(), Transfer::None).unwrap();
+    let child = BlockKey::new(1, [0, 0]);
+    let err = g.refine(g.find(child).unwrap(), Transfer::None).unwrap_err();
+    assert_eq!(err, GridError::MaxLevel { key: child, max_level: 1 });
+}
+
+#[test]
+fn refine_against_coarse_neighbor_reports_refine_jump() {
+    let mut g = grid([2, 2], 3);
+    let a = BlockKey::new(0, [0, 0]);
+    g.refine(g.find(a).unwrap(), Transfer::None).unwrap();
+    // the child touching root (0,[1,0]) would create a 2-level face jump
+    let child = BlockKey::new(1, [1, 0]);
+    let err = g.refine(g.find(child).unwrap(), Transfer::None).unwrap_err();
+    assert_eq!(err, GridError::RefineJump { key: child, max_jump: 1 });
+}
+
+#[test]
+fn coarsen_incomplete_group_reports_siblings_incomplete() {
+    let mut g = grid([2, 2], 2);
+    // (0,[1,1]) is itself a leaf: its children do not exist
+    let parent = BlockKey::new(0, [1, 1]);
+    let err = g.coarsen(parent, Transfer::None).unwrap_err();
+    assert_eq!(err, GridError::SiblingsIncomplete { parent });
+
+    // a subdivided child also breaks the group
+    g.refine_all(Transfer::None);
+    g.refine(g.find(BlockKey::new(1, [0, 0])).unwrap(), Transfer::None)
+        .unwrap();
+    let parent = BlockKey::new(0, [0, 0]);
+    let err = g.coarsen(parent, Transfer::None).unwrap_err();
+    assert_eq!(err, GridError::SiblingsIncomplete { parent });
+}
+
+#[test]
+fn coarsen_against_fine_neighbor_reports_coarsen_jump() {
+    let mut g = grid([2, 2], 2);
+    g.refine_all(Transfer::None); // uniform level 1
+    // a level-2 island next to the group under (0,[1,0])
+    g.refine(g.find(BlockKey::new(1, [1, 0])).unwrap(), Transfer::None)
+        .unwrap();
+    let parent = BlockKey::new(0, [1, 0]);
+    let err = g.coarsen(parent, Transfer::None).unwrap_err();
+    assert_eq!(err, GridError::CoarsenJump { parent, max_jump: 1 });
+}
+
+#[test]
+fn stale_ids_report_stale_block_everywhere() {
+    let mut g = grid([2, 2], 2);
+    let key = BlockKey::new(0, [0, 0]);
+    let id = g.find(key).unwrap();
+    g.refine(id, Transfer::None).unwrap(); // invalidates `id`
+    assert_eq!(g.try_block(id).unwrap_err(), GridError::StaleBlock(id));
+    assert_eq!(
+        g.try_block_mut(id).unwrap_err(),
+        GridError::StaleBlock(id)
+    );
+    assert_eq!(
+        g.refine(id, Transfer::None).unwrap_err(),
+        GridError::StaleBlock(id)
+    );
+    assert!(!g.contains(id));
+}
+
+#[test]
+fn masked_and_missing_keys_resolve_to_nothing() {
+    let layout = RootLayout::unit([2, 2], Boundary::Outflow)
+        .with_mask(|c| c != [1, 1])
+        .with_hole_boundary(Boundary::Reflect);
+    let g = BlockGrid::<2>::new(layout, GridParams::new([4, 4], 2, 1, 2));
+    // the masked root holds no block …
+    let masked = BlockKey::new(0, [1, 1]);
+    assert_eq!(g.find(masked), None);
+    assert_eq!(g.find_covering(masked), None);
+    // … and faces toward it resolve to the hole boundary
+    match g.layout().resolve(masked) {
+        Resolved::Outside(_, bc) => assert_eq!(bc, Boundary::Reflect),
+        other => panic!("masked key resolved in-domain: {other:?}"),
+    }
+    // a key outside the lattice is also nothing
+    assert_eq!(g.find(BlockKey::new(0, [5, 5])), None);
+    // the stored pointer on the face toward the hole is the hole boundary
+    let id = g.find(BlockKey::new(0, [0, 1])).unwrap();
+    assert_eq!(
+        *g.block(id).face(Face::new(0, true)),
+        FaceConn::Boundary(Boundary::Reflect)
+    );
+}
+
+#[test]
+fn error_display_names_the_offender() {
+    let mut g = grid([1, 1], 1);
+    let root = BlockKey::new(0, [0, 0]);
+    g.refine(g.find(root).unwrap(), Transfer::None).unwrap();
+    let child = BlockKey::new(1, [0, 0]);
+    let err = g.refine(g.find(child).unwrap(), Transfer::None).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("max_level"), "{msg}");
+}

@@ -329,8 +329,21 @@ fn parse_params<const D: usize>(bytes: &[u8]) -> io::Result<GridParams<D>> {
 /// with a ghost exchange before stepping.
 ///
 /// Any malformed input — truncation, bit flips, hostile counts — returns
-/// an [`io::Error`]; this function does not panic on bad data.
+/// an [`io::Error`] of kind [`io::ErrorKind::InvalidData`]; this function
+/// does not panic on bad data. (Truncation surfaces from `read_exact` as
+/// `UnexpectedEof`; it is remapped here because for a checkpoint a short
+/// read *is* malformed data, and callers should have one kind to match.)
 pub fn load_grid<const D: usize>(r: &mut impl Read) -> io::Result<BlockGrid<D>> {
+    load_grid_inner(r).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            bad(format!("truncated checkpoint: {e}"))
+        } else {
+            e
+        }
+    })
+}
+
+fn load_grid_inner<const D: usize>(r: &mut impl Read) -> io::Result<BlockGrid<D>> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {

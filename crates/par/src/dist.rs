@@ -329,6 +329,13 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
             Recon::FirstOrder => ProlongOrder::Constant,
             Recon::Muscl(_) => ProlongOrder::LinearMinmod,
         });
+        // The conservative transfer reads *full interiors*: restriction of a
+        // coarsen group whose siblings are owned by different ranks would
+        // otherwise read stale mirror copies (halo exchange only refreshes
+        // face slabs) and silently diverge from the serial result. Regrid is
+        // rare relative to stepping, so pay for one authoritative gather
+        // here — found by the cross-backend differential suite.
+        self.gather_full(comm);
         let report = adapt(&mut self.grid, &flags, transfer);
         // rebuild ownership: same key → same owner; child → parent's owner;
         // parent (after coarsen) → first child's owner

@@ -37,5 +37,7 @@ pub use costmodel::{
 pub use dist::DistSim;
 pub use fault::{FaultPlan, FaultStats};
 pub use machine::{Comm, CommError, Machine, MachineConfig, MachineError, Msg, RankFailure};
-pub use recover::{run_resilient, RecoverConfig, RecoverError, RecoverOutcome};
+pub use recover::{
+    run_resilient, run_resilient_with, RecoverConfig, RecoverError, RecoverOutcome,
+};
 pub use shared::{par_fill_ghosts, par_fill_ghosts_with, ParStepper};

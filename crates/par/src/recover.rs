@@ -114,6 +114,30 @@ pub fn run_resilient<const D: usize, P>(
 where
     P: Physics + Clone + Send + Sync,
 {
+    run_resilient_with(nranks, steps, dt, solver, make_grid, cfg, faults, |_, _, _| {})
+}
+
+/// [`run_resilient`] with an `on_step` hook, called collectively on every
+/// rank after each completed step (with the number of completed steps,
+/// starting at 1) and **before** any checkpoint written at that step —
+/// so checkpoints capture the post-hook state and a restart replays
+/// consistently. The hook must therefore be deterministic in
+/// `(sim state, step index)`; it is where adapt-and-rebalance schedules
+/// plug into a resilient run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_resilient_with<const D: usize, P>(
+    nranks: usize,
+    steps: usize,
+    dt: f64,
+    solver: SolverConfig<P>,
+    make_grid: impl Fn() -> BlockGrid<D> + Send + Sync,
+    cfg: RecoverConfig,
+    faults: Option<Arc<FaultPlan>>,
+    on_step: impl Fn(&mut DistSim<D, P>, &crate::machine::Comm, usize) + Send + Sync,
+) -> Result<RecoverOutcome<D>, RecoverError>
+where
+    P: Physics + Clone + Send + Sync,
+{
     assert!(nranks >= 1);
     // (steps completed, serialized grid) — written by rank 0 of a healthy
     // collective, read by every rank of a restart.
@@ -140,6 +164,7 @@ where
             for step in start_step..steps {
                 sim.step_rk2(&comm, dt);
                 let done = step + 1;
+                on_step(&mut sim, &comm, done);
                 if cfg.checkpoint_every > 0 && done % cfg.checkpoint_every == 0 && done < steps {
                     // gather_full is a collective: when rank 0 completes it,
                     // it holds a consistent snapshot of step `done` even if

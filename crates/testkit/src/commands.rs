@@ -1,0 +1,807 @@
+//! Stateful grid fuzzing: command vocabulary, generator, executor, and
+//! the shrinking fuzz driver.
+//!
+//! A fuzz case is a `(seed, script)` pair. The **seed** deterministically
+//! derives the world (root lattice, boundary conditions, optional root
+//! mask, level cap) and, in generation mode, the script itself; the
+//! **script** is a sequence of [`FuzzCmd`]s executed against a
+//! [`BlockGrid`] and the flat [`RefModel`] side by side. After *every*
+//! command the harness runs the full oracle stack:
+//!
+//! 1. `ablock_core::verify::check_grid` (tiling, pointers, symmetry,
+//!    jump constraint, neighbor bounds — from scratch),
+//! 2. [`RefModel::agree_with`] (leaf set + independently recomputed
+//!    connectivity),
+//! 3. epoch bookkeeping (monotone; bumped iff the topology changed),
+//! 4. conservation of the volume-weighted totals across structural
+//!    commands (transfers are conservative).
+//!
+//! On failure, [`run_fuzz`] minimizes the script with
+//! [`crate::shrink::shrink`] and formats a replay one-liner
+//! (`abl_fuzz --replay <D> <seed> '<script>'`) that reproduces the
+//! failure byte for byte — scripts are plain text via [`format_script`] /
+//! [`parse_script`].
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ablock_core::balance::{adapt, Flag};
+use ablock_core::ghost::GhostExchange;
+use ablock_core::grid::{BlockGrid, GridParams, Transfer};
+use ablock_core::index::IVec;
+use ablock_core::key::BlockKey;
+use ablock_core::layout::{Boundary, RootLayout};
+use ablock_core::ops::ProlongOrder;
+use ablock_core::verify::check_grid;
+use ablock_io::{load_grid, save_grid};
+use ablock_solver::{total_conserved, Euler, Scheme, SolverConfig, Stepper};
+
+use crate::model::RefModel;
+use crate::shrink::shrink;
+use crate::{payload_str, subseed, Rng};
+
+/// Transfer used by every structural command (so conservation is checkable).
+const TRANSFER: Transfer = Transfer::Conservative(ProlongOrder::LinearMinmod);
+/// Fixed, unconditionally stable step size for the `Step` command.
+const STEP_DT: f64 = 2e-4;
+/// Stream separator: world/script derivation must not consume the same
+/// stream as the per-command payloads.
+const SETUP_STREAM: u64 = 0x5E70_F5EE_D001_0001;
+
+// ---------------------------------------------------------------------------
+// command vocabulary
+// ---------------------------------------------------------------------------
+
+/// One fuzzer command. Deliberately dimension-independent (no keys or
+/// coordinates inside) so a script shrinks, prints, and parses cleanly;
+/// payloads are resolved against the current grid state at execution time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FuzzCmd {
+    /// Refine the `r % num_leaves`-th leaf in sorted-key order (legality
+    /// is cross-checked: model and grid must accept or reject for the
+    /// same reason).
+    Refine(u64),
+    /// Coarsen the sibling group of the `r % num_leaves`-th leaf (no-op
+    /// at level 0); legality cross-checked like [`FuzzCmd::Refine`].
+    Coarsen(u64),
+    /// Flag-driven rebalance: every leaf gets a key-derived flag (see
+    /// [`flag_for_key`]) and `balance::adapt` applies the set with
+    /// cascade; the model resyncs its leaf set and re-verifies
+    /// connectivity from scratch.
+    Adapt {
+        /// Flag-derivation seed.
+        seed: u64,
+        /// Refine probability in percent (coarsen runs at `2 * density`).
+        density: u8,
+    },
+    /// Rebuild the world with (`masked = true`) or without a seeded root
+    /// mask — the paper's non-Cartesian initial configuration — resetting
+    /// fields, caches, and epoch tracking.
+    Remask {
+        /// Mask-derivation seed.
+        seed: u64,
+        /// Whether to install a mask or clear it.
+        masked: bool,
+    },
+    /// Checkpoint save → load → bitwise comparison, then continue on the
+    /// *loaded* grid (so later commands exercise the reconstructed state).
+    Checkpoint,
+    /// Epoch-cached ghost exchange: rebuild the plan only when stale,
+    /// assert the staleness signal matches the epoch, fill, and check
+    /// every ghosted cell is finite.
+    Ghost,
+    /// One RK2 Euler step at a fixed small `dt` through a cached
+    /// [`Stepper`] (exercising its plan cache across adapts).
+    Step,
+    /// Test-only invariant break (`BlockGrid::testonly_corrupt_face`);
+    /// the oracle stack must catch it on the same command. Never
+    /// generated unless [`FuzzConfig::sabotage`] is set.
+    Sabotage,
+}
+
+/// Format a script as the compact text form accepted by [`parse_script`]:
+/// `R<r>` `C<r>` `A<seed>:<density>` `M<seed>:<0|1>` `K` `G` `S` `X`,
+/// space-separated, seeds in hex.
+pub fn format_script(cmds: &[FuzzCmd]) -> String {
+    let words: Vec<String> = cmds
+        .iter()
+        .map(|c| match c {
+            FuzzCmd::Refine(r) => format!("R{r}"),
+            FuzzCmd::Coarsen(r) => format!("C{r}"),
+            FuzzCmd::Adapt { seed, density } => format!("A{seed:x}:{density}"),
+            FuzzCmd::Remask { seed, masked } => {
+                format!("M{seed:x}:{}", u8::from(*masked))
+            }
+            FuzzCmd::Checkpoint => "K".to_string(),
+            FuzzCmd::Ghost => "G".to_string(),
+            FuzzCmd::Step => "S".to_string(),
+            FuzzCmd::Sabotage => "X".to_string(),
+        })
+        .collect();
+    words.join(" ")
+}
+
+/// Parse the text form produced by [`format_script`].
+pub fn parse_script(s: &str) -> Result<Vec<FuzzCmd>, String> {
+    let mut out = Vec::new();
+    for w in s.split_whitespace() {
+        let (head, rest) = w.split_at(1);
+        let cmd = match head {
+            "R" => FuzzCmd::Refine(
+                rest.parse().map_err(|e| format!("bad refine index {rest:?}: {e}"))?,
+            ),
+            "C" => FuzzCmd::Coarsen(
+                rest.parse().map_err(|e| format!("bad coarsen index {rest:?}: {e}"))?,
+            ),
+            "A" | "M" => {
+                let (a, b) = rest
+                    .split_once(':')
+                    .ok_or_else(|| format!("missing ':' in {w:?}"))?;
+                let seed = u64::from_str_radix(a, 16)
+                    .map_err(|e| format!("bad seed {a:?}: {e}"))?;
+                if head == "A" {
+                    FuzzCmd::Adapt {
+                        seed,
+                        density: b.parse().map_err(|e| format!("bad density {b:?}: {e}"))?,
+                    }
+                } else {
+                    FuzzCmd::Remask {
+                        seed,
+                        masked: match b {
+                            "0" => false,
+                            "1" => true,
+                            _ => return Err(format!("bad mask flag {b:?}")),
+                        },
+                    }
+                }
+            }
+            "K" if rest.is_empty() => FuzzCmd::Checkpoint,
+            "G" if rest.is_empty() => FuzzCmd::Ghost,
+            "S" if rest.is_empty() => FuzzCmd::Step,
+            "X" if rest.is_empty() => FuzzCmd::Sabotage,
+            _ => return Err(format!("unknown command {w:?}")),
+        };
+        out.push(cmd);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// key-derived adapt flags (shared with the differential suite)
+// ---------------------------------------------------------------------------
+
+fn key_hash<const D: usize>(seed: u64, key: &BlockKey<D>) -> u64 {
+    let mut h = subseed(seed, key.level as u64);
+    for d in 0..D {
+        h = subseed(h, key.coords[d] as u64);
+    }
+    h
+}
+
+/// Deterministic per-key adapt flag: `Refine` with probability
+/// `density`% (below the level cap), else `Coarsen` with probability
+/// `2·density`% derived from the *parent* key so complete sibling groups
+/// always agree (a coarsen flag on a partial group is a guaranteed veto).
+/// Because the flag depends only on the key — never on ids, rank, or
+/// iteration order — every backend derives the identical flag set, which
+/// is what makes cross-backend differential schedules well-defined.
+pub fn flag_for_key<const D: usize>(
+    seed: u64,
+    key: BlockKey<D>,
+    max_level: u8,
+    density: u8,
+) -> Flag {
+    if key.level < max_level && key_hash(seed, &key) % 100 < density as u64 {
+        return Flag::Refine;
+    }
+    if let Some(parent) = key.parent() {
+        if key_hash(seed ^ 0xC0A2_5EED, &parent) % 100 < 2 * density as u64 {
+            return Flag::Coarsen;
+        }
+    }
+    Flag::Keep
+}
+
+// ---------------------------------------------------------------------------
+// differential schedules (consumed by the cross-backend suite in par/solver)
+// ---------------------------------------------------------------------------
+
+/// One round of a differential schedule: adapt with key-derived flags,
+/// then advance a few steps.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptRound {
+    /// Seed for [`flag_for_key`].
+    pub flag_seed: u64,
+    /// Refine density in percent.
+    pub density: u8,
+    /// RK2 steps after the adapt.
+    pub steps: u32,
+}
+
+/// A full adapt+step schedule, optionally cut by a checkpoint
+/// save→load after one of the rounds.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// The rounds, executed in order.
+    pub rounds: Vec<AdaptRound>,
+    /// Round index after which to roundtrip through a checkpoint.
+    pub checkpoint_after_round: Option<usize>,
+}
+
+/// Generate a random differential schedule: 2–4 rounds of adapt + 1–3
+/// steps, with a checkpoint cut point in half the schedules.
+pub fn gen_schedule(rng: &mut Rng) -> Schedule {
+    let nrounds = rng.usize_in(2, 5);
+    let rounds: Vec<AdaptRound> = (0..nrounds)
+        .map(|_| AdaptRound {
+            flag_seed: rng.next_u64(),
+            density: rng.usize_in(10, 35) as u8,
+            steps: rng.usize_in(1, 4) as u32,
+        })
+        .collect();
+    let checkpoint_after_round =
+        if rng.coin() { Some(rng.usize_below(nrounds)) } else { None };
+    Schedule { rounds, checkpoint_after_round }
+}
+
+// ---------------------------------------------------------------------------
+// world derivation
+// ---------------------------------------------------------------------------
+
+/// The seed-derived world a script runs in (stable under shrinking: it
+/// depends only on the case seed, never on the script).
+#[derive(Clone, Copy, Debug)]
+pub struct Setup<const D: usize> {
+    /// Root lattice extent per axis.
+    pub roots: IVec<D>,
+    /// Boundary condition per axis (both faces).
+    pub bcs: [Boundary; D],
+    /// Level cap (smaller in 3-D to bound case cost).
+    pub max_level: u8,
+    /// Current root-mask seed (`None` = full lattice); mutated by
+    /// [`FuzzCmd::Remask`].
+    pub mask_seed: Option<u64>,
+}
+
+fn mask_active<const D: usize>(seed: u64, c: IVec<D>) -> bool {
+    // Root [0; D] is always active so the lattice never empties.
+    let mut h = seed;
+    for d in 0..D {
+        h = subseed(h, c[d] as u64);
+    }
+    c == [0; D] || !h.is_multiple_of(4)
+}
+
+/// Derive the world for a case seed.
+pub fn derive_setup<const D: usize>(seed: u64) -> Setup<D> {
+    let mut rng = Rng::new(seed ^ SETUP_STREAM ^ (D as u64) << 32);
+    let mut roots = [1i64; D];
+    for r in roots.iter_mut() {
+        *r = rng.i64_in(1, 3);
+    }
+    let choices = [Boundary::Periodic, Boundary::Outflow, Boundary::Reflect];
+    let mut bcs = [Boundary::Outflow; D];
+    for b in bcs.iter_mut() {
+        *b = *rng.choose(&choices);
+    }
+    let max_level = if D >= 3 { 2 } else { 2 + rng.u64_below(2) as u8 };
+    let mask_seed = if rng.bool(0.25) { Some(rng.next_u64()) } else { None };
+    Setup { roots, bcs, max_level, mask_seed }
+}
+
+fn build_world<const D: usize>(setup: &Setup<D>) -> BlockGrid<D> {
+    let mut layout = RootLayout::unit(setup.roots, Boundary::Outflow);
+    for d in 0..D {
+        layout = layout.with_axis_boundary(d, setup.bcs[d]);
+    }
+    if let Some(ms) = setup.mask_seed {
+        layout = layout.with_mask(|c| mask_active(ms, c));
+    }
+    let params = GridParams::new([4; D], 2, D + 2, setup.max_level);
+    let mut grid = BlockGrid::new(layout, params);
+    let euler = Euler::<D>::new(1.4);
+    let mut vel = [0.0; D];
+    vel[0] = 0.4;
+    ablock_solver::problems::advected_gaussian(
+        &mut grid,
+        &euler,
+        vel,
+        [0.5; D],
+        0.2,
+    );
+    grid
+}
+
+// ---------------------------------------------------------------------------
+// execution harness
+// ---------------------------------------------------------------------------
+
+struct Harness<const D: usize> {
+    setup: Setup<D>,
+    grid: BlockGrid<D>,
+    model: RefModel<D>,
+    exchange: Option<GhostExchange<D>>,
+    stepper: Option<Stepper<D, Euler<D>>>,
+    last_epoch: u64,
+}
+
+fn fresh_stepper<const D: usize>() -> Stepper<D, Euler<D>> {
+    Stepper::new(SolverConfig::new(Euler::new(1.4), Scheme::muscl_rusanov()))
+}
+
+impl<const D: usize> Harness<D> {
+    fn new(setup: Setup<D>) -> Self {
+        let grid = build_world(&setup);
+        let model = RefModel::from_grid(&grid);
+        let last_epoch = grid.epoch();
+        Harness { setup, grid, model, exchange: None, stepper: None, last_epoch }
+    }
+
+    fn totals(&self) -> Vec<f64> {
+        (0..D + 2).map(|v| total_conserved(&self.grid, v)).collect()
+    }
+
+    fn check_conserved(&self, before: &[f64], what: &str) -> Result<(), String> {
+        let after = self.totals();
+        for (v, (&b, &a)) in before.iter().zip(&after).enumerate() {
+            // Relative with an absolute floor at the O(1) domain scale:
+            // transverse momentum totals are exactly zero, so a pure
+            // relative test would flag denormal-level roundoff.
+            let tol = 1e-9 * (1.0 + b.abs());
+            if (a - b).abs() > tol {
+                return Err(format!(
+                    "{what} lost conservation of var {v}: {b:.17e} -> {a:.17e}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The oracle stack run after every command.
+    fn post_check(&mut self, structural: bool) -> Result<(), String> {
+        check_grid(&self.grid).map_err(|e| format!("check_grid: {e}"))?;
+        self.model
+            .agree_with(&self.grid)
+            .map_err(|e| format!("model disagreement: {e}"))?;
+        let epoch = self.grid.epoch();
+        if epoch < self.last_epoch {
+            return Err(format!(
+                "epoch went backwards: {} -> {epoch}",
+                self.last_epoch
+            ));
+        }
+        if !structural && epoch != self.last_epoch {
+            return Err(format!(
+                "epoch bumped by a non-structural command: {} -> {epoch}",
+                self.last_epoch
+            ));
+        }
+        self.last_epoch = epoch;
+        Ok(())
+    }
+
+    fn nth_leaf(&self, r: u64) -> BlockKey<D> {
+        let n = self.model.num_leaves();
+        *self
+            .model
+            .leaves()
+            .nth((r % n as u64) as usize)
+            .expect("model has at least one leaf")
+    }
+
+    fn exec(&mut self, cmd: &FuzzCmd) -> Result<(), String> {
+        let mut structural = false;
+        match *cmd {
+            FuzzCmd::Refine(r) => {
+                let key = self.nth_leaf(r);
+                let id = self
+                    .grid
+                    .find(key)
+                    .ok_or_else(|| format!("model leaf {key:?} missing from grid"))?;
+                match self.model.check_refine(key) {
+                    Ok(()) => {
+                        let before = self.totals();
+                        self.grid
+                            .refine(id, TRANSFER)
+                            .map_err(|e| format!("grid rejected legal refine {key:?}: {e}"))?;
+                        self.model.refine(key);
+                        self.check_conserved(&before, "refine")?;
+                        structural = true;
+                    }
+                    Err(me) => match self.grid.refine(id, TRANSFER) {
+                        Ok(_) => {
+                            return Err(format!(
+                                "grid accepted refine {key:?} the model rejects ({me:?})"
+                            ))
+                        }
+                        Err(ge) if me.matches_grid_error(&ge) => {}
+                        Err(ge) => {
+                            return Err(format!(
+                                "refine {key:?}: model rejects with {me:?}, grid with {ge}"
+                            ))
+                        }
+                    },
+                }
+            }
+            FuzzCmd::Coarsen(r) => {
+                let key = self.nth_leaf(r);
+                let Some(parent) = key.parent() else {
+                    return self.post_check(false); // level-0 leaf: no-op
+                };
+                match self.model.check_coarsen(parent) {
+                    Ok(()) => {
+                        let before = self.totals();
+                        self.grid
+                            .coarsen(parent, TRANSFER)
+                            .map_err(|e| format!("grid rejected legal coarsen {parent:?}: {e}"))?;
+                        self.model.coarsen(parent);
+                        self.check_conserved(&before, "coarsen")?;
+                        structural = true;
+                    }
+                    Err(me) => match self.grid.coarsen(parent, TRANSFER) {
+                        Ok(_) => {
+                            return Err(format!(
+                                "grid accepted coarsen {parent:?} the model rejects ({me:?})"
+                            ))
+                        }
+                        Err(ge) if me.matches_grid_error(&ge) => {}
+                        Err(ge) => {
+                            return Err(format!(
+                                "coarsen {parent:?}: model rejects with {me:?}, grid with {ge}"
+                            ))
+                        }
+                    },
+                }
+            }
+            FuzzCmd::Adapt { seed, density } => {
+                let max_level = self.grid.params().max_level;
+                let flags: HashMap<_, _> = self
+                    .grid
+                    .blocks()
+                    .filter_map(|(id, node)| {
+                        match flag_for_key(seed, node.key(), max_level, density) {
+                            Flag::Keep => None,
+                            f => Some((id, f)),
+                        }
+                    })
+                    .collect();
+                let epoch_before = self.grid.epoch();
+                let before = self.totals();
+                let report = adapt(&mut self.grid, &flags, TRANSFER);
+                if report.changed() != (self.grid.epoch() != epoch_before) {
+                    return Err(format!(
+                        "adapt report.changed()={} but epoch {} -> {}",
+                        report.changed(),
+                        epoch_before,
+                        self.grid.epoch()
+                    ));
+                }
+                self.model.resync_leaves(&self.grid);
+                self.check_conserved(&before, "adapt")?;
+                structural = true;
+            }
+            FuzzCmd::Remask { seed, masked } => {
+                self.setup.mask_seed = if masked { Some(seed) } else { None };
+                *self = Harness::new(self.setup);
+                return self.post_check(true);
+            }
+            FuzzCmd::Checkpoint => {
+                let mut buf = Vec::new();
+                save_grid(&mut buf, &self.grid).map_err(|e| format!("save_grid: {e}"))?;
+                let loaded: BlockGrid<D> = load_grid(&mut buf.as_slice())
+                    .map_err(|e| format!("load_grid: {e}"))?;
+                for (_, node) in self.grid.blocks() {
+                    let lid = loaded.find(node.key()).ok_or_else(|| {
+                        format!("leaf {:?} lost in checkpoint roundtrip", node.key())
+                    })?;
+                    let lf = loaded.block(lid).field();
+                    let of = node.field();
+                    for c in of.shape().interior_box().iter() {
+                        for v in 0..of.shape().nvar {
+                            if of.at(c, v).to_bits() != lf.at(c, v).to_bits() {
+                                return Err(format!(
+                                    "checkpoint roundtrip not bitwise at {:?} cell {c:?} var {v}: \
+                                     {:.17e} != {:.17e}",
+                                    node.key(),
+                                    of.at(c, v),
+                                    lf.at(c, v)
+                                ));
+                            }
+                        }
+                    }
+                }
+                if loaded.num_blocks() != self.grid.num_blocks() {
+                    return Err(format!(
+                        "checkpoint roundtrip changed leaf count: {} -> {}",
+                        self.grid.num_blocks(),
+                        loaded.num_blocks()
+                    ));
+                }
+                // Continue on the loaded grid. Its epoch counter restarted
+                // with the reconstruction, and per-instance caches must not
+                // carry over (a fresh grid's epoch can coincidentally match).
+                self.grid = loaded;
+                self.exchange = None;
+                self.stepper = None;
+                self.model = RefModel::from_grid(&self.grid);
+                self.last_epoch = self.grid.epoch();
+                return self.post_check(true);
+            }
+            FuzzCmd::Ghost => {
+                let stale = self
+                    .exchange
+                    .as_ref()
+                    .map(|x| !x.is_current(&self.grid))
+                    .unwrap_or(true);
+                if let Some(x) = &self.exchange {
+                    if x.is_current(&self.grid) != (x.epoch() == self.grid.epoch()) {
+                        return Err(format!(
+                            "ghost cache staleness signal disagrees with epochs \
+                             (cache {} vs grid {})",
+                            x.epoch(),
+                            self.grid.epoch()
+                        ));
+                    }
+                }
+                if stale {
+                    let cfg =
+                        SolverConfig::new(Euler::<D>::new(1.4), Scheme::muscl_rusanov()).ghost;
+                    self.exchange = Some(GhostExchange::build(&self.grid, cfg));
+                }
+                let x = self.exchange.as_ref().expect("just built");
+                if !x.is_current(&self.grid) {
+                    return Err("freshly built ghost plan is already stale".to_string());
+                }
+                x.fill(&mut self.grid);
+                for (_, node) in self.grid.blocks() {
+                    let f = node.field();
+                    for c in f.shape().ghosted_box().iter() {
+                        for v in 0..f.shape().nvar {
+                            if !f.at(c, v).is_finite() {
+                                return Err(format!(
+                                    "non-finite ghost fill at {:?} cell {c:?} var {v}",
+                                    node.key()
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            FuzzCmd::Step => {
+                if self.stepper.is_none() {
+                    self.stepper = Some(fresh_stepper());
+                }
+                let stepper = self.stepper.as_mut().expect("just set");
+                stepper.step_rk2(&mut self.grid, STEP_DT, None);
+                for (_, node) in self.grid.blocks() {
+                    let f = node.field();
+                    for c in f.shape().interior_box().iter() {
+                        for v in 0..f.shape().nvar {
+                            if !f.at(c, v).is_finite() {
+                                return Err(format!(
+                                    "non-finite state after step at {:?} cell {c:?} var {v}",
+                                    node.key()
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            FuzzCmd::Sabotage => {
+                self.grid.testonly_corrupt_face(0);
+            }
+        }
+        self.post_check(structural)
+    }
+}
+
+/// Execute `script` in the world derived from `seed`, running the full
+/// oracle stack after every command. Panics inside commands are caught
+/// and converted to `Err`, so failures (including `assert!` failures deep
+/// in the library) are shrinkable.
+pub fn run_script<const D: usize>(seed: u64, script: &[FuzzCmd]) -> Result<(), String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        let mut h = Harness::<D>::new(derive_setup(seed));
+        h.post_check(true).map_err(|e| format!("initial state: {e}"))?;
+        for (i, cmd) in script.iter().enumerate() {
+            h.exec(cmd)
+                .map_err(|e| format!("command {i} ({}): {e}", format_script(&[*cmd])))?;
+        }
+        Ok(())
+    }))
+    .unwrap_or_else(|payload| Err(format!("panic: {}", payload_str(payload.as_ref()))))
+}
+
+/// Generate a random script for the world derived from `seed`.
+pub fn gen_script(seed: u64, max_cmds: usize, sabotage: bool) -> Vec<FuzzCmd> {
+    let mut rng = Rng::new(seed);
+    let len = rng.usize_in(1, max_cmds.max(2));
+    let mut script: Vec<FuzzCmd> = (0..len)
+        .map(|_| {
+            let roll = rng.f64();
+            if roll < 0.30 {
+                FuzzCmd::Refine(rng.u64_below(4096))
+            } else if roll < 0.50 {
+                FuzzCmd::Coarsen(rng.u64_below(4096))
+            } else if roll < 0.65 {
+                FuzzCmd::Adapt {
+                    seed: rng.next_u64(),
+                    density: rng.usize_in(5, 30) as u8,
+                }
+            } else if roll < 0.75 {
+                FuzzCmd::Ghost
+            } else if roll < 0.85 {
+                FuzzCmd::Step
+            } else if roll < 0.93 {
+                FuzzCmd::Checkpoint
+            } else {
+                FuzzCmd::Remask { seed: rng.next_u64(), masked: rng.coin() }
+            }
+        })
+        .collect();
+    if sabotage {
+        let at = rng.usize_below(script.len() + 1);
+        script.insert(at, FuzzCmd::Sabotage);
+    }
+    script
+}
+
+// ---------------------------------------------------------------------------
+// fuzz driver
+// ---------------------------------------------------------------------------
+
+/// Configuration of one fuzz run.
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzConfig {
+    /// Command sequences to run.
+    pub sequences: u64,
+    /// Base seed; case `i` uses `subseed(base_seed, i)`.
+    pub base_seed: u64,
+    /// Maximum commands per sequence.
+    pub max_cmds: usize,
+    /// Insert one [`FuzzCmd::Sabotage`] per sequence (harness self-test:
+    /// the run *must* fail and shrink to a tiny script).
+    pub sabotage: bool,
+}
+
+impl FuzzConfig {
+    /// A quick configuration with the given sequence count.
+    pub fn quick(sequences: u64, base_seed: u64) -> Self {
+        FuzzConfig { sequences, base_seed, max_cmds: 24, sabotage: false }
+    }
+}
+
+/// A minimized fuzz failure with everything needed to reproduce it.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    /// Spatial dimension of the failing case.
+    pub dim: usize,
+    /// Case seed (derives the world and replays the failure).
+    pub seed: u64,
+    /// Error from the *shrunk* script.
+    pub error: String,
+    /// Original generated script (text form).
+    pub script: String,
+    /// Minimized script (text form).
+    pub shrunk: String,
+    /// Shrunk command count.
+    pub shrunk_len: usize,
+    /// Copy-pasteable replay one-liner.
+    pub replay: String,
+}
+
+/// Outcome of [`run_fuzz`].
+#[derive(Clone, Debug)]
+pub enum FuzzOutcome {
+    /// Every sequence passed.
+    Pass {
+        /// Sequences executed.
+        sequences: u64,
+        /// Total commands executed.
+        commands: u64,
+    },
+    /// A sequence failed; the failure is already shrunk.
+    Fail(Box<FuzzFailure>),
+}
+
+/// Run `cfg.sequences` independent command sequences; on the first
+/// failure, shrink the script with [`shrink`] and return a
+/// [`FuzzFailure`] carrying a replay line.
+pub fn run_fuzz<const D: usize>(cfg: &FuzzConfig) -> FuzzOutcome {
+    let mut commands = 0u64;
+    for i in 0..cfg.sequences {
+        let seed = subseed(cfg.base_seed, i);
+        let script = gen_script(seed, cfg.max_cmds, cfg.sabotage);
+        commands += script.len() as u64;
+        let Err(first_error) = run_script::<D>(seed, &script) else {
+            continue;
+        };
+        let shrunk = shrink(&script, |cand| run_script::<D>(seed, cand).is_err());
+        let error = run_script::<D>(seed, &shrunk).err().unwrap_or(first_error);
+        let shrunk_text = format_script(&shrunk);
+        return FuzzOutcome::Fail(Box::new(FuzzFailure {
+            dim: D,
+            seed,
+            error,
+            script: format_script(&script),
+            shrunk: shrunk_text.clone(),
+            shrunk_len: shrunk.len(),
+            replay: format!(
+                "cargo run --release -p ablock-bench --bin abl_fuzz -- \
+                 --replay {D} {seed:#018x} '{shrunk_text}'"
+            ),
+        }));
+    }
+    FuzzOutcome::Pass { sequences: cfg.sequences, commands }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_text_roundtrips() {
+        let script = vec![
+            FuzzCmd::Refine(17),
+            FuzzCmd::Coarsen(3),
+            FuzzCmd::Adapt { seed: 0xDEAD_BEEF, density: 12 },
+            FuzzCmd::Remask { seed: 0xF00, masked: true },
+            FuzzCmd::Checkpoint,
+            FuzzCmd::Ghost,
+            FuzzCmd::Step,
+            FuzzCmd::Sabotage,
+        ];
+        let text = format_script(&script);
+        assert_eq!(parse_script(&text).unwrap(), script);
+        assert_eq!(text, "R17 C3 Adeadbeef:12 Mf00:1 K G S X");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_script("Q9").is_err());
+        assert!(parse_script("A12").is_err()); // missing density
+        assert!(parse_script("Mzz:1").is_err());
+        assert!(parse_script("K7").is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_sabotage_injects_once() {
+        let a = gen_script(42, 20, false);
+        let b = gen_script(42, 20, false);
+        assert_eq!(a, b);
+        assert!(!a.contains(&FuzzCmd::Sabotage));
+        let s = gen_script(42, 20, true);
+        assert_eq!(s.iter().filter(|c| **c == FuzzCmd::Sabotage).count(), 1);
+    }
+
+    #[test]
+    fn flags_are_key_derived_and_respect_caps() {
+        let key = BlockKey::<2>::new(0, [1, 0]);
+        // deterministic
+        assert_eq!(flag_for_key(7, key, 3, 50), flag_for_key(7, key, 3, 50));
+        // a root can never be flagged Coarsen, a capped key never Refine
+        for s in 0..200u64 {
+            assert_ne!(flag_for_key(s, key, 0, 90), Flag::Refine);
+            assert_ne!(flag_for_key(s, key, 3, 90), Flag::Coarsen);
+        }
+        // at high density some keys do get refined
+        let mut refined = 0;
+        for s in 0..50u64 {
+            if flag_for_key(s, key, 3, 80) == Flag::Refine {
+                refined += 1;
+            }
+        }
+        assert!(refined > 10, "density 80 refined only {refined}/50");
+    }
+
+    #[test]
+    fn empty_script_passes() {
+        run_script::<2>(0x5EED_0010, &[]).unwrap();
+    }
+
+    #[test]
+    fn sabotage_alone_fails() {
+        let err = run_script::<2>(0x5EED_0011, &[FuzzCmd::Sabotage]).unwrap_err();
+        assert!(err.contains("command 0"), "{err}");
+    }
+}

@@ -9,11 +9,32 @@
 //!   always yields the same stream on every platform.
 //! * [`cases`] — a property-test case runner: derives one sub-seed per
 //!   case, runs the property, and on failure re-raises the panic with the
-//!   failing case seed prepended so the case can be replayed in isolation.
+//!   failing case seed prepended so the case can be replayed in isolation
+//!   (set `ABL_CASE_SEED=<seed>` to run exactly that case).
 //! * [`Bench`] — a tiny fixed-iteration timing harness for the
 //!   `harness = false` benchmark binaries.
+//!
+//! On top of those sit the stateful verification layers (DESIGN.md §12):
+//!
+//! * [`model`] — a flat reference model of the block grid with
+//!   independently recomputed connectivity and legality checks.
+//! * [`commands`] — the fuzzer command vocabulary, generator, and the
+//!   grid/model lockstep executor with a full oracle stack per command.
+//! * [`mod@shrink`] — deterministic delta-debugging of failing scripts.
 
 #![warn(missing_docs)]
+
+pub mod commands;
+pub mod model;
+pub mod shrink;
+
+pub use commands::{
+    derive_setup, flag_for_key, format_script, gen_schedule, gen_script, parse_script,
+    run_fuzz, run_script, AdaptRound, FuzzCmd, FuzzConfig, FuzzFailure, FuzzOutcome,
+    Schedule,
+};
+pub use model::{ModelConn, ModelError, RefModel};
+pub use shrink::shrink;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -101,10 +122,33 @@ pub fn subseed(base: u64, index: u64) -> u64 {
 /// Run `n` property-test cases. Each case gets a fresh [`Rng`] seeded from
 /// `subseed(base_seed, i)`; the closure also receives that seed so failure
 /// messages can name it. A panicking case is re-raised with the case seed
-/// prepended, so `cases(1, SEED, ..)`-style replays are one edit away.
-pub fn cases<F: FnMut(u64, &mut Rng)>(n: u64, base_seed: u64, mut f: F) {
-    for i in 0..n {
-        let seed = subseed(base_seed, i);
+/// prepended plus a copy-pasteable `ABL_CASE_SEED=<seed>` replay hint; when
+/// that variable is set (hex with optional `0x`, or decimal), only the named
+/// case runs — so a CI failure replays locally without editing any test.
+pub fn cases<F: FnMut(u64, &mut Rng)>(n: u64, base_seed: u64, f: F) {
+    cases_with_replay(n, base_seed, std::env::var("ABL_CASE_SEED").ok().as_deref(), f)
+}
+
+/// Parse an `ABL_CASE_SEED` value: hex with an optional `0x` prefix, or
+/// decimal.
+pub fn parse_case_seed(s: &str) -> Option<u64> {
+    let t = s.trim();
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        t.parse().ok().or_else(|| u64::from_str_radix(t, 16).ok())
+    }
+}
+
+/// [`cases`] with the replay override passed explicitly (unit-testable
+/// without racing on the process environment).
+pub fn cases_with_replay<F: FnMut(u64, &mut Rng)>(
+    n: u64,
+    base_seed: u64,
+    replay: Option<&str>,
+    mut f: F,
+) {
+    let mut run_one = |label: &str, seed: u64| {
         let result = catch_unwind(AssertUnwindSafe(|| {
             let mut rng = Rng::new(seed);
             f(seed, &mut rng);
@@ -113,8 +157,20 @@ pub fn cases<F: FnMut(u64, &mut Rng)>(n: u64, base_seed: u64, mut f: F) {
             // `.as_ref()` matters: `&payload` would unsize the Box itself
             // into `dyn Any` and every downcast would miss
             let msg = payload_str(payload.as_ref());
-            panic!("property case {i} (seed {seed:#018x}) failed: {msg}");
+            panic!(
+                "property case {label} (seed {seed:#018x}) failed: {msg}\n  \
+                 replay just this case with: ABL_CASE_SEED={seed:#x} cargo test"
+            );
         }
+    };
+    if let Some(spec) = replay {
+        let seed = parse_case_seed(spec)
+            .unwrap_or_else(|| panic!("unparseable ABL_CASE_SEED {spec:?}"));
+        run_one("replay", seed);
+        return;
+    }
+    for i in 0..n {
+        run_one(&i.to_string(), subseed(base_seed, i));
     }
 }
 
@@ -242,6 +298,31 @@ mod tests {
         let msg = payload_str(err.unwrap_err().as_ref());
         assert!(msg.contains("seed"), "{msg}");
         assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn parse_case_seed_accepts_hex_and_decimal() {
+        assert_eq!(parse_case_seed("0x2a"), Some(0x2a));
+        assert_eq!(parse_case_seed("0X2A"), Some(0x2a));
+        assert_eq!(parse_case_seed("42"), Some(42));
+        assert_eq!(parse_case_seed(" deadbeef "), Some(0xdead_beef));
+        assert_eq!(parse_case_seed("zz"), None);
+    }
+
+    #[test]
+    fn replay_env_runs_only_the_named_case() {
+        let mut seen = Vec::new();
+        cases_with_replay(10, 99, Some("0x2a"), |seed, _| seen.push(seed));
+        assert_eq!(seen, vec![0x2a]);
+    }
+
+    #[test]
+    fn failure_message_carries_replay_hint() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            cases_with_replay(3, 99, None, |_, _| panic!("boom"));
+        }));
+        let msg = payload_str(err.unwrap_err().as_ref());
+        assert!(msg.contains("ABL_CASE_SEED="), "{msg}");
     }
 
     #[test]

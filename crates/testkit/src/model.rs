@@ -1,0 +1,338 @@
+//! A deliberately simple reference model of the adaptive block grid.
+//!
+//! The production [`BlockGrid`] maintains neighbor pointers
+//! *incrementally* on every refine/coarsen — exactly the machinery the
+//! fuzzer is trying to break. The [`RefModel`] keeps only a flat set of
+//! leaf keys and **recomputes everything from scratch** on demand: face
+//! connectivity from key arithmetic plus [`RootLayout::resolve`], and
+//! refine/coarsen legality from the key set alone. It shares no code
+//! with the grid's pointer maintenance (`recompute_faces`,
+//! `collect_leaves_on_face`), so agreement between the two is evidence,
+//! not tautology.
+//!
+//! [`RefModel::agree_with`] is the oracle the command fuzzer calls after
+//! every command: leaf sets must match, and every stored face pointer of
+//! every block must equal the model's independently recomputed
+//! connectivity.
+
+use std::collections::BTreeSet;
+
+use ablock_core::grid::{BlockGrid, FaceConn, GridError};
+use ablock_core::index::Face;
+use ablock_core::key::BlockKey;
+use ablock_core::layout::{Boundary, Resolved, RootLayout};
+
+/// Model-side face connectivity: neighbor *keys* instead of arena ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelConn<const D: usize> {
+    /// The face lies on a physical boundary (or a masked-root hole).
+    Boundary(Boundary),
+    /// Adjacent leaf keys, sorted.
+    Keys(Vec<BlockKey<D>>),
+}
+
+/// Why the model rejects a refine/coarsen request. Mirrors the variants
+/// of [`GridError`] that classify *illegal requests* (stale ids are a
+/// grid-side concept the model has no equivalent of).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// Refinement would exceed the level cap.
+    MaxLevel,
+    /// Refinement would break the jump constraint.
+    RefineJump,
+    /// Coarsening group is not `2^D` complete leaves.
+    SiblingsIncomplete,
+    /// Coarsening would break the jump constraint.
+    CoarsenJump,
+}
+
+impl ModelError {
+    /// True when `err` is the grid-side classification of this model
+    /// error (used to check that grid and model reject for the same
+    /// reason, not merely that both reject).
+    pub fn matches_grid_error<const D: usize>(self, err: &GridError<D>) -> bool {
+        matches!(
+            (self, err),
+            (ModelError::MaxLevel, GridError::MaxLevel { .. })
+                | (ModelError::RefineJump, GridError::RefineJump { .. })
+                | (ModelError::SiblingsIncomplete, GridError::SiblingsIncomplete { .. })
+                | (ModelError::CoarsenJump, GridError::CoarsenJump { .. })
+        )
+    }
+}
+
+/// Flat-map reference model: a set of leaf keys plus the layout and the
+/// two structural parameters legality depends on.
+#[derive(Clone, Debug)]
+pub struct RefModel<const D: usize> {
+    layout: RootLayout<D>,
+    max_level: u8,
+    max_jump: u8,
+    leaves: BTreeSet<BlockKey<D>>,
+}
+
+impl<const D: usize> RefModel<D> {
+    /// Model mirroring the current leaf set of `grid`.
+    pub fn from_grid(grid: &BlockGrid<D>) -> Self {
+        RefModel {
+            layout: grid.layout().clone(),
+            max_level: grid.params().max_level,
+            max_jump: grid.params().max_level_jump,
+            leaves: grid.blocks().map(|(_, n)| n.key()).collect(),
+        }
+    }
+
+    /// Number of leaves in the model.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Leaf keys in sorted order.
+    pub fn leaves(&self) -> impl Iterator<Item = &BlockKey<D>> {
+        self.leaves.iter()
+    }
+
+    /// Re-adopt the grid's leaf set (after operations like
+    /// `balance::adapt` whose cascade semantics the model does not
+    /// reimplement). Connectivity is still checked independently.
+    pub fn resync_leaves(&mut self, grid: &BlockGrid<D>) {
+        self.leaves = grid.blocks().map(|(_, n)| n.key()).collect();
+    }
+
+    /// The leaf covering `key` (the key itself or an ancestor), if any.
+    fn covering(&self, key: BlockKey<D>) -> Option<BlockKey<D>> {
+        let mut k = key;
+        loop {
+            if self.leaves.contains(&k) {
+                return Some(k);
+            }
+            k = k.parent()?;
+        }
+    }
+
+    /// Recompute the connectivity of one face of `key` from the leaf set.
+    pub fn face_conn(&self, key: BlockKey<D>, f: Face) -> ModelConn<D> {
+        match self.layout.resolve(key.face_neighbor(f)) {
+            Resolved::Outside(_, bc) => ModelConn::Boundary(bc),
+            Resolved::InDomain(nk) => {
+                if let Some(c) = self.covering(nk) {
+                    return ModelConn::Keys(vec![c]);
+                }
+                // Subdivided: descendants of nk whose cells touch the face
+                // of nk looking back toward `key` (i.e. side f.opposite()).
+                let d = f.dim as usize;
+                let mut out: Vec<BlockKey<D>> = self
+                    .leaves
+                    .iter()
+                    .filter(|l| l.level > nk.level && nk.is_ancestor_of_or_eq(l))
+                    .filter(|l| {
+                        let shift = l.level - nk.level;
+                        if f.high {
+                            // neighbor is on the +side; its facing side is low
+                            l.coords[d] == nk.coords[d] << shift
+                        } else {
+                            l.coords[d] == ((nk.coords[d] + 1) << shift) - 1
+                        }
+                    })
+                    .copied()
+                    .collect();
+                out.sort();
+                ModelConn::Keys(out)
+            }
+        }
+    }
+
+    /// All leaf neighbors of `key` across every face (deduplicated).
+    fn face_neighbor_keys(&self, key: BlockKey<D>) -> Vec<BlockKey<D>> {
+        let mut out = Vec::new();
+        for f in Face::all::<D>() {
+            if let ModelConn::Keys(ks) = self.face_conn(key, f) {
+                out.extend(ks);
+            }
+        }
+        out.sort();
+        out.dedup();
+        out.retain(|k| *k != key); // periodic self-neighbors
+        out
+    }
+
+    /// Classify a refine request against the model's key set.
+    pub fn check_refine(&self, key: BlockKey<D>) -> Result<(), ModelError> {
+        assert!(self.leaves.contains(&key), "model.check_refine on a non-leaf {key:?}");
+        if key.level >= self.max_level {
+            return Err(ModelError::MaxLevel);
+        }
+        let k = self.max_jump as i32;
+        for n in self.face_neighbor_keys(key) {
+            if (key.level as i32 + 1) - n.level as i32 > k {
+                return Err(ModelError::RefineJump);
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a legal refine; call [`RefModel::check_refine`] first.
+    pub fn refine(&mut self, key: BlockKey<D>) {
+        debug_assert!(self.check_refine(key).is_ok());
+        self.leaves.remove(&key);
+        for c in key.children() {
+            self.leaves.insert(c);
+        }
+    }
+
+    /// Classify a coarsen request (mirrors the grid's check order: a
+    /// missing sibling is reported only if every earlier sibling's
+    /// neighbors pass the jump check).
+    pub fn check_coarsen(&self, parent: BlockKey<D>) -> Result<(), ModelError> {
+        let k = self.max_jump as i32;
+        let child_level = parent.level as i32 + 1;
+        for ck in parent.children() {
+            if !self.leaves.contains(&ck) {
+                return Err(ModelError::SiblingsIncomplete);
+            }
+            for n in self.face_neighbor_keys(ck) {
+                if n.level as i32 - (child_level - 1) > k {
+                    return Err(ModelError::CoarsenJump);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a legal coarsen; call [`RefModel::check_coarsen`] first.
+    pub fn coarsen(&mut self, parent: BlockKey<D>) {
+        debug_assert!(self.check_coarsen(parent).is_ok());
+        for ck in parent.children() {
+            self.leaves.remove(&ck);
+        }
+        self.leaves.insert(parent);
+    }
+
+    /// The oracle: the grid's leaf set and every stored face pointer must
+    /// agree with the model's independently recomputed state.
+    pub fn agree_with(&self, grid: &BlockGrid<D>) -> Result<(), String> {
+        let grid_leaves: BTreeSet<BlockKey<D>> =
+            grid.blocks().map(|(_, n)| n.key()).collect();
+        if grid_leaves != self.leaves {
+            let only_grid: Vec<_> = grid_leaves.difference(&self.leaves).collect();
+            let only_model: Vec<_> = self.leaves.difference(&grid_leaves).collect();
+            return Err(format!(
+                "leaf sets differ: {} grid-only {only_grid:?}, {} model-only {only_model:?}",
+                only_grid.len(),
+                only_model.len()
+            ));
+        }
+        for (id, node) in grid.blocks() {
+            for f in Face::all::<D>() {
+                let model = self.face_conn(node.key(), f);
+                let stored = match node.face(f) {
+                    FaceConn::Boundary(bc) => ModelConn::Boundary(*bc),
+                    FaceConn::Blocks(v) => {
+                        let mut ks: Vec<BlockKey<D>> = v
+                            .iter()
+                            .map(|&n| {
+                                grid.try_block(n)
+                                    .map(|b| b.key())
+                                    .map_err(|e| format!("block {id:?} face {f:?}: {e}"))
+                            })
+                            .collect::<Result<_, _>>()?;
+                        ks.sort();
+                        ModelConn::Keys(ks)
+                    }
+                };
+                if stored != model {
+                    return Err(format!(
+                        "block {:?} face {f:?}: stored {stored:?} != model {model:?}",
+                        node.key()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ablock_core::grid::{GridParams, Transfer};
+
+    fn grid2() -> BlockGrid<2> {
+        BlockGrid::new(
+            RootLayout::unit([2, 2], Boundary::Outflow),
+            GridParams::new([4, 4], 2, 1, 3),
+        )
+    }
+
+    #[test]
+    fn model_tracks_refine_and_coarsen() {
+        let mut g = grid2();
+        let mut m = RefModel::from_grid(&g);
+        m.agree_with(&g).unwrap();
+
+        let key = BlockKey::new(0, [0, 0]);
+        let id = g.find(key).unwrap();
+        assert_eq!(m.check_refine(key), Ok(()));
+        g.refine(id, Transfer::None).unwrap();
+        m.refine(key);
+        m.agree_with(&g).unwrap();
+
+        assert_eq!(m.check_coarsen(key), Ok(()));
+        g.coarsen(key, Transfer::None).unwrap();
+        m.coarsen(key);
+        m.agree_with(&g).unwrap();
+    }
+
+    #[test]
+    fn model_rejections_match_grid_rejections() {
+        let mut g = grid2();
+        let mut m = RefModel::from_grid(&g);
+        let a = BlockKey::new(0, [0, 0]);
+        g.refine(g.find(a).unwrap(), Transfer::None).unwrap();
+        m.refine(a);
+        // refining the child adjacent to a coarse neighbor violates 2:1
+        let child = BlockKey::new(1, [1, 0]);
+        let err = m.check_refine(child).unwrap_err();
+        assert_eq!(err, ModelError::RefineJump);
+        let gerr = g.refine(g.find(child).unwrap(), Transfer::None).unwrap_err();
+        assert!(err.matches_grid_error(&gerr));
+        // coarsening an incomplete group
+        let err = m.check_coarsen(BlockKey::new(0, [1, 1])).unwrap_err();
+        assert_eq!(err, ModelError::SiblingsIncomplete);
+        assert!(err.matches_grid_error(
+            &g.coarsen(BlockKey::new(0, [1, 1]), Transfer::None).unwrap_err()
+        ));
+    }
+
+    #[test]
+    fn model_detects_tampered_pointers() {
+        let mut g = grid2();
+        let m = RefModel::from_grid(&g);
+        m.agree_with(&g).unwrap();
+        g.testonly_corrupt_face(0);
+        assert!(m.agree_with(&g).is_err(), "corruption must not slip past the model");
+    }
+
+    #[test]
+    fn periodic_wrap_connectivity_agrees() {
+        let g = BlockGrid::<2>::new(
+            RootLayout::unit([1, 2], Boundary::Periodic),
+            GridParams::new([4, 4], 2, 1, 2),
+        );
+        RefModel::from_grid(&g).agree_with(&g).unwrap();
+    }
+
+    #[test]
+    fn masked_layout_connectivity_agrees() {
+        let layout = RootLayout::unit([2, 2], Boundary::Outflow)
+            .with_mask(|c| c != [1, 1])
+            .with_hole_boundary(Boundary::Reflect);
+        let mut g = BlockGrid::new(layout, GridParams::new([4, 4], 2, 1, 2));
+        let mut m = RefModel::from_grid(&g);
+        m.agree_with(&g).unwrap();
+        let key = BlockKey::new(0, [0, 1]);
+        g.refine(g.find(key).unwrap(), Transfer::None).unwrap();
+        m.refine(key);
+        m.agree_with(&g).unwrap();
+    }
+}

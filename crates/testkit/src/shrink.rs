@@ -1,0 +1,107 @@
+//! Deterministic command-sequence minimization.
+//!
+//! When a stateful property fails, the raw generated script is rarely the
+//! story: most commands are irrelevant noise around the two or three that
+//! actually interact. [`shrink`] minimizes a failing sequence with the
+//! classic delta-debugging shape — **delete-chunk** passes with halving
+//! chunk sizes down to **delete-one**, repeated to a fixpoint — driven by
+//! a caller-supplied failure predicate. Everything is deterministic: the
+//! same script and predicate always shrink to the same result, so a
+//! shrunk script printed in CI replays locally byte for byte.
+
+/// Minimize `script` to a (locally) minimal subsequence that still makes
+/// `fails` return `true`.
+///
+/// The predicate must be deterministic and is assumed to hold for the
+/// input script (if it does not, the input is returned unchanged). The
+/// result is 1-minimal with respect to single-command deletion: removing
+/// any one remaining command makes the failure disappear (unless the
+/// sequence shrank to a single command or to empty).
+pub fn shrink<C: Clone>(script: &[C], mut fails: impl FnMut(&[C]) -> bool) -> Vec<C> {
+    let mut cur: Vec<C> = script.to_vec();
+    if !fails(&cur) {
+        return cur;
+    }
+    loop {
+        let len_before = cur.len();
+        // delete-chunk: try removing windows of size len/2, len/4, ..., 1
+        let mut chunk = (cur.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i < cur.len() {
+                let end = (i + chunk).min(cur.len());
+                let mut cand: Vec<C> = Vec::with_capacity(cur.len() - (end - i));
+                cand.extend_from_slice(&cur[..i]);
+                cand.extend_from_slice(&cur[end..]);
+                if fails(&cand) {
+                    cur = cand; // keep the deletion; retry the same index
+                } else {
+                    i += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        if cur.len() == len_before {
+            return cur; // fixpoint: no single pass removed anything
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_single_culprit() {
+        // failure iff the script contains 7
+        let script: Vec<u32> = (0..100).collect();
+        let out = shrink(&script, |s| s.contains(&7));
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn shrinks_to_interacting_pair() {
+        // failure needs both a 3 and a 9, in any positions
+        let script = vec![1, 3, 4, 4, 6, 9, 2, 3, 8];
+        let out = shrink(&script, |s| s.contains(&3) && s.contains(&9));
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&3) && out.contains(&9));
+    }
+
+    #[test]
+    fn order_dependent_failure_keeps_order() {
+        // failure iff some 5 appears before some 2
+        let script = vec![9, 5, 7, 1, 2, 5, 2];
+        let fails = |s: &[i32]| {
+            s.iter()
+                .position(|&x| x == 5)
+                .is_some_and(|i| s[i..].contains(&2))
+        };
+        let out = shrink(&script, fails);
+        assert_eq!(out, vec![5, 2]);
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let script = vec![1, 2, 3];
+        let out = shrink(&script, |_| false);
+        assert_eq!(out, script);
+    }
+
+    #[test]
+    fn always_failing_shrinks_to_empty() {
+        let script = vec![1, 2, 3, 4, 5];
+        let out = shrink(&script, |_| true);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let script: Vec<u32> = (0..50).map(|i| i * 7 % 13).collect();
+        let pred = |s: &[u32]| s.iter().filter(|&&x| x > 5).count() >= 3;
+        assert_eq!(shrink(&script, pred), shrink(&script, pred));
+    }
+}
