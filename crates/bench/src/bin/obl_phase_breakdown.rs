@@ -15,19 +15,30 @@
 //!    it is executed twice and the two JSON serializations are asserted
 //!    byte-identical before anything is written.
 //!
-//! `--quick` shrinks step counts for CI.
+//! 3. **Distributed 4-rank A/B** (real clock, in-process machine): the
+//!    same AMR topology stepped by [`DistSim`] with `comm_overlap` on and
+//!    off, comparing the aggregated exchange (`comm.agg.*`) against the
+//!    legacy per-task exchange (`comm.halo.messages`). The run asserts
+//!    the aggregation invariant — one message per active rank pair per
+//!    phase — and a >= 25% reduction in halo message count.
+//!
+//! `--quick` shrinks step counts for CI. `--no-overlap` runs the
+//! shared-memory section with `comm_overlap` disabled and writes
+//! `BENCH_phase_no_overlap.json` instead of `BENCH_phase.json`, so CI
+//! can archive both variants side by side.
 
 use std::collections::HashMap;
 
 use ablock_amr::{AmrConfig, AmrSimulation, GradientCriterion};
 use ablock_bench::near_cubic_factors;
+use ablock_core::balance::Flag;
 use ablock_core::grid::{BlockGrid, GridParams};
 use ablock_core::layout::{Boundary, RootLayout};
 use ablock_io::{phase_table, spans_table, write_metrics_json};
 use ablock_obs::{phase, Metrics, MetricsSnapshot};
 use ablock_par::{
     model_step_cached, partition_grid, record_adapt_phases, record_step_phases, CostParams,
-    ParStepper, Policy,
+    DistSim, Machine, ParStepper, Policy,
 };
 use ablock_solver::euler::Euler;
 use ablock_solver::kernel::Scheme;
@@ -38,11 +49,12 @@ const PHASES: [&str; 5] =
 
 /// Shared-memory run: AMR driver (serial stepper + adapt spans) and the
 /// pool-parallel stepper share one real-clock registry.
-fn shared_memory_run(steps: usize) -> MetricsSnapshot {
+fn shared_memory_run(steps: usize, overlap: bool) -> MetricsSnapshot {
     let metrics = Metrics::recording();
     let e = Euler::<2>::new(1.4);
     let solver = SolverConfig::new(e.clone(), Scheme::muscl_rusanov())
         .with_cfl(0.3)
+        .with_comm_overlap(overlap)
         .with_metrics(metrics.clone());
 
     let make_grid = || {
@@ -101,11 +113,52 @@ fn cost_model_run(steps: usize) -> (MetricsSnapshot, String) {
     (snap, json)
 }
 
+/// Distributed 4-rank run over the in-process machine; returns the
+/// per-rank snapshots. A mid-domain refinement keeps prolongation
+/// (phase-2) traffic in the exchange.
+fn dist_run(steps: usize, overlap: bool) -> Vec<MetricsSnapshot> {
+    const NRANKS: usize = 4;
+    Machine::run(NRANKS, move |comm| {
+        let metrics = Metrics::recording();
+        let e = Euler::<2>::new(1.4);
+        let solver = SolverConfig::new(e.clone(), Scheme::muscl_rusanov())
+            .with_comm_overlap(overlap)
+            .with_metrics(metrics.clone());
+        let mut grid = BlockGrid::new(
+            RootLayout::unit([2, 2], Boundary::Periodic),
+            GridParams::new([4, 4], 2, 4, 2),
+        );
+        problems::sedov_blast(&mut grid, &e, [0.5, 0.5], 0.1, 20.0);
+        let mut sim = DistSim::partitioned(grid, comm.nranks(), Policy::SfcHilbert, solver);
+        // refine the left half so restriction *and* prolongation cross ranks
+        let flags: HashMap<_, _> = sim
+            .owned_ids(comm.rank())
+            .into_iter()
+            .filter(|&id| {
+                let k = sim.grid.block(id).key();
+                k.level == 0 && k.coords[0] == 0
+            })
+            .map(|id| (id, Flag::Refine))
+            .collect();
+        sim.adapt_rebalance(&comm, &flags, Policy::SfcHilbert);
+        for _ in 0..steps {
+            sim.step_rk2(&comm, 1e-3);
+        }
+        metrics.snapshot()
+    })
+    .expect("fault-free machine run")
+}
+
+fn sum_counter(snaps: &[MetricsSnapshot], key: &str) -> u64 {
+    snaps.iter().map(|s| s.counter(key)).sum()
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (sm_steps, cm_steps) = if quick { (4, 8) } else { (12, 64) };
+    let no_overlap = std::env::args().any(|a| a == "--no-overlap");
+    let (sm_steps, cm_steps, dist_steps) = if quick { (4, 8, 2) } else { (12, 64, 6) };
 
-    let shared = shared_memory_run(sm_steps);
+    let shared = shared_memory_run(sm_steps, !no_overlap);
 
     let (model, model_json) = cost_model_run(cm_steps);
     let (_, model_json2) = cost_model_run(cm_steps);
@@ -141,6 +194,46 @@ fn main() {
         );
     }
 
+    // ---- distributed A/B: aggregated+overlapped vs legacy per-task ----
+    let on = dist_run(dist_steps, true);
+    let off = dist_run(dist_steps, false);
+    let agg_msgs = sum_counter(&on, "comm.agg.messages");
+    let expected = sum_counter(&on, "comm.agg.pair_msgs_expected");
+    let halo_msgs = sum_counter(&off, "comm.halo.messages");
+    let exchanges = 2 * dist_steps as u64; // RK2: two ghost exchanges per step
+    println!(
+        "\ndistributed 4-rank A/B over {dist_steps} steps ({exchanges} exchanges):\n  \
+         overlap on : {agg_msgs} aggregated messages ({} per exchange), \
+         {} segments, {} values\n  \
+         overlap off: {halo_msgs} per-task messages ({} per exchange)\n  \
+         message reduction: {:.1}%",
+        agg_msgs / exchanges,
+        sum_counter(&on, "comm.agg.segments"),
+        sum_counter(&on, "comm.agg.values"),
+        halo_msgs / exchanges,
+        100.0 * (1.0 - agg_msgs as f64 / halo_msgs as f64),
+    );
+    assert_eq!(
+        agg_msgs, expected,
+        "aggregated run must issue exactly one message per active rank pair per phase"
+    );
+    assert_eq!(
+        sum_counter(&on, "comm.halo.messages"),
+        0,
+        "overlap run must not touch the legacy per-task path"
+    );
+    assert!(
+        4 * agg_msgs <= 3 * halo_msgs,
+        "aggregation must cut halo messages by >= 25%: {agg_msgs} vs {halo_msgs}"
+    );
+    assert_eq!(
+        sum_counter(&on, "dist.halo_values_recv"),
+        sum_counter(&off, "dist.halo_values_recv"),
+        "both paths must deliver identical halo payload volumes"
+    );
+
+    let out_name =
+        if no_overlap { "BENCH_phase_no_overlap.json" } else { "BENCH_phase.json" };
     let mut out = Vec::new();
     out.extend_from_slice(b"{\n\"shared_memory\": ");
     write_metrics_json(&mut out, &shared).expect("vec write");
@@ -149,7 +242,12 @@ fn main() {
     }
     out.extend_from_slice(b",\n\"cost_model_64rank\": ");
     out.extend_from_slice(model_json.trim_end().as_bytes());
+    out.extend_from_slice(b",\n\"dist_4rank_rank0\": ");
+    write_metrics_json(&mut out, &on[0]).expect("vec write");
+    while out.last() == Some(&b'\n') {
+        out.pop();
+    }
     out.extend_from_slice(b"\n}\n");
-    std::fs::write("BENCH_phase.json", &out).expect("write BENCH_phase.json");
-    println!("\nwrote BENCH_phase.json ({} bytes)", out.len());
+    std::fs::write(out_name, &out).expect("write phase-breakdown JSON");
+    println!("\nwrote {out_name} ({} bytes)", out.len());
 }

@@ -663,6 +663,269 @@ pub fn fill_ghosts<const D: usize>(grid: &mut BlockGrid<D>, config: GhostConfig)
     GhostExchange::build(grid, config).fill(grid);
 }
 
+// ---------------------------------------------------------------------------
+// per-rank-pair aggregation
+// ---------------------------------------------------------------------------
+
+/// The source cells a ghost task reads, in the **source** block's
+/// interior-relative coordinates, as `(dst, src, src_box)`. `None` for
+/// tasks without a source block ([`GhostTask::Physical`],
+/// [`GhostTask::ClampCopy`]). This is the region a distributed runtime
+/// must stage into its mirror copy of `src` before the task can run —
+/// and therefore the region aggregation packs into pair buffers.
+pub fn task_source_box<const D: usize>(
+    task: &GhostTask<D>,
+) -> Option<(BlockId, BlockId, IBox<D>)> {
+    match task {
+        GhostTask::Same { dst, src, region, shift } => Some((*dst, *src, region.shift(*shift))),
+        GhostTask::Restrict { dst, src, region, q, ratio } => {
+            Some((*dst, *src, region.scale(*ratio).shift(*q)))
+        }
+        GhostTask::Prolong { dst, src, region, p, a, ratio, valid } => {
+            let mut lo = [0i64; D];
+            let mut hi = [0i64; D];
+            for d in 0..D {
+                lo[d] = (region.lo[d] + p[d]).div_euclid(*ratio) - a[d];
+                hi[d] = (region.hi[d] - 1 + p[d]).div_euclid(*ratio) - a[d] + 1;
+            }
+            let bx = IBox::new(lo, hi).grow(1).intersect(valid);
+            Some((*dst, *src, bx))
+        }
+        GhostTask::Physical { .. } | GhostTask::ClampCopy { .. } => None,
+    }
+}
+
+/// Extract a box of cells (all variables, cell-major) into a flat payload.
+pub fn extract_box<const D: usize>(field: &FieldBlock<D>, bx: IBox<D>) -> Vec<f64> {
+    let n = field.shape().nvar;
+    let mut out = Vec::with_capacity(bx.volume() as usize * n);
+    for c in bx.iter() {
+        out.extend_from_slice(field.cell(c));
+    }
+    out
+}
+
+/// Write a flat payload produced by [`extract_box`] back into a box.
+pub fn insert_box<const D: usize>(field: &mut FieldBlock<D>, bx: IBox<D>, data: &[f64]) {
+    let n = field.shape().nvar;
+    debug_assert_eq!(data.len(), bx.volume() as usize * n);
+    let mut off = 0;
+    for c in bx.iter() {
+        field.set_cell(c, &data[off..off + n]);
+        off += n;
+    }
+}
+
+/// One packed segment of a [`PairMessage`]: the source region of exactly
+/// one ghost task, at a fixed offset in the pair buffer.
+#[derive(Clone, Debug)]
+pub struct AggSegment<const D: usize> {
+    /// Index of the task within its phase's task slice
+    /// ([`GhostExchange::phase1`] or [`GhostExchange::phase2`]).
+    pub task: usize,
+    /// Source block (owned by the sending rank).
+    pub src: BlockId,
+    /// Destination block (owned by the receiving rank).
+    pub dst: BlockId,
+    /// Source region, in the source block's coordinates.
+    pub src_box: IBox<D>,
+    /// Payload length in f64s (`src_box.volume() * nvar`).
+    pub values: usize,
+}
+
+/// All ghost traffic from one rank to another within one exchange phase,
+/// packed into a single message.
+///
+/// Segments are ordered by `(dst key, src key, task index)` — a stable
+/// ordering derived from block keys, never from ids, hashes, or
+/// iteration order — so every rank of a replicated topology computes the
+/// byte-identical packing and the receiver's unpack schedule is simply
+/// the same segment list read back in order.
+#[derive(Clone, Debug)]
+pub struct PairMessage<const D: usize> {
+    /// Sending rank (owner of every segment's `src`).
+    pub from: usize,
+    /// Receiving rank (owner of every segment's `dst`).
+    pub to: usize,
+    /// Packed segments, in the deterministic key-derived order.
+    pub segments: Vec<AggSegment<D>>,
+    /// Total payload length in f64s (sum of segment lengths).
+    pub values: usize,
+}
+
+impl<const D: usize> PairMessage<D> {
+    /// Per-segment payload lengths, in packing order. The receiver
+    /// derives the identical split from its replicated plan, which is
+    /// what lets a single vectored receive reconstruct the segments.
+    pub fn lens(&self) -> Vec<usize> {
+        self.segments.iter().map(|s| s.values).collect()
+    }
+
+    /// Sender side: extract every segment's source region from `grid`
+    /// into per-segment payloads, in packing order.
+    pub fn pack_parts(&self, grid: &BlockGrid<D>) -> Vec<Vec<f64>> {
+        self.segments
+            .iter()
+            .map(|s| extract_box(grid.block(s.src).field(), s.src_box))
+            .collect()
+    }
+
+    /// Receiver side: stage the received per-segment payloads into the
+    /// local mirror copies of the source blocks. After this, the matching
+    /// ghost tasks can run exactly as in the serial path. Each plan
+    /// writes every staged cell at most once per exchange, so unpack
+    /// order cannot affect the result.
+    pub fn unpack(&self, grid: &mut BlockGrid<D>, parts: &[Vec<f64>]) {
+        debug_assert_eq!(parts.len(), self.segments.len());
+        for (s, data) in self.segments.iter().zip(parts) {
+            insert_box(grid.block_mut(s.src).field_mut(), s.src_box, data);
+        }
+    }
+}
+
+/// The per-rank-pair aggregated form of a [`GhostExchange`] plan: one
+/// [`PairMessage`] per `(from, to)` rank pair per phase, replacing the
+/// one-message-per-task halo exchange. Epoch-stamped like the plan it was
+/// derived from, so cache holders can revalidate with one compare.
+#[derive(Clone, Debug)]
+pub struct AggregatedExchange<const D: usize> {
+    /// Phase-1 pair messages (same-level copies and restrictions),
+    /// sorted by `(from, to)`.
+    pub phase1: Vec<PairMessage<D>>,
+    /// Phase-2 pair messages (prolongation sources), sorted by
+    /// `(from, to)`.
+    pub phase2: Vec<PairMessage<D>>,
+    epoch: u64,
+}
+
+impl<const D: usize> AggregatedExchange<D> {
+    /// The grid topology epoch the underlying plan was built at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True when the aggregation still matches the grid's topology.
+    pub fn is_current(&self, grid: &BlockGrid<D>) -> bool {
+        self.epoch == grid.epoch()
+    }
+
+    /// Messages one full exchange moves: exactly one per active rank pair
+    /// per phase (the invariant the aggregated path is asserted against).
+    pub fn num_messages(&self) -> usize {
+        self.phase1.len() + self.phase2.len()
+    }
+
+    /// Pair messages of one phase (`0` or `1`).
+    pub fn phase(&self, p: usize) -> &[PairMessage<D>] {
+        if p == 0 {
+            &self.phase1
+        } else {
+            &self.phase2
+        }
+    }
+}
+
+fn aggregate_phase<const D: usize>(
+    grid: &BlockGrid<D>,
+    tasks: &[GhostTask<D>],
+    owner: &dyn Fn(BlockId) -> usize,
+) -> Vec<PairMessage<D>> {
+    let nvar = grid.params().nvar;
+    let mut pairs: std::collections::BTreeMap<(usize, usize), Vec<AggSegment<D>>> =
+        std::collections::BTreeMap::new();
+    for (i, t) in tasks.iter().enumerate() {
+        if let Some((dst, src, bx)) = task_source_box(t) {
+            let (from, to) = (owner(src), owner(dst));
+            if from == to {
+                continue;
+            }
+            pairs.entry((from, to)).or_default().push(AggSegment {
+                task: i,
+                src,
+                dst,
+                src_box: bx,
+                values: bx.volume() as usize * nvar,
+            });
+        }
+    }
+    pairs
+        .into_iter()
+        .map(|((from, to), mut segments)| {
+            segments.sort_by_key(|s| {
+                (grid.block(s.dst).key(), grid.block(s.src).key(), s.task)
+            });
+            let values = segments.iter().map(|s| s.values).sum();
+            PairMessage { from, to, segments, values }
+        })
+        .collect()
+}
+
+impl<const D: usize> GhostExchange<D> {
+    /// Aggregate this plan into per-rank-pair messages under an ownership
+    /// map. Every rank of a replicated topology calls this with the
+    /// identical grid, plan, and owner map and obtains the byte-identical
+    /// aggregation — sender packing order and receiver unpack schedule
+    /// agree by construction (see [`PairMessage`]).
+    pub fn aggregate(
+        &self,
+        grid: &BlockGrid<D>,
+        owner: &dyn Fn(BlockId) -> usize,
+    ) -> AggregatedExchange<D> {
+        AggregatedExchange {
+            phase1: aggregate_phase(grid, &self.phase1, owner),
+            phase2: aggregate_phase(grid, &self.phase2, owner),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Destination blocks whose ghost fill depends on data from blocks
+    /// where `is_remote` holds — directly (a phase-1 or phase-2 task with
+    /// a remote source) or one hop through phase 2 (a prolongation whose
+    /// coarse source block has any remote-sourced phase-1 task, because
+    /// prolongation slopes may read that block's restriction-filled ghost
+    /// slab). Sorted and deduplicated. The complement can complete its
+    /// ghost fill from purely local data, which makes it the interior of
+    /// a comm/compute overlap split. The one-hop closure is conservative:
+    /// over-classifying a block as halo delays its flux to the join but
+    /// never changes any value.
+    pub fn remote_halo_dsts(&self, is_remote: &dyn Fn(BlockId) -> bool) -> Vec<BlockId> {
+        use std::collections::BTreeSet;
+        let mut remote_p1_dst: BTreeSet<BlockId> = BTreeSet::new();
+        let mut halo: BTreeSet<BlockId> = BTreeSet::new();
+        for t in &self.phase1 {
+            if let Some((dst, src, _)) = task_source_box(t) {
+                if is_remote(src) {
+                    remote_p1_dst.insert(dst);
+                    halo.insert(dst);
+                }
+            }
+        }
+        for t in &self.phase2 {
+            if let Some((dst, src, _)) = task_source_box(t) {
+                if is_remote(src) || remote_p1_dst.contains(&src) {
+                    halo.insert(dst);
+                }
+            }
+        }
+        halo.into_iter().collect()
+    }
+
+    /// Destination blocks receiving any phase-2 (prolongation) task,
+    /// sorted and deduplicated. In a shared-memory overlap split these
+    /// are the halo: their ghost fill completes only with the phase-2
+    /// scatter, while every other block's ghosts are final after phase 1.
+    pub fn phase2_dsts(&self) -> Vec<BlockId> {
+        let mut dsts: Vec<BlockId> = self
+            .phase2
+            .iter()
+            .filter_map(|t| task_source_box(t).map(|(dst, _, _)| dst))
+            .collect();
+        dsts.sort();
+        dsts.dedup();
+        dsts
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,240 @@
+//! Property tests for the per-rank-pair aggregation layer
+//! (`ablock_core::ghost::AggregatedExchange`): the packed send buffer's
+//! unpack schedule must be a permutation-free inverse of packing — every
+//! ghost cell is written exactly once per exchange, and running the
+//! aggregated protocol over per-rank replicas reproduces the serial
+//! per-face fill byte-for-byte — across random grids at one and two
+//! ghost layers.
+
+use std::collections::{HashMap, HashSet};
+
+use ablock_core::balance::{adapt, Flag};
+use ablock_core::ghost::{task_source_box, GhostConfig, GhostExchange, GhostTask};
+use ablock_core::grid::{BlockGrid, GridParams, Transfer};
+use ablock_core::index::IBox;
+use ablock_core::key::BlockKey;
+use ablock_core::layout::{Boundary, RootLayout};
+use ablock_core::arena::BlockId;
+use ablock_testkit::{cases, Rng};
+
+const NVAR: usize = 3;
+
+/// Deterministic random grid: 2x2 roots (boundary chosen by the seed),
+/// up to two rounds of random refinement, interiors set to a smooth
+/// nonlinear function of the physical cell center. Rebuilding with the
+/// same `(seed, ng)` yields a bitwise-identical replica, which is how
+/// the distributed emulation below gets its per-rank mirror grids
+/// (`BlockGrid` is deliberately not `Clone`).
+fn build_grid(seed: u64, ng: i64) -> BlockGrid<2> {
+    let mut rng = Rng::new(seed);
+    let bc = if rng.f64() < 0.5 { Boundary::Periodic } else { Boundary::Outflow };
+    let mut g = BlockGrid::<2>::new(
+        RootLayout::unit([2, 2], bc),
+        GridParams::new([4, 4], ng, NVAR, 2),
+    );
+    for _ in 0..2 {
+        let mut flags = HashMap::new();
+        for id in g.block_ids() {
+            if rng.f64() < 0.35 {
+                flags.insert(id, Flag::Refine);
+            }
+        }
+        adapt(&mut g, &flags, Transfer::None);
+    }
+    let layout = g.layout().clone();
+    let m = g.params().block_dims;
+    for id in g.block_ids() {
+        let key = g.block(id).key();
+        g.block_mut(id).field_mut().for_each_interior(|c, u| {
+            let x = layout.cell_center(key, m, c);
+            for (v, uv) in u.iter_mut().enumerate() {
+                *uv = (4.7 * x[0] + 0.3 * v as f64).sin() * (2.9 * x[1] - 0.7).cos()
+                    + 0.1 * v as f64
+                    + 1.5;
+            }
+        });
+    }
+    g
+}
+
+/// Deterministic ownership derived from the block key alone, so every
+/// replica of the topology computes the identical map.
+fn owner_of(key: BlockKey<2>, seed: u64, nranks: usize) -> usize {
+    let mut h = Rng::new(
+        seed.wrapping_add(0x9E37 * (key.level as u64 + 1))
+            .wrapping_add((key.coords[0] as u64).wrapping_mul(0x1000_0001))
+            .wrapping_add((key.coords[1] as u64).wrapping_mul(0x2000_0003)),
+    );
+    (h.next_u64() % nranks as u64) as usize
+}
+
+/// The destination ghost region a task writes, where the plan states it
+/// explicitly ([`GhostTask::Physical`] fills the face slab instead).
+fn dst_region(task: &GhostTask<2>) -> Option<(BlockId, IBox<2>)> {
+    match task {
+        GhostTask::Same { dst, region, .. }
+        | GhostTask::Restrict { dst, region, .. }
+        | GhostTask::Prolong { dst, region, .. }
+        | GhostTask::ClampCopy { dst, region } => Some((*dst, *region)),
+        GhostTask::Physical { .. } => None,
+    }
+}
+
+/// Every ghost cell is written exactly once per exchange — the property
+/// that makes the receiver's unpack schedule order-independent — and the
+/// task regions cover every face-slab ghost cell.
+#[test]
+fn ghost_writes_are_exactly_once_and_cover_face_slabs() {
+    cases(8, 0x5EED_0031, |seed, _rng| {
+        for ng in [1i64, 2] {
+            let grid = build_grid(seed, ng);
+            let plan = GhostExchange::build(&grid, GhostConfig::default());
+            let m = grid.params().block_dims;
+            let mut writes: HashMap<(BlockId, [i64; 2]), u32> = HashMap::new();
+            let mut bump = |dst: BlockId, bx: IBox<2>| {
+                for c in bx.iter() {
+                    *writes.entry((dst, c)).or_insert(0) += 1;
+                }
+            };
+            for task in plan.phase1().iter().chain(plan.phase2()) {
+                match dst_region(task) {
+                    Some((dst, region)) => bump(dst, region),
+                    None => {
+                        let GhostTask::Physical { dst, face, .. } = task else { unreachable!() };
+                        bump(*dst, IBox::from_dims(m).outer_face_slab(*face, ng));
+                    }
+                }
+            }
+            for (&(dst, c), &n) in &writes {
+                assert_eq!(
+                    n, 1,
+                    "ghost cell {c:?} of block {:?} written {n} times (ng={ng}, seed={seed:#x})",
+                    grid.block(dst).key()
+                );
+            }
+            // completeness: every face-slab ghost cell of every block is
+            // written by exactly one task
+            for id in grid.block_ids() {
+                for f in ablock_core::index::Face::all::<2>() {
+                    let slab = IBox::from_dims(m).outer_face_slab(f, ng);
+                    for c in slab.iter() {
+                        assert!(
+                            writes.contains_key(&(id, c)),
+                            "uncovered ghost cell {c:?} of block {:?} face {f:?} (ng={ng})",
+                            grid.block(id).key()
+                        );
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Run the aggregated pack/send/unpack protocol over per-rank replica
+/// grids — non-owned interiors poisoned with NaN so any under-staging
+/// surfaces immediately — and demand the owned blocks come out
+/// byte-for-byte identical to the serial per-face fill.
+#[test]
+fn aggregated_protocol_matches_serial_fill_bitwise() {
+    cases(6, 0x5EED_0032, |seed, _rng| {
+        for ng in [1i64, 2] {
+            run_protocol_case(seed, ng);
+        }
+    });
+}
+
+fn run_protocol_case(seed: u64, ng: i64) {
+    // serial reference
+    let mut serial = build_grid(seed, ng);
+    let plan = GhostExchange::build(&serial, GhostConfig::default());
+    plan.fill(&mut serial);
+
+    let nranks = 2 + (seed % 3) as usize;
+    let owner: HashMap<BlockId, usize> = serial
+        .block_ids()
+        .into_iter()
+        .map(|id| (id, owner_of(serial.block(id).key(), seed, nranks)))
+        .collect();
+    let agg = plan.aggregate(&serial, &|id| owner[&id]);
+
+    // structural invariants: one message per active (from, to) pair per
+    // phase, never self-addressed, with consistent segment bookkeeping
+    for p in 0..2 {
+        let mut pairs = HashSet::new();
+        for msg in agg.phase(p) {
+            assert_ne!(msg.from, msg.to, "self-addressed pair message");
+            assert!(pairs.insert((msg.from, msg.to)), "duplicate pair {:?}", (msg.from, msg.to));
+            assert_eq!(msg.values, msg.lens().iter().sum::<usize>());
+            for s in &msg.segments {
+                assert_eq!(owner[&s.src], msg.from, "segment src not owned by sender");
+                assert_eq!(owner[&s.dst], msg.to, "segment dst not owned by receiver");
+            }
+        }
+    }
+
+    // per-rank replicas; poison interiors this rank does not own
+    let mut ranks: Vec<BlockGrid<2>> = (0..nranks).map(|_| build_grid(seed, ng)).collect();
+    assert!(ranks.iter().all(|g| g.block_ids() == serial.block_ids()), "replicas diverged");
+    for (r, g) in ranks.iter_mut().enumerate() {
+        for id in g.block_ids() {
+            if owner[&id] != r {
+                g.block_mut(id).field_mut().for_each_interior(|_, u| u.fill(f64::NAN));
+            }
+        }
+    }
+
+    // the aggregated protocol, phase by phase: pack on the owner, unpack
+    // into the receiver's mirror blocks, then each rank runs the tasks
+    // whose destination it owns, in plan order (phase-2 packing reads the
+    // sender's phase-1-completed ghost slabs, exactly as in `DistSim`)
+    for p in 0..2 {
+        let staged: Vec<Vec<Vec<f64>>> =
+            agg.phase(p).iter().map(|msg| msg.pack_parts(&ranks[msg.from])).collect();
+        for (msg, parts) in agg.phase(p).iter().zip(&staged) {
+            let lens = msg.lens();
+            assert_eq!(lens.len(), parts.len());
+            for (l, part) in lens.iter().zip(parts) {
+                assert_eq!(*l, part.len(), "unpack split disagrees with packed part");
+                assert!(part.iter().all(|v| v.is_finite()), "NaN packed: under-staged source");
+            }
+            msg.unpack(&mut ranks[msg.to], parts);
+        }
+        let tasks = if p == 0 { plan.phase1() } else { plan.phase2() };
+        for (r, g) in ranks.iter_mut().enumerate() {
+            for task in tasks {
+                let mine = match task {
+                    GhostTask::Physical { dst, .. } | GhostTask::ClampCopy { dst, .. } => {
+                        owner[dst] == r
+                    }
+                    _ => owner[&task_source_box(task).expect("non-physical").0] == r,
+                };
+                if mine {
+                    plan.run_single(g, task);
+                }
+            }
+        }
+    }
+
+    // owned blocks: full ghosted storage bitwise-equal to the serial fill
+    let m = serial.params().block_dims;
+    let full = IBox::from_dims(m).grow(ng);
+    for (r, g) in ranks.iter().enumerate() {
+        for id in g.block_ids() {
+            if owner[&id] != r {
+                continue;
+            }
+            let got = g.block(id).field();
+            let want = serial.block(id).field();
+            for c in full.iter() {
+                for (a, b) in got.cell(c).iter().zip(want.cell(c)) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "rank {r} block {:?} cell {c:?}: {a} vs {b} (ng={ng}, seed={seed:#x})",
+                        g.block(id).key()
+                    );
+                }
+            }
+        }
+    }
+}

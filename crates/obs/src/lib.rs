@@ -58,6 +58,16 @@ pub mod phase {
     pub const REDUCE: &str = "reduce";
     /// Load-balance repartition + block migration.
     pub const REBALANCE: &str = "rebalance";
+    /// Packing aggregated per-rank-pair ghost messages (nested under
+    /// `ghost_fill`).
+    pub const PACK: &str = "pack";
+    /// Unpacking aggregated per-rank-pair ghost messages (nested under
+    /// `ghost_fill`).
+    pub const UNPACK: &str = "unpack";
+    /// Interior compute running while aggregated exchanges are in flight
+    /// (nested under `ghost_fill`; the `flux` span it encloses is the
+    /// overlapped interior sub-sweep).
+    pub const OVERLAP: &str = "overlap";
 }
 
 /// Which clock a registry reads.

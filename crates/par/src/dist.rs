@@ -11,8 +11,16 @@
 //! rank builds the identical plan; a task whose source block lives on a
 //! peer is satisfied by receiving the task's source read-region into the
 //! local (otherwise unused) copy of that block, then running the task
-//! locally. Tags are global task indices, so matching is deterministic
-//! and deadlock-free (all sends precede all receives within a phase).
+//! locally. The default path **aggregates**: all tasks between one pair
+//! of ranks within one phase travel as a single packed message (see
+//! [`AggregatedExchange`]), segments ordered by block keys so packing is
+//! replicated-deterministic, and the sweep is split so interior fluxes
+//! compute while the exchange is in flight (`SolverConfig::comm_overlap`,
+//! DESIGN.md §13). With the toggle off, the legacy one-message-per-task
+//! exchange runs: tags are global task indices, so matching is
+//! deterministic and deadlock-free (all sends precede all receives
+//! within a phase). Both paths are bitwise-identical to the serial
+//! stepper.
 //!
 //! Adaptation is replicated the same way: refine/coarsen flags from owned
 //! blocks are allgathered as keys, every rank applies the identical
@@ -23,14 +31,15 @@ use std::collections::HashMap;
 
 use ablock_core::arena::BlockId;
 use ablock_core::balance::{adapt, Flag};
-use ablock_core::field::FieldBlock;
-use ablock_core::ghost::{GhostExchange, GhostTask};
+use ablock_core::ghost::{
+    extract_box, insert_box, task_source_box, AggregatedExchange, GhostExchange, GhostTask,
+};
 use ablock_core::grid::{BlockGrid, Transfer};
-use ablock_core::index::IBox;
 use ablock_core::key::BlockKey;
 use ablock_core::ops::ProlongOrder;
 
-use ablock_solver::engine::{rk2_stage1_block, rk2_stage2_block, SweepEngine};
+use ablock_obs::phase;
+use ablock_solver::engine::{rk2_stage1_block, rk2_stage2_block, SweepEngine, SweepSplit};
 use ablock_solver::kernel::{compute_rhs_block, max_rate_block};
 use ablock_solver::physics::Physics;
 use ablock_solver::recon::Recon;
@@ -39,52 +48,14 @@ use ablock_solver::SolverConfig;
 use crate::balance::{partition, Policy};
 use crate::machine::Comm;
 
-/// Base tag for halo traffic (leaves room for task indices).
+/// Base tag for legacy halo traffic (leaves room for task indices).
 const TAG_HALO: u64 = 1 << 40;
 /// Base tag for migration traffic.
 const TAG_MIGRATE: u64 = 1 << 41;
-
-/// The source cells a ghost task reads, in the source block's coordinates.
-fn task_src_box<const D: usize>(task: &GhostTask<D>) -> Option<(BlockId, BlockId, IBox<D>)> {
-    match task {
-        GhostTask::Same { dst, src, region, shift } => Some((*dst, *src, region.shift(*shift))),
-        GhostTask::Restrict { dst, src, region, q, ratio } => {
-            Some((*dst, *src, region.scale(*ratio).shift(*q)))
-        }
-        GhostTask::Prolong { dst, src, region, p, a, ratio, valid } => {
-            let mut lo = [0i64; D];
-            let mut hi = [0i64; D];
-            for d in 0..D {
-                lo[d] = (region.lo[d] + p[d]).div_euclid(*ratio) - a[d];
-                hi[d] = (region.hi[d] - 1 + p[d]).div_euclid(*ratio) - a[d] + 1;
-            }
-            let bx = IBox::new(lo, hi).grow(1).intersect(valid);
-            Some((*dst, *src, bx))
-        }
-        GhostTask::Physical { .. } | GhostTask::ClampCopy { .. } => None,
-    }
-}
-
-/// Extract a box of cells (all variables) into a flat payload.
-fn extract_box<const D: usize>(field: &FieldBlock<D>, bx: IBox<D>) -> Vec<f64> {
-    let n = field.shape().nvar;
-    let mut out = Vec::with_capacity(bx.volume() as usize * n);
-    for c in bx.iter() {
-        out.extend_from_slice(field.cell(c));
-    }
-    out
-}
-
-/// Write a flat payload back into a box of cells.
-fn insert_box<const D: usize>(field: &mut FieldBlock<D>, bx: IBox<D>, data: &[f64]) {
-    let n = field.shape().nvar;
-    debug_assert_eq!(data.len(), bx.volume() as usize * n);
-    let mut off = 0;
-    for c in bx.iter() {
-        field.set_cell(c, &data[off..off + n]);
-        off += n;
-    }
-}
+/// Base tag for aggregated pair messages (`+ phase index`). Successive
+/// exchanges reuse the same tags; per-`(src, tag)` FIFO matching in the
+/// stash keeps them ordered without a barrier.
+const TAG_AGG: u64 = 1 << 42;
 
 /// A rank's view of the distributed simulation.
 pub struct DistSim<const D: usize, P: Physics> {
@@ -94,6 +65,10 @@ pub struct DistSim<const D: usize, P: Physics> {
     pub owner: HashMap<BlockId, usize>,
     cfg: SolverConfig<P>,
     engine: SweepEngine<D>,
+    /// Epoch-cached per-rank-pair aggregation of the ghost plan.
+    agg: Option<AggregatedExchange<D>>,
+    /// Epoch-cached interior/halo split of this rank's owned blocks.
+    split: SweepSplit,
     /// Halo values received from peers (diagnostics).
     pub halo_values_recv: u64,
 }
@@ -105,7 +80,15 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
     /// extends to the solver parameters).
     pub fn new(grid: BlockGrid<D>, owner: HashMap<BlockId, usize>, cfg: SolverConfig<P>) -> Self {
         let engine = cfg.engine();
-        DistSim { grid, owner, cfg, engine, halo_values_recv: 0 }
+        DistSim {
+            grid,
+            owner,
+            cfg,
+            engine,
+            agg: None,
+            split: SweepSplit::default(),
+            halo_values_recv: 0,
+        }
     }
 
     /// Partition-and-wrap convenience.
@@ -149,8 +132,10 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
         v
     }
 
-    /// Distributed ghost fill: remote source regions are received from
-    /// their owners; everything else mirrors the serial plan.
+    /// Legacy distributed ghost fill, one message per remote task: remote
+    /// source regions are received from their owners; everything else
+    /// mirrors the serial plan. Selected by `comm_overlap = false`; kept
+    /// as the A/B baseline for the aggregated path.
     pub fn halo_exchange(&mut self, comm: &Comm) {
         self.engine.revalidate(&self.grid);
         let me = comm.rank();
@@ -161,9 +146,10 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
             let base = if phase_idx == 0 { 0 } else { phase1_len };
             // -------- sends --------
             for (i, task) in tasks.iter().enumerate() {
-                if let Some((dst, src, bx)) = task_src_box(task) {
+                if let Some((dst, src, bx)) = task_source_box(task) {
                     if self.owner[&src] == me && self.owner[&dst] != me {
                         let data = extract_box(self.grid.block(src).field(), bx);
+                        self.cfg.metrics.incr("comm.halo.messages", 1);
                         comm.send(
                             self.owner[&dst],
                             TAG_HALO + (base + i) as u64,
@@ -181,7 +167,7 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
                         }
                     }
                     _ => {
-                        let (dst, src, bx) = task_src_box(task).expect("non-physical");
+                        let (dst, src, bx) = task_source_box(task).expect("non-physical");
                         if self.owner[&dst] != me {
                             continue;
                         }
@@ -201,6 +187,25 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
             if phase_idx == 0 {
                 comm.barrier();
             }
+        }
+    }
+
+    /// Revalidate the plan and, when the topology epoch moved (or on
+    /// first use), rebuild the epoch-cached aggregation and this rank's
+    /// interior/halo split. Rebalance and adapt both bump the epoch, so
+    /// ownership changes invalidate these caches automatically.
+    fn refresh_overlap_caches(&mut self, me: usize) {
+        self.engine.revalidate(&self.grid);
+        let stale = match &self.agg {
+            Some(a) => !a.is_current(&self.grid),
+            None => true,
+        };
+        if stale {
+            let owner = &self.owner;
+            self.agg = Some(self.engine.plan().aggregate(&self.grid, &|id| owner[&id]));
+            self.split = self
+                .engine
+                .split_remote(&self.owned_ids(me), &|id| owner[&id] != me);
         }
     }
 
@@ -226,6 +231,10 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
     }
 
     fn eval_rhs(&mut self, comm: &Comm) {
+        if self.cfg.comm_overlap {
+            self.eval_rhs_overlap(comm);
+            return;
+        }
         self.halo_exchange(comm);
         let ids = self.owned_ids(comm.rank());
         let sw = self.engine.sweep();
@@ -243,6 +252,171 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
                 &mut sw.rhs[id.index()],
                 sw.prim_scratch,
             );
+        }
+    }
+
+    /// Flux one half of the interior/halo split.
+    fn sweep_ids(&mut self, ids: &[BlockId]) {
+        let sw = self.engine.sweep();
+        for &id in ids {
+            let node = self.grid.block(id);
+            let h = self
+                .grid
+                .layout()
+                .cell_size(node.key().level, self.grid.params().block_dims);
+            compute_rhs_block(
+                &self.cfg.physics,
+                self.cfg.scheme,
+                node.field(),
+                h,
+                &mut sw.rhs[id.index()],
+                sw.prim_scratch,
+            );
+        }
+    }
+
+    /// Aggregated exchange with comm/compute overlap (the default path;
+    /// DESIGN.md §13). Per phase, all traffic to one peer travels as a
+    /// single vectored message; interior fluxes are computed between the
+    /// eager phase-1 sends and the receives, so the exchange is in flight
+    /// during the bulk of the sweep. Every send precedes the matching
+    /// receive on every rank (phase-1 sends are the first comm op of an
+    /// exchange; phase-2 sends depend only on this rank's completed
+    /// phase 1), so the path needs no inter-phase barrier and cannot
+    /// deadlock. Bitwise-identical to [`DistSim::halo_exchange`] plus a
+    /// full sweep: the per-task arithmetic is untouched and every ghost
+    /// cell is written exactly once per exchange, so only the execution
+    /// order across blocks changes.
+    fn eval_rhs_overlap(&mut self, comm: &Comm) {
+        let me = comm.rank();
+        self.refresh_overlap_caches(me);
+        let ghost_span = self.cfg.metrics.span(phase::GHOST_FILL);
+        // -------- eager phase-1 sends + purely local ghost work --------
+        {
+            let plan = self.engine.plan();
+            let agg = self.agg.as_ref().expect("refreshed above");
+            let expected = (0..2)
+                .map(|p| agg.phase(p).iter().filter(|m| m.from == me).count() as u64)
+                .sum::<u64>();
+            self.cfg.metrics.incr("comm.agg.pair_msgs_expected", expected);
+            {
+                let _p = self.cfg.metrics.span(phase::PACK);
+                for msg in agg.phase(0).iter().filter(|m| m.from == me) {
+                    let parts = msg.pack_parts(&self.grid);
+                    let slices: Vec<&[f64]> = parts.iter().map(Vec::as_slice).collect();
+                    self.cfg.metrics.incr("comm.agg.messages", 1);
+                    self.cfg.metrics.incr("comm.agg.values", msg.values as u64);
+                    self.cfg.metrics.incr("comm.agg.segments", msg.segments.len() as u64);
+                    comm.send_vectored(msg.to, TAG_AGG, &slices);
+                }
+            }
+            // Local phase 1: boundary tasks and local-source copies; the
+            // remote-source tasks wait for the unpack below.
+            for task in plan.phase1() {
+                match task {
+                    GhostTask::Physical { dst, .. } | GhostTask::ClampCopy { dst, .. } => {
+                        if self.owner[dst] == me {
+                            run_one_task(&mut self.grid, task, plan);
+                        }
+                    }
+                    _ => {
+                        let (dst, src, _) = task_source_box(task).expect("non-physical");
+                        if self.owner[&dst] == me && self.owner[&src] == me {
+                            run_one_task(&mut self.grid, task, plan);
+                        }
+                    }
+                }
+            }
+            // Phase 2 for interior destinations: by the split's one-hop
+            // closure their sources are local with locally completed
+            // phase-1 slabs, so these prolongations are final already.
+            for task in plan.phase2() {
+                if let Some((dst, src, _)) = task_source_box(task) {
+                    if self.owner[&dst] == me
+                        && self.owner[&src] == me
+                        && self.split.halo.binary_search(&dst).is_err()
+                    {
+                        run_one_task(&mut self.grid, task, plan);
+                    }
+                }
+            }
+        }
+        // -------- interior fluxes while the exchange is in flight --------
+        {
+            let _o = self.cfg.metrics.span(phase::OVERLAP);
+            let _f = self.cfg.metrics.span(phase::FLUX);
+            let interior = std::mem::take(&mut self.split.interior);
+            self.sweep_ids(&interior);
+            self.split.interior = interior;
+        }
+        // -------- join: drain the exchange, finish halo ghosts --------
+        {
+            let plan = self.engine.plan();
+            let agg = self.agg.as_ref().expect("refreshed above");
+            {
+                let _u = self.cfg.metrics.span(phase::UNPACK);
+                for msg in agg.phase(0).iter().filter(|m| m.to == me) {
+                    let parts = comm.recv_vectored(msg.from, TAG_AGG, &msg.lens());
+                    let n: u64 = parts.iter().map(|p| p.len() as u64).sum();
+                    self.halo_values_recv += n;
+                    self.cfg.metrics.incr("dist.halo_values_recv", n);
+                    msg.unpack(&mut self.grid, &parts);
+                }
+            }
+            for task in plan.phase1() {
+                if let Some((dst, src, _)) = task_source_box(task) {
+                    if self.owner[&dst] == me && self.owner[&src] != me {
+                        run_one_task(&mut self.grid, task, plan);
+                    }
+                }
+            }
+            // Phase-2 sends read this rank's now-complete phase-1 slabs.
+            {
+                let _p = self.cfg.metrics.span(phase::PACK);
+                for msg in agg.phase(1).iter().filter(|m| m.from == me) {
+                    let parts = msg.pack_parts(&self.grid);
+                    let slices: Vec<&[f64]> = parts.iter().map(Vec::as_slice).collect();
+                    self.cfg.metrics.incr("comm.agg.messages", 1);
+                    self.cfg.metrics.incr("comm.agg.values", msg.values as u64);
+                    self.cfg.metrics.incr("comm.agg.segments", msg.segments.len() as u64);
+                    comm.send_vectored(msg.to, TAG_AGG + 1, &slices);
+                }
+            }
+            for task in plan.phase2() {
+                if let Some((dst, src, _)) = task_source_box(task) {
+                    if self.owner[&dst] == me
+                        && self.owner[&src] == me
+                        && self.split.halo.binary_search(&dst).is_ok()
+                    {
+                        run_one_task(&mut self.grid, task, plan);
+                    }
+                }
+            }
+            {
+                let _u = self.cfg.metrics.span(phase::UNPACK);
+                for msg in agg.phase(1).iter().filter(|m| m.to == me) {
+                    let parts = comm.recv_vectored(msg.from, TAG_AGG + 1, &msg.lens());
+                    let n: u64 = parts.iter().map(|p| p.len() as u64).sum();
+                    self.halo_values_recv += n;
+                    self.cfg.metrics.incr("dist.halo_values_recv", n);
+                    msg.unpack(&mut self.grid, &parts);
+                }
+            }
+            for task in plan.phase2() {
+                if let Some((dst, src, _)) = task_source_box(task) {
+                    if self.owner[&dst] == me && self.owner[&src] != me {
+                        run_one_task(&mut self.grid, task, plan);
+                    }
+                }
+            }
+        }
+        drop(ghost_span);
+        // -------- halo fluxes after the join --------
+        {
+            let _f = self.cfg.metrics.span(phase::FLUX);
+            let halo = std::mem::take(&mut self.split.halo);
+            self.sweep_ids(&halo);
+            self.split.halo = halo;
         }
     }
 

@@ -305,6 +305,9 @@ struct CommMetrics {
     retries: String,
     timeouts: String,
     barrier_wait_ns: String,
+    agg_sent_msgs: String,
+    agg_sent_values: String,
+    agg_recv_msgs: String,
 }
 
 impl CommMetrics {
@@ -319,6 +322,9 @@ impl CommMetrics {
             retries: key("retries"),
             timeouts: key("recv_timeouts"),
             barrier_wait_ns: key("barrier_wait_ns"),
+            agg_sent_msgs: key("agg_sent_msgs"),
+            agg_sent_values: key("agg_sent_values"),
+            agg_recv_msgs: key("agg_recv_msgs"),
         }
     }
 }
@@ -350,6 +356,10 @@ pub struct Comm {
     pub sent_msgs: Cell<u64>,
     /// Total f64s sent point-to-point.
     pub sent_values: Cell<u64>,
+    /// Vectored (aggregated) messages sent via [`Comm::send_vectored`].
+    pub agg_sent_msgs: Cell<u64>,
+    /// Total f64s sent through vectored messages.
+    pub agg_sent_values: Cell<u64>,
     /// Optional per-rank metric sink (see [`Comm::install_metrics`]).
     metrics: RefCell<Option<CommMetrics>>,
 }
@@ -662,6 +672,49 @@ impl Comm {
         self.recv_or_die(from, tag)
     }
 
+    /// Vectored send: concatenate `parts` into one physical message to
+    /// `to`. One call issues exactly one [`Comm::send`], so the payload
+    /// inherits the reliable transport (seq + checksum + retries), the
+    /// timeout plumbing, and the per-rank metrics unchanged. The receiver
+    /// recovers the parts with [`Comm::recv_vectored`] using the same
+    /// lengths, which both sides must derive deterministically (the
+    /// aggregated ghost exchange derives them from the replicated plan).
+    pub fn send_vectored(&self, to: usize, tag: u64, parts: &[&[f64]]) {
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let mut data = Vec::with_capacity(total);
+        for p in parts {
+            data.extend_from_slice(p);
+        }
+        self.agg_sent_msgs.set(self.agg_sent_msgs.get() + 1);
+        self.agg_sent_values.set(self.agg_sent_values.get() + total as u64);
+        self.note(|cm| (&cm.agg_sent_msgs, 1));
+        self.note(|cm| (&cm.agg_sent_values, total as u64));
+        self.send(to, tag, data)
+    }
+
+    /// Vectored receive: one blocking [`Comm::recv`] matching
+    /// `(from, tag)`, split back into parts of the given `lens`. Panics if
+    /// the received length does not equal `lens.iter().sum()` — a length
+    /// mismatch means sender and receiver disagree on the (replicated)
+    /// packing schedule, which is a protocol bug, not a runtime condition.
+    pub fn recv_vectored(&self, from: usize, tag: u64, lens: &[usize]) -> Vec<Vec<f64>> {
+        let data = self.recv(from, tag);
+        let total: usize = lens.iter().sum();
+        assert_eq!(
+            data.len(),
+            total,
+            "vectored recv length mismatch from rank {from} tag {tag:#x}"
+        );
+        self.note(|cm| (&cm.agg_recv_msgs, 1));
+        let mut out = Vec::with_capacity(lens.len());
+        let mut off = 0;
+        for &l in lens {
+            out.push(data[off..off + l].to_vec());
+            off += l;
+        }
+        out
+    }
+
     /// Receive matching `(from, tag)`, waiting at most `timeout`.
     pub fn recv_timeout(
         &self,
@@ -938,6 +991,8 @@ impl Machine {
                 ops: Cell::new(0),
                 sent_msgs: Cell::new(0),
                 sent_values: Cell::new(0),
+                agg_sent_msgs: Cell::new(0),
+                agg_sent_values: Cell::new(0),
                 metrics: RefCell::new(None),
             })
             .collect();

@@ -111,6 +111,26 @@ where
     })
 }
 
+/// Run `bg` on a spawned thread while `fg` runs on the calling thread;
+/// return both results once both finish. The comm/compute overlap join
+/// point: the executor hands the halo scatter to `bg` and computes
+/// interior fluxes in `fg`. `fg` stays on the calling thread on purpose —
+/// metrics spans use a thread-agnostic LIFO stack, so only the calling
+/// thread may open spans while the pair is in flight.
+pub fn overlap_join<RA, RB, FA, FB>(bg: FA, fg: FB) -> (RA, RB)
+where
+    RA: Send,
+    FA: FnOnce() -> RA + Send,
+    FB: FnOnce() -> RB,
+{
+    std::thread::scope(|scope| {
+        let h = scope.spawn(bg);
+        let b = fg();
+        let a = h.join().expect("overlap background task panicked");
+        (a, b)
+    })
+}
+
 /// Parallel max-reduction of `f` over items (empty input yields `init`).
 pub fn par_max_f64<T: Sync, F: Fn(&T) -> f64 + Sync>(items: &[T], init: f64, f: F) -> f64 {
     par_map(items, f).into_iter().fold(init, f64::max)
@@ -156,6 +176,17 @@ mod tests {
         let ser = xs.iter().fold(0.0f64, |a, &b| a.max(b));
         assert_eq!(par, ser);
         assert_eq!(par_max_f64(&[] as &[f64], -3.0, |&x| x), -3.0);
+    }
+
+    #[test]
+    fn overlap_join_returns_both_results() {
+        let mut side = 0u32;
+        let (a, b) = overlap_join(|| 40 + 2, || {
+            side = 7;
+            "fg"
+        });
+        assert_eq!((a, b), (42, "fg"));
+        assert_eq!(side, 7);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::pool;
 use ablock_core::arena::BlockId;
 use ablock_core::field::{FieldBlock, FieldShape};
 use ablock_core::ghost::{synthesize_boundary, GhostConfig, GhostExchange, GhostTask};
-use ablock_core::grid::BlockGrid;
+use ablock_core::grid::{BlockGrid, BlockNode};
 use ablock_core::index::IBox;
 use ablock_core::ops::{prolong, restrict_avg, ProlongOrder};
 use ablock_obs::{phase, Metrics};
@@ -131,76 +131,93 @@ pub fn par_fill_ghosts_with<const D: usize>(
     config: &GhostConfig,
     metrics: &Metrics,
 ) {
+    for tasks in [plan.phase1(), plan.phase2()] {
+        fill_phase(grid, tasks, config, metrics);
+    }
+}
+
+/// Gather + scatter one phase of a ghost plan (the loop body of
+/// [`par_fill_ghosts_with`], also used standalone by the comm/compute
+/// overlap path, which scatters phase 2 itself).
+fn fill_phase<const D: usize>(
+    grid: &mut BlockGrid<D>,
+    tasks: &[GhostTask<D>],
+    config: &GhostConfig,
+    metrics: &Metrics,
+) {
     let layout = grid.layout().clone();
     let m = grid.params().block_dims;
     let ng = grid.params().nghost;
-    for tasks in [plan.phase1(), plan.phase2()] {
-        // gather (immutable grid)
-        let ready: Vec<(BlockId, ReadyOp<D>)> =
-            pool::par_map(tasks, |t| gather_task(grid, t, config.prolong_order))
-                .into_iter()
-                .flatten()
-                .collect();
-        // group by destination
-        let mut by_dst: HashMap<BlockId, Vec<ReadyOp<D>>> = HashMap::new();
-        for (dst, op) in ready {
-            by_dst.entry(dst).or_default().push(op);
+    // gather (immutable grid)
+    let ready: Vec<(BlockId, ReadyOp<D>)> =
+        pool::par_map(tasks, |t| gather_task(grid, t, config.prolong_order))
+            .into_iter()
+            .flatten()
+            .collect();
+    // group by destination
+    let mut by_dst: HashMap<BlockId, Vec<ReadyOp<D>>> = HashMap::new();
+    for (dst, op) in ready {
+        by_dst.entry(dst).or_default().push(op);
+    }
+    let mut phys_by_dst: HashMap<BlockId, Vec<&GhostTask<D>>> = HashMap::new();
+    for t in tasks {
+        match t {
+            GhostTask::Physical { dst, .. } | GhostTask::ClampCopy { dst, .. } => {
+                phys_by_dst.entry(*dst).or_default().push(t);
+            }
+            _ => {}
         }
-        let mut phys_by_dst: HashMap<BlockId, Vec<&GhostTask<D>>> = HashMap::new();
-        for t in tasks {
-            match t {
-                GhostTask::Physical { dst, .. } | GhostTask::ClampCopy { dst, .. } => {
-                    phys_by_dst.entry(*dst).or_default().push(t);
-                }
-                _ => {}
+    }
+    // scatter (mutable, one block per work item)
+    let _comm = metrics.span(phase::COMM);
+    let mut nodes: Vec<_> = grid.blocks_mut().collect();
+    pool::par_for_each_mut(&mut nodes, |(id, node)| {
+        if let Some(ops) = by_dst.get(id) {
+            for op in ops {
+                scatter_op(node.field_mut(), op);
             }
         }
-        // scatter (mutable, one block per work item)
-        let _comm = metrics.span(phase::COMM);
-        let mut nodes: Vec<_> = grid.blocks_mut().collect();
-        pool::par_for_each_mut(&mut nodes, |(id, node)| {
-            if let Some(ops) = by_dst.get(id) {
-                for op in ops {
-                    let nvar = node.field().shape().nvar;
-                    let mut off = 0;
-                    for c in op.region.iter() {
-                        node.field_mut().set_cell(c, &op.data[off..off + nvar]);
-                        off += nvar;
+        if let Some(ts) = phys_by_dst.get(id) {
+            for t in ts {
+                match t {
+                    GhostTask::Physical { face, bc, .. } => {
+                        let key = node.key();
+                        synthesize_boundary(
+                            &layout,
+                            m,
+                            ng,
+                            key,
+                            node.field_mut(),
+                            *face,
+                            *bc,
+                            config,
+                            &|_, _, _| {},
+                        );
                     }
-                }
-            }
-            if let Some(ts) = phys_by_dst.get(id) {
-                for t in ts {
-                    match t {
-                        GhostTask::Physical { face, bc, .. } => {
-                            let key = node.key();
-                            synthesize_boundary(
-                                &layout,
-                                m,
-                                ng,
-                                key,
-                                node.field_mut(),
-                                *face,
-                                *bc,
-                                config,
-                                &|_, _, _| {},
-                            );
-                        }
-                        GhostTask::ClampCopy { region, .. } => {
-                            for c in region.iter() {
-                                let mut src = c;
-                                for d in 0..D {
-                                    src[d] = src[d].clamp(0, m[d] - 1);
-                                }
-                                let u = node.field().cell(src).to_vec();
-                                node.field_mut().set_cell(c, &u);
+                    GhostTask::ClampCopy { region, .. } => {
+                        for c in region.iter() {
+                            let mut src = c;
+                            for d in 0..D {
+                                src[d] = src[d].clamp(0, m[d] - 1);
                             }
+                            let u = node.field().cell(src).to_vec();
+                            node.field_mut().set_cell(c, &u);
                         }
-                        _ => {}
                     }
+                    _ => {}
                 }
             }
-        });
+        }
+    });
+}
+
+/// Write one gathered ghost region into a destination field.
+fn scatter_op<const D: usize>(field: &mut FieldBlock<D>, op: &ReadyOp<D>) {
+    let nvar = field.shape().nvar;
+    let mut off = 0;
+    for c in op.region.iter() {
+        field.set_cell(c, &op.data[off..off + nvar]);
+        off += nvar;
     }
 }
 
@@ -258,6 +275,10 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
     /// Fill ghosts and evaluate the RHS of every block in parallel.
     fn eval_rhs(&mut self, grid: &mut BlockGrid<D>) {
         self.engine.revalidate(grid);
+        if self.cfg.comm_overlap {
+            self.eval_rhs_overlap(grid);
+            return;
+        }
         {
             let _span = self.cfg.metrics.span(phase::GHOST_FILL);
             par_fill_ghosts_with(grid, self.engine.plan(), self.engine.config(), &self.cfg.metrics);
@@ -292,6 +313,103 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
         } else {
             pool::par_for_each_mut_init(&mut work, Vec::new, body);
         }
+    }
+
+    /// Comm/compute-overlap RHS (`SolverConfig::comm_overlap`, the
+    /// default): phase 1 of the ghost fill completes as usual, then the
+    /// phase-2 (prolongation) scatter runs on a background thread while
+    /// the calling thread computes fluxes for every interior block —
+    /// those whose ghosts are final after phase 1. Halo blocks (phase-2
+    /// destinations) are swept after the join. Bitwise-identical to the
+    /// non-overlapped path: the gathered ghost values and the per-block
+    /// flux arithmetic are unchanged, only execution order across blocks
+    /// differs, and the background scatter writes only halo blocks'
+    /// ghosted regions — disjoint from every interior-block read.
+    fn eval_rhs_overlap(&mut self, grid: &mut BlockGrid<D>) {
+        let metrics = self.cfg.metrics.clone();
+        let ghost_span = metrics.span(phase::GHOST_FILL);
+        {
+            let plan = self.engine.plan();
+            let config = self.engine.config();
+            fill_phase(grid, plan.phase1(), config, &metrics);
+        }
+        // phase-2 gather (reads only) and the interior/halo split
+        let (by_dst, split) = {
+            let plan = self.engine.plan();
+            let order = self.engine.config().prolong_order;
+            let ready: Vec<(BlockId, ReadyOp<D>)> =
+                pool::par_map(plan.phase2(), |t| gather_task(grid, t, order))
+                    .into_iter()
+                    .flatten()
+                    .collect();
+            let mut by_dst: HashMap<BlockId, Vec<ReadyOp<D>>> = HashMap::new();
+            for (dst, op) in ready {
+                by_dst.entry(dst).or_default().push(op);
+            }
+            (by_dst, self.engine.split_phase2(&grid.block_ids()))
+        };
+        let m = grid.params().block_dims;
+        let layout = grid.layout().clone();
+        let phys = &self.cfg.physics;
+        let scheme = self.cfg.scheme;
+        let ids = grid.block_ids();
+        let sw = self.engine.sweep();
+        let rhs_refs = indexed_refs(sw.rhs, &ids);
+        let mut interior: Vec<(BlockId, &mut BlockNode<D>, &mut FieldBlock<D>)> = Vec::new();
+        let mut halo: Vec<(BlockId, &mut BlockNode<D>, &mut FieldBlock<D>)> = Vec::new();
+        for ((id, node), rhs) in grid.blocks_mut().zip(rhs_refs) {
+            if split.halo.binary_search(&id).is_ok() {
+                halo.push((id, node, rhs));
+            } else {
+                interior.push((id, node, rhs));
+            }
+        }
+        let body = &|scratch: &mut Vec<f64>,
+                     (_, node, rhs): &mut (BlockId, &mut BlockNode<D>, &mut FieldBlock<D>)| {
+            let h = layout.cell_size(node.key().level, m);
+            compute_rhs_block(phys, scheme, node.field(), h, rhs, scratch);
+        };
+        let run_flux = |work: &mut Vec<(BlockId, &mut BlockNode<D>, &mut FieldBlock<D>)>| {
+            if metrics.is_enabled() {
+                // timed path: per-worker busy histogram + busy/idle totals
+                let t0 = std::time::Instant::now();
+                let busy = pool::par_for_each_mut_init_timed(work, Vec::new, body);
+                let wall = t0.elapsed().as_nanos() as u64;
+                let total_busy: u64 = busy.iter().sum();
+                for b in &busy {
+                    metrics.observe("pool.worker_busy_ns", *b);
+                }
+                metrics.incr("pool.busy_ns", total_busy);
+                metrics
+                    .incr("pool.idle_ns", (wall * busy.len() as u64).saturating_sub(total_busy));
+            } else {
+                pool::par_for_each_mut_init(work, Vec::new, body);
+            }
+        };
+        // background: scatter prolongations into halo blocks; foreground:
+        // interior fluxes, overlapping the scatter
+        let by_dst = &by_dst;
+        let (mut halo, ()) = pool::overlap_join(
+            move || {
+                for (id, node, _) in halo.iter_mut() {
+                    if let Some(ops) = by_dst.get(id) {
+                        for op in ops {
+                            scatter_op(node.field_mut(), op);
+                        }
+                    }
+                }
+                halo
+            },
+            || {
+                let _o = metrics.span(phase::OVERLAP);
+                let _f = metrics.span(phase::FLUX);
+                run_flux(&mut interior);
+            },
+        );
+        drop(ghost_span);
+        // join: halo fluxes once their ghosts are complete
+        let _f = metrics.span(phase::FLUX);
+        run_flux(&mut halo);
     }
 
     /// One parallel SSP-RK2 step (Heun), identical arithmetic to the serial

@@ -50,6 +50,14 @@ pub struct SolverConfig<P: Physics> {
     pub refluxing: bool,
     /// Ghost-exchange configuration; defaults via [`ghost_config_for`].
     pub ghost: GhostConfig,
+    /// Overlap interior flux computation with the ghost exchange: the
+    /// parallel executors in `ablock-par` split each sweep into interior
+    /// and halo sub-sweeps and compute interior fluxes while aggregated
+    /// exchanges are in flight, joining before the halo sub-sweep. The
+    /// result is bitwise-identical either way (only cross-block execution
+    /// order changes); the toggle exists for A/B benchmarking. The serial
+    /// stepper ignores it. Defaults to `true`.
+    pub comm_overlap: bool,
     /// Observability sink shared by the engine and the executor (null by
     /// default: instrumentation compiles to one branch).
     pub metrics: Metrics,
@@ -72,6 +80,7 @@ impl<P: Physics> SolverConfig<P> {
             cfl: 0.4,
             refluxing: false,
             ghost,
+            comm_overlap: true,
             metrics: Metrics::null(),
         }
     }
@@ -99,6 +108,15 @@ impl<P: Physics> SolverConfig<P> {
     /// Override the derived ghost configuration.
     pub fn with_ghost(mut self, ghost: GhostConfig) -> Self {
         self.ghost = ghost;
+        self
+    }
+
+    /// Enable or disable comm/compute overlap in the parallel executors
+    /// (see the [`SolverConfig::comm_overlap`] field). On by default;
+    /// turning it off selects the legacy non-overlapped exchange for A/B
+    /// benchmarking — the numerics are bitwise-identical either way.
+    pub fn with_comm_overlap(mut self, on: bool) -> Self {
+        self.comm_overlap = on;
         self
     }
 

@@ -24,6 +24,7 @@
 //! update arithmetic; serial, pool, and distributed executors all call them,
 //! which is what keeps their results bitwise identical.
 
+use ablock_core::arena::BlockId;
 use ablock_core::field::{FieldBlock, FieldShape};
 use ablock_core::ghost::{BoundaryCtx, GhostConfig, GhostExchange};
 use ablock_core::grid::BlockGrid;
@@ -75,6 +76,23 @@ pub struct Sweep<'a, const D: usize> {
     pub flux_stores: &'a mut [FaceFluxStore<D>],
     /// Shared primitive-variable buffer for serial kernels.
     pub prim_scratch: &'a mut Vec<f64>,
+}
+
+/// An interior/halo partition of a sweep for comm/compute overlap:
+/// `interior` blocks' ghost fill has no dependency on in-flight data, so
+/// their fluxes may be computed while the exchange proceeds; `halo`
+/// blocks join after it completes. Both halves preserve the input order.
+#[derive(Clone, Debug, Default)]
+pub struct SweepSplit {
+    /// Blocks safe to sweep during the exchange.
+    pub interior: Vec<BlockId>,
+    /// Blocks whose sweep must wait for the exchange to complete.
+    pub halo: Vec<BlockId>,
+}
+
+fn split_ids(ids: &[BlockId], is_halo: impl Fn(BlockId) -> bool) -> SweepSplit {
+    let (halo, interior) = ids.iter().partition(|&&id| is_halo(id));
+    SweepSplit { interior, halo }
 }
 
 /// Epoch-keyed ghost-plan cache plus reusable sweep scratch.
@@ -209,6 +227,33 @@ impl<const D: usize> SweepEngine<D> {
             Some(f) => plan.fill_with(grid, f),
             None => plan.fill(grid),
         }
+    }
+
+    /// Split `ids` for shared-memory comm/compute overlap: a block is
+    /// `halo` iff it receives a phase-2 (prolongation) ghost task — its
+    /// ghost fill completes only with the phase-2 scatter, so its flux
+    /// must wait for the join; every other block's ghosts are final after
+    /// phase 1 and its flux may overlap the scatter. `ids` must be in
+    /// arena order (as from [`BlockGrid::block_ids`]); the partition
+    /// preserves it. Panics before [`SweepEngine::revalidate`].
+    pub fn split_phase2(&self, ids: &[BlockId]) -> SweepSplit {
+        let halo = self.plan().phase2_dsts();
+        split_ids(ids, |id| halo.binary_search(&id).is_ok())
+    }
+
+    /// Split `ids` for distributed comm/compute overlap: a block is
+    /// `halo` iff its ghost fill depends on remote data, directly or one
+    /// hop through a phase-2 source's restriction-filled slab (see
+    /// [`GhostExchange::remote_halo_dsts`]). Order-preserving like
+    /// [`SweepEngine::split_phase2`]. Panics before
+    /// [`SweepEngine::revalidate`].
+    pub fn split_remote(
+        &self,
+        ids: &[BlockId],
+        is_remote: &dyn Fn(BlockId) -> bool,
+    ) -> SweepSplit {
+        let halo = self.plan().remote_halo_dsts(is_remote);
+        split_ids(ids, |id| halo.binary_search(&id).is_ok())
     }
 
     /// Split-borrow the scratch arena. Call after

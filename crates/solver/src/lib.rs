@@ -37,7 +37,7 @@ pub mod reflux;
 pub mod stepper;
 
 pub use config::SolverConfig;
-pub use engine::{ghost_config_for, EngineStats, SweepEngine};
+pub use engine::{ghost_config_for, EngineStats, SweepEngine, SweepSplit};
 pub use euler::Euler;
 pub use flux::Riemann;
 pub use kernel::{compute_rhs_block, compute_rhs_block_fluxes, max_rate_block, FaceFluxStore, Scheme};

@@ -34,6 +34,7 @@ use ablock_core::layout::{Boundary, RootLayout};
 use ablock_core::ops::ProlongOrder;
 use ablock_core::verify::check_grid;
 use ablock_io::{load_grid, save_grid};
+use ablock_par::ParStepper;
 use ablock_solver::{total_conserved, Euler, Scheme, SolverConfig, Stepper};
 
 use crate::model::RefModel;
@@ -93,6 +94,15 @@ pub enum FuzzCmd {
     /// One RK2 Euler step at a fixed small `dt` through a cached
     /// [`Stepper`] (exercising its plan cache across adapts).
     Step,
+    /// One RK2 Euler step through a cached shared-memory [`ParStepper`]
+    /// with `comm_overlap` on (`O`) or off (`N`), differentially checked
+    /// **bitwise** against a fresh serial stepper run on a
+    /// checkpoint-cloned twin grid; execution continues on the parallel
+    /// result, so later commands build on the aggregated path's output.
+    StepPar {
+        /// Whether the parallel stepper overlaps comm and compute.
+        overlap: bool,
+    },
     /// Test-only invariant break (`BlockGrid::testonly_corrupt_face`);
     /// the oracle stack must catch it on the same command. Never
     /// generated unless [`FuzzConfig::sabotage`] is set.
@@ -100,8 +110,8 @@ pub enum FuzzCmd {
 }
 
 /// Format a script as the compact text form accepted by [`parse_script`]:
-/// `R<r>` `C<r>` `A<seed>:<density>` `M<seed>:<0|1>` `K` `G` `S` `X`,
-/// space-separated, seeds in hex.
+/// `R<r>` `C<r>` `A<seed>:<density>` `M<seed>:<0|1>` `K` `G` `S` `O` `N`
+/// `X`, space-separated, seeds in hex.
 pub fn format_script(cmds: &[FuzzCmd]) -> String {
     let words: Vec<String> = cmds
         .iter()
@@ -115,6 +125,8 @@ pub fn format_script(cmds: &[FuzzCmd]) -> String {
             FuzzCmd::Checkpoint => "K".to_string(),
             FuzzCmd::Ghost => "G".to_string(),
             FuzzCmd::Step => "S".to_string(),
+            FuzzCmd::StepPar { overlap: true } => "O".to_string(),
+            FuzzCmd::StepPar { overlap: false } => "N".to_string(),
             FuzzCmd::Sabotage => "X".to_string(),
         })
         .collect();
@@ -158,6 +170,8 @@ pub fn parse_script(s: &str) -> Result<Vec<FuzzCmd>, String> {
             "K" if rest.is_empty() => FuzzCmd::Checkpoint,
             "G" if rest.is_empty() => FuzzCmd::Ghost,
             "S" if rest.is_empty() => FuzzCmd::Step,
+            "O" if rest.is_empty() => FuzzCmd::StepPar { overlap: true },
+            "N" if rest.is_empty() => FuzzCmd::StepPar { overlap: false },
             "X" if rest.is_empty() => FuzzCmd::Sabotage,
             _ => return Err(format!("unknown command {w:?}")),
         };
@@ -322,6 +336,8 @@ struct Harness<const D: usize> {
     model: RefModel<D>,
     exchange: Option<GhostExchange<D>>,
     stepper: Option<Stepper<D, Euler<D>>>,
+    par_on: Option<ParStepper<D, Euler<D>>>,
+    par_off: Option<ParStepper<D, Euler<D>>>,
     last_epoch: u64,
 }
 
@@ -334,7 +350,16 @@ impl<const D: usize> Harness<D> {
         let grid = build_world(&setup);
         let model = RefModel::from_grid(&grid);
         let last_epoch = grid.epoch();
-        Harness { setup, grid, model, exchange: None, stepper: None, last_epoch }
+        Harness {
+            setup,
+            grid,
+            model,
+            exchange: None,
+            stepper: None,
+            par_on: None,
+            par_off: None,
+            last_epoch,
+        }
     }
 
     fn totals(&self) -> Vec<f64> {
@@ -523,6 +548,8 @@ impl<const D: usize> Harness<D> {
                 self.grid = loaded;
                 self.exchange = None;
                 self.stepper = None;
+                self.par_on = None;
+                self.par_off = None;
                 self.model = RefModel::from_grid(&self.grid);
                 self.last_epoch = self.grid.epoch();
                 return self.post_check(true);
@@ -587,6 +614,49 @@ impl<const D: usize> Harness<D> {
                     }
                 }
             }
+            FuzzCmd::StepPar { overlap } => {
+                // Serial twin via a bitwise checkpoint clone (grids are
+                // deliberately not Clone); its ghost junk is irrelevant —
+                // a step fills ghosts from interiors before reading them.
+                let mut buf = Vec::new();
+                save_grid(&mut buf, &self.grid).map_err(|e| format!("save_grid: {e}"))?;
+                let mut twin: BlockGrid<D> =
+                    load_grid(&mut buf.as_slice()).map_err(|e| format!("load_grid: {e}"))?;
+                fresh_stepper().step_rk2(&mut twin, STEP_DT, None);
+                let par = if overlap { &mut self.par_on } else { &mut self.par_off };
+                let par = par.get_or_insert_with(|| {
+                    ParStepper::new(
+                        SolverConfig::new(Euler::new(1.4), Scheme::muscl_rusanov())
+                            .with_comm_overlap(overlap),
+                    )
+                });
+                par.step_rk2(&mut self.grid, STEP_DT);
+                for (_, node) in self.grid.blocks() {
+                    let key = node.key();
+                    let tid = twin
+                        .find(key)
+                        .ok_or_else(|| format!("twin lost leaf {key:?}"))?;
+                    let tf = twin.block(tid).field();
+                    let f = node.field();
+                    for c in f.shape().interior_box().iter() {
+                        for v in 0..f.shape().nvar {
+                            let (a, b) = (f.at(c, v), tf.at(c, v));
+                            if a.to_bits() != b.to_bits() {
+                                return Err(format!(
+                                    "parallel step (overlap={overlap}) diverged from serial \
+                                     at {key:?} cell {c:?} var {v}: {a:.17e} != {b:.17e}"
+                                ));
+                            }
+                            if !a.is_finite() {
+                                return Err(format!(
+                                    "non-finite state after parallel step at {key:?} \
+                                     cell {c:?} var {v}"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
             FuzzCmd::Sabotage => {
                 self.grid.testonly_corrupt_face(0);
             }
@@ -628,11 +698,15 @@ pub fn gen_script(seed: u64, max_cmds: usize, sabotage: bool) -> Vec<FuzzCmd> {
                     seed: rng.next_u64(),
                     density: rng.usize_in(5, 30) as u8,
                 }
-            } else if roll < 0.75 {
+            } else if roll < 0.73 {
                 FuzzCmd::Ghost
-            } else if roll < 0.85 {
+            } else if roll < 0.81 {
                 FuzzCmd::Step
-            } else if roll < 0.93 {
+            } else if roll < 0.85 {
+                FuzzCmd::StepPar { overlap: true }
+            } else if roll < 0.89 {
+                FuzzCmd::StepPar { overlap: false }
+            } else if roll < 0.95 {
                 FuzzCmd::Checkpoint
             } else {
                 FuzzCmd::Remask { seed: rng.next_u64(), masked: rng.coin() }
@@ -749,11 +823,13 @@ mod tests {
             FuzzCmd::Checkpoint,
             FuzzCmd::Ghost,
             FuzzCmd::Step,
+            FuzzCmd::StepPar { overlap: true },
+            FuzzCmd::StepPar { overlap: false },
             FuzzCmd::Sabotage,
         ];
         let text = format_script(&script);
         assert_eq!(parse_script(&text).unwrap(), script);
-        assert_eq!(text, "R17 C3 Adeadbeef:12 Mf00:1 K G S X");
+        assert_eq!(text, "R17 C3 Adeadbeef:12 Mf00:1 K G S O N X");
     }
 
     #[test]
@@ -762,6 +838,8 @@ mod tests {
         assert!(parse_script("A12").is_err()); // missing density
         assert!(parse_script("Mzz:1").is_err());
         assert!(parse_script("K7").is_err());
+        assert!(parse_script("O7").is_err());
+        assert!(parse_script("N1").is_err());
     }
 
     #[test]
@@ -797,6 +875,23 @@ mod tests {
     #[test]
     fn empty_script_passes() {
         run_script::<2>(0x5EED_0010, &[]).unwrap();
+    }
+
+    #[test]
+    fn parallel_step_commands_match_serial() {
+        // O and N both run the bitwise differential against a serial twin
+        run_script::<2>(
+            0x5EED_0012,
+            &[
+                FuzzCmd::Refine(3),
+                FuzzCmd::StepPar { overlap: true },
+                FuzzCmd::StepPar { overlap: false },
+                FuzzCmd::Step,
+                FuzzCmd::Adapt { seed: 0xA11CE, density: 20 },
+                FuzzCmd::StepPar { overlap: true },
+            ],
+        )
+        .unwrap();
     }
 
     #[test]

@@ -140,6 +140,38 @@ pub fn parse_case_seed(s: &str) -> Option<u64> {
     }
 }
 
+/// The `cargo test` invocation that reaches the currently running test
+/// binary, for copy-pasteable replay hints. Derived at runtime from the
+/// binary path (Cargo's `<target>-<16-hex-hash>` naming) and the
+/// `CARGO_PKG_NAME` variable Cargo sets for test executables: a lib
+/// unittest binary becomes `cargo test -p <pkg> --lib`, an integration
+/// test `cargo test -p <pkg> --test <name>`. Degrades to plain
+/// `cargo test` when run outside Cargo.
+pub fn replay_command_hint() -> String {
+    let pkg = std::env::var("CARGO_PKG_NAME").ok();
+    let stem = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .map(|s| match s.rsplit_once('-') {
+            Some((head, tail))
+                if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) =>
+            {
+                head.to_string()
+            }
+            _ => s,
+        });
+    match (pkg, stem) {
+        (Some(pkg), Some(stem)) => {
+            if stem.replace('_', "-") == pkg {
+                format!("cargo test -p {pkg} --lib")
+            } else {
+                format!("cargo test -p {pkg} --test {stem}")
+            }
+        }
+        _ => "cargo test".to_string(),
+    }
+}
+
 /// [`cases`] with the replay override passed explicitly (unit-testable
 /// without racing on the process environment).
 pub fn cases_with_replay<F: FnMut(u64, &mut Rng)>(
@@ -159,7 +191,8 @@ pub fn cases_with_replay<F: FnMut(u64, &mut Rng)>(
             let msg = payload_str(payload.as_ref());
             panic!(
                 "property case {label} (seed {seed:#018x}) failed: {msg}\n  \
-                 replay just this case with: ABL_CASE_SEED={seed:#x} cargo test"
+                 replay just this case with: ABL_CASE_SEED={seed:#x} {}",
+                replay_command_hint()
             );
         }
     };
@@ -323,6 +356,19 @@ mod tests {
         }));
         let msg = payload_str(err.unwrap_err().as_ref());
         assert!(msg.contains("ABL_CASE_SEED="), "{msg}");
+        // the hint names this very binary so the line runs as pasted
+        assert!(msg.contains("cargo test"), "{msg}");
+        assert!(msg.contains(&replay_command_hint()), "{msg}");
+    }
+
+    #[test]
+    fn replay_hint_names_this_binary() {
+        // under `cargo test` this is the testkit lib unittest binary
+        let hint = replay_command_hint();
+        assert!(hint.starts_with("cargo test"), "{hint}");
+        if std::env::var("CARGO_PKG_NAME").is_ok() {
+            assert_eq!(hint, "cargo test -p ablock-testkit --lib", "{hint}");
+        }
     }
 
     #[test]
