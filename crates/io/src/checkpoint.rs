@@ -27,6 +27,10 @@
 //! level toward the saved leaf set, which preserves the jump invariant at
 //! every intermediate step (any level-truncation of a legal grid is
 //! legal).
+//!
+//! Version 3 streams carry a content-addressed node archive instead of a
+//! flat leaf section (see [`crate::snapshot`]); [`load_grid`] dispatches
+//! on the version field and reads both formats.
 
 use std::collections::BTreeSet;
 use std::io::{self, Read, Write};
@@ -36,23 +40,25 @@ use ablock_core::index::IVec;
 use ablock_core::key::BlockKey;
 use ablock_core::layout::{Boundary, RootLayout};
 
-const MAGIC: &[u8; 4] = b"ABLK";
+pub(crate) const MAGIC: &[u8; 4] = b"ABLK";
 const VERSION: u32 = 2;
+/// Content-addressed node-archive streams (see [`crate::snapshot`]).
+pub(crate) const VERSION_SNAPSHOT: u32 = 3;
 /// Hard cap on a framed section length: guards allocation size when the
 /// length field itself is corrupt. Far above any realistic checkpoint.
-const MAX_SECTION: u64 = 1 << 28;
+pub(crate) const MAX_SECTION: u64 = 1 << 28;
 
 const SEC_LAYOUT: &[u8; 4] = b"LAYT";
 const SEC_PARAMS: &[u8; 4] = b"PRMS";
 const SEC_LEAVES: &[u8; 4] = b"LEAF";
 
-fn bad(msg: impl Into<String>) -> io::Error {
+pub(crate) fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
 /// FNV-1a 64-bit over raw bytes (the same hash the reliable transport in
 /// `ablock-par` uses for message envelopes).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for &b in bytes {
         h ^= b as u64;
@@ -61,34 +67,34 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-fn w_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+pub(crate) fn w_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
-fn w_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+pub(crate) fn w_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
-fn w_i64(w: &mut impl Write, v: i64) -> io::Result<()> {
+pub(crate) fn w_i64(w: &mut impl Write, v: i64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
-fn w_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+pub(crate) fn w_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
-fn r_u32(r: &mut impl Read) -> io::Result<u32> {
+pub(crate) fn r_u32(r: &mut impl Read) -> io::Result<u32> {
     let mut b = [0; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
-fn r_u64(r: &mut impl Read) -> io::Result<u64> {
+pub(crate) fn r_u64(r: &mut impl Read) -> io::Result<u64> {
     let mut b = [0; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
 }
-fn r_i64(r: &mut impl Read) -> io::Result<i64> {
+pub(crate) fn r_i64(r: &mut impl Read) -> io::Result<i64> {
     let mut b = [0; 8];
     r.read_exact(&mut b)?;
     Ok(i64::from_le_bytes(b))
 }
-fn r_f64(r: &mut impl Read) -> io::Result<f64> {
+pub(crate) fn r_f64(r: &mut impl Read) -> io::Result<f64> {
     let mut b = [0; 8];
     r.read_exact(&mut b)?;
     Ok(f64::from_le_bytes(b))
@@ -114,7 +120,7 @@ fn decode_bc(v: u32) -> io::Result<Boundary> {
 }
 
 /// Frame `bytes` as a checksummed section.
-fn write_section(w: &mut impl Write, tag: &[u8; 4], bytes: &[u8]) -> io::Result<()> {
+pub(crate) fn write_section(w: &mut impl Write, tag: &[u8; 4], bytes: &[u8]) -> io::Result<()> {
     w.write_all(tag)?;
     w_u64(w, bytes.len() as u64)?;
     w.write_all(bytes)?;
@@ -122,7 +128,7 @@ fn write_section(w: &mut impl Write, tag: &[u8; 4], bytes: &[u8]) -> io::Result<
 }
 
 /// Read one section, verifying tag, length cap, and checksum.
-fn read_section(r: &mut impl Read, tag: &[u8; 4]) -> io::Result<Vec<u8>> {
+pub(crate) fn read_section(r: &mut impl Read, tag: &[u8; 4]) -> io::Result<Vec<u8>> {
     let mut t = [0u8; 4];
     r.read_exact(&mut t)?;
     if &t != tag {
@@ -153,7 +159,7 @@ fn read_section(r: &mut impl Read, tag: &[u8; 4]) -> io::Result<Vec<u8>> {
 }
 
 /// Error unless a fully-parsed section has no trailing bytes.
-fn expect_drained(rest: &[u8], tag: &[u8; 4]) -> io::Result<()> {
+pub(crate) fn expect_drained(rest: &[u8], tag: &[u8; 4]) -> io::Result<()> {
     if rest.is_empty() {
         Ok(())
     } else {
@@ -165,6 +171,52 @@ fn expect_drained(rest: &[u8], tag: &[u8; 4]) -> io::Result<()> {
     }
 }
 
+/// Encode the layout section payload (shared with the snapshot format).
+pub(crate) fn encode_layout<const D: usize>(
+    sec: &mut Vec<u8>,
+    layout: &RootLayout<D>,
+) -> io::Result<()> {
+    for d in 0..D {
+        w_i64(sec, layout.roots[d])?;
+    }
+    for d in 0..D {
+        w_f64(sec, layout.origin[d])?;
+    }
+    for d in 0..D {
+        w_f64(sec, layout.size[d])?;
+    }
+    for b in layout.boundaries.iter() {
+        w_u32(sec, encode_bc(*b))?;
+    }
+    w_u32(sec, encode_bc(layout.hole_boundary))?;
+    match &layout.mask {
+        None => w_u32(sec, 0)?,
+        Some(m) => {
+            w_u32(sec, 1)?;
+            w_u64(sec, m.len() as u64)?;
+            for &a in m {
+                sec.push(a as u8);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Encode the params section payload (shared with the snapshot format).
+pub(crate) fn encode_params<const D: usize>(
+    sec: &mut Vec<u8>,
+    p: &GridParams<D>,
+) -> io::Result<()> {
+    for d in 0..D {
+        w_i64(sec, p.block_dims[d])?;
+    }
+    w_i64(sec, p.nghost)?;
+    w_u64(sec, p.nvar as u64)?;
+    w_u32(sec, p.max_level as u32)?;
+    w_u32(sec, p.max_level_jump as u32)?;
+    w_i64(sec, p.pad)
+}
+
 /// Serialize the grid (layout, params, leaf keys, interior fields).
 pub fn save_grid<const D: usize>(w: &mut impl Write, grid: &BlockGrid<D>) -> io::Result<()> {
     w.write_all(MAGIC)?;
@@ -172,42 +224,11 @@ pub fn save_grid<const D: usize>(w: &mut impl Write, grid: &BlockGrid<D>) -> io:
     w_u32(w, D as u32)?;
 
     let mut sec = Vec::new();
-    let layout = grid.layout();
-    for d in 0..D {
-        w_i64(&mut sec, layout.roots[d])?;
-    }
-    for d in 0..D {
-        w_f64(&mut sec, layout.origin[d])?;
-    }
-    for d in 0..D {
-        w_f64(&mut sec, layout.size[d])?;
-    }
-    for b in layout.boundaries.iter() {
-        w_u32(&mut sec, encode_bc(*b))?;
-    }
-    w_u32(&mut sec, encode_bc(layout.hole_boundary))?;
-    match &layout.mask {
-        None => w_u32(&mut sec, 0)?,
-        Some(m) => {
-            w_u32(&mut sec, 1)?;
-            w_u64(&mut sec, m.len() as u64)?;
-            for &a in m {
-                sec.push(a as u8);
-            }
-        }
-    }
+    encode_layout(&mut sec, grid.layout())?;
     write_section(w, SEC_LAYOUT, &sec)?;
 
     sec.clear();
-    let p = grid.params();
-    for d in 0..D {
-        w_i64(&mut sec, p.block_dims[d])?;
-    }
-    w_i64(&mut sec, p.nghost)?;
-    w_u64(&mut sec, p.nvar as u64)?;
-    w_u32(&mut sec, p.max_level as u32)?;
-    w_u32(&mut sec, p.max_level_jump as u32)?;
-    w_i64(&mut sec, p.pad)?;
+    encode_params(&mut sec, grid.params())?;
     write_section(w, SEC_PARAMS, &sec)?;
 
     sec.clear();
@@ -233,7 +254,7 @@ pub fn save_grid<const D: usize>(w: &mut impl Write, grid: &BlockGrid<D>) -> io:
 }
 
 /// Parse and sanity-check the layout section.
-fn parse_layout<const D: usize>(bytes: &[u8]) -> io::Result<RootLayout<D>> {
+pub(crate) fn parse_layout<const D: usize>(bytes: &[u8]) -> io::Result<RootLayout<D>> {
     let mut r = bytes;
     let mut roots: IVec<D> = [0; D];
     for x in roots.iter_mut() {
@@ -290,7 +311,7 @@ fn parse_layout<const D: usize>(bytes: &[u8]) -> io::Result<RootLayout<D>> {
 }
 
 /// Parse and sanity-check the params section.
-fn parse_params<const D: usize>(bytes: &[u8]) -> io::Result<GridParams<D>> {
+pub(crate) fn parse_params<const D: usize>(bytes: &[u8]) -> io::Result<GridParams<D>> {
     let mut r = bytes;
     let mut block_dims: IVec<D> = [0; D];
     for x in block_dims.iter_mut() {
@@ -343,6 +364,63 @@ pub fn load_grid<const D: usize>(r: &mut impl Read) -> io::Result<BlockGrid<D>> 
     })
 }
 
+/// Validate one leaf key against the level cap and the root domain.
+pub(crate) fn validate_key<const D: usize>(
+    key: BlockKey<D>,
+    layout: &RootLayout<D>,
+    max_level: u8,
+) -> io::Result<()> {
+    if key.level > max_level {
+        return Err(bad(format!("leaf level {} above max level {max_level}", key.level)));
+    }
+    let per_level = 1i64 << key.level;
+    for d in 0..D {
+        let max = layout.roots[d].saturating_mul(per_level);
+        if key.coords[d] < 0 || key.coords[d] >= max {
+            return Err(bad(format!("leaf {key:?} outside the domain")));
+        }
+    }
+    Ok(())
+}
+
+/// Rebuild a grid topology holding exactly the leaf set `targets`:
+/// refine every ancestor level by level (which preserves the jump
+/// invariant at each intermediate step). Field data is left untouched
+/// (`Transfer::None` on the initial condition, i.e. zeros).
+pub(crate) fn rebuild_topology<const D: usize>(
+    layout: RootLayout<D>,
+    params: GridParams<D>,
+    targets: &BTreeSet<BlockKey<D>>,
+) -> io::Result<BlockGrid<D>> {
+    let mut grid = BlockGrid::new(layout, params);
+    let mut to_split: Vec<BTreeSet<BlockKey<D>>> =
+        vec![BTreeSet::new(); params.max_level as usize + 1];
+    for key in targets {
+        let mut k = *key;
+        while let Some(p) = k.parent() {
+            to_split[p.level as usize].insert(p);
+            k = p;
+        }
+    }
+    for level_set in &to_split {
+        let keys: Vec<BlockKey<D>> = level_set.iter().copied().collect();
+        for key in keys {
+            if let Some(id) = grid.find(key) {
+                grid.refine(id, Transfer::None)
+                    .map_err(|e| bad(format!("topology rebuild: {e}")))?;
+            }
+        }
+    }
+    if grid.num_blocks() != targets.len() {
+        return Err(bad(format!(
+            "leaf set is not a valid tree cut: rebuilt {} block(s) from {} key(s)",
+            grid.num_blocks(),
+            targets.len()
+        )));
+    }
+    Ok(grid)
+}
+
 fn load_grid_inner<const D: usize>(r: &mut impl Read) -> io::Result<BlockGrid<D>> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -350,12 +428,15 @@ fn load_grid_inner<const D: usize>(r: &mut impl Read) -> io::Result<BlockGrid<D>
         return Err(bad("bad magic"));
     }
     let version = r_u32(r)?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_SNAPSHOT {
         return Err(bad(format!("unsupported checkpoint version {version}")));
     }
     let dims = r_u32(r)? as usize;
     if dims != D {
         return Err(bad(format!("checkpoint is {dims}-D, expected {D}-D")));
+    }
+    if version == VERSION_SNAPSHOT {
+        return crate::snapshot::read_archive_body::<D>(r);
     }
 
     let layout = parse_layout::<D>(&read_section(r, SEC_LAYOUT)?)?;
@@ -376,26 +457,18 @@ fn load_grid_inner<const D: usize>(r: &mut impl Read) -> io::Result<BlockGrid<D>
         )));
     }
     let mut saved: Vec<(BlockKey<D>, Vec<f64>)> = Vec::with_capacity(nleaves);
+    let mut targets: BTreeSet<BlockKey<D>> = BTreeSet::new();
     for _ in 0..nleaves {
         let mut lv = [0u8; 1];
         lr.read_exact(&mut lv)?;
-        if lv[0] > params.max_level {
-            return Err(bad(format!(
-                "leaf level {} above max level {}",
-                lv[0], params.max_level
-            )));
-        }
         let mut coords: IVec<D> = [0; D];
         for x in coords.iter_mut() {
             *x = r_i64(&mut lr)?;
         }
         let key = BlockKey::new(lv[0], coords);
-        let per_level = 1i64 << lv[0];
-        for d in 0..D {
-            let max = layout.roots[d].saturating_mul(per_level);
-            if coords[d] < 0 || coords[d] >= max {
-                return Err(bad(format!("leaf {key:?} outside the domain")));
-            }
+        validate_key(key, &layout, params.max_level)?;
+        if !targets.insert(key) {
+            return Err(bad(format!("duplicate leaf key {key:?}")));
         }
         let mut data = Vec::with_capacity(cells * nvar);
         for _ in 0..cells * nvar {
@@ -405,28 +478,8 @@ fn load_grid_inner<const D: usize>(r: &mut impl Read) -> io::Result<BlockGrid<D>
     }
     expect_drained(lr, SEC_LEAVES)?;
 
-    // rebuild the topology: refine ancestors level by level
-    let mut grid = BlockGrid::new(layout, params);
-    let targets: BTreeSet<BlockKey<D>> = saved.iter().map(|(k, _)| *k).collect();
-    let mut to_split: Vec<BTreeSet<BlockKey<D>>> =
-        vec![BTreeSet::new(); params.max_level as usize + 1];
-    for key in &targets {
-        let mut k = *key;
-        while let Some(p) = k.parent() {
-            to_split[p.level as usize].insert(p);
-            k = p;
-        }
-    }
-    for level_set in &to_split {
-        let keys: Vec<BlockKey<D>> = level_set.iter().copied().collect();
-        for key in keys {
-            if let Some(id) = grid.find(key) {
-                grid.refine(id, Transfer::None)
-                    .map_err(|e| bad(format!("topology rebuild: {e}")))?;
-            }
-        }
-    }
-    // pour the data back
+    // rebuild the topology, then pour the data back
+    let mut grid = rebuild_topology(layout, params, &targets)?;
     for (key, data) in saved {
         let id = grid
             .find(key)

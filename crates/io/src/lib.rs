@@ -18,6 +18,7 @@
 
 pub mod checkpoint;
 pub mod image;
+pub mod snapshot;
 pub mod metrics;
 pub mod profile;
 pub mod render;
@@ -25,6 +26,10 @@ pub mod table;
 pub mod vtk;
 
 pub use checkpoint::{load_grid, save_grid};
+pub use snapshot::{
+    content_hash, materialize, read_archive, read_manifest, write_archive, write_snapshot,
+    Manifest, ManifestEntry, NodeHash, NodeStore, SnapshotStats,
+};
 pub use image::{sample_2d, sample_3d_slice, to_pgm, to_ppm};
 pub use metrics::{counters_table, phase_table, spans_table, write_metrics_json};
 pub use profile::{line_profile, profile_csv, sparkline, ProfilePoint};

@@ -1,0 +1,868 @@
+//! Content-addressed incremental snapshots: a Merkle-style node store for
+//! block grids.
+//!
+//! A snapshot is a tree of immutable **nodes**, each addressed by the
+//! 128-bit FNV-1a hash of its bytes:
+//!
+//! ```text
+//! leaf node  [kind=1] interior f64 data            (one per distinct payload)
+//! index node [kind=2] count, (key, leaf hash, writer) entries (chunks of 32)
+//! root node  [kind=3] step, D, writer ring, layout, params, index hash list
+//! ```
+//!
+//! The root hash identifies the whole snapshot. Because nodes are keyed by
+//! content, successive snapshots **share every unchanged node**: writing a
+//! new snapshot into a [`NodeStore`] that already holds the previous one
+//! costs only the blocks whose payload actually changed (plus the touched
+//! index chunks and one root). Blocks with bitwise-identical data — e.g. a
+//! uniform far field that a flux step leaves unchanged — collapse to a
+//! single leaf node even within one snapshot.
+//!
+//! Leaf payloads deliberately exclude the block key (AMReX-style
+//! metadata/payload split): the key lives in the index entries, so moving
+//! a block between ranks or re-snapshotting an unchanged grid never
+//! rewrites payload bytes. The `writer` slot recorded per entry and the
+//! root's writer ring exist for the peer-recovery protocol in
+//! `ablock-par`: a restarting rank resolves which surviving store should
+//! hold each missing node (the writer, else its ring successor — the
+//! replication buddy) without any global metadata service.
+//!
+//! Like the v2 checkpoint format, every decode path returns
+//! [`io::ErrorKind::InvalidData`] on malformed input — truncation, bit
+//! flips, hash mismatches, duplicate keys, dangling node references —
+//! and never panics. The at-rest framing (`write_archive` / version-3
+//! [`crate::checkpoint::load_grid`] streams) reuses the checksummed
+//! section frames of the v2 format.
+
+use std::collections::{BTreeSet, HashMap};
+use std::io::{self, Read, Write};
+
+use ablock_core::grid::BlockGrid;
+use ablock_core::index::IVec;
+use ablock_core::key::BlockKey;
+
+use crate::checkpoint::{
+    bad, encode_layout, encode_params, expect_drained, parse_layout, parse_params, r_i64, r_u32,
+    r_u64, read_section, rebuild_topology, validate_key, w_i64, w_u32, w_u64, write_section,
+    MAGIC, MAX_SECTION, VERSION_SNAPSHOT,
+};
+
+/// Node kind tags (first byte of every node).
+const KIND_LEAF: u8 = 1;
+const KIND_INDEX: u8 = 2;
+const KIND_ROOT: u8 = 3;
+
+/// Index entries per index node: small enough that a localized adapt
+/// touches few chunks, large enough that the manifest stays shallow.
+pub const INDEX_CHUNK: usize = 32;
+
+const SEC_NODES: &[u8; 4] = b"NODE";
+const SEC_ROOT: &[u8; 4] = b"SROT";
+
+/// 128-bit content address of a node (FNV-1a over the node bytes).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeHash(pub [u8; 16]);
+
+impl NodeHash {
+    /// The two little-endian 64-bit words of the hash (low, high) — the
+    /// transport representation used by the peer-fetch protocol.
+    pub fn to_words(self) -> [u64; 2] {
+        let lo = u64::from_le_bytes(self.0[..8].try_into().expect("8 bytes"));
+        let hi = u64::from_le_bytes(self.0[8..].try_into().expect("8 bytes"));
+        [lo, hi]
+    }
+
+    /// Rebuild a hash from its [`NodeHash::to_words`] representation.
+    pub fn from_words(w: [u64; 2]) -> Self {
+        let mut b = [0u8; 16];
+        b[..8].copy_from_slice(&w[0].to_le_bytes());
+        b[8..].copy_from_slice(&w[1].to_le_bytes());
+        NodeHash(b)
+    }
+}
+
+impl std::fmt::Debug for NodeHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for b in self.0.iter().rev() {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a 128-bit over raw bytes: the content address of a node. The 1997
+/// vintage would have used a checksum this cheap too — collision
+/// resistance here guards against accidents, not adversaries, matching
+/// the paper's single-tenant checkpoint setting.
+pub fn content_hash(bytes: &[u8]) -> NodeHash {
+    let mut h: u128 = 0x6c62272e07bb014262b821756295c58d;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(0x0000000001000000000000000000013b);
+    }
+    NodeHash(h.to_le_bytes())
+}
+
+/// An append-only store of content-addressed nodes.
+///
+/// Inserting bytes that are already present is free (the dedup hit that
+/// makes every-step snapshot cadence affordable); nothing is ever
+/// overwritten, so a hash uniquely names its bytes for the lifetime of
+/// the store.
+#[derive(Debug, Default, Clone)]
+pub struct NodeStore {
+    nodes: HashMap<NodeHash, Vec<u8>>,
+    total_bytes: u64,
+}
+
+impl NodeStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct nodes held.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the store holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total bytes of all distinct nodes held.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// True when a node with this address is present.
+    pub fn contains(&self, hash: NodeHash) -> bool {
+        self.nodes.contains_key(&hash)
+    }
+
+    /// The bytes of a node, if present.
+    pub fn get(&self, hash: NodeHash) -> Option<&[u8]> {
+        self.nodes.get(&hash).map(|v| v.as_slice())
+    }
+
+    /// Insert a node, returning its address and whether it was new
+    /// (`false` = dedup hit, the bytes were dropped).
+    pub fn insert(&mut self, bytes: Vec<u8>) -> (NodeHash, bool) {
+        let hash = content_hash(&bytes);
+        let new = !self.nodes.contains_key(&hash);
+        if new {
+            self.total_bytes += bytes.len() as u64;
+            self.nodes.insert(hash, bytes);
+        }
+        (hash, new)
+    }
+
+    /// Insert a node that claims address `expect` (e.g. received from a
+    /// peer or read from an archive), verifying the claim. Returns
+    /// whether the node was new; a content mismatch is `InvalidData` and
+    /// the store is left untouched.
+    pub fn insert_verified(&mut self, expect: NodeHash, bytes: Vec<u8>) -> io::Result<bool> {
+        let actual = content_hash(&bytes);
+        if actual != expect {
+            return Err(bad(format!(
+                "node hash mismatch: claimed {expect:?}, content is {actual:?}"
+            )));
+        }
+        Ok(self.insert(bytes).1)
+    }
+}
+
+/// What writing one snapshot into a store cost (and saved).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Content address of the snapshot root (identifies the snapshot).
+    pub root: NodeHash,
+    /// Nodes actually added to the store.
+    pub nodes_new: u64,
+    /// Nodes already present (dedup hits).
+    pub nodes_shared: u64,
+    /// Bytes actually added to the store.
+    pub bytes_new: u64,
+    /// Bytes of dedup hits (what a non-incremental write would have cost
+    /// for the same nodes).
+    pub bytes_shared: u64,
+}
+
+impl SnapshotStats {
+    fn tally(&mut self, new: bool, len: usize) {
+        if new {
+            self.nodes_new += 1;
+            self.bytes_new += len as u64;
+        } else {
+            self.nodes_shared += 1;
+            self.bytes_shared += len as u64;
+        }
+    }
+}
+
+// ---- leaf nodes ---------------------------------------------------------
+
+/// Encode a leaf node from a block's interior values.
+pub fn encode_leaf(values: &[f64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(1 + 8 * values.len());
+    bytes.push(KIND_LEAF);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
+}
+
+/// Decode a leaf node into interior values, checking kind and length
+/// (`expect_values` = interior cells × nvar).
+pub fn decode_leaf(bytes: &[u8], expect_values: usize) -> io::Result<Vec<f64>> {
+    if bytes.first() != Some(&KIND_LEAF) {
+        return Err(bad("node is not a leaf node"));
+    }
+    let body = &bytes[1..];
+    if body.len() != 8 * expect_values {
+        return Err(bad(format!(
+            "leaf node holds {} byte(s), expected {} values",
+            body.len(),
+            expect_values
+        )));
+    }
+    let mut out = Vec::with_capacity(expect_values);
+    for c in body.chunks_exact(8) {
+        out.push(f64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+    }
+    Ok(out)
+}
+
+/// A block's interior values in canonical (interior box, vars innermost)
+/// order — the exact payload [`encode_leaf`] hashes.
+pub fn leaf_values<const D: usize>(grid: &BlockGrid<D>, key: BlockKey<D>) -> io::Result<Vec<f64>> {
+    let id = grid
+        .find(key)
+        .ok_or_else(|| bad(format!("grid inconsistent: leaf {key:?} has no block")))?;
+    let f = grid.block(id).field();
+    let mut out = Vec::with_capacity(f.shape().interior_cells() * f.shape().nvar);
+    for c in f.shape().interior_box().iter() {
+        out.extend_from_slice(f.cell(c));
+    }
+    Ok(out)
+}
+
+/// Pour decoded leaf values back into a block's interior.
+pub fn pour_leaf<const D: usize>(
+    grid: &mut BlockGrid<D>,
+    key: BlockKey<D>,
+    values: &[f64],
+) -> io::Result<()> {
+    let id = grid.find(key).ok_or_else(|| bad(format!("leaf {key:?} not in grid")))?;
+    let field = grid.block_mut(id).field_mut();
+    let nvar = field.shape().nvar;
+    if values.len() != field.shape().interior_cells() * nvar {
+        return Err(bad(format!("leaf {key:?}: wrong payload size {}", values.len())));
+    }
+    let mut off = 0;
+    for c in field.shape().interior_box().iter() {
+        field.set_cell(c, &values[off..off + nvar]);
+        off += nvar;
+    }
+    Ok(())
+}
+
+// ---- manifest (index + root nodes) --------------------------------------
+
+/// One block's entry in a snapshot manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManifestEntry<const D: usize> {
+    /// The block key.
+    pub key: BlockKey<D>,
+    /// Content address of the block's leaf node.
+    pub hash: NodeHash,
+    /// Writer slot that produced the payload at snapshot time (0 for
+    /// serial snapshots; a rank-durable slot id in `ablock-par`).
+    pub writer: u32,
+}
+
+/// A decoded snapshot manifest: everything except the leaf payloads.
+#[derive(Debug, Clone)]
+pub struct Manifest<const D: usize> {
+    /// Step counter recorded at snapshot time.
+    pub step: u64,
+    /// Root layout of the snapshotted grid.
+    pub layout: ablock_core::layout::RootLayout<D>,
+    /// Grid parameters of the snapshotted grid.
+    pub params: ablock_core::grid::GridParams<D>,
+    /// Writer slots in ring order at snapshot time: the replication buddy
+    /// of slot `ring[i]` is `ring[(i+1) % len]`.
+    pub writer_ring: Vec<u32>,
+    /// Per-block entries, strictly sorted by key.
+    pub entries: Vec<ManifestEntry<D>>,
+}
+
+impl<const D: usize> Manifest<D> {
+    /// Interior values per leaf payload (cells × nvar).
+    pub fn values_per_leaf(&self) -> usize {
+        self.params.field_shape().interior_cells() * self.params.nvar
+    }
+
+    /// Rebuild the grid topology this manifest describes (all field data
+    /// zero; pour leaves afterwards).
+    pub fn build_topology(&self) -> io::Result<BlockGrid<D>> {
+        let targets: BTreeSet<BlockKey<D>> = self.entries.iter().map(|e| e.key).collect();
+        rebuild_topology(self.layout.clone(), self.params, &targets)
+    }
+}
+
+/// Build and store the manifest (index + root nodes) for a snapshot whose
+/// leaf nodes are already in `store`. `entries` may arrive in any order;
+/// duplicate keys are `InvalidData`. Returns the root address and the
+/// write stats for the manifest nodes only.
+pub fn build_manifest<const D: usize>(
+    store: &mut NodeStore,
+    layout: &ablock_core::layout::RootLayout<D>,
+    params: &ablock_core::grid::GridParams<D>,
+    step: u64,
+    writer_ring: &[u32],
+    entries: &[(BlockKey<D>, NodeHash, u32)],
+) -> io::Result<SnapshotStats> {
+    let mut sorted: Vec<&(BlockKey<D>, NodeHash, u32)> = entries.iter().collect();
+    sorted.sort_by_key(|e| e.0);
+    for pair in sorted.windows(2) {
+        if pair[0].0 == pair[1].0 {
+            return Err(bad(format!("duplicate leaf key {:?}", pair[0].0)));
+        }
+    }
+    let mut stats = SnapshotStats::default();
+    let mut index_hashes: Vec<NodeHash> = Vec::new();
+    for chunk in sorted.chunks(INDEX_CHUNK) {
+        let mut bytes = Vec::with_capacity(1 + 4 + chunk.len() * (1 + 8 * D + 16 + 4));
+        bytes.push(KIND_INDEX);
+        w_u32(&mut bytes, chunk.len() as u32)?;
+        for (key, hash, writer) in chunk {
+            bytes.push(key.level);
+            for d in 0..D {
+                w_i64(&mut bytes, key.coords[d])?;
+            }
+            bytes.extend_from_slice(&hash.0);
+            w_u32(&mut bytes, *writer)?;
+        }
+        let len = bytes.len();
+        let (h, new) = store.insert(bytes);
+        stats.tally(new, len);
+        index_hashes.push(h);
+    }
+
+    let mut root = Vec::new();
+    root.push(KIND_ROOT);
+    w_u64(&mut root, step)?;
+    w_u32(&mut root, D as u32)?;
+    w_u32(&mut root, writer_ring.len() as u32)?;
+    for &s in writer_ring {
+        w_u32(&mut root, s)?;
+    }
+    let mut sec = Vec::new();
+    encode_layout(&mut sec, layout)?;
+    w_u64(&mut root, sec.len() as u64)?;
+    root.extend_from_slice(&sec);
+    sec.clear();
+    encode_params(&mut sec, params)?;
+    w_u64(&mut root, sec.len() as u64)?;
+    root.extend_from_slice(&sec);
+    w_u64(&mut root, sorted.len() as u64)?;
+    w_u32(&mut root, index_hashes.len() as u32)?;
+    for h in &index_hashes {
+        root.extend_from_slice(&h.0);
+    }
+    let len = root.len();
+    let (h, new) = store.insert(root);
+    stats.tally(new, len);
+    stats.root = h;
+    Ok(stats)
+}
+
+/// Write one full snapshot of `grid` into `store` (leaf nodes + manifest)
+/// and return the root address with dedup stats. Incremental by
+/// construction: against a store holding the previous snapshot, only
+/// changed payloads and touched manifest chunks count as new bytes.
+pub fn write_snapshot<const D: usize>(
+    store: &mut NodeStore,
+    grid: &BlockGrid<D>,
+    step: u64,
+) -> io::Result<SnapshotStats> {
+    let mut keys: Vec<BlockKey<D>> = grid.blocks().map(|(_, n)| n.key()).collect();
+    keys.sort();
+    let mut stats = SnapshotStats::default();
+    let mut entries: Vec<(BlockKey<D>, NodeHash, u32)> = Vec::with_capacity(keys.len());
+    for key in keys {
+        let bytes = encode_leaf(&leaf_values(grid, key)?);
+        let len = bytes.len();
+        let (h, new) = store.insert(bytes);
+        stats.tally(new, len);
+        entries.push((key, h, 0));
+    }
+    let m = build_manifest(store, grid.layout(), grid.params(), step, &[0], &entries)?;
+    stats.nodes_new += m.nodes_new;
+    stats.nodes_shared += m.nodes_shared;
+    stats.bytes_new += m.bytes_new;
+    stats.bytes_shared += m.bytes_shared;
+    stats.root = m.root;
+    Ok(stats)
+}
+
+fn take<'a>(r: &mut &'a [u8], n: usize, what: &str) -> io::Result<&'a [u8]> {
+    if r.len() < n {
+        return Err(bad(format!("{what} extends past node end")));
+    }
+    let (head, rest) = r.split_at(n);
+    *r = rest;
+    Ok(head)
+}
+
+fn r_hash(r: &mut &[u8], what: &str) -> io::Result<NodeHash> {
+    let b = take(r, 16, what)?;
+    Ok(NodeHash(b.try_into().expect("16 bytes")))
+}
+
+/// Decode the manifest under `root`, fully validated: kind tags, `D`,
+/// layout/params sanity, strictly-sorted unique keys, in-domain keys.
+/// A referenced node missing from `store` is a **dangling node
+/// reference** (`InvalidData`).
+pub fn read_manifest<const D: usize>(store: &NodeStore, root: NodeHash) -> io::Result<Manifest<D>> {
+    let bytes = store
+        .get(root)
+        .ok_or_else(|| bad(format!("dangling node reference: root {root:?}")))?;
+    let mut r = bytes;
+    if take(&mut r, 1, "root kind")?[0] != KIND_ROOT {
+        return Err(bad("root hash does not name a root node"));
+    }
+    let step = r_u64(&mut r)?;
+    let dims = r_u32(&mut r)? as usize;
+    if dims != D {
+        return Err(bad(format!("snapshot is {dims}-D, expected {D}-D")));
+    }
+    let ring_len = r_u32(&mut r)? as usize;
+    if ring_len == 0 || ring_len > 1 << 16 {
+        return Err(bad(format!("writer ring length {ring_len} out of range")));
+    }
+    let mut writer_ring = Vec::with_capacity(ring_len);
+    for _ in 0..ring_len {
+        writer_ring.push(r_u32(&mut r)?);
+    }
+    let layout_len = r_u64(&mut r)?;
+    if layout_len > MAX_SECTION {
+        return Err(bad("layout length exceeds cap"));
+    }
+    let layout = parse_layout::<D>(take(&mut r, layout_len as usize, "layout")?)?;
+    let params_len = r_u64(&mut r)?;
+    if params_len > MAX_SECTION {
+        return Err(bad("params length exceeds cap"));
+    }
+    let params = parse_params::<D>(take(&mut r, params_len as usize, "params")?)?;
+    let nleaves = r_u64(&mut r)? as usize;
+    if nleaves as u64 > MAX_SECTION {
+        return Err(bad(format!("leaf count {nleaves} exceeds cap")));
+    }
+    let nindex = r_u32(&mut r)? as usize;
+    if nindex != nleaves.div_ceil(INDEX_CHUNK) {
+        return Err(bad(format!(
+            "index chunk count {nindex} inconsistent with {nleaves} leaves"
+        )));
+    }
+    let mut index_hashes = Vec::with_capacity(nindex);
+    for _ in 0..nindex {
+        index_hashes.push(r_hash(&mut r, "index hash")?);
+    }
+    expect_drained(r, SEC_ROOT)?;
+
+    let mut entries: Vec<ManifestEntry<D>> = Vec::with_capacity(nleaves);
+    for ih in &index_hashes {
+        let bytes = store
+            .get(*ih)
+            .ok_or_else(|| bad(format!("dangling node reference: index {ih:?}")))?;
+        let mut r = bytes;
+        if take(&mut r, 1, "index kind")?[0] != KIND_INDEX {
+            return Err(bad("index hash does not name an index node"));
+        }
+        let count = r_u32(&mut r)? as usize;
+        if count == 0 || count > INDEX_CHUNK {
+            return Err(bad(format!("index chunk entry count {count} out of range")));
+        }
+        for _ in 0..count {
+            let level = take(&mut r, 1, "entry level")?[0];
+            let mut coords: IVec<D> = [0; D];
+            for x in coords.iter_mut() {
+                *x = r_i64(&mut r)?;
+            }
+            let key = BlockKey::new(level, coords);
+            validate_key(key, &layout, params.max_level)?;
+            let hash = r_hash(&mut r, "entry hash")?;
+            let writer = r_u32(&mut r)?;
+            if let Some(prev) = entries.last() {
+                if prev.key == key {
+                    return Err(bad(format!("duplicate leaf key {key:?}")));
+                }
+                if prev.key > key {
+                    return Err(bad(format!("manifest keys out of order at {key:?}")));
+                }
+            }
+            entries.push(ManifestEntry { key, hash, writer });
+        }
+        expect_drained(r, SEC_NODES)?;
+    }
+    if entries.len() != nleaves {
+        return Err(bad(format!(
+            "manifest holds {} entries, root claims {nleaves}",
+            entries.len()
+        )));
+    }
+    Ok(Manifest { step, layout, params, writer_ring, entries })
+}
+
+/// Reconstruct the full grid under a snapshot root. Ghosts are zero;
+/// refill with a ghost exchange before stepping.
+pub fn materialize<const D: usize>(store: &NodeStore, root: NodeHash) -> io::Result<BlockGrid<D>> {
+    let manifest = read_manifest::<D>(store, root)?;
+    let mut grid = manifest.build_topology()?;
+    let per_leaf = manifest.values_per_leaf();
+    for e in &manifest.entries {
+        let bytes = store
+            .get(e.hash)
+            .ok_or_else(|| bad(format!("dangling node reference: leaf {:?} for {:?}", e.hash, e.key)))?;
+        pour_leaf(&mut grid, e.key, &decode_leaf(bytes, per_leaf)?)?;
+    }
+    Ok(grid)
+}
+
+// ---- at-rest archive (checkpoint format v3) ------------------------------
+
+/// The reachable closure of a snapshot root in deterministic order: root,
+/// index nodes, then leaf nodes (each distinct node once).
+fn reachable<const D: usize>(store: &NodeStore, root: NodeHash) -> io::Result<Vec<NodeHash>> {
+    let manifest = read_manifest::<D>(store, root)?;
+    // re-derive the index hashes exactly as the root records them
+    let root_bytes = store.get(root).expect("read_manifest verified presence");
+    let mut order = vec![root];
+    let mut seen: BTreeSet<NodeHash> = BTreeSet::new();
+    seen.insert(root);
+    // index hashes sit at the tail of the root node
+    let nindex = manifest.entries.len().div_ceil(INDEX_CHUNK);
+    let tail = &root_bytes[root_bytes.len() - 16 * nindex..];
+    for c in tail.chunks_exact(16) {
+        let h = NodeHash(c.try_into().expect("16 bytes"));
+        if seen.insert(h) {
+            order.push(h);
+        }
+    }
+    for e in &manifest.entries {
+        if seen.insert(e.hash) {
+            order.push(e.hash);
+        }
+    }
+    Ok(order)
+}
+
+/// Serialize the snapshot under `root` as a self-contained version-3
+/// checkpoint stream (readable by [`crate::checkpoint::load_grid`] and
+/// [`read_archive`]). Only nodes reachable from `root` are written, each
+/// once — the at-rest dedup mirrors the in-store dedup.
+pub fn write_archive<const D: usize>(
+    w: &mut impl Write,
+    store: &NodeStore,
+    root: NodeHash,
+) -> io::Result<()> {
+    let order = reachable::<D>(store, root)?;
+    w.write_all(MAGIC)?;
+    w_u32(w, VERSION_SNAPSHOT)?;
+    w_u32(w, D as u32)?;
+    let mut sec = Vec::new();
+    w_u64(&mut sec, order.len() as u64)?;
+    for h in &order {
+        let bytes = store
+            .get(*h)
+            .ok_or_else(|| bad(format!("dangling node reference: {h:?}")))?;
+        sec.extend_from_slice(&h.0);
+        w_u64(&mut sec, bytes.len() as u64)?;
+        sec.extend_from_slice(bytes);
+    }
+    write_section(w, SEC_NODES, &sec)?;
+    write_section(w, SEC_ROOT, &root.0)
+}
+
+/// Read a version-3 archive into a fresh store, verifying every node's
+/// content hash. Returns the store and the snapshot root.
+pub fn read_archive<const D: usize>(r: &mut impl Read) -> io::Result<(NodeStore, NodeHash)> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(eof_is_bad)?;
+    if &magic != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let version = r_u32(r).map_err(eof_is_bad)?;
+    if version != VERSION_SNAPSHOT {
+        return Err(bad(format!("not a snapshot archive (version {version})")));
+    }
+    let dims = r_u32(r).map_err(eof_is_bad)? as usize;
+    if dims != D {
+        return Err(bad(format!("archive is {dims}-D, expected {D}-D")));
+    }
+    read_archive_store(r).map_err(eof_is_bad)
+}
+
+fn eof_is_bad(e: io::Error) -> io::Error {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        bad(format!("truncated archive: {e}"))
+    } else {
+        e
+    }
+}
+
+fn read_archive_store(r: &mut impl Read) -> io::Result<(NodeStore, NodeHash)> {
+    let sec = read_section(r, SEC_NODES)?;
+    let mut nr = sec.as_slice();
+    let count = r_u64(&mut nr)?;
+    let mut store = NodeStore::new();
+    for _ in 0..count {
+        let hash = r_hash(&mut nr, "node hash")?;
+        let len = r_u64(&mut nr)?;
+        if len > MAX_SECTION {
+            return Err(bad(format!("node length {len} exceeds cap {MAX_SECTION}")));
+        }
+        let bytes = take(&mut nr, len as usize, "node bytes")?;
+        store.insert_verified(hash, bytes.to_vec())?;
+    }
+    expect_drained(nr, SEC_NODES)?;
+    let rsec = read_section(r, SEC_ROOT)?;
+    if rsec.len() != 16 {
+        return Err(bad(format!("root section holds {} byte(s), expected 16", rsec.len())));
+    }
+    let root = NodeHash(rsec.try_into().expect("16 bytes"));
+    Ok((store, root))
+}
+
+/// Version-3 body of [`crate::checkpoint::load_grid`]: called after the
+/// shared `magic | version | D` header has been consumed and checked.
+pub(crate) fn read_archive_body<const D: usize>(r: &mut impl Read) -> io::Result<BlockGrid<D>> {
+    let (store, root) = read_archive_store(r)?;
+    materialize(&store, root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ablock_core::balance::refine_ball_to_level;
+    use ablock_core::grid::{GridParams, Transfer};
+    use ablock_core::layout::{Boundary, RootLayout};
+    use ablock_core::verify;
+
+    fn sample_grid() -> BlockGrid<2> {
+        let mut g = BlockGrid::new(
+            RootLayout::unit([2, 2], Boundary::Periodic),
+            GridParams::new([4, 4], 2, 3, 3),
+        );
+        refine_ball_to_level(&mut g, [0.3, 0.6], 0.15, 2, Transfer::None);
+        let lay = g.layout().clone();
+        let m = g.params().block_dims;
+        for id in g.block_ids() {
+            let key = g.block(id).key();
+            g.block_mut(id).field_mut().for_each_interior(|c, u| {
+                let x = lay.cell_center(key, m, c);
+                u[0] = x[0] * 3.0 + x[1];
+                u[1] = (x[0] * x[1]).sin();
+                u[2] = key.level as f64;
+            });
+        }
+        g
+    }
+
+    fn grids_equal(a: &BlockGrid<2>, b: &BlockGrid<2>) {
+        assert_eq!(a.num_blocks(), b.num_blocks());
+        for (_, n) in a.blocks() {
+            let id = b.find(n.key()).expect("key present");
+            let f = b.block(id).field();
+            for c in n.field().shape().interior_box().iter() {
+                assert_eq!(n.field().cell(c), f.cell(c), "block {:?} cell {c:?}", n.key());
+            }
+        }
+    }
+
+    #[test]
+    fn hash_distinguishes_and_is_stable() {
+        let a = content_hash(b"hello");
+        assert_eq!(a, content_hash(b"hello"));
+        assert_ne!(a, content_hash(b"hellp"));
+        assert_ne!(content_hash(b""), content_hash(b"\0"));
+        assert_eq!(NodeHash::from_words(a.to_words()), a);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_exact() {
+        let g = sample_grid();
+        let mut store = NodeStore::new();
+        let stats = write_snapshot(&mut store, &g, 7).unwrap();
+        assert_eq!(stats.nodes_shared, 0, "fresh store has nothing to share");
+        let g2: BlockGrid<2> = materialize(&store, stats.root).unwrap();
+        verify::check_grid(&g2).unwrap();
+        grids_equal(&g, &g2);
+        let m = read_manifest::<2>(&store, stats.root).unwrap();
+        assert_eq!(m.step, 7);
+        assert_eq!(m.entries.len(), g.num_blocks());
+        assert_eq!(m.writer_ring, vec![0]);
+    }
+
+    #[test]
+    fn unchanged_grid_resnapshot_is_all_dedup() {
+        let g = sample_grid();
+        let mut store = NodeStore::new();
+        let s1 = write_snapshot(&mut store, &g, 0).unwrap();
+        let nodes_before = store.len();
+        let s2 = write_snapshot(&mut store, &g, 0).unwrap();
+        assert_eq!(s2.root, s1.root, "same content, same root");
+        assert_eq!(s2.nodes_new, 0, "nothing new to write");
+        assert_eq!(store.len(), nodes_before);
+        // a different step changes only the root node
+        let s3 = write_snapshot(&mut store, &g, 1).unwrap();
+        assert_ne!(s3.root, s1.root);
+        assert_eq!(s3.nodes_new, 1, "only the root differs");
+    }
+
+    #[test]
+    fn single_block_change_writes_only_the_delta() {
+        let mut g = sample_grid();
+        let mut store = NodeStore::new();
+        let s1 = write_snapshot(&mut store, &g, 0).unwrap();
+        let id = g.block_ids()[0];
+        g.block_mut(id).field_mut().for_each_interior(|_, u| u[0] += 1.0);
+        let s2 = write_snapshot(&mut store, &g, 1).unwrap();
+        // one new leaf, the index chunk holding it, and the root
+        assert_eq!(s2.nodes_new, 3, "delta must be leaf + chunk + root");
+        assert!(s2.bytes_new < s1.bytes_new / 4, "{} vs {}", s2.bytes_new, s1.bytes_new);
+        grids_equal(&g, &materialize(&store, s2.root).unwrap());
+        // the old snapshot is still intact in the same store
+        let old: BlockGrid<2> = materialize(&store, s1.root).unwrap();
+        assert_eq!(old.num_blocks(), g.num_blocks());
+    }
+
+    #[test]
+    fn identical_payloads_share_one_leaf_node() {
+        // all-uniform grid: every block has bitwise-identical payload
+        let mut g = BlockGrid::new(
+            RootLayout::unit([4, 4], Boundary::Periodic),
+            GridParams::new([4, 4], 2, 3, 2),
+        );
+        for id in g.block_ids() {
+            g.block_mut(id).field_mut().for_each_interior(|_, u| u.fill(1.25));
+        }
+        let mut store = NodeStore::new();
+        let stats = write_snapshot(&mut store, &g, 0).unwrap();
+        // 16 blocks -> 1 shared leaf node + 1 index chunk + 1 root
+        assert_eq!(stats.nodes_new, 3, "uniform payloads must collapse");
+        assert_eq!(stats.nodes_shared, 15);
+        grids_equal(&g, &materialize(&store, stats.root).unwrap());
+    }
+
+    #[test]
+    fn archive_roundtrip_via_load_grid() {
+        let g = sample_grid();
+        let mut store = NodeStore::new();
+        let stats = write_snapshot(&mut store, &g, 3).unwrap();
+        let mut buf = Vec::new();
+        write_archive::<2>(&mut buf, &store, stats.root).unwrap();
+        // generic loader dispatches on the version field
+        let g2: BlockGrid<2> = crate::checkpoint::load_grid(&mut buf.as_slice()).unwrap();
+        verify::check_grid(&g2).unwrap();
+        grids_equal(&g, &g2);
+        // dedicated reader exposes the store and root
+        let (store2, root2) = read_archive::<2>(&mut buf.as_slice()).unwrap();
+        assert_eq!(root2, stats.root);
+        assert_eq!(store2.len(), store.len());
+    }
+
+    #[test]
+    fn archive_excludes_unreachable_nodes() {
+        let mut g = sample_grid();
+        let mut store = NodeStore::new();
+        let s1 = write_snapshot(&mut store, &g, 0).unwrap();
+        let id = g.block_ids()[0];
+        g.block_mut(id).field_mut().for_each_interior(|_, u| u[0] = -9.0);
+        let s2 = write_snapshot(&mut store, &g, 1).unwrap();
+        let mut buf = Vec::new();
+        write_archive::<2>(&mut buf, &store, s2.root).unwrap();
+        let (store2, _) = read_archive::<2>(&mut buf.as_slice()).unwrap();
+        assert!(store2.len() < store.len(), "old-delta nodes must not be archived");
+        assert!(!store2.contains(s1.root));
+    }
+
+    #[test]
+    fn missing_leaf_node_is_dangling_reference() {
+        let g = sample_grid();
+        let mut store = NodeStore::new();
+        let stats = write_snapshot(&mut store, &g, 0).unwrap();
+        let manifest = read_manifest::<2>(&store, stats.root).unwrap();
+        let victim = manifest.entries[0].hash;
+        store.nodes.remove(&victim);
+        let err = match materialize::<2>(&store, stats.root) {
+            Err(e) => e,
+            Ok(_) => panic!("materialize must fail on a missing leaf node"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("dangling node reference"), "{err}");
+    }
+
+    #[test]
+    fn missing_root_and_index_are_dangling_references() {
+        let g = sample_grid();
+        let mut store = NodeStore::new();
+        let stats = write_snapshot(&mut store, &g, 0).unwrap();
+        let err = read_manifest::<2>(&NodeStore::new(), stats.root).unwrap_err();
+        assert!(err.to_string().contains("root"), "{err}");
+        // drop an index node
+        let root_bytes = store.get(stats.root).unwrap().to_vec();
+        let tail = NodeHash(root_bytes[root_bytes.len() - 16..].try_into().unwrap());
+        store.nodes.remove(&tail);
+        let err = read_manifest::<2>(&store, stats.root).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("dangling node reference: index"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_key_rejected_in_manifest_build() {
+        let g = sample_grid();
+        let mut store = NodeStore::new();
+        let key = g.blocks().next().unwrap().1.key();
+        let h = store.insert(encode_leaf(&leaf_values(&g, key).unwrap())).0;
+        let entries = vec![(key, h, 0), (key, h, 0)];
+        let err =
+            build_manifest(&mut store, g.layout(), g.params(), 0, &[0], &entries).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("duplicate leaf key"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_node_claim_rejected() {
+        let mut store = NodeStore::new();
+        let (h, _) = store.insert(encode_leaf(&[1.0, 2.0]));
+        let err = store.insert_verified(h, encode_leaf(&[1.0, 3.0])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("hash mismatch"), "{err}");
+    }
+
+    #[test]
+    fn wrong_dimension_archive_rejected() {
+        let g = sample_grid();
+        let mut store = NodeStore::new();
+        let stats = write_snapshot(&mut store, &g, 0).unwrap();
+        let mut buf = Vec::new();
+        write_archive::<2>(&mut buf, &store, stats.root).unwrap();
+        assert!(crate::checkpoint::load_grid::<3>(&mut buf.as_slice()).is_err());
+        assert!(read_archive::<3>(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn leaf_decode_validates_kind_and_size() {
+        let bytes = encode_leaf(&[1.0, 2.0, 3.0]);
+        assert_eq!(decode_leaf(&bytes, 3).unwrap(), vec![1.0, 2.0, 3.0]);
+        assert!(decode_leaf(&bytes, 4).is_err());
+        let mut wrong_kind = bytes.clone();
+        wrong_kind[0] = KIND_INDEX;
+        assert!(decode_leaf(&wrong_kind, 3).is_err());
+        assert!(decode_leaf(&[], 0).is_err());
+    }
+}

@@ -107,6 +107,90 @@ fn seeded_multibyte_corruption_2d_and_3d() {
     });
 }
 
+// ---- malformed leaf sets (valid frames, hostile content) ----------------
+// These forge v2 streams whose checksums are *correct*, so only the
+// semantic validation of the leaf set can reject them. The framing is
+// re-derived locally from the documented format (checkpoint.rs docs).
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Split a v2 stream into (header, LAYT, PRMS, LEAF section bodies).
+fn split_v2(buf: &[u8]) -> (Vec<u8>, Vec<u8>, Vec<u8>, Vec<u8>) {
+    let header = buf[..12].to_vec();
+    let mut off = 12;
+    let mut section = || {
+        let len = u64::from_le_bytes(buf[off + 4..off + 12].try_into().unwrap()) as usize;
+        let body = buf[off + 12..off + 12 + len].to_vec();
+        off += 12 + len + 8;
+        body
+    };
+    let layt = section();
+    let prms = section();
+    let leaf = section();
+    (header, layt, prms, leaf)
+}
+
+/// Reassemble a v2 stream with fresh (valid) frame checksums.
+fn join_v2(header: &[u8], layt: &[u8], prms: &[u8], leaf: &[u8]) -> Vec<u8> {
+    let mut out = header.to_vec();
+    for (tag, body) in [(b"LAYT", layt), (b"PRMS", prms), (b"LEAF", leaf)] {
+        out.extend_from_slice(tag);
+        out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        out.extend_from_slice(body);
+        out.extend_from_slice(&fnv1a64(body).to_le_bytes());
+    }
+    out
+}
+
+/// A duplicated leaf record — same key twice — must be rejected, not
+/// silently last-writer-wins loaded.
+#[test]
+fn duplicate_leaf_key_is_invalid_data() {
+    let buf = sample_checkpoint::<2>();
+    let (header, layt, prms, leaf) = split_v2(&buf);
+    let count = u64::from_le_bytes(leaf[..8].try_into().unwrap());
+    let record = (leaf.len() - 8) / count as usize;
+    let mut forged = (count + 1).to_le_bytes().to_vec();
+    forged.extend_from_slice(&leaf[8..8 + record]); // first record, twice
+    forged.extend_from_slice(&leaf[8..]);
+    let evil = join_v2(&header, &layt, &prms, &forged);
+    match load_grid::<2>(&mut evil.as_slice()) {
+        Ok(_) => panic!("duplicate leaf key loaded successfully"),
+        Err(e) => {
+            assert_eq!(e.kind(), ErrorKind::InvalidData);
+            assert!(e.to_string().contains("duplicate leaf key"), "{e}");
+        }
+    }
+}
+
+/// A leaf set missing one sibling is not a valid tree cut: rebuilding the
+/// topology produces a block with no saved data, which must be an error,
+/// not a silently zero-filled block.
+#[test]
+fn missing_sibling_leaf_is_invalid_data() {
+    let buf = sample_checkpoint::<2>();
+    let (header, layt, prms, leaf) = split_v2(&buf);
+    let count = u64::from_le_bytes(leaf[..8].try_into().unwrap());
+    let record = (leaf.len() - 8) / count as usize;
+    for drop_at in 0..count as usize {
+        let mut forged = (count - 1).to_le_bytes().to_vec();
+        forged.extend_from_slice(&leaf[8..8 + drop_at * record]);
+        forged.extend_from_slice(&leaf[8 + (drop_at + 1) * record..]);
+        let evil = join_v2(&header, &layt, &prms, &forged);
+        match load_grid::<2>(&mut evil.as_slice()) {
+            Ok(_) => panic!("dropping leaf record {drop_at} loaded successfully"),
+            Err(e) => assert_eq!(e.kind(), ErrorKind::InvalidData, "record {drop_at}: {e}"),
+        }
+    }
+}
+
 #[test]
 fn random_grids_roundtrip_bitwise() {
     // the dual of the corruption sweep: whatever world and topology the

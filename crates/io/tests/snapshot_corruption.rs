@@ -1,0 +1,291 @@
+//! Corruption fuzz for the content-addressed node format (DESIGN.md §14
+//! satellite): every truncation, bit flip, hash mismatch, and
+//! missing-node hole in a v3 archive must surface as
+//! `io::ErrorKind::InvalidData` — never a panic, never a silent partial
+//! load. The frame checksum catches raw stream damage; the per-node
+//! content hashes catch damage that *repairs* the frame checksum; the
+//! manifest validation catches holes, duplicates and reordering that
+//! preserve both.
+
+use std::io::ErrorKind;
+
+use ablock_core::balance::refine_ball_to_level;
+use ablock_core::prelude::*;
+use ablock_io::snapshot::{self, NodeHash, NodeStore};
+use ablock_io::{load_grid, write_snapshot};
+use ablock_testkit::cases;
+
+fn sample_grid<const D: usize>() -> BlockGrid<D> {
+    let layout = RootLayout::unit([2; D], Boundary::Periodic);
+    let mut g: BlockGrid<D> = BlockGrid::new(layout, GridParams::new([4; D], 2, 2, 2));
+    refine_ball_to_level(&mut g, [0.3; D], 0.2, 2, Transfer::None);
+    for id in g.block_ids() {
+        let mut seed = 1.0;
+        g.block_mut(id).field_mut().for_each_interior(|_, u| {
+            for x in u.iter_mut() {
+                seed += 1.0;
+                *x = seed;
+            }
+        });
+    }
+    g
+}
+
+fn sample_archive<const D: usize>() -> Vec<u8> {
+    let g = sample_grid::<D>();
+    let mut store = NodeStore::new();
+    let stats = write_snapshot(&mut store, &g, 4).unwrap();
+    let mut buf = Vec::new();
+    snapshot::write_archive::<D>(&mut buf, &store, stats.root).unwrap();
+    buf
+}
+
+fn assert_invalid<const D: usize>(bytes: &[u8], what: &str) {
+    match load_grid::<D>(&mut &bytes[..]) {
+        Ok(_) => panic!("{what}: corrupt archive loaded successfully"),
+        Err(e) => assert_eq!(
+            e.kind(),
+            ErrorKind::InvalidData,
+            "{what}: kind {:?} (msg: {e})",
+            e.kind()
+        ),
+    }
+}
+
+// ---- local wire knowledge for checksum-repairing attacks ----------------
+// The framing is a documented stable format (checkpoint.rs module docs):
+// header `magic|version|D`, then sections `tag[4] | len u64 | bytes |
+// fnv1a64(bytes)`. Re-deriving it here lets the tests forge frames whose
+// checksums are *valid*, so only the content hashes can catch the damage.
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Split a v3 archive into (header, NODE section bytes, ROOT section bytes).
+fn split_archive(buf: &[u8]) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+    let header = buf[..12].to_vec();
+    let mut off = 12;
+    let mut section = || {
+        let len = u64::from_le_bytes(buf[off + 4..off + 12].try_into().unwrap()) as usize;
+        let body = buf[off + 12..off + 12 + len].to_vec();
+        off += 12 + len + 8;
+        body
+    };
+    let nodes = section();
+    let root = section();
+    (header, nodes, root)
+}
+
+/// Reassemble an archive from parts, with fresh (valid) frame checksums.
+fn join_archive(header: &[u8], nodes: &[u8], root: &[u8]) -> Vec<u8> {
+    let mut out = header.to_vec();
+    for (tag, body) in [(b"NODE", nodes), (b"SROT", root)] {
+        out.extend_from_slice(tag);
+        out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        out.extend_from_slice(body);
+        out.extend_from_slice(&fnv1a64(body).to_le_bytes());
+    }
+    out
+}
+
+/// Iterate the node records in a NODE section body: (record range, hash
+/// range, byte-payload range).
+#[allow(clippy::type_complexity)]
+fn node_records(nodes: &[u8]) -> Vec<(std::ops::Range<usize>, std::ops::Range<usize>)> {
+    let count = u64::from_le_bytes(nodes[..8].try_into().unwrap()) as usize;
+    let mut out = Vec::with_capacity(count);
+    let mut off = 8;
+    for _ in 0..count {
+        let start = off;
+        let len = u64::from_le_bytes(nodes[off + 16..off + 24].try_into().unwrap()) as usize;
+        let payload = off + 24..off + 24 + len;
+        off += 24 + len;
+        out.push((start..off, payload));
+    }
+    assert_eq!(off, nodes.len(), "test helper out of sync with the wire format");
+    out
+}
+
+#[test]
+fn truncation_at_every_length_is_invalid_data() {
+    let buf = sample_archive::<2>();
+    for len in 0..buf.len() {
+        assert_invalid::<2>(&buf[..len], &format!("truncate to {len}"));
+    }
+}
+
+#[test]
+fn bit_flips_at_every_offset_never_panic_and_report_invalid_data() {
+    let buf = sample_archive::<2>();
+    for off in 0..buf.len() {
+        for bit in [0u8, 3, 7] {
+            let mut bad = buf.clone();
+            bad[off] ^= 1 << bit;
+            match load_grid::<2>(&mut bad.as_slice()) {
+                Err(e) => assert_eq!(
+                    e.kind(),
+                    ErrorKind::InvalidData,
+                    "flip bit {bit} at {off}: kind {:?} (msg: {e})",
+                    e.kind()
+                ),
+                Ok(_) => panic!("flip bit {bit} at {off} loaded successfully"),
+            }
+        }
+    }
+}
+
+/// Flip a bit inside every node payload and *repair the frame checksum*:
+/// the only line of defense left is the content hash, and it must hold
+/// for every node of every kind (leaf, index, root).
+#[test]
+fn checksum_repaired_payload_flips_fail_the_content_hash() {
+    let buf = sample_archive::<2>();
+    let (header, nodes, root) = split_archive(&buf);
+    for (i, (_, payload)) in node_records(&nodes).iter().enumerate() {
+        // three positions per node: first, middle, last byte
+        for pick in 0..3usize {
+            let off = match pick {
+                0 => payload.start,
+                1 => payload.start + (payload.end - payload.start) / 2,
+                _ => payload.end - 1,
+            };
+            let mut bad_nodes = nodes.clone();
+            bad_nodes[off] ^= 0x10;
+            let forged = join_archive(&header, &bad_nodes, &root);
+            assert_invalid::<2>(&forged, &format!("node {i} payload flip at {off}"));
+        }
+    }
+}
+
+/// Remove each node record wholesale (fixing the count and the frame
+/// checksum): a hole where any referenced node should be must be reported
+/// as a dangling reference, not silently skipped.
+#[test]
+fn missing_node_hole_is_invalid_data() {
+    let buf = sample_archive::<2>();
+    let (header, nodes, root) = split_archive(&buf);
+    let records = node_records(&nodes);
+    for (i, (record, _)) in records.iter().enumerate() {
+        let count = records.len() as u64 - 1;
+        let mut bad_nodes = count.to_le_bytes().to_vec();
+        bad_nodes.extend_from_slice(&nodes[8..record.start]);
+        bad_nodes.extend_from_slice(&nodes[record.end..]);
+        let forged = join_archive(&header, &bad_nodes, &root);
+        assert_invalid::<2>(&forged, &format!("drop node record {i}"));
+    }
+}
+
+/// Point the ROOT section at a hash that is not in the archive.
+#[test]
+fn dangling_root_reference_is_invalid_data() {
+    let buf = sample_archive::<2>();
+    let (header, nodes, _) = split_archive(&buf);
+    let bogus = [0xABu8; 16];
+    let forged = join_archive(&header, &nodes, &bogus);
+    assert_invalid::<2>(&forged, "dangling root");
+}
+
+/// Duplicate a node record but lie about its hash (claim a fresh address
+/// for old bytes): `insert_verified` must reject the claim.
+#[test]
+fn forged_hash_claim_is_invalid_data() {
+    let buf = sample_archive::<2>();
+    let (header, nodes, root) = split_archive(&buf);
+    let (record, _) = node_records(&nodes)[0].clone();
+    let mut bad_nodes = nodes.clone();
+    let mut dup = nodes[record.clone()].to_vec();
+    dup[0] ^= 0xFF; // clobber the claimed hash, keep the bytes
+    let count = node_records(&nodes).len() as u64 + 1;
+    bad_nodes[..8].copy_from_slice(&count.to_le_bytes());
+    bad_nodes.extend_from_slice(&dup);
+    let forged = join_archive(&header, &bad_nodes, &root);
+    assert_invalid::<2>(&forged, "forged hash claim");
+}
+
+#[test]
+fn seeded_multibyte_corruption_2d_and_3d() {
+    let buf2 = sample_archive::<2>();
+    let buf3 = sample_archive::<3>();
+    cases(150, 0x5EED_0018, |_, rng| {
+        let (buf, three) = if rng.coin() { (&buf3, true) } else { (&buf2, false) };
+        let mut bad = buf.clone();
+        let start = rng.usize_below(bad.len());
+        let len = rng.usize_in(1, 17).min(bad.len() - start);
+        for b in &mut bad[start..start + len] {
+            *b = rng.next_u64() as u8;
+        }
+        if rng.bool(0.3) {
+            let cut = rng.usize_below(bad.len());
+            bad.truncate(cut);
+        }
+        let what = format!("garbage {len}B at {start}");
+        if three {
+            assert_invalid::<3>(&bad, &what);
+        } else {
+            assert_invalid::<2>(&bad, &what);
+        }
+    });
+}
+
+/// Deleting nodes straight out of an in-memory store (a lost stripe on
+/// the backing storage rather than a damaged stream) is also a dangling
+/// reference, for every node in the closure.
+#[test]
+fn every_store_hole_is_a_dangling_reference() {
+    let g = sample_grid::<2>();
+    let mut store = NodeStore::new();
+    let stats = write_snapshot(&mut store, &g, 0).unwrap();
+    let mut archive = Vec::new();
+    snapshot::write_archive::<2>(&mut archive, &store, stats.root).unwrap();
+    let holes: Vec<NodeHash> = node_records(&split_archive(&archive).1)
+        .iter()
+        .map(|(record, _)| {
+            NodeHash(archive[12 + 12 + record.start..12 + 12 + record.start + 16].try_into().unwrap())
+        })
+        .collect();
+    for hole in holes {
+        // rebuild the store minus one node by re-reading the archive and
+        // filtering; NodeStore has no removal API (append-only), so
+        // reconstruct through the public surface
+        let (full, root) = snapshot::read_archive::<2>(&mut archive.as_slice()).unwrap();
+        let mut partial = NodeStore::new();
+        for (record, payload) in node_records(&split_archive(&archive).1) {
+            let h = NodeHash(
+                split_archive(&archive).1[record.start..record.start + 16].try_into().unwrap(),
+            );
+            if h != hole {
+                partial
+                    .insert_verified(h, split_archive(&archive).1[payload].to_vec())
+                    .unwrap();
+            }
+        }
+        assert_eq!(partial.len(), full.len() - 1);
+        let err = match snapshot::materialize::<2>(&partial, root) {
+            Err(e) => e,
+            Ok(_) => panic!("materialize with hole {hole:?} succeeded"),
+        };
+        assert_eq!(err.kind(), ErrorKind::InvalidData, "hole {hole:?}: {err}");
+        assert!(err.to_string().contains("dangling node reference"), "{err}");
+    }
+}
+
+#[test]
+fn uncorrupted_archives_roundtrip() {
+    // dual of the sweeps: pristine archives load exactly, 2-D and 3-D
+    let g2 = sample_grid::<2>();
+    let mut store = NodeStore::new();
+    let stats = write_snapshot(&mut store, &g2, 9).unwrap();
+    let mut buf = Vec::new();
+    snapshot::write_archive::<2>(&mut buf, &store, stats.root).unwrap();
+    let g = load_grid::<2>(&mut buf.as_slice()).unwrap();
+    ablock_core::verify::check_grid(&g).unwrap();
+    assert_eq!(g.num_blocks(), g2.num_blocks());
+    let m = snapshot::read_manifest::<2>(&store, stats.root).unwrap();
+    assert_eq!(m.step, 9);
+}

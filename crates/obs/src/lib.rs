@@ -68,6 +68,43 @@ pub mod phase {
     /// (nested under `ghost_fill`; the `flux` span it encloses is the
     /// overlapped interior sub-sweep).
     pub const OVERLAP: &str = "overlap";
+    /// Incremental snapshot write (leaf hashing + manifest build).
+    pub const SNAPSHOT: &str = "snapshot";
+    /// Post-failure state reconstruction (missing-node fetch + pour).
+    pub const RECOVER: &str = "recover";
+}
+
+/// Canonical counter names for the content-addressed snapshot layer and
+/// the delta-proportional recovery protocol (`ablock-par::recover`).
+/// Snapshot counters measure dedup efficacy (what an every-step cadence
+/// actually writes); recovery counters measure where a restarting rank's
+/// blocks came from — the acceptance criterion is `nodes_peer` +
+/// `nodes_store` ≈ lost blocks, with everything else served locally.
+pub mod counter {
+    /// Nodes newly written to the durable store by a snapshot.
+    pub const SNAP_NODES_NEW: &str = "snap.nodes_new";
+    /// Nodes a snapshot deduplicated against the store.
+    pub const SNAP_NODES_SHARED: &str = "snap.nodes_shared";
+    /// Bytes newly written to the durable store by a snapshot.
+    pub const SNAP_BYTES_NEW: &str = "snap.bytes_new";
+    /// Bytes a snapshot deduplicated (full-write cost avoided).
+    pub const SNAP_BYTES_SHARED: &str = "snap.bytes_shared";
+    /// Leaf nodes replicated to the ring buddy at checkpoint time.
+    pub const SNAP_REPLICA_NODES: &str = "snap.replica_nodes";
+    /// f64 values shipped to the ring buddy at checkpoint time.
+    pub const SNAP_REPLICA_VALUES: &str = "snap.replica_values";
+    /// Blocks a restarting rank restored from its own slot store.
+    pub const REC_NODES_LOCAL: &str = "recover.nodes_local";
+    /// Blocks fetched from a surviving peer during recovery.
+    pub const REC_NODES_PEER: &str = "recover.nodes_peer";
+    /// Blocks read from the durable store (peer miss / timeout / corrupt).
+    pub const REC_NODES_STORE: &str = "recover.nodes_store";
+    /// f64 values transferred from peers during recovery.
+    pub const REC_PEER_VALUES: &str = "recover.peer_values";
+    /// Peer fetches that timed out and fell back to the durable store.
+    pub const REC_FETCH_TIMEOUTS: &str = "recover.fetch_timeouts";
+    /// Peer responses rejected by the manifest content hash.
+    pub const REC_HASH_MISMATCH: &str = "recover.hash_mismatch";
 }
 
 /// Which clock a registry reads.

@@ -9,10 +9,15 @@
 //! draws, so runs terminate with probability 1 while remaining exactly
 //! reproducible for a given seed.
 //!
-//! The plan can also crash one rank at a chosen user-level communication
-//! op (`crash_rank`), modeling a hard process failure. The crash fires
-//! once per plan — a recovery restart with the same plan does not re-kill
-//! the (already re-ranked) machine.
+//! The plan can also crash ranks at chosen user-level communication ops
+//! (`crash_rank`), modeling hard process failures. Each crash site fires
+//! at most once per plan — a recovery restart with the same plan does not
+//! re-kill the (already re-ranked) machine. A site can additionally be
+//! pinned to a specific machine attempt (`crash_rank_on_attempt`):
+//! `Machine::run_with` bumps the plan's attempt counter at launch, so a
+//! site pinned to attempt 1 fires during the *first recovery* — including
+//! mid-fetch, while a restarting rank is pulling missing snapshot nodes
+//! from the very peer being killed.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
@@ -39,6 +44,16 @@ fn mix(mut z: u64) -> u64 {
 
 fn unit(x: u64) -> f64 {
     (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One planned rank crash: at `rank`'s `at_op`-th user-level comm op,
+/// optionally only during machine attempt `attempt` (0-based).
+#[derive(Debug)]
+struct CrashSite {
+    rank: usize,
+    at_op: u64,
+    attempt: Option<u64>,
+    fired: AtomicBool,
 }
 
 /// What the plan decided for one physical message.
@@ -86,8 +101,8 @@ pub struct FaultPlan {
     corrupt_p: f64,
     delay_p: f64,
     delay: Duration,
-    crash: Option<(usize, u64)>,
-    crash_fired: AtomicBool,
+    crashes: Vec<CrashSite>,
+    attempts: AtomicU64,
     dropped: AtomicU64,
     duplicated: AtomicU64,
     corrupted: AtomicU64,
@@ -106,8 +121,8 @@ impl FaultPlan {
             corrupt_p: 0.0,
             delay_p: 0.0,
             delay: Duration::ZERO,
-            crash: None,
-            crash_fired: AtomicBool::new(false),
+            crashes: Vec::new(),
+            attempts: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             duplicated: AtomicU64::new(0),
             corrupted: AtomicU64::new(0),
@@ -144,15 +159,37 @@ impl FaultPlan {
 
     /// Crash `rank` (panic, modeling a process death) when it issues its
     /// `at_op`-th user-level communication operation (0-based count over
-    /// send/recv/barrier/collective calls). Fires at most once per plan.
+    /// send/recv/barrier/collective calls), on whichever machine attempt
+    /// first reaches it. Each site fires at most once per plan; chain the
+    /// builder to schedule several crashes.
     pub fn crash_rank(mut self, rank: usize, at_op: u64) -> Self {
-        self.crash = Some((rank, at_op));
+        self.crashes.push(CrashSite { rank, at_op, attempt: None, fired: AtomicBool::new(false) });
         self
     }
 
-    /// The configured crash site, if any.
+    /// Like [`FaultPlan::crash_rank`], but the site only arms during
+    /// machine attempt `attempt` (0 = the initial launch, 1 = the first
+    /// recovery restart, …). Pinning a site to attempt ≥ 1 injects a
+    /// failure *during recovery itself*.
+    pub fn crash_rank_on_attempt(mut self, rank: usize, at_op: u64, attempt: u64) -> Self {
+        self.crashes.push(CrashSite {
+            rank,
+            at_op,
+            attempt: Some(attempt),
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// The first configured crash site `(rank, at_op)`, if any.
     pub fn crash_site(&self) -> Option<(usize, u64)> {
-        self.crash
+        self.crashes.first().map(|c| (c.rank, c.at_op))
+    }
+
+    /// Called by `Machine::run_with` at launch: advance the attempt
+    /// counter that gates [`FaultPlan::crash_rank_on_attempt`] sites.
+    pub(crate) fn begin_attempt(&self) {
+        self.attempts.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Snapshot of the injected-fault counters.
@@ -172,15 +209,23 @@ impl FaultPlan {
         self.delay
     }
 
-    /// True exactly once: when `rank`'s user-op counter hits the crash op.
+    /// True at most once per site: when `rank`'s user-op counter reaches
+    /// an armed crash op (respecting any attempt pin).
     pub(crate) fn should_crash(&self, rank: usize, op: u64) -> bool {
-        match self.crash {
-            Some((r, at)) if r == rank && op >= at => self
-                .crash_fired
-                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok(),
-            _ => false,
+        let attempt = self.attempts.load(Ordering::SeqCst).saturating_sub(1);
+        for site in &self.crashes {
+            if site.rank == rank
+                && op >= site.at_op
+                && site.attempt.is_none_or(|a| a == attempt)
+                && site
+                    .fired
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                return true;
+            }
         }
+        false
     }
 
     /// Decide the fate of one physical message. `counter` is the sending
@@ -281,6 +326,28 @@ mod tests {
         assert!(p.should_crash(2, 10));
         assert!(!p.should_crash(2, 10));
         assert!(!p.should_crash(2, 11));
+    }
+
+    #[test]
+    fn multiple_sites_fire_independently() {
+        let p = FaultPlan::new(0).crash_rank(1, 10).crash_rank(2, 5);
+        assert!(p.should_crash(2, 5));
+        assert!(p.should_crash(1, 10));
+        assert!(!p.should_crash(1, 10));
+        assert!(!p.should_crash(2, 6));
+    }
+
+    #[test]
+    fn attempt_pinned_site_waits_for_its_attempt() {
+        let p = FaultPlan::new(0).crash_rank_on_attempt(0, 3, 1);
+        p.begin_attempt(); // attempt 0
+        assert!(!p.should_crash(0, 3), "must not fire on attempt 0");
+        assert!(!p.should_crash(0, 99));
+        p.begin_attempt(); // attempt 1
+        assert!(p.should_crash(0, 3));
+        assert!(!p.should_crash(0, 3), "fires once");
+        p.begin_attempt(); // attempt 2
+        assert!(!p.should_crash(0, 3));
     }
 
     #[test]

@@ -15,8 +15,9 @@
 //!   regenerates the paper's Figs. 6–7 scaling shapes at any rank count;
 //! * [`fault`] — deterministic, seeded fault injection for the machine
 //!   (drop/delay/duplicate/corrupt messages, crash a rank at a chosen op);
-//! * [`recover`] — checkpoint-based recovery driver: periodic in-memory
-//!   checkpoints, rank-failure detection, restart on the survivors.
+//! * [`recover`] — incremental-checkpoint recovery driver: content-
+//!   addressed snapshots with buddy replication, rank-failure detection,
+//!   restart on the survivors with delta-proportional peer fetch.
 
 #![warn(missing_docs)]
 
@@ -39,5 +40,6 @@ pub use fault::{FaultPlan, FaultStats};
 pub use machine::{Comm, CommError, Machine, MachineConfig, MachineError, Msg, RankFailure};
 pub use recover::{
     run_resilient, run_resilient_with, RecoverConfig, RecoverError, RecoverOutcome,
+    RecoveryReport, SnapshotTotals,
 };
 pub use shared::{par_fill_ghosts, par_fill_ghosts_with, ParStepper};

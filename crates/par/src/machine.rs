@@ -271,7 +271,7 @@ fn install_quiet_hook() {
 }
 
 /// Unwind this rank with a structured failure (classified in `run`).
-fn die(failure: RankFailure) -> ! {
+pub(crate) fn die(failure: RankFailure) -> ! {
     QUIET_PANIC.with(|q| q.set(true));
     std::panic::panic_any(failure);
 }
@@ -956,6 +956,9 @@ impl Machine {
     {
         assert!(nranks >= 1);
         install_quiet_hook();
+        if let Some(fp) = &faults {
+            fp.begin_attempt();
+        }
         let reliable = cfg.reliable.unwrap_or(faults.is_some());
         let mut senders = Vec::with_capacity(nranks);
         let mut receivers = Vec::with_capacity(nranks);

@@ -1,40 +1,68 @@
-//! Checkpoint-based recovery: keep a distributed run alive through rank
-//! failures.
+//! Incremental-checkpoint recovery: keep a distributed run alive through
+//! rank failures, with recovery traffic proportional to *lost* state.
 //!
 //! [`run_resilient`] is a supervisor around `Machine::run_with`: it steps
-//! a [`DistSim`] for a fixed number of steps, writing a consistent
-//! in-memory checkpoint (via `ablock_io::checkpoint`) every
-//! `checkpoint_every` steps. When a rank dies — injected crash, panic,
-//! watchdog-detected deadlock — the machine run returns a `MachineError`
-//! naming it; the supervisor then **restarts from the last checkpoint on
-//! one fewer rank**, letting the existing SFC balancer redistribute the
-//! dead rank's blocks across the survivors, and continues the step loop.
+//! a [`DistSim`] for a fixed number of steps, writing a **content-
+//! addressed incremental snapshot** (via `ablock_io::snapshot`) every
+//! `checkpoint_every` steps. Each rank hashes its owned blocks' payloads
+//! into two node stores — the shared *durable* store (modeling stable
+//! storage) and its own in-memory *slot* store — and ships the
+//! newly-written nodes to its ring buddy (Schornbaum–Rüde partner
+//! replication). The `(key, hash, writer)` triples are allgathered and
+//! rank 0 folds them into a Merkle-style manifest whose root names the
+//! snapshot. Unchanged blocks dedup against the previous snapshot, so an
+//! every-step cadence writes only the delta.
+//!
+//! When a rank dies — injected crash, panic, watchdog-detected deadlock —
+//! the machine run returns a `MachineError` naming it; the supervisor
+//! retires that rank's slot and restarts on one fewer rank. Each
+//! surviving rank rebuilds the topology from the latest manifest,
+//! **keeps its own blocks** (sticky ownership by writer slot; its slot
+//! store already holds their payloads) and adopts an even share of the
+//! dead slot's blocks. Only those adopted blocks are missing, and they
+//! are fetched from the dead slot's ring buddy over the ordinary
+//! point-to-point protocol (reliable transport, timeouts and fault
+//! injection included), falling back to the durable store on a miss,
+//! timeout, or content-hash mismatch. Recovery traffic therefore scales
+//! with the dead rank's block count, not the grid size — see
+//! [`RecoveryReport`], which the supervisor returns per restart.
 //!
 //! The recovery guarantee mirrors what production AMR codes provide:
 //! the final state is the fault-free result *to checkpoint granularity* —
 //! steps since the last checkpoint are recomputed, not lost, and the
-//! recomputation is deterministic because every source of randomness is
-//! seeded and the step loop uses a fixed `dt`.
+//! recomputation is deterministic (bitwise, not just to roundoff) because
+//! snapshot encode/decode preserves `f64` bits, the backends are
+//! partition-independent, and every source of randomness is seeded.
 
-use std::sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use ablock_core::grid::BlockGrid;
+use ablock_core::key::BlockKey;
 use ablock_io::checkpoint;
+use ablock_io::snapshot::{self, content_hash, Manifest, NodeHash, NodeStore};
+use ablock_obs::counter;
 use ablock_solver::physics::Physics;
 use ablock_solver::SolverConfig;
 
 use crate::balance::Policy;
 use crate::dist::DistSim;
 use crate::fault::FaultPlan;
-use crate::machine::{Machine, MachineConfig, MachineError};
+use crate::machine::{die, Comm, CommError, Machine, MachineConfig, MachineError, RankFailure};
+
+/// Buddy replication of freshly-written snapshot nodes (ring neighbor).
+const TAG_SNAP: u64 = 1 << 43;
+/// Missing-node fetch responses, offset by the manifest entry index.
+const TAG_FETCH: u64 = 1 << 44;
 
 /// Settings for a resilient run.
 #[derive(Debug, Clone)]
 pub struct RecoverConfig {
-    /// Write a checkpoint every this many completed steps (0 = only the
+    /// Write a snapshot every this many completed steps (0 = only the
     /// implicit step-0 state, i.e. failures restart from scratch).
     pub checkpoint_every: usize,
-    /// Partitioner used at start and after every recovery.
+    /// Partitioner used at the initial launch (recovery keeps surviving
+    /// ranks' blocks sticky instead of repartitioning).
     pub policy: Policy,
     /// Timeouts for failure detection (`MachineConfig::fast()` in tests).
     pub machine: MachineConfig,
@@ -53,6 +81,54 @@ impl Default for RecoverConfig {
     }
 }
 
+/// Where a restarting collective's blocks came from, for one restart.
+/// Filled in by every rank that completes its recovery; an attempt that
+/// dies mid-recovery leaves a partial report (superseded by the next
+/// restart's).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Step of the snapshot the attempt resumed from.
+    pub from_step: usize,
+    /// Total blocks in the resumed snapshot.
+    pub total_blocks: u64,
+    /// Blocks restored from the owning rank's own slot store (no
+    /// traffic — the sticky-ownership fast path).
+    pub nodes_local: u64,
+    /// Blocks fetched from a surviving peer (the dead slot's buddy).
+    pub nodes_peer: u64,
+    /// Blocks read from the durable store (peer dead too, fetch timeout,
+    /// miss, or content-hash mismatch).
+    pub nodes_store: u64,
+    /// f64 values transferred from peers (`nodes_peer` × block payload).
+    pub peer_values: u64,
+    /// Peer fetches that timed out before the durable fallback.
+    pub fetch_timeouts: u64,
+    /// Peer responses rejected by the manifest content hash.
+    pub hash_mismatches: u64,
+}
+
+/// Aggregate snapshot-write accounting across the whole resilient run
+/// (all ranks, all attempts). `bytes_new + bytes_shared` is what a
+/// non-incremental writer would have written; `bytes_new` is what the
+/// incremental writer actually wrote.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotTotals {
+    /// Snapshots completed (manifest published).
+    pub snapshots: u64,
+    /// Nodes newly written to the durable store.
+    pub nodes_new: u64,
+    /// Nodes deduplicated against the durable store.
+    pub nodes_shared: u64,
+    /// Bytes newly written to the durable store.
+    pub bytes_new: u64,
+    /// Bytes deduplicated (write cost avoided).
+    pub bytes_shared: u64,
+    /// Leaf nodes shipped to ring buddies.
+    pub replica_nodes: u64,
+    /// f64 values shipped to ring buddies.
+    pub replica_values: u64,
+}
+
 /// What a successful resilient run produced.
 pub struct RecoverOutcome<const D: usize> {
     /// The final grid (full field data, gathered from all ranks).
@@ -63,6 +139,11 @@ pub struct RecoverOutcome<const D: usize> {
     pub final_nranks: usize,
     /// The machine errors that triggered each restart.
     pub failures: Vec<MachineError>,
+    /// Per-restart recovery traffic accounting (one entry per restart
+    /// that resumed from a snapshot).
+    pub recoveries: Vec<RecoveryReport>,
+    /// Snapshot-write accounting for the whole run.
+    pub snapshots: SnapshotTotals,
 }
 
 /// A resilient run that could not be completed.
@@ -92,16 +173,400 @@ impl std::fmt::Display for RecoverError {
 
 impl std::error::Error for RecoverError {}
 
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Supervisor-owned state that survives machine attempts: the durable
+/// node store (stable storage), one slot store per original rank
+/// (a rank's in-memory store persists exactly as long as the rank), and
+/// the latest published snapshot.
+struct Stores {
+    durable: Mutex<NodeStore>,
+    locals: Vec<Mutex<NodeStore>>,
+    /// `(completed steps, manifest root)` of the newest snapshot.
+    latest: Mutex<Option<(usize, NodeHash)>>,
+    totals: Mutex<SnapshotTotals>,
+}
+
+/// Pack `(hash, bytes)` node records into one f64 message for the buddy.
+fn pack_replicas(batch: &[(NodeHash, Vec<u8>)]) -> Vec<f64> {
+    let mut msg = vec![batch.len() as f64];
+    for (hash, bytes) in batch {
+        let [lo, hi] = hash.to_words();
+        msg.push(f64::from_bits(lo));
+        msg.push(f64::from_bits(hi));
+        msg.push(bytes.len() as f64);
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            msg.push(f64::from_bits(u64::from_le_bytes(w)));
+        }
+    }
+    msg
+}
+
+/// Unpack a buddy-replication message into the receiver's slot store.
+/// Replicas are an optimization, so malformed ones are dropped, not
+/// fatal; `insert_verified` keeps a corrupt replica from poisoning the
+/// store under a lying hash.
+fn unpack_replicas(store: &mut NodeStore, msg: &[f64]) {
+    let mut i = 1;
+    let count = msg.first().copied().unwrap_or(0.0) as usize;
+    for _ in 0..count {
+        if i + 3 > msg.len() {
+            return;
+        }
+        let hash = NodeHash::from_words([msg[i].to_bits(), msg[i + 1].to_bits()]);
+        let nbytes = msg[i + 2] as usize;
+        let nwords = nbytes.div_ceil(8);
+        i += 3;
+        if i + nwords > msg.len() {
+            return;
+        }
+        let mut bytes = Vec::with_capacity(nwords * 8);
+        for w in &msg[i..i + nwords] {
+            bytes.extend_from_slice(&w.to_bits().to_le_bytes());
+        }
+        bytes.truncate(nbytes);
+        i += nwords;
+        let _ = store.insert_verified(hash, bytes);
+    }
+}
+
+/// Write one incremental snapshot, collectively. Every rank hashes its
+/// owned blocks into the durable store and its own slot store, ships the
+/// nodes new to its slot store to the ring buddy, and allgathers
+/// `(key, hash, writer slot)`; rank 0 publishes the manifest.
+#[allow(clippy::too_many_arguments)]
+fn write_incremental_checkpoint<const D: usize, P: Physics>(
+    sim: &DistSim<D, P>,
+    comm: &Comm,
+    done: usize,
+    slots: &[usize],
+    stores: &Stores,
+    solver: &SolverConfig<P>,
+) {
+    let me = comm.rank();
+    let my_slot = slots[me];
+    let nranks = comm.nranks();
+    let m = &solver.metrics;
+
+    let mut replicas: Vec<(NodeHash, Vec<u8>)> = Vec::new();
+    let mut entry_msg: Vec<f64> = Vec::new();
+    {
+        let mut durable = lock(&stores.durable);
+        let mut local = lock(&stores.locals[my_slot]);
+        let mut totals = lock(&stores.totals);
+        for id in sim.owned_ids(me) {
+            let key = sim.grid.block(id).key();
+            let values = snapshot::leaf_values(&sim.grid, key)
+                .expect("owned block present in replicated grid");
+            let bytes = snapshot::encode_leaf(&values);
+            let len = bytes.len() as u64;
+            let (hash, new) = durable.insert(bytes.clone());
+            if new {
+                totals.nodes_new += 1;
+                totals.bytes_new += len;
+                m.incr(counter::SNAP_NODES_NEW, 1);
+                m.incr(counter::SNAP_BYTES_NEW, len);
+            } else {
+                totals.nodes_shared += 1;
+                totals.bytes_shared += len;
+                m.incr(counter::SNAP_NODES_SHARED, 1);
+                m.incr(counter::SNAP_BYTES_SHARED, len);
+            }
+            if local.insert(bytes.clone()).1 {
+                replicas.push((hash, bytes));
+            }
+            entry_msg.push(key.level as f64);
+            for d in 0..D {
+                entry_msg.push(key.coords[d] as f64);
+            }
+            let [lo, hi] = hash.to_words();
+            entry_msg.push(f64::from_bits(lo));
+            entry_msg.push(f64::from_bits(hi));
+            entry_msg.push(my_slot as f64);
+        }
+    }
+
+    // partner replication on the rank ring: everyone sends to its
+    // successor, then drains its predecessor (reliable transport pumps
+    // arrivals while blocked on acks, so the cycle cannot deadlock)
+    if nranks > 1 {
+        let nvals: u64 = replicas.iter().map(|(_, b)| b.len().div_ceil(8) as u64).sum();
+        let msg = pack_replicas(&replicas);
+        lock(&stores.totals).replica_nodes += replicas.len() as u64;
+        lock(&stores.totals).replica_values += nvals;
+        m.incr(counter::SNAP_REPLICA_NODES, replicas.len() as u64);
+        m.incr(counter::SNAP_REPLICA_VALUES, nvals);
+        comm.send((me + 1) % nranks, TAG_SNAP, msg);
+        let incoming = comm.recv((me + nranks - 1) % nranks, TAG_SNAP);
+        unpack_replicas(&mut lock(&stores.locals[my_slot]), &incoming);
+    }
+
+    // replicate the manifest entries and publish on rank 0
+    let gathered = comm.allgatherv(entry_msg);
+    if me == 0 {
+        let rec = 1 + D + 3;
+        let mut entries: Vec<(BlockKey<D>, NodeHash, u32)> = Vec::new();
+        for per_rank in &gathered {
+            for e in per_rank.chunks_exact(rec) {
+                let mut coords = [0i64; D];
+                for d in 0..D {
+                    coords[d] = e[1 + d] as i64;
+                }
+                let key = BlockKey::new(e[0] as u8, coords);
+                let hash = NodeHash::from_words([e[1 + D].to_bits(), e[2 + D].to_bits()]);
+                entries.push((key, hash, e[3 + D] as u32));
+            }
+        }
+        let ring: Vec<u32> = slots.iter().map(|&s| s as u32).collect();
+        let mut durable = lock(&stores.durable);
+        let stats = snapshot::build_manifest(
+            &mut durable,
+            sim.grid.layout(),
+            sim.grid.params(),
+            done as u64,
+            &ring,
+            &entries,
+        )
+        .expect("collectively-gathered manifest entries are well-formed");
+        let mut totals = lock(&stores.totals);
+        totals.snapshots += 1;
+        totals.nodes_new += stats.nodes_new;
+        totals.bytes_new += stats.bytes_new;
+        totals.nodes_shared += stats.nodes_shared;
+        totals.bytes_shared += stats.bytes_shared;
+        m.incr(counter::SNAP_NODES_NEW, stats.nodes_new);
+        m.incr(counter::SNAP_BYTES_NEW, stats.bytes_new);
+        m.incr(counter::SNAP_NODES_SHARED, stats.nodes_shared);
+        m.incr(counter::SNAP_BYTES_SHARED, stats.bytes_shared);
+        *lock(&stores.latest) = Some((done, stats.root));
+    }
+    // the manifest is published before anyone may proceed (and die)
+    comm.barrier();
+}
+
+/// Rebuild this rank's view of the latest snapshot: topology from the
+/// manifest, sticky ownership by writer slot (dead slots round-robined
+/// over the survivors), payloads from the slot store / peers / durable
+/// store. Collective. Returns the ready `DistSim` and the resumed step.
+#[allow(clippy::too_many_arguments)]
+fn resume_from_snapshot<const D: usize, P: Physics + Clone>(
+    comm: &Comm,
+    manifest: &Manifest<D>,
+    from_step: usize,
+    slots: &[usize],
+    stores: &Stores,
+    cfg: &RecoverConfig,
+    solver: SolverConfig<P>,
+    tally: &Mutex<RecoveryReport>,
+) -> DistSim<D, P> {
+    let me = comm.rank();
+    let my_slot = slots[me];
+    let nranks = comm.nranks();
+    let m = &solver.metrics;
+    let per_leaf = manifest.values_per_leaf();
+
+    let mut grid = manifest
+        .build_topology()
+        .expect("durable snapshot manifest must rebuild");
+
+    // sticky ownership: writer slot → its surviving rank; blocks of dead
+    // slots are dealt round-robin over all current ranks (deterministic:
+    // manifest entries are key-sorted and identical everywhere)
+    let slot_to_rank: HashMap<u32, usize> =
+        slots.iter().enumerate().map(|(r, s)| (*s as u32, r)).collect();
+    let mut rr = 0usize;
+    let owner_of: Vec<usize> = manifest
+        .entries
+        .iter()
+        .map(|e| match slot_to_rank.get(&e.writer) {
+            Some(&r) => r,
+            None => {
+                let r = rr % nranks;
+                rr += 1;
+                r
+            }
+        })
+        .collect();
+
+    // Restore owned payloads from this rank's slot store; queue the rest.
+    // Non-owned blocks stay zero: mirrors are only ever read after a halo
+    // exchange or gather writes them.
+    let mut report = RecoveryReport {
+        from_step,
+        total_blocks: manifest.entries.len() as u64,
+        ..RecoveryReport::default()
+    };
+    let mut requests: Vec<(usize, usize)> = Vec::new(); // (entry idx, serving rank)
+    let mut orphans: Vec<usize> = Vec::new(); // no live peer holds these
+    {
+        let local = lock(&stores.locals[my_slot]);
+        for (idx, e) in manifest.entries.iter().enumerate() {
+            if owner_of[idx] != me {
+                continue;
+            }
+            if let Some(bytes) = local.get(e.hash) {
+                let values = snapshot::decode_leaf(bytes, per_leaf)
+                    .expect("slot-store nodes are hash-verified on insert");
+                snapshot::pour_leaf(&mut grid, e.key, &values).expect("manifest key in topology");
+                report.nodes_local += 1;
+                continue;
+            }
+            // writer first (it may be alive but this block was re-dealt),
+            // then its ring buddy — the replica holder
+            let ring = &manifest.writer_ring;
+            let buddy = ring
+                .iter()
+                .position(|&s| s == e.writer)
+                .map(|p| ring[(p + 1) % ring.len()]);
+            let serve = [Some(e.writer), buddy]
+                .into_iter()
+                .flatten()
+                .find_map(|s| slot_to_rank.get(&s).copied().filter(|&r| r != me));
+            match serve {
+                Some(rank) => requests.push((idx, rank)),
+                None => orphans.push(idx),
+            }
+        }
+        m.incr(counter::REC_NODES_LOCAL, report.nodes_local);
+    }
+    // orphan fallback outside the slot-store lock scope: fetch_durable
+    // re-locks this rank's slot store to cache what it reads
+    for idx in orphans {
+        fetch_durable(&mut grid, manifest, idx, stores, my_slot, per_leaf);
+        report.nodes_store += 1;
+        m.incr(counter::REC_NODES_STORE, 1);
+    }
+
+    // announce who needs what from whom, then serve before receiving —
+    // this is the `missing_parts` exchange, over the ordinary reliable
+    // point-to-point protocol (fault injection and all)
+    let ann: Vec<f64> =
+        requests.iter().flat_map(|&(idx, rank)| [rank as f64, idx as f64]).collect();
+    let all_ann = comm.allgatherv(ann);
+    {
+        let local = lock(&stores.locals[my_slot]);
+        for (requester, pairs) in all_ann.iter().enumerate() {
+            if requester == me {
+                continue;
+            }
+            for pair in pairs.chunks_exact(2) {
+                if pair[0] as usize != me {
+                    continue;
+                }
+                let idx = pair[1] as usize;
+                let resp = manifest
+                    .entries
+                    .get(idx)
+                    .and_then(|e| local.get(e.hash))
+                    .and_then(|bytes| snapshot::decode_leaf(bytes, per_leaf).ok())
+                    .map(|values| {
+                        let mut r = vec![1.0];
+                        r.extend_from_slice(&values);
+                        r
+                    })
+                    .unwrap_or_else(|| vec![0.0]); // miss marker
+                comm.send(requester, TAG_FETCH + idx as u64, resp);
+            }
+        }
+    }
+    for &(idx, serve) in &requests {
+        let e = &manifest.entries[idx];
+        let fetched = match comm.recv_timeout(serve, TAG_FETCH + idx as u64, cfg.machine.watchdog)
+        {
+            Ok(resp) if resp.first() == Some(&1.0) && resp.len() == 1 + per_leaf => {
+                let bytes = snapshot::encode_leaf(&resp[1..]);
+                if content_hash(&bytes) == e.hash {
+                    snapshot::pour_leaf(&mut grid, e.key, &resp[1..])
+                        .expect("manifest key in topology");
+                    lock(&stores.locals[my_slot]).insert(bytes);
+                    report.nodes_peer += 1;
+                    report.peer_values += per_leaf as u64;
+                    m.incr(counter::REC_NODES_PEER, 1);
+                    m.incr(counter::REC_PEER_VALUES, per_leaf as u64);
+                    true
+                } else {
+                    report.hash_mismatches += 1;
+                    m.incr(counter::REC_HASH_MISMATCH, 1);
+                    false
+                }
+            }
+            Ok(_) => false, // miss marker or malformed response
+            Err(CommError::Timeout { .. }) => {
+                report.fetch_timeouts += 1;
+                m.incr(counter::REC_FETCH_TIMEOUTS, 1);
+                false
+            }
+            // another rank died mid-recovery: fail this attempt properly
+            Err(CommError::Aborted) => die(RankFailure::Aborted),
+        };
+        if !fetched {
+            fetch_durable(&mut grid, manifest, idx, stores, my_slot, per_leaf);
+            report.nodes_store += 1;
+            m.incr(counter::REC_NODES_STORE, 1);
+        }
+    }
+
+    {
+        let mut t = lock(tally);
+        t.from_step = report.from_step;
+        t.total_blocks = report.total_blocks;
+        t.nodes_local += report.nodes_local;
+        t.nodes_peer += report.nodes_peer;
+        t.nodes_store += report.nodes_store;
+        t.peer_values += report.peer_values;
+        t.fetch_timeouts += report.fetch_timeouts;
+        t.hash_mismatches += report.hash_mismatches;
+    }
+
+    let owner = manifest
+        .entries
+        .iter()
+        .zip(&owner_of)
+        .map(|(e, &rank)| (grid.find(e.key).expect("manifest key in topology"), rank))
+        .collect();
+    DistSim::new(grid, owner, solver)
+}
+
+/// Last-resort payload source: the durable store holds every node of the
+/// published snapshot by construction.
+fn fetch_durable<const D: usize>(
+    grid: &mut BlockGrid<D>,
+    manifest: &Manifest<D>,
+    idx: usize,
+    stores: &Stores,
+    my_slot: usize,
+    per_leaf: usize,
+) {
+    let e = &manifest.entries[idx];
+    let bytes = {
+        let durable = lock(&stores.durable);
+        durable
+            .get(e.hash)
+            .expect("durable store holds every node of the published snapshot")
+            .to_vec()
+    };
+    let values = snapshot::decode_leaf(&bytes, per_leaf)
+        .expect("durable-store nodes are well-formed by construction");
+    snapshot::pour_leaf(grid, e.key, &values).expect("manifest key in topology");
+    lock(&stores.locals[my_slot]).insert(bytes);
+}
+
 /// Step a distributed simulation for `steps` steps of size `dt`,
-/// surviving rank failures by restarting from the last checkpoint on
-/// `nranks - 1` ranks (graceful degradation down to a single rank).
+/// surviving rank failures by restarting from the last incremental
+/// snapshot on `nranks - 1` ranks (graceful degradation down to a single
+/// rank).
 ///
 /// `make_grid` builds the initial condition; it runs once per attempt on
 /// every rank, so it must be deterministic. The returned grid holds the
 /// full final state regardless of how many recoveries happened. The
 /// [`SolverConfig`]'s metric sink (if recording) is installed on every
-/// rank's comm endpoint, so rank-qualified traffic counters survive into
-/// the supervisor's registry across restarts.
+/// rank's comm endpoint and receives the `snap.*` / `recover.*` counters,
+/// so dedup efficacy and recovery traffic are observable alongside the
+/// rank-qualified `comm.*` counters.
 pub fn run_resilient<const D: usize, P>(
     nranks: usize,
     steps: usize,
@@ -139,44 +604,60 @@ where
     P: Physics + Clone + Send + Sync,
 {
     assert!(nranks >= 1);
-    // (steps completed, serialized grid) — written by rank 0 of a healthy
-    // collective, read by every rank of a restart.
-    let slot: Mutex<Option<(usize, Vec<u8>)>> = Mutex::new(None);
-    let mut ranks_now = nranks;
+    let stores = Stores {
+        durable: Mutex::new(NodeStore::new()),
+        locals: (0..nranks).map(|_| Mutex::new(NodeStore::new())).collect(),
+        latest: Mutex::new(None),
+        totals: Mutex::new(SnapshotTotals::default()),
+    };
+    // surviving original slots, in machine-rank order for this attempt
+    let mut slots: Vec<usize> = (0..nranks).collect();
     let mut restarts = 0usize;
     let mut failures: Vec<MachineError> = Vec::new();
+    let mut recoveries: Vec<RecoveryReport> = Vec::new();
     loop {
         let solver = solver.clone();
+        let ranks_now = slots.len();
+        let slots_now = slots.clone();
+        let tally: Mutex<RecoveryReport> = Mutex::new(RecoveryReport::default());
+        let resumed = lock(&stores.latest).map(|(step, root)| {
+            let durable = lock(&stores.durable);
+            let manifest = snapshot::read_manifest::<D>(&durable, root)
+                .expect("durable snapshot manifest must decode");
+            (step, manifest)
+        });
         let attempt = Machine::run_with(cfg.machine.clone(), faults.clone(), ranks_now, |comm| {
             comm.install_metrics(&solver.metrics);
-            let (start_step, grid) = {
-                let guard = slot.lock().unwrap_or_else(|p| p.into_inner());
-                match &*guard {
-                    Some((step, bytes)) => {
-                        let g = checkpoint::load_grid::<D>(&mut bytes.as_slice())
-                            .expect("in-memory checkpoint must decode");
-                        (*step, g)
-                    }
-                    None => (0, make_grid()),
+            let (start_step, mut sim) = match &resumed {
+                Some((step, manifest)) => {
+                    let sim = resume_from_snapshot(
+                        &comm,
+                        manifest,
+                        *step,
+                        &slots_now,
+                        &stores,
+                        &cfg,
+                        solver.clone(),
+                        &tally,
+                    );
+                    (*step, sim)
+                }
+                None => {
+                    let sim = DistSim::partitioned(
+                        make_grid(),
+                        comm.nranks(),
+                        cfg.policy,
+                        solver.clone(),
+                    );
+                    (0, sim)
                 }
             };
-            let mut sim = DistSim::partitioned(grid, comm.nranks(), cfg.policy, solver.clone());
             for step in start_step..steps {
                 sim.step_rk2(&comm, dt);
                 let done = step + 1;
                 on_step(&mut sim, &comm, done);
                 if cfg.checkpoint_every > 0 && done % cfg.checkpoint_every == 0 && done < steps {
-                    // gather_full is a collective: when rank 0 completes it,
-                    // it holds a consistent snapshot of step `done` even if
-                    // peers die immediately afterwards.
-                    sim.gather_full(&comm);
-                    if comm.rank() == 0 {
-                        let mut bytes = Vec::new();
-                        checkpoint::save_grid(&mut bytes, &sim.grid)
-                            .expect("writing to a Vec cannot fail");
-                        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some((done, bytes));
-                    }
-                    comm.barrier();
+                    write_incremental_checkpoint(&sim, &comm, done, &slots_now, &stores, &solver);
                 }
             }
             sim.gather_full(&comm);
@@ -189,6 +670,9 @@ where
                 None
             }
         });
+        if resumed.is_some() {
+            recoveries.push(*lock(&tally));
+        }
         match attempt {
             Ok(results) => {
                 let bytes = results
@@ -198,17 +682,26 @@ where
                     .expect("rank 0 returns the final state");
                 let grid =
                     checkpoint::load_grid::<D>(&mut bytes.as_slice()).map_err(RecoverError::Io)?;
-                return Ok(RecoverOutcome { grid, restarts, final_nranks: ranks_now, failures });
+                return Ok(RecoverOutcome {
+                    grid,
+                    restarts,
+                    final_nranks: ranks_now,
+                    failures,
+                    recoveries,
+                    snapshots: *lock(&stores.totals),
+                });
             }
             Err(err) => {
                 restarts += 1;
                 if restarts > cfg.max_restarts || ranks_now <= 1 {
                     return Err(RecoverError::Unrecoverable { last: err, restarts: restarts - 1 });
                 }
+                // graceful degradation: retire the dead rank's slot; its
+                // blocks are re-dealt to the survivors on resume and its
+                // slot store is never read again (the ring buddy serves
+                // its replicas)
+                slots.remove(err.rank);
                 failures.push(err);
-                // graceful degradation: the dead rank's blocks go to the
-                // survivors via the partitioner on the next attempt
-                ranks_now -= 1;
             }
         }
     }

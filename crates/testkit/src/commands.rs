@@ -33,7 +33,10 @@ use ablock_core::key::BlockKey;
 use ablock_core::layout::{Boundary, RootLayout};
 use ablock_core::ops::ProlongOrder;
 use ablock_core::verify::check_grid;
-use ablock_io::{load_grid, save_grid};
+use ablock_io::{
+    load_grid, materialize, read_archive, save_grid, write_archive, write_snapshot, NodeHash,
+    NodeStore,
+};
 use ablock_par::ParStepper;
 use ablock_solver::{total_conserved, Euler, Scheme, SolverConfig, Stepper};
 
@@ -103,6 +106,12 @@ pub enum FuzzCmd {
         /// Whether the parallel stepper overlaps comm and compute.
         overlap: bool,
     },
+    /// Content-addressed snapshot into the harness's persistent
+    /// [`NodeStore`]: write, re-write (must be fully deduplicated and
+    /// produce the identical root), materialize back bitwise, archive
+    /// roundtrip, then continue on the *materialized* grid. Prior roots
+    /// stay resolvable in the append-only store.
+    Snapshot,
     /// Test-only invariant break (`BlockGrid::testonly_corrupt_face`);
     /// the oracle stack must catch it on the same command. Never
     /// generated unless [`FuzzConfig::sabotage`] is set.
@@ -111,7 +120,7 @@ pub enum FuzzCmd {
 
 /// Format a script as the compact text form accepted by [`parse_script`]:
 /// `R<r>` `C<r>` `A<seed>:<density>` `M<seed>:<0|1>` `K` `G` `S` `O` `N`
-/// `X`, space-separated, seeds in hex.
+/// `P` `X`, space-separated, seeds in hex.
 pub fn format_script(cmds: &[FuzzCmd]) -> String {
     let words: Vec<String> = cmds
         .iter()
@@ -127,6 +136,7 @@ pub fn format_script(cmds: &[FuzzCmd]) -> String {
             FuzzCmd::Step => "S".to_string(),
             FuzzCmd::StepPar { overlap: true } => "O".to_string(),
             FuzzCmd::StepPar { overlap: false } => "N".to_string(),
+            FuzzCmd::Snapshot => "P".to_string(),
             FuzzCmd::Sabotage => "X".to_string(),
         })
         .collect();
@@ -172,6 +182,7 @@ pub fn parse_script(s: &str) -> Result<Vec<FuzzCmd>, String> {
             "S" if rest.is_empty() => FuzzCmd::Step,
             "O" if rest.is_empty() => FuzzCmd::StepPar { overlap: true },
             "N" if rest.is_empty() => FuzzCmd::StepPar { overlap: false },
+            "P" if rest.is_empty() => FuzzCmd::Snapshot,
             "X" if rest.is_empty() => FuzzCmd::Sabotage,
             _ => return Err(format!("unknown command {w:?}")),
         };
@@ -339,6 +350,48 @@ struct Harness<const D: usize> {
     par_on: Option<ParStepper<D, Euler<D>>>,
     par_off: Option<ParStepper<D, Euler<D>>>,
     last_epoch: u64,
+    /// Append-only content-addressed store shared by every
+    /// [`FuzzCmd::Snapshot`] in the script (so successive snapshots dedup
+    /// against each other).
+    store: NodeStore,
+    snap_step: u64,
+    last_root: Option<NodeHash>,
+}
+
+/// Bitwise interior comparison of a reconstructed grid against the
+/// original — same leaves, same `f64` bits in every interior cell.
+fn assert_bitwise<const D: usize>(
+    original: &BlockGrid<D>,
+    loaded: &BlockGrid<D>,
+    what: &str,
+) -> Result<(), String> {
+    for (_, node) in original.blocks() {
+        let lid = loaded
+            .find(node.key())
+            .ok_or_else(|| format!("leaf {:?} lost in {what}", node.key()))?;
+        let lf = loaded.block(lid).field();
+        let of = node.field();
+        for c in of.shape().interior_box().iter() {
+            for v in 0..of.shape().nvar {
+                if of.at(c, v).to_bits() != lf.at(c, v).to_bits() {
+                    return Err(format!(
+                        "{what} not bitwise at {:?} cell {c:?} var {v}: {:.17e} != {:.17e}",
+                        node.key(),
+                        of.at(c, v),
+                        lf.at(c, v)
+                    ));
+                }
+            }
+        }
+    }
+    if loaded.num_blocks() != original.num_blocks() {
+        return Err(format!(
+            "{what} changed leaf count: {} -> {}",
+            original.num_blocks(),
+            loaded.num_blocks()
+        ));
+    }
+    Ok(())
 }
 
 fn fresh_stepper<const D: usize>() -> Stepper<D, Euler<D>> {
@@ -359,6 +412,9 @@ impl<const D: usize> Harness<D> {
             par_on: None,
             par_off: None,
             last_epoch,
+            store: NodeStore::new(),
+            snap_step: 0,
+            last_root: None,
         }
     }
 
@@ -515,33 +571,7 @@ impl<const D: usize> Harness<D> {
                 save_grid(&mut buf, &self.grid).map_err(|e| format!("save_grid: {e}"))?;
                 let loaded: BlockGrid<D> = load_grid(&mut buf.as_slice())
                     .map_err(|e| format!("load_grid: {e}"))?;
-                for (_, node) in self.grid.blocks() {
-                    let lid = loaded.find(node.key()).ok_or_else(|| {
-                        format!("leaf {:?} lost in checkpoint roundtrip", node.key())
-                    })?;
-                    let lf = loaded.block(lid).field();
-                    let of = node.field();
-                    for c in of.shape().interior_box().iter() {
-                        for v in 0..of.shape().nvar {
-                            if of.at(c, v).to_bits() != lf.at(c, v).to_bits() {
-                                return Err(format!(
-                                    "checkpoint roundtrip not bitwise at {:?} cell {c:?} var {v}: \
-                                     {:.17e} != {:.17e}",
-                                    node.key(),
-                                    of.at(c, v),
-                                    lf.at(c, v)
-                                ));
-                            }
-                        }
-                    }
-                }
-                if loaded.num_blocks() != self.grid.num_blocks() {
-                    return Err(format!(
-                        "checkpoint roundtrip changed leaf count: {} -> {}",
-                        self.grid.num_blocks(),
-                        loaded.num_blocks()
-                    ));
-                }
+                assert_bitwise(&self.grid, &loaded, "checkpoint roundtrip")?;
                 // Continue on the loaded grid. Its epoch counter restarted
                 // with the reconstruction, and per-instance caches must not
                 // carry over (a fresh grid's epoch can coincidentally match).
@@ -657,6 +687,59 @@ impl<const D: usize> Harness<D> {
                     }
                 }
             }
+            FuzzCmd::Snapshot => {
+                self.snap_step += 1;
+                let stats = write_snapshot(&mut self.store, &self.grid, self.snap_step)
+                    .map_err(|e| format!("write_snapshot: {e}"))?;
+                // idempotence + full dedup: the identical state at the
+                // identical step must hash to the identical root and add
+                // nothing to the store
+                let again = write_snapshot(&mut self.store, &self.grid, self.snap_step)
+                    .map_err(|e| format!("re-snapshot: {e}"))?;
+                if again.root != stats.root || again.nodes_new != 0 || again.bytes_new != 0 {
+                    return Err(format!(
+                        "re-snapshot of identical state not fully shared: \
+                         {stats:?} then {again:?}"
+                    ));
+                }
+                // the store is append-only: earlier roots stay resolvable
+                if let Some(prev) = self.last_root {
+                    if !self.store.contains(prev) {
+                        return Err(format!("prior snapshot root {prev:?} evicted"));
+                    }
+                    materialize::<D>(&self.store, prev)
+                        .map_err(|e| format!("prior root no longer materializes: {e}"))?;
+                }
+                let loaded = materialize::<D>(&self.store, stats.root)
+                    .map_err(|e| format!("materialize: {e}"))?;
+                assert_bitwise(&self.grid, &loaded, "snapshot materialize")?;
+                // archive roundtrip: the reachable closure alone must
+                // rebuild the same state in a fresh store
+                let mut buf = Vec::new();
+                write_archive::<D>(&mut buf, &self.store, stats.root)
+                    .map_err(|e| format!("write_archive: {e}"))?;
+                let (unpacked, root) = read_archive::<D>(&mut buf.as_slice())
+                    .map_err(|e| format!("read_archive: {e}"))?;
+                if root != stats.root {
+                    return Err(format!(
+                        "archive changed the root: {:?} -> {root:?}",
+                        stats.root
+                    ));
+                }
+                let reloaded = materialize::<D>(&unpacked, root)
+                    .map_err(|e| format!("materialize from archive: {e}"))?;
+                assert_bitwise(&self.grid, &reloaded, "archive roundtrip")?;
+                self.last_root = Some(stats.root);
+                // continue on the materialized grid, like Checkpoint
+                self.grid = loaded;
+                self.exchange = None;
+                self.stepper = None;
+                self.par_on = None;
+                self.par_off = None;
+                self.model = RefModel::from_grid(&self.grid);
+                self.last_epoch = self.grid.epoch();
+                return self.post_check(true);
+            }
             FuzzCmd::Sabotage => {
                 self.grid.testonly_corrupt_face(0);
             }
@@ -706,8 +789,10 @@ pub fn gen_script(seed: u64, max_cmds: usize, sabotage: bool) -> Vec<FuzzCmd> {
                 FuzzCmd::StepPar { overlap: true }
             } else if roll < 0.89 {
                 FuzzCmd::StepPar { overlap: false }
-            } else if roll < 0.95 {
+            } else if roll < 0.92 {
                 FuzzCmd::Checkpoint
+            } else if roll < 0.95 {
+                FuzzCmd::Snapshot
             } else {
                 FuzzCmd::Remask { seed: rng.next_u64(), masked: rng.coin() }
             }
@@ -825,11 +910,12 @@ mod tests {
             FuzzCmd::Step,
             FuzzCmd::StepPar { overlap: true },
             FuzzCmd::StepPar { overlap: false },
+            FuzzCmd::Snapshot,
             FuzzCmd::Sabotage,
         ];
         let text = format_script(&script);
         assert_eq!(parse_script(&text).unwrap(), script);
-        assert_eq!(text, "R17 C3 Adeadbeef:12 Mf00:1 K G S O N X");
+        assert_eq!(text, "R17 C3 Adeadbeef:12 Mf00:1 K G S O N P X");
     }
 
     #[test]
@@ -840,6 +926,7 @@ mod tests {
         assert!(parse_script("K7").is_err());
         assert!(parse_script("O7").is_err());
         assert!(parse_script("N1").is_err());
+        assert!(parse_script("P2").is_err());
     }
 
     #[test]
@@ -889,6 +976,25 @@ mod tests {
                 FuzzCmd::Step,
                 FuzzCmd::Adapt { seed: 0xA11CE, density: 20 },
                 FuzzCmd::StepPar { overlap: true },
+            ],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn snapshot_command_dedups_and_roundtrips() {
+        // successive P commands share the persistent store; structural and
+        // stepping commands in between change what the snapshots capture
+        run_script::<2>(
+            0x5EED_0013,
+            &[
+                FuzzCmd::Refine(3),
+                FuzzCmd::Snapshot,
+                FuzzCmd::Snapshot,
+                FuzzCmd::Step,
+                FuzzCmd::Snapshot,
+                FuzzCmd::Adapt { seed: 0xA11CE, density: 20 },
+                FuzzCmd::Snapshot,
             ],
         )
         .unwrap();
