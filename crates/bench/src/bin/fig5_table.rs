@@ -13,9 +13,15 @@
 //! * the padding ablation at 12³ and the sub-blocking comparison 32³ vs
 //!   2×16³ (ABL-6).
 //!
+//! Since the structure-of-arrays refactor it also prints the recorded
+//! pre-refactor AoS baseline next to every measured point, writes the
+//! before/after table to `BENCH_fig5.json`, and fails (exit 1) if the
+//! median SoA time per cell at 16³ regresses past the AoS baseline —
+//! that is the CI smoke gate.
+//!
 //! Run with `--quick` for a fast smoke pass.
 
-use ablock_bench::{measure_ns_per_cell, mhd_grid_3d};
+use ablock_bench::{measure_ns_per_cell, measure_ns_per_cell_min, mhd_grid_3d};
 use ablock_celltree::{step_fv, CellTree};
 use ablock_core::layout::{Boundary, RootLayout};
 use ablock_io::{fmt_g, Table};
@@ -24,13 +30,56 @@ use ablock_solver::kernel::Scheme;
 use ablock_solver::mhd::IdealMhd;
 use ablock_solver::physics::Physics;
 
+/// Pre-refactor baseline: ns per cell measured by this same harness (full
+/// run, 48³ domain, identical rep counts) with the old array-of-structures
+/// field layout (`idx = cell * nvar + v`), immediately before the
+/// structure-of-arrays refactor landed. Frozen here so every rerun reports
+/// before/after on the same axis.
+const AOS_NS_PER_CELL: &[(i64, f64)] = &[
+    (2, 1081.1590),
+    (4, 923.8346),
+    (6, 524.7803),
+    (8, 448.6799),
+    (12, 404.1920),
+    (16, 393.8130),
+    (24, 398.3129),
+    (32, 388.4141),
+    (48, 424.6038),
+];
+
+fn aos_ns(m: i64) -> Option<f64> {
+    AOS_NS_PER_CELL.iter().find(|&&(s, _)| s == m).map(|&(_, v)| v)
+}
+
+/// `(min, median)` ns/cell over `rounds` independent rounds, each on a
+/// freshly built grid. Single samples on a shared host swing by 20–30%
+/// (first touch, neighbor load). External interference only ever adds
+/// time, so the minimum is the best estimator of the true kernel cost;
+/// the median is the conservative statistic the CI gate asserts on.
+fn sample_ns(
+    rounds: usize,
+    reps: usize,
+    build: impl Fn() -> ablock_core::grid::BlockGrid<3>,
+    phys: &IdealMhd,
+    scheme: Scheme,
+) -> (f64, f64) {
+    let mut samples: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let mut g = build();
+            measure_ns_per_cell_min(&mut g, phys, scheme, reps)
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    (samples[0], samples[rounds / 2])
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let mhd = IdealMhd::new(5.0 / 3.0);
     // hold the domain near 48^3 cells: roots per axis = round(48/m)
     let domain = if quick { 24 } else { 48 };
     let sizes: &[i64] = if quick {
-        &[2, 4, 8, 12, 16, 24]
+        &[2, 4, 8, 12, 16, 24, 32]
     } else {
         &[2, 4, 6, 8, 12, 16, 24, 32, 48]
     };
@@ -46,30 +95,70 @@ fn main() {
 
     let mut table = Table::new(
         "FIG5: 3-D ideal MHD (MUSCL + Rusanov), time per cell vs cells per block",
-        &["block", "cells/blk", "blocks", "total cells", "ns/cell", "speedup vs 2^3"],
+        &["block", "blocks", "total cells", "SoA ns/cell", "AoS ns/cell", "vs AoS", "vs 2^3"],
     );
     let mut base_ns = None;
     let mut ns_16 = None;
+    // (m, blocks, cells, soa_min_ns, soa_median_ns) per sweep point
+    let mut sweep: Vec<(i64, usize, usize, f64, f64)> = Vec::new();
+    let rounds = if quick { 1 } else { 5 };
     for &m in sizes {
         let r = (domain / m).max(1);
-        let mut grid = mhd_grid_3d([r, r, r], m, 0, 0);
-        let ns = measure_ns_per_cell(&mut grid, &mhd, Scheme::muscl_rusanov(), reps(m));
+        let grid = mhd_grid_3d([r, r, r], m, 0, 0);
+        let (nb, nc) = (grid.num_blocks(), grid.num_cells());
+        drop(grid);
+        let (ns, ns_med) = sample_ns(
+            rounds,
+            reps(m),
+            || mhd_grid_3d([r, r, r], m, 0, 0),
+            &mhd,
+            Scheme::muscl_rusanov(),
+        );
         let base = *base_ns.get_or_insert(ns);
         if m == 16 {
             ns_16 = Some(ns);
         }
+        sweep.push((m, nb, nc, ns, ns_med));
+        let aos = aos_ns(m);
         table.row(&[
             format!("{m}^3"),
-            (m * m * m).to_string(),
-            grid.num_blocks().to_string(),
-            grid.num_cells().to_string(),
+            nb.to_string(),
+            nc.to_string(),
             fmt_g(ns),
+            aos.map_or("-".into(), fmt_g),
+            aos.map_or("-".into(), |a| format!("{:.2}x", a / ns)),
             format!("{:.2}x", base / ns),
         ]);
     }
     table.print();
     println!(
-        "paper claim: >3x improvement from 2^3 toward 16^3, then little further gain.\n"
+        "paper claim: >3x improvement from 2^3 toward 16^3, then little further gain.\n\
+         SoA column: min over {rounds} fresh-grid rounds (external load only adds\n\
+         time). AoS column: recorded pre-refactor baseline (full-run 48^3 domain;\n\
+         the quick sweep runs a 24^3 domain, so compare quick rows loosely).\n"
+    );
+
+    // ---- SoA vs AoS gate at 16^3 ---------------------------------------
+    // Median of repeated rounds on the full-run configuration (27 blocks
+    // of 16^3), regardless of --quick: this is the number the recorded
+    // AoS baseline used, and the CI smoke asserts it does not regress.
+    let gate_rounds = 5;
+    let gate_reps = if quick { 2 } else { 4 };
+    let (soa_16_min, soa_16_median) = sample_ns(
+        gate_rounds,
+        gate_reps,
+        || mhd_grid_3d([3, 3, 3], 16, 0, 0),
+        &mhd,
+        Scheme::muscl_rusanov(),
+    );
+    let aos_16 = aos_ns(16).unwrap();
+    println!(
+        "16^3 gate: SoA median {} / min {} ns/cell over {gate_rounds} rounds \
+         (AoS baseline {}, median speedup {:.2}x)\n",
+        fmt_g(soa_16_median),
+        fmt_g(soa_16_min),
+        fmt_g(aos_16),
+        aos_16 / soa_16_median,
     );
 
     // ---- the cell-based tree reference (block size ~ 1) ----------------
@@ -128,16 +217,32 @@ fn main() {
         &["configuration", "ns/cell"],
     );
     let r12 = (domain / 12).max(1);
+    let remedy_rounds = if quick { 1 } else { 3 };
     for pad in [0i64, 2] {
-        let mut g = mhd_grid_3d([r12, r12, r12], 12, pad, 0);
-        let ns = measure_ns_per_cell(&mut g, &mhd, Scheme::muscl_rusanov(), reps(12));
+        let (_, ns) = sample_ns(
+            remedy_rounds,
+            reps(12),
+            || mhd_grid_3d([r12, r12, r12], 12, pad, 0),
+            &mhd,
+            Scheme::muscl_rusanov(),
+        );
         t3.row(&[format!("12^3, pad {pad}"), fmt_g(ns)]);
     }
     if !quick {
-        let mut g32 = mhd_grid_3d([1, 1, 1], 32, 0, 0);
-        let ns32 = measure_ns_per_cell(&mut g32, &mhd, Scheme::muscl_rusanov(), 3);
-        let mut g16b = mhd_grid_3d([2, 2, 2], 16, 0, 0);
-        let ns16b = measure_ns_per_cell(&mut g16b, &mhd, Scheme::muscl_rusanov(), 3);
+        let (_, ns32) = sample_ns(
+            remedy_rounds,
+            3,
+            || mhd_grid_3d([1, 1, 1], 32, 0, 0),
+            &mhd,
+            Scheme::muscl_rusanov(),
+        );
+        let (_, ns16b) = sample_ns(
+            remedy_rounds,
+            3,
+            || mhd_grid_3d([2, 2, 2], 16, 0, 0),
+            &mhd,
+            Scheme::muscl_rusanov(),
+        );
         t3.row(&["1 block of 32^3".into(), fmt_g(ns32)]);
         t3.row(&["8 sub-blocks of 16^3 (same region)".into(), fmt_g(ns16b)]);
     }
@@ -149,5 +254,41 @@ fn main() {
     );
     if let (Some(b), Some(n16)) = (base_ns, ns_16) {
         println!("\nheadline: 2^3 -> 16^3 speedup {:.2}x (paper: > 3x)", b / n16);
+    }
+
+    // ---- export + gate ---------------------------------------------------
+    let points: Vec<String> = sweep
+        .iter()
+        .map(|&(m, blocks, cells, ns, ns_med)| {
+            let aos = aos_ns(m)
+                .map_or("null".into(), |a| format!("{a:.4}"));
+            format!(
+                "{{\"m\": {m}, \"blocks\": {blocks}, \"cells\": {cells}, \
+                 \"soa_ns_per_cell\": {ns:.4}, \"soa_median_ns_per_cell\": {ns_med:.4}, \
+                 \"aos_ns_per_cell\": {aos}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"quick\": {quick},\n\"domain\": {domain},\n\"sweep_rounds\": {rounds},\n\
+         \"scheme\": \"muscl_rusanov 3-D ideal MHD\",\n\
+         \"aos_baseline\": \"pre-SoA-refactor full run, 48^3 domain, same harness\",\n\
+         \"sweep\": [\n{}\n],\n\
+         \"gate_16\": {{\"soa_median_ns_per_cell\": {soa_16_median:.4}, \
+         \"soa_min_ns_per_cell\": {soa_16_min:.4}, \
+         \"aos_ns_per_cell\": {aos_16:.4}, \
+         \"speedup\": {:.4}, \"rounds\": {gate_rounds}, \"reps\": {gate_reps}}}\n}}\n",
+        points.join(",\n"),
+        aos_16 / soa_16_median,
+    );
+    std::fs::write("BENCH_fig5.json", &json).expect("write BENCH_fig5.json");
+    println!("wrote BENCH_fig5.json ({} bytes)", json.len());
+
+    if soa_16_median > aos_16 {
+        eprintln!(
+            "FAIL: SoA median at 16^3 ({soa_16_median:.4} ns/cell) is slower than \
+             the recorded AoS baseline ({aos_16:.4} ns/cell)"
+        );
+        std::process::exit(1);
     }
 }

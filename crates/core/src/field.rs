@@ -5,15 +5,30 @@
 //! allocation**, so solver kernels run tight loops over regular arrays —
 //! loop optimization and cache reuse that per-cell tree nodes cannot offer.
 //!
-//! Layout (units of `f64`): variables are innermost (`idx = lin * nvar + v`),
-//! then x, then y, then z. Ghost cells sit at negative interior coordinates,
-//! i.e. interior cell `(0,…)` lives at allocated coordinate `(ng,…)`.
+//! Layout (units of `f64`): **structure-of-arrays**, variable-major. Each
+//! variable occupies one contiguous plane of `plane_stride()` values; within
+//! a plane, x is innermost (stride 1), then y, then z
+//! (`idx = v * plane_stride + lin(c)`). Ghost cells sit at negative interior
+//! coordinates, i.e. interior cell `(0,…)` lives at allocated coordinate
+//! `(ng,…)`. Variable-major storage is what makes the sweep kernels
+//! stride-1 per variable and lets them autovectorize; it is the layout
+//! AMReX-class frameworks converged on.
 //!
-//! The optional `pad` adds unused cells to the x-extent of the allocation
-//! without changing the logical shape — the array-padding remedy the paper
-//! applies to remove the 12³ cache peak in Fig. 5.
+//! Two padding knobs perturb cache mapping without changing the logical
+//! shape — the array-padding remedy the paper applies to remove the 12³
+//! cache peak in Fig. 5:
+//!
+//! * `pad` appends unused cells to the **x-extent** of every plane (skews
+//!   row-to-row mapping);
+//! * `plane_pad` appends unused `f64`s to **each variable plane** (skews
+//!   plane-to-plane mapping, the SoA analogue now that the planes of one
+//!   block are themselves large power-of-two-prone strides apart).
 
 use crate::index::{IBox, IVec};
+
+/// Maximum variables per cell (bounds the owned gather buffer [`CellBuf`];
+/// checkpoint loading enforces the same cap on untrusted input).
+pub const MAX_NVAR: usize = 64;
 
 /// Shape of a block's field allocation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,6 +41,8 @@ pub struct FieldShape<const D: usize> {
     pub nvar: usize,
     /// Unused padding cells appended to the x-extent of the allocation.
     pub pad: i64,
+    /// Unused `f64`s appended to each variable plane.
+    pub plane_pad: i64,
 }
 
 impl<const D: usize> FieldShape<D> {
@@ -38,9 +55,17 @@ impl<const D: usize> FieldShape<D> {
     pub fn padded(dims: IVec<D>, nghost: i64, nvar: usize, pad: i64) -> Self {
         assert!(dims.iter().all(|&m| m >= 1), "block dims must be >= 1");
         assert!(nghost >= 0 && nvar >= 1 && pad >= 0);
+        assert!(nvar <= MAX_NVAR, "nvar {nvar} exceeds MAX_NVAR {MAX_NVAR}");
         // The paper's restriction operator needs even interior extents once
         // blocks refine; enforce it only when ghosts are in play.
-        FieldShape { dims, nghost, nvar, pad }
+        FieldShape { dims, nghost, nvar, pad, plane_pad: 0 }
+    }
+
+    /// Same shape with a per-plane padding of `plane_pad` `f64`s.
+    pub fn with_plane_pad(mut self, plane_pad: i64) -> Self {
+        assert!(plane_pad >= 0);
+        self.plane_pad = plane_pad;
+        self
     }
 
     /// Ghosted extent per axis (`dims + 2*nghost`).
@@ -96,10 +121,17 @@ impl<const D: usize> FieldShape<D> {
         self.ghost_cells() as f64 / self.interior_cells() as f64
     }
 
+    /// Distance (in `f64`s) between the same cell of consecutive variable
+    /// planes: allocated cells plus the per-plane padding.
+    #[inline]
+    pub fn plane_stride(&self) -> usize {
+        self.allocated_cells() + self.plane_pad as usize
+    }
+
     /// Total `f64`s allocated.
     #[inline]
     pub fn len(&self) -> usize {
-        self.allocated_cells() * self.nvar
+        self.plane_stride() * self.nvar
     }
 
     /// True when the shape holds no storage (zero cells or variables).
@@ -108,12 +140,13 @@ impl<const D: usize> FieldShape<D> {
         self.len() == 0
     }
 
-    /// Cell strides in units of `f64`, per axis (variable stride is 1).
+    /// Cell strides in units of `f64` within one variable plane, per axis
+    /// (x stride is 1).
     #[inline]
     pub fn strides(&self) -> IVec<D> {
         let a = self.allocated();
         let mut s = [0; D];
-        let mut acc = self.nvar as i64;
+        let mut acc = 1i64;
         for d in 0..D {
             s[d] = acc;
             acc *= a[d];
@@ -121,8 +154,10 @@ impl<const D: usize> FieldShape<D> {
         s
     }
 
-    /// Linear offset (in `f64`s) of variable 0 of the cell at interior
-    /// coordinates `c` (ghosts at negative coordinates are valid).
+    /// Linear offset (in `f64`s) of the cell at interior coordinates `c`
+    /// **within a variable plane** (ghosts at negative coordinates are
+    /// valid). Variable `v` of the cell lives at `lin(c) + v * plane_stride()`
+    /// — see [`FieldShape::vidx`].
     #[inline]
     pub fn lin(&self, c: IVec<D>) -> usize {
         let s = self.strides();
@@ -138,6 +173,61 @@ impl<const D: usize> FieldShape<D> {
             idx += a * s[d];
         }
         idx as usize
+    }
+
+    /// Linear offset of variable `v` of the cell at `c`.
+    #[inline]
+    pub fn vidx(&self, c: IVec<D>, v: usize) -> usize {
+        debug_assert!(v < self.nvar);
+        self.lin(c) + v * self.plane_stride()
+    }
+}
+
+/// Owned copy of one cell's state vector, gathered across the variable
+/// planes (SoA storage has no contiguous per-cell slice to borrow).
+/// Dereferences to `&[f64]` of length `nvar`.
+#[derive(Clone, Copy, Debug)]
+pub struct CellBuf {
+    buf: [f64; MAX_NVAR],
+    n: usize,
+}
+
+impl std::ops::Deref for CellBuf {
+    type Target = [f64];
+    #[inline]
+    fn deref(&self) -> &[f64] {
+        &self.buf[..self.n]
+    }
+}
+
+impl std::ops::DerefMut for CellBuf {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f64] {
+        &mut self.buf[..self.n]
+    }
+}
+
+impl PartialEq for CellBuf {
+    fn eq(&self, other: &CellBuf) -> bool {
+        **self == **other
+    }
+}
+
+impl PartialEq<[f64]> for CellBuf {
+    fn eq(&self, other: &[f64]) -> bool {
+        **self == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[f64; N]> for CellBuf {
+    fn eq(&self, other: &[f64; N]) -> bool {
+        **self == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[f64; N]> for CellBuf {
+    fn eq(&self, other: &&[f64; N]) -> bool {
+        **self == other[..]
     }
 }
 
@@ -165,7 +255,8 @@ impl<const D: usize> FieldBlock<D> {
         &self.shape
     }
 
-    /// Raw storage.
+    /// Raw storage (variable-major: plane `v` spans
+    /// `[v * plane_stride, v * plane_stride + allocated_cells)`).
     #[inline]
     pub fn as_slice(&self) -> &[f64] {
         &self.data
@@ -177,55 +268,86 @@ impl<const D: usize> FieldBlock<D> {
         &mut self.data
     }
 
+    /// One variable's full plane (all allocated cells, x innermost).
+    #[inline]
+    pub fn plane(&self, v: usize) -> &[f64] {
+        debug_assert!(v < self.shape.nvar);
+        let ps = self.shape.plane_stride();
+        &self.data[v * ps..v * ps + self.shape.allocated_cells()]
+    }
+
+    /// Mutable access to one variable's plane.
+    #[inline]
+    pub fn plane_mut(&mut self, v: usize) -> &mut [f64] {
+        debug_assert!(v < self.shape.nvar);
+        let ps = self.shape.plane_stride();
+        &mut self.data[v * ps..v * ps + self.shape.allocated_cells()]
+    }
+
     /// One variable of one cell.
     #[inline]
     pub fn at(&self, c: IVec<D>, v: usize) -> f64 {
-        debug_assert!(v < self.shape.nvar);
-        self.data[self.shape.lin(c) + v]
+        self.data[self.shape.vidx(c, v)]
     }
 
     /// Mutable access to one variable of one cell.
     #[inline]
     pub fn at_mut(&mut self, c: IVec<D>, v: usize) -> &mut f64 {
-        debug_assert!(v < self.shape.nvar);
-        let i = self.shape.lin(c) + v;
+        let i = self.shape.vidx(c, v);
         &mut self.data[i]
     }
 
-    /// The full state vector of one cell.
+    /// The full state vector of one cell, gathered into an owned buffer.
     #[inline]
-    pub fn cell(&self, c: IVec<D>) -> &[f64] {
+    pub fn cell(&self, c: IVec<D>) -> CellBuf {
         let i = self.shape.lin(c);
-        &self.data[i..i + self.shape.nvar]
-    }
-
-    /// Mutable state vector of one cell.
-    #[inline]
-    pub fn cell_mut(&mut self, c: IVec<D>) -> &mut [f64] {
-        let i = self.shape.lin(c);
+        let ps = self.shape.plane_stride();
         let n = self.shape.nvar;
-        &mut self.data[i..i + n]
+        let mut buf = [0.0; MAX_NVAR];
+        for (v, b) in buf[..n].iter_mut().enumerate() {
+            *b = self.data[i + v * ps];
+        }
+        CellBuf { buf, n }
     }
 
-    /// Set the full state vector of one cell.
+    /// Set the full state vector of one cell (scatter across planes).
     #[inline]
     pub fn set_cell(&mut self, c: IVec<D>, u: &[f64]) {
-        self.cell_mut(c).copy_from_slice(u);
-    }
-
-    /// Apply `f(coords, state)` to every interior cell.
-    pub fn for_each_interior(&mut self, mut f: impl FnMut(IVec<D>, &mut [f64])) {
-        let bx = self.shape.interior_box();
-        for c in bx.iter() {
-            f(c, self.cell_mut(c));
+        debug_assert_eq!(u.len(), self.shape.nvar);
+        let i = self.shape.lin(c);
+        let ps = self.shape.plane_stride();
+        for (v, &x) in u.iter().enumerate() {
+            self.data[i + v * ps] = x;
         }
     }
 
-    /// Apply `f(coords, state)` to every ghosted cell.
+    /// Apply `f(coords, state)` to every interior cell. The state slice is
+    /// a gather buffer written back after each call.
+    pub fn for_each_interior(&mut self, mut f: impl FnMut(IVec<D>, &mut [f64])) {
+        let bx = self.shape.interior_box();
+        self.for_each_in(bx, &mut f);
+    }
+
+    /// Apply `f(coords, state)` to every ghosted cell. The state slice is
+    /// a gather buffer written back after each call.
     pub fn for_each_ghosted(&mut self, mut f: impl FnMut(IVec<D>, &mut [f64])) {
         let bx = self.shape.ghosted_box();
+        self.for_each_in(bx, &mut f);
+    }
+
+    fn for_each_in(&mut self, bx: IBox<D>, f: &mut impl FnMut(IVec<D>, &mut [f64])) {
+        let n = self.shape.nvar;
+        let ps = self.shape.plane_stride();
+        let mut buf = [0.0; MAX_NVAR];
         for c in bx.iter() {
-            f(c, self.cell_mut(c));
+            let i = self.shape.lin(c);
+            for (v, b) in buf[..n].iter_mut().enumerate() {
+                *b = self.data[i + v * ps];
+            }
+            f(c, &mut buf[..n]);
+            for (v, &b) in buf[..n].iter().enumerate() {
+                self.data[i + v * ps] = b;
+            }
         }
     }
 
@@ -235,25 +357,32 @@ impl<const D: usize> FieldBlock<D> {
     ///
     /// This is the same-level ghost-exchange primitive: `region` is a ghost
     /// slab of `self`; shifted by ± the block extent it lands in `src`'s
-    /// interior.
+    /// interior. Copies run plane by plane, row by row along x — rows are
+    /// contiguous in both blocks regardless of either block's `pad` or
+    /// `plane_pad` (row length never includes padding).
     pub fn copy_region_from(&mut self, region: IBox<D>, src: &FieldBlock<D>, shift: IVec<D>) {
         assert_eq!(self.shape.nvar, src.shape.nvar, "nvar mismatch in copy");
-        let nvar = self.shape.nvar;
         if region.is_empty() {
             return;
         }
-        // Copy row-by-row along x for contiguity.
+        let dps = self.shape.plane_stride();
+        let sps = src.shape.plane_stride();
+        // One iterator step per x-row: collapse the region's x-extent.
         let mut row = region;
         row.hi[0] = row.lo[0] + 1;
-        let row_len = (region.hi[0] - region.lo[0]) as usize * nvar;
+        let row_len = (region.hi[0] - region.lo[0]) as usize;
         for c in row.iter() {
             let mut sc = c;
             for d in 0..D {
                 sc[d] += shift[d];
             }
-            let di = self.shape.lin(c);
-            let si = src.shape.lin(sc);
-            self.data[di..di + row_len].copy_from_slice(&src.data[si..si + row_len]);
+            let mut di = self.shape.lin(c);
+            let mut si = src.shape.lin(sc);
+            for _ in 0..self.shape.nvar {
+                self.data[di..di + row_len].copy_from_slice(&src.data[si..si + row_len]);
+                di += dps;
+                si += sps;
+            }
         }
     }
 
@@ -294,6 +423,7 @@ mod tests {
         assert_eq!(s.interior_cells(), 192);
         assert_eq!(s.allocated_cells(), 960);
         assert_eq!(s.ghost_cells(), 960 - 192);
+        assert_eq!(s.plane_stride(), 960);
         assert_eq!(s.len(), 960 * 5);
     }
 
@@ -304,9 +434,34 @@ mod tests {
         assert_eq!(p.allocated(), [9, 6]);
         let s0 = FieldShape::<2>::new([4, 4], 1, 2);
         assert_eq!(p.interior_box(), s0.interior_box());
-        // strides differ: y stride skips the pad
-        assert_eq!(p.strides(), [2, 18]);
-        assert_eq!(s0.strides(), [2, 12]);
+        // x stride is 1 in both; y stride skips the pad
+        assert_eq!(p.strides(), [1, 9]);
+        assert_eq!(s0.strides(), [1, 6]);
+    }
+
+    #[test]
+    fn plane_pad_changes_plane_stride_not_logic() {
+        let s = FieldShape::<2>::new([4, 4], 1, 3).with_plane_pad(8);
+        let s0 = FieldShape::<2>::new([4, 4], 1, 3);
+        assert_eq!(s.allocated(), s0.allocated());
+        assert_eq!(s.strides(), s0.strides());
+        assert_eq!(s.plane_stride(), s0.plane_stride() + 8);
+        assert_eq!(s.len(), (36 + 8) * 3);
+        // same state, independent of plane padding
+        let mut a = FieldBlock::zeros(s);
+        let mut b = FieldBlock::zeros(s0);
+        let fill = |c: IVec<2>, u: &mut [f64]| {
+            for (v, x) in u.iter_mut().enumerate() {
+                *x = (c[0] * 100 + c[1] * 10) as f64 + v as f64;
+            }
+        };
+        a.for_each_ghosted(fill);
+        b.for_each_ghosted(fill);
+        for c in s.ghosted_box().iter() {
+            for v in 0..3 {
+                assert_eq!(a.at(c, v), b.at(c, v));
+            }
+        }
     }
 
     #[test]
@@ -330,15 +485,43 @@ mod tests {
     }
 
     #[test]
+    fn vidx_separates_planes() {
+        let s = FieldShape::<2>::padded([3, 4], 1, 3, 2).with_plane_pad(5);
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..s.nvar {
+            for c in s.ghosted_box().iter() {
+                assert!(seen.insert(s.vidx(c, v)), "vidx must be injective");
+                assert!(s.vidx(c, v) < s.len());
+            }
+        }
+    }
+
+    #[test]
     fn cell_access() {
         let s = FieldShape::<2>::new([3, 3], 1, 2);
         let mut f = FieldBlock::zeros(s);
         *f.at_mut([1, 2], 0) = 5.0;
         *f.at_mut([1, 2], 1) = 7.0;
         assert_eq!(f.at([1, 2], 0), 5.0);
-        assert_eq!(f.cell([1, 2]), &[5.0, 7.0]);
+        assert_eq!(f.cell([1, 2]), [5.0, 7.0]);
         f.set_cell([-1, -1], &[1.0, 2.0]);
         assert_eq!(f.at([-1, -1], 1), 2.0);
+    }
+
+    #[test]
+    fn planes_are_contiguous_and_disjoint() {
+        let s = FieldShape::<2>::new([2, 2], 0, 3).with_plane_pad(4);
+        let mut f = FieldBlock::zeros(s);
+        for v in 0..3 {
+            f.plane_mut(v).fill(v as f64 + 1.0);
+        }
+        for v in 0..3 {
+            assert!(f.plane(v).iter().all(|&x| x == v as f64 + 1.0));
+            assert_eq!(f.plane(v).len(), 4);
+            for c in s.interior_box().iter() {
+                assert_eq!(f.at(c, v), v as f64 + 1.0);
+            }
+        }
     }
 
     #[test]
@@ -383,6 +566,41 @@ mod tests {
         let slab = sn.interior_box().outer_face_slab(Face::new(0, false), 1);
         b.copy_region_from(slab, &a, [4]);
         assert_eq!(b.at([-1], 0), 4.0);
+    }
+
+    #[test]
+    fn copy_region_padded_shapes_k2_ghosts() {
+        // Regression for the padded row math: k=2 ghost slabs between two
+        // multi-variable blocks whose paddings all differ (x-pad and
+        // plane-pad on both sides), in 2-D and along the y axis so rows
+        // iterate across the padded x extent.
+        let sd = FieldShape::<2>::padded([4, 4], 2, 3, 3).with_plane_pad(7);
+        let ss = FieldShape::<2>::padded([4, 4], 2, 3, 1).with_plane_pad(2);
+        let mut srcf = FieldBlock::zeros(ss);
+        srcf.for_each_ghosted(|c, u| {
+            for (v, x) in u.iter_mut().enumerate() {
+                *x = (100 * c[0] + 10 * c[1]) as f64 + v as f64;
+            }
+        });
+        let mut dst = FieldBlock::filled(sd, -1.0);
+        // y-low ghost slab of dst (2 deep, full ghosted x width) from the
+        // y-high interior rows of src: shift +4 in y.
+        let slab = IBox { lo: [-2, -2], hi: [6, 0] };
+        dst.copy_region_from(slab, &srcf, [0, 4]);
+        for c in slab.iter() {
+            for v in 0..3 {
+                let expect = (100 * c[0] + 10 * (c[1] + 4)) as f64 + v as f64;
+                assert_eq!(dst.at(c, v), expect, "cell {c:?} var {v}");
+            }
+        }
+        // everything outside the slab untouched
+        for c in sd.ghosted_box().iter() {
+            if !slab.contains(c) {
+                for v in 0..3 {
+                    assert_eq!(dst.at(c, v), -1.0, "cell {c:?} var {v} clobbered");
+                }
+            }
+        }
     }
 
     #[test]

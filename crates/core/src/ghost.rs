@@ -413,7 +413,7 @@ pub fn synthesize_boundary<const D: usize>(
                 field.set_cell(c, &u);
             }
             Boundary::Reflect => {
-                state.copy_from_slice(field.cell(mirror));
+                state.copy_from_slice(&field.cell(mirror));
                 for vc in &config.vector_components {
                     if d < 3 {
                         let v = vc[d];
@@ -425,7 +425,7 @@ pub fn synthesize_boundary<const D: usize>(
                 field.set_cell(c, &state);
             }
             Boundary::Custom(tag) => {
-                state.copy_from_slice(field.cell(near));
+                state.copy_from_slice(&field.cell(near));
                 let pos = layout.cell_center(key, m, c);
                 {
                     let interior_state = field.cell(near);
@@ -434,7 +434,7 @@ pub fn synthesize_boundary<const D: usize>(
                         face,
                         tag,
                         position: pos,
-                        interior: interior_state,
+                        interior: &interior_state,
                     };
                     custom(&ctx, c, &mut state);
                 }
@@ -616,19 +616,38 @@ fn emit_corner_tasks<const D: usize>(
 /// self-neighbor in single-root axes). Ghost destinations never alias the
 /// interior source, but Rust cannot see that, so stage through a buffer.
 fn copy_region_within<const D: usize>(field: &mut FieldBlock<D>, region: IBox<D>, shift: IVec<D>) {
-    let nvar = field.shape().nvar;
-    let mut buf = Vec::with_capacity(region.volume() as usize * nvar);
-    for c in region.iter() {
+    if region.is_empty() {
+        return;
+    }
+    let shape = *field.shape();
+    let ps = shape.plane_stride();
+    // Plane by plane, x-row by x-row: rows are contiguous in each plane.
+    let mut row = region;
+    row.hi[0] = row.lo[0] + 1;
+    let row_len = (region.hi[0] - region.lo[0]) as usize;
+    let mut buf = vec![0.0; region.volume() as usize * shape.nvar];
+    let data = field.as_mut_slice();
+    let mut k = 0;
+    for c in row.iter() {
         let mut sc = c;
         for d in 0..D {
             sc[d] += shift[d];
         }
-        buf.extend_from_slice(field.cell(sc));
+        let mut si = shape.lin(sc);
+        for _ in 0..shape.nvar {
+            buf[k..k + row_len].copy_from_slice(&data[si..si + row_len]);
+            si += ps;
+            k += row_len;
+        }
     }
     let mut k = 0;
-    for c in region.iter() {
-        field.set_cell(c, &buf[k..k + nvar]);
-        k += nvar;
+    for c in row.iter() {
+        let mut di = shape.lin(c);
+        for _ in 0..shape.nvar {
+            data[di..di + row_len].copy_from_slice(&buf[k..k + row_len]);
+            di += ps;
+            k += row_len;
+        }
     }
 }
 
@@ -695,12 +714,27 @@ pub fn task_source_box<const D: usize>(
     }
 }
 
-/// Extract a box of cells (all variables, cell-major) into a flat payload.
+/// Extract a box of cells (all variables, variable-major: one full box per
+/// variable plane, x-rows contiguous) into a flat payload. The payload
+/// order is a wire format shared by [`insert_box`] and the aggregated
+/// [`PairMessage`] pack/unpack on both ends of an exchange; it is **not**
+/// the checkpoint/snapshot byte order (those stay cell-major on disk).
 pub fn extract_box<const D: usize>(field: &FieldBlock<D>, bx: IBox<D>) -> Vec<f64> {
     let n = field.shape().nvar;
     let mut out = Vec::with_capacity(bx.volume() as usize * n);
-    for c in bx.iter() {
-        out.extend_from_slice(field.cell(c));
+    if bx.is_empty() {
+        return out;
+    }
+    let ps = field.shape().plane_stride();
+    let mut row = bx;
+    row.hi[0] = row.lo[0] + 1;
+    let row_len = (bx.hi[0] - bx.lo[0]) as usize;
+    let data = field.as_slice();
+    for v in 0..n {
+        for c in row.iter() {
+            let i = field.shape().lin(c) + v * ps;
+            out.extend_from_slice(&data[i..i + row_len]);
+        }
     }
     out
 }
@@ -709,10 +743,22 @@ pub fn extract_box<const D: usize>(field: &FieldBlock<D>, bx: IBox<D>) -> Vec<f6
 pub fn insert_box<const D: usize>(field: &mut FieldBlock<D>, bx: IBox<D>, data: &[f64]) {
     let n = field.shape().nvar;
     debug_assert_eq!(data.len(), bx.volume() as usize * n);
+    if bx.is_empty() {
+        return;
+    }
+    let shape = *field.shape();
+    let ps = shape.plane_stride();
+    let mut row = bx;
+    row.hi[0] = row.lo[0] + 1;
+    let row_len = (bx.hi[0] - bx.lo[0]) as usize;
+    let dst = field.as_mut_slice();
     let mut off = 0;
-    for c in bx.iter() {
-        field.set_cell(c, &data[off..off + n]);
-        off += n;
+    for v in 0..n {
+        for c in row.iter() {
+            let i = shape.lin(c) + v * ps;
+            dst[i..i + row_len].copy_from_slice(&data[off..off + row_len]);
+            off += row_len;
+        }
     }
 }
 

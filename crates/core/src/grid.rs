@@ -46,12 +46,23 @@ pub struct GridParams<const D: usize> {
     pub max_level_jump: u8,
     /// Unused x-padding cells in each block allocation (Fig. 5 remedy).
     pub pad: i64,
+    /// Unused `f64`s appended to each variable plane (the SoA-era padding
+    /// knob; perturbs plane-to-plane cache mapping).
+    pub plane_pad: i64,
 }
 
 impl<const D: usize> GridParams<D> {
     /// Conventional parameters: given block dims, 2 ghost layers, 1 jump.
     pub fn new(block_dims: IVec<D>, nghost: i64, nvar: usize, max_level: u8) -> Self {
-        GridParams { block_dims, nghost, nvar, max_level, max_level_jump: 1, pad: 0 }
+        GridParams {
+            block_dims,
+            nghost,
+            nvar,
+            max_level,
+            max_level_jump: 1,
+            pad: 0,
+            plane_pad: 0,
+        }
     }
 
     /// Builder: change the allowed level jump (the paper's loosened
@@ -68,9 +79,16 @@ impl<const D: usize> GridParams<D> {
         self
     }
 
+    /// Builder: pad each variable plane by `plane_pad` `f64`s.
+    pub fn with_plane_pad(mut self, plane_pad: i64) -> Self {
+        self.plane_pad = plane_pad;
+        self
+    }
+
     /// Field shape of every block of this grid.
     pub fn field_shape(&self) -> FieldShape<D> {
         FieldShape::padded(self.block_dims, self.nghost, self.nvar, self.pad)
+            .with_plane_pad(self.plane_pad)
     }
 
     fn validate(&self) {

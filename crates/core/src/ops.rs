@@ -59,10 +59,10 @@ pub fn restrict_avg<const D: usize>(
                 acc[v] += u[v];
             }
         }
-        let out = dst.cell_mut(c);
-        for v in 0..nvar {
-            out[v] = acc[v] * inv;
+        for a in acc.iter_mut() {
+            *a *= inv;
         }
+        dst.set_cell(c, &acc);
     }
 }
 
@@ -198,8 +198,7 @@ mod tests {
     fn fill_linear_2d(f: &mut FieldBlock<2>, ax: f64, ay: f64, c0: f64) {
         let bx = f.shape().ghosted_box();
         for c in bx.iter() {
-            let u = f.cell_mut(c);
-            u[0] = ax * c[0] as f64 + ay * c[1] as f64 + c0;
+            *f.at_mut(c, 0) = ax * c[0] as f64 + ay * c[1] as f64 + c0;
         }
     }
 
@@ -310,7 +309,7 @@ mod tests {
         let bx = coarse.shape().ghosted_box();
         let mut s = 1.0f64;
         for c in bx.iter() {
-            coarse.cell_mut(c)[0] = s.sin() * 3.0 + (c[0] * c[1]) as f64;
+            *coarse.at_mut(c, 0) = s.sin() * 3.0 + (c[0] * c[1]) as f64;
             s += 1.7;
         }
         let mut fine = FieldBlock::zeros(FieldShape::<2>::new([8, 8], 0, 1));
@@ -386,7 +385,7 @@ mod tests {
         let mut coarse = FieldBlock::zeros(FieldShape::<1>::new([4], 1, 1));
         let gb = coarse.shape().ghosted_box();
         for c in gb.iter() {
-            coarse.cell_mut(c)[0] = 3.0 * c[0] as f64;
+            *coarse.at_mut(c, 0) = 3.0 * c[0] as f64;
         }
         let mut fine = FieldBlock::zeros(FieldShape::<1>::new([8], 0, 1));
         prolong(

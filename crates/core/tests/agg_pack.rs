@@ -226,7 +226,8 @@ fn run_protocol_case(seed: u64, ng: i64) {
             let got = g.block(id).field();
             let want = serial.block(id).field();
             for c in full.iter() {
-                for (a, b) in got.cell(c).iter().zip(want.cell(c)) {
+                let (gc, wc) = (got.cell(c), want.cell(c));
+                for (a, b) in gc.iter().zip(wc.iter()) {
                     assert_eq!(
                         a.to_bits(),
                         b.to_bits(),

@@ -245,7 +245,9 @@ pub fn save_grid<const D: usize>(w: &mut impl Write, grid: &BlockGrid<D>) -> io:
             .ok_or_else(|| bad(format!("grid inconsistent: leaf {key:?} has no block")))?;
         let f = grid.block(id).field();
         for c in f.shape().interior_box().iter() {
-            for &v in f.cell(c) {
+            // gather across the SoA planes: the on-disk payload stays
+            // cell-major (vars innermost), independent of the memory layout
+            for &v in f.cell(c).iter() {
                 w_f64(&mut sec, v)?;
             }
         }

@@ -243,7 +243,8 @@ pub fn leaf_values<const D: usize>(grid: &BlockGrid<D>, key: BlockKey<D>) -> io:
     let f = grid.block(id).field();
     let mut out = Vec::with_capacity(f.shape().interior_cells() * f.shape().nvar);
     for c in f.shape().interior_box().iter() {
-        out.extend_from_slice(f.cell(c));
+        // cell gather keeps the hashed payload cell-major (vars innermost)
+        out.extend_from_slice(&f.cell(c));
     }
     Ok(out)
 }

@@ -1,0 +1,195 @@
+//! On-disk format stability across storage-layout refactors.
+//!
+//! The fixture archives in `tests/fixtures/` were written by the
+//! pre-refactor AoS build (interleaved `idx = lin * nvar + v` field
+//! layout). Checkpoint v2 and snapshot v3 serialize interior data
+//! cell-major (all variables of a cell together), and that byte order is
+//! the *format*, not an artifact of the in-memory layout: any layout
+//! change must transpose at the I/O boundary so that
+//!
+//! * old archives load bitwise-identically,
+//! * re-saving a loaded grid reproduces the fixture bytes exactly, and
+//! * content hashes of unchanged blocks (and hence snapshot roots) are
+//!   stable — a layout refactor must not invalidate a content-addressed
+//!   store.
+//!
+//! Fixtures deliberately include a nonzero allocation `pad` (the D=2
+//! checkpoint) so padded shapes cross the I/O boundary too.
+//!
+//! Regenerate (only after an *intentional* format change, never for a
+//! layout refactor) with:
+//! `cargo test -p ablock-io --test format_stability -- --ignored --nocapture`
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use ablock_core::prelude::*;
+use ablock_core::verify::check_grid;
+use ablock_io::checkpoint::{load_grid, save_grid};
+use ablock_io::{
+    materialize, read_archive, write_archive, write_snapshot, NodeHash, NodeStore,
+};
+use ablock_testkit::{flag_for_key, grid_digest, subseed, Rng};
+
+/// Snapshot step baked into the v3 fixture (part of the root's identity).
+const SNAP_STEP: u64 = 17;
+
+/// Recorded state digest of the D=2 checkpoint fixture.
+const CKPT_D2_DIGEST: u64 = 0xaed9_2bbf_4a8d_a86f;
+/// Recorded state digest of the D=3 snapshot fixture.
+const SNAP_D3_DIGEST: u64 = 0x4362_056c_ea86_1624;
+/// Recorded root hash of the D=3 snapshot fixture archive.
+const SNAP_D3_ROOT: [u64; 2] = [0x570e_5732_c9ed_4451, 0xc202_4458_9efe_fb25];
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn read_fixture(name: &str) -> Vec<u8> {
+    std::fs::read(fixture_path(name)).unwrap_or_else(|e| {
+        panic!(
+            "fixture {name} unreadable ({e}); regenerate with \
+             `cargo test -p ablock-io --test format_stability -- --ignored`"
+        )
+    })
+}
+
+fn leaf_seed<const D: usize>(key: BlockKey<D>) -> u64 {
+    let mut h = subseed(0xF1C7_BA5E, key.level as u64);
+    for d in 0..D {
+        h = subseed(h, key.coords[d] as u64);
+    }
+    h
+}
+
+/// Deterministic fixture state: key-derived adapt flags (so the topology
+/// is independent of block iteration order) and key-seeded per-leaf
+/// field values.
+fn build_fixture<const D: usize>(params: GridParams<D>, roots: IVec<D>, adapt_seeds: &[u64]) -> BlockGrid<D> {
+    let max_level = params.max_level;
+    let mut g = BlockGrid::new(RootLayout::unit(roots, Boundary::Periodic), params);
+    for &s in adapt_seeds {
+        let flags: HashMap<BlockId, Flag> = g
+            .blocks()
+            .filter_map(|(id, node)| {
+                match flag_for_key(s, node.key(), max_level, 30) {
+                    Flag::Keep => None,
+                    f => Some((id, f)),
+                }
+            })
+            .collect();
+        adapt(&mut g, &flags, Transfer::Conservative(ProlongOrder::LinearMinmod));
+    }
+    for (_, node) in g.blocks_mut() {
+        let mut rng = Rng::new(leaf_seed(node.key()));
+        node.field_mut().for_each_interior(|_, u| {
+            for v in u.iter_mut() {
+                *v = rng.f64_in(-1e3, 1e3);
+            }
+        });
+    }
+    g
+}
+
+/// D=2, nvar=4, **pad=2**: padded allocation crossing the I/O boundary.
+fn fixture_grid_2d() -> BlockGrid<2> {
+    build_fixture(
+        GridParams::new([4, 4], 2, 4, 2).with_pad(2),
+        [2, 2],
+        &[0xAD_0001, 0xAD_0002],
+    )
+}
+
+/// D=3, nvar=8 (MHD-shaped), unpadded.
+fn fixture_grid_3d() -> BlockGrid<3> {
+    build_fixture(GridParams::new([4, 4, 4], 2, 8, 1), [2, 1, 1], &[0xAD_0003])
+}
+
+#[test]
+fn checkpoint_v2_fixture_loads_bitwise_and_resaves_identically() {
+    let bytes = read_fixture("checkpoint_v2_d2_pad2.ablk");
+    let grid: BlockGrid<2> =
+        load_grid(&mut bytes.as_slice()).expect("pre-refactor checkpoint must load");
+    check_grid(&grid).expect("loaded fixture grid must pass the oracle");
+    assert_eq!(grid.params().pad, 2, "fixture must exercise a padded shape");
+    assert_eq!(
+        grid_digest(&grid),
+        CKPT_D2_DIGEST,
+        "checkpoint v2 fixture no longer loads to the recorded state"
+    );
+    let mut resaved = Vec::new();
+    save_grid(&mut resaved, &grid).expect("writing to a Vec cannot fail");
+    assert_eq!(
+        resaved, bytes,
+        "re-saving the loaded fixture changed the on-disk bytes: the \
+         checkpoint v2 format drifted"
+    );
+}
+
+#[test]
+fn snapshot_v3_fixture_materializes_with_stable_root() {
+    let bytes = read_fixture("snapshot_v3_d3.ablk");
+    let (store, root) =
+        read_archive::<3>(&mut bytes.as_slice()).expect("pre-refactor archive must read");
+    assert_eq!(
+        root,
+        NodeHash::from_words(SNAP_D3_ROOT),
+        "archive root hash drifted"
+    );
+    let grid = materialize::<3>(&store, root).expect("fixture root must materialize");
+    check_grid(&grid).expect("materialized fixture grid must pass the oracle");
+    assert_eq!(
+        grid_digest(&grid),
+        SNAP_D3_DIGEST,
+        "snapshot v3 fixture no longer materializes to the recorded state"
+    );
+
+    // Content-hash stability: snapshotting the identical state into a
+    // fresh store must reproduce the identical root — every unchanged
+    // block must hash to the same content address it had pre-refactor.
+    let mut fresh = NodeStore::new();
+    let stats = write_snapshot(&mut fresh, &grid, SNAP_STEP).expect("write_snapshot");
+    assert_eq!(
+        stats.root, root,
+        "re-snapshotting the fixture state produced a different root: \
+         block content hashes are not layout-stable"
+    );
+
+    // And the archive of that root must itself roundtrip.
+    let mut rearchived = Vec::new();
+    write_archive::<3>(&mut rearchived, &fresh, stats.root).expect("write_archive");
+    let (_, root2) = read_archive::<3>(&mut rearchived.as_slice()).expect("read_archive");
+    assert_eq!(root2, root);
+}
+
+#[test]
+fn fixture_state_matches_generator() {
+    // The generator itself must stay deterministic and layout-independent,
+    // otherwise regeneration would silently re-record different states.
+    assert_eq!(grid_digest(&fixture_grid_2d()), CKPT_D2_DIGEST);
+    assert_eq!(grid_digest(&fixture_grid_3d()), SNAP_D3_DIGEST);
+}
+
+/// Writes the fixture files and prints the constants to bake into this
+/// test. Run only for an intentional format change.
+#[test]
+#[ignore = "recording mode: rewrites tests/fixtures/ and prints the digest constants"]
+fn record_fixtures() {
+    std::fs::create_dir_all(fixture_path("")).expect("create fixtures dir");
+
+    let g2 = fixture_grid_2d();
+    let mut ckpt = Vec::new();
+    save_grid(&mut ckpt, &g2).expect("save_grid");
+    std::fs::write(fixture_path("checkpoint_v2_d2_pad2.ablk"), &ckpt).expect("write fixture");
+    println!("CKPT_D2_DIGEST 0x{:016x} ({} bytes)", grid_digest(&g2), ckpt.len());
+
+    let g3 = fixture_grid_3d();
+    let mut store = NodeStore::new();
+    let stats = write_snapshot(&mut store, &g3, SNAP_STEP).expect("write_snapshot");
+    let mut arch = Vec::new();
+    write_archive::<3>(&mut arch, &store, stats.root).expect("write_archive");
+    std::fs::write(fixture_path("snapshot_v3_d3.ablk"), &arch).expect("write fixture");
+    let w = stats.root.to_words();
+    println!("SNAP_D3_DIGEST 0x{:016x} ({} bytes)", grid_digest(&g3), arch.len());
+    println!("SNAP_D3_ROOT [0x{:016x}, 0x{:016x}]", w[0], w[1]);
+}

@@ -49,7 +49,9 @@ fn indexed_refs<'a, T>(v: &'a mut [T], ids: &[BlockId]) -> Vec<&'a mut T> {
 }
 
 /// Ghost values computed in the gather phase, ready to be written into one
-/// destination block.
+/// destination block. `data` is variable-major (variable planes outer,
+/// region cells x-fastest within a plane) — the natural order of both the
+/// SoA field storage and the staging blocks the transfer operators fill.
 struct ReadyOp<const D: usize> {
     region: IBox<D>,
     data: Vec<f64>,
@@ -66,14 +68,28 @@ fn gather_task<const D: usize>(
     match task {
         GhostTask::Physical { .. } | GhostTask::ClampCopy { .. } => None,
         GhostTask::Same { dst, src, region, shift } => {
+            if region.is_empty() {
+                return None;
+            }
             let sf = grid.block(*src).field();
+            let shape = *sf.shape();
+            let ps = shape.plane_stride();
+            let s = sf.as_slice();
             let mut data = Vec::with_capacity(region.volume() as usize * nvar);
-            for c in region.iter() {
-                let mut sc = c;
-                for d in 0..D {
-                    sc[d] += shift[d];
+            // plane by plane, x-row by x-row: rows are contiguous in the
+            // source regardless of padding
+            let mut row = *region;
+            row.hi[0] = region.lo[0] + 1;
+            let row_len = (region.hi[0] - region.lo[0]) as usize;
+            for v in 0..nvar {
+                for c in row.iter() {
+                    let mut sc = c;
+                    for d in 0..D {
+                        sc[d] += shift[d];
+                    }
+                    let i0 = shape.lin(sc) + v * ps;
+                    data.extend_from_slice(&s[i0..i0 + row_len]);
                 }
-                data.extend_from_slice(sf.cell(sc));
             }
             Some((*dst, ReadyOp { region: *region, data }))
         }
@@ -213,11 +229,22 @@ fn fill_phase<const D: usize>(
 
 /// Write one gathered ghost region into a destination field.
 fn scatter_op<const D: usize>(field: &mut FieldBlock<D>, op: &ReadyOp<D>) {
-    let nvar = field.shape().nvar;
+    if op.region.is_empty() {
+        return;
+    }
+    let shape = *field.shape();
+    let ps = shape.plane_stride();
+    let out = field.as_mut_slice();
+    let mut row = op.region;
+    row.hi[0] = op.region.lo[0] + 1;
+    let row_len = (op.region.hi[0] - op.region.lo[0]) as usize;
     let mut off = 0;
-    for c in op.region.iter() {
-        field.set_cell(c, &op.data[off..off + nvar]);
-        off += nvar;
+    for v in 0..shape.nvar {
+        for c in row.iter() {
+            let i0 = shape.lin(c) + v * ps;
+            out[i0..i0 + row_len].copy_from_slice(&op.data[off..off + row_len]);
+            off += row_len;
+        }
     }
 }
 

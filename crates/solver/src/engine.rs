@@ -276,12 +276,22 @@ pub fn fe_update_block<const D: usize, P: Physics>(
     rhs: &FieldBlock<D>,
     dt: f64,
 ) -> usize {
-    let interior = field.shape().interior_box();
-    for c in interior.iter() {
-        let r = rhs.cell(c);
-        let u = field.cell_mut(c);
-        for v in 0..u.len() {
-            u[v] += dt * r[v];
+    let shape = *field.shape();
+    let ps = shape.plane_stride();
+    let ib = shape.interior_box();
+    let mut rowbox = ib;
+    rowbox.hi[0] = ib.lo[0] + 1;
+    let row_len = (ib.hi[0] - ib.lo[0]) as usize;
+    let us = field.as_mut_slice();
+    let rs = rhs.as_slice();
+    for rc in rowbox.iter() {
+        let i0 = shape.lin(rc);
+        for v in 0..shape.nvar {
+            let o = v * ps + i0;
+            let (urow, rrow) = (&mut us[o..o + row_len], &rs[o..o + row_len]);
+            for (x, &r) in urow.iter_mut().zip(rrow) {
+                *x += dt * r;
+            }
         }
     }
     apply_floors_block(phys, field)
@@ -309,13 +319,24 @@ pub fn rk2_stage2_block<const D: usize, P: Physics>(
     stage: &FieldBlock<D>,
     dt: f64,
 ) -> usize {
-    let interior = field.shape().interior_box();
-    for c in interior.iter() {
-        let r = rhs.cell(c);
-        let u0 = stage.cell(c);
-        let u = field.cell_mut(c);
-        for v in 0..u.len() {
-            u[v] = 0.5 * u0[v] + 0.5 * (u[v] + dt * r[v]);
+    let shape = *field.shape();
+    let ps = shape.plane_stride();
+    let ib = shape.interior_box();
+    let mut rowbox = ib;
+    rowbox.hi[0] = ib.lo[0] + 1;
+    let row_len = (ib.hi[0] - ib.lo[0]) as usize;
+    let us = field.as_mut_slice();
+    let rs = rhs.as_slice();
+    let ss = stage.as_slice();
+    for rc in rowbox.iter() {
+        let i0 = shape.lin(rc);
+        for v in 0..shape.nvar {
+            let o = v * ps + i0;
+            let urow = &mut us[o..o + row_len];
+            let (rrow, srow) = (&rs[o..o + row_len], &ss[o..o + row_len]);
+            for (k, x) in urow.iter_mut().enumerate() {
+                *x = 0.5 * srow[k] + 0.5 * (*x + dt * rrow[k]);
+            }
         }
     }
     apply_floors_block(phys, field)

@@ -6,6 +6,9 @@
 
 use crate::physics::Physics;
 
+// Row loops below mirror the scalar methods operation for operation —
+// the kernels require the batched and scalar paths to agree bitwise.
+
 /// Euler gas dynamics in `D` dimensions.
 #[derive(Clone, Debug)]
 pub struct Euler<const D: usize> {
@@ -108,6 +111,69 @@ impl<const D: usize> Physics for Euler<D> {
             *slot = 1 + d;
         }
         vec![v]
+    }
+
+    fn flux_rows(&self, u: &[f64], su: usize, dir: usize, f: &mut [f64], sf: usize, lanes: usize) {
+        for k in 0..lanes {
+            let rho = u[k];
+            let vd = u[(1 + dir) * su + k] / rho;
+            let mut ke = 0.0;
+            for d in 0..D {
+                ke += u[(1 + d) * su + k] * u[(1 + d) * su + k];
+            }
+            ke *= 0.5 / rho;
+            let p = (self.gamma - 1.0) * (u[(1 + D) * su + k] - ke);
+            f[k] = u[(1 + dir) * su + k];
+            for d in 0..D {
+                f[(1 + d) * sf + k] = u[(1 + d) * su + k] * vd;
+            }
+            f[(1 + dir) * sf + k] += p;
+            f[(1 + D) * sf + k] = (u[(1 + D) * su + k] + p) * vd;
+        }
+    }
+
+    fn max_speed_rows(&self, u: &[f64], su: usize, dir: usize, out: &mut [f64], lanes: usize) {
+        for (k, o) in out.iter_mut().enumerate().take(lanes) {
+            let rho = u[k];
+            let vd = (u[(1 + dir) * su + k] / rho).abs();
+            let mut ke = 0.0;
+            for d in 0..D {
+                ke += u[(1 + d) * su + k] * u[(1 + d) * su + k];
+            }
+            ke *= 0.5 / rho;
+            let p = (self.gamma - 1.0) * (u[(1 + D) * su + k] - ke);
+            *o = vd + (self.gamma * p.max(0.0) / rho).sqrt();
+        }
+    }
+
+    fn cons_to_prim_rows(&self, u: &[f64], su: usize, w: &mut [f64], sw: usize, lanes: usize) {
+        for k in 0..lanes {
+            let rho = u[k];
+            if rho <= 0.0 {
+                continue;
+            }
+            w[k] = rho;
+            let mut ke = 0.0;
+            for d in 0..D {
+                w[(1 + d) * sw + k] = u[(1 + d) * su + k] / rho;
+                ke += u[(1 + d) * su + k] * u[(1 + d) * su + k];
+            }
+            ke *= 0.5 / rho;
+            w[(1 + D) * sw + k] = (self.gamma - 1.0) * (u[(1 + D) * su + k] - ke);
+        }
+    }
+
+    fn prim_to_cons_rows(&self, w: &[f64], sw: usize, u: &mut [f64], su: usize, lanes: usize) {
+        for k in 0..lanes {
+            let rho = w[k];
+            u[k] = rho;
+            let mut ke = 0.0;
+            for d in 0..D {
+                u[(1 + d) * su + k] = rho * w[(1 + d) * sw + k];
+                ke += w[(1 + d) * sw + k] * w[(1 + d) * sw + k];
+            }
+            u[(1 + D) * su + k] = w[(1 + D) * sw + k] / (self.gamma - 1.0) + 0.5 * rho * ke;
+        }
     }
 
     fn apply_floors(&self, u: &mut [f64]) -> bool {

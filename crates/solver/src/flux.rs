@@ -11,7 +11,7 @@
 //! Both operate on *conserved* interface states produced by the
 //! reconstruction layer.
 
-use crate::physics::{Physics, MAX_VARS};
+use crate::physics::{Physics, MAX_VARS, ROW_CHUNK};
 
 /// Which approximate Riemann solver the kernel uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -56,6 +56,61 @@ pub fn numerical_flux<P: Physics>(
                 let inv = 1.0 / (sr - sl);
                 for v in 0..n {
                     out[v] = (sr * fl[v] - sl * fr[v] + sl * sr * (ur[v] - ul[v])) * inv;
+                }
+            }
+        }
+    }
+}
+
+/// Row-batched [`numerical_flux`] over at most [`ROW_CHUNK`] interfaces.
+/// `ul`, `ur` and `out` are variable-major slabs sharing stride `s`
+/// (variable `v` of lane `k` at `[v * s + k]`). Rusanov runs as stride-1
+/// elementwise loops over the row; HLL gathers each lane through the scalar
+/// path (its three-way upwind branch doesn't row-batch). Both paths are
+/// bitwise identical to calling [`numerical_flux`] once per lane.
+#[allow(clippy::too_many_arguments)]
+pub fn numerical_flux_rows<P: Physics>(
+    phys: &P,
+    riemann: Riemann,
+    ul: &[f64],
+    ur: &[f64],
+    dir: usize,
+    out: &mut [f64],
+    s: usize,
+    lanes: usize,
+) {
+    debug_assert!(lanes <= ROW_CHUNK);
+    let n = phys.nvar();
+    match riemann {
+        Riemann::Rusanov => {
+            let mut fl = [0.0; MAX_VARS * ROW_CHUNK];
+            let mut fr = [0.0; MAX_VARS * ROW_CHUNK];
+            let mut sl = [0.0; ROW_CHUNK];
+            let mut sr = [0.0; ROW_CHUNK];
+            phys.flux_speed_rows(ul, s, dir, &mut fl, ROW_CHUNK, &mut sl, lanes);
+            phys.flux_speed_rows(ur, s, dir, &mut fr, ROW_CHUNK, &mut sr, lanes);
+            for v in 0..n {
+                let flv = &fl[v * ROW_CHUNK..v * ROW_CHUNK + lanes];
+                let frv = &fr[v * ROW_CHUNK..v * ROW_CHUNK + lanes];
+                for k in 0..lanes {
+                    let a = sl[k].max(sr[k]);
+                    out[v * s + k] =
+                        0.5 * (flv[k] + frv[k]) - 0.5 * a * (ur[v * s + k] - ul[v * s + k]);
+                }
+            }
+        }
+        Riemann::Hll => {
+            let mut ulc = [0.0; MAX_VARS];
+            let mut urc = [0.0; MAX_VARS];
+            let mut fc = [0.0; MAX_VARS];
+            for k in 0..lanes {
+                for v in 0..n {
+                    ulc[v] = ul[v * s + k];
+                    urc[v] = ur[v * s + k];
+                }
+                numerical_flux(phys, riemann, &ulc[..n], &urc[..n], dir, &mut fc[..n]);
+                for v in 0..n {
+                    out[v * s + k] = fc[v];
                 }
             }
         }

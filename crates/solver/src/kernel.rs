@@ -16,9 +16,9 @@
 use ablock_core::field::FieldBlock;
 use ablock_core::index::{Face, IVec};
 
-use crate::flux::{numerical_flux, Riemann};
-use crate::physics::{Physics, MAX_VARS};
-use crate::recon::{reconstruct_interface, Recon};
+use crate::flux::{numerical_flux_rows, Riemann};
+use crate::physics::{Physics, MAX_VARS, ROW_CHUNK};
+use crate::recon::{limited_slope, Recon};
 
 /// Full spatial scheme: reconstruction plus Riemann solver.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,19 +102,21 @@ impl<const D: usize> FaceFluxStore<D> {
 }
 
 /// Convert the conserved field to primitives over the whole ghosted box
-/// into `prim` (same layout as the field's storage). Cells whose density
-/// is non-positive (unfilled ghost corners) are skipped.
+/// into `prim` (same variable-major layout and plane stride as the field's
+/// storage), one x-contiguous row at a time. Cells whose density is
+/// non-positive (unfilled ghost corners) are skipped.
 fn primitives<const D: usize, P: Physics>(phys: &P, field: &FieldBlock<D>, prim: &mut Vec<f64>) {
-    let n = phys.nvar();
     prim.resize(field.as_slice().len(), 0.0);
     let shape = *field.shape();
+    let ps = shape.plane_stride();
     let u = field.as_slice();
-    for c in shape.ghosted_box().iter() {
-        let i = shape.lin(c);
-        if u[i] > 0.0 {
-            let (head, tail) = (&u[i..i + n], &mut prim[i..i + n]);
-            phys.cons_to_prim(head, tail);
-        }
+    let gb = shape.ghosted_box();
+    let mut rowbox = gb;
+    rowbox.hi[0] = gb.lo[0] + 1;
+    let row_len = (gb.hi[0] - gb.lo[0]) as usize;
+    for rc in rowbox.iter() {
+        let base = shape.lin(rc);
+        phys.cons_to_prim_rows(&u[base..], ps, &mut prim[base..], ps, row_len);
     }
 }
 
@@ -150,21 +152,47 @@ pub fn compute_rhs_block_fluxes<const D: usize, P: Physics>(
     debug_assert!(field.shape().nghost >= scheme.recon.required_ghosts());
     let shape = *field.shape();
     let strides = shape.strides();
+    let ps = shape.plane_stride();
 
-    // zero the RHS interior
-    for c in shape.interior_box().iter() {
-        rhs.cell_mut(c).fill(0.0);
+    // zero the RHS interior, plane by plane (x rows are contiguous in
+    // every variable plane)
+    {
+        let ib = shape.interior_box();
+        let mut rowbox = ib;
+        rowbox.hi[0] = ib.lo[0] + 1;
+        let row_len = (ib.hi[0] - ib.lo[0]) as usize;
+        let rhs_s = rhs.as_mut_slice();
+        for rc in rowbox.iter() {
+            let i0 = shape.lin(rc);
+            for v in 0..n {
+                rhs_s[v * ps + i0..v * ps + i0 + row_len].fill(0.0);
+            }
+        }
     }
 
     primitives(phys, field, prim_scratch);
-    let prim: &[f64] = prim_scratch;
+    // MUSCL: the scratch doubles as a slope plane (second half). Each
+    // cell's limited slope is computed once per direction and reused by
+    // both interfaces that touch the cell — the inputs are exactly the
+    // per-interface stencil differences, so results are bitwise identical
+    // to recomputing them at each interface.
+    let field_len = field.as_slice().len();
+    if matches!(scheme.recon, Recon::Muscl(_)) {
+        prim_scratch.resize(2 * field_len, 0.0);
+    }
+    let split = field_len.min(prim_scratch.len());
+    let (prim, slope) = prim_scratch.split_at_mut(split);
+    let prim: &[f64] = prim;
     let rhs_s = rhs.as_mut_slice();
 
-    let mut wl = [0.0; MAX_VARS];
-    let mut wr = [0.0; MAX_VARS];
-    let mut ul = [0.0; MAX_VARS];
-    let mut ur = [0.0; MAX_VARS];
-    let mut f = [0.0; MAX_VARS];
+    // Variable-major row-chunk slabs: variable `v` of lane `k` lives at
+    // `[v * ROW_CHUNK + k]`. Lane `k` is the interface whose RIGHT cell is
+    // the k-th cell of the current x-row chunk.
+    let mut wl = [0.0; MAX_VARS * ROW_CHUNK];
+    let mut wr = [0.0; MAX_VARS * ROW_CHUNK];
+    let mut ul = [0.0; MAX_VARS * ROW_CHUNK];
+    let mut ur = [0.0; MAX_VARS * ROW_CHUNK];
+    let mut f = [0.0; MAX_VARS * ROW_CHUNK];
     let mut nflux = 0usize;
 
     for dir in 0..D {
@@ -174,57 +202,148 @@ pub fn compute_rhs_block_fluxes<const D: usize, P: Physics>(
         // interface index i in [0, m]: between cells i-1 and i along dir
         let mut ibox = shape.interior_box();
         ibox.hi[dir] += 1;
-        for c in ibox.iter() {
-            // linear index of cell `c` (the right cell of the interface)
-            let ic = shape.lin(c);
-            let im = ic - step;
-            match scheme.recon {
-                Recon::FirstOrder => {
-                    wl[..n].copy_from_slice(&prim[im..im + n]);
-                    wr[..n].copy_from_slice(&prim[ic..ic + n]);
-                }
-                Recon::Muscl(_) => {
-                    let imm = im - step;
-                    let ipp = ic + step;
-                    for v in 0..n {
-                        let (l, r) = reconstruct_interface(
-                            scheme.recon,
-                            prim[imm + v],
-                            prim[im + v],
-                            prim[ic + v],
-                            prim[ipp + v],
-                        );
-                        wl[v] = l;
-                        wr[v] = r;
+        // One x-row at a time. For dir == 0 the row spans the m+1 interface
+        // positions; for transverse sweeps every lane of a row shares the
+        // interface index rc[dir]. Either way both the left and the right
+        // cell runs are x-contiguous, so every load below is stride-1.
+        let mut rowbox = ibox;
+        rowbox.hi[0] = ibox.lo[0] + 1;
+        let row_len = (ibox.hi[0] - ibox.lo[0]) as usize;
+        if let Recon::Muscl(lim) = scheme.recon {
+            // fill the slope plane for this direction: every cell an
+            // interface extrapolates from (interior grown by one along
+            // `dir`), one x-row at a time
+            let mut sbox = shape.interior_box();
+            sbox.lo[dir] -= 1;
+            sbox.hi[dir] += 1;
+            let mut srowbox = sbox;
+            srowbox.hi[0] = sbox.lo[0] + 1;
+            let srow_len = (sbox.hi[0] - sbox.lo[0]) as usize;
+            for rc in srowbox.iter() {
+                let b = shape.lin(rc);
+                for v in 0..n {
+                    let p = &prim[v * ps..];
+                    let s = &mut slope[v * ps..];
+                    for j in b..b + srow_len {
+                        s[j] = limited_slope(lim, p[j] - p[j - step], p[j + step] - p[j]);
                     }
                 }
             }
-            phys.prim_to_cons(&wl[..n], &mut ul[..n]);
-            phys.prim_to_cons(&wr[..n], &mut ur[..n]);
-            numerical_flux(phys, scheme.riemann, &ul[..n], &ur[..n], dir, &mut f[..n]);
-            nflux += 1;
-            let i = c[dir];
-            if let Some(store) = flux_store.as_deref_mut() {
-                if i == 0 {
-                    store
-                        .flux_mut(Face::new(dir, false), c)
-                        .copy_from_slice(&f[..n]);
-                } else if i == m_dir {
-                    store
-                        .flux_mut(Face::new(dir, true), c)
-                        .copy_from_slice(&f[..n]);
+        }
+        for rc in rowbox.iter() {
+            let base = shape.lin(rc);
+            let mut k0 = 0usize;
+            while k0 < row_len {
+                let lanes = (row_len - k0).min(ROW_CHUNK);
+                let ic0 = base + k0; // right-cell offset of lane 0
+                let im0 = ic0 - step;
+                match scheme.recon {
+                    Recon::FirstOrder => {
+                        phys.prim_to_cons_rows(&prim[im0..], ps, &mut ul, ROW_CHUNK, lanes);
+                        phys.prim_to_cons_rows(&prim[ic0..], ps, &mut ur, ROW_CHUNK, lanes);
+                    }
+                    Recon::Muscl(_) => {
+                        // uL extrapolates from cell i-1 (offset im0+k), uR
+                        // from cell i (offset ic0+k); both reads stride-1
+                        for v in 0..n {
+                            let p = &prim[v * ps..];
+                            let s = &slope[v * ps..];
+                            for k in 0..lanes {
+                                wl[v * ROW_CHUNK + k] = p[im0 + k] + 0.5 * s[im0 + k];
+                                wr[v * ROW_CHUNK + k] = p[ic0 + k] - 0.5 * s[ic0 + k];
+                            }
+                        }
+                        phys.prim_to_cons_rows(&wl, ROW_CHUNK, &mut ul, ROW_CHUNK, lanes);
+                        phys.prim_to_cons_rows(&wr, ROW_CHUNK, &mut ur, ROW_CHUNK, lanes);
+                    }
                 }
-            }
-            if i > 0 {
-                // left cell gains -F/h
-                for v in 0..n {
-                    rhs_s[im + v] -= f[v] * inv_h;
+                numerical_flux_rows(
+                    phys,
+                    scheme.riemann,
+                    &ul,
+                    &ur,
+                    dir,
+                    &mut f,
+                    ROW_CHUNK,
+                    lanes,
+                );
+                nflux += lanes;
+
+                if let Some(store) = flux_store.as_deref_mut() {
+                    if dir == 0 {
+                        // interface index of lane k is k0 + k
+                        if k0 == 0 {
+                            let fm = store.flux_mut(Face::new(0, false), rc);
+                            for (v, x) in fm.iter_mut().enumerate() {
+                                *x = f[v * ROW_CHUNK];
+                            }
+                        }
+                        if k0 + lanes == row_len {
+                            let fm = store.flux_mut(Face::new(0, true), rc);
+                            for (v, x) in fm.iter_mut().enumerate() {
+                                *x = f[v * ROW_CHUNK + lanes - 1];
+                            }
+                        }
+                    } else {
+                        let i = rc[dir];
+                        if i == 0 || i == m_dir {
+                            let face = Face::new(dir, i == m_dir);
+                            for k in 0..lanes {
+                                let mut c = rc;
+                                c[0] = (k0 + k) as i64;
+                                let fm = store.flux_mut(face, c);
+                                for (v, x) in fm.iter_mut().enumerate() {
+                                    *x = f[v * ROW_CHUNK + k];
+                                }
+                            }
+                        }
+                    }
                 }
-            }
-            if i < m_dir {
-                for v in 0..n {
-                    rhs_s[ic + v] += f[v] * inv_h;
+
+                // Accumulate += into right cells before -= into left cells:
+                // per (cell, var) slot this preserves the interface-ascending
+                // order of the scalar kernel (gain from the left interface,
+                // then loss to the right one), keeping results bitwise
+                // identical.
+                if dir == 0 {
+                    let n_plus = lanes.min(m_dir as usize - k0); // lanes with i < m
+                    let k_minus = usize::from(k0 == 0); // first lane with i > 0
+                    for v in 0..n {
+                        let fv = &f[v * ROW_CHUNK..v * ROW_CHUNK + lanes];
+                        let rp = &mut rhs_s[v * ps + ic0..v * ps + ic0 + lanes];
+                        for k in 0..n_plus {
+                            rp[k] += fv[k] * inv_h;
+                        }
+                    }
+                    for v in 0..n {
+                        let fv = &f[v * ROW_CHUNK..v * ROW_CHUNK + lanes];
+                        let rp = &mut rhs_s[v * ps + im0..v * ps + im0 + lanes];
+                        for k in k_minus..lanes {
+                            rp[k] -= fv[k] * inv_h;
+                        }
+                    }
+                } else {
+                    let i = rc[dir];
+                    if i < m_dir {
+                        for v in 0..n {
+                            let fv = &f[v * ROW_CHUNK..v * ROW_CHUNK + lanes];
+                            let rp = &mut rhs_s[v * ps + ic0..v * ps + ic0 + lanes];
+                            for k in 0..lanes {
+                                rp[k] += fv[k] * inv_h;
+                            }
+                        }
+                    }
+                    if i > 0 {
+                        for v in 0..n {
+                            let fv = &f[v * ROW_CHUNK..v * ROW_CHUNK + lanes];
+                            let rp = &mut rhs_s[v * ps + im0..v * ps + im0 + lanes];
+                            for k in 0..lanes {
+                                rp[k] -= fv[k] * inv_h;
+                            }
+                        }
+                    }
                 }
+                k0 += lanes;
             }
         }
     }
@@ -246,30 +365,48 @@ pub fn add_powell_source<const D: usize, P: Physics>(
     let [ibx, iby, ibz] = phys.b_indices().expect("powell source requires B field");
     let b_idx = [ibx, iby, ibz];
     let shape = *field.shape();
-    for c in shape.interior_box().iter() {
-        let mut divb = 0.0;
-        for d in 0..D {
-            let mut cp: IVec<D> = c;
-            cp[d] += 1;
-            let mut cm: IVec<D> = c;
-            cm[d] -= 1;
-            divb += (field.at(cp, b_idx[d]) - field.at(cm, b_idx[d])) / (2.0 * h[d]);
+    let strides = shape.strides();
+    let ps = shape.plane_stride();
+    let ie = phys.nvar() - 1;
+    let u = field.as_slice();
+    let rhs_s = rhs.as_mut_slice();
+    let ib = shape.interior_box();
+    let mut rowbox = ib;
+    rowbox.hi[0] = ib.lo[0] + 1;
+    let row_len = (ib.hi[0] - ib.lo[0]) as usize;
+    for rc in rowbox.iter() {
+        let base = shape.lin(rc);
+        let mut k0 = 0usize;
+        while k0 < row_len {
+            let lanes = (row_len - k0).min(ROW_CHUNK);
+            let i0 = base + k0;
+            // central-difference div B, accumulated per direction over the
+            // row (stride-1 loads: the ±strides[d] shifts stay x-contiguous)
+            let mut divb = [0.0; ROW_CHUNK];
+            for (d, &hd) in h.iter().enumerate() {
+                let s = strides[d] as usize;
+                let bp = &u[b_idx[d] * ps..];
+                for (k, db) in divb[..lanes].iter_mut().enumerate() {
+                    *db += (bp[i0 + k + s] - bp[i0 + k - s]) / (2.0 * hd);
+                }
+            }
+            for (k, &db) in divb[..lanes].iter().enumerate() {
+                if db == 0.0 {
+                    continue;
+                }
+                let i = i0 + k;
+                let rho = u[i];
+                let v = [u[ps + i] / rho, u[2 * ps + i] / rho, u[3 * ps + i] / rho];
+                let b = [u[ibx * ps + i], u[iby * ps + i], u[ibz * ps + i]];
+                let vdotb = v[0] * b[0] + v[1] * b[1] + v[2] * b[2];
+                for j in 0..3 {
+                    rhs_s[(1 + j) * ps + i] -= db * b[j];
+                    rhs_s[b_idx[j] * ps + i] -= db * v[j];
+                }
+                rhs_s[ie * ps + i] -= db * vdotb;
+            }
+            k0 += lanes;
         }
-        if divb == 0.0 {
-            continue;
-        }
-        let u = field.cell(c);
-        let rho = u[0];
-        let v = [u[1] / rho, u[2] / rho, u[3] / rho];
-        let b = [u[ibx], u[iby], u[ibz]];
-        let vdotb = v[0] * b[0] + v[1] * b[1] + v[2] * b[2];
-        let out = rhs.cell_mut(c);
-        for k in 0..3 {
-            out[1 + k] -= divb * b[k];
-            out[b_idx[k]] -= divb * v[k];
-        }
-        let ie = phys.nvar() - 1;
-        out[ie] -= divb * vdotb;
     }
 }
 
@@ -280,14 +417,32 @@ pub fn max_rate_block<const D: usize, P: Physics>(
     field: &FieldBlock<D>,
     h: [f64; D],
 ) -> f64 {
+    let shape = *field.shape();
+    let ps = shape.plane_stride();
+    let u = field.as_slice();
     let mut rate: f64 = 0.0;
-    for c in field.shape().interior_box().iter() {
-        let u = field.cell(c);
-        let mut r = 0.0;
-        for d in 0..D {
-            r += phys.max_speed(u, d) / h[d];
+    let ib = shape.interior_box();
+    let mut rowbox = ib;
+    rowbox.hi[0] = ib.lo[0] + 1;
+    let row_len = (ib.hi[0] - ib.lo[0]) as usize;
+    let mut ms = [[0.0; ROW_CHUNK]; 3];
+    for rc in rowbox.iter() {
+        let base = shape.lin(rc);
+        let mut k0 = 0usize;
+        while k0 < row_len {
+            let lanes = (row_len - k0).min(ROW_CHUNK);
+            for (d, m) in ms.iter_mut().enumerate().take(D) {
+                phys.max_speed_rows(&u[base + k0..], ps, d, m, lanes);
+            }
+            for k in 0..lanes {
+                let mut r = 0.0;
+                for d in 0..D {
+                    r += ms[d][k] / h[d];
+                }
+                rate = rate.max(r);
+            }
+            k0 += lanes;
         }
-        rate = rate.max(r);
     }
     rate
 }
@@ -404,7 +559,7 @@ mod tests {
         let mut field = uniform_block(&m, shape, &[1.0, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
         // impose Bx = x -> divB = 1 everywhere
         for c in shape.ghosted_box().iter() {
-            field.cell_mut(c)[4] = c[0] as f64 * 0.1;
+            *field.at_mut(c, 4) = c[0] as f64 * 0.1;
         }
         let mut rhs = FieldBlock::zeros(shape);
         rhs.fill(0.0);

@@ -140,6 +140,152 @@ impl Physics for IdealMhd {
         Some([IBX, IBX + 1, IBX + 2])
     }
 
+    // Row loops mirror the scalar methods operation for operation — the
+    // kernels require the batched and scalar paths to agree bitwise.
+
+    fn flux_rows(&self, u: &[f64], su: usize, dir: usize, f: &mut [f64], sf: usize, lanes: usize) {
+        for k in 0..lanes {
+            let rho = u[IRHO * su + k];
+            let inv = 1.0 / rho;
+            let v = [u[IMX * su + k] * inv, u[(IMX + 1) * su + k] * inv, u[(IMX + 2) * su + k] * inv];
+            let b = [u[IBX * su + k], u[(IBX + 1) * su + k], u[(IBX + 2) * su + k]];
+            let e = u[IE * su + k];
+            let ke = 0.5 * (u[IMX * su + k] * u[IMX * su + k]
+                + u[(IMX + 1) * su + k] * u[(IMX + 1) * su + k]
+                + u[(IMX + 2) * su + k] * u[(IMX + 2) * su + k])
+                / rho;
+            let me = 0.5 * (b[0] * b[0] + b[1] * b[1] + b[2] * b[2]);
+            let p = (self.gamma - 1.0) * (e - ke - me);
+            let ptot = p + 0.5 * (b[0] * b[0] + b[1] * b[1] + b[2] * b[2]);
+            let vn = v[dir];
+            let bn = b[dir];
+            let vdotb = v[0] * b[0] + v[1] * b[1] + v[2] * b[2];
+            f[IRHO * sf + k] = rho * vn;
+            for j in 0..3 {
+                f[(IMX + j) * sf + k] = rho * v[j] * vn - bn * b[j];
+                f[(IBX + j) * sf + k] = vn * b[j] - bn * v[j];
+            }
+            f[(IMX + dir) * sf + k] += ptot;
+            f[(IBX + dir) * sf + k] = 0.0;
+            f[IE * sf + k] = (e + ptot) * vn - bn * vdotb;
+        }
+    }
+
+    fn flux_speed_rows(
+        &self,
+        u: &[f64],
+        su: usize,
+        dir: usize,
+        f: &mut [f64],
+        sf: usize,
+        speed: &mut [f64],
+        lanes: usize,
+    ) {
+        // one pass per lane: `rho`, `ke`, `me` and the raw pressure are
+        // written exactly as in `flux_rows`/`max_speed_rows`, so sharing
+        // them keeps both outputs bitwise identical to the two-pass path
+        for k in 0..lanes {
+            let rho = u[IRHO * su + k];
+            let inv = 1.0 / rho;
+            let v = [u[IMX * su + k] * inv, u[(IMX + 1) * su + k] * inv, u[(IMX + 2) * su + k] * inv];
+            let b = [u[IBX * su + k], u[(IBX + 1) * su + k], u[(IBX + 2) * su + k]];
+            let e = u[IE * su + k];
+            let ke = 0.5 * (u[IMX * su + k] * u[IMX * su + k]
+                + u[(IMX + 1) * su + k] * u[(IMX + 1) * su + k]
+                + u[(IMX + 2) * su + k] * u[(IMX + 2) * su + k])
+                / rho;
+            let me = 0.5 * (b[0] * b[0] + b[1] * b[1] + b[2] * b[2]);
+            let p = (self.gamma - 1.0) * (e - ke - me);
+            let ptot = p + 0.5 * (b[0] * b[0] + b[1] * b[1] + b[2] * b[2]);
+            let vn = v[dir];
+            let bn = b[dir];
+            let vdotb = v[0] * b[0] + v[1] * b[1] + v[2] * b[2];
+            f[IRHO * sf + k] = rho * vn;
+            for j in 0..3 {
+                f[(IMX + j) * sf + k] = rho * v[j] * vn - bn * b[j];
+                f[(IBX + j) * sf + k] = vn * b[j] - bn * v[j];
+            }
+            f[(IMX + dir) * sf + k] += ptot;
+            f[(IBX + dir) * sf + k] = 0.0;
+            f[IE * sf + k] = (e + ptot) * vn - bn * vdotb;
+
+            let vn_abs = (u[(IMX + dir) * su + k] / rho).abs();
+            let pc = p.max(0.0);
+            let a2 = self.gamma * pc / rho;
+            let b2 = (u[IBX * su + k] * u[IBX * su + k]
+                + u[(IBX + 1) * su + k] * u[(IBX + 1) * su + k]
+                + u[(IBX + 2) * su + k] * u[(IBX + 2) * su + k])
+                / rho;
+            let bn2 = u[(IBX + dir) * su + k] * u[(IBX + dir) * su + k] / rho;
+            let s = a2 + b2;
+            let disc = (s * s - 4.0 * a2 * bn2).max(0.0).sqrt();
+            speed[k] = vn_abs + (0.5 * (s + disc)).max(0.0).sqrt();
+        }
+    }
+
+    fn max_speed_rows(&self, u: &[f64], su: usize, dir: usize, out: &mut [f64], lanes: usize) {
+        for (k, o) in out.iter_mut().enumerate().take(lanes) {
+            let rho = u[IRHO * su + k];
+            let vn = (u[(IMX + dir) * su + k] / rho).abs();
+            let ke = 0.5 * (u[IMX * su + k] * u[IMX * su + k]
+                + u[(IMX + 1) * su + k] * u[(IMX + 1) * su + k]
+                + u[(IMX + 2) * su + k] * u[(IMX + 2) * su + k])
+                / rho;
+            let me = 0.5 * (u[IBX * su + k] * u[IBX * su + k]
+                + u[(IBX + 1) * su + k] * u[(IBX + 1) * su + k]
+                + u[(IBX + 2) * su + k] * u[(IBX + 2) * su + k]);
+            let p = ((self.gamma - 1.0) * (u[IE * su + k] - ke - me)).max(0.0);
+            let a2 = self.gamma * p / rho;
+            let b2 = (u[IBX * su + k] * u[IBX * su + k]
+                + u[(IBX + 1) * su + k] * u[(IBX + 1) * su + k]
+                + u[(IBX + 2) * su + k] * u[(IBX + 2) * su + k])
+                / rho;
+            let bn2 = u[(IBX + dir) * su + k] * u[(IBX + dir) * su + k] / rho;
+            let s = a2 + b2;
+            let disc = (s * s - 4.0 * a2 * bn2).max(0.0).sqrt();
+            *o = vn + (0.5 * (s + disc)).max(0.0).sqrt();
+        }
+    }
+
+    fn cons_to_prim_rows(&self, u: &[f64], su: usize, w: &mut [f64], sw: usize, lanes: usize) {
+        for k in 0..lanes {
+            let rho = u[IRHO * su + k];
+            if rho <= 0.0 {
+                continue;
+            }
+            let inv = 1.0 / rho;
+            w[IRHO * sw + k] = rho;
+            for j in 0..3 {
+                w[(IMX + j) * sw + k] = u[(IMX + j) * su + k] * inv;
+                w[(IBX + j) * sw + k] = u[(IBX + j) * su + k];
+            }
+            let ke = 0.5 * (u[IMX * su + k] * u[IMX * su + k]
+                + u[(IMX + 1) * su + k] * u[(IMX + 1) * su + k]
+                + u[(IMX + 2) * su + k] * u[(IMX + 2) * su + k])
+                / rho;
+            let me = 0.5 * (u[IBX * su + k] * u[IBX * su + k]
+                + u[(IBX + 1) * su + k] * u[(IBX + 1) * su + k]
+                + u[(IBX + 2) * su + k] * u[(IBX + 2) * su + k]);
+            w[IE * sw + k] = (self.gamma - 1.0) * (u[IE * su + k] - ke - me);
+        }
+    }
+
+    fn prim_to_cons_rows(&self, w: &[f64], sw: usize, u: &mut [f64], su: usize, lanes: usize) {
+        for k in 0..lanes {
+            let rho = w[IRHO * sw + k];
+            u[IRHO * su + k] = rho;
+            let mut ke = 0.0;
+            let mut me = 0.0;
+            for j in 0..3 {
+                u[(IMX + j) * su + k] = rho * w[(IMX + j) * sw + k];
+                ke += w[(IMX + j) * sw + k] * w[(IMX + j) * sw + k];
+                u[(IBX + j) * su + k] = w[(IBX + j) * sw + k];
+                me += w[(IBX + j) * sw + k] * w[(IBX + j) * sw + k];
+            }
+            u[IE * su + k] = w[IE * sw + k] / (self.gamma - 1.0) + 0.5 * rho * ke + 0.5 * me;
+        }
+    }
+
     fn apply_floors(&self, u: &mut [f64]) -> bool {
         let mut clamped = false;
         if u[IRHO] < self.rho_floor {

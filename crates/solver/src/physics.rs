@@ -9,6 +9,11 @@
 /// Maximum conserved variables any supported system uses (ideal MHD: 8).
 pub const MAX_VARS: usize = 8;
 
+/// Lanes per row chunk in the row-batched kernels: the sweep processes
+/// x-contiguous runs of at most this many interfaces at a time, so row
+/// scratch can live in fixed `MAX_VARS * ROW_CHUNK` stack slabs.
+pub const ROW_CHUNK: usize = 64;
+
 /// A hyperbolic system of conservation laws, `∂u/∂t + ∇·F(u) = S(u)`.
 ///
 /// State slices passed in always have length `nvar()`. Implementations
@@ -59,6 +64,104 @@ pub trait Physics: Clone + Send + Sync + 'static {
     /// (density/pressure floors). Returns true if anything was clamped.
     fn apply_floors(&self, _u: &mut [f64]) -> bool {
         false
+    }
+
+    // --- Row-batched forms -------------------------------------------------
+    //
+    // The SoA kernels hand these methods *variable-major slabs*: variable
+    // `v` of lane `k` lives at `slab[v * stride + k]`, so each variable is a
+    // stride-1 run over the lanes. The defaults gather every lane and call
+    // the scalar method — always correct. Implementations should override
+    // them with elementwise loops that perform the *same arithmetic per
+    // lane*; the kernels (and the cross-backend differential suite) rely on
+    // row and scalar paths being bitwise identical.
+
+    /// Row-batched [`Physics::flux`]: `lanes` states in slab `u` (stride
+    /// `su`), fluxes written to slab `f` (stride `sf`).
+    fn flux_rows(&self, u: &[f64], su: usize, dir: usize, f: &mut [f64], sf: usize, lanes: usize) {
+        let n = self.nvar();
+        let mut uc = [0.0; MAX_VARS];
+        let mut fc = [0.0; MAX_VARS];
+        for k in 0..lanes {
+            for v in 0..n {
+                uc[v] = u[v * su + k];
+            }
+            self.flux(&uc[..n], dir, &mut fc[..n]);
+            for v in 0..n {
+                f[v * sf + k] = fc[v];
+            }
+        }
+    }
+
+    /// Row-batched [`Physics::max_speed`]: one speed per lane into `out`.
+    fn max_speed_rows(&self, u: &[f64], su: usize, dir: usize, out: &mut [f64], lanes: usize) {
+        let n = self.nvar();
+        let mut uc = [0.0; MAX_VARS];
+        for (k, o) in out.iter_mut().enumerate().take(lanes) {
+            for v in 0..n {
+                uc[v] = u[v * su + k];
+            }
+            *o = self.max_speed(&uc[..n], dir);
+        }
+    }
+
+    /// Row-batched flux and max signal speed in one call — what a Rusanov
+    /// interface needs from each side. The default is the two separate
+    /// passes; physics models override it to share the per-lane
+    /// subexpressions (density inverse, pressure) the two computations
+    /// have in common. Overrides must evaluate every shared term with the
+    /// exact expression the separate methods use, so fused and unfused
+    /// paths agree bitwise.
+    #[allow(clippy::too_many_arguments)]
+    fn flux_speed_rows(
+        &self,
+        u: &[f64],
+        su: usize,
+        dir: usize,
+        f: &mut [f64],
+        sf: usize,
+        speed: &mut [f64],
+        lanes: usize,
+    ) {
+        self.flux_rows(u, su, dir, f, sf, lanes);
+        self.max_speed_rows(u, su, dir, speed, lanes);
+    }
+
+    /// Row-batched [`Physics::cons_to_prim`] with the kernel's ghost-corner
+    /// guard: lanes whose density (variable 0) is non-positive are left
+    /// untouched in `w` (unfilled ghost corners hold zeros; the sweep never
+    /// reads them, but the scratch must not be clobbered with NaNs).
+    fn cons_to_prim_rows(&self, u: &[f64], su: usize, w: &mut [f64], sw: usize, lanes: usize) {
+        let n = self.nvar();
+        let mut uc = [0.0; MAX_VARS];
+        let mut wc = [0.0; MAX_VARS];
+        for k in 0..lanes {
+            if u[k] > 0.0 {
+                for v in 0..n {
+                    uc[v] = u[v * su + k];
+                }
+                self.cons_to_prim(&uc[..n], &mut wc[..n]);
+                for v in 0..n {
+                    w[v * sw + k] = wc[v];
+                }
+            }
+        }
+    }
+
+    /// Row-batched [`Physics::prim_to_cons`].
+    fn prim_to_cons_rows(&self, w: &[f64], sw: usize, u: &mut [f64], su: usize, lanes: usize) {
+        let n = self.nvar();
+        let mut wc = [0.0; MAX_VARS];
+        let mut uc = [0.0; MAX_VARS];
+        for k in 0..lanes {
+            for v in 0..n {
+                wc[v] = w[v * sw + k];
+            }
+            self.prim_to_cons(&wc[..n], &mut uc[..n]);
+            for v in 0..n {
+                u[v * su + k] = uc[v];
+            }
+        }
     }
 }
 

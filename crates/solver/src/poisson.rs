@@ -230,9 +230,8 @@ impl<const D: usize> MultigridPoisson<D> {
             let node = self.levels[k].block(id);
             let rb = &mut sw.rhs[id.index()];
             for c in IBox::from_dims(m).iter() {
-                let cell = rb.cell_mut(c);
-                cell[IU] = 0.0;
-                cell[IF] = residual_at(node.field(), c, h2);
+                *rb.at_mut(c, IU) = 0.0;
+                *rb.at_mut(c, IF) = residual_at(node.field(), c, h2);
             }
         }
         // zero the coarse level and pour restricted residuals in

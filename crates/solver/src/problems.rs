@@ -266,7 +266,7 @@ mod tests {
         // all pressures positive
         for (_, n) in g.blocks() {
             for c in n.field().shape().interior_box().iter() {
-                assert!(m.pressure(n.field().cell(c)) > 0.0);
+                assert!(m.pressure(&n.field().cell(c)) > 0.0);
             }
         }
     }

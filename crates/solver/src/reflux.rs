@@ -105,9 +105,8 @@ pub fn reflux_rhs<const D: usize>(
                         }
                     }
                     let fcoarse = coarse_store.flux(f, c);
-                    let cell = rhs_block.cell_mut(c);
                     for v in 0..nvar {
-                        cell[v] += sign * (fcoarse[v] - favg[v]) / h;
+                        *rhs_block.at_mut(c, v) += sign * (fcoarse[v] - favg[v]) / h;
                     }
                     corrected += 1;
                 }

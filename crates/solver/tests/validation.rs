@@ -190,7 +190,7 @@ fn sod_matches_exact_solution() {
             let (rho, _, p) = ex.sample((x - 0.5) / t_end);
             l1_rho += (node.field().at(c, 0) - rho).abs();
             // pressure positive and bounded by the initial states
-            let pc = e.pressure(node.field().cell(c));
+            let pc = e.pressure(&node.field().cell(c));
             assert!(pc > 0.0 && pc < 1.01, "pressure {pc} at x={x}");
             let _ = p;
             n += 1;
@@ -304,7 +304,7 @@ fn brio_wu_structure() {
             let x = layout.cell_center(node.key(), m, c)[0];
             prof.push((x, node.field().at(c, 0), node.field().at(c, IBX + 1)));
             // positivity throughout
-            assert!(mhd.pressure(node.field().cell(c)) > 0.0, "p < 0 at x={x}");
+            assert!(mhd.pressure(&node.field().cell(c)) > 0.0, "p < 0 at x={x}");
         }
     }
     prof.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -346,7 +346,7 @@ fn orszag_tang_stays_physical_through_shock_formation() {
         for c in node.field().shape().interior_box().iter() {
             let u = node.field().cell(c);
             assert!(u.iter().all(|x| x.is_finite()));
-            min_p = min_p.min(mhd.pressure(u));
+            min_p = min_p.min(mhd.pressure(&u));
         }
     }
     assert!(min_p > 0.0, "pressure floor violated: {min_p}");

@@ -765,6 +765,32 @@ pub fn run_script<const D: usize>(seed: u64, script: &[FuzzCmd]) -> Result<(), S
     .unwrap_or_else(|payload| Err(format!("panic: {}", payload_str(payload.as_ref()))))
 }
 
+/// Execute `script` like [`run_script`], additionally folding the
+/// canonical state digest ([`crate::golden::grid_digest`]) of the grid
+/// after the initial build and after every command into one FNV-1a
+/// stream value. The stream is layout-independent but bit-exact in the
+/// physics state, so it pins the entire arithmetic sequence of a
+/// schedule: storage refactors must reproduce recorded streams unchanged
+/// (see [`crate::golden::GOLDEN_CASES`]).
+pub fn run_script_digest<const D: usize>(
+    seed: u64,
+    script: &[FuzzCmd],
+) -> Result<u64, String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        let mut h = Harness::<D>::new(derive_setup(seed));
+        h.post_check(true).map_err(|e| format!("initial state: {e}"))?;
+        let mut stream = crate::golden::Fnv64::new();
+        stream.write_u64(crate::golden::grid_digest(&h.grid));
+        for (i, cmd) in script.iter().enumerate() {
+            h.exec(cmd)
+                .map_err(|e| format!("command {i} ({}): {e}", format_script(&[*cmd])))?;
+            stream.write_u64(crate::golden::grid_digest(&h.grid));
+        }
+        Ok(stream.finish())
+    }))
+    .unwrap_or_else(|payload| Err(format!("panic: {}", payload_str(payload.as_ref()))))
+}
+
 /// Generate a random script for the world derived from `seed`.
 pub fn gen_script(seed: u64, max_cmds: usize, sabotage: bool) -> Vec<FuzzCmd> {
     let mut rng = Rng::new(seed);

@@ -21,18 +21,23 @@
 //! * [`commands`] — the fuzzer command vocabulary, generator, and the
 //!   grid/model lockstep executor with a full oracle stack per command.
 //! * [`mod@shrink`] — deterministic delta-debugging of failing scripts.
+//! * [`golden`] — layout-independent state digests and the recorded
+//!   golden schedule streams that pin the arithmetic of seeded runs
+//!   across storage-layout refactors.
 
 #![warn(missing_docs)]
 
 pub mod commands;
+pub mod golden;
 pub mod model;
 pub mod shrink;
 
 pub use commands::{
     derive_setup, flag_for_key, format_script, gen_schedule, gen_script, parse_script,
-    run_fuzz, run_script, AdaptRound, FuzzCmd, FuzzConfig, FuzzFailure, FuzzOutcome,
-    Schedule,
+    run_fuzz, run_script, run_script_digest, AdaptRound, FuzzCmd, FuzzConfig, FuzzFailure,
+    FuzzOutcome, Schedule,
 };
+pub use golden::{grid_digest, Fnv64, GoldenCase, GOLDEN_CASES};
 pub use model::{ModelConn, ModelError, RefModel};
 pub use shrink::shrink;
 

@@ -69,7 +69,7 @@ fn main() {
             let mut min_p = f64::INFINITY;
             for (_, n) in sim.grid.blocks() {
                 for c in n.field().shape().interior_box().iter() {
-                    min_p = min_p.min(mhd.pressure(n.field().cell(c)));
+                    min_p = min_p.min(mhd.pressure(&n.field().cell(c)));
                 }
             }
             println!(
