@@ -13,7 +13,7 @@ use ablock_core::ghost::{GhostConfig, GhostExchange};
 use ablock_core::grid::{BlockGrid, GridParams, Transfer};
 use ablock_core::layout::{Boundary, RootLayout};
 use ablock_io::Table;
-use ablock_par::{comm_stats, imbalance, model_step, partition_grid, CostParams, Policy};
+use ablock_par::{comm_stats, imbalance, model_step, CostParams, Policy};
 
 fn main() {
     // an AMR'd 3-D grid: refined shell inside a coarse background
@@ -41,7 +41,7 @@ fn main() {
             Policy::Greedy,
             Policy::RoundRobin,
         ] {
-            let owner: HashMap<_, _> = partition_grid(&g, nranks, policy);
+            let owner: HashMap<_, _> = policy.partitioner().partition_grid(&g, nranks);
             let ids = g.block_ids();
             let weights = vec![1.0f64; ids.len()];
             let assign: Vec<usize> = ids.iter().map(|id| owner[id]).collect();

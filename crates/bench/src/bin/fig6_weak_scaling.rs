@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use ablock_bench::{measure_ns_per_cell, mhd_grid_3d, near_cubic_factors};
 use ablock_core::ghost::{GhostConfig, GhostExchange};
 use ablock_io::Table;
-use ablock_par::{model_step, partition_grid, CostParams, Policy};
+use ablock_par::{model_step, CostParams, Partitioner};
 use ablock_solver::kernel::Scheme;
 use ablock_solver::mhd::IdealMhd;
 
@@ -34,7 +34,7 @@ fn sweep(title: &str, params: &CostParams, blocks_per_rank: usize, ps: &[usize])
         let roots = near_cubic_factors(blocks_per_rank * p);
         let g = mhd_grid_3d(roots, 4, 0, 0); // topology blocks 4^3, model 16^3
         let plan = GhostExchange::build(&g, GhostConfig::default());
-        let owner: HashMap<_, _> = partition_grid(&g, p, Policy::SfcHilbert);
+        let owner: HashMap<_, _> = Partitioner::default().partition_grid(&g, p);
         let cost = model_step(&g, &plan, &owner, p, params);
         let model_cells = g.num_blocks() as f64 * 4096.0;
         let gflops = model_cells * params.stages * FLOPS_PER_CELL_STAGE / cost.time / 1e9;
@@ -58,7 +58,9 @@ fn main() {
     let ps: &[usize] = if quick {
         &[1, 8, 64, 512]
     } else {
-        &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+        // beyond the paper's 512: the cut-point partitioner is O(blocks),
+        // so virtual-rank sweeps to 4096 stay cheap
+        &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096]
     };
 
     // --- era-consistent model: the machine the paper actually ran on ----

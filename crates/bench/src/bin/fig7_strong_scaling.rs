@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use ablock_bench::{measure_ns_per_cell, mhd_grid_3d, near_cubic_factors};
 use ablock_core::ghost::{GhostConfig, GhostExchange};
 use ablock_io::Table;
-use ablock_par::{model_step, partition_grid, CostParams, Policy};
+use ablock_par::{model_step, CostParams, Partitioner};
 use ablock_solver::kernel::Scheme;
 use ablock_solver::mhd::IdealMhd;
 
@@ -63,14 +63,14 @@ fn main() {
     );
 
     let ps: &[usize] = if quick {
-        &[16, 64, 128, 512]
+        &[16, 64, 128, 512, 4096]
     } else {
         // beyond the paper's 512 to expose the few-blocks-per-rank wall
-        &[16, 32, 64, 128, 256, 512, 1024, 2048]
+        &[16, 32, 64, 128, 256, 512, 1024, 2048, 4096]
     };
     let mut rows = Vec::new();
     for &p in ps {
-        let owner: HashMap<_, _> = partition_grid(&g, p, Policy::SfcHilbert);
+        let owner: HashMap<_, _> = Partitioner::default().partition_grid(&g, p);
         let cost = model_step(&g, &plan, &owner, p, &params);
         rows.push((p, cost));
     }

@@ -34,7 +34,7 @@ use ablock_core::layout::{Boundary, RootLayout};
 use ablock_core::ops::ProlongOrder;
 use ablock_io::snapshot::{content_hash, encode_leaf, leaf_values};
 use ablock_io::{save_grid, write_snapshot, NodeHash, NodeStore};
-use ablock_par::{FaultPlan, MachineConfig, Policy, RecoverConfig, RecoverOutcome};
+use ablock_par::{FaultPlan, MachineConfig, RecoverConfig, RecoverOutcome};
 use ablock_solver::euler::Euler;
 use ablock_solver::kernel::Scheme;
 use ablock_solver::{problems, SolverConfig, Stepper};
@@ -92,7 +92,6 @@ fn recovery_run() -> RecoverOutcome<2> {
         make_grid,
         RecoverConfig {
             checkpoint_every: 2,
-            policy: Policy::SfcHilbert,
             machine: MachineConfig::fast(),
             max_restarts: 3,
         },

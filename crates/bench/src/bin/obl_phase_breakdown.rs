@@ -37,8 +37,8 @@ use ablock_core::layout::{Boundary, RootLayout};
 use ablock_io::{phase_table, spans_table, write_metrics_json};
 use ablock_obs::{phase, Metrics, MetricsSnapshot};
 use ablock_par::{
-    model_step_cached, partition_grid, record_adapt_phases, record_step_phases, CostParams,
-    DistSim, Machine, ParStepper, Policy,
+    cell_weights, model_step_cached, record_adapt_phases, record_rebalance_phases,
+    record_step_phases, CostParams, CurveWalk, DistSim, Machine, ParStepper, Partitioner,
 };
 use ablock_solver::euler::Euler;
 use ablock_solver::kernel::Scheme;
@@ -94,7 +94,7 @@ fn cost_model_run(steps: usize) -> (MetricsSnapshot, String) {
     let metrics = Metrics::with_virtual_clock();
     // 8 blocks per rank, topology 4^3 costed as 16^3 MHD (paper scaling)
     let grid = ablock_bench::mhd_grid_3d(near_cubic_factors(8 * NRANKS), 4, 0, 0);
-    let owner: HashMap<_, _> = partition_grid(&grid, NRANKS, Policy::SfcHilbert);
+    let owner: HashMap<_, _> = Partitioner::default().partition_grid(&grid, NRANKS);
     let params = CostParams::t3d_like(700.0 / 33.0e6, 16.0, 4.0, 8.0);
     let mut engine = SolverConfig::new(Euler::<3>::new(1.4), Scheme::muscl_rusanov())
         .with_metrics(metrics.clone())
@@ -113,6 +113,39 @@ fn cost_model_run(steps: usize) -> (MetricsSnapshot, String) {
     (snap, json)
 }
 
+/// Incremental rebalance costed at high virtual rank counts, from an
+/// actual cut-point plan: one block's weight grows 2^3-fold (a single
+/// refinement's worth of work) and the partitioner re-cuts the maintained
+/// walk, so the plan migrates the blocks near shifted cuts — O(ranks),
+/// not O(total blocks). The grid is topology-only (1 tracer var); the
+/// cost model takes nvar from [`CostParams`].
+/// Returns (snapshot, migrated blocks, total blocks).
+fn rebalance_model_run(vranks: usize, total_blocks: usize) -> (MetricsSnapshot, u64, usize) {
+    let metrics = Metrics::with_virtual_clock();
+    let grid = BlockGrid::<3>::new(
+        RootLayout::unit(near_cubic_factors(total_blocks), Boundary::Periodic),
+        GridParams::new([4, 4, 4], 2, 1, 1),
+    );
+    let params = CostParams::t3d_like(700.0 / 33.0e6, 16.0, 4.0, 8.0);
+    let part = Partitioner::default();
+    let walk = CurveWalk::build(&grid, part.curve());
+    let uniform = cell_weights(&grid, &walk);
+    let prev = part.assign(&uniform, vranks);
+    let owner: HashMap<_, _> =
+        walk.entries().iter().zip(&prev).map(|(e, &r)| (e.id, r)).collect();
+    let mut bumped = uniform.clone();
+    bumped[walk.len() / 2] *= 8.0;
+    let plan = part.plan(&walk, &bumped, vranks, |id| owner[&id]);
+    record_rebalance_phases(
+        &metrics,
+        &plan,
+        grid.params().field_shape().interior_cells() as f64,
+        &params,
+    );
+    let migrated = plan.migrated() as u64;
+    (metrics.snapshot(), migrated, walk.len())
+}
+
 /// Distributed 4-rank run over the in-process machine; returns the
 /// per-rank snapshots. A mid-domain refinement keeps prolongation
 /// (phase-2) traffic in the exchange.
@@ -129,7 +162,7 @@ fn dist_run(steps: usize, overlap: bool) -> Vec<MetricsSnapshot> {
             GridParams::new([4, 4], 2, 4, 2),
         );
         problems::sedov_blast(&mut grid, &e, [0.5, 0.5], 0.1, 20.0);
-        let mut sim = DistSim::partitioned(grid, comm.nranks(), Policy::SfcHilbert, solver);
+        let mut sim = DistSim::partitioned(grid, comm.nranks(), solver);
         // refine the left half so restriction *and* prolongation cross ranks
         let flags: HashMap<_, _> = sim
             .owned_ids(comm.rank())
@@ -140,7 +173,7 @@ fn dist_run(steps: usize, overlap: bool) -> Vec<MetricsSnapshot> {
             })
             .map(|id| (id, Flag::Refine))
             .collect();
-        sim.adapt_rebalance(&comm, &flags, Policy::SfcHilbert);
+        sim.adapt_rebalance(&comm, &flags);
         for _ in 0..steps {
             sim.step_rk2(&comm, 1e-3);
         }
@@ -194,6 +227,25 @@ fn main() {
         );
     }
 
+    // ---- incremental rebalance at 4096 virtual ranks ------------------
+    // 8 (quick) / 16 blocks per rank: the O(ranks) migration claim needs
+    // blocks/rank >> 1, else nearly every cut shifts (see obl_rebalance)
+    let (vranks, vblocks) = if quick { (4096usize, 32768usize) } else { (4096, 65536) };
+    let (rb, migrated, nblocks) = rebalance_model_run(vranks, vblocks);
+    println!(
+        "\nincremental rebalance model: single-block refine on {nblocks} blocks \
+         at {vranks} virtual ranks\n  migrated {migrated} blocks \
+         ({} values, {} pair messages), modeled {:.3} ms",
+        rb.counter("model.rebalance.values"),
+        rb.counter("model.rebalance.pair_msgs"),
+        rb.span_total_ns(phase::REBALANCE) as f64 / 1e6,
+    );
+    assert!(migrated > 0, "a weight bump at {vranks} ranks must shift some cut");
+    assert!(
+        (migrated as usize) < nblocks / 2,
+        "incremental plan must not reshuffle the grid: {migrated} of {nblocks}"
+    );
+
     // ---- distributed A/B: aggregated+overlapped vs legacy per-task ----
     let on = dist_run(dist_steps, true);
     let off = dist_run(dist_steps, false);
@@ -242,6 +294,11 @@ fn main() {
     }
     out.extend_from_slice(b",\n\"cost_model_64rank\": ");
     out.extend_from_slice(model_json.trim_end().as_bytes());
+    out.extend_from_slice(b",\n\"rebalance_4096rank\": ");
+    write_metrics_json(&mut out, &rb).expect("vec write");
+    while out.last() == Some(&b'\n') {
+        out.pop();
+    }
     out.extend_from_slice(b",\n\"dist_4rank_rank0\": ");
     write_metrics_json(&mut out, &on[0]).expect("vec write");
     while out.last() == Some(&b'\n') {

@@ -1,0 +1,160 @@
+//! Incremental-rebalance scaling harness (`BENCH_rebalance.json`).
+//!
+//! The acceptance claim of the cut-point rebalance (ISSUE 8 / DESIGN.md
+//! §16): after a *single-block* adapt, the migration volume tracks the
+//! SFC cut count — O(ranks whose interval moved) — and **not** the total
+//! block count. This binary measures exactly that, as pure plan
+//! computation (no message-passing machine), so 4096 virtual ranks over
+//! tens of thousands of blocks run in milliseconds:
+//!
+//! for each `(P, B)` with `B/P` in the production blocks-per-rank
+//! regime: build a `B`-block 3-D topology grid (1 tracer var — the plan
+//! only reads the topology; bytes are modeled at the 8-var MHD payload),
+//! partition onto `P` virtual ranks with the default Hilbert cut-point
+//! partitioner, refine one mid-walk block, splice the walk, inherit
+//! ownership, re-plan, and record migrated blocks / bytes / rank pairs
+//! from the plan's exact migration list.
+//!
+//! Asserted (CI runs `--quick`):
+//! * every plan migrates something (the refined interval really moved),
+//! * at fixed `P`, doubling `B` leaves the migrated count within 1.5× —
+//!   migration scales with the cut count, not the grid,
+//! * migrated blocks stay below `8 P` (linear in ranks with slack) and
+//!   below half the grid.
+
+use ablock_bench::near_cubic_factors;
+use ablock_core::grid::{BlockGrid, GridParams, Transfer};
+use ablock_core::key::BlockKey;
+use ablock_core::layout::{Boundary, RootLayout};
+use ablock_core::partition::{cell_weights, inherit_owner, CurveWalk, Partitioner};
+use ablock_io::Table;
+use std::collections::HashMap;
+
+/// MHD state size per cell in bytes (8 vars × f64).
+const BYTES_PER_CELL: usize = 8 * 8;
+
+struct Row {
+    ranks: usize,
+    blocks: usize,
+    migrated: usize,
+    bytes: usize,
+    ranks_touched: usize,
+    pair_msgs: usize,
+}
+
+/// One single-block-adapt rebalance at `vranks` over a `total_blocks`
+/// grid of 4³-cell blocks; returns the plan's exact migration counts.
+fn single_adapt_migration(vranks: usize, total_blocks: usize) -> Row {
+    let part = Partitioner::default();
+    let mut g = BlockGrid::<3>::new(
+        RootLayout::unit(near_cubic_factors(total_blocks), Boundary::Periodic),
+        GridParams::new([4, 4, 4], 2, 1, 1),
+    );
+    let mut walk = CurveWalk::build(&g, part.curve());
+    let weights = cell_weights(&g, &walk);
+    let assign = part.assign(&weights, vranks);
+    let owner_by_key: HashMap<BlockKey<3>, usize> =
+        walk.entries().iter().zip(&assign).map(|(e, &r)| (e.key, r)).collect();
+
+    // the single-block adapt: refine the walk-middle block, splice
+    let mid = walk.entries()[walk.len() / 2].key;
+    let id = g.find(mid).expect("walk key is a leaf");
+    g.refine(id, Transfer::None).expect("level-0 refine is legal");
+    walk.apply_adapt(&[mid], &[], &g);
+    let prev = inherit_owner(&g, &owner_by_key);
+
+    let weights = cell_weights(&g, &walk);
+    let plan = part.plan(&walk, &weights, vranks, |id| prev[&id]);
+    let cells: f64 = plan.moves.iter().map(|m| weights[walk.position(&m.key).unwrap()]).sum();
+    Row {
+        ranks: vranks,
+        blocks: g.num_blocks(),
+        migrated: plan.migrated(),
+        bytes: cells as usize * BYTES_PER_CELL,
+        ranks_touched: plan.ranks_touched(),
+        pair_msgs: plan.pairs().len(),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // block counts scale with P (8/16/32 blocks per rank — the weak-
+    // scaling regime): at each P the migrated column must stay flat as
+    // the blocks column doubles
+    let multipliers: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32] };
+    let ps: &[usize] = &[512, 1024, 4096];
+
+    let mut rows = Vec::new();
+    let mut t = Table::new(
+        "incremental rebalance after a single-block adapt (plan computation)",
+        &["P", "blocks", "migrated", "mig/blocks", "KiB moved", "ranks touched", "pair msgs"],
+    );
+    for &p in ps {
+        for &m in multipliers {
+            let r = single_adapt_migration(p, m * p);
+            t.row(&[
+                r.ranks.to_string(),
+                r.blocks.to_string(),
+                r.migrated.to_string(),
+                format!("{:.4}", r.migrated as f64 / r.blocks as f64),
+                format!("{:.1}", r.bytes as f64 / 1024.0),
+                r.ranks_touched.to_string(),
+                r.pair_msgs.to_string(),
+            ]);
+            rows.push(r);
+        }
+    }
+    t.print();
+
+    // --- the scaling assertions --------------------------------------
+    for group in rows.chunks(multipliers.len()) {
+        let (small, large) = (&group[0], group.last().unwrap());
+        assert!(small.migrated > 0, "P={}: single-block adapt moved nothing", small.ranks);
+        assert!(
+            2 * large.migrated < large.blocks,
+            "P={}: migrated {} is O(total blocks {})",
+            large.ranks,
+            large.migrated,
+            large.blocks
+        );
+        assert!(
+            large.migrated <= 8 * large.ranks,
+            "P={}: migrated {} outgrew the rank count",
+            large.ranks,
+            large.migrated
+        );
+        // blocks doubled (or quadrupled); migration must track the cuts
+        assert!(
+            2 * large.migrated <= 3 * small.migrated,
+            "P={}: migrated grew with the grid ({} -> {} when blocks {} -> {})",
+            large.ranks,
+            small.migrated,
+            large.migrated,
+            small.blocks,
+            large.blocks
+        );
+    }
+    println!(
+        "\nmigrated blocks track the SFC cut count (O(ranks), flat in total blocks):\n\
+         the per-adapt gather_full collective is gone from the rebalance path."
+    );
+
+    // --- BENCH_rebalance.json ----------------------------------------
+    let mut out = String::from("{\n\"single_block_adapt\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"ranks\": {}, \"blocks\": {}, \"migrated_blocks\": {}, \
+             \"migrated_bytes\": {}, \"ranks_touched\": {}, \"pair_msgs\": {}}}{}\n",
+            r.ranks,
+            r.blocks,
+            r.migrated,
+            r.bytes,
+            r.ranks_touched,
+            r.pair_msgs,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n}\n");
+    std::fs::write("BENCH_rebalance.json", out).expect("write BENCH_rebalance.json");
+    println!("wrote BENCH_rebalance.json ({} rows)", rows.len());
+}

@@ -111,14 +111,41 @@ pub fn cascade_closure<const D: usize>(
     (flagged, rounds)
 }
 
-/// Apply a flag map to the grid. `flags` may be sparse; unlisted leaves are
-/// [`Flag::Keep`]. Returns what happened.
-pub fn adapt<const D: usize>(
-    grid: &mut BlockGrid<D>,
+/// The legal adaptation derived from a flag set, before anything runs:
+/// the cascade-closed refine set and the vetted coarsen groups. Produced
+/// by [`plan_adapt`], consumed by [`apply_adapt`]. Distributed executors
+/// plan first so they know — before the grid restructures — exactly which
+/// sibling interiors the conservative coarsen transfer will read.
+#[derive(Clone, Debug, Default)]
+pub struct AdaptPlan<const D: usize> {
+    /// Keys to refine (`true` = requested, `false` = cascade), sorted
+    /// coarsest-first — the execution order.
+    pub refine: Vec<(BlockKey<D>, bool)>,
+    /// Approved coarsen groups (parent keys), sorted finest-first — the
+    /// execution order. Groups may still be vetoed at apply time if a
+    /// cascade refinement invalidates them.
+    pub coarsen: Vec<BlockKey<D>>,
+    /// Cascade sweeps until the refine set closed.
+    pub cascade_rounds: usize,
+    /// Coarsen flags already dropped during planning.
+    pub vetoed: usize,
+}
+
+impl<const D: usize> AdaptPlan<D> {
+    /// True if the plan requests no restructuring.
+    pub fn is_empty(&self) -> bool {
+        self.refine.is_empty() && self.coarsen.is_empty()
+    }
+}
+
+/// Turn a sparse flag map into a legal [`AdaptPlan`] without touching the
+/// grid: close the refine set under the jump constraint, then vet coarsen
+/// groups against the post-refinement levels.
+pub fn plan_adapt<const D: usize>(
+    grid: &BlockGrid<D>,
     flags: &HashMap<BlockId, Flag>,
-    transfer: Transfer,
-) -> AdaptReport {
-    let mut report = AdaptReport::default();
+) -> AdaptPlan<D> {
+    let mut plan = AdaptPlan::default();
 
     let refine_set: HashSet<BlockId> = flags
         .iter()
@@ -126,7 +153,7 @@ pub fn adapt<const D: usize>(
         .map(|(id, _)| *id)
         .collect();
     let (to_refine, rounds) = cascade_closure(grid, &refine_set);
-    report.cascade_rounds = rounds;
+    plan.cascade_rounds = rounds;
 
     // --- vet coarsen groups against post-refinement levels -------------
     let k = grid.params().max_level_jump as i32;
@@ -141,19 +168,18 @@ pub fn adapt<const D: usize>(
         if let Some(p) = grid.block(id).key().parent() {
             groups.entry(p).or_default().push(id);
         } else {
-            report.coarsen_vetoed += 1; // level-0 block cannot coarsen
+            plan.vetoed += 1; // level-0 block cannot coarsen
         }
     }
-    let mut approved_groups: Vec<BlockKey<D>> = Vec::new();
     'group: for (pkey, members) in &groups {
         if members.len() != (1 << D) {
-            report.coarsen_vetoed += members.len();
+            plan.vetoed += members.len();
             continue;
         }
         for &id in members {
             let key = grid.block(id).key();
             if to_refine.contains_key(&key) {
-                report.coarsen_vetoed += members.len();
+                plan.vetoed += members.len();
                 continue 'group; // refine wins over coarsen
             }
             // jump check against post-refinement neighbor levels
@@ -164,21 +190,36 @@ pub fn adapt<const D: usize>(
                         let n_new = nk.level as i32
                             + if to_refine.contains_key(&nk) { 1 } else { 0 };
                         if n_new - (pkey.level as i32) > k {
-                            report.coarsen_vetoed += members.len();
+                            plan.vetoed += members.len();
                             continue 'group;
                         }
                     }
                 }
             }
         }
-        approved_groups.push(*pkey);
+        plan.coarsen.push(*pkey);
     }
 
-    // --- execute refinements coarsest-first ----------------------------
-    let mut refine_keys: Vec<(BlockKey<D>, bool)> =
-        to_refine.iter().map(|(k, r)| (*k, *r)).collect();
-    refine_keys.sort_by_key(|(k, _)| (k.level, k.coords));
-    for (key, requested) in refine_keys {
+    plan.refine = to_refine.iter().map(|(k, r)| (*k, *r)).collect();
+    plan.refine.sort_by_key(|(k, _)| (k.level, k.coords));
+    plan.coarsen.sort_by_key(|k| std::cmp::Reverse((k.level, k.coords)));
+    plan
+}
+
+/// Execute an [`AdaptPlan`]: refinements coarsest-first, then coarsenings
+/// finest-first (re-vetted, since a cascade refinement may invalidate a
+/// group after planning). Returns what happened.
+pub fn apply_adapt<const D: usize>(
+    grid: &mut BlockGrid<D>,
+    plan: &AdaptPlan<D>,
+    transfer: Transfer,
+) -> AdaptReport {
+    let mut report = AdaptReport {
+        cascade_rounds: plan.cascade_rounds,
+        coarsen_vetoed: plan.vetoed,
+        ..AdaptReport::default()
+    };
+    for &(key, requested) in &plan.refine {
         // ids may have changed as earlier refinements ran; go through keys
         let id = grid
             .find(key)
@@ -191,10 +232,7 @@ pub fn adapt<const D: usize>(
             report.refined_cascade += 1;
         }
     }
-
-    // --- execute coarsenings (finest-first for safety) -----------------
-    approved_groups.sort_by_key(|k| std::cmp::Reverse((k.level, k.coords)));
-    for pkey in approved_groups {
+    for &pkey in &plan.coarsen {
         // a cascade refinement may have invalidated the group after vetting
         if grid.can_coarsen(pkey) {
             grid.coarsen(pkey, transfer)
@@ -205,6 +243,18 @@ pub fn adapt<const D: usize>(
         }
     }
     report
+}
+
+/// Apply a flag map to the grid. `flags` may be sparse; unlisted leaves are
+/// [`Flag::Keep`]. Returns what happened. Equivalent to [`plan_adapt`]
+/// followed by [`apply_adapt`].
+pub fn adapt<const D: usize>(
+    grid: &mut BlockGrid<D>,
+    flags: &HashMap<BlockId, Flag>,
+    transfer: Transfer,
+) -> AdaptReport {
+    let plan = plan_adapt(grid, flags);
+    apply_adapt(grid, &plan, transfer)
 }
 
 /// Refine every leaf whose region intersects the ball around `center` with

@@ -26,6 +26,7 @@
 //! | [`ghost`] | cached ghost-exchange plans (copy / restrict / prolong / BCs) |
 //! | [`ops`] | the restriction & prolongation numerical operators |
 //! | [`sfc`] | Morton and Hilbert orderings for load balancing |
+//! | [`partition`] | pluggable partitioners, curve walks, rebalance plans |
 //! | [`verify`] | from-scratch invariant oracles used by the test suite |
 //!
 //! ## Quick start
@@ -58,13 +59,17 @@ pub mod index;
 pub mod key;
 pub mod layout;
 pub mod ops;
+pub mod partition;
 pub mod sfc;
 pub mod verify;
 
 /// One-stop imports for typical users.
 pub mod prelude {
     pub use crate::arena::BlockId;
-    pub use crate::balance::{adapt, cascade_closure, refine_ball_to_level, AdaptReport, Flag};
+    pub use crate::balance::{
+        adapt, apply_adapt, cascade_closure, plan_adapt, refine_ball_to_level, AdaptPlan,
+        AdaptReport, Flag,
+    };
     pub use crate::field::{FieldBlock, FieldShape};
     pub use crate::ghost::{fill_ghosts, BoundaryCtx, GhostConfig, GhostExchange, GhostTask};
     pub use crate::grid::{BlockGrid, BlockNode, FaceConn, GridError, GridParams, Transfer};
@@ -72,5 +77,9 @@ pub mod prelude {
     pub use crate::key::BlockKey;
     pub use crate::layout::{Boundary, Resolved, RootLayout};
     pub use crate::ops::ProlongOrder;
+    pub use crate::partition::{
+        cell_weights, inherit_owner, BlockMove, CurveWalk, PartitionStrategy, Partitioner,
+        RebalancePlan, WalkEntry,
+    };
     pub use crate::sfc::{curve_index, curve_order, required_bits, Curve};
 }

@@ -1,9 +1,18 @@
-//! Block-to-processor partitioning and load-balance metrics.
+//! Load-balance policies and quality metrics.
 //!
 //! The paper: "Whenever refinement or coarsening occurs, load re-balancing
 //! should be performed to insure high performance", and warns that few
-//! blocks per processor make imbalance expensive. This module provides the
-//! partitioners the experiments compare (ABL-3):
+//! blocks per processor make imbalance expensive.
+//!
+//! The partitioning machinery itself lives in [`ablock_core::partition`]:
+//! a [`Partitioner`] pairs a curve with a
+//! [`PartitionStrategy`](ablock_core::partition::PartitionStrategy)
+//! (SFC cut points, round-robin, greedy) and produces either a
+//! from-scratch owner map or an incremental
+//! [`RebalancePlan`](ablock_core::partition::RebalancePlan). This module
+//! keeps the thin [`Policy`] enum as a named shorthand for the strategies
+//! the experiments compare (ABL-3), plus the [`imbalance`] and
+//! [`comm_stats`] quality metrics:
 //!
 //! * **SFC (Morton or Hilbert)** — sort blocks along a space-filling curve
 //!   and cut the walk into `P` contiguous chunks of equal weight. Good
@@ -18,83 +27,38 @@ use std::collections::HashMap;
 use ablock_core::arena::BlockId;
 use ablock_core::ghost::{GhostExchange, GhostTask};
 use ablock_core::grid::BlockGrid;
-use ablock_core::key::BlockKey;
-use ablock_core::sfc::{curve_index, required_bits, Curve};
+use ablock_core::partition::Partitioner;
+use ablock_core::sfc::Curve;
 
-/// Partitioning policy.
+/// Named partitioning policies — thin constructors over [`Partitioner`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Policy {
     /// Morton-order chunks.
     SfcMorton,
     /// Hilbert-order chunks.
     SfcHilbert,
-    /// Cyclic dealing in arena order.
+    /// Cyclic dealing in curve order.
     RoundRobin,
     /// Heaviest block to least-loaded rank.
     Greedy,
 }
 
-/// Assign every leaf to a rank. `weight` gives each block's cost (cells,
-/// or measured time); uniform blocks should pass 1.0.
-pub fn partition<const D: usize>(
-    keys: &[BlockKey<D>],
-    weights: &[f64],
-    nranks: usize,
-    policy: Policy,
-) -> Vec<usize> {
-    assert_eq!(keys.len(), weights.len());
-    assert!(nranks >= 1);
-    match policy {
-        Policy::SfcMorton => sfc_partition(keys, weights, nranks, Curve::Morton),
-        Policy::SfcHilbert => sfc_partition(keys, weights, nranks, Curve::Hilbert),
-        Policy::RoundRobin => (0..keys.len()).map(|i| i % nranks).collect(),
-        Policy::Greedy => {
-            let mut order: Vec<usize> = (0..keys.len()).collect();
-            order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]));
-            let mut load = vec![0.0f64; nranks];
-            let mut out = vec![0usize; keys.len()];
-            for i in order {
-                let r = (0..nranks)
-                    .min_by(|&a, &b| load[a].total_cmp(&load[b]))
-                    .expect("nranks >= 1");
-                out[i] = r;
-                load[r] += weights[i];
-            }
-            out
+impl Policy {
+    /// The [`Partitioner`] this policy names.
+    pub fn partitioner(self) -> Partitioner {
+        match self {
+            Policy::SfcMorton => Partitioner::sfc(Curve::Morton),
+            Policy::SfcHilbert => Partitioner::sfc(Curve::Hilbert),
+            Policy::RoundRobin => Partitioner::round_robin(),
+            Policy::Greedy => Partitioner::greedy(),
         }
     }
 }
 
-fn sfc_partition<const D: usize>(
-    keys: &[BlockKey<D>],
-    weights: &[f64],
-    nranks: usize,
-    curve: Curve,
-) -> Vec<usize> {
-    let max_level = keys.iter().map(|k| k.level).max().unwrap_or(0);
-    let roots_max = keys
-        .iter()
-        .map(|k| k.coords.iter().map(|&c| (c >> k.level) + 1).max().unwrap_or(1))
-        .max()
-        .unwrap_or(1);
-    let bits = required_bits(roots_max, max_level);
-    let mut order: Vec<usize> = (0..keys.len()).collect();
-    order.sort_by_key(|&i| curve_index(&keys[i], max_level, bits, curve));
-    // cut the walk into nranks chunks of (approximately) equal weight
-    let total: f64 = weights.iter().sum();
-    let target = total / nranks as f64;
-    let mut out = vec![0usize; keys.len()];
-    let mut acc = 0.0;
-    let mut rank = 0usize;
-    for &i in &order {
-        // advance to the chunk this prefix position belongs to
-        while rank + 1 < nranks && acc + 0.5 * weights[i] >= target * (rank + 1) as f64 {
-            rank += 1;
-        }
-        out[i] = rank;
-        acc += weights[i];
+impl From<Policy> for Partitioner {
+    fn from(p: Policy) -> Partitioner {
+        p.partitioner()
     }
-    out
 }
 
 /// Load-balance quality: `max_rank(load) / mean(load)` (1.0 is perfect).
@@ -163,37 +127,28 @@ pub fn comm_stats<const D: usize>(
     st
 }
 
-/// Convenience: partition a grid's leaves by cell weight and return the
-/// owner map keyed by id.
-pub fn partition_grid<const D: usize>(
-    grid: &BlockGrid<D>,
-    nranks: usize,
-    policy: Policy,
-) -> HashMap<BlockId, usize> {
-    let ids = grid.block_ids();
-    let keys: Vec<BlockKey<D>> = ids.iter().map(|&id| grid.block(id).key()).collect();
-    let weights = vec![1.0; keys.len()];
-    let assign = partition(&keys, &weights, nranks, policy);
-    ids.into_iter().zip(assign).collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use ablock_core::ghost::GhostConfig;
     use ablock_core::grid::{GridParams, Transfer};
+    use ablock_core::key::BlockKey;
     use ablock_core::layout::{Boundary, RootLayout};
+    use ablock_core::sfc::{curve_index, required_bits};
 
     fn keys_grid(n: i64) -> Vec<BlockKey<2>> {
         (0..n).flat_map(|x| (0..n).map(move |y| BlockKey::new(0, [x, y]))).collect()
     }
 
+    const ALL: [Policy; 4] =
+        [Policy::SfcMorton, Policy::SfcHilbert, Policy::RoundRobin, Policy::Greedy];
+
     #[test]
     fn all_policies_cover_all_ranks() {
         let keys = keys_grid(8); // 64 blocks
         let w = vec![1.0; keys.len()];
-        for policy in [Policy::SfcMorton, Policy::SfcHilbert, Policy::RoundRobin, Policy::Greedy] {
-            let a = partition(&keys, &w, 8, policy);
+        for policy in ALL {
+            let a = policy.partitioner().assign_keys(&keys, &w, 8);
             let mut seen = vec![0usize; 8];
             for &r in &a {
                 assert!(r < 8);
@@ -207,8 +162,8 @@ mod tests {
     fn uniform_weights_perfectly_balanced() {
         let keys = keys_grid(8);
         let w = vec![1.0; keys.len()];
-        for policy in [Policy::SfcMorton, Policy::SfcHilbert, Policy::RoundRobin, Policy::Greedy] {
-            let a = partition(&keys, &w, 16, policy);
+        for policy in ALL {
+            let a = policy.partitioner().assign_keys(&keys, &w, 16);
             let im = imbalance(&w, &a, 16);
             assert!((im - 1.0).abs() < 1e-12, "{policy:?}: {im}");
         }
@@ -219,8 +174,8 @@ mod tests {
         let keys = keys_grid(4);
         let mut w = vec![1.0; 16];
         w[0] = 8.0; // one heavy block
-        let greedy = partition(&keys, &w, 4, Policy::Greedy);
-        let rr = partition(&keys, &w, 4, Policy::RoundRobin);
+        let greedy = Policy::Greedy.partitioner().assign_keys(&keys, &w, 4);
+        let rr = Policy::RoundRobin.partitioner().assign_keys(&keys, &w, 4);
         let ig = imbalance(&w, &greedy, 4);
         let ir = imbalance(&w, &rr, 4);
         assert!(ig <= ir, "greedy {ig} vs round-robin {ir}");
@@ -234,7 +189,7 @@ mod tests {
     fn sfc_cuts_are_contiguous_along_curve() {
         let keys = keys_grid(8);
         let w = vec![1.0; keys.len()];
-        let a = partition(&keys, &w, 4, Policy::SfcHilbert);
+        let a = Policy::SfcHilbert.partitioner().assign_keys(&keys, &w, 4);
         // walking in curve order, the rank sequence must be nondecreasing
         let bits = required_bits(8, 0);
         let mut order: Vec<usize> = (0..keys.len()).collect();
@@ -259,8 +214,8 @@ mod tests {
             Transfer::None,
         );
         let plan = GhostExchange::build(&g, GhostConfig::default());
-        let sfc = partition_grid(&g, 8, Policy::SfcHilbert);
-        let rr = partition_grid(&g, 8, Policy::RoundRobin);
+        let sfc = Policy::SfcHilbert.partitioner().partition_grid(&g, 8);
+        let rr = Policy::RoundRobin.partitioner().partition_grid(&g, 8);
         let cs = comm_stats(&g, &plan, &sfc);
         let cr = comm_stats(&g, &plan, &rr);
         assert!(
@@ -281,7 +236,7 @@ mod tests {
             GridParams::new([4, 4], 2, 1, 1),
         );
         let plan = GhostExchange::build(&g, GhostConfig::default());
-        let owner = partition_grid(&g, 1, Policy::SfcMorton);
+        let owner = Policy::SfcMorton.partitioner().partition_grid(&g, 1);
         let st = comm_stats(&g, &plan, &owner);
         assert_eq!(st.remote_values, 0);
         assert_eq!(st.remote_msgs, 0);
@@ -292,12 +247,22 @@ mod tests {
     fn more_ranks_than_blocks() {
         let keys = keys_grid(2); // 4 blocks
         let w = vec![1.0; 4];
-        let a = partition(&keys, &w, 16, Policy::SfcMorton);
+        let a = Policy::SfcMorton.partitioner().assign_keys(&keys, &w, 16);
         // all blocks assigned to valid (distinct-ish) ranks
         for &r in &a {
             assert!(r < 16);
         }
         let distinct: std::collections::HashSet<_> = a.iter().collect();
         assert_eq!(distinct.len(), 4, "four blocks on four different ranks");
+    }
+
+    #[test]
+    fn policy_names_match_strategies() {
+        assert_eq!(Policy::SfcMorton.partitioner().name(), "sfc");
+        assert_eq!(Policy::SfcHilbert.partitioner().curve(), Curve::Hilbert);
+        assert_eq!(Policy::RoundRobin.partitioner().name(), "round_robin");
+        assert_eq!(Policy::Greedy.partitioner().name(), "greedy");
+        assert!(Partitioner::from(Policy::SfcMorton).contiguous());
+        assert!(!Partitioner::from(Policy::Greedy).contiguous());
     }
 }

@@ -31,6 +31,7 @@ use std::collections::HashMap;
 use ablock_core::arena::BlockId;
 use ablock_core::ghost::{GhostExchange, GhostTask};
 use ablock_core::grid::BlockGrid;
+use ablock_core::partition::RebalancePlan;
 use ablock_obs::{phase, Metrics};
 use ablock_solver::engine::SweepEngine;
 
@@ -270,10 +271,34 @@ pub fn record_adapt_phases(
     metrics.advance_ns(model_ns(migrated_values * p.t_value + p.t_msg * hops));
 }
 
+/// Replay one modeled *incremental* rebalance into a metric sink, costed
+/// from an actual [`RebalancePlan`]: every migrated block pays bandwidth
+/// for its interior (scaled to model cells) and every rank pair with
+/// traffic pays one message latency — the protocol
+/// [`DistSim::rebalance`](crate::dist::DistSim::rebalance) executes.
+/// Companion to [`record_adapt_phases`] when a plan is available; lets the
+/// virtual-clock harnesses cost rebalances at 4096+ ranks directly from
+/// cut-point diffs.
+pub fn record_rebalance_phases<const D: usize>(
+    metrics: &Metrics,
+    plan: &RebalancePlan<D>,
+    interior_cells: f64,
+    p: &CostParams,
+) {
+    let values_per_block = interior_cells * p.scale().powi(D as i32) * p.nvar;
+    let values = plan.migrated() as f64 * values_per_block;
+    let msgs = plan.pairs().len() as f64;
+    let _rb = metrics.span(phase::REBALANCE);
+    metrics.advance_ns(model_ns(values * p.t_value + msgs * p.t_msg));
+    metrics.incr("model.rebalance.migrated_blocks", plan.migrated() as u64);
+    metrics.incr("model.rebalance.values", values.round() as u64);
+    metrics.incr("model.rebalance.pair_msgs", msgs as u64);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::balance::{partition_grid, Policy};
+    use crate::balance::Policy;
     use ablock_core::ghost::GhostConfig;
     use ablock_core::grid::GridParams;
     use ablock_core::layout::{Boundary, RootLayout};
@@ -287,7 +312,7 @@ mod tests {
 
     fn model(grid: &BlockGrid<3>, nranks: usize, policy: Policy) -> StepCost {
         let plan = GhostExchange::build(grid, GhostConfig::default());
-        let owner = partition_grid(grid, nranks, policy);
+        let owner = policy.partitioner().partition_grid(grid, nranks);
         let p = CostParams::t3d_like(2e-6, 16.0, 4.0, 8.0);
         model_step(grid, &plan, &owner, nranks, &p)
     }
@@ -360,7 +385,7 @@ mod tests {
         // model on topo 4^3 scaled to 16^3 == model on real 16^3 blocks
         let g_small = topo([2, 2, 2]);
         let plan_s = GhostExchange::build(&g_small, GhostConfig::default());
-        let owner_s = partition_grid(&g_small, 4, Policy::SfcMorton);
+        let owner_s = Policy::SfcMorton.partitioner().partition_grid(&g_small, 4);
         let ps = CostParams::t3d_like(2e-6, 16.0, 4.0, 8.0);
         let cs = model_step(&g_small, &plan_s, &owner_s, 4, &ps);
 
@@ -369,7 +394,7 @@ mod tests {
             GridParams::new([16, 16, 16], 2, 1, 2),
         );
         let plan_b = GhostExchange::build(&g_big, GhostConfig::default());
-        let owner_b = partition_grid(&g_big, 4, Policy::SfcMorton);
+        let owner_b = Policy::SfcMorton.partitioner().partition_grid(&g_big, 4);
         let pb = CostParams::t3d_like(2e-6, 16.0, 16.0, 8.0);
         let cb = model_step(&g_big, &plan_b, &owner_b, 4, &pb);
 
@@ -385,7 +410,7 @@ mod tests {
     #[test]
     fn cached_model_matches_fresh_plan_and_reuses_it() {
         let g = topo([2, 2, 2]);
-        let owner = partition_grid(&g, 4, Policy::SfcHilbert);
+        let owner = Policy::SfcHilbert.partitioner().partition_grid(&g, 4);
         let p = CostParams::t3d_like(2e-6, 16.0, 4.0, 8.0);
         let plan = GhostExchange::build(&g, GhostConfig::default());
         let fresh = model_step(&g, &plan, &owner, 4, &p);

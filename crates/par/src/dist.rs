@@ -23,20 +23,35 @@
 //! stepper.
 //!
 //! Adaptation is replicated the same way: refine/coarsen flags from owned
-//! blocks are allgathered as keys, every rank applies the identical
-//! `adapt`, ownership is inherited (children from parent, parent from
-//! first child), and an optional SFC repartition migrates block data.
+//! blocks are allgathered as keys, every rank derives the identical
+//! [`AdaptPlan`](ablock_core::balance::AdaptPlan), sibling interiors of
+//! the planned coarsen groups are
+//! pre-exchanged point-to-point (the only remote data the conservative
+//! transfer reads), every rank applies the identical plan, and ownership
+//! is inherited (children from parent, parent from first child).
+//!
+//! Re-balancing is **incremental** (DESIGN.md §16): the leaves are kept in
+//! curve order ([`CurveWalk`], spliced per adapt, never re-sorted), the
+//! configured [`Partitioner`] recomputes only the cut points, and the
+//! resulting [`RebalancePlan`](ablock_core::partition::RebalancePlan)
+//! migrates exactly the blocks whose curve
+//! interval moved — one packed message per rank pair, segments in walk
+//! order, mirroring the aggregated-exchange protocol. No whole-grid
+//! collective remains on the adapt path; `gather_full` survives solely
+//! for checkpoint writes.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use ablock_core::arena::BlockId;
-use ablock_core::balance::{adapt, Flag};
+use ablock_core::balance::{apply_adapt, plan_adapt, Flag};
 use ablock_core::ghost::{
     extract_box, insert_box, task_source_box, AggregatedExchange, GhostExchange, GhostTask,
 };
 use ablock_core::grid::{BlockGrid, Transfer};
 use ablock_core::key::BlockKey;
 use ablock_core::ops::ProlongOrder;
+use ablock_core::partition::{cell_weights, inherit_owner, CurveWalk, Partitioner};
 
 use ablock_obs::phase;
 use ablock_solver::engine::{rk2_stage1_block, rk2_stage2_block, SweepEngine, SweepSplit};
@@ -45,17 +60,27 @@ use ablock_solver::physics::Physics;
 use ablock_solver::recon::Recon;
 use ablock_solver::SolverConfig;
 
-use crate::balance::{partition, Policy};
 use crate::machine::Comm;
 
 /// Base tag for legacy halo traffic (leaves room for task indices).
 const TAG_HALO: u64 = 1 << 40;
-/// Base tag for migration traffic.
+/// Tag for migration pair messages. One message per rank pair per
+/// rebalance; per-`(src, tag)` FIFO matching keeps successive rebalances
+/// ordered without a barrier.
 const TAG_MIGRATE: u64 = 1 << 41;
 /// Base tag for aggregated pair messages (`+ phase index`). Successive
 /// exchanges reuse the same tags; per-`(src, tag)` FIFO matching in the
 /// stash keeps them ordered without a barrier.
 const TAG_AGG: u64 = 1 << 42;
+/// Tag for coarsen-group sibling-interior pre-sends during adapt.
+const TAG_COARSEN: u64 = 1 << 45;
+
+/// Replicated per-block weight hook for rebalancing (measured costs from
+/// step timers, cost-model estimates, …). **Must be deterministic and
+/// identical on every rank** — all ranks derive the rebalance plan
+/// independently, so rank-local inputs (e.g. raw timers) have to be
+/// reduced to a replicated value first.
+pub type WeightFn<const D: usize> = Arc<dyn Fn(&BlockGrid<D>, BlockId) -> f64 + Send + Sync>;
 
 /// A rank's view of the distributed simulation.
 pub struct DistSim<const D: usize, P: Physics> {
@@ -65,6 +90,10 @@ pub struct DistSim<const D: usize, P: Physics> {
     pub owner: HashMap<BlockId, usize>,
     cfg: SolverConfig<P>,
     engine: SweepEngine<D>,
+    /// Leaves in curve order, spliced incrementally per adapt.
+    walk: CurveWalk<D>,
+    /// Optional measured-cost weights; interior cell counts otherwise.
+    weight_fn: Option<WeightFn<D>>,
     /// Epoch-cached per-rank-pair aggregation of the ghost plan.
     agg: Option<AggregatedExchange<D>>,
     /// Epoch-cached interior/halo split of this rank's owned blocks.
@@ -76,30 +105,33 @@ pub struct DistSim<const D: usize, P: Physics> {
 impl<const D: usize, P: Physics> DistSim<D, P> {
     /// Wrap a (deterministically identical on every rank) grid with an
     /// ownership map. The [`SolverConfig`] must be identical on every
-    /// rank (physics, scheme, CFL — the replicated-topology invariant
-    /// extends to the solver parameters).
+    /// rank (physics, scheme, CFL, partitioner — the replicated-topology
+    /// invariant extends to the solver parameters).
     pub fn new(grid: BlockGrid<D>, owner: HashMap<BlockId, usize>, cfg: SolverConfig<P>) -> Self {
         let engine = cfg.engine();
+        let walk = CurveWalk::build(&grid, cfg.partitioner.curve());
         DistSim {
             grid,
             owner,
             cfg,
             engine,
+            walk,
+            weight_fn: None,
             agg: None,
             split: SweepSplit::default(),
             halo_values_recv: 0,
         }
     }
 
-    /// Partition-and-wrap convenience.
-    pub fn partitioned(
-        grid: BlockGrid<D>,
-        nranks: usize,
-        policy: Policy,
-        cfg: SolverConfig<P>,
-    ) -> Self {
-        let owner = crate::balance::partition_grid(&grid, nranks, policy);
+    /// Partition-and-wrap convenience using the config's partitioner.
+    pub fn partitioned(grid: BlockGrid<D>, nranks: usize, cfg: SolverConfig<P>) -> Self {
+        let owner = cfg.partitioner.partition_grid(&grid, nranks);
         Self::new(grid, owner, cfg)
+    }
+
+    /// Install a replicated measured-cost weight hook (see [`WeightFn`]).
+    pub fn set_weight_fn(&mut self, f: WeightFn<D>) {
+        self.weight_fn = Some(f);
     }
 
     /// The solver configuration this simulation was built from.
@@ -451,14 +483,17 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
         }
     }
 
-    /// Replicated adapt: flags for owned blocks are allgathered as keys and
-    /// applied identically everywhere; ownership is inherited; then an SFC
-    /// repartition migrates data. Returns true if the grid changed.
+    /// Replicated adapt: flags for owned blocks are allgathered as keys,
+    /// every rank derives the identical [`ablock_core::balance::AdaptPlan`],
+    /// sibling interiors of planned coarsen groups are pre-exchanged point
+    /// to point, the plan is applied identically everywhere, ownership is
+    /// inherited, the curve walk is spliced in place, and an incremental
+    /// rebalance migrates exactly the blocks whose curve interval moved.
+    /// Returns true if the grid changed.
     pub fn adapt_rebalance(
         &mut self,
         comm: &Comm,
         local_flags: &HashMap<BlockId, Flag>,
-        policy: Policy,
     ) -> bool {
         let me = comm.rank();
         // encode owned flags as (level, coords..., kind) tuples
@@ -503,40 +538,107 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
             Recon::FirstOrder => ProlongOrder::Constant,
             Recon::Muscl(_) => ProlongOrder::LinearMinmod,
         });
-        // The conservative transfer reads *full interiors*: restriction of a
-        // coarsen group whose siblings are owned by different ranks would
-        // otherwise read stale mirror copies (halo exchange only refreshes
-        // face slabs) and silently diverge from the serial result. Regrid is
-        // rare relative to stepping, so pay for one authoritative gather
-        // here — found by the cross-backend differential suite.
-        self.gather_full(comm);
-        let report = adapt(&mut self.grid, &flags, transfer);
-        // rebuild ownership: same key → same owner; child → parent's owner;
-        // parent (after coarsen) → first child's owner
-        let mut new_owner: HashMap<BlockId, usize> = HashMap::new();
-        for (id, node) in self.grid.blocks() {
-            let key = node.key();
-            let r = if let Some(&r) = owner_by_key.get(&key) {
-                r
-            } else if let Some(r) = key.parent().and_then(|p| owner_by_key.get(&p)) {
-                *r
-            } else {
-                *owner_by_key
-                    .get(&key.child(0))
-                    .expect("new block must come from refine or coarsen")
-            };
-            new_owner.insert(id, r);
-        }
-        self.owner = new_owner;
+        // The conservative transfer reads *full interiors* of exactly two
+        // kinds of blocks: the parent of each refined block and the 2^D
+        // children of each coarsen group. Refinement is safe without any
+        // exchange — children inherit the parent's owner, and on that rank
+        // the parent interior being prolonged is authoritative (mirrors
+        // elsewhere prolong stale data into non-authoritative copies).
+        // Coarsening is not: siblings may live on ranks other than the
+        // surviving owner. So instead of gathering the whole grid we
+        // pre-send just the sibling interiors of the planned groups to the
+        // rank that will own the coarse parent.
+        let plan = plan_adapt(&self.grid, &flags);
+        self.fetch_coarsen_groups(comm, &plan.coarsen, &owner_by_key);
+        let report = apply_adapt(&mut self.grid, &plan, transfer);
+        // ownership is inherited: same key → same owner; child → parent's
+        // owner; parent (after coarsen) → first child's owner
+        self.owner = inherit_owner(&self.grid, &owner_by_key);
+        // splice the curve walk instead of re-sorting: refined parents
+        // become 2^D contiguous children, applied coarsen groups collapse.
+        // A planned coarsen may still be vetoed at apply time; the parent
+        // key is a leaf iff the group actually merged.
+        let refined: Vec<BlockKey<D>> = plan.refine.iter().map(|(k, _)| *k).collect();
+        let merged: Vec<BlockKey<D>> = plan
+            .coarsen
+            .iter()
+            .copied()
+            .filter(|p| self.grid.find(*p).is_some())
+            .collect();
+        self.walk.apply_adapt(&refined, &merged, &self.grid);
         // no invalidation needed: adapt's refine/coarsen calls bumped the
         // grid epoch, and rebalance below bumps it for ownership changes
         if report.changed() {
             self.cfg.metrics.incr("dist.adapts", 1);
         }
         if report.changed() || comm.nranks() > 1 {
-            self.rebalance(comm, policy);
+            self.rebalance(comm);
         }
         report.changed()
+    }
+
+    /// Pre-exchange the sibling interiors a planned coarsen needs: for
+    /// every group, children owned by a rank other than the owner of
+    /// child 0 (the inherited owner of the coarse parent) are sent to
+    /// that rank — one vectored message per rank pair, segments in plan
+    /// order, so the protocol is deterministic on both sides. Sends for
+    /// groups vetoed at apply time are harmless (they only refresh the
+    /// receiver's mirror copies). This replaces the whole-grid
+    /// `gather_full` on the adapt path.
+    fn fetch_coarsen_groups(
+        &mut self,
+        comm: &Comm,
+        groups: &[BlockKey<D>],
+        owner_by_key: &HashMap<BlockKey<D>, usize>,
+    ) {
+        if groups.is_empty() || comm.nranks() == 1 {
+            return;
+        }
+        let me = comm.rank();
+        // (from, to) → child keys in plan order; replicated on every rank
+        let mut pair_keys: BTreeMap<(usize, usize), Vec<BlockKey<D>>> = BTreeMap::new();
+        for p in groups {
+            let dst = owner_by_key[&p.child(0)];
+            for ci in 1..(1usize << D) {
+                let ck = p.child(ci);
+                let src = owner_by_key[&ck];
+                if src != dst {
+                    pair_keys.entry((src, dst)).or_default().push(ck);
+                }
+            }
+        }
+        let params = self.grid.params();
+        let values = params.field_shape().interior_cells() * params.nvar;
+        // sends first (unbounded channels: no deadlock)
+        for ((from, to), keys) in &pair_keys {
+            if *from != me {
+                continue;
+            }
+            let parts: Vec<Vec<f64>> = keys
+                .iter()
+                .map(|ck| {
+                    let id = self.grid.find(*ck).expect("planned group child is a leaf");
+                    let node = self.grid.block(id);
+                    extract_box(node.field(), node.field().shape().interior_box())
+                })
+                .collect();
+            let slices: Vec<&[f64]> = parts.iter().map(Vec::as_slice).collect();
+            self.cfg.metrics.incr("dist.coarsen_fetch.messages", 1);
+            self.cfg.metrics.incr("dist.coarsen_fetch.values", (values * keys.len()) as u64);
+            comm.send_vectored(*to, TAG_COARSEN, &slices);
+        }
+        for ((from, to), keys) in &pair_keys {
+            if *to != me {
+                continue;
+            }
+            let lens = vec![values; keys.len()];
+            let parts = comm.recv_vectored(*from, TAG_COARSEN, &lens);
+            for (ck, data) in keys.iter().zip(parts) {
+                let id = self.grid.find(*ck).expect("planned group child is a leaf");
+                let bx = self.grid.block(id).field().shape().interior_box();
+                insert_box(self.grid.block_mut(id).field_mut(), bx, &data);
+            }
+        }
     }
 
     /// Gather every owned block's interior data onto every rank. After
@@ -576,44 +678,79 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
         }
     }
 
-    /// Repartition with `policy` and migrate block data to new owners.
-    pub fn rebalance(&mut self, comm: &Comm, policy: Policy) {
+    /// Incremental rebalance with the config's partitioner: recompute cut
+    /// points over the maintained curve walk and migrate exactly the
+    /// blocks whose interval moved (see
+    /// [`RebalancePlan`](ablock_core::partition::RebalancePlan)).
+    pub fn rebalance(&mut self, comm: &Comm) {
+        let partitioner = self.cfg.partitioner.clone();
+        self.rebalance_with(comm, &partitioner);
+    }
+
+    /// [`DistSim::rebalance`] with an explicit partitioner (must be
+    /// identical on every rank). The walk is rebuilt only if the grid
+    /// changed outside [`DistSim::adapt_rebalance`] or the curve differs.
+    pub fn rebalance_with(&mut self, comm: &Comm, partitioner: &Partitioner) {
         let me = comm.rank();
-        let ids = self.grid.block_ids();
-        // deterministic order: sort by key
-        let mut keyed: Vec<(BlockKey<D>, BlockId)> =
-            ids.iter().map(|&id| (self.grid.block(id).key(), id)).collect();
-        keyed.sort();
-        let keys: Vec<BlockKey<D>> = keyed.iter().map(|(k, _)| *k).collect();
-        let weights = vec![1.0; keys.len()];
-        let assign = partition(&keys, &weights, comm.nranks(), policy);
+        if !self.walk.is_current(&self.grid) || self.walk.curve() != partitioner.curve() {
+            self.walk = CurveWalk::build(&self.grid, partitioner.curve());
+        }
+        let weights: Vec<f64> = match &self.weight_fn {
+            Some(f) => self.walk.entries().iter().map(|e| f(&self.grid, e.id)).collect(),
+            None => cell_weights(&self.grid, &self.walk),
+        };
+        let owner = &self.owner;
+        let plan = partitioner.plan(&self.walk, &weights, comm.nranks(), |id| owner[&id]);
+        let params = self.grid.params();
+        let values_per_block = params.field_shape().interior_cells() * params.nvar;
+        self.cfg.metrics.incr("dist.rebalance.count", 1);
+        self.cfg.metrics.incr("dist.rebalance.migrated_blocks", plan.migrated() as u64);
+        self.cfg
+            .metrics
+            .incr("dist.rebalance.values", (plan.migrated() * values_per_block) as u64);
+        self.cfg.metrics.incr("dist.rebalance.pair_msgs", plan.pairs().len() as u64);
+        // one vectored message per rank pair, segments in walk order —
+        // the plan is replicated, so both sides derive identical layouts
+        let mut by_pair: BTreeMap<(usize, usize), Vec<BlockId>> = BTreeMap::new();
+        for m in &plan.moves {
+            by_pair.entry((m.from, m.to)).or_default().push(m.id);
+        }
         // sends first (unbounded channels: no deadlock)
-        for (i, (_, id)) in keyed.iter().enumerate() {
-            let old = self.owner[id];
-            let new = assign[i];
-            if old == me && new != me {
-                let bx = self.grid.block(*id).field().shape().interior_box();
-                let data = extract_box(self.grid.block(*id).field(), bx);
-                comm.send(new, TAG_MIGRATE + i as u64, data);
-                self.cfg.metrics.incr("dist.migrated_blocks", 1);
+        for ((from, to), ids) in &by_pair {
+            if *from != me {
+                continue;
+            }
+            let parts: Vec<Vec<f64>> = ids
+                .iter()
+                .map(|&id| {
+                    let node = self.grid.block(id);
+                    extract_box(node.field(), node.field().shape().interior_box())
+                })
+                .collect();
+            let slices: Vec<&[f64]> = parts.iter().map(Vec::as_slice).collect();
+            self.cfg.metrics.incr("dist.migrated_blocks", ids.len() as u64);
+            comm.send_vectored(*to, TAG_MIGRATE, &slices);
+        }
+        for ((from, to), ids) in &by_pair {
+            if *to != me {
+                continue;
+            }
+            let lens = vec![values_per_block; ids.len()];
+            let parts = comm.recv_vectored(*from, TAG_MIGRATE, &lens);
+            for (&id, data) in ids.iter().zip(parts) {
+                let bx = self.grid.block(id).field().shape().interior_box();
+                insert_box(self.grid.block_mut(id).field_mut(), bx, &data);
             }
         }
-        for (i, (_, id)) in keyed.iter().enumerate() {
-            let old = self.owner[id];
-            let new = assign[i];
-            if new == me && old != me {
-                let data = comm.recv(old, TAG_MIGRATE + i as u64);
-                let bx = self.grid.block(*id).field().shape().interior_box();
-                insert_box(self.grid.block_mut(*id).field_mut(), bx, &data);
-            }
+        for (e, &r) in self.walk.entries().iter().zip(&plan.assign) {
+            self.owner.insert(e.id, r);
         }
-        for (i, (_, id)) in keyed.iter().enumerate() {
-            self.owner.insert(*id, assign[i]);
+        if !plan.is_noop() {
+            // redistribution changes which ranks hold authoritative data;
+            // bump the epoch so every epoch-keyed cache sees the new layout
+            self.grid.bump_epoch();
+            self.walk.sync_epoch(&self.grid);
         }
-        // redistribution changes which ranks hold authoritative data;
-        // bump the epoch so every epoch-keyed cache sees the new layout
-        self.grid.bump_epoch();
-        comm.barrier();
     }
 }
 
@@ -632,6 +769,7 @@ mod tests {
     use super::*;
     use crate::machine::Machine;
     use ablock_core::grid::GridParams;
+    use ablock_core::sfc::Curve;
     use ablock_core::layout::{Boundary, RootLayout};
     use ablock_solver::euler::Euler;
     use ablock_solver::kernel::Scheme;
@@ -666,12 +804,19 @@ mod tests {
         out
     }
 
-    fn dist_solution(nranks: usize, steps: usize, dt: f64, policy: Policy) -> Vec<(BlockKey<2>, Vec<f64>)> {
-        let results = Machine::run(nranks, |comm| {
+    fn dist_solution(
+        nranks: usize,
+        steps: usize,
+        dt: f64,
+        partitioner: Partitioner,
+    ) -> Vec<(BlockKey<2>, Vec<f64>)> {
+        let results = Machine::run(nranks, move |comm| {
             let e = Euler::<2>::new(1.4);
             let mut g = build_grid();
             init(&mut g, &e);
-            let mut sim = DistSim::partitioned(g, nranks, policy, SolverConfig::new(e, Scheme::muscl_rusanov()));
+            let cfg = SolverConfig::new(e, Scheme::muscl_rusanov())
+                .with_partitioner(partitioner.clone());
+            let mut sim = DistSim::partitioned(g, nranks, cfg);
             for _ in 0..steps {
                 sim.step_rk2(&comm, dt);
             }
@@ -716,7 +861,7 @@ mod tests {
     fn two_ranks_match_serial() {
         let dt = 2e-3;
         let serial = serial_solution(4, dt);
-        let dist = dist_solution(2, 4, dt, Policy::SfcHilbert);
+        let dist = dist_solution(2, 4, dt, Partitioner::sfc(Curve::Hilbert));
         interiors_match(&serial, &dist);
     }
 
@@ -725,7 +870,7 @@ mod tests {
         // round-robin maximizes remote faces: the strongest halo test
         let dt = 2e-3;
         let serial = serial_solution(3, dt);
-        let dist = dist_solution(4, 3, dt, Policy::RoundRobin);
+        let dist = dist_solution(4, 3, dt, Partitioner::round_robin());
         interiors_match(&serial, &dist);
     }
 
@@ -735,7 +880,9 @@ mod tests {
             let e = Euler::<2>::new(1.4);
             let mut g = build_grid();
             init(&mut g, &e);
-            let sim = DistSim::partitioned(g, 3, Policy::SfcMorton, SolverConfig::new(e, Scheme::muscl_rusanov()));
+            let cfg = SolverConfig::new(e, Scheme::muscl_rusanov())
+                .with_partitioner(Partitioner::sfc(Curve::Morton));
+            let sim = DistSim::partitioned(g, 3, cfg);
             sim.max_dt(&comm)
         })
         .unwrap();
@@ -751,10 +898,11 @@ mod tests {
             let mut g = build_grid();
             init(&mut g, &e);
             let total_ref: f64 = ablock_solver::stepper::total_conserved(&g, 0);
-            let mut sim =
-                DistSim::partitioned(g, 2, Policy::RoundRobin, SolverConfig::new(e, Scheme::muscl_rusanov()));
-            // rebalance to SFC: lots of migration
-            sim.rebalance(&comm, Policy::SfcHilbert);
+            let cfg = SolverConfig::new(e, Scheme::muscl_rusanov())
+                .with_partitioner(Partitioner::round_robin());
+            let mut sim = DistSim::partitioned(g, 2, cfg);
+            // rebalance to SFC cut points: lots of migration
+            sim.rebalance_with(&comm, &Partitioner::sfc(Curve::Hilbert));
             // total mass over owned blocks, reduced
             let me = comm.rank();
             let mut local = 0.0;
@@ -782,7 +930,7 @@ mod tests {
             let mut g = build_grid();
             init(&mut g, &e);
             let mut sim =
-                DistSim::partitioned(g, 2, Policy::SfcHilbert, SolverConfig::new(e, Scheme::muscl_rusanov()));
+                DistSim::partitioned(g, 2, SolverConfig::new(e, Scheme::muscl_rusanov()));
             // rank-local flags: refine the two blocks covering the pulse
             let me = comm.rank();
             let mut flags = HashMap::new();
@@ -792,7 +940,7 @@ mod tests {
                     flags.insert(id, Flag::Refine);
                 }
             }
-            let changed = sim.adapt_rebalance(&comm, &flags, Policy::SfcHilbert);
+            let changed = sim.adapt_rebalance(&comm, &flags);
             ablock_core::verify::check_grid(&sim.grid).unwrap();
             // every rank must agree on the new topology
             let nblocks = sim.grid.num_blocks();
@@ -819,7 +967,7 @@ mod tests {
             let mut g = build_grid();
             init(&mut g, &e);
             let mut sim =
-                DistSim::partitioned(g, 2, Policy::SfcHilbert, SolverConfig::new(e, Scheme::muscl_rusanov()));
+                DistSim::partitioned(g, 2, SolverConfig::new(e, Scheme::muscl_rusanov()));
             let me = comm.rank();
             let mut flags = HashMap::new();
             for id in sim.owned_ids(me) {
@@ -827,7 +975,7 @@ mod tests {
                     flags.insert(id, Flag::Refine);
                 }
             }
-            sim.adapt_rebalance(&comm, &flags, Policy::SfcHilbert);
+            sim.adapt_rebalance(&comm, &flags);
             for _ in 0..3 {
                 let dt = sim.max_dt(&comm);
                 sim.step_rk2(&comm, dt);

@@ -7,8 +7,9 @@
 //! * [`dist`] — distributed AMR stepping: replicated block topology,
 //!   owner-held field data, halo exchange over the machine, replicated
 //!   adapt with data migration;
-//! * [`balance`] — SFC (Morton/Hilbert), round-robin, and greedy
-//!   partitioners with imbalance and communication metrics;
+//! * [`balance`] — named [`Policy`] shorthands over the pluggable
+//!   [`Partitioner`] API (SFC cut points, round-robin, greedy) plus
+//!   imbalance and communication metrics;
 //! * [`shared`] — a shared-memory executor on scoped threads
 //!   (gather/scatter ghost fill, parallel block kernels via [`pool`]);
 //! * [`costmodel`] — a BSP step-cost model with T3D-like parameters that
@@ -30,12 +31,16 @@ pub mod pool;
 pub mod recover;
 pub mod shared;
 
-pub use balance::{comm_stats, imbalance, partition, partition_grid, CommStats, Policy};
-pub use costmodel::{
-    model_step, model_step_cached, record_adapt_phases, record_step_phases, CostParams, RankCost,
-    StepCost,
+pub use ablock_core::partition::{
+    cell_weights, inherit_owner, BlockMove, CurveWalk, PartitionStrategy, Partitioner,
+    RebalancePlan,
 };
-pub use dist::DistSim;
+pub use balance::{comm_stats, imbalance, CommStats, Policy};
+pub use costmodel::{
+    model_step, model_step_cached, record_adapt_phases, record_rebalance_phases,
+    record_step_phases, CostParams, RankCost, StepCost,
+};
+pub use dist::{DistSim, WeightFn};
 pub use fault::{FaultPlan, FaultStats};
 pub use machine::{Comm, CommError, Machine, MachineConfig, MachineError, Msg, RankFailure};
 pub use recover::{

@@ -45,7 +45,6 @@ use ablock_obs::counter;
 use ablock_solver::physics::Physics;
 use ablock_solver::SolverConfig;
 
-use crate::balance::Policy;
 use crate::dist::DistSim;
 use crate::fault::FaultPlan;
 use crate::machine::{die, Comm, CommError, Machine, MachineConfig, MachineError, RankFailure};
@@ -61,9 +60,6 @@ pub struct RecoverConfig {
     /// Write a snapshot every this many completed steps (0 = only the
     /// implicit step-0 state, i.e. failures restart from scratch).
     pub checkpoint_every: usize,
-    /// Partitioner used at the initial launch (recovery keeps surviving
-    /// ranks' blocks sticky instead of repartitioning).
-    pub policy: Policy,
     /// Timeouts for failure detection (`MachineConfig::fast()` in tests).
     pub machine: MachineConfig,
     /// Restarts allowed before giving up.
@@ -74,7 +70,6 @@ impl Default for RecoverConfig {
     fn default() -> Self {
         RecoverConfig {
             checkpoint_every: 5,
-            policy: Policy::SfcHilbert,
             machine: MachineConfig::default(),
             max_restarts: 3,
         }
@@ -643,12 +638,10 @@ where
                     (*step, sim)
                 }
                 None => {
-                    let sim = DistSim::partitioned(
-                        make_grid(),
-                        comm.nranks(),
-                        cfg.policy,
-                        solver.clone(),
-                    );
+                    // initial launch partitions with the solver config's
+                    // partitioner; recovery keeps surviving ranks' blocks
+                    // sticky instead of repartitioning
+                    let sim = DistSim::partitioned(make_grid(), comm.nranks(), solver.clone());
                     (0, sim)
                 }
             };

@@ -11,7 +11,11 @@
 //! `ParStepper` reproduces `ablock_solver::Stepper`'s SSP-RK2 semantics
 //! exactly (the equivalence test below checks bitwise-level agreement);
 //! only the execution order across blocks differs, and no arithmetic
-//! crosses block boundaries outside the ghost plan.
+//! crosses block boundaries outside the ghost plan. Flux sweeps are
+//! issued in the [`SolverConfig`] partitioner's space-filling-curve
+//! order (cached by topology epoch), so spatially adjacent blocks land
+//! on the same worker's contiguous chunk — a bitwise-neutral permutation
+//! that improves ghost-source cache reuse.
 
 use std::collections::HashMap;
 
@@ -23,6 +27,7 @@ use ablock_core::ghost::{synthesize_boundary, GhostConfig, GhostExchange, GhostT
 use ablock_core::grid::{BlockGrid, BlockNode};
 use ablock_core::index::IBox;
 use ablock_core::ops::{prolong, restrict_avg, ProlongOrder};
+use ablock_core::partition::CurveWalk;
 use ablock_obs::{phase, Metrics};
 
 use ablock_solver::config::SolverConfig;
@@ -256,6 +261,10 @@ fn scatter_op<const D: usize>(field: &mut FieldBlock<D>, op: &ReadyOp<D>) {
 pub struct ParStepper<const D: usize, P: Physics> {
     cfg: SolverConfig<P>,
     engine: SweepEngine<D>,
+    /// Flux-sweep issue order: block id -> SFC position under the
+    /// config partitioner's curve, rebuilt when the topology epoch moves.
+    sweep_pos: HashMap<BlockId, usize>,
+    sweep_epoch: Option<u64>,
 }
 
 impl<const D: usize, P: Physics> ParStepper<D, P> {
@@ -263,7 +272,7 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
     /// serial stepper and the distributed executor consume).
     pub fn new(cfg: SolverConfig<P>) -> Self {
         let engine = cfg.engine();
-        ParStepper { cfg, engine }
+        ParStepper { cfg, engine, sweep_pos: HashMap::new(), sweep_epoch: None }
     }
 
     /// The configuration this stepper was built from.
@@ -281,6 +290,25 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
     /// adaptation (the topology epoch covers that).
     pub fn engine_mut(&mut self) -> &mut SweepEngine<D> {
         &mut self.engine
+    }
+
+    /// Rebuild the SFC sweep order if the grid restructured since the
+    /// last sweep. The order is a pure work-scheduling permutation: it
+    /// never changes which blocks are swept or any per-block arithmetic.
+    fn refresh_sweep_order(&mut self, grid: &BlockGrid<D>) {
+        if self.sweep_epoch == Some(grid.epoch()) {
+            return;
+        }
+        let walk = CurveWalk::build(grid, self.cfg.partitioner.curve());
+        self.sweep_pos =
+            walk.entries().iter().enumerate().map(|(pos, e)| (e.id, pos)).collect();
+        self.sweep_epoch = Some(grid.epoch());
+    }
+
+    /// SFC position of a block in the current sweep order (for tests and
+    /// instrumentation; blocks unknown to the cached order sort last).
+    pub fn sweep_position(&self, id: BlockId) -> Option<usize> {
+        self.sweep_pos.get(&id).copied()
     }
 
     /// Global CFL dt (parallel reduction over blocks, config's CFL).
@@ -302,6 +330,7 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
     /// Fill ghosts and evaluate the RHS of every block in parallel.
     fn eval_rhs(&mut self, grid: &mut BlockGrid<D>) {
         self.engine.revalidate(grid);
+        self.refresh_sweep_order(grid);
         if self.cfg.comm_overlap {
             self.eval_rhs_overlap(grid);
             return;
@@ -317,9 +346,13 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
         let phys = &self.cfg.physics;
         let scheme = self.cfg.scheme;
         let ids = grid.block_ids();
+        let pos = &self.sweep_pos;
         let sw = self.engine.sweep();
         let rhs_refs = indexed_refs(sw.rhs, &ids);
         let mut work: Vec<_> = ids.iter().copied().zip(rhs_refs).collect();
+        // issue in SFC order: spatially adjacent blocks share ghost
+        // sources, so contiguous worker chunks reuse cache lines
+        work.sort_by_key(|(id, _)| pos.get(id).copied().unwrap_or(usize::MAX));
         let body = |scratch: &mut Vec<f64>, (id, rhs_block): &mut (BlockId, &mut FieldBlock<D>)| {
             let node = grid.block(*id);
             let h = layout.cell_size(node.key().level, m);
@@ -391,6 +424,11 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
                 interior.push((id, node, rhs));
             }
         }
+        // issue both sweeps in SFC order (same rationale as the
+        // non-overlapped path; pure permutation, bitwise-neutral)
+        let pos = &self.sweep_pos;
+        interior.sort_by_key(|(id, ..)| pos.get(id).copied().unwrap_or(usize::MAX));
+        halo.sort_by_key(|(id, ..)| pos.get(id).copied().unwrap_or(usize::MAX));
         let body = &|scratch: &mut Vec<f64>,
                      (_, node, rhs): &mut (BlockId, &mut BlockNode<D>, &mut FieldBlock<D>)| {
             let h = layout.cell_size(node.key().level, m);
@@ -574,6 +612,26 @@ mod tests {
         let a = serial.max_dt(&g);
         let b = par.max_dt(&g);
         assert!((a - b).abs() < 1e-16);
+    }
+
+    #[test]
+    fn sweep_order_follows_partitioner_curve() {
+        let (mut g, e) = build();
+        let mut par = ParStepper::new(SolverConfig::new(e, Scheme::muscl_rusanov()));
+        par.step_rk2(&mut g, 1e-3);
+        let walk = CurveWalk::build(&g, par.config().partitioner.curve());
+        for (pos, entry) in walk.entries().iter().enumerate() {
+            assert_eq!(par.sweep_position(entry.id), Some(pos), "SFC order mismatch");
+        }
+        // cached: a refine bumps the epoch and forces a rebuild
+        let id = g.block_ids()[0];
+        g.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod)).unwrap();
+        par.step_rk2(&mut g, 1e-3);
+        let walk = CurveWalk::build(&g, par.config().partitioner.curve());
+        assert_eq!(walk.len(), g.num_blocks());
+        for (pos, entry) in walk.entries().iter().enumerate() {
+            assert_eq!(par.sweep_position(entry.id), Some(pos), "stale order after adapt");
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@ const TRANSFER: Transfer = Transfer::Conservative(ProlongOrder::LinearMinmod);
 
 fn cfg() -> SolverConfig<Euler<2>> {
     SolverConfig::new(Euler::new(1.4), Scheme::muscl_rusanov())
+        .with_partitioner(POLICY.partitioner())
 }
 
 fn base_grid() -> BlockGrid<2> {
@@ -156,14 +157,14 @@ fn run_shared(schedule: &Schedule) -> (BlockGrid<2>, Vec<u64>) {
 /// contributes key-derived flags for its owned blocks only.
 fn run_dist(schedule: &Schedule, nranks: usize) -> (BlockGrid<2>, Vec<u64>) {
     let results = Machine::run(nranks, |comm| {
-        let mut sim = DistSim::partitioned(base_grid(), comm.nranks(), POLICY, cfg());
+        let mut sim = DistSim::partitioned(base_grid(), comm.nranks(), cfg());
         let mut deltas = Vec::new();
         for (ri, round) in schedule.rounds.iter().enumerate() {
             let owned = sim.owned_ids(comm.rank());
             let flags =
                 flags_for(&sim.grid, round.flag_seed, round.density, Some(&owned));
             let before = sim.grid.epoch();
-            sim.adapt_rebalance(&comm, &flags, POLICY);
+            sim.adapt_rebalance(&comm, &flags);
             deltas.push(sim.grid.epoch() - before);
             for _ in 0..round.steps {
                 sim.step_rk2(&comm, DT);
@@ -173,7 +174,7 @@ fn run_dist(schedule: &Schedule, nranks: usize) -> (BlockGrid<2>, Vec<u64>) {
                 // re-partitions the reloaded grid identically
                 sim.gather_full(&comm);
                 let loaded = checkpoint_cut(&sim.grid);
-                sim = DistSim::partitioned(loaded, comm.nranks(), POLICY, cfg());
+                sim = DistSim::partitioned(loaded, comm.nranks(), cfg());
             }
         }
         sim.gather_full(&comm);
@@ -210,7 +211,6 @@ fn run_resilient_backend(
     }
     let rcfg = RecoverConfig {
         checkpoint_every: 2,
-        policy: POLICY,
         machine: MachineConfig::fast(),
         max_restarts: 3,
     };
@@ -228,7 +228,7 @@ fn run_resilient_backend(
                 let owned = sim.owned_ids(comm.rank());
                 let flags =
                     flags_for(&sim.grid, round.flag_seed, round.density, Some(&owned));
-                sim.adapt_rebalance(comm, &flags, POLICY);
+                sim.adapt_rebalance(comm, &flags);
             }
         },
     )
@@ -245,12 +245,17 @@ fn differential_case(rng: &mut ablock_testkit::Rng) {
     assert_eq!(d_serial, d_shared, "epoch deltas serial vs shared");
     assert_bitwise_eq(&serial, &shared, "Stepper vs ParStepper");
     let (dist, d_dist) = run_dist(&schedule, 2);
-    // adapt_rebalance ends every round with a rebalance, which bumps the
-    // epoch once to invalidate epoch-keyed caches after block migration —
-    // so the structural deltas must match serial exactly, plus that one
-    // deterministic bump per round.
-    let d_dist_structural: Vec<u64> = d_dist.iter().map(|d| d - 1).collect();
-    assert_eq!(d_serial, d_dist_structural, "epoch deltas serial vs dist");
+    // adapt_rebalance ends every round with an incremental rebalance,
+    // which bumps the epoch once more *only if blocks actually migrated*
+    // (the no-op plan leaves epoch-keyed caches valid) — so each
+    // distributed delta is the serial structural delta plus at most one.
+    assert_eq!(d_serial.len(), d_dist.len(), "round counts serial vs dist");
+    for (i, (&ds, &dd)) in d_serial.iter().zip(&d_dist).enumerate() {
+        assert!(
+            dd == ds || dd == ds + 1,
+            "epoch delta at round {i}: serial {ds} vs dist {dd}"
+        );
+    }
     assert_bitwise_eq(&serial, &dist, "Stepper vs DistSim");
     let resilient = run_resilient_backend(&schedule, 2, None);
     assert_bitwise_eq(&serial, &resilient, "Stepper vs run_resilient");

@@ -9,7 +9,8 @@ use ablock_core::grid::{BlockGrid, GridParams, Transfer};
 use ablock_core::key::BlockKey;
 use ablock_core::layout::{Boundary, RootLayout};
 use ablock_core::ops::ProlongOrder;
-use ablock_par::{DistSim, Machine, Policy};
+use ablock_par::{DistSim, Machine, Partitioner};
+use ablock_core::sfc::Curve;
 use ablock_solver::euler::Euler;
 use ablock_solver::kernel::Scheme;
 use ablock_solver::problems;
@@ -86,7 +87,7 @@ fn distributed_amr_blast_matches_serial() {
         let results = Machine::run(nranks, |comm| {
             let (g, e) = build();
             let mut sim =
-                DistSim::partitioned(g, nranks, Policy::SfcHilbert, SolverConfig::new(e, Scheme::muscl_rusanov()));
+                DistSim::partitioned(g, nranks, SolverConfig::new(e, Scheme::muscl_rusanov()));
             for _ in 0..ROUNDS {
                 for _ in 0..STEPS_PER_ROUND {
                     sim.step_rk2(&comm, DT);
@@ -99,7 +100,7 @@ fn distributed_amr_blast_matches_serial() {
                     .into_iter()
                     .filter(|(id, _)| sim.owner[id] == me)
                     .collect();
-                sim.adapt_rebalance(&comm, &my_flags, Policy::SfcHilbert);
+                sim.adapt_rebalance(&comm, &my_flags);
             }
             ablock_core::verify::check_grid(&sim.grid).unwrap();
             let me = comm.rank();
@@ -146,7 +147,12 @@ fn distributed_amr_conserves_mass() {
     let totals = Machine::run(2, |comm| {
         let (g, e) = build();
         let total0 = ablock_solver::stepper::total_conserved(&g, 0);
-        let mut sim = DistSim::partitioned(g, 2, Policy::SfcMorton, SolverConfig::new(e, Scheme::muscl_rusanov()));
+        let mut sim = DistSim::partitioned(
+            g,
+            2,
+            SolverConfig::new(e, Scheme::muscl_rusanov())
+                .with_partitioner(Partitioner::sfc(Curve::Morton)),
+        );
         for _ in 0..2 {
             for _ in 0..2 {
                 let dt = sim.max_dt(&comm);
@@ -158,7 +164,7 @@ fn distributed_amr_conserves_mass() {
                 .into_iter()
                 .filter(|(id, _)| sim.owner[id] == me)
                 .collect();
-            sim.adapt_rebalance(&comm, &flags, Policy::SfcMorton);
+            sim.adapt_rebalance(&comm, &flags);
         }
         // owned-mass reduction
         let me = comm.rank();

@@ -7,7 +7,8 @@ use std::collections::HashMap;
 use ablock_core::grid::{BlockGrid, GridParams};
 use ablock_core::key::BlockKey;
 use ablock_core::layout::{Boundary, RootLayout};
-use ablock_par::{DistSim, Machine, Policy};
+use ablock_par::{DistSim, Machine, Partitioner};
+use ablock_core::sfc::Curve;
 use ablock_solver::euler::Euler;
 use ablock_solver::kernel::Scheme;
 use ablock_solver::problems;
@@ -42,7 +43,7 @@ fn distributed_masked_grid_matches_serial() {
 
     let results = Machine::run(3, move |comm| {
         let (g, e) = build();
-        let mut sim = DistSim::partitioned(g, 3, Policy::SfcHilbert, SolverConfig::new(e, Scheme::muscl_rusanov()));
+        let mut sim = DistSim::partitioned(g, 3, SolverConfig::new(e, Scheme::muscl_rusanov()));
         for _ in 0..steps {
             sim.step_rk2(&comm, dt);
         }
@@ -89,7 +90,12 @@ fn masked_grid_walls_reflect_momentum_distributed() {
             w[2] = 0.4;
             w[3] = 1.0;
         });
-        let mut sim = DistSim::partitioned(g, 2, Policy::SfcMorton, SolverConfig::new(e, Scheme::muscl_rusanov()));
+        let mut sim = DistSim::partitioned(
+            g,
+            2,
+            SolverConfig::new(e, Scheme::muscl_rusanov())
+                .with_partitioner(Partitioner::sfc(Curve::Morton)),
+        );
         for _ in 0..40 {
             let dt = sim.max_dt(&comm);
             sim.step_rk2(&comm, dt);

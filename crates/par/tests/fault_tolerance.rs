@@ -14,7 +14,7 @@ use std::sync::Arc;
 use ablock_core::grid::{BlockGrid, GridParams};
 use ablock_core::layout::{Boundary, RootLayout};
 use ablock_par::{
-    run_resilient, FaultPlan, Machine, MachineConfig, Policy, RankFailure, RecoverConfig,
+    run_resilient, FaultPlan, Machine, MachineConfig, RankFailure, RecoverConfig,
 };
 use ablock_solver::euler::Euler;
 use ablock_solver::kernel::Scheme;
@@ -37,7 +37,6 @@ fn make_grid() -> BlockGrid<2> {
 fn recover_cfg() -> RecoverConfig {
     RecoverConfig {
         checkpoint_every: 2,
-        policy: Policy::SfcHilbert,
         machine: MachineConfig::fast(),
         max_restarts: 3,
     }

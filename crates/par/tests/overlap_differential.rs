@@ -28,7 +28,9 @@ const POLICY: Policy = Policy::SfcHilbert;
 const TRANSFER: Transfer = Transfer::Conservative(ProlongOrder::LinearMinmod);
 
 fn cfg(overlap: bool) -> SolverConfig<Euler<2>> {
-    SolverConfig::new(Euler::new(1.4), Scheme::muscl_rusanov()).with_comm_overlap(overlap)
+    SolverConfig::new(Euler::new(1.4), Scheme::muscl_rusanov())
+        .with_comm_overlap(overlap)
+        .with_partitioner(POLICY.partitioner())
 }
 
 fn base_grid() -> BlockGrid<2> {
@@ -132,13 +134,13 @@ fn run_shared(schedule: &Schedule, overlap: bool) -> (BlockGrid<2>, Vec<u64>) {
 
 fn run_dist(schedule: &Schedule, nranks: usize, overlap: bool) -> (BlockGrid<2>, Vec<u64>) {
     let results = Machine::run(nranks, |comm| {
-        let mut sim = DistSim::partitioned(base_grid(), comm.nranks(), POLICY, cfg(overlap));
+        let mut sim = DistSim::partitioned(base_grid(), comm.nranks(), cfg(overlap));
         let mut deltas = Vec::new();
         for round in &schedule.rounds {
             let owned = sim.owned_ids(comm.rank());
             let flags = flags_for(&sim.grid, round.flag_seed, round.density, Some(&owned));
             let before = sim.grid.epoch();
-            sim.adapt_rebalance(&comm, &flags, POLICY);
+            sim.adapt_rebalance(&comm, &flags);
             deltas.push(sim.grid.epoch() - before);
             for _ in 0..round.steps {
                 sim.step_rk2(&comm, DT);
@@ -178,7 +180,6 @@ fn run_resilient_backend(
     }
     let rcfg = RecoverConfig {
         checkpoint_every: 2,
-        policy: POLICY,
         machine: MachineConfig::fast(),
         max_restarts: 3,
     };
@@ -195,7 +196,7 @@ fn run_resilient_backend(
                 let round = rounds[r];
                 let owned = sim.owned_ids(comm.rank());
                 let flags = flags_for(&sim.grid, round.flag_seed, round.density, Some(&owned));
-                sim.adapt_rebalance(comm, &flags, POLICY);
+                sim.adapt_rebalance(comm, &flags);
             }
         },
     )
@@ -220,8 +221,8 @@ fn shared_overlap_on_off_matches_serial() {
 
 /// Distributed overlap: the aggregated+overlapped exchange and the legacy
 /// per-task exchange both match the serial stepper bitwise; structural
-/// epoch deltas match serial exactly (dist adds one deterministic
-/// rebalance bump per round).
+/// epoch deltas match serial, with at most one extra bump per round when
+/// the incremental rebalance actually migrates blocks.
 #[test]
 fn dist_overlap_on_off_matches_serial() {
     cases(4, 0x5EED_0051, |_, rng| {
@@ -229,8 +230,13 @@ fn dist_overlap_on_off_matches_serial() {
         let (serial, d_serial) = run_serial(&schedule);
         for overlap in [true, false] {
             let (dist, d_dist) = run_dist(&schedule, 2, overlap);
-            let d_structural: Vec<u64> = d_dist.iter().map(|d| d - 1).collect();
-            assert_eq!(d_serial, d_structural, "epoch deltas serial vs dist overlap={overlap}");
+            assert_eq!(d_serial.len(), d_dist.len(), "round counts overlap={overlap}");
+            for (i, (&ds, &dd)) in d_serial.iter().zip(&d_dist).enumerate() {
+                assert!(
+                    dd == ds || dd == ds + 1,
+                    "epoch delta round {i} overlap={overlap}: serial {ds} vs dist {dd}"
+                );
+            }
             assert_bitwise_eq(&serial, &dist, &format!("Stepper vs DistSim overlap={overlap}"));
         }
     });
@@ -264,13 +270,12 @@ fn aggregated_messages_equal_active_pairs() {
             let mut sim = DistSim::partitioned(
                 base_grid(),
                 comm.nranks(),
-                POLICY,
                 cfg(overlap).with_metrics(metrics.clone()),
             );
             // one adapt round so prolongation (phase-2) traffic exists
             let owned = sim.owned_ids(comm.rank());
             let flags = flags_for(&sim.grid, 0xA11CE, 60, Some(&owned));
-            sim.adapt_rebalance(&comm, &flags, POLICY);
+            sim.adapt_rebalance(&comm, &flags);
             for _ in 0..STEPS {
                 sim.step_rk2(&comm, DT);
             }

@@ -6,7 +6,7 @@
 //! a failing case reports its seed so it can be replayed exactly.
 
 use ablock_core::key::BlockKey;
-use ablock_par::{imbalance, partition, Machine, Policy};
+use ablock_par::{imbalance, Machine, Policy};
 use ablock_testkit::cases;
 
 fn keys_2d(n: i64) -> Vec<BlockKey<2>> {
@@ -30,7 +30,7 @@ fn partitions_are_valid() {
             weights[0] = 10.0;
         }
         for policy in [Policy::SfcMorton, Policy::SfcHilbert, Policy::RoundRobin, Policy::Greedy] {
-            let a = partition(&keys, &weights, nranks, policy);
+            let a = policy.partitioner().assign_keys(&keys, &weights, nranks);
             assert_eq!(a.len(), keys.len());
             assert!(a.iter().all(|&r| r < nranks), "{policy:?}");
             if nranks <= keys.len() && !heavy {
@@ -62,7 +62,7 @@ fn greedy_meets_lpt_bound() {
                 1.0 + ((state >> 33) % 100) as f64 / 25.0
             })
             .collect();
-        let g = partition(&keys, &weights, nranks, Policy::Greedy);
+        let g = Policy::Greedy.partitioner().assign_keys(&keys, &weights, nranks);
         let ig = imbalance(&weights, &g, nranks);
         assert!(ig >= 1.0 - 1e-12);
         let total: f64 = weights.iter().sum();
@@ -98,7 +98,7 @@ fn sfc_chunks_contiguous() {
                 0.5 + ((state >> 33) % 10) as f64
             })
             .collect();
-        let a = partition(&keys, &weights, nranks, Policy::SfcMorton);
+        let a = Policy::SfcMorton.partitioner().assign_keys(&keys, &weights, nranks);
         let bits = required_bits(n, 1);
         let mut order: Vec<usize> = (0..keys.len()).collect();
         order.sort_by_key(|&i| curve_index(&keys[i], 1, bits, Curve::Morton));

@@ -26,6 +26,7 @@
 //! [`ghost_config_for`]. Every field stays public and overridable.
 
 use ablock_core::ghost::GhostConfig;
+use ablock_core::partition::Partitioner;
 use ablock_obs::Metrics;
 
 use crate::engine::{ghost_config_for, SweepEngine};
@@ -61,6 +62,10 @@ pub struct SolverConfig<P: Physics> {
     /// Observability sink shared by the engine and the executor (null by
     /// default: instrumentation compiles to one branch).
     pub metrics: Metrics,
+    /// Block-to-rank partitioner used by the distributed executors (and
+    /// by the shared-memory stepper for its sweep order). Defaults to
+    /// Hilbert SFC cut points — the paper's re-balancing strategy.
+    pub partitioner: Partitioner,
 }
 
 impl<P: Physics> SolverConfig<P> {
@@ -82,6 +87,7 @@ impl<P: Physics> SolverConfig<P> {
             ghost,
             comm_overlap: true,
             metrics: Metrics::null(),
+            partitioner: Partitioner::default(),
         }
     }
 
@@ -124,6 +130,15 @@ impl<P: Physics> SolverConfig<P> {
     /// from every layer this config reaches).
     pub fn with_metrics(mut self, metrics: Metrics) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Choose the block-to-rank partitioner (e.g.
+    /// `Partitioner::sfc(Curve::Hilbert)`, `Partitioner::greedy()`,
+    /// `Partitioner::round_robin()`). Must be identical on every rank —
+    /// the replicated-topology invariant extends to the partitioner.
+    pub fn with_partitioner(mut self, partitioner: Partitioner) -> Self {
+        self.partitioner = partitioner;
         self
     }
 

@@ -36,6 +36,7 @@ pub mod recon;
 pub mod reflux;
 pub mod stepper;
 
+pub use ablock_core::partition::Partitioner;
 pub use config::SolverConfig;
 pub use engine::{ghost_config_for, EngineStats, SweepEngine, SweepSplit};
 pub use euler::Euler;

@@ -25,13 +25,15 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use ablock_core::balance::{adapt, Flag};
+use ablock_core::arena::BlockId;
+use ablock_core::balance::{apply_adapt, plan_adapt, Flag};
 use ablock_core::ghost::GhostExchange;
 use ablock_core::grid::{BlockGrid, GridParams, Transfer};
 use ablock_core::index::IVec;
 use ablock_core::key::BlockKey;
 use ablock_core::layout::{Boundary, RootLayout};
 use ablock_core::ops::ProlongOrder;
+use ablock_core::partition::{cell_weights, inherit_owner, CurveWalk, Partitioner};
 use ablock_core::verify::check_grid;
 use ablock_io::{
     load_grid, materialize, read_archive, save_grid, write_archive, write_snapshot, NodeHash,
@@ -106,6 +108,14 @@ pub enum FuzzCmd {
         /// Whether the parallel stepper overlaps comm and compute.
         overlap: bool,
     },
+    /// Incremental rebalance oracle: plan a partition of the current
+    /// grid onto `1 + r % 6` virtual ranks through the harness's
+    /// splice-maintained [`CurveWalk`] and persistent by-key owner map,
+    /// then assert the incremental path is exact — the spliced walk
+    /// equals a from-scratch curve sort, the plan's assignment equals
+    /// `Partitioner::partition_grid` recomputed from nothing, and the
+    /// migration list is precisely the owner diff (no more, no less).
+    Rebalance(u64),
     /// Content-addressed snapshot into the harness's persistent
     /// [`NodeStore`]: write, re-write (must be fully deduplicated and
     /// produce the identical root), materialize back bitwise, archive
@@ -119,8 +129,8 @@ pub enum FuzzCmd {
 }
 
 /// Format a script as the compact text form accepted by [`parse_script`]:
-/// `R<r>` `C<r>` `A<seed>:<density>` `M<seed>:<0|1>` `K` `G` `S` `O` `N`
-/// `P` `X`, space-separated, seeds in hex.
+/// `R<r>` `C<r>` `A<seed>:<density>` `M<seed>:<0|1>` `B<r>` `K` `G` `S`
+/// `O` `N` `P` `X`, space-separated, seeds in hex.
 pub fn format_script(cmds: &[FuzzCmd]) -> String {
     let words: Vec<String> = cmds
         .iter()
@@ -131,6 +141,7 @@ pub fn format_script(cmds: &[FuzzCmd]) -> String {
             FuzzCmd::Remask { seed, masked } => {
                 format!("M{seed:x}:{}", u8::from(*masked))
             }
+            FuzzCmd::Rebalance(r) => format!("B{r}"),
             FuzzCmd::Checkpoint => "K".to_string(),
             FuzzCmd::Ghost => "G".to_string(),
             FuzzCmd::Step => "S".to_string(),
@@ -154,6 +165,9 @@ pub fn parse_script(s: &str) -> Result<Vec<FuzzCmd>, String> {
             ),
             "C" => FuzzCmd::Coarsen(
                 rest.parse().map_err(|e| format!("bad coarsen index {rest:?}: {e}"))?,
+            ),
+            "B" => FuzzCmd::Rebalance(
+                rest.parse().map_err(|e| format!("bad rebalance roll {rest:?}: {e}"))?,
             ),
             "A" | "M" => {
                 let (a, b) = rest
@@ -350,6 +364,12 @@ struct Harness<const D: usize> {
     par_on: Option<ParStepper<D, Euler<D>>>,
     par_off: Option<ParStepper<D, Euler<D>>>,
     last_epoch: u64,
+    /// Splice-maintained curve walk for [`FuzzCmd::Rebalance`]; `None`
+    /// until the first rebalance or after a world swap invalidates ids.
+    walk: Option<CurveWalk<D>>,
+    /// By-key ownership carried between rebalances (the incremental
+    /// state the oracle diffs against).
+    owner_by_key: HashMap<BlockKey<D>, usize>,
     /// Append-only content-addressed store shared by every
     /// [`FuzzCmd::Snapshot`] in the script (so successive snapshots dedup
     /// against each other).
@@ -412,6 +432,8 @@ impl<const D: usize> Harness<D> {
             par_on: None,
             par_off: None,
             last_epoch,
+            walk: None,
+            owner_by_key: HashMap::new(),
             store: NodeStore::new(),
             snap_step: 0,
             last_root: None,
@@ -461,6 +483,19 @@ impl<const D: usize> Harness<D> {
         Ok(())
     }
 
+    /// Carry the by-key ownership across one structural change, exactly
+    /// as the distributed executor does after every adapt (same key keeps
+    /// its owner, child inherits parent, coarse parent inherits child 0).
+    /// No-op until the first [`FuzzCmd::Rebalance`] seeds the map.
+    fn carry_owners(&mut self) {
+        if self.owner_by_key.is_empty() {
+            return;
+        }
+        let by_id = inherit_owner(&self.grid, &self.owner_by_key);
+        self.owner_by_key =
+            self.grid.blocks().map(|(id, n)| (n.key(), by_id[&id])).collect();
+    }
+
     fn nth_leaf(&self, r: u64) -> BlockKey<D> {
         let n = self.model.num_leaves();
         *self
@@ -485,6 +520,10 @@ impl<const D: usize> Harness<D> {
                         self.grid
                             .refine(id, TRANSFER)
                             .map_err(|e| format!("grid rejected legal refine {key:?}: {e}"))?;
+                        if let Some(w) = self.walk.as_mut() {
+                            w.apply_adapt(&[key], &[], &self.grid);
+                        }
+                        self.carry_owners();
                         self.model.refine(key);
                         self.check_conserved(&before, "refine")?;
                         structural = true;
@@ -515,6 +554,10 @@ impl<const D: usize> Harness<D> {
                         self.grid
                             .coarsen(parent, TRANSFER)
                             .map_err(|e| format!("grid rejected legal coarsen {parent:?}: {e}"))?;
+                        if let Some(w) = self.walk.as_mut() {
+                            w.apply_adapt(&[], &[parent], &self.grid);
+                        }
+                        self.carry_owners();
                         self.model.coarsen(parent);
                         self.check_conserved(&before, "coarsen")?;
                         structural = true;
@@ -548,7 +591,23 @@ impl<const D: usize> Harness<D> {
                     .collect();
                 let epoch_before = self.grid.epoch();
                 let before = self.totals();
-                let report = adapt(&mut self.grid, &flags, TRANSFER);
+                // plan/apply split (identical semantics to `balance::adapt`)
+                // so the curve walk can splice from the plan, mirroring the
+                // distributed executor's adapt path
+                let plan = plan_adapt(&self.grid, &flags);
+                let report = apply_adapt(&mut self.grid, &plan, TRANSFER);
+                if let Some(w) = self.walk.as_mut() {
+                    let refined: Vec<BlockKey<D>> =
+                        plan.refine.iter().map(|(k, _)| *k).collect();
+                    let merged: Vec<BlockKey<D>> = plan
+                        .coarsen
+                        .iter()
+                        .copied()
+                        .filter(|p| self.grid.find(*p).is_some())
+                        .collect();
+                    w.apply_adapt(&refined, &merged, &self.grid);
+                }
+                self.carry_owners();
                 if report.changed() != (self.grid.epoch() != epoch_before) {
                     return Err(format!(
                         "adapt report.changed()={} but epoch {} -> {}",
@@ -580,6 +639,9 @@ impl<const D: usize> Harness<D> {
                 self.stepper = None;
                 self.par_on = None;
                 self.par_off = None;
+                // ids restarted with the reconstruction; ownership is
+                // by-key and survives, the walk rebuilds on next use
+                self.walk = None;
                 self.model = RefModel::from_grid(&self.grid);
                 self.last_epoch = self.grid.epoch();
                 return self.post_check(true);
@@ -687,6 +749,73 @@ impl<const D: usize> Harness<D> {
                     }
                 }
             }
+            FuzzCmd::Rebalance(r) => {
+                let nranks = 1 + (r % 6) as usize;
+                let part = Partitioner::default();
+                let walk = match self.walk.take() {
+                    Some(w) => {
+                        if !w.is_current(&self.grid) {
+                            return Err(format!(
+                                "rebalance found a stale walk (epoch {} vs grid {}): \
+                                 a structural command missed its splice",
+                                self.grid.epoch() - 1,
+                                self.grid.epoch()
+                            ));
+                        }
+                        w
+                    }
+                    None => CurveWalk::build(&self.grid, part.curve()),
+                };
+                // oracle 1: the spliced walk is the from-scratch curve sort
+                let fresh = CurveWalk::build(&self.grid, part.curve());
+                if walk.entries() != fresh.entries() {
+                    return Err("spliced walk diverged from from-scratch sort".to_string());
+                }
+                // first rebalance: no prior owners, everything starts at
+                // rank 0 (the diff below then reports the initial spread)
+                let prev: HashMap<BlockId, usize> = if self.owner_by_key.is_empty() {
+                    HashMap::new()
+                } else {
+                    inherit_owner(&self.grid, &self.owner_by_key)
+                };
+                let weights = cell_weights(&self.grid, &walk);
+                let plan =
+                    part.plan(&walk, &weights, nranks, |id| prev.get(&id).copied().unwrap_or(0));
+                // oracle 2: incremental assignment == from-scratch partition
+                let scratch: HashMap<BlockId, usize> = part.partition_grid(&self.grid, nranks);
+                for (e, &rank) in walk.entries().iter().zip(&plan.assign) {
+                    if scratch.get(&e.id) != Some(&rank) {
+                        return Err(format!(
+                            "incremental rebalance to {nranks} ranks assigns {:?} to {rank}, \
+                             from-scratch partition_grid says {:?}",
+                            e.key,
+                            scratch.get(&e.id)
+                        ));
+                    }
+                }
+                // oracle 3: the migration list is the exact owner diff
+                let diff: Vec<(BlockKey<D>, usize, usize)> = walk
+                    .entries()
+                    .iter()
+                    .zip(&plan.assign)
+                    .filter_map(|(e, &to)| {
+                        let from = prev.get(&e.id).copied().unwrap_or(0);
+                        (from != to).then_some((e.key, from, to))
+                    })
+                    .collect();
+                let got: Vec<(BlockKey<D>, usize, usize)> =
+                    plan.moves.iter().map(|m| (m.key, m.from, m.to)).collect();
+                if got != diff {
+                    return Err(format!(
+                        "plan moves are not the exact owner diff: {} moves vs {} diffs",
+                        got.len(),
+                        diff.len()
+                    ));
+                }
+                self.owner_by_key =
+                    walk.entries().iter().zip(&plan.assign).map(|(e, &r)| (e.key, r)).collect();
+                self.walk = Some(walk);
+            }
             FuzzCmd::Snapshot => {
                 self.snap_step += 1;
                 let stats = write_snapshot(&mut self.store, &self.grid, self.snap_step)
@@ -736,6 +865,7 @@ impl<const D: usize> Harness<D> {
                 self.stepper = None;
                 self.par_on = None;
                 self.par_off = None;
+                self.walk = None;
                 self.model = RefModel::from_grid(&self.grid);
                 self.last_epoch = self.grid.epoch();
                 return self.post_check(true);
@@ -798,16 +928,18 @@ pub fn gen_script(seed: u64, max_cmds: usize, sabotage: bool) -> Vec<FuzzCmd> {
     let mut script: Vec<FuzzCmd> = (0..len)
         .map(|_| {
             let roll = rng.f64();
-            if roll < 0.30 {
+            if roll < 0.28 {
                 FuzzCmd::Refine(rng.u64_below(4096))
-            } else if roll < 0.50 {
+            } else if roll < 0.46 {
                 FuzzCmd::Coarsen(rng.u64_below(4096))
-            } else if roll < 0.65 {
+            } else if roll < 0.60 {
                 FuzzCmd::Adapt {
                     seed: rng.next_u64(),
                     density: rng.usize_in(5, 30) as u8,
                 }
-            } else if roll < 0.73 {
+            } else if roll < 0.67 {
+                FuzzCmd::Rebalance(rng.u64_below(4096))
+            } else if roll < 0.74 {
                 FuzzCmd::Ghost
             } else if roll < 0.81 {
                 FuzzCmd::Step
@@ -931,6 +1063,7 @@ mod tests {
             FuzzCmd::Coarsen(3),
             FuzzCmd::Adapt { seed: 0xDEAD_BEEF, density: 12 },
             FuzzCmd::Remask { seed: 0xF00, masked: true },
+            FuzzCmd::Rebalance(9),
             FuzzCmd::Checkpoint,
             FuzzCmd::Ghost,
             FuzzCmd::Step,
@@ -941,7 +1074,7 @@ mod tests {
         ];
         let text = format_script(&script);
         assert_eq!(parse_script(&text).unwrap(), script);
-        assert_eq!(text, "R17 C3 Adeadbeef:12 Mf00:1 K G S O N P X");
+        assert_eq!(text, "R17 C3 Adeadbeef:12 Mf00:1 B9 K G S O N P X");
     }
 
     #[test]
@@ -953,6 +1086,7 @@ mod tests {
         assert!(parse_script("O7").is_err());
         assert!(parse_script("N1").is_err());
         assert!(parse_script("P2").is_err());
+        assert!(parse_script("B").is_err()); // missing roll
     }
 
     #[test]
@@ -1021,6 +1155,29 @@ mod tests {
                 FuzzCmd::Snapshot,
                 FuzzCmd::Adapt { seed: 0xA11CE, density: 20 },
                 FuzzCmd::Snapshot,
+            ],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rebalance_command_tracks_incremental_ownership() {
+        // rebalances interleaved with every structural command class, a
+        // rank-count change, and a checkpoint cut (walk rebuild, owner
+        // carried by key)
+        run_script::<2>(
+            0x5EED_0014,
+            &[
+                FuzzCmd::Rebalance(1), // 2 ranks
+                FuzzCmd::Refine(3),
+                FuzzCmd::Rebalance(1),
+                FuzzCmd::Adapt { seed: 0xA11CE, density: 25 },
+                FuzzCmd::Rebalance(3), // 4 ranks
+                FuzzCmd::Coarsen(1),
+                FuzzCmd::Checkpoint,
+                FuzzCmd::Rebalance(11),
+                FuzzCmd::Step,
+                FuzzCmd::Rebalance(0), // 1 rank: everything collapses home
             ],
         )
         .unwrap();

@@ -11,9 +11,7 @@ use std::sync::Arc;
 use adaptive_blocks::core::grid::{BlockGrid, GridParams};
 use adaptive_blocks::core::layout::{Boundary, RootLayout};
 use adaptive_blocks::core::verify;
-use adaptive_blocks::par::{
-    run_resilient, FaultPlan, MachineConfig, Policy, RecoverConfig,
-};
+use adaptive_blocks::par::{run_resilient, FaultPlan, MachineConfig, RecoverConfig};
 use adaptive_blocks::solver::euler::Euler;
 use adaptive_blocks::solver::kernel::Scheme;
 use adaptive_blocks::solver::{problems, SolverConfig};
@@ -37,7 +35,6 @@ fn run(nranks: usize, faults: Option<Arc<FaultPlan>>) -> adaptive_blocks::par::R
         make_grid,
         RecoverConfig {
             checkpoint_every: 2,
-            policy: Policy::SfcHilbert,
             machine: MachineConfig::fast(),
             max_restarts: 3,
         },

@@ -12,9 +12,7 @@
 
 use std::collections::HashMap;
 
-use adaptive_blocks::par::{
-    model_step, partition_grid, CostParams, DistSim, Machine, Policy,
-};
+use adaptive_blocks::par::{model_step, CostParams, DistSim, Machine, Partitioner};
 use adaptive_blocks::prelude::*;
 
 fn build_grid(roots: [i64; 2]) -> BlockGrid<2> {
@@ -38,7 +36,6 @@ fn main() {
             let mut sim = DistSim::partitioned(
                 g,
                 nranks,
-                Policy::SfcHilbert,
                 SolverConfig::new(mhd.clone(), Scheme::muscl_rusanov()).with_cfl(0.3),
             );
             for _ in 0..5 {
@@ -79,7 +76,7 @@ fn main() {
             &g,
             ablock_core::ghost::GhostConfig::default(),
         );
-        let owner: HashMap<_, _> = partition_grid(&g, p, Policy::SfcHilbert);
+        let owner: HashMap<_, _> = Partitioner::default().partition_grid(&g, p);
         let cost = model_step(&g, &plan, &owner, p, &params);
         println!(
             "  {:>5}  {:>8}  {:>10.3}  {:>10.4}",

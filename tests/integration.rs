@@ -8,7 +8,7 @@ use std::collections::HashMap;
 
 use adaptive_blocks::amr::{AmrConfig, AmrSimulation, GradientCriterion};
 use adaptive_blocks::celltree::{advection_flux, step_fv, CellTree};
-use adaptive_blocks::par::{DistSim, Machine, ParStepper, Policy};
+use adaptive_blocks::par::{DistSim, Machine, ParStepper};
 use adaptive_blocks::prelude::*;
 use adaptive_blocks::solver::stepper::total_conserved;
 
@@ -134,12 +134,7 @@ fn distributed_machine_matches_serial_with_adaptive_grid() {
 
     let results = Machine::run(3, move |comm| {
         let (g, e) = build();
-        let mut sim = DistSim::partitioned(
-            g,
-            3,
-            Policy::SfcHilbert,
-            SolverConfig::new(e, Scheme::muscl_rusanov()),
-        );
+        let mut sim = DistSim::partitioned(g, 3, SolverConfig::new(e, Scheme::muscl_rusanov()));
         for _ in 0..steps {
             sim.step_rk2(&comm, dt);
         }
