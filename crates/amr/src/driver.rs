@@ -155,12 +155,16 @@ impl<const D: usize, P: Physics, C: Criterion<D>> AmrSimulation<D, P, C> {
     }
 
     /// Advance one CFL-limited step (adapting on cadence). Returns `dt`.
+    /// Under [`TimeStepMode::Subcycled`](ablock_solver::TimeStepMode) one
+    /// "step" is a full coarsest-level cycle (finer levels subcycle
+    /// inside it), so the adapt cadence counts coarse cycles — the grid
+    /// never restructures mid-hierarchy-advance.
     pub fn advance(&mut self, bc: Option<&BcFn<D>>) -> f64 {
         if self.stats.steps > 0 && self.stats.steps.is_multiple_of(self.config.adapt_every) {
             self.adapt_now(bc);
         }
         let t0 = Instant::now();
-        let dt = self.stepper.max_dt(&self.grid);
+        let dt = self.stepper.stable_dt(&self.grid);
         assert!(dt.is_finite() && dt > 0.0, "non-positive dt at t = {}", self.time);
         self.stepper.step(&mut self.grid, dt, bc);
         self.time += dt;
@@ -177,7 +181,7 @@ impl<const D: usize, P: Physics, C: Criterion<D>> AmrSimulation<D, P, C> {
                 self.adapt_now(bc);
             }
             let t0 = Instant::now();
-            let dt = self.stepper.max_dt(&self.grid).min(t_end - self.time);
+            let dt = self.stepper.stable_dt(&self.grid).min(t_end - self.time);
             assert!(dt.is_finite() && dt > 0.0, "non-positive dt at t = {}", self.time);
             self.stepper.step(&mut self.grid, dt, bc);
             self.time += dt;

@@ -10,10 +10,17 @@
 //!   reproducible by construction.
 //! * `abl_fuzz --replay D SEED 'SCRIPT'` — re-execute one failing case
 //!   exactly as printed in a failure's replay line.
+//! * `abl_fuzz --subcycle-smoke` — 200 fixed-seed sequences (100 per
+//!   dimension) biased toward interleaved subcycled (`T`) and global
+//!   (`S`) steps on evolving hierarchies; failures print the standard
+//!   `--replay` line.
 
 use std::process::ExitCode;
 
-use ablock_testkit::{parse_script, run_fuzz, run_script, FuzzConfig, FuzzFailure, FuzzOutcome};
+use ablock_testkit::{
+    format_script, parse_script, run_fuzz, run_script, subseed, FuzzCmd, FuzzConfig,
+    FuzzFailure, FuzzOutcome, Rng,
+};
 
 const SEED_2D: u64 = 0x5EED_0040;
 const SEED_3D: u64 = 0x5EED_0041;
@@ -114,10 +121,68 @@ fn sweep(quick: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// 200 fixed-seed sequences dominated by interleaved `T` (subcycled) and
+/// `S` (global) steps: both cached steppers and their differential
+/// oracles (flat finest-dt reference, conservation, bitwise single-level
+/// reduction) run against the *same* evolving grid, with adapts,
+/// refines, and checkpoint cuts mixed in to force plan-cache rebuilds.
+fn subcycle_smoke() -> ExitCode {
+    const CASES_PER_DIM: u64 = 100;
+    let mut total_cmds = 0u64;
+    for dim in [2usize, 3] {
+        let base = if dim == 2 { SEED_2D } else { SEED_3D } ^ 0x5B5B;
+        for i in 0..CASES_PER_DIM {
+            let seed = subseed(base, i);
+            let mut rng = Rng::new(seed);
+            let mut script = vec![FuzzCmd::Adapt { seed: rng.next_u64(), density: 40 }];
+            for _ in 0..rng.usize_in(8, 14) {
+                let x = rng.f64();
+                script.push(if x < 0.35 {
+                    FuzzCmd::StepSub
+                } else if x < 0.65 {
+                    FuzzCmd::Step
+                } else if x < 0.80 {
+                    FuzzCmd::Adapt {
+                        seed: rng.next_u64(),
+                        density: rng.usize_in(10, 60) as u8,
+                    }
+                } else if x < 0.90 {
+                    FuzzCmd::Refine(rng.next_u64())
+                } else {
+                    FuzzCmd::Checkpoint
+                });
+            }
+            let result = if dim == 2 {
+                run_script::<2>(seed, &script)
+            } else {
+                run_script::<3>(seed, &script)
+            };
+            if let Err(e) = result {
+                eprintln!("subcycle smoke D={dim} seed {seed:#018x} FAILED: {e}");
+                eprintln!(
+                    "  replay: cargo run --release -p ablock-bench --bin abl_fuzz -- \
+                     --replay {dim} {seed:#x} '{}'",
+                    format_script(&script)
+                );
+                return ExitCode::FAILURE;
+            }
+            total_cmds += script.len() as u64;
+        }
+    }
+    println!(
+        "subcycle smoke clean: {} mixed T/S sequences, {total_cmds} commands",
+        2 * CASES_PER_DIM
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(pos) = args.iter().position(|a| a == "--replay") {
         return replay(&args[pos + 1..]);
+    }
+    if args.iter().any(|a| a == "--subcycle-smoke") {
+        return subcycle_smoke();
     }
     let quick = args.iter().any(|a| a == "--quick");
     sweep(quick)

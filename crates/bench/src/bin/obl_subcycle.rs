@@ -1,0 +1,275 @@
+//! OBL: local-time-stepping (subcycling) efficiency on a 3-level grid.
+//!
+//! A Gaussian pulse sits in a small corner region refined to level 2;
+//! the rest of the domain stays coarse. Two A/B runs over the same
+//! physical time window, same scheme, same refluxing:
+//!
+//! 1. **Subcycled** (`TimeStepMode::Subcycled`): level ℓ advances with
+//!    `dt₀ / 2^ℓ`, so the 12 coarse blocks step once per cycle while the
+//!    level-2 blocks step four times. The driver's own counters
+//!    (`subcycle.cell_updates` vs `subcycle.cell_updates_uniform`) give
+//!    the cell-update efficiency; per-level `step.lvl{ℓ}` spans give the
+//!    time breakdown.
+//! 2. **Global-Δt reference**: the same grid stepped uniformly at the
+//!    finest stable dt (`dt₀ / 2^ℓmax`), 2^ℓmax× as many steps.
+//!
+//! The run asserts the headline claim — subcycling spends ≤ 0.6× the
+//! cell-updates of the uniform-dt schedule on this fixture (≥ 1.67×
+//! fewer) — plus physics sanity: both runs conserve every total to
+//! ulp-scale drift and agree on the final state to the O(Δt²) band.
+//! Results land in `BENCH_subcycle.json`. `--quick` shrinks the step
+//! count for CI.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use ablock_core::balance::{adapt, Flag};
+use ablock_core::grid::{BlockGrid, GridParams, Transfer};
+use ablock_core::layout::{Boundary, RootLayout};
+use ablock_core::ops::ProlongOrder;
+use ablock_core::verify::check_grid;
+use ablock_io::{spans_table, write_metrics_json, Table};
+use ablock_obs::{Metrics, MetricsSnapshot};
+use ablock_solver::subcycle::level_span;
+use ablock_solver::{
+    problems, total_conserved, Euler, Scheme, SolverConfig, Stepper, TimeStepMode,
+};
+
+const MAX_LEVEL: u8 = 2;
+const CENTER: [f64; 2] = [0.34, 0.34];
+
+fn cfg(metrics: Metrics, mode: TimeStepMode) -> SolverConfig<Euler<2>> {
+    SolverConfig::new(Euler::new(1.4), Scheme::muscl_rusanov())
+        .with_refluxing(true)
+        .with_time_step_mode(mode)
+        .with_metrics(metrics)
+}
+
+/// Target refinement level for a block box by distance to the pulse.
+fn target_level(dist: f64) -> u8 {
+    if dist <= 0.03 {
+        2
+    } else if dist <= 0.12 {
+        1
+    } else {
+        0
+    }
+}
+
+/// 4x4 periodic roots of 8x8 cells, statically refined to 3 levels
+/// around the pulse (2:1 balancing may widen the rings slightly).
+fn make_fixture() -> BlockGrid<2> {
+    let e = Euler::new(1.4);
+    let mut g = BlockGrid::<2>::new(
+        RootLayout::unit([4, 4], Boundary::Periodic),
+        GridParams::new([8, 8], 2, 4, MAX_LEVEL),
+    );
+    problems::advected_gaussian(&mut g, &e, [0.4, 0.3], CENTER, 0.08);
+    loop {
+        let mut flags = HashMap::new();
+        for (id, node) in g.blocks() {
+            let key = node.key();
+            let dims = g.params().block_dims;
+            let o = g.layout().block_origin(key, dims);
+            let h = g.layout().cell_size(key.level, dims);
+            let mut d2 = 0.0;
+            for d in 0..2 {
+                let (lo, hi) = (o[d], o[d] + h[d] * dims[d] as f64);
+                let near = CENTER[d].clamp(lo, hi) - CENTER[d];
+                d2 += near * near;
+            }
+            if key.level < target_level(d2.sqrt()) {
+                flags.insert(id, Flag::Refine);
+            }
+        }
+        if flags.is_empty() {
+            break;
+        }
+        adapt(&mut g, &flags, Transfer::Conservative(ProlongOrder::LinearMinmod));
+    }
+    check_grid(&g).unwrap();
+    g
+}
+
+fn level_counts(g: &BlockGrid<2>) -> [usize; 3] {
+    let mut n = [0usize; 3];
+    for (_, node) in g.blocks() {
+        n[node.key().level as usize] += 1;
+    }
+    n
+}
+
+/// Max relative interior difference between two identically-shaped grids.
+fn max_rel_diff(a: &BlockGrid<2>, b: &BlockGrid<2>) -> f64 {
+    let collect = |g: &BlockGrid<2>| {
+        let mut v: Vec<_> = g.blocks().map(|(_, n)| (n.key(), n.field().clone())).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    };
+    let (fa, fb) = (collect(a), collect(b));
+    assert_eq!(fa.len(), fb.len(), "A/B topologies must match");
+    let mut worst = 0.0f64;
+    for ((ka, da), (kb, db)) in fa.iter().zip(&fb) {
+        assert_eq!(ka, kb, "A/B topologies must match");
+        for c in da.shape().interior_box().iter() {
+            for var in 0..da.shape().nvar {
+                let (x, y) = (da.at(c, var), db.at(c, var));
+                worst = worst.max((x - y).abs() / (1.0 + y.abs()));
+            }
+        }
+    }
+    worst
+}
+
+struct RunResult {
+    snap: MetricsSnapshot,
+    grid: BlockGrid<2>,
+    wall_ms: f64,
+    totals: Vec<f64>,
+}
+
+fn run(mode: TimeStepMode, cycles: usize, dt0: f64) -> RunResult {
+    let metrics = Metrics::recording();
+    let mut grid = make_fixture();
+    let mut stepper: Stepper<2, Euler<2>> = Stepper::new(cfg(metrics.clone(), mode));
+    let nsub = 1u64 << MAX_LEVEL;
+    let t0 = Instant::now();
+    match mode {
+        TimeStepMode::Subcycled => {
+            for _ in 0..cycles {
+                stepper.step(&mut grid, dt0, None);
+            }
+        }
+        TimeStepMode::Global => {
+            // same physical window at the finest level's dt — the
+            // schedule subcycling is measured against
+            let dt = dt0 / nsub as f64;
+            for _ in 0..cycles as u64 * nsub {
+                stepper.step(&mut grid, dt, None);
+            }
+        }
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let totals = (0..4).map(|v| total_conserved(&grid, v)).collect();
+    RunResult { snap: metrics.snapshot(), grid, wall_ms, totals }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cycles = if quick { 8 } else { 40 };
+
+    let fixture = make_fixture();
+    let counts = level_counts(&fixture);
+    assert!(
+        counts.iter().all(|&n| n > 0),
+        "fixture must populate all 3 levels: {counts:?}"
+    );
+    println!(
+        "fixture: {} blocks ({} lvl0 / {} lvl1 / {} lvl2), {} cells",
+        counts.iter().sum::<usize>(),
+        counts[0],
+        counts[1],
+        counts[2],
+        fixture.num_cells()
+    );
+    let t0: Vec<f64> = (0..4).map(|v| total_conserved(&fixture, v)).collect();
+
+    // one shared dt0 so both schedules cover the identical time window
+    let dt0 = Stepper::new(cfg(Metrics::null(), TimeStepMode::Subcycled)).stable_dt(&fixture);
+    println!("dt0 = {dt0:.6e} over {cycles} coarse cycles (T = {:.4e})\n", dt0 * cycles as f64);
+
+    let sub = run(TimeStepMode::Subcycled, cycles, dt0);
+    let glob = run(TimeStepMode::Global, cycles, dt0);
+
+    // ---- the headline: cell-update efficiency -------------------------
+    let updates = sub.snap.counter("subcycle.cell_updates");
+    let uniform = sub.snap.counter("subcycle.cell_updates_uniform");
+    let efficiency = uniform as f64 / updates as f64;
+    let mut t = Table::new(
+        "OBL: subcycled vs global-dt over the same time window",
+        &["schedule", "cell-updates", "substeps", "wall ms", "d(mass)"],
+    );
+    t.row(&[
+        "subcycled".into(),
+        updates.to_string(),
+        sub.snap.counter("subcycle.substeps").to_string(),
+        format!("{:.1}", sub.wall_ms),
+        format!("{:.2e}", (sub.totals[0] - t0[0]).abs()),
+    ]);
+    t.row(&[
+        "global (finest dt)".into(),
+        uniform.to_string(),
+        (cycles as u64 * (1 << MAX_LEVEL)).to_string(),
+        format!("{:.1}", glob.wall_ms),
+        format!("{:.2e}", (glob.totals[0] - t0[0]).abs()),
+    ]);
+    t.print();
+    println!(
+        "\nsubcycling efficiency: {efficiency:.2}x fewer cell-updates \
+         ({updates} vs {uniform}), wall speedup {:.2}x",
+        glob.wall_ms / sub.wall_ms
+    );
+    assert!(
+        5 * updates <= 3 * uniform,
+        "subcycled schedule must spend <= 0.6x the uniform cell-updates: \
+         {updates} vs {uniform} ({efficiency:.2}x)"
+    );
+
+    // ---- per-level time breakdown -------------------------------------
+    println!();
+    spans_table("subcycled per-level span detail", &sub.snap).print();
+    for lvl in 0..=MAX_LEVEL {
+        assert!(
+            sub.snap.span_total_ns(level_span(lvl)) > 0,
+            "subcycled run recorded no time in {}",
+            level_span(lvl)
+        );
+    }
+
+    // ---- physics sanity: conservation and O(dt^2) agreement -----------
+    for v in 0..4 {
+        let tol = 1e-11 * (1.0 + t0[v].abs());
+        assert!(
+            (sub.totals[v] - t0[v]).abs() <= tol,
+            "subcycled run must conserve var {v}: {:.17e} -> {:.17e}",
+            t0[v],
+            sub.totals[v]
+        );
+        assert!(
+            (glob.totals[v] - t0[v]).abs() <= tol,
+            "global run must conserve var {v}: {:.17e} -> {:.17e}",
+            t0[v],
+            glob.totals[v]
+        );
+    }
+    let diff = max_rel_diff(&sub.grid, &glob.grid);
+    println!("\nmax relative A/B state difference: {diff:.3e} (O(dt^2) band)");
+    assert!(diff < 2e-2, "subcycled state left the global-dt agreement band: {diff:.3e}");
+
+    // ---- export -------------------------------------------------------
+    let mut out = Vec::new();
+    out.extend_from_slice(
+        format!(
+            "{{\n\"summary\": {{\"blocks_lvl0\": {}, \"blocks_lvl1\": {}, \
+             \"blocks_lvl2\": {}, \"cycles\": {cycles}, \"dt0\": {dt0:.9e}, \
+             \"cell_updates\": {updates}, \"cell_updates_uniform\": {uniform}, \
+             \"efficiency\": {efficiency:.4}, \"wall_ms_subcycled\": {:.3}, \
+             \"wall_ms_global\": {:.3}, \"max_rel_diff\": {diff:.6e}}},\n\
+             \"subcycled\": ",
+            counts[0], counts[1], counts[2], sub.wall_ms, glob.wall_ms
+        )
+        .as_bytes(),
+    );
+    write_metrics_json(&mut out, &sub.snap).expect("vec write");
+    while out.last() == Some(&b'\n') {
+        out.pop();
+    }
+    out.extend_from_slice(b",\n\"global_finest\": ");
+    write_metrics_json(&mut out, &glob.snap).expect("vec write");
+    while out.last() == Some(&b'\n') {
+        out.pop();
+    }
+    out.extend_from_slice(b"\n}\n");
+    std::fs::write("BENCH_subcycle.json", &out).expect("write subcycle JSON");
+    println!("\nwrote BENCH_subcycle.json ({} bytes)", out.len());
+}

@@ -272,6 +272,56 @@ impl<const D: usize> GhostExchange<D> {
         &self.phase2
     }
 
+    /// Restrict the plan to the tasks a **level-`level` sweep** needs
+    /// (the per-substep ghost fill of the subcycled time stepper):
+    ///
+    /// * every task whose destination block sits on `level`, plus
+    /// * the phase-1 `Restrict` tasks refilling the ghost slabs of the
+    ///   *coarser* blocks that level-`level` prolongations read — a
+    ///   prolongation's `valid` box covers the source's interior and the
+    ///   one ghost slab facing the fine destination, and that slab is
+    ///   restriction-filled, so it must be refreshed from current fine
+    ///   data before the prolongation runs.
+    ///
+    /// Faces between two level-`level` blocks are covered by the `Same`
+    /// tasks kept above; faces toward finer levels by the kept `Restrict`
+    /// tasks; faces toward coarser levels by the kept `Prolong` tasks
+    /// (whose coarse sources the caller time-interpolates). Task order
+    /// within each phase is preserved, so running the sub-plan writes the
+    /// same values the full plan would (for the destinations it keeps).
+    /// The sub-plan inherits this plan's epoch and config.
+    pub fn sublevel_plan(&self, grid: &BlockGrid<D>, level: u8) -> GhostExchange<D> {
+        let lvl = |id: BlockId| grid.block(id).key().level;
+        let phase2: Vec<GhostTask<D>> = self
+            .phase2
+            .iter()
+            .filter(|t| lvl(task_dst(t)) == level)
+            .cloned()
+            .collect();
+        // coarse blocks whose ghost slab a kept prolongation may read
+        let mut p2src: Vec<BlockId> = phase2
+            .iter()
+            .filter_map(|t| match t {
+                GhostTask::Prolong { src, .. } => Some(*src),
+                _ => None,
+            })
+            .collect();
+        p2src.sort();
+        p2src.dedup();
+        let phase1: Vec<GhostTask<D>> = self
+            .phase1
+            .iter()
+            .filter(|t| {
+                let dst = task_dst(t);
+                lvl(dst) == level
+                    || (matches!(t, GhostTask::Restrict { .. })
+                        && p2src.binary_search(&dst).is_ok())
+            })
+            .cloned()
+            .collect();
+        GhostExchange { phase1, phase2, config: self.config.clone(), epoch: self.epoch }
+    }
+
     /// Execute the plan serially.
     pub fn fill(&self, grid: &mut BlockGrid<D>) {
         self.fill_with(grid, &|_ctx, _cell, u| {
@@ -711,6 +761,17 @@ pub fn task_source_box<const D: usize>(
             Some((*dst, *src, bx))
         }
         GhostTask::Physical { .. } | GhostTask::ClampCopy { .. } => None,
+    }
+}
+
+/// The destination block a task writes ghosts into (every variant has one).
+pub fn task_dst<const D: usize>(task: &GhostTask<D>) -> BlockId {
+    match task {
+        GhostTask::Same { dst, .. }
+        | GhostTask::Restrict { dst, .. }
+        | GhostTask::Prolong { dst, .. }
+        | GhostTask::Physical { dst, .. }
+        | GhostTask::ClampCopy { dst, .. } => *dst,
     }
 }
 

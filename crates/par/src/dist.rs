@@ -49,16 +49,19 @@ use ablock_core::ghost::{
     extract_box, insert_box, task_source_box, AggregatedExchange, GhostExchange, GhostTask,
 };
 use ablock_core::grid::{BlockGrid, Transfer};
+use ablock_core::index::Face;
 use ablock_core::key::BlockKey;
 use ablock_core::ops::ProlongOrder;
 use ablock_core::partition::{cell_weights, inherit_owner, CurveWalk, Partitioner};
 
 use ablock_obs::phase;
-use ablock_solver::engine::{rk2_stage1_block, rk2_stage2_block, SweepEngine, SweepSplit};
-use ablock_solver::kernel::{compute_rhs_block, max_rate_block};
+use ablock_solver::engine::{rk2_stage1_block, rk2_stage2_block, BcFn, SweepEngine, SweepSplit};
+use ablock_solver::kernel::{compute_rhs_block, compute_rhs_block_fluxes, max_rate_block};
 use ablock_solver::physics::Physics;
 use ablock_solver::recon::Recon;
-use ablock_solver::SolverConfig;
+use ablock_solver::reflux::coarse_fine_fetch_list;
+use ablock_solver::subcycle::{self, SubcycleBackend, SubcycleState};
+use ablock_solver::{SolverConfig, TimeStepMode};
 
 use crate::machine::Comm;
 
@@ -74,6 +77,14 @@ const TAG_MIGRATE: u64 = 1 << 41;
 const TAG_AGG: u64 = 1 << 42;
 /// Tag for coarsen-group sibling-interior pre-sends during adapt.
 const TAG_COARSEN: u64 = 1 << 45;
+/// Base tag for subcycled per-level ghost fills (`+ phase index`). Every
+/// rank runs the identical driver recursion, so fills are issued in the
+/// same global order everywhere and per-`(src, tag)` FIFO matching keeps
+/// successive fills ordered without sequence numbers.
+const TAG_SUB: u64 = 1 << 46;
+/// Tag for fine-side reflux-accumulator face fetches before a coarse
+/// level refluxes (see [`DistBackend::pre_reflux`]).
+const TAG_SUBACC: u64 = 1 << 47;
 
 /// Replicated per-block weight hook for rebalancing (measured costs from
 /// step timers, cost-model estimates, …). **Must be deterministic and
@@ -98,6 +109,12 @@ pub struct DistSim<const D: usize, P: Physics> {
     agg: Option<AggregatedExchange<D>>,
     /// Epoch-cached interior/halo split of this rank's owned blocks.
     split: SweepSplit,
+    /// Epoch-keyed subcycling scratch (level tables, per-level plans,
+    /// flux accumulators); empty until the first subcycled call.
+    sub: SubcycleState<D>,
+    /// Epoch-cached aggregations of the per-level subcycle plans,
+    /// parallel to `sub.levels()`.
+    sub_agg: Vec<AggregatedExchange<D>>,
     /// Halo values received from peers (diagnostics).
     pub halo_values_recv: u64,
 }
@@ -119,6 +136,8 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
             weight_fn: None,
             agg: None,
             split: SweepSplit::default(),
+            sub: SubcycleState::new(),
+            sub_agg: Vec::new(),
             halo_values_recv: 0,
         }
     }
@@ -483,6 +502,66 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
         }
     }
 
+    /// Largest stable coarsest-level `dt₀` for subcycling
+    /// ([`subcycle::max_dt0`]): one scan of every owned block, reduced
+    /// per level with `allreduce_max`. The `f64` max reduction is exact
+    /// and order-independent, so every rank computes a `dt₀` bitwise
+    /// equal to the serial stepper's.
+    pub fn max_dt0(&mut self, comm: &Comm) -> f64 {
+        let mut sub = std::mem::take(&mut self.sub);
+        let mut backend = DistBackend {
+            cfg: &self.cfg,
+            engine: &mut self.engine,
+            owner: &self.owner,
+            sub_agg: &mut self.sub_agg,
+            halo_values_recv: &mut self.halo_values_recv,
+            comm,
+            me: comm.rank(),
+        };
+        let dt0 = subcycle::max_dt0(&mut backend, &self.grid, &mut sub);
+        self.sub = sub;
+        dt0
+    }
+
+    /// One subcycled hierarchy advance by `dt0` (DESIGN.md §17): the
+    /// shared driver recursion over this rank's owned blocks, with
+    /// aggregated per-level ghost fills and fine-side accumulator
+    /// fetches before each coarse reflux. The recursion, fill
+    /// arithmetic, and reflux order are identical to the serial
+    /// stepper's, so owned interiors stay bitwise-identical to it.
+    pub fn step_subcycled(&mut self, comm: &Comm, dt0: f64) {
+        let mut sub = std::mem::take(&mut self.sub);
+        let mut backend = DistBackend {
+            cfg: &self.cfg,
+            engine: &mut self.engine,
+            owner: &self.owner,
+            sub_agg: &mut self.sub_agg,
+            halo_values_recv: &mut self.halo_values_recv,
+            comm,
+            me: comm.rank(),
+        };
+        subcycle::step_subcycled(&mut backend, &mut self.grid, &mut sub, dt0, None);
+        self.sub = sub;
+    }
+
+    /// The stable step for the configured [`TimeStepMode`]: the global
+    /// CFL `dt` or the subcycled coarsest-level `dt₀`.
+    pub fn stable_dt(&mut self, comm: &Comm) -> f64 {
+        match self.cfg.time_step_mode {
+            TimeStepMode::Global => self.max_dt(comm),
+            TimeStepMode::Subcycled => self.max_dt0(comm),
+        }
+    }
+
+    /// Advance one step with the configured [`TimeStepMode`]: a global
+    /// SSP-RK2 step or one subcycled coarsest-level cycle.
+    pub fn advance(&mut self, comm: &Comm, dt: f64) {
+        match self.cfg.time_step_mode {
+            TimeStepMode::Global => self.step_rk2(comm, dt),
+            TimeStepMode::Subcycled => self.step_subcycled(comm, dt),
+        }
+    }
+
     /// Replicated adapt: flags for owned blocks are allgathered as keys,
     /// every rank derives the identical [`ablock_core::balance::AdaptPlan`],
     /// sibling interiors of planned coarsen groups are pre-exchanged point
@@ -754,6 +833,224 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
     }
 }
 
+/// Disjoint-field borrow of a [`DistSim`] (everything but the grid,
+/// which the subcycled driver borrows separately) plus the communicator
+/// the driver signatures don't carry. Implements [`SubcycleBackend`]
+/// over this rank's owned blocks.
+struct DistBackend<'a, const D: usize, P: Physics> {
+    cfg: &'a SolverConfig<P>,
+    engine: &'a mut SweepEngine<D>,
+    owner: &'a HashMap<BlockId, usize>,
+    sub_agg: &'a mut Vec<AggregatedExchange<D>>,
+    halo_values_recv: &'a mut u64,
+    comm: &'a Comm,
+    me: usize,
+}
+
+impl<const D: usize, P: Physics> SubcycleBackend<D> for DistBackend<'_, D, P> {
+    type Phys = P;
+
+    fn cfg_engine(&mut self) -> (&SolverConfig<P>, &mut SweepEngine<D>) {
+        (self.cfg, self.engine)
+    }
+
+    fn level_ids(&self, grid: &BlockGrid<D>, level: u8) -> Vec<BlockId> {
+        let mut v: Vec<BlockId> = grid
+            .block_ids()
+            .into_iter()
+            .filter(|id| self.owner[id] == self.me && grid.block(*id).key().level == level)
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn is_owned(&self, id: BlockId) -> bool {
+        self.owner[&id] == self.me
+    }
+
+    /// Distributed per-level fill: the level's filtered plan travels as
+    /// aggregated pair messages (one per rank pair per phase, exactly
+    /// like the global path's exchange), wrapped in the time
+    /// interpolation of this rank's owned prolongation sources — owners
+    /// blend *before* packing, so mirrors receive owner-interpolated
+    /// data and are never restored. Every rank runs the identical driver
+    /// recursion, so fills are globally ordered and all sends precede
+    /// the matching receives: no barrier, no deadlock.
+    fn fill_level(
+        &mut self,
+        grid: &mut BlockGrid<D>,
+        state: &SubcycleState<D>,
+        li: usize,
+        theta: f64,
+        _bc: Option<&BcFn<D>>,
+    ) {
+        // rebuild the per-level aggregations when the topology epoch
+        // moved (adapt, rebalance) — same cadence as the engine's plan
+        let nlv = state.levels().len();
+        let stale =
+            self.sub_agg.len() != nlv || self.sub_agg.iter().any(|a| !a.is_current(grid));
+        if stale {
+            let owner = self.owner;
+            self.sub_agg.clear();
+            for l in 0..nlv {
+                self.sub_agg.push(state.plan(l).aggregate(grid, &|id| owner[&id]));
+            }
+        }
+        let metrics = self.cfg.metrics.clone();
+        let _span = metrics.span(phase::GHOST_FILL);
+        let me = self.me;
+        let comm = self.comm;
+        let owner = self.owner;
+        let agg = &self.sub_agg[li];
+        let hrecv: &mut u64 = self.halo_values_recv;
+        state.with_lerped_sources(grid, li, theta, |grid, plan| {
+            for (ph, tasks) in [plan.phase1(), plan.phase2()].into_iter().enumerate() {
+                let tag = TAG_SUB + ph as u64;
+                // sends first (replicated pair plan, unbounded channels);
+                // phase-2 sources read this rank's completed phase 1
+                for msg in agg.phase(ph).iter().filter(|m| m.from == me) {
+                    let parts = msg.pack_parts(grid);
+                    let slices: Vec<&[f64]> = parts.iter().map(Vec::as_slice).collect();
+                    metrics.incr("comm.agg.messages", 1);
+                    metrics.incr("comm.agg.values", msg.values as u64);
+                    metrics.incr("comm.agg.segments", msg.segments.len() as u64);
+                    comm.send_vectored(msg.to, tag, &slices);
+                }
+                // purely local tasks
+                for task in tasks {
+                    match task {
+                        GhostTask::Physical { dst, .. } | GhostTask::ClampCopy { dst, .. } => {
+                            if owner[dst] == me {
+                                run_one_task(grid, task, plan);
+                            }
+                        }
+                        _ => {
+                            let (dst, src, _) = task_source_box(task).expect("non-physical");
+                            if owner[&dst] == me && owner[&src] == me {
+                                run_one_task(grid, task, plan);
+                            }
+                        }
+                    }
+                }
+                // drain the phase's traffic into local mirrors
+                for msg in agg.phase(ph).iter().filter(|m| m.to == me) {
+                    let parts = comm.recv_vectored(msg.from, tag, &msg.lens());
+                    let n: u64 = parts.iter().map(|p| p.len() as u64).sum();
+                    *hrecv += n;
+                    metrics.incr("dist.halo_values_recv", n);
+                    msg.unpack(grid, &parts);
+                }
+                // remote-source tasks now have fresh mirrors
+                for task in tasks {
+                    if let Some((dst, src, _)) = task_source_box(task) {
+                        if owner[&dst] == me && owner[&src] != me {
+                            run_one_task(grid, task, plan);
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    fn sweep_level(&mut self, grid: &BlockGrid<D>, ids: &[BlockId]) {
+        let _span = self.cfg.metrics.span(phase::FLUX);
+        let sw = self.engine.sweep();
+        for &id in ids {
+            let node = grid.block(id);
+            let h = grid
+                .layout()
+                .cell_size(node.key().level, grid.params().block_dims);
+            let store = if self.cfg.refluxing {
+                Some(&mut sw.flux_stores[id.index()])
+            } else {
+                None
+            };
+            compute_rhs_block_fluxes(
+                &self.cfg.physics,
+                self.cfg.scheme,
+                node.field(),
+                h,
+                &mut sw.rhs[id.index()],
+                sw.prim_scratch,
+                store,
+            );
+        }
+    }
+
+    fn level_rates(&mut self, grid: &BlockGrid<D>, state: &SubcycleState<D>) -> Vec<f64> {
+        let mut rates = vec![0.0f64; state.levels().len()];
+        let mut scanned = 0u64;
+        for (li, rate) in rates.iter_mut().enumerate() {
+            let mut local: f64 = 0.0;
+            for &id in state.ids(li) {
+                let node = grid.block(id);
+                let h = grid
+                    .layout()
+                    .cell_size(node.key().level, grid.params().block_dims);
+                local = local.max(max_rate_block(&self.cfg.physics, node.field(), h));
+                scanned += 1;
+            }
+            // f64 max is exact and order-independent, so the reduced
+            // per-level rate — and the resulting dt₀ — is bitwise equal
+            // to the serial stepper's whole-grid scan.
+            *rate = self.comm.allreduce_max(local);
+        }
+        self.engine.note_rate_scans(scanned);
+        rates
+    }
+
+    /// Fetch the fine-side `accum_par` faces the coming reflux of level
+    /// `levels[li]` reads from other ranks: for every coarse-fine face
+    /// whose coarse block is owned here but whose fine block is not, the
+    /// fine owner ships that block's accumulated face — one vectored
+    /// message per rank pair, faces in the shared reflux traversal
+    /// order, so the protocol is replicated-deterministic on both sides.
+    fn pre_reflux(&mut self, grid: &BlockGrid<D>, state: &mut SubcycleState<D>, li: usize) {
+        if self.comm.nranks() == 1 {
+            return;
+        }
+        let me = self.me;
+        let level = state.levels()[li];
+        let mut pair_faces: BTreeMap<(usize, usize), Vec<(BlockId, Face)>> = BTreeMap::new();
+        for (coarse, fine, face) in coarse_fine_fetch_list(grid, level) {
+            let to = self.owner[&coarse];
+            let from = self.owner[&fine];
+            if from != to {
+                let entry = pair_faces.entry((from, to)).or_default();
+                let item = (fine, face.opposite());
+                if !entry.contains(&item) {
+                    entry.push(item);
+                }
+            }
+        }
+        // sends first (unbounded channels: no deadlock)
+        for ((from, to), faces) in &pair_faces {
+            if *from != me {
+                continue;
+            }
+            let parts: Vec<&[f64]> = faces
+                .iter()
+                .map(|&(id, f)| state.accum_par[id.index()].face(f))
+                .collect();
+            self.cfg.metrics.incr("dist.sub.reflux_msgs", 1);
+            self.comm.send_vectored(*to, TAG_SUBACC, &parts);
+        }
+        for ((from, to), faces) in &pair_faces {
+            if *to != me {
+                continue;
+            }
+            let lens: Vec<usize> = faces
+                .iter()
+                .map(|&(id, f)| state.accum_par[id.index()].face(f).len())
+                .collect();
+            let parts = self.comm.recv_vectored(*from, TAG_SUBACC, &lens);
+            for (&(id, f), data) in faces.iter().zip(parts) {
+                state.accum_par[id.index()].face_mut(f).copy_from_slice(&data);
+            }
+        }
+    }
+}
+
 /// Execute one ghost task against the grid (serial path re-used by the
 /// distributed exchange once remote data has landed).
 fn run_one_task<const D: usize>(
@@ -958,6 +1255,96 @@ mod tests {
         assert!(reports[0].0);
         assert_eq!(reports[0].1, reports[1].1);
         assert_eq!(reports[0].1, 16 - 2 + 8);
+    }
+
+    /// Two-level grid shared by the subcycling tests: refine two root
+    /// blocks so round-robin ownership puts coarse-fine faces (and their
+    /// reflux fetches) across rank boundaries.
+    fn refined_grid(e: &Euler<2>) -> BlockGrid<2> {
+        let mut g = build_grid();
+        init(&mut g, e);
+        for coords in [[1, 1], [2, 2]] {
+            let id = g.find(BlockKey::new(0, coords)).unwrap();
+            g.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod)).unwrap();
+        }
+        g
+    }
+
+    fn subcycled_cfg(e: Euler<2>) -> SolverConfig<Euler<2>> {
+        SolverConfig::new(e, Scheme::muscl_rusanov())
+            .with_refluxing(true)
+            .with_time_step_mode(TimeStepMode::Subcycled)
+    }
+
+    #[test]
+    fn dist_subcycled_matches_serial_bitwise() {
+        let steps = 3;
+        // serial subcycled reference
+        let e = Euler::<2>::new(1.4);
+        let mut g = refined_grid(&e);
+        let mut st = Stepper::new(subcycled_cfg(e));
+        let mut serial_dts = Vec::new();
+        for _ in 0..steps {
+            let dt0 = st.stable_dt(&g);
+            serial_dts.push(dt0);
+            st.step(&mut g, dt0, None);
+        }
+        let mut serial: Vec<(BlockKey<2>, Vec<f64>)> = g
+            .blocks()
+            .map(|(_, n)| (n.key(), n.field().as_slice().to_vec()))
+            .collect();
+        serial.sort_by_key(|(k, _)| *k);
+        // round-robin maximizes remote faces on both fill and reflux
+        let results = Machine::run(2, move |comm| {
+            let e = Euler::<2>::new(1.4);
+            let g = refined_grid(&e);
+            let cfg = subcycled_cfg(e).with_partitioner(Partitioner::round_robin());
+            let mut sim = DistSim::partitioned(g, 2, cfg);
+            let mut dts = Vec::new();
+            for _ in 0..steps {
+                let dt0 = sim.stable_dt(&comm);
+                dts.push(dt0);
+                sim.advance(&comm, dt0);
+            }
+            let me = comm.rank();
+            let mut out: Vec<(BlockKey<2>, Vec<f64>)> = sim
+                .owned_ids(me)
+                .into_iter()
+                .map(|id| {
+                    let n = sim.grid.block(id);
+                    (n.key(), n.field().as_slice().to_vec())
+                })
+                .collect();
+            out.sort_by_key(|(k, _)| *k);
+            (dts, out)
+        })
+        .unwrap();
+        let mut dist: Vec<(BlockKey<2>, Vec<f64>)> = Vec::new();
+        for (dts, out) in results {
+            // every rank's per-level-reduced dt0 is bitwise the serial one
+            for (a, b) in dts.iter().zip(&serial_dts) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            dist.extend(out);
+        }
+        dist.sort_by_key(|(k, _)| *k);
+        assert_eq!(serial.len(), dist.len());
+        let shape = ablock_core::field::FieldShape::<2>::new([4, 4], 2, 4);
+        for ((ka, fa), (kb, fb)) in serial.iter().zip(&dist) {
+            assert_eq!(ka, kb);
+            for c in shape.interior_box().iter() {
+                let i = shape.lin(c);
+                for v in 0..4 {
+                    assert_eq!(
+                        fa[i + v].to_bits(),
+                        fb[i + v].to_bits(),
+                        "block {ka:?} cell {c:?} var {v}: {} vs {}",
+                        fa[i + v],
+                        fb[i + v]
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -646,7 +646,9 @@ where
                 }
             };
             for step in start_step..steps {
-                sim.step_rk2(&comm, dt);
+                // dispatches on the config's TimeStepMode: a global
+                // SSP-RK2 step or one subcycled coarsest-level cycle
+                sim.advance(&comm, dt);
                 let done = step + 1;
                 on_step(&mut sim, &comm, done);
                 if cfg.checkpoint_every > 0 && done % cfg.checkpoint_every == 0 && done < steps {

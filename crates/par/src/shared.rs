@@ -30,10 +30,11 @@ use ablock_core::ops::{prolong, restrict_avg, ProlongOrder};
 use ablock_core::partition::CurveWalk;
 use ablock_obs::{phase, Metrics};
 
-use ablock_solver::config::SolverConfig;
-use ablock_solver::engine::{rk2_stage1_block, rk2_stage2_block, SweepEngine};
-use ablock_solver::kernel::{compute_rhs_block, max_rate_block};
+use ablock_solver::config::{SolverConfig, TimeStepMode};
+use ablock_solver::engine::{rk2_stage1_block, rk2_stage2_block, BcFn, SweepEngine};
+use ablock_solver::kernel::{compute_rhs_block, compute_rhs_block_fluxes, max_rate_block};
 use ablock_solver::physics::Physics;
+use ablock_solver::subcycle::{self, SubcycleBackend, SubcycleState};
 
 /// Disjoint mutable references `out[i] = &mut v[ids[i].index()]`;
 /// `ids` must be strictly increasing by index (arena order is).
@@ -261,6 +262,7 @@ fn scatter_op<const D: usize>(field: &mut FieldBlock<D>, op: &ReadyOp<D>) {
 pub struct ParStepper<const D: usize, P: Physics> {
     cfg: SolverConfig<P>,
     engine: SweepEngine<D>,
+    sub: SubcycleState<D>,
     /// Flux-sweep issue order: block id -> SFC position under the
     /// config partitioner's curve, rebuilt when the topology epoch moves.
     sweep_pos: HashMap<BlockId, usize>,
@@ -272,7 +274,13 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
     /// serial stepper and the distributed executor consume).
     pub fn new(cfg: SolverConfig<P>) -> Self {
         let engine = cfg.engine();
-        ParStepper { cfg, engine, sweep_pos: HashMap::new(), sweep_epoch: None }
+        ParStepper {
+            cfg,
+            engine,
+            sub: SubcycleState::new(),
+            sweep_pos: HashMap::new(),
+            sweep_epoch: None,
+        }
     }
 
     /// The configuration this stepper was built from.
@@ -508,6 +516,131 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
                 rk2_stage2_block(phys, node.field_mut(), &rhs[id.index()], &stage[id.index()], dt);
             });
         }
+    }
+
+    /// Largest stable coarsest-level `dt₀` for subcycling (parallel
+    /// per-level reductions; see [`ablock_solver::subcycle::max_dt0`]).
+    pub fn max_dt0(&mut self, grid: &BlockGrid<D>) -> f64 {
+        let mut sub = std::mem::take(&mut self.sub);
+        let dt0 = subcycle::max_dt0(self, grid, &mut sub);
+        self.sub = sub;
+        dt0
+    }
+
+    /// One subcycled hierarchy advance by `dt0`
+    /// (see [`ablock_solver::subcycle::step_subcycled`]); level sweeps
+    /// and ghost fills run on the pool, with the same per-block
+    /// arithmetic as the serial driver.
+    pub fn step_subcycled(&mut self, grid: &mut BlockGrid<D>, dt0: f64) {
+        let mut sub = std::mem::take(&mut self.sub);
+        subcycle::step_subcycled(self, grid, &mut sub, dt0, None);
+        self.sub = sub;
+    }
+
+    /// Mode-dispatching stable step size (global CFL reduction versus
+    /// coarsest-level `dt₀`).
+    pub fn stable_dt(&mut self, grid: &BlockGrid<D>) -> f64 {
+        match self.cfg.time_step_mode {
+            TimeStepMode::Global => self.max_dt(grid),
+            TimeStepMode::Subcycled => self.max_dt0(grid),
+        }
+    }
+
+    /// Advance by `dt` honoring [`SolverConfig::time_step_mode`].
+    pub fn step(&mut self, grid: &mut BlockGrid<D>, dt: f64) {
+        match self.cfg.time_step_mode {
+            TimeStepMode::Global => self.step_rk2(grid, dt),
+            TimeStepMode::Subcycled => self.step_subcycled(grid, dt),
+        }
+    }
+}
+
+impl<const D: usize, P: Physics> SubcycleBackend<D> for ParStepper<D, P> {
+    type Phys = P;
+
+    fn cfg_engine(&mut self) -> (&SolverConfig<P>, &mut SweepEngine<D>) {
+        (&self.cfg, &mut self.engine)
+    }
+
+    fn level_ids(&self, grid: &BlockGrid<D>, level: u8) -> Vec<BlockId> {
+        grid.block_ids()
+            .into_iter()
+            .filter(|&id| grid.block(id).key().level == level)
+            .collect()
+    }
+
+    fn fill_level(
+        &mut self,
+        grid: &mut BlockGrid<D>,
+        state: &SubcycleState<D>,
+        li: usize,
+        theta: f64,
+        _bc: Option<&BcFn<D>>,
+    ) {
+        // Like step_rk2, the pool executor has no custom-bc path; the
+        // plan's default boundary synthesis applies.
+        let metrics = self.cfg.metrics.clone();
+        let config = self.engine.config().clone();
+        let _span = metrics.span(phase::GHOST_FILL);
+        state.with_lerped_sources(grid, li, theta, |grid, plan| {
+            par_fill_ghosts_with(grid, plan, &config, &metrics);
+        });
+    }
+
+    fn sweep_level(&mut self, grid: &BlockGrid<D>, ids: &[BlockId]) {
+        let metrics = self.cfg.metrics.clone();
+        let _span = metrics.span(phase::FLUX);
+        let m = grid.params().block_dims;
+        let layout = grid.layout().clone();
+        let phys = &self.cfg.physics;
+        let scheme = self.cfg.scheme;
+        let sw = self.engine.sweep();
+        let rhs_refs = indexed_refs(sw.rhs, ids);
+        if self.cfg.refluxing {
+            let store_refs = indexed_refs(sw.flux_stores, ids);
+            let mut work: Vec<_> =
+                ids.iter().copied().zip(rhs_refs.into_iter().zip(store_refs)).collect();
+            pool::par_for_each_mut_init(&mut work, Vec::new, |scratch, (id, (rhs, store))| {
+                let node = grid.block(*id);
+                let h = layout.cell_size(node.key().level, m);
+                compute_rhs_block_fluxes(
+                    phys,
+                    scheme,
+                    node.field(),
+                    h,
+                    rhs,
+                    scratch,
+                    Some(store),
+                );
+            });
+        } else {
+            let mut work: Vec<_> = ids.iter().copied().zip(rhs_refs).collect();
+            pool::par_for_each_mut_init(&mut work, Vec::new, |scratch, (id, rhs)| {
+                let node = grid.block(*id);
+                let h = layout.cell_size(node.key().level, m);
+                compute_rhs_block(phys, scheme, node.field(), h, rhs, scratch);
+            });
+        }
+    }
+
+    fn level_rates(&mut self, grid: &BlockGrid<D>, state: &SubcycleState<D>) -> Vec<f64> {
+        let m = grid.params().block_dims;
+        let mut scanned = 0u64;
+        let rates: Vec<f64> = (0..state.levels().len())
+            .map(|li| {
+                let ids = state.ids(li);
+                scanned += ids.len() as u64;
+                // f64 max is exact and order-independent: same dt0 as the
+                // serial reduction, bit for bit.
+                pool::par_max_f64(ids, 0.0, |&id| {
+                    let node = grid.block(id);
+                    let h = grid.layout().cell_size(node.key().level, m);
+                    max_rate_block(&self.cfg.physics, node.field(), h)
+                })
+            })
+            .collect();
+        self.engine.note_rate_scans(scanned);
+        rates
     }
 }
 

@@ -19,7 +19,7 @@ use ablock_par::{
     run_resilient_with, DistSim, FaultPlan, Machine, MachineConfig, ParStepper, Policy,
     RecoverConfig,
 };
-use ablock_solver::{problems, Euler, Scheme, SolverConfig, Stepper};
+use ablock_solver::{problems, Euler, Scheme, SolverConfig, Stepper, TimeStepMode};
 use ablock_testkit::{cases, flag_for_key, gen_schedule, Schedule};
 
 const DT: f64 = 1e-3;
@@ -31,6 +31,14 @@ fn cfg(overlap: bool) -> SolverConfig<Euler<2>> {
     SolverConfig::new(Euler::new(1.4), Scheme::muscl_rusanov())
         .with_comm_overlap(overlap)
         .with_partitioner(POLICY.partitioner())
+}
+
+/// Subcycled variant: refluxing + local time stepping on top of the
+/// overlap knob under test.
+fn sub_cfg(overlap: bool) -> SolverConfig<Euler<2>> {
+    cfg(overlap)
+        .with_refluxing(true)
+        .with_time_step_mode(TimeStepMode::Subcycled)
 }
 
 fn base_grid() -> BlockGrid<2> {
@@ -327,4 +335,61 @@ fn aggregated_messages_equal_active_pairs() {
         sum(&off, "dist.halo_values_recv"),
         "aggregated and legacy paths must move identical halo volumes"
     );
+}
+
+/// Subcycled local time stepping under both overlap settings (DESIGN.md
+/// §17): the per-sublevel ghost fills always ride the aggregated
+/// exchange, so flipping `comm_overlap` must not perturb a subcycled run
+/// — shared and distributed backends match the serial subcycled stepper
+/// bitwise either way.
+#[test]
+fn subcycled_overlap_on_off_matches_serial() {
+    cases(4, 0x5EED_0053, |_, rng| {
+        let schedule = gen_schedule(rng);
+        // serial subcycled reference
+        let mut serial = base_grid();
+        let mut st: Stepper<2, Euler<2>> = Stepper::new(sub_cfg(true));
+        for round in &schedule.rounds {
+            adapt_serial(&mut serial, round.flag_seed, round.density);
+            for _ in 0..round.steps {
+                st.step(&mut serial, DT, None);
+            }
+        }
+        check_grid(&serial).unwrap();
+        for overlap in [true, false] {
+            let mut shared = base_grid();
+            let mut ps: ParStepper<2, Euler<2>> = ParStepper::new(sub_cfg(overlap));
+            for round in &schedule.rounds {
+                adapt_serial(&mut shared, round.flag_seed, round.density);
+                for _ in 0..round.steps {
+                    ps.step(&mut shared, DT);
+                }
+            }
+            assert_bitwise_eq(
+                &serial,
+                &shared,
+                &format!("subcycled Stepper vs ParStepper overlap={overlap}"),
+            );
+            let results = Machine::run(2, |comm| {
+                let mut sim = DistSim::partitioned(base_grid(), comm.nranks(), sub_cfg(overlap));
+                for round in &schedule.rounds {
+                    let owned = sim.owned_ids(comm.rank());
+                    let flags = flags_for(&sim.grid, round.flag_seed, round.density, Some(&owned));
+                    sim.adapt_rebalance(&comm, &flags);
+                    for _ in 0..round.steps {
+                        sim.advance(&comm, DT);
+                    }
+                }
+                sim.gather_full(&comm);
+                (comm.rank() == 0).then_some(sim.grid)
+            })
+            .expect("fault-free machine run");
+            let dist = results.into_iter().flatten().next().expect("rank 0 returns state");
+            assert_bitwise_eq(
+                &serial,
+                &dist,
+                &format!("subcycled Stepper vs DistSim overlap={overlap}"),
+            );
+        }
+    });
 }

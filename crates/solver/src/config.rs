@@ -35,6 +35,22 @@ use crate::physics::Physics;
 use crate::recon::Recon;
 use crate::stepper::TimeScheme;
 
+/// How a CFL-limited advance distributes the time step over refinement
+/// levels (DESIGN.md §17).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TimeStepMode {
+    /// Every block advances with the same globally CFL-limited `dt` —
+    /// the reference oracle; always correct, wasteful on deep
+    /// hierarchies where the finest level dictates `dt` everywhere.
+    #[default]
+    Global,
+    /// Berger–Oliger local time stepping: level ℓ advances with
+    /// `dt₀ / 2^(ℓ-ℓ₀)` (two fine steps per coarse step at unit level
+    /// jumps), with time-interpolated ghost fills at coarse-fine faces
+    /// and per-level flux accumulation feeding the reflux correction.
+    Subcycled,
+}
+
 /// Complete configuration for one solver instance. See the
 /// [module docs](self) for the construction story.
 #[derive(Clone, Debug)]
@@ -45,6 +61,10 @@ pub struct SolverConfig<P: Physics> {
     pub scheme: Scheme,
     /// Time integrator; defaults to match the reconstruction order.
     pub time_scheme: TimeScheme,
+    /// Global versus per-level (subcycled) time stepping. Defaults to
+    /// [`TimeStepMode::Global`]; the global path is preserved untouched
+    /// as the reference oracle for the subcycled one.
+    pub time_step_mode: TimeStepMode,
     /// CFL number used by `max_dt`/`run_until` on every executor.
     pub cfl: f64,
     /// Berger–Colella flux correction at coarse/fine faces.
@@ -82,6 +102,7 @@ impl<P: Physics> SolverConfig<P> {
             physics,
             scheme,
             time_scheme,
+            time_step_mode: TimeStepMode::Global,
             cfl: 0.4,
             refluxing: false,
             ghost,
@@ -100,6 +121,15 @@ impl<P: Physics> SolverConfig<P> {
     /// Override the time integrator.
     pub fn with_time_scheme(mut self, ts: TimeScheme) -> Self {
         self.time_scheme = ts;
+        self
+    }
+
+    /// Choose global or per-level (subcycled) time stepping. Subcycling
+    /// advances level ℓ with `dt₀/2^ℓ` and usually wants refluxing on as
+    /// well so coarse-fine face fluxes stay conservative (see
+    /// [`crate::subcycle`]).
+    pub fn with_time_step_mode(mut self, mode: TimeStepMode) -> Self {
+        self.time_step_mode = mode;
         self
     }
 

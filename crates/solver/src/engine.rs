@@ -61,6 +61,12 @@ pub struct EngineStats {
     pub rebuilds: u64,
     /// Sweeps served by the cached plan without touching topology.
     pub reuses: u64,
+    /// Blocks scanned by CFL max-wavespeed reductions routed through the
+    /// engine ([`SweepEngine::note_rate_scans`]). The subcycled driver
+    /// scans every block exactly once per outer step (one per-level
+    /// reduction), never rescanning coarse blocks per fine substep —
+    /// tests assert the count.
+    pub rate_block_scans: u64,
 }
 
 /// Mutable views of the engine's per-block scratch, split per field so a
@@ -165,6 +171,13 @@ impl<const D: usize> SweepEngine<D> {
     /// Rebuild/reuse counters since construction.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Record `n` block scans by a CFL max-wavespeed reduction (see
+    /// [`EngineStats::rate_block_scans`]).
+    pub fn note_rate_scans(&mut self, n: u64) {
+        self.stats.rate_block_scans += n;
+        self.metrics.incr("engine.rate_block_scans", n);
     }
 
     /// Force the next [`SweepEngine::revalidate`] to rebuild, regardless of
@@ -365,13 +378,13 @@ mod tests {
         for _ in 0..5 {
             assert!(!eng.revalidate(&g));
         }
-        assert_eq!(eng.stats(), EngineStats { rebuilds: 1, reuses: 5 });
+        assert_eq!(eng.stats(), EngineStats { rebuilds: 1, reuses: 5, ..Default::default() });
 
         let id = g.block_ids()[0];
         g.refine(id, Transfer::Conservative(ProlongOrder::Constant)).unwrap();
         assert!(eng.revalidate(&g));
         assert!(!eng.revalidate(&g));
-        assert_eq!(eng.stats(), EngineStats { rebuilds: 2, reuses: 6 });
+        assert_eq!(eng.stats(), EngineStats { rebuilds: 2, reuses: 6, ..Default::default() });
         assert!(eng.plan().is_current(&g));
     }
 

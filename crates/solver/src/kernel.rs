@@ -99,6 +99,32 @@ impl<const D: usize> FaceFluxStore<D> {
     pub fn face(&self, face: Face) -> &[f64] {
         &self.faces[face.index()]
     }
+
+    /// All flux values of one face, mutably (the distributed subcycled
+    /// path writes fetched fine-side accumulator faces here).
+    pub fn face_mut(&mut self, face: Face) -> &mut [f64] {
+        &mut self.faces[face.index()]
+    }
+
+    /// Reset every face to zero (accumulator reuse between substeps).
+    pub fn zero(&mut self) {
+        for f in &mut self.faces {
+            f.fill(0.0);
+        }
+    }
+
+    /// Accumulate `w * other` face-by-face — the stage-weighted sum that
+    /// turns per-stage instantaneous fluxes into a time-integrated face
+    /// flux (`Σ_s w_s Δt F_s`).
+    pub fn add_scaled(&mut self, other: &FaceFluxStore<D>, w: f64) {
+        debug_assert_eq!(self.dims, other.dims);
+        debug_assert_eq!(self.nvar, other.nvar);
+        for (dst, src) in self.faces.iter_mut().zip(&other.faces) {
+            for (x, y) in dst.iter_mut().zip(src) {
+                *x += w * y;
+            }
+        }
+    }
 }
 
 /// Convert the conserved field to primitives over the whole ghosted box

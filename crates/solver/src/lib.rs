@@ -16,6 +16,8 @@
 //!   reusable scratch consumed by every executor (serial, pool, distributed).
 //! * [`stepper`] — forward-Euler and SSP-RK2 integration over a grid,
 //!   including ghost exchange and global CFL reduction.
+//! * [`subcycle`] — Berger–Oliger local time stepping: per-level `dt`,
+//!   time-interpolated ghost fills, and flux-accumulated refluxing.
 //! * [`problems`] — Sod, Brio–Wu, Orszag–Tang, Sedov, MHD blast, and the
 //!   Parker-like solar-wind source used by the CME example.
 //! * [`poisson`] — geometric multigrid for `∇²u = f` on block hierarchies
@@ -35,16 +37,18 @@ pub mod problems;
 pub mod recon;
 pub mod reflux;
 pub mod stepper;
+pub mod subcycle;
 
 pub use ablock_core::partition::Partitioner;
-pub use config::SolverConfig;
+pub use config::{SolverConfig, TimeStepMode};
 pub use engine::{ghost_config_for, EngineStats, SweepEngine, SweepSplit};
 pub use euler::Euler;
 pub use flux::Riemann;
 pub use kernel::{compute_rhs_block, compute_rhs_block_fluxes, max_rate_block, FaceFluxStore, Scheme};
-pub use reflux::reflux_rhs;
+pub use reflux::{coarse_fine_fetch_list, reflux_rhs, reflux_state};
 pub use mhd::IdealMhd;
 pub use physics::Physics;
 pub use poisson::{MultigridPoisson, PoissonBc};
 pub use recon::{Limiter, Recon};
 pub use stepper::{total_conserved, Stepper, TimeScheme};
+pub use subcycle::{SubcycleBackend, SubcycleState};

@@ -26,19 +26,31 @@ use ablock_core::index::{Face, IBox, IVec};
 
 use crate::kernel::FaceFluxStore;
 
-/// Apply the reflux correction to every coarse block's RHS.
-///
-/// `stores` holds each block's recorded face fluxes (from
-/// [`crate::kernel::compute_rhs_block_fluxes`]) and `rhs` each block's
-/// RHS field, both indexed by `BlockId::index()`. Returns the number of
-/// corrected coarse interface cells.
-pub fn reflux_rhs<const D: usize>(
+/// One coarse-fine face pairing: the geometry both reflux variants share.
+/// `region` is the coarse face-adjacent cell row covered by `fine`;
+/// coarse cell `c` maps to the `2^(D-1)` fine interface cells at
+/// transverse coordinates `2*c[d] + q[d] + {0,1}`.
+struct CfFace<const D: usize> {
+    coarse: BlockId,
+    fine: BlockId,
+    face: Face,
+    region: IBox<D>,
+    q: IVec<D>,
+    /// Coarse cell size along the face normal.
+    h: f64,
+    /// `+1` on high faces, `−1` on low faces.
+    sign: f64,
+}
+
+/// Visit every (coarse block, face, finer neighbor) pairing of the grid,
+/// in block-arena order — the single source of the coverage arithmetic
+/// used by [`reflux_rhs`] and [`reflux_state`]. Panics on level jumps
+/// deeper than one (the paper's `max_level_jump = 1` configuration).
+fn for_each_coarse_fine_face<const D: usize>(
     grid: &BlockGrid<D>,
-    stores: &[FaceFluxStore<D>],
-    rhs: &mut [FieldBlock<D>],
-) -> usize {
+    mut visit: impl FnMut(&CfFace<D>),
+) {
     let m = grid.params().block_dims;
-    let mut corrected = 0usize;
     for (cid, node) in grid.blocks() {
         let ck = node.key();
         for f in Face::all::<D>() {
@@ -55,8 +67,6 @@ pub fn reflux_rhs<const D: usize>(
             let dir = f.dim as usize;
             let h = grid.layout().cell_size(ck.level, m)[dir];
             let sign = if f.high { 1.0 } else { -1.0 };
-            let coarse_store = &stores[cid.index()];
-            let rhs_block = &mut rhs[cid.index()];
             for &nid in &finer {
                 let nk = grid.block(nid).key();
                 assert_eq!(
@@ -64,7 +74,6 @@ pub fn reflux_rhs<const D: usize>(
                     ck.level + 1,
                     "refluxing supports one-level jumps (paper configuration)"
                 );
-                let fine_store = &stores[nid.index()];
                 let nu = unwrap_neighbor(ck, f, nk);
                 // coarse transverse coverage of this fine neighbor (same
                 // arithmetic as the ghost-plan restriction tasks)
@@ -81,39 +90,144 @@ pub fn reflux_rhs<const D: usize>(
                 let adj = if f.high { m[dir] - 1 } else { 0 };
                 region.lo[dir] = adj;
                 region.hi[dir] = adj + 1;
-                let nvar = grid.params().nvar;
-                let weight = 1.0 / (1u32 << (D - 1)) as f64;
-                let fine_face = f.opposite();
-                for c in region.iter() {
-                    // the 2^(D-1) fine interface cells covering coarse cell c
-                    let mut favg = vec![0.0; nvar];
-                    for t in 0..(1usize << D) {
-                        if (t >> dir) & 1 != 0 {
-                            continue;
-                        }
-                        let mut fc: IVec<D> = [0; D];
-                        for d in 0..D {
-                            if d == dir {
-                                fc[d] = 0; // ignored by the store
-                            } else {
-                                fc[d] = 2 * c[d] + q[d] + ((t >> d) & 1) as i64;
-                            }
-                        }
-                        let ff = fine_store.flux(fine_face, fc);
-                        for v in 0..nvar {
-                            favg[v] += ff[v] * weight;
-                        }
-                    }
-                    let fcoarse = coarse_store.flux(f, c);
-                    for v in 0..nvar {
-                        *rhs_block.at_mut(c, v) += sign * (fcoarse[v] - favg[v]) / h;
-                    }
-                    corrected += 1;
-                }
+                visit(&CfFace { coarse: cid, fine: nid, face: f, region, q, h, sign });
             }
         }
     }
+}
+
+/// Area-weighted average of the fine store's interface fluxes covering
+/// coarse cell `c` — overwrites `favg`.
+fn fine_face_avg<const D: usize>(
+    store: &FaceFluxStore<D>,
+    cf: &CfFace<D>,
+    c: IVec<D>,
+    favg: &mut [f64],
+) {
+    let dir = cf.face.dim as usize;
+    let weight = 1.0 / (1u32 << (D - 1)) as f64;
+    let fine_face = cf.face.opposite();
+    favg.fill(0.0);
+    // the 2^(D-1) fine interface cells covering coarse cell c
+    for t in 0..(1usize << D) {
+        if (t >> dir) & 1 != 0 {
+            continue;
+        }
+        let mut fc: IVec<D> = [0; D];
+        for d in 0..D {
+            if d == dir {
+                fc[d] = 0; // ignored by the store
+            } else {
+                fc[d] = 2 * c[d] + cf.q[d] + ((t >> d) & 1) as i64;
+            }
+        }
+        let ff = store.flux(fine_face, fc);
+        for (a, &x) in favg.iter_mut().zip(ff) {
+            *a += x * weight;
+        }
+    }
+}
+
+/// Apply the reflux correction to every coarse block's RHS.
+///
+/// `stores` holds each block's recorded face fluxes (from
+/// [`crate::kernel::compute_rhs_block_fluxes`]) and `rhs` each block's
+/// RHS field, both indexed by `BlockId::index()`. Returns the number of
+/// corrected coarse interface cells.
+pub fn reflux_rhs<const D: usize>(
+    grid: &BlockGrid<D>,
+    stores: &[FaceFluxStore<D>],
+    rhs: &mut [FieldBlock<D>],
+) -> usize {
+    let nvar = grid.params().nvar;
+    let mut corrected = 0usize;
+    let mut favg = vec![0.0; nvar];
+    for_each_coarse_fine_face(grid, |cf| {
+        let coarse_store = &stores[cf.coarse.index()];
+        let fine_store = &stores[cf.fine.index()];
+        let rhs_block = &mut rhs[cf.coarse.index()];
+        for c in cf.region.iter() {
+            fine_face_avg(fine_store, cf, c, &mut favg);
+            let fcoarse = coarse_store.flux(cf.face, c);
+            for v in 0..nvar {
+                *rhs_block.at_mut(c, v) += cf.sign * (fcoarse[v] - favg[v]) / cf.h;
+            }
+            corrected += 1;
+        }
+    });
     corrected
+}
+
+/// State-space reflux for the subcycled stepper: correct the **solution**
+/// of coarse blocks on `level` by the mismatch between their own
+/// *time-integrated* face fluxes (`accum_own`) and the area-weighted
+/// fine-side accumulation over the same parent interval (`accum_par`,
+/// indexed by the fine block):
+///
+/// ```text
+/// u[coarse cell adjacent to face] ±= (A_own − ⟨A_par⟩) / h_coarse
+/// ```
+///
+/// The accumulators already carry `Σ_s w_s Δt F_s` (stage-weighted,
+/// time-integrated), so no `dt` factor appears here. No positivity floors
+/// run after the correction — it is a pure conservation fix-up whose
+/// magnitude vanishes with the flux mismatch (DESIGN.md §17).
+/// `apply_to` filters the corrected coarse blocks (ownership in the
+/// distributed executor; `|_| true` elsewhere). Returns corrected cells.
+pub fn reflux_state<const D: usize>(
+    grid: &mut BlockGrid<D>,
+    accum_own: &[FaceFluxStore<D>],
+    accum_par: &[FaceFluxStore<D>],
+    level: u8,
+    apply_to: &dyn Fn(BlockId) -> bool,
+) -> usize {
+    let nvar = grid.params().nvar;
+    let mut corrected = 0usize;
+    let mut favg = vec![0.0; nvar];
+    // collect corrections under the shared (immutable) traversal, apply
+    // after — same per-cell arithmetic order as the RHS variant
+    let mut fixes: Vec<(BlockId, IVec<D>, Vec<f64>)> = Vec::new();
+    for_each_coarse_fine_face(grid, |cf| {
+        if grid.block(cf.coarse).key().level != level || !apply_to(cf.coarse) {
+            return;
+        }
+        let own = &accum_own[cf.coarse.index()];
+        let par = &accum_par[cf.fine.index()];
+        for c in cf.region.iter() {
+            fine_face_avg(par, cf, c, &mut favg);
+            let fcoarse = own.flux(cf.face, c);
+            let fix: Vec<f64> = (0..nvar)
+                .map(|v| cf.sign * (fcoarse[v] - favg[v]) / cf.h)
+                .collect();
+            fixes.push((cf.coarse, c, fix));
+        }
+    });
+    for (id, c, fix) in fixes {
+        let field = grid.block_mut(id).field_mut();
+        for (v, dx) in fix.iter().enumerate() {
+            *field.at_mut(c, v) += dx;
+        }
+        corrected += 1;
+    }
+    corrected
+}
+
+/// The (coarse, fine, coarse-side face) triples [`reflux_state`] visits
+/// for coarse blocks on `level`, in the shared traversal order.
+/// Distributed executors use this to plan fetches of remote fine-side
+/// accumulator faces before refluxing: the coarse owner needs the fine
+/// block's time-integrated fluxes on `face.opposite()`.
+pub fn coarse_fine_fetch_list<const D: usize>(
+    grid: &BlockGrid<D>,
+    level: u8,
+) -> Vec<(BlockId, BlockId, Face)> {
+    let mut out = Vec::new();
+    for_each_coarse_fine_face(grid, |cf| {
+        if grid.block(cf.coarse).key().level == level {
+            out.push((cf.coarse, cf.fine, cf.face));
+        }
+    });
+    out
 }
 
 /// The neighbor's key translated adjacent to `kb` across `f` (undoing

@@ -38,11 +38,12 @@ use ablock_core::ghost::{GhostConfig, GhostExchange};
 use ablock_core::grid::BlockGrid;
 use ablock_obs::{phase, Metrics};
 
-use crate::config::SolverConfig;
+use crate::config::{SolverConfig, TimeStepMode};
 use crate::engine::{fe_update_block, rk2_stage1_block, rk2_stage2_block, SweepEngine};
 use crate::kernel::{compute_rhs_block_fluxes, max_rate_block, Scheme};
 use crate::physics::Physics;
 use crate::reflux::reflux_rhs;
+use crate::subcycle::SubcycleState;
 
 pub use crate::engine::BcFn;
 
@@ -64,6 +65,7 @@ pub enum TimeScheme {
 pub struct Stepper<const D: usize, P: Physics> {
     cfg: SolverConfig<P>,
     engine: SweepEngine<D>,
+    sub: SubcycleState<D>,
     /// Cells clamped by positivity floors since construction.
     pub floored_cells: usize,
     /// Interface flux evaluations since construction.
@@ -75,7 +77,20 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
     /// ghost config, and metrics sink all come from it).
     pub fn new(cfg: SolverConfig<P>) -> Self {
         let engine = cfg.engine();
-        Stepper { cfg, engine, floored_cells: 0, flux_evals: 0 }
+        Stepper { cfg, engine, sub: SubcycleState::new(), floored_cells: 0, flux_evals: 0 }
+    }
+
+    /// Split-borrow the config and engine for the subcycled driver
+    /// (`crate::subcycle`), which needs both at once.
+    pub(crate) fn cfg_engine_mut(&mut self) -> (&SolverConfig<P>, &mut SweepEngine<D>) {
+        (&self.cfg, &mut self.engine)
+    }
+
+    /// The subcycling scratch, taken out with `mem::take` for the
+    /// duration of driver calls (the driver borrows the stepper as the
+    /// backend, so the state cannot stay behind `self`).
+    pub(crate) fn sub_state(&mut self) -> &mut SubcycleState<D> {
+        &mut self.sub
     }
 
     /// The configuration this stepper was built from.
@@ -176,8 +191,13 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
         ids
     }
 
-    /// Advance the grid by `dt` with the configured integrator.
+    /// Advance the grid by `dt` with the configured integrator. Under
+    /// [`TimeStepMode::Subcycled`], `dt` is the coarsest-level `dt₀` and
+    /// finer levels take halved substeps (see [`crate::subcycle`]).
     pub fn step(&mut self, grid: &mut BlockGrid<D>, dt: f64, bc: Option<&BcFn<D>>) {
+        if self.cfg.time_step_mode == TimeStepMode::Subcycled {
+            return self.step_subcycled(grid, dt, bc);
+        }
         match self.cfg.time_scheme {
             TimeScheme::ForwardEuler => self.step_fe(grid, dt, bc),
             TimeScheme::SspRk2 => self.step_rk2(grid, dt, bc),
@@ -242,7 +262,7 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
         let mut t = t0;
         let mut steps = 0;
         while t < t_end - 1e-14 {
-            let dt = self.max_dt(grid).min(t_end - t);
+            let dt = self.stable_dt(grid).min(t_end - t);
             assert!(dt.is_finite() && dt > 0.0, "non-positive dt at t = {t}");
             self.step(grid, dt, bc);
             t += dt;

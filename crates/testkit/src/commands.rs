@@ -40,7 +40,7 @@ use ablock_io::{
     NodeStore,
 };
 use ablock_par::ParStepper;
-use ablock_solver::{total_conserved, Euler, Scheme, SolverConfig, Stepper};
+use ablock_solver::{total_conserved, Euler, Scheme, SolverConfig, Stepper, TimeStepMode};
 
 use crate::model::RefModel;
 use crate::shrink::shrink;
@@ -99,6 +99,17 @@ pub enum FuzzCmd {
     /// One RK2 Euler step at a fixed small `dt` through a cached
     /// [`Stepper`] (exercising its plan cache across adapts).
     Step,
+    /// One *subcycled* coarsest-level cycle at the same fixed `dt₀`
+    /// through a cached refluxing [`TimeStepMode::Subcycled`] stepper,
+    /// differentially checked against a **flat reference**: a global-dt
+    /// twin (checkpoint clone) advanced the same interval with uniform
+    /// finest-level steps `dt₀/2^(ℓmax−ℓmin)`. On a single-level grid the
+    /// comparison is **bitwise** (subcycling must reduce to the global
+    /// step exactly); on refined grids it is a tight accuracy band, plus
+    /// exact conservation of the refluxed totals when every boundary is
+    /// periodic. Mixed `T`/`S` schedules exercise both steppers' caches
+    /// against the same evolving grid.
+    StepSub,
     /// One RK2 Euler step through a cached shared-memory [`ParStepper`]
     /// with `comm_overlap` on (`O`) or off (`N`), differentially checked
     /// **bitwise** against a fresh serial stepper run on a
@@ -130,7 +141,7 @@ pub enum FuzzCmd {
 
 /// Format a script as the compact text form accepted by [`parse_script`]:
 /// `R<r>` `C<r>` `A<seed>:<density>` `M<seed>:<0|1>` `B<r>` `K` `G` `S`
-/// `O` `N` `P` `X`, space-separated, seeds in hex.
+/// `T` `O` `N` `P` `X`, space-separated, seeds in hex.
 pub fn format_script(cmds: &[FuzzCmd]) -> String {
     let words: Vec<String> = cmds
         .iter()
@@ -145,6 +156,7 @@ pub fn format_script(cmds: &[FuzzCmd]) -> String {
             FuzzCmd::Checkpoint => "K".to_string(),
             FuzzCmd::Ghost => "G".to_string(),
             FuzzCmd::Step => "S".to_string(),
+            FuzzCmd::StepSub => "T".to_string(),
             FuzzCmd::StepPar { overlap: true } => "O".to_string(),
             FuzzCmd::StepPar { overlap: false } => "N".to_string(),
             FuzzCmd::Snapshot => "P".to_string(),
@@ -194,6 +206,7 @@ pub fn parse_script(s: &str) -> Result<Vec<FuzzCmd>, String> {
             "K" if rest.is_empty() => FuzzCmd::Checkpoint,
             "G" if rest.is_empty() => FuzzCmd::Ghost,
             "S" if rest.is_empty() => FuzzCmd::Step,
+            "T" if rest.is_empty() => FuzzCmd::StepSub,
             "O" if rest.is_empty() => FuzzCmd::StepPar { overlap: true },
             "N" if rest.is_empty() => FuzzCmd::StepPar { overlap: false },
             "P" if rest.is_empty() => FuzzCmd::Snapshot,
@@ -361,6 +374,8 @@ struct Harness<const D: usize> {
     model: RefModel<D>,
     exchange: Option<GhostExchange<D>>,
     stepper: Option<Stepper<D, Euler<D>>>,
+    /// Cached refluxing subcycled stepper for [`FuzzCmd::StepSub`].
+    sub_stepper: Option<Stepper<D, Euler<D>>>,
     par_on: Option<ParStepper<D, Euler<D>>>,
     par_off: Option<ParStepper<D, Euler<D>>>,
     last_epoch: u64,
@@ -429,6 +444,7 @@ impl<const D: usize> Harness<D> {
             model,
             exchange: None,
             stepper: None,
+            sub_stepper: None,
             par_on: None,
             par_off: None,
             last_epoch,
@@ -637,6 +653,7 @@ impl<const D: usize> Harness<D> {
                 self.grid = loaded;
                 self.exchange = None;
                 self.stepper = None;
+                self.sub_stepper = None;
                 self.par_on = None;
                 self.par_off = None;
                 // ids restarted with the reconstruction; ownership is
@@ -700,6 +717,83 @@ impl<const D: usize> Harness<D> {
                                 return Err(format!(
                                     "non-finite state after step at {:?} cell {c:?} var {v}",
                                     node.key()
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            FuzzCmd::StepSub => {
+                // Flat reference at the finest dt: a global-dt twin
+                // (checkpoint clone, see StepPar for why) advanced over
+                // the same interval with 2^(lmax-lmin) uniform steps.
+                let mut buf = Vec::new();
+                save_grid(&mut buf, &self.grid).map_err(|e| format!("save_grid: {e}"))?;
+                let mut twin: BlockGrid<D> =
+                    load_grid(&mut buf.as_slice()).map_err(|e| format!("load_grid: {e}"))?;
+                let (lmin, lmax) = self
+                    .grid
+                    .blocks()
+                    .fold((u8::MAX, 0u8), |(lo, hi), (_, n)| {
+                        (lo.min(n.key().level), hi.max(n.key().level))
+                    });
+                let nsub = 1u64 << (lmax - lmin);
+                // nsub is a power of two, so the finest dt is exact and
+                // nsub of them telescope back to exactly STEP_DT
+                let fine_dt = STEP_DT / nsub as f64;
+                let mut flat = Stepper::new(
+                    SolverConfig::new(Euler::<D>::new(1.4), Scheme::muscl_rusanov())
+                        .with_refluxing(true),
+                );
+                for _ in 0..nsub {
+                    flat.step_rk2(&mut twin, fine_dt, None);
+                }
+                let before = self.totals();
+                let st = self.sub_stepper.get_or_insert_with(|| {
+                    Stepper::new(
+                        SolverConfig::new(Euler::new(1.4), Scheme::muscl_rusanov())
+                            .with_refluxing(true)
+                            .with_time_step_mode(TimeStepMode::Subcycled),
+                    )
+                });
+                st.step(&mut self.grid, STEP_DT, None);
+                // refluxed subcycling is exactly conservative wherever
+                // nothing leaves the domain: every boundary periodic and
+                // no root mask (mask holes are internal clamp boundaries)
+                if self.setup.mask_seed.is_none()
+                    && self.setup.bcs.iter().all(|b| matches!(b, Boundary::Periodic))
+                {
+                    self.check_conserved(&before, "subcycled step")?;
+                }
+                for (_, node) in self.grid.blocks() {
+                    let key = node.key();
+                    let tid = twin
+                        .find(key)
+                        .ok_or_else(|| format!("twin lost leaf {key:?}"))?;
+                    let tf = twin.block(tid).field();
+                    let f = node.field();
+                    for c in f.shape().interior_box().iter() {
+                        for v in 0..f.shape().nvar {
+                            let (a, b) = (f.at(c, v), tf.at(c, v));
+                            if !a.is_finite() {
+                                return Err(format!(
+                                    "non-finite state after subcycled step at {key:?} \
+                                     cell {c:?} var {v}"
+                                ));
+                            }
+                            if nsub == 1 {
+                                // single level: subcycling must reduce to
+                                // the global step bitwise
+                                if a.to_bits() != b.to_bits() {
+                                    return Err(format!(
+                                        "single-level subcycled step diverged from global \
+                                         at {key:?} cell {c:?} var {v}: {a:.17e} != {b:.17e}"
+                                    ));
+                                }
+                            } else if (a - b).abs() > 1e-5 * (1.0 + b.abs()) {
+                                return Err(format!(
+                                    "subcycled step left the flat finest-dt reference band \
+                                     at {key:?} cell {c:?} var {v}: {a:.17e} vs {b:.17e}"
                                 ));
                             }
                         }
@@ -863,6 +957,7 @@ impl<const D: usize> Harness<D> {
                 self.grid = loaded;
                 self.exchange = None;
                 self.stepper = None;
+                self.sub_stepper = None;
                 self.par_on = None;
                 self.par_off = None;
                 self.walk = None;
@@ -941,15 +1036,17 @@ pub fn gen_script(seed: u64, max_cmds: usize, sabotage: bool) -> Vec<FuzzCmd> {
                 FuzzCmd::Rebalance(rng.u64_below(4096))
             } else if roll < 0.74 {
                 FuzzCmd::Ghost
-            } else if roll < 0.81 {
+            } else if roll < 0.79 {
                 FuzzCmd::Step
-            } else if roll < 0.85 {
+            } else if roll < 0.84 {
+                FuzzCmd::StepSub
+            } else if roll < 0.87 {
                 FuzzCmd::StepPar { overlap: true }
-            } else if roll < 0.89 {
+            } else if roll < 0.90 {
                 FuzzCmd::StepPar { overlap: false }
-            } else if roll < 0.92 {
+            } else if roll < 0.93 {
                 FuzzCmd::Checkpoint
-            } else if roll < 0.95 {
+            } else if roll < 0.96 {
                 FuzzCmd::Snapshot
             } else {
                 FuzzCmd::Remask { seed: rng.next_u64(), masked: rng.coin() }
@@ -1067,6 +1164,7 @@ mod tests {
             FuzzCmd::Checkpoint,
             FuzzCmd::Ghost,
             FuzzCmd::Step,
+            FuzzCmd::StepSub,
             FuzzCmd::StepPar { overlap: true },
             FuzzCmd::StepPar { overlap: false },
             FuzzCmd::Snapshot,
@@ -1074,7 +1172,7 @@ mod tests {
         ];
         let text = format_script(&script);
         assert_eq!(parse_script(&text).unwrap(), script);
-        assert_eq!(text, "R17 C3 Adeadbeef:12 Mf00:1 B9 K G S O N P X");
+        assert_eq!(text, "R17 C3 Adeadbeef:12 Mf00:1 B9 K G S T O N P X");
     }
 
     #[test]
@@ -1083,6 +1181,7 @@ mod tests {
         assert!(parse_script("A12").is_err()); // missing density
         assert!(parse_script("Mzz:1").is_err());
         assert!(parse_script("K7").is_err());
+        assert!(parse_script("T3").is_err());
         assert!(parse_script("O7").is_err());
         assert!(parse_script("N1").is_err());
         assert!(parse_script("P2").is_err());
@@ -1136,6 +1235,30 @@ mod tests {
                 FuzzCmd::Step,
                 FuzzCmd::Adapt { seed: 0xA11CE, density: 20 },
                 FuzzCmd::StepPar { overlap: true },
+            ],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn mixed_subcycled_and_global_steps_interleave() {
+        // T and S share the evolving grid but run distinct cached
+        // steppers; T is checked against the flat finest-dt reference
+        // (bitwise on the initial single-level world, banded once the
+        // refines land) and structural commands invalidate both caches.
+        run_script::<2>(
+            0x5EED_0015,
+            &[
+                FuzzCmd::StepSub, // single level: bitwise vs global
+                FuzzCmd::Refine(3),
+                FuzzCmd::StepSub,
+                FuzzCmd::Step,
+                FuzzCmd::StepSub,
+                FuzzCmd::Adapt { seed: 0xA11CE, density: 20 },
+                FuzzCmd::StepSub,
+                FuzzCmd::Checkpoint,
+                FuzzCmd::StepSub,
+                FuzzCmd::Step,
             ],
         )
         .unwrap();

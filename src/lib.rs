@@ -51,6 +51,6 @@ pub mod prelude {
     pub use ablock_par::{CommError, MachineError, RecoverError};
     pub use ablock_solver::{
         problems, ghost_config_for, EngineStats, Euler, IdealMhd, Limiter, Physics, Recon,
-        Riemann, Scheme, SolverConfig, Stepper, SweepEngine, TimeScheme,
+        Riemann, Scheme, SolverConfig, Stepper, SweepEngine, TimeScheme, TimeStepMode,
     };
 }
