@@ -115,6 +115,83 @@ impl<const D: usize> Criterion<D> for BallCriterion<D> {
     }
 }
 
+/// Refine toward the zero level set of the grid's installed immersed
+/// geometry ([`BlockGrid::set_geometry`], DESIGN.md §18): blocks whose
+/// bounding sphere straddles the solid boundary refine until their cell
+/// size reaches `target_h`, blocks far from the boundary (entirely fluid
+/// or entirely solid) coarsen back.
+///
+/// The straddle test is conservative: signed distances are 1-Lipschitz
+/// (all [`ablock_core::geom::Geometry`] combinators preserve this), so
+/// `|sd(block center)| ≤ half-diagonal` is implied whenever the boundary
+/// actually crosses the block — no straddling block is ever missed. The
+/// indicator is three-valued: `1.0` (straddling, still coarser than
+/// `target_h` — refine), `0.5` (straddling at target — hold, avoiding
+/// refine/coarsen oscillation), `0.0` (far — coarsen). On grids without a
+/// geometry every block reads `0.0`.
+#[derive(Clone, Debug)]
+pub struct GeometryCriterion {
+    /// Stop refining boundary-straddling blocks once every cell dimension
+    /// is at or below this size. Set it to the finest level's cell size to
+    /// drive the boundary to `max_level`.
+    pub target_h: f64,
+}
+
+impl GeometryCriterion {
+    /// Refine boundary-straddling blocks until cells reach `target_h`.
+    pub fn new(target_h: f64) -> Self {
+        assert!(target_h > 0.0 && target_h.is_finite());
+        GeometryCriterion { target_h }
+    }
+
+    /// The target cell size that drives the boundary to `max_level` of
+    /// `grid`: the finest level's largest cell dimension.
+    pub fn to_max_level<const D: usize>(grid: &BlockGrid<D>) -> Self {
+        let h = grid
+            .layout()
+            .cell_size(grid.params().max_level, grid.params().block_dims);
+        let target = h.iter().fold(0.0f64, |a, &b| a.max(b));
+        GeometryCriterion::new(target)
+    }
+}
+
+impl<const D: usize> Criterion<D> for GeometryCriterion {
+    fn indicator(&self, grid: &BlockGrid<D>, id: BlockId) -> f64 {
+        let Some(geom) = grid.layout().geometry.as_ref() else {
+            return 0.0;
+        };
+        let node = grid.block(id);
+        let m = grid.params().block_dims;
+        let o = grid.layout().block_origin(node.key(), m);
+        let h = grid.layout().cell_size(node.key().level, m);
+        let mut center = [0.0; D];
+        let mut diag2 = 0.0;
+        for d in 0..D {
+            let ext = h[d] * m[d] as f64;
+            center[d] = o[d] + 0.5 * ext;
+            diag2 += 0.25 * ext * ext;
+        }
+        let sd = geom.sd(center);
+        if sd * sd > diag2 {
+            return 0.0; // provably entirely fluid or entirely solid
+        }
+        let hmax = h.iter().fold(0.0f64, |a, &b| a.max(b));
+        if hmax > self.target_h {
+            1.0
+        } else {
+            0.5
+        }
+    }
+
+    fn refine_above(&self) -> f64 {
+        0.75
+    }
+
+    fn coarsen_below(&self) -> f64 {
+        0.25
+    }
+}
+
 /// Combine two criteria by taking the *stronger* signal: the indicator is
 /// the max of the normalized indicators, refine if either would refine,
 /// coarsen only if both would coarsen. Lets a run track, e.g., both a
@@ -251,6 +328,81 @@ mod tests {
         });
         let flags = flag_blocks(&g, &combined);
         assert!(flags.len() >= 2, "both signals must fire: {flags:?}");
+    }
+
+    #[test]
+    fn geometry_criterion_refines_straddling_blocks_to_target() {
+        use ablock_core::geom::Geometry;
+        let mut g = grid();
+        // no geometry installed: every indicator is 0.0, nothing flags
+        let c = GeometryCriterion::to_max_level(&g);
+        for id in g.block_ids() {
+            assert_eq!(Criterion::<2>::indicator(&c, &g, id), 0.0);
+        }
+        assert!(flag_blocks(&g, &c).is_empty());
+        // sphere boundary inside the lower-left root block only
+        g.set_geometry(Some(Geometry::sphere([0.25, 0.25, 0.0], 0.1)));
+        let flags = flag_blocks(&g, &c);
+        assert!(!flags.is_empty());
+        for (&id, &f) in &flags {
+            assert_eq!(f, Flag::Refine);
+            // only blocks near the boundary refine (conservative test may
+            // include diagonal neighbors whose bounding sphere reaches in)
+            let co = g.block(id).key().coords;
+            assert!(co[0] <= 1 && co[1] <= 1, "far block {co:?} flagged");
+        }
+        // drive the adapt loop to a fixed point: boundary blocks reach
+        // max_level and then hold (0.5 — neither refine nor coarsen)
+        for _ in 0..g.params().max_level {
+            let flags = flag_blocks(&g, &c);
+            ablock_core::balance::adapt(
+                &mut g,
+                &flags,
+                ablock_core::grid::Transfer::None,
+            );
+        }
+        ablock_core::verify::check_grid(&g).unwrap();
+        let flags = flag_blocks(&g, &c);
+        assert!(
+            flags.values().all(|f| *f != Flag::Refine),
+            "refinement did not converge: {flags:?}"
+        );
+        // every straddling leaf sits at max_level now
+        let max_level = g.params().max_level;
+        for (id, node) in g.blocks() {
+            if Criterion::<2>::indicator(&c, &g, id) >= 0.5 {
+                assert_eq!(
+                    node.key().level,
+                    max_level,
+                    "straddling block {:?} not at target",
+                    node.key()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn geometry_criterion_coarsens_far_blocks() {
+        use ablock_core::geom::Geometry;
+        let mut g = grid();
+        g.set_geometry(Some(Geometry::sphere([0.25, 0.25, 0.0], 0.1)));
+        let c = GeometryCriterion::to_max_level(&g);
+        for _ in 0..g.params().max_level {
+            let flags = flag_blocks(&g, &c);
+            ablock_core::balance::adapt(
+                &mut g,
+                &flags,
+                ablock_core::grid::Transfer::None,
+            );
+        }
+        // move the solid: blocks refined around the old boundary are now
+        // far from the new one and flag Coarsen
+        g.set_geometry(Some(Geometry::sphere([0.75, 0.75, 0.0], 0.1)));
+        let flags = flag_blocks(&g, &c);
+        assert!(
+            flags.values().any(|f| *f == Flag::Coarsen),
+            "no stale fine block wants coarsening: {flags:?}"
+        );
     }
 
     #[test]

@@ -164,7 +164,7 @@ impl<const D: usize, P: Physics, C: Criterion<D>> AmrSimulation<D, P, C> {
             self.adapt_now(bc);
         }
         let t0 = Instant::now();
-        let dt = self.stepper.stable_dt(&self.grid);
+        let dt = self.stepper.stable_dt(&mut self.grid);
         assert!(dt.is_finite() && dt > 0.0, "non-positive dt at t = {}", self.time);
         self.stepper.step(&mut self.grid, dt, bc);
         self.time += dt;
@@ -181,7 +181,7 @@ impl<const D: usize, P: Physics, C: Criterion<D>> AmrSimulation<D, P, C> {
                 self.adapt_now(bc);
             }
             let t0 = Instant::now();
-            let dt = self.stepper.stable_dt(&self.grid).min(t_end - self.time);
+            let dt = self.stepper.stable_dt(&mut self.grid).min(t_end - self.time);
             assert!(dt.is_finite() && dt > 0.0, "non-positive dt at t = {}", self.time);
             self.stepper.step(&mut self.grid, dt, bc);
             self.time += dt;

@@ -14,5 +14,7 @@
 pub mod criteria;
 pub mod driver;
 
-pub use criteria::{flag_blocks, BallCriterion, Criterion, GradientCriterion, MaxCriterion};
+pub use criteria::{
+    flag_blocks, BallCriterion, Criterion, GeometryCriterion, GradientCriterion, MaxCriterion,
+};
 pub use driver::{AmrConfig, AmrSimulation, AmrStats};

@@ -1,0 +1,204 @@
+//! Property tests for geometry-driven refinement (DESIGN.md §18).
+//!
+//! [`GeometryCriterion`]'s straddle test is a center + half-diagonal
+//! bound; these tests check it against *independent* ground truths built
+//! from dense SDF corner sampling and the 1-Lipschitz property every
+//! [`ablock_core::geom::Geometry`] combinator preserves:
+//!
+//! 1. every leaf the zero level set provably crosses, while still
+//!    coarser than the target resolution, is flagged `Refine`;
+//! 2. no leaf provably far from the boundary (entirely fluid with a
+//!    block-diagonal margin) is ever flagged `Refine`;
+//! 3. fluid-cell conserved totals (mass, energy) survive whole random
+//!    adapt+step schedules driven by the criterion itself, with
+//!    conservative transfers and refluxed wall-aware stepping.
+
+use ablock_amr::{flag_blocks, Criterion, GeometryCriterion};
+use ablock_core::arena::BlockId;
+use ablock_core::balance::{adapt, Flag};
+use ablock_core::grid::{BlockGrid, GridParams, Transfer};
+use ablock_core::layout::{Boundary, RootLayout};
+use ablock_core::ops::ProlongOrder;
+use ablock_core::verify::check_grid;
+use ablock_solver::{
+    problems, total_conserved, total_conserved_fluid, Euler, Scheme, SolverConfig, Stepper,
+    TimeStepMode,
+};
+use ablock_testkit::{cases, random_geometry, Rng};
+
+const MAX_LEVEL: u8 = 2;
+
+fn masked_grid(rng: &mut Rng) -> BlockGrid<2> {
+    let layout =
+        RootLayout::unit([2, 2], Boundary::Periodic).with_geometry(random_geometry(rng, 2));
+    BlockGrid::new(layout, GridParams::new([4, 4], 2, 4, MAX_LEVEL))
+}
+
+/// Mixed-level grids for the flagging properties, produced by a few
+/// rounds of *criterion-independent* random flags so the shapes under
+/// test are not themselves artifacts of the criterion.
+fn random_adapts(g: &mut BlockGrid<2>, rng: &mut Rng) {
+    for _ in 0..rng.usize_in(0, 3) {
+        let mut flags = std::collections::HashMap::new();
+        for id in g.block_ids() {
+            let r = rng.u64_below(100);
+            if r < 35 {
+                flags.insert(id, Flag::Refine);
+            } else if r < 55 {
+                flags.insert(id, Flag::Coarsen);
+            }
+        }
+        adapt(g, &flags, Transfer::None);
+    }
+}
+
+/// Ground-truth straddle proof, independent of the criterion's formula:
+/// the SDF changes sign somewhere on the block's cell-corner lattice, so
+/// the zero level set certainly crosses the block.
+fn provably_straddles(g: &BlockGrid<2>, id: BlockId) -> bool {
+    let geom = g.layout().geometry.as_ref().expect("geometry installed");
+    let node = g.block(id);
+    let m = g.params().block_dims;
+    let o = g.layout().block_origin(node.key(), m);
+    let h = g.layout().cell_size(node.key().level, m);
+    let (mut neg, mut pos) = (false, false);
+    for i in 0..=m[0] {
+        for j in 0..=m[1] {
+            let sd = geom.sd([o[0] + h[0] * i as f64, o[1] + h[1] * j as f64]);
+            if sd < 0.0 {
+                neg = true;
+            } else if sd > 0.0 {
+                pos = true;
+            }
+        }
+    }
+    neg && pos
+}
+
+/// Ground-truth farness proof: every cell corner is fluid by more than
+/// the *full* block diagonal. Signed distances are 1-Lipschitz, so the
+/// center — within half a diagonal of a corner — is then itself fluid by
+/// more than half a diagonal, and the zero level set cannot touch the
+/// block.
+fn provably_far_fluid(g: &BlockGrid<2>, id: BlockId) -> bool {
+    let geom = g.layout().geometry.as_ref().expect("geometry installed");
+    let node = g.block(id);
+    let m = g.params().block_dims;
+    let o = g.layout().block_origin(node.key(), m);
+    let h = g.layout().cell_size(node.key().level, m);
+    let ext = [h[0] * m[0] as f64, h[1] * m[1] as f64];
+    let diag = (ext[0] * ext[0] + ext[1] * ext[1]).sqrt();
+    let mut min_sd = f64::INFINITY;
+    for i in 0..=m[0] {
+        for j in 0..=m[1] {
+            min_sd = min_sd.min(geom.sd([o[0] + h[0] * i as f64, o[1] + h[1] * j as f64]));
+        }
+    }
+    min_sd > diag
+}
+
+/// Property 1: on random immersed geometries over random mixed-level
+/// grids, every leaf the boundary provably crosses that is still coarser
+/// than the target resolution carries a `Refine` flag — the conservative
+/// straddle bound never misses.
+#[test]
+fn straddling_leaves_below_target_always_flag_refine() {
+    cases(32, 0xAE0_0001, |_, rng| {
+        let mut g = masked_grid(rng);
+        random_adapts(&mut g, rng);
+        check_grid(&g).unwrap();
+        let c = GeometryCriterion::to_max_level(&g);
+        let flags = flag_blocks(&g, &c);
+        for (id, node) in g.blocks() {
+            if node.key().level < MAX_LEVEL && provably_straddles(&g, id) {
+                assert_eq!(
+                    flags.get(&id),
+                    Some(&Flag::Refine),
+                    "straddling leaf {:?} below target not flagged (got {:?})",
+                    node.key(),
+                    flags.get(&id)
+                );
+            }
+        }
+    });
+}
+
+/// Property 2: no provably-far fluid-only leaf is ever flagged `Refine`;
+/// above level 0 such leaves must actively want to coarsen back.
+#[test]
+fn far_fluid_leaves_never_flag_refine() {
+    cases(32, 0xAE0_0002, |_, rng| {
+        let mut g = masked_grid(rng);
+        random_adapts(&mut g, rng);
+        let c = GeometryCriterion::to_max_level(&g);
+        let flags = flag_blocks(&g, &c);
+        for (id, node) in g.blocks() {
+            if !provably_far_fluid(&g, id) {
+                continue;
+            }
+            assert_eq!(
+                Criterion::<2>::indicator(&c, &g, id),
+                0.0,
+                "far fluid leaf {:?} has a nonzero indicator",
+                node.key()
+            );
+            match flags.get(&id) {
+                Some(&Flag::Refine) => {
+                    panic!("far fluid leaf {:?} flagged Refine", node.key())
+                }
+                got => {
+                    if node.key().level > 0 {
+                        assert_eq!(
+                            got,
+                            Some(&Flag::Coarsen),
+                            "refined far fluid leaf {:?} does not coarsen",
+                            node.key()
+                        );
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Property 3: the criterion driving real adapt+step schedules never
+/// breaks the conservation contract (DESIGN.md §18). The invariants
+/// differ per event kind: an *adapt* preserves whole-grid totals (the
+/// conservative transfer is mask-aware, but re-binarization moves cells
+/// between the fluid and solid sides, so the fluid share legitimately
+/// changes); a *step* preserves fluid totals of mass and energy exactly
+/// (periodic boundaries + immersed walls pass zero mass/energy, and
+/// solid cells are bitwise frozen) — global and subcycled alike.
+#[test]
+fn fluid_totals_survive_geometry_driven_schedules() {
+    cases(8, 0xAE0_0003, |i, rng| {
+        let mut g = masked_grid(rng);
+        problems::advected_gaussian(&mut g, &Euler::new(1.4), [0.4, 0.3], [0.5, 0.5], 0.2);
+        let mode = if i % 2 == 0 { TimeStepMode::Global } else { TimeStepMode::Subcycled };
+        let mut st: Stepper<2, Euler<2>> = Stepper::new(
+            SolverConfig::new(Euler::new(1.4), Scheme::muscl_rusanov())
+                .with_refluxing(true)
+                .with_time_step_mode(mode),
+        );
+        let c = GeometryCriterion::to_max_level(&g);
+        let rel = |a: f64, b: f64| (a - b).abs() / (1.0 + b.abs());
+        for round in 0..3 {
+            let whole: Vec<f64> = (0..4).map(|v| total_conserved(&g, v)).collect();
+            let flags = flag_blocks(&g, &c);
+            adapt(&mut g, &flags, Transfer::Conservative(ProlongOrder::LinearMinmod));
+            for (v, &t) in whole.iter().enumerate() {
+                let d = rel(total_conserved(&g, v), t);
+                assert!(d < 1e-11, "{mode:?} adapt round {round}: whole-grid var {v} drifted {d:.3e}");
+            }
+            let (m0, e0) = (total_conserved_fluid(&g, 0), total_conserved_fluid(&g, 3));
+            for _ in 0..rng.usize_in(1, 3) {
+                st.step(&mut g, 1e-3, None);
+                let dm = rel(total_conserved_fluid(&g, 0), m0);
+                let de = rel(total_conserved_fluid(&g, 3), e0);
+                assert!(dm < 1e-11, "{mode:?} step: fluid mass drifted by {dm:.3e}");
+                assert!(de < 1e-11, "{mode:?} step: fluid energy drifted by {de:.3e}");
+            }
+        }
+        check_grid(&g).unwrap();
+    });
+}

@@ -14,6 +14,10 @@
 //!   dimension) biased toward interleaved subcycled (`T`) and global
 //!   (`S`) steps on evolving hierarchies; failures print the standard
 //!   `--replay` line.
+//! * `abl_fuzz --masked-smoke` — a dedicated masked-world budget (~300
+//!   2-D + ~150 3-D sequences): every script opens with a seed-derived
+//!   `G` command, so all adapts, steps, checkpoints, and conservation
+//!   oracles run against an installed immersed geometry.
 
 use std::process::ExitCode;
 
@@ -121,6 +125,34 @@ fn sweep(quick: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Dedicated masked-world budget: every sequence opens with a `G` command
+/// so the full oracle stack (mask invariants, frozen solid bits, fluid
+/// conservation, checkpoint round-trips) runs against immersed geometry.
+fn masked_smoke() -> ExitCode {
+    let mut total_seq = 0u64;
+    let mut total_cmds = 0u64;
+    let cfg2 = FuzzConfig { masked: true, ..FuzzConfig::quick(300, 0x5EED_0070) };
+    match run_fuzz::<2>(&cfg2) {
+        FuzzOutcome::Pass { sequences, commands } => {
+            println!("masked D=2: {sequences} sequences, {commands} commands — ok");
+            total_seq += sequences;
+            total_cmds += commands;
+        }
+        FuzzOutcome::Fail(f) => return report_failure(&f),
+    }
+    let cfg3 = FuzzConfig { masked: true, max_cmds: 16, ..FuzzConfig::quick(150, 0x5EED_0071) };
+    match run_fuzz::<3>(&cfg3) {
+        FuzzOutcome::Pass { sequences, commands } => {
+            println!("masked D=3: {sequences} sequences, {commands} commands — ok");
+            total_seq += sequences;
+            total_cmds += commands;
+        }
+        FuzzOutcome::Fail(f) => return report_failure(&f),
+    }
+    println!("masked smoke clean: {total_seq} sequences, {total_cmds} commands");
+    ExitCode::SUCCESS
+}
+
 /// 200 fixed-seed sequences dominated by interleaved `T` (subcycled) and
 /// `S` (global) steps: both cached steppers and their differential
 /// oracles (flat finest-dt reference, conservation, bitwise single-level
@@ -183,6 +215,9 @@ fn main() -> ExitCode {
     }
     if args.iter().any(|a| a == "--subcycle-smoke") {
         return subcycle_smoke();
+    }
+    if args.iter().any(|a| a == "--masked-smoke") {
+        return masked_smoke();
     }
     let quick = args.iter().any(|a| a == "--quick");
     sweep(quick)

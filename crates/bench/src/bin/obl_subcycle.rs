@@ -158,7 +158,7 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let cycles = if quick { 8 } else { 40 };
 
-    let fixture = make_fixture();
+    let mut fixture = make_fixture();
     let counts = level_counts(&fixture);
     assert!(
         counts.iter().all(|&n| n > 0),
@@ -175,7 +175,8 @@ fn main() {
     let t0: Vec<f64> = (0..4).map(|v| total_conserved(&fixture, v)).collect();
 
     // one shared dt0 so both schedules cover the identical time window
-    let dt0 = Stepper::new(cfg(Metrics::null(), TimeStepMode::Subcycled)).stable_dt(&fixture);
+    let dt0 =
+        Stepper::new(cfg(Metrics::null(), TimeStepMode::Subcycled)).stable_dt(&mut fixture);
     println!("dt0 = {dt0:.6e} over {cycles} coarse cycles (T = {:.4e})\n", dt0 * cycles as f64);
 
     let sub = run(TimeStepMode::Subcycled, cycles, dt0);

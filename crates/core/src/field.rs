@@ -43,6 +43,12 @@ pub struct FieldShape<const D: usize> {
     pub pad: i64,
     /// Unused `f64`s appended to each variable plane.
     pub plane_pad: i64,
+    /// When set, one extra plane beyond the `nvar` state planes holds the
+    /// per-cell solid mask (1.0 solid, 0.0 fluid) binarized from the
+    /// layout's immersed [`crate::geom::Geometry`]. The mask plane is not
+    /// a state variable: `nvar` loops, ghost transfers, and serialization
+    /// of cell values all exclude it.
+    pub mask_plane: bool,
 }
 
 impl<const D: usize> FieldShape<D> {
@@ -58,7 +64,7 @@ impl<const D: usize> FieldShape<D> {
         assert!(nvar <= MAX_NVAR, "nvar {nvar} exceeds MAX_NVAR {MAX_NVAR}");
         // The paper's restriction operator needs even interior extents once
         // blocks refine; enforce it only when ghosts are in play.
-        FieldShape { dims, nghost, nvar, pad, plane_pad: 0 }
+        FieldShape { dims, nghost, nvar, pad, plane_pad: 0, mask_plane: false }
     }
 
     /// Same shape with a per-plane padding of `plane_pad` `f64`s.
@@ -66,6 +72,19 @@ impl<const D: usize> FieldShape<D> {
         assert!(plane_pad >= 0);
         self.plane_pad = plane_pad;
         self
+    }
+
+    /// Same shape with or without the trailing solid-mask plane.
+    pub fn with_mask_plane(mut self, mask_plane: bool) -> Self {
+        self.mask_plane = mask_plane;
+        self
+    }
+
+    /// Number of allocated planes: the `nvar` state planes plus the mask
+    /// plane when present.
+    #[inline]
+    pub fn nplanes(&self) -> usize {
+        self.nvar + self.mask_plane as usize
     }
 
     /// Ghosted extent per axis (`dims + 2*nghost`).
@@ -131,7 +150,7 @@ impl<const D: usize> FieldShape<D> {
     /// Total `f64`s allocated.
     #[inline]
     pub fn len(&self) -> usize {
-        self.plane_stride() * self.nvar
+        self.plane_stride() * self.nplanes()
     }
 
     /// True when the shape holds no storage (zero cells or variables).
@@ -407,6 +426,50 @@ impl<const D: usize> FieldBlock<D> {
     /// Fill every allocated value with `v`.
     pub fn fill(&mut self, v: f64) {
         self.data.fill(v);
+    }
+
+    /// Add or drop the trailing solid-mask plane, preserving all state
+    /// values. A newly added mask plane is zero (all fluid) until
+    /// binarized by the grid.
+    pub fn set_mask_plane(&mut self, on: bool) {
+        if self.shape.mask_plane == on {
+            return;
+        }
+        self.shape.mask_plane = on;
+        self.data.resize(self.shape.len(), 0.0);
+        if !on {
+            self.data.shrink_to_fit();
+        }
+    }
+
+    /// The solid-mask plane (all allocated cells, x innermost), if the
+    /// shape carries one. Values are exactly 1.0 (solid) or 0.0 (fluid).
+    #[inline]
+    pub fn mask(&self) -> Option<&[f64]> {
+        if !self.shape.mask_plane {
+            return None;
+        }
+        let ps = self.shape.plane_stride();
+        Some(&self.data[self.shape.nvar * ps..self.shape.nvar * ps + self.shape.allocated_cells()])
+    }
+
+    /// Mutable solid-mask plane; panics when the shape has none.
+    #[inline]
+    pub fn mask_mut(&mut self) -> &mut [f64] {
+        assert!(self.shape.mask_plane, "field has no mask plane");
+        let ps = self.shape.plane_stride();
+        let n = self.shape.allocated_cells();
+        &mut self.data[self.shape.nvar * ps..self.shape.nvar * ps + n]
+    }
+
+    /// True when the cell at interior coordinates `c` (ghosts allowed) is
+    /// inside an immersed solid. Always false without a mask plane.
+    #[inline]
+    pub fn is_solid(&self, c: IVec<D>) -> bool {
+        match self.mask() {
+            None => false,
+            Some(m) => m[self.shape.lin(c)] != 0.0,
+        }
     }
 }
 

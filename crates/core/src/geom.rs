@@ -1,0 +1,311 @@
+//! Immersed solid geometry as signed-distance functions.
+//!
+//! An adaptive block grid handles complex bodies the same way
+//! binarized-octree IB methods do: a signed-distance function (SDF) is
+//! sampled at cell centers and thresholded into a per-cell solid mask
+//! (see DESIGN.md §18). [`Geometry`] is a closed expression tree of
+//! analytic primitives and CSG combinators rather than a trait object so
+//! that
+//!
+//! * every rank of a distributed run can re-binarize masks bit-for-bit
+//!   from the replicated [`crate::layout::RootLayout`],
+//! * checkpoints and snapshots can serialize the geometry (and therefore
+//!   the mask plane) compactly, and
+//! * installing the same geometry twice is detectable (`PartialEq`), so
+//!   executors can sync a configured geometry onto a grid as a no-op in
+//!   the steady state.
+//!
+//! The convention is `sd(x) < 0.0` ⇔ solid. All primitives are
+//! 1-Lipschitz signed distances (the cuboid interior distance
+//! underestimates, which keeps the bound), and `min`/`max`/negation
+//! preserve the Lipschitz bound, so `|sd(center)| > r` proves the zero
+//! level set does not cross a ball of radius `r` — the guarantee the
+//! geometry refinement criterion in `ablock_amr` builds on.
+//!
+//! Positions are always `[f64; 3]`; lower-dimensional grids zero-extend
+//! (see [`Geometry::sd`]), so a `Cylinder` along `z` is a disk in 2-D.
+
+/// A solid region described by a signed-distance expression tree.
+///
+/// Negative signed distance means *inside the solid*. Combinators take
+/// the usual SDF forms: union is `min`, intersection is `max`, inversion
+/// negates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Geometry {
+    /// Solid ball: `|x - center| - radius`.
+    Sphere {
+        /// Center of the ball.
+        center: [f64; 3],
+        /// Radius (> 0).
+        radius: f64,
+    },
+    /// Solid half-space: `dot(normal, x) - offset` (solid where the
+    /// projection onto `normal` is below `offset`). `normal` need not be
+    /// unit length, but only unit normals keep the Lipschitz bound; the
+    /// constructors in this module normalize.
+    HalfSpace {
+        /// Outward normal of the bounding plane (unit length).
+        normal: [f64; 3],
+        /// Plane offset along the normal.
+        offset: f64,
+    },
+    /// Solid axis-aligned box `[lo, hi]`.
+    Cuboid {
+        /// Low corner.
+        lo: [f64; 3],
+        /// High corner (componentwise > `lo`).
+        hi: [f64; 3],
+    },
+    /// Solid infinite cylinder around the line through `center` parallel
+    /// to coordinate axis `axis`; in 2-D with `axis = 2` this is a disk.
+    Cylinder {
+        /// Axis index (0 = x, 1 = y, 2 = z).
+        axis: usize,
+        /// A point on the cylinder axis.
+        center: [f64; 3],
+        /// Radius (> 0).
+        radius: f64,
+    },
+    /// Union of two solids (`min` of distances).
+    Union(Box<Geometry>, Box<Geometry>),
+    /// Intersection of two solids (`max` of distances).
+    Intersect(Box<Geometry>, Box<Geometry>),
+    /// Complement of a solid (negated distance): fluid cavity inside a
+    /// solid, or "everything outside this shape".
+    Invert(Box<Geometry>),
+}
+
+impl Geometry {
+    /// Ball of `radius` around `center` (zero-extend the center in
+    /// lower-dimensional grids).
+    pub fn sphere(center: [f64; 3], radius: f64) -> Self {
+        assert!(radius > 0.0, "sphere radius must be positive");
+        Geometry::Sphere { center, radius }
+    }
+
+    /// Half-space `dot(normal, x) <= offset`; `normal` is normalized so
+    /// the signed distance stays 1-Lipschitz.
+    pub fn half_space(normal: [f64; 3], offset: f64) -> Self {
+        let n2 = dot(normal, normal);
+        assert!(n2 > 0.0, "half-space normal must be nonzero");
+        let inv = 1.0 / n2.sqrt();
+        let normal = [normal[0] * inv, normal[1] * inv, normal[2] * inv];
+        Geometry::HalfSpace { normal, offset: offset * inv }
+    }
+
+    /// Axis-aligned solid box `[lo, hi]`.
+    pub fn cuboid(lo: [f64; 3], hi: [f64; 3]) -> Self {
+        assert!(
+            lo.iter().zip(hi.iter()).all(|(a, b)| a < b),
+            "cuboid needs lo < hi on every axis"
+        );
+        Geometry::Cuboid { lo, hi }
+    }
+
+    /// Infinite solid cylinder along coordinate `axis` through `center`.
+    pub fn cylinder(axis: usize, center: [f64; 3], radius: f64) -> Self {
+        assert!(axis < 3, "cylinder axis must be 0, 1, or 2");
+        assert!(radius > 0.0, "cylinder radius must be positive");
+        Geometry::Cylinder { axis, center, radius }
+    }
+
+    /// Union with another solid.
+    pub fn union(self, other: Geometry) -> Self {
+        Geometry::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Intersection with another solid.
+    pub fn intersect(self, other: Geometry) -> Self {
+        Geometry::Intersect(Box::new(self), Box::new(other))
+    }
+
+    /// Complement.
+    pub fn invert(self) -> Self {
+        Geometry::Invert(Box::new(self))
+    }
+
+    /// Signed distance at a 3-D point (negative inside the solid).
+    pub fn sd3(&self, p: [f64; 3]) -> f64 {
+        match self {
+            Geometry::Sphere { center, radius } => {
+                let d = [p[0] - center[0], p[1] - center[1], p[2] - center[2]];
+                dot(d, d).sqrt() - radius
+            }
+            Geometry::HalfSpace { normal, offset } => dot(*normal, p) - offset,
+            Geometry::Cuboid { lo, hi } => {
+                // Outside: distance to the box. Inside: negated distance
+                // to the nearest face (an underestimate of |sd| near
+                // edges, which preserves the 1-Lipschitz bound).
+                let mut out2 = 0.0;
+                let mut inside: f64 = f64::NEG_INFINITY;
+                for d in 0..3 {
+                    let q = (lo[d] - p[d]).max(p[d] - hi[d]);
+                    if q > 0.0 {
+                        out2 += q * q;
+                    }
+                    inside = inside.max(q);
+                }
+                out2.sqrt() + inside.min(0.0)
+            }
+            Geometry::Cylinder { axis, center, radius } => {
+                let mut r2 = 0.0;
+                for d in 0..3 {
+                    if d != *axis {
+                        let q = p[d] - center[d];
+                        r2 += q * q;
+                    }
+                }
+                r2.sqrt() - radius
+            }
+            Geometry::Union(a, b) => a.sd3(p).min(b.sd3(p)),
+            Geometry::Intersect(a, b) => a.sd3(p).max(b.sd3(p)),
+            Geometry::Invert(a) => -a.sd3(p),
+        }
+    }
+
+    /// Signed distance at a `D`-dimensional point; missing coordinates
+    /// are zero-extended, so 1-D/2-D grids sample the `z = 0` (and
+    /// `y = 0`) slice of the 3-D field.
+    #[inline]
+    pub fn sd<const D: usize>(&self, p: [f64; D]) -> f64 {
+        let mut q = [0.0; 3];
+        q[..D].copy_from_slice(&p);
+        self.sd3(q)
+    }
+
+    /// True when the point is inside the solid.
+    #[inline]
+    pub fn is_solid<const D: usize>(&self, p: [f64; D]) -> bool {
+        self.sd(p) < 0.0
+    }
+
+    /// Expression-tree depth (primitives are depth 1). Serialization
+    /// caps this to reject unboundedly recursive untrusted input.
+    pub fn depth(&self) -> usize {
+        match self {
+            Geometry::Union(a, b) | Geometry::Intersect(a, b) => 1 + a.depth().max(b.depth()),
+            Geometry::Invert(a) => 1 + a.depth(),
+            _ => 1,
+        }
+    }
+
+    /// True when every numeric parameter is finite and shape constraints
+    /// hold (radii positive, cuboid corners ordered, axis in range).
+    /// Checkpoint loading rejects geometries that fail this.
+    pub fn validate(&self) -> bool {
+        match self {
+            Geometry::Sphere { center, radius } => {
+                center.iter().all(|x| x.is_finite()) && radius.is_finite() && *radius > 0.0
+            }
+            Geometry::HalfSpace { normal, offset } => {
+                normal.iter().all(|x| x.is_finite())
+                    && offset.is_finite()
+                    && dot(*normal, *normal) > 0.0
+            }
+            Geometry::Cuboid { lo, hi } => {
+                lo.iter().all(|x| x.is_finite())
+                    && hi.iter().all(|x| x.is_finite())
+                    && lo.iter().zip(hi.iter()).all(|(a, b)| a < b)
+            }
+            Geometry::Cylinder { axis, center, radius } => {
+                *axis < 3
+                    && center.iter().all(|x| x.is_finite())
+                    && radius.is_finite()
+                    && *radius > 0.0
+            }
+            Geometry::Union(a, b) | Geometry::Intersect(a, b) => a.validate() && b.validate(),
+            Geometry::Invert(a) => a.validate(),
+        }
+    }
+}
+
+#[inline]
+fn dot(a: [f64; 3], b: [f64; 3]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_signs() {
+        let g = Geometry::sphere([0.5, 0.5, 0.0], 0.25);
+        assert!(g.is_solid([0.5, 0.5]));
+        assert!(!g.is_solid([0.9, 0.5]));
+        assert!((g.sd([0.5, 0.5]) + 0.25).abs() < 1e-15);
+        assert!((g.sd([1.0, 0.5]) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn half_space_normalizes() {
+        let g = Geometry::half_space([2.0, 0.0, 0.0], 1.0);
+        // solid where x <= 0.5 after normalization
+        assert!(g.is_solid([0.0]));
+        assert!(!g.is_solid([1.0]));
+        assert!((g.sd([1.5]) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cuboid_inside_outside() {
+        let g = Geometry::cuboid([0.0, 0.0, -1.0], [1.0, 1.0, 1.0]);
+        assert!(g.is_solid([0.5, 0.5]));
+        assert!((g.sd([0.5, 0.5]) + 0.5).abs() < 1e-15);
+        assert!((g.sd([2.0, 0.5]) - 1.0).abs() < 1e-15);
+        // corner distance is Euclidean
+        assert!((g.sd([2.0, 2.0]) - 2.0_f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cylinder_is_disk_in_2d() {
+        let g = Geometry::cylinder(2, [0.5, 0.5, 0.0], 0.2);
+        assert!(g.is_solid([0.5, 0.6]));
+        assert!(!g.is_solid([0.5, 0.8]));
+        // independent of the (zero-extended) axis coordinate in 3-D
+        assert_eq!(g.sd([0.5, 0.6, 7.0]), g.sd([0.5, 0.6, -3.0]));
+    }
+
+    #[test]
+    fn combinators() {
+        let a = Geometry::sphere([0.0, 0.0, 0.0], 1.0);
+        let b = Geometry::sphere([1.5, 0.0, 0.0], 1.0);
+        let u = a.clone().union(b.clone());
+        assert!(u.is_solid([0.0]) && u.is_solid([1.5]));
+        let i = a.clone().intersect(b.clone());
+        assert!(i.is_solid([0.75]));
+        assert!(!i.is_solid([0.0]) && !i.is_solid([1.5]));
+        let v = a.clone().invert();
+        assert!(!v.is_solid([0.0]));
+        assert!(v.is_solid([5.0]));
+        assert_eq!(u.depth(), 2);
+        assert_eq!(a.depth(), 1);
+    }
+
+    #[test]
+    fn lipschitz_bound_on_combinators() {
+        // |sd(x) - sd(y)| <= |x - y| must survive union/intersect/invert.
+        let g = Geometry::sphere([0.3, 0.3, 0.0], 0.2)
+            .union(Geometry::cuboid([0.5, 0.5, -1.0], [0.8, 0.9, 1.0]))
+            .intersect(Geometry::half_space([1.0, 1.0, 0.0], 1.2).invert().invert());
+        let pts: [[f64; 2]; 5] =
+            [[0.1, 0.2], [0.55, 0.7], [0.9, 0.1], [0.31, 0.29], [0.5, 0.5]];
+        for &p in &pts {
+            for &q in &pts {
+                let dx = (p[0] - q[0]).hypot(p[1] - q[1]);
+                assert!(
+                    (g.sd(p) - g.sd(q)).abs() <= dx + 1e-12,
+                    "Lipschitz violated between {p:?} and {q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_params() {
+        assert!(!Geometry::Sphere { center: [0.0; 3], radius: 0.0 }.validate());
+        assert!(!Geometry::Sphere { center: [f64::NAN, 0.0, 0.0], radius: 1.0 }.validate());
+        assert!(!Geometry::Cylinder { axis: 3, center: [0.0; 3], radius: 1.0 }.validate());
+        assert!(!Geometry::Cuboid { lo: [0.0; 3], hi: [0.0; 3] }.validate());
+        assert!(Geometry::sphere([0.0; 3], 1.0).union(Geometry::cylinder(0, [0.0; 3], 0.5)).validate());
+    }
+}

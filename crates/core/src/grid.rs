@@ -25,6 +25,7 @@ use std::collections::HashMap;
 
 use crate::arena::{Arena, BlockId};
 use crate::field::{FieldBlock, FieldShape};
+use crate::geom::Geometry;
 use crate::index::{Face, IVec};
 use crate::key::BlockKey;
 use crate::layout::{Boundary, Resolved, RootLayout};
@@ -292,7 +293,7 @@ impl<const D: usize> BlockGrid<D> {
             by_key: HashMap::new(),
             epoch: 0,
         };
-        let shape = params.field_shape();
+        let shape = grid.field_shape();
         let roots: Vec<BlockKey<D>> = grid.layout.root_keys().collect();
         for key in &roots {
             let node = BlockNode {
@@ -304,8 +305,11 @@ impl<const D: usize> BlockGrid<D> {
             grid.by_key.insert(*key, id);
         }
         let ids: Vec<BlockId> = grid.arena.ids();
+        for id in &ids {
+            grid.recompute_faces(*id);
+        }
         for id in ids {
-            grid.recompute_faces(id);
+            grid.binarize_block(id);
         }
         grid
     }
@@ -481,6 +485,161 @@ impl<const D: usize> BlockGrid<D> {
             h[n.key.level as usize] += 1;
         }
         h
+    }
+
+    // ------------------------------------------------------------------
+    // Immersed geometry masks (DESIGN.md §18)
+    // ------------------------------------------------------------------
+
+    /// Field shape of this grid's blocks, **including** the solid-mask
+    /// plane when an immersed geometry is installed. Engines sizing
+    /// scratch allocations must use this, not
+    /// [`GridParams::field_shape`], which knows nothing about geometry.
+    pub fn field_shape(&self) -> FieldShape<D> {
+        self.params.field_shape().with_mask_plane(self.layout.geometry.is_some())
+    }
+
+    /// Install (or remove) an immersed solid geometry on a live grid:
+    /// reallocates every block's mask plane, binarizes it from the SDF,
+    /// and bumps the topology epoch so ghost plans and engine scratch
+    /// rebuild against the new field shape. State values are untouched —
+    /// cells that become solid freeze at their current contents. No-op
+    /// when the grid already holds an equal geometry.
+    pub fn set_geometry(&mut self, geometry: Option<Geometry>) {
+        if self.layout.geometry == geometry {
+            return;
+        }
+        if let Some(g) = &geometry {
+            assert!(g.validate(), "geometry has non-finite or degenerate parameters");
+        }
+        self.layout.geometry = geometry;
+        let on = self.layout.geometry.is_some();
+        let ids = self.block_ids();
+        for &id in &ids {
+            self.arena[id].field.set_mask_plane(on);
+        }
+        if on {
+            for id in ids {
+                self.binarize_block(id);
+            }
+        }
+        self.epoch += 1;
+    }
+
+    /// Sync a solver configuration's geometry onto the grid: installs
+    /// `geometry` when the grid holds something different, and is a no-op
+    /// in the steady state (cheap `PartialEq` compare). A `None` never
+    /// removes a grid-installed geometry — configurations without
+    /// geometry must not strip masks installed directly on the grid.
+    pub fn ensure_geometry(&mut self, geometry: &Option<Geometry>) {
+        if let Some(g) = geometry {
+            if self.layout.geometry.as_ref() != Some(g) {
+                self.set_geometry(Some(g.clone()));
+            }
+        }
+    }
+
+    /// The canonical solid-mask sample for one cell (interior or ghost
+    /// coordinates) of a leaf block — the value the mask plane must hold;
+    /// `verify::check_grid` recomputes masks through this. Panics when no
+    /// geometry is installed.
+    ///
+    /// Every cell samples the SDF at its own-level cell center
+    /// `origin + (g + 0.5) h`, where `g` is the global cell index at the
+    /// block's level, wrapped through periodic boundaries (so same-level
+    /// ghost masks equal the neighbor's interior masks bitwise). The one
+    /// exception is ghost cells in a face slab toward a **coarser**
+    /// neighbor: they sample at the covering coarse cell's center, so a
+    /// fine block and its coarse neighbor agree on which coarse-fine
+    /// interfaces are walls — with refluxing on, that agreement is what
+    /// keeps fluid-cell totals exactly conserved (DESIGN.md §18).
+    pub fn expected_solid(&self, id: BlockId, c: IVec<D>) -> bool {
+        let geom = self.layout.geometry.as_ref().expect("no geometry installed");
+        let node = &self.arena[id];
+        let key = node.key;
+        let m = self.params.block_dims;
+        let mut c = c;
+        // Which face slab is the cell in (outside the interior along
+        // exactly one axis)? Corner/edge ghosts sample at own level.
+        let mut out_face = None;
+        let mut nout = 0;
+        for d in 0..D {
+            if c[d] < 0 {
+                nout += 1;
+                out_face = Some(Face::new(d, false));
+            } else if c[d] >= m[d] {
+                nout += 1;
+                out_face = Some(Face::new(d, true));
+            }
+        }
+        let mut jump = 0u32;
+        if nout == 1 {
+            let f = out_face.expect("nout == 1");
+            match node.face(f) {
+                FaceConn::Blocks(v) => {
+                    // A coarser neighbor covers the whole face: single entry.
+                    if v.len() == 1 {
+                        let nl = self.arena[v[0]].key.level;
+                        if nl < key.level {
+                            jump = (key.level - nl) as u32;
+                        }
+                    }
+                }
+                FaceConn::Boundary(bc) => {
+                    // Ghosts past a physical boundary carry the mask of the
+                    // interior cell whose state the boundary fill writes
+                    // into them: the mirror partner for `Reflect` (domain
+                    // walls and root-mask holes), the clamped nearest cell
+                    // for `Outflow`/`Custom`. Sampling the SDF at the
+                    // ghost's out-of-domain position instead can disagree
+                    // with that partner, making the slope stencils fall
+                    // back to constant on one side of the face only — and
+                    // that asymmetry breaks exact wall conservation.
+                    let d = f.dim as usize;
+                    c[d] = match bc {
+                        Boundary::Reflect => {
+                            if f.high {
+                                2 * m[d] - 1 - c[d]
+                            } else {
+                                -1 - c[d]
+                            }
+                        }
+                        _ => c[d].clamp(0, m[d] - 1),
+                    };
+                }
+            }
+        }
+        let h = self.layout.cell_size(key.level - jump as u8, m);
+        let mut x = [0.0; D];
+        for d in 0..D {
+            let mut g = key.coords[d] * m[d] + c[d];
+            if self.layout.periodic(d) {
+                let n = self.layout.blocks_at_level(d, key.level) * m[d];
+                g = g.rem_euclid(n);
+            }
+            let g = g.div_euclid(1i64 << jump);
+            x[d] = self.layout.origin[d] + (g as f64 + 0.5) * h[d];
+        }
+        geom.is_solid(x)
+    }
+
+    /// Recompute one block's mask plane from the installed geometry
+    /// (no-op without geometry). Pad cells are left fluid.
+    fn binarize_block(&mut self, id: BlockId) {
+        if self.layout.geometry.is_none() {
+            return;
+        }
+        self.arena[id].field.set_mask_plane(true);
+        let shape = *self.arena[id].field.shape();
+        let mut vals: Vec<(usize, f64)> = Vec::with_capacity(shape.allocated_cells());
+        for c in shape.ghosted_box().iter() {
+            vals.push((shape.lin(c), if self.expected_solid(id, c) { 1.0 } else { 0.0 }));
+        }
+        let mask = self.arena[id].field.mask_mut();
+        mask.fill(0.0);
+        for (i, v) in vals {
+            mask[i] = v;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -697,7 +856,7 @@ impl<const D: usize> BlockGrid<D> {
         let parent = self.arena.remove(id).expect("live id");
         self.by_key.remove(&parent_key);
 
-        let shape = self.params.field_shape();
+        let shape = self.field_shape();
         let m = self.params.block_dims;
         let mut child_ids = Vec::with_capacity(1 << D);
         for ci in 0..(1usize << D) {
@@ -734,9 +893,21 @@ impl<const D: usize> BlockGrid<D> {
         for &cid in &child_ids {
             self.recompute_faces(cid);
         }
-        for nid in affected {
+        for &nid in &affected {
             if self.arena.contains(nid) {
                 self.recompute_faces(nid);
+            }
+        }
+        // Masks depend on face connectivity (coarse-covered ghost slabs),
+        // so rebinarize every block whose pointers just changed.
+        if self.layout.geometry.is_some() {
+            for &cid in &child_ids {
+                self.binarize_block(cid);
+            }
+            for nid in affected {
+                if self.arena.contains(nid) {
+                    self.binarize_block(nid);
+                }
             }
         }
         self.epoch += 1;
@@ -790,7 +961,7 @@ impl<const D: usize> BlockGrid<D> {
     ) -> Result<BlockId, GridError<D>> {
         let cids = self.check_coarsen(parent_key)?;
         let m = self.params.block_dims;
-        let shape = self.params.field_shape();
+        let shape = self.field_shape();
 
         let mut affected: Vec<BlockId> = Vec::new();
         let mut parent_field = FieldBlock::zeros(shape);
@@ -830,9 +1001,17 @@ impl<const D: usize> BlockGrid<D> {
         self.recompute_faces(pid);
         affected.sort();
         affected.dedup();
-        for nid in affected {
+        for &nid in &affected {
             if self.arena.contains(nid) {
                 self.recompute_faces(nid);
+            }
+        }
+        if self.layout.geometry.is_some() {
+            self.binarize_block(pid);
+            for nid in affected {
+                if self.arena.contains(nid) {
+                    self.binarize_block(nid);
+                }
             }
         }
         self.epoch += 1;
@@ -848,9 +1027,10 @@ impl<const D: usize> BlockGrid<D> {
         }
     }
 
-    /// Memory footprint of field storage in bytes (interior + ghosts + pad).
+    /// Memory footprint of field storage in bytes (interior + ghosts +
+    /// pad, plus the mask plane when a geometry is installed).
     pub fn field_bytes(&self) -> usize {
-        self.num_blocks() * self.params.field_shape().len() * std::mem::size_of::<f64>()
+        self.num_blocks() * self.field_shape().len() * std::mem::size_of::<f64>()
     }
 
     /// Deliberately break one stored face pointer of block `idx % num_blocks`

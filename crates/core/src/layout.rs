@@ -14,6 +14,7 @@
 //! logical key (which may have stepped outside the root lattice) and either
 //! wrap it back in (periodic) or report which domain face it fell off.
 
+use crate::geom::Geometry;
 use crate::index::{Face, IVec};
 use crate::key::BlockKey;
 
@@ -69,6 +70,11 @@ pub struct RootLayout<const D: usize> {
     pub mask: Option<Vec<bool>>,
     /// Boundary condition on faces toward masked-out roots.
     pub hole_boundary: Boundary,
+    /// Immersed solid geometry binarized into per-cell masks (DESIGN.md
+    /// §18); `None` = no immersed bodies. Unlike the root `mask` (whole
+    /// lattice positions removed from the topology), geometry keeps every
+    /// block and freezes individual solid cells.
+    pub geometry: Option<Geometry>,
 }
 
 impl<const D: usize> RootLayout<D> {
@@ -84,6 +90,7 @@ impl<const D: usize> RootLayout<D> {
             boundaries: [bc; 6],
             mask: None,
             hole_boundary: Boundary::Reflect,
+            geometry: None,
         }
     }
 
@@ -97,7 +104,24 @@ impl<const D: usize> RootLayout<D> {
         assert!(D >= 1 && D <= 3, "supported dimensions are 1, 2, 3");
         assert!(roots.iter().all(|&r| r >= 1), "need at least one root block per axis");
         assert!(size.iter().all(|&s| s > 0.0), "domain extent must be positive");
-        RootLayout { roots, origin, size, boundaries, mask: None, hole_boundary: Boundary::Reflect }
+        RootLayout {
+            roots,
+            origin,
+            size,
+            boundaries,
+            mask: None,
+            hole_boundary: Boundary::Reflect,
+            geometry: None,
+        }
+    }
+
+    /// Builder: install an immersed solid geometry. Grids built from the
+    /// layout allocate a mask plane and binarize it (see
+    /// `BlockGrid::set_geometry` for installing on a live grid).
+    pub fn with_geometry(mut self, geometry: Geometry) -> Self {
+        assert!(geometry.validate(), "geometry has non-finite or degenerate parameters");
+        self.geometry = Some(geometry);
+        self
     }
 
     /// Builder: restrict the root lattice to the positions where

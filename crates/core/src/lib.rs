@@ -19,6 +19,7 @@
 //! | [`index`] | index vectors, faces, half-open integer boxes |
 //! | [`key`] | logical block addresses and their tree/lateral arithmetic |
 //! | [`layout`] | root-block lattice, physical geometry, boundary conditions |
+//! | [`geom`] | immersed solid geometry as signed-distance expressions |
 //! | [`arena`] | generational arena the blocks live in |
 //! | [`field`] | flat per-block cell storage with ghosts (and Fig. 5 padding) |
 //! | [`grid`] | the adaptive block grid: refine/coarsen + pointer maintenance |
@@ -53,6 +54,7 @@
 pub mod arena;
 pub mod balance;
 pub mod field;
+pub mod geom;
 pub mod ghost;
 pub mod grid;
 pub mod index;
@@ -71,6 +73,7 @@ pub mod prelude {
         AdaptReport, Flag,
     };
     pub use crate::field::{FieldBlock, FieldShape};
+    pub use crate::geom::Geometry;
     pub use crate::ghost::{fill_ghosts, BoundaryCtx, GhostConfig, GhostExchange, GhostTask};
     pub use crate::grid::{BlockGrid, BlockNode, FaceConn, GridError, GridParams, Transfer};
     pub use crate::index::{Face, IBox, IVec};

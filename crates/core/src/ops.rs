@@ -96,6 +96,11 @@ fn minmod(a: f64, b: f64) -> f64 {
 /// `order` asks for it. `valid` is the box of source cells that hold
 /// trustworthy data (interior plus whatever ghosts the caller knows are
 /// filled); slope stencils never read outside it.
+///
+/// When the source block carries a solid-mask plane, slope stencils also
+/// never read **solid** cells (their frozen contents are not field data),
+/// and a solid source cell prolongs as a constant — so immersed-boundary
+/// prolongation sources never leak solid state into fluid cells.
 #[allow(clippy::too_many_arguments)]
 pub fn prolong<const D: usize>(
     dst: &mut FieldBlock<D>,
@@ -110,6 +115,7 @@ pub fn prolong<const D: usize>(
     assert!(ratio >= 2 && ratio.count_ones() == 1, "ratio must be a power of two >= 2");
     let nvar = dst.shape().nvar;
     assert_eq!(nvar, src.shape().nvar);
+    let masked = src.shape().mask_plane;
     for c in dst_box.iter() {
         let mut sc = [0; D];
         let mut sub = [0; D];
@@ -132,15 +138,15 @@ pub fn prolong<const D: usize>(
                 let mut u = u0.clone();
                 for d in 0..D {
                     let pos = (sub[d] as f64 + 0.5) / ratio as f64 - 0.5;
-                    if pos == 0.0 {
+                    if pos == 0.0 || (masked && src.is_solid(sc)) {
                         continue;
                     }
                     let mut lo = sc;
                     lo[d] -= 1;
                     let mut hi = sc;
                     hi[d] += 1;
-                    let has_lo = valid.contains(lo);
-                    let has_hi = valid.contains(hi);
+                    let has_lo = valid.contains(lo) && !(masked && src.is_solid(lo));
+                    let has_hi = valid.contains(hi) && !(masked && src.is_solid(hi));
                     for v in 0..nvar {
                         let slope = match (has_lo, has_hi) {
                             (true, true) => 0.5 * (src.at(hi, v) - src.at(lo, v)),
@@ -160,15 +166,15 @@ pub fn prolong<const D: usize>(
                     // normalized offset of the fine subcell center from the
                     // coarse cell center, in units of the coarse cell
                     let pos = (sub[d] as f64 + 0.5) / ratio as f64 - 0.5;
-                    if pos == 0.0 {
+                    if pos == 0.0 || (masked && src.is_solid(sc)) {
                         continue;
                     }
                     let mut lo = sc;
                     lo[d] -= 1;
                     let mut hi = sc;
                     hi[d] += 1;
-                    let has_lo = valid.contains(lo);
-                    let has_hi = valid.contains(hi);
+                    let has_lo = valid.contains(lo) && !(masked && src.is_solid(lo));
+                    let has_hi = valid.contains(hi) && !(masked && src.is_solid(hi));
                     for v in 0..nvar {
                         let slope = match (has_lo, has_hi) {
                             (true, true) => {

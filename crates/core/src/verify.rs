@@ -9,7 +9,9 @@
 //! 3. pointers are symmetric (if A points at B across a face, B points
 //!    back across the opposite face),
 //! 4. face level jumps respect `max_level_jump`,
-//! 5. finer-neighbor lists respect the paper's `2^(k(d-1))` bound.
+//! 5. finer-neighbor lists respect the paper's `2^(k(d-1))` bound,
+//! 6. solid-mask planes exist exactly when a geometry is installed and
+//!    hold the canonical binarization at every level (DESIGN.md §18).
 //!
 //! Property-based tests drive random adapt sequences through
 //! [`check_grid`]; it is also cheap enough to call in debug builds of the
@@ -26,6 +28,51 @@ pub fn check_grid<const D: usize>(grid: &BlockGrid<D>) -> Result<(), String> {
     check_symmetry(grid)?;
     check_jumps(grid)?;
     check_neighbor_bounds(grid)?;
+    check_masks(grid)?;
+    Ok(())
+}
+
+/// Solid masks are consistent with the installed geometry: every block
+/// carries a mask plane iff the layout has a geometry, and every
+/// allocated (non-pad) cell's mask — ghosts included — equals the
+/// canonical re-binarization [`BlockGrid::expected_solid`], stored as
+/// exactly 1.0 or 0.0. Catches stale masks after adaptation as well as
+/// planes that stepping or ghost fills scribbled over.
+pub fn check_masks<const D: usize>(grid: &BlockGrid<D>) -> Result<(), String> {
+    let has_geom = grid.layout().geometry.is_some();
+    for (id, node) in grid.blocks() {
+        let f = node.field();
+        if f.shape().mask_plane != has_geom {
+            return Err(format!(
+                "block {:?}: mask plane {} but geometry {}",
+                node.key(),
+                if f.shape().mask_plane { "present" } else { "absent" },
+                if has_geom { "installed" } else { "absent" },
+            ));
+        }
+        if !has_geom {
+            continue;
+        }
+        let mask = f.mask().expect("mask plane just checked present");
+        for c in f.shape().ghosted_box().iter() {
+            let got = mask[f.shape().lin(c)];
+            if got != 0.0 && got != 1.0 {
+                return Err(format!(
+                    "block {:?} cell {c:?}: mask value {got} is not 0.0/1.0",
+                    node.key()
+                ));
+            }
+            let want = grid.expected_solid(id, c);
+            if (got != 0.0) != want {
+                return Err(format!(
+                    "block {:?} cell {c:?}: mask {got} disagrees with geometry \
+                     binarization (expected {})",
+                    node.key(),
+                    if want { "solid" } else { "fluid" },
+                ));
+            }
+        }
+    }
     Ok(())
 }
 

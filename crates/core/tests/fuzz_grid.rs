@@ -30,6 +30,7 @@ fn fuzz_grid_2d() {
         base_seed: 0x5EED_0010,
         max_cmds: 24,
         sabotage: false,
+        masked: false,
     });
     assert!(commands >= 60, "degenerate generation: {commands} commands");
 }
@@ -41,6 +42,7 @@ fn fuzz_grid_3d() {
         base_seed: 0x5EED_0011,
         max_cmds: 16,
         sabotage: false,
+        masked: false,
     });
 }
 
@@ -51,7 +53,7 @@ fn fuzz_grid_3d() {
 #[test]
 fn sabotage_is_caught_and_shrunk() {
     for (i, base) in [0x5EED_0012u64, 0x5EED_0013, 0x5EED_0014].iter().enumerate() {
-        let cfg = FuzzConfig { sequences: 2, base_seed: *base, max_cmds: 20, sabotage: true };
+        let cfg = FuzzConfig { sequences: 2, base_seed: *base, max_cmds: 20, sabotage: true, masked: false };
         match run_fuzz::<2>(&cfg) {
             FuzzOutcome::Pass { .. } => panic!("sabotaged run {i} did not fail"),
             FuzzOutcome::Fail(f) => {
@@ -79,7 +81,7 @@ fn sabotage_is_caught_and_shrunk() {
 /// stays deterministic: same seed, same failing script, same minimum.
 #[test]
 fn fuzz_failure_shrinks_deterministically() {
-    let cfg = FuzzConfig { sequences: 1, base_seed: 0x5EED_0015, max_cmds: 12, sabotage: true };
+    let cfg = FuzzConfig { sequences: 1, base_seed: 0x5EED_0015, max_cmds: 12, sabotage: true, masked: false };
     let (a, b) = (run_fuzz::<2>(&cfg), run_fuzz::<2>(&cfg));
     match (a, b) {
         (FuzzOutcome::Fail(fa), FuzzOutcome::Fail(fb)) => {

@@ -35,6 +35,7 @@
 use std::collections::BTreeSet;
 use std::io::{self, Read, Write};
 
+use ablock_core::geom::Geometry;
 use ablock_core::grid::{BlockGrid, GridParams, Transfer};
 use ablock_core::index::IVec;
 use ablock_core::key::BlockKey;
@@ -51,6 +52,18 @@ pub(crate) const MAX_SECTION: u64 = 1 << 28;
 const SEC_LAYOUT: &[u8; 4] = b"LAYT";
 const SEC_PARAMS: &[u8; 4] = b"PRMS";
 const SEC_LEAVES: &[u8; 4] = b"LEAF";
+
+/// Cap on the serialized geometry expression-tree depth: rejects
+/// unboundedly recursive hostile input before the decoder recurses.
+const MAX_GEOM_DEPTH: usize = 64;
+
+const GT_SPHERE: u8 = 1;
+const GT_HALF_SPACE: u8 = 2;
+const GT_CUBOID: u8 = 3;
+const GT_CYLINDER: u8 = 4;
+const GT_UNION: u8 = 5;
+const GT_INTERSECT: u8 = 6;
+const GT_INVERT: u8 = 7;
 
 pub(crate) fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -171,6 +184,123 @@ pub(crate) fn expect_drained(rest: &[u8], tag: &[u8; 4]) -> io::Result<()> {
     }
 }
 
+/// Encode one geometry expression tree: a variant tag byte followed by
+/// the variant's parameters, children in preorder.
+pub(crate) fn encode_geometry(sec: &mut Vec<u8>, g: &Geometry) -> io::Result<()> {
+    match g {
+        Geometry::Sphere { center, radius } => {
+            sec.push(GT_SPHERE);
+            for &x in center {
+                w_f64(sec, x)?;
+            }
+            w_f64(sec, *radius)?;
+        }
+        Geometry::HalfSpace { normal, offset } => {
+            sec.push(GT_HALF_SPACE);
+            for &x in normal {
+                w_f64(sec, x)?;
+            }
+            w_f64(sec, *offset)?;
+        }
+        Geometry::Cuboid { lo, hi } => {
+            sec.push(GT_CUBOID);
+            for &x in lo {
+                w_f64(sec, x)?;
+            }
+            for &x in hi {
+                w_f64(sec, x)?;
+            }
+        }
+        Geometry::Cylinder { axis, center, radius } => {
+            sec.push(GT_CYLINDER);
+            sec.push(*axis as u8);
+            for &x in center {
+                w_f64(sec, x)?;
+            }
+            w_f64(sec, *radius)?;
+        }
+        Geometry::Union(a, b) => {
+            sec.push(GT_UNION);
+            encode_geometry(sec, a)?;
+            encode_geometry(sec, b)?;
+        }
+        Geometry::Intersect(a, b) => {
+            sec.push(GT_INTERSECT);
+            encode_geometry(sec, a)?;
+            encode_geometry(sec, b)?;
+        }
+        Geometry::Invert(a) => {
+            sec.push(GT_INVERT);
+            encode_geometry(sec, a)?;
+        }
+    }
+    Ok(())
+}
+
+/// Decode a geometry expression tree. Builds enum variants directly
+/// (constructors assert on bad parameters and must never see untrusted
+/// input); the caller validates the finished tree with
+/// [`Geometry::validate`].
+pub(crate) fn decode_geometry(r: &mut &[u8], depth: usize) -> io::Result<Geometry> {
+    if depth > MAX_GEOM_DEPTH {
+        return Err(bad(format!("geometry tree deeper than {MAX_GEOM_DEPTH}")));
+    }
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    Ok(match tag[0] {
+        GT_SPHERE => {
+            let mut center = [0.0; 3];
+            for x in center.iter_mut() {
+                *x = r_f64(r)?;
+            }
+            Geometry::Sphere { center, radius: r_f64(r)? }
+        }
+        GT_HALF_SPACE => {
+            let mut normal = [0.0; 3];
+            for x in normal.iter_mut() {
+                *x = r_f64(r)?;
+            }
+            Geometry::HalfSpace { normal, offset: r_f64(r)? }
+        }
+        GT_CUBOID => {
+            let mut lo = [0.0; 3];
+            for x in lo.iter_mut() {
+                *x = r_f64(r)?;
+            }
+            let mut hi = [0.0; 3];
+            for x in hi.iter_mut() {
+                *x = r_f64(r)?;
+            }
+            Geometry::Cuboid { lo, hi }
+        }
+        GT_CYLINDER => {
+            let mut axis = [0u8; 1];
+            r.read_exact(&mut axis)?;
+            let mut center = [0.0; 3];
+            for x in center.iter_mut() {
+                *x = r_f64(r)?;
+            }
+            Geometry::Cylinder {
+                axis: axis[0] as usize,
+                center,
+                radius: r_f64(r)?,
+            }
+        }
+        GT_UNION => {
+            let a = decode_geometry(r, depth + 1)?;
+            let b = decode_geometry(r, depth + 1)?;
+            Geometry::Union(Box::new(a), Box::new(b))
+        }
+        GT_INTERSECT => {
+            let a = decode_geometry(r, depth + 1)?;
+            let b = decode_geometry(r, depth + 1)?;
+            Geometry::Intersect(Box::new(a), Box::new(b))
+        }
+        GT_INVERT => Geometry::Invert(Box::new(decode_geometry(r, depth + 1)?)),
+        other => return Err(bad(format!("unknown geometry tag {other}"))),
+    })
+}
+
 /// Encode the layout section payload (shared with the snapshot format).
 pub(crate) fn encode_layout<const D: usize>(
     sec: &mut Vec<u8>,
@@ -198,6 +328,15 @@ pub(crate) fn encode_layout<const D: usize>(
                 sec.push(a as u8);
             }
         }
+    }
+    // Immersed geometry rides as an optional tail after the root-mask
+    // field: geometry-free layouts stay byte-identical to the format
+    // before geometries existed, so pre-geometry streams still parse
+    // (and pre-geometry readers reject geometric streams as trailing
+    // garbage instead of misreading them).
+    if let Some(g) = &layout.geometry {
+        w_u32(sec, 1)?;
+        encode_geometry(sec, g)?;
     }
     Ok(())
 }
@@ -307,6 +446,17 @@ pub(crate) fn parse_layout<const D: usize>(bytes: &[u8]) -> io::Result<RootLayou
             layout.mask = Some(mask);
         }
         other => return Err(bad(format!("invalid mask flag {other}"))),
+    }
+    if !r.is_empty() {
+        let flag = r_u32(&mut r)?;
+        if flag != 1 {
+            return Err(bad(format!("invalid geometry flag {flag}")));
+        }
+        let g = decode_geometry(&mut r, 1)?;
+        if !g.validate() {
+            return Err(bad("geometry has non-finite or degenerate parameters"));
+        }
+        layout.geometry = Some(g);
     }
     expect_drained(r, SEC_LAYOUT)?;
     Ok(layout)

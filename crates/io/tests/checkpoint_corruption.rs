@@ -191,6 +191,176 @@ fn missing_sibling_leaf_is_invalid_data() {
     }
 }
 
+// ---- geometry tail (embedded-boundary extension) ------------------------
+// The LAYT section grew an optional trailing `flag u32 | geometry tree`
+// when an SDF geometry is installed. Repeat the damage sweeps over a
+// geometry-bearing stream, then forge valid-checksum LAYT payloads whose
+// geometry bytes are hostile: unknown tags, bad flags, degenerate and
+// non-finite parameters, recursion bombs, and trailing garbage.
+
+fn geometry_sample_checkpoint<const D: usize>() -> Vec<u8> {
+    // primitives sit on the z = 0 plane so lower-dimensional worlds
+    // (which zero-extend sample points) still cut solid cells
+    let geom = Geometry::sphere([0.3, 0.3, 0.0], 0.15)
+        .union(Geometry::cylinder(2, [0.7, 0.6, 0.0], 0.1))
+        .intersect(Geometry::cuboid([-1.0; 3], [2.0; 3]).invert().invert());
+    let layout = RootLayout::unit([2; D], Boundary::Periodic).with_geometry(geom);
+    let mut g: BlockGrid<D> = BlockGrid::new(layout, GridParams::new([4; D], 2, 2, 2));
+    refine_ball_to_level(&mut g, [0.3; D], 0.2, 2, Transfer::None);
+    for id in g.block_ids() {
+        let mut seed = 1.0;
+        g.block_mut(id).field_mut().for_each_interior(|_, u| {
+            for x in u.iter_mut() {
+                seed += 1.0;
+                *x = seed;
+            }
+        });
+    }
+    let mut buf = Vec::new();
+    save_grid(&mut buf, &g).unwrap();
+    buf
+}
+
+#[test]
+fn geometry_stream_truncation_at_every_length_is_invalid_data() {
+    let buf = geometry_sample_checkpoint::<2>();
+    for len in 0..buf.len() {
+        assert_invalid::<2>(&buf[..len], &format!("truncate geometry stream to {len}"));
+    }
+}
+
+#[test]
+fn geometry_stream_bit_flips_never_panic_and_report_invalid_data() {
+    let buf = geometry_sample_checkpoint::<2>();
+    for off in 0..buf.len() {
+        for bit in [0u8, 3, 7] {
+            let mut bad = buf.clone();
+            bad[off] ^= 1 << bit;
+            match load_grid::<2>(&mut bad.as_slice()) {
+                Err(e) => assert_eq!(
+                    e.kind(),
+                    ErrorKind::InvalidData,
+                    "flip bit {bit} at {off}: kind {:?} (msg: {e})",
+                    e.kind()
+                ),
+                Ok(_) => panic!("flip bit {bit} at {off} loaded successfully"),
+            }
+        }
+    }
+}
+
+/// Raw encoding of a sphere node, mirroring the documented codec.
+fn sphere_bytes(center: [f64; 3], radius: f64) -> Vec<u8> {
+    let mut v = vec![1u8]; // GT_SPHERE
+    for x in center {
+        v.extend_from_slice(&x.to_le_bytes());
+    }
+    v.extend_from_slice(&radius.to_le_bytes());
+    v
+}
+
+/// Append a `flag | geometry` tail to a geometry-free LAYT body.
+fn with_geometry_tail(layt: &[u8], flag: u32, geom_bytes: &[u8]) -> Vec<u8> {
+    let mut out = layt.to_vec();
+    out.extend_from_slice(&flag.to_le_bytes());
+    out.extend_from_slice(geom_bytes);
+    out
+}
+
+#[test]
+fn forged_geometry_tails_are_invalid_data() {
+    let buf = sample_checkpoint::<2>();
+    let (header, layt, prms, leaf) = split_v2(&buf);
+    let ok_sphere = sphere_bytes([0.5; 3], 0.2);
+
+    // sanity: a *well-formed* forged tail loads, so the rejections below
+    // are really about the hostile content and not the splicing
+    let good = join_v2(&header, &with_geometry_tail(&layt, 1, &ok_sphere), &prms, &leaf);
+    let g = load_grid::<2>(&mut good.as_slice()).expect("well-formed geometry tail must load");
+    assert!(g.layout().geometry.is_some());
+
+    let hostile: Vec<(Vec<u8>, &str)> = vec![
+        (with_geometry_tail(&layt, 0, &ok_sphere), "flag 0"),
+        (with_geometry_tail(&layt, 2, &ok_sphere), "flag 2"),
+        (with_geometry_tail(&layt, 1, &[]), "flag with no geometry bytes"),
+        (with_geometry_tail(&layt, 1, &[0u8]), "geometry tag 0"),
+        (with_geometry_tail(&layt, 1, &[99u8]), "geometry tag 99"),
+        (with_geometry_tail(&layt, 1, &ok_sphere[..ok_sphere.len() - 3]), "truncated sphere"),
+        (with_geometry_tail(&layt, 1, &sphere_bytes([0.5; 3], 0.0)), "radius 0"),
+        (with_geometry_tail(&layt, 1, &sphere_bytes([0.5; 3], -1.0)), "negative radius"),
+        (with_geometry_tail(&layt, 1, &sphere_bytes([f64::NAN; 3], 0.2)), "NaN center"),
+        (
+            with_geometry_tail(&layt, 1, &sphere_bytes([f64::INFINITY, 0.0, 0.0], 0.2)),
+            "infinite center",
+        ),
+        (
+            {
+                // cylinder with out-of-range axis byte
+                let mut v = vec![4u8, 3u8]; // GT_CYLINDER, axis 3
+                for x in [0.5f64; 3] {
+                    v.extend_from_slice(&x.to_le_bytes());
+                }
+                v.extend_from_slice(&0.2f64.to_le_bytes());
+                with_geometry_tail(&layt, 1, &v)
+            },
+            "cylinder axis 3",
+        ),
+        (
+            {
+                // cuboid with lo >= hi on one axis
+                let mut v = vec![3u8]; // GT_CUBOID
+                for x in [0.0f64, 0.0, 0.0, 1.0, 0.0, 1.0] {
+                    v.extend_from_slice(&x.to_le_bytes());
+                }
+                with_geometry_tail(&layt, 1, &v)
+            },
+            "degenerate cuboid",
+        ),
+        (
+            {
+                // recursion bomb: 100 nested Invert nodes around a sphere
+                // must trip the depth cap, not the stack
+                let mut v = vec![7u8; 100]; // GT_INVERT * 100
+                v.extend_from_slice(&ok_sphere);
+                with_geometry_tail(&layt, 1, &v)
+            },
+            "100-deep invert chain",
+        ),
+        (
+            {
+                // trailing garbage after a valid tree must not be ignored
+                let mut v = ok_sphere.clone();
+                v.push(0xAB);
+                with_geometry_tail(&layt, 1, &v)
+            },
+            "trailing garbage after geometry",
+        ),
+    ];
+    for (body, what) in hostile {
+        let evil = join_v2(&header, &body, &prms, &leaf);
+        assert_invalid::<2>(&evil, what);
+    }
+}
+
+#[test]
+fn geometry_checkpoint_roundtrips_bitwise_with_masks() {
+    // save → load of a geometry-bearing grid must rebuild identical masks
+    // (re-binarized from the decoded SDF) and bit-identical fluid state
+    let buf = geometry_sample_checkpoint::<2>();
+    let g: BlockGrid<2> = load_grid(&mut buf.as_slice()).unwrap();
+    ablock_core::verify::check_grid(&g).unwrap();
+    assert!(g.layout().geometry.is_some());
+    assert!(g.field_shape().mask_plane, "reloaded grid must carry the mask plane");
+    let mut any_solid = false;
+    for (_, node) in g.blocks() {
+        any_solid |= node.field().mask().unwrap().iter().any(|&m| m != 0.0);
+    }
+    assert!(any_solid, "sample geometry must actually cut solid cells");
+    let mut buf2 = Vec::new();
+    save_grid(&mut buf2, &g).unwrap();
+    assert_eq!(buf, buf2, "resave of a geometry checkpoint must be byte-identical");
+}
+
 #[test]
 fn random_grids_roundtrip_bitwise() {
     // the dual of the corruption sweep: whatever world and topology the

@@ -41,6 +41,13 @@ const SNAP_D3_DIGEST: u64 = 0x4362_056c_ea86_1624;
 /// Recorded root hash of the D=3 snapshot fixture archive.
 const SNAP_D3_ROOT: [u64; 2] = [0x570e_5732_c9ed_4451, 0xc202_4458_9efe_fb25];
 
+/// Recorded state digest of the geometry-bearing D=2 checkpoint fixture.
+const CKPT_D2_GEOM_DIGEST: u64 = 0xb1ae_a7c3_e50c_a42f;
+/// Recorded state digest of the geometry-bearing D=3 snapshot fixture.
+const SNAP_D3_GEOM_DIGEST: u64 = 0x0f9f_b51d_7f8f_9a65;
+/// Recorded root hash of the geometry-bearing D=3 snapshot fixture.
+const SNAP_D3_GEOM_ROOT: [u64; 2] = [0xbdfd_946b_decd_1fdf, 0x9d91_c837_8b1b_b3d9];
+
 fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
 }
@@ -66,8 +73,21 @@ fn leaf_seed<const D: usize>(key: BlockKey<D>) -> u64 {
 /// is independent of block iteration order) and key-seeded per-leaf
 /// field values.
 fn build_fixture<const D: usize>(params: GridParams<D>, roots: IVec<D>, adapt_seeds: &[u64]) -> BlockGrid<D> {
+    build_fixture_with(params, roots, adapt_seeds, None)
+}
+
+fn build_fixture_with<const D: usize>(
+    params: GridParams<D>,
+    roots: IVec<D>,
+    adapt_seeds: &[u64],
+    geometry: Option<Geometry>,
+) -> BlockGrid<D> {
     let max_level = params.max_level;
-    let mut g = BlockGrid::new(RootLayout::unit(roots, Boundary::Periodic), params);
+    let mut layout = RootLayout::unit(roots, Boundary::Periodic);
+    if let Some(g) = geometry {
+        layout = layout.with_geometry(g);
+    }
+    let mut g = BlockGrid::new(layout, params);
     for &s in adapt_seeds {
         let flags: HashMap<BlockId, Flag> = g
             .blocks()
@@ -103,6 +123,36 @@ fn fixture_grid_2d() -> BlockGrid<2> {
 /// D=3, nvar=8 (MHD-shaped), unpadded.
 fn fixture_grid_3d() -> BlockGrid<3> {
     build_fixture(GridParams::new([4, 4, 4], 2, 8, 1), [2, 1, 1], &[0xAD_0003])
+}
+
+/// Fixed SDF baked into the geometry fixtures: every node tag of the
+/// codec except HalfSpace, with primitives on the z = 0 plane so the
+/// D=2 fixture cuts solid cells too.
+fn fixture_geometry() -> Geometry {
+    Geometry::sphere([0.3, 0.3, 0.0], 0.15)
+        .union(Geometry::cylinder(2, [0.7, 0.6, 0.0], 0.1))
+        .intersect(Geometry::half_space([0.0, 0.0, 1.0], 0.5).invert().invert())
+}
+
+/// D=2, nvar=4, pad=2, with an immersed SDF geometry (mask plane +
+/// LAYT geometry tail crossing the I/O boundary).
+fn fixture_grid_2d_geom() -> BlockGrid<2> {
+    build_fixture_with(
+        GridParams::new([4, 4], 2, 4, 2).with_pad(2),
+        [2, 2],
+        &[0xAD_0004],
+        Some(fixture_geometry()),
+    )
+}
+
+/// D=3, nvar=8, with the same immersed SDF geometry.
+fn fixture_grid_3d_geom() -> BlockGrid<3> {
+    build_fixture_with(
+        GridParams::new([4, 4, 4], 2, 8, 1),
+        [2, 1, 1],
+        &[0xAD_0005],
+        Some(fixture_geometry()),
+    )
 }
 
 #[test]
@@ -163,11 +213,69 @@ fn snapshot_v3_fixture_materializes_with_stable_root() {
 }
 
 #[test]
+fn geometry_checkpoint_fixture_loads_bitwise_and_resaves_identically() {
+    let bytes = read_fixture("checkpoint_v2_d2_geom.ablk");
+    let grid: BlockGrid<2> =
+        load_grid(&mut bytes.as_slice()).expect("geometry checkpoint fixture must load");
+    check_grid(&grid).expect("loaded geometry fixture must pass the oracle");
+    assert_eq!(
+        grid.layout().geometry.as_ref(),
+        Some(&fixture_geometry()),
+        "decoded geometry tree drifted from the recorded SDF"
+    );
+    assert!(grid.field_shape().mask_plane, "geometry fixture must carry the mask plane");
+    assert!(
+        grid.blocks().any(|(_, n)| n.field().mask().unwrap().iter().any(|&m| m != 0.0)),
+        "geometry fixture must re-binarize at least one solid cell"
+    );
+    assert_eq!(
+        grid_digest(&grid),
+        CKPT_D2_GEOM_DIGEST,
+        "geometry checkpoint fixture no longer loads to the recorded state"
+    );
+    let mut resaved = Vec::new();
+    save_grid(&mut resaved, &grid).expect("writing to a Vec cannot fail");
+    assert_eq!(
+        resaved, bytes,
+        "re-saving the loaded geometry fixture changed the on-disk bytes: \
+         the LAYT geometry tail drifted"
+    );
+}
+
+#[test]
+fn geometry_snapshot_fixture_materializes_with_stable_root() {
+    let bytes = read_fixture("snapshot_v3_d3_geom.ablk");
+    let (store, root) =
+        read_archive::<3>(&mut bytes.as_slice()).expect("geometry archive must read");
+    assert_eq!(
+        root,
+        NodeHash::from_words(SNAP_D3_GEOM_ROOT),
+        "geometry archive root hash drifted"
+    );
+    let grid = materialize::<3>(&store, root).expect("geometry fixture root must materialize");
+    check_grid(&grid).expect("materialized geometry fixture must pass the oracle");
+    assert_eq!(grid.layout().geometry.as_ref(), Some(&fixture_geometry()));
+    assert_eq!(
+        grid_digest(&grid),
+        SNAP_D3_GEOM_DIGEST,
+        "geometry snapshot fixture no longer materializes to the recorded state"
+    );
+    let mut fresh = NodeStore::new();
+    let stats = write_snapshot(&mut fresh, &grid, SNAP_STEP).expect("write_snapshot");
+    assert_eq!(
+        stats.root, root,
+        "re-snapshotting the geometry fixture produced a different root"
+    );
+}
+
+#[test]
 fn fixture_state_matches_generator() {
     // The generator itself must stay deterministic and layout-independent,
     // otherwise regeneration would silently re-record different states.
     assert_eq!(grid_digest(&fixture_grid_2d()), CKPT_D2_DIGEST);
     assert_eq!(grid_digest(&fixture_grid_3d()), SNAP_D3_DIGEST);
+    assert_eq!(grid_digest(&fixture_grid_2d_geom()), CKPT_D2_GEOM_DIGEST);
+    assert_eq!(grid_digest(&fixture_grid_3d_geom()), SNAP_D3_GEOM_DIGEST);
 }
 
 /// Writes the fixture files and prints the constants to bake into this
@@ -192,4 +300,20 @@ fn record_fixtures() {
     let w = stats.root.to_words();
     println!("SNAP_D3_DIGEST 0x{:016x} ({} bytes)", grid_digest(&g3), arch.len());
     println!("SNAP_D3_ROOT [0x{:016x}, 0x{:016x}]", w[0], w[1]);
+
+    let g2g = fixture_grid_2d_geom();
+    let mut ckpt_g = Vec::new();
+    save_grid(&mut ckpt_g, &g2g).expect("save_grid");
+    std::fs::write(fixture_path("checkpoint_v2_d2_geom.ablk"), &ckpt_g).expect("write fixture");
+    println!("CKPT_D2_GEOM_DIGEST 0x{:016x} ({} bytes)", grid_digest(&g2g), ckpt_g.len());
+
+    let g3g = fixture_grid_3d_geom();
+    let mut store_g = NodeStore::new();
+    let stats_g = write_snapshot(&mut store_g, &g3g, SNAP_STEP).expect("write_snapshot");
+    let mut arch_g = Vec::new();
+    write_archive::<3>(&mut arch_g, &store_g, stats_g.root).expect("write_archive");
+    std::fs::write(fixture_path("snapshot_v3_d3_geom.ablk"), &arch_g).expect("write fixture");
+    let wg = stats_g.root.to_words();
+    println!("SNAP_D3_GEOM_DIGEST 0x{:016x} ({} bytes)", grid_digest(&g3g), arch_g.len());
+    println!("SNAP_D3_GEOM_ROOT [0x{:016x}, 0x{:016x}]", wg[0], wg[1]);
 }

@@ -275,6 +275,75 @@ fn every_store_hole_is_a_dangling_reference() {
     }
 }
 
+// ---- geometry-bearing archives (embedded-boundary extension) ------------
+// Root nodes embed the layout blob, which grew an optional SDF geometry
+// tail; the damage sweeps must hold over archives that carry one.
+
+fn geometry_sample_grid<const D: usize>() -> BlockGrid<D> {
+    let geom = ablock_core::geom::Geometry::sphere([0.3, 0.3, 0.0], 0.15)
+        .union(ablock_core::geom::Geometry::cylinder(2, [0.7, 0.6, 0.0], 0.1));
+    let layout = RootLayout::unit([2; D], Boundary::Periodic).with_geometry(geom);
+    let mut g: BlockGrid<D> = BlockGrid::new(layout, GridParams::new([4; D], 2, 2, 2));
+    refine_ball_to_level(&mut g, [0.3; D], 0.2, 2, Transfer::None);
+    for id in g.block_ids() {
+        let mut seed = 1.0;
+        g.block_mut(id).field_mut().for_each_interior(|_, u| {
+            for x in u.iter_mut() {
+                seed += 1.0;
+                *x = seed;
+            }
+        });
+    }
+    g
+}
+
+#[test]
+fn geometry_archive_damage_sweeps_are_invalid_data() {
+    let g = geometry_sample_grid::<2>();
+    let mut store = NodeStore::new();
+    let stats = write_snapshot(&mut store, &g, 4).unwrap();
+    let mut buf = Vec::new();
+    snapshot::write_archive::<2>(&mut buf, &store, stats.root).unwrap();
+    for len in 0..buf.len() {
+        assert_invalid::<2>(&buf[..len], &format!("truncate geometry archive to {len}"));
+    }
+    for off in 0..buf.len() {
+        let mut bad = buf.clone();
+        bad[off] ^= 1 << 3;
+        match load_grid::<2>(&mut bad.as_slice()) {
+            Err(e) => assert_eq!(
+                e.kind(),
+                ErrorKind::InvalidData,
+                "flip at {off}: kind {:?} (msg: {e})",
+                e.kind()
+            ),
+            Ok(_) => panic!("flip at {off} loaded successfully"),
+        }
+    }
+}
+
+#[test]
+fn geometry_archives_roundtrip_with_masks() {
+    let g2 = geometry_sample_grid::<2>();
+    let mut store = NodeStore::new();
+    let stats = write_snapshot(&mut store, &g2, 11).unwrap();
+    let mut buf = Vec::new();
+    snapshot::write_archive::<2>(&mut buf, &store, stats.root).unwrap();
+    let g = load_grid::<2>(&mut buf.as_slice()).unwrap();
+    ablock_core::verify::check_grid(&g).unwrap();
+    assert_eq!(g.layout().geometry, g2.layout().geometry);
+    assert!(g.field_shape().mask_plane);
+    for (_, node) in g2.blocks() {
+        let id = g.find(node.key()).expect("leaf survives the archive");
+        assert_eq!(
+            node.field().mask().map(<[f64]>::to_vec),
+            g.block(id).field().mask().map(<[f64]>::to_vec),
+            "mask plane differs at {:?}",
+            node.key()
+        );
+    }
+}
+
 #[test]
 fn uncorrupted_archives_roundtrip() {
     // dual of the sweeps: pristine archives load exactly, 2-D and 3-D

@@ -124,7 +124,14 @@ impl<const D: usize, P: Physics> DistSim<D, P> {
     /// ownership map. The [`SolverConfig`] must be identical on every
     /// rank (physics, scheme, CFL, partitioner — the replicated-topology
     /// invariant extends to the solver parameters).
-    pub fn new(grid: BlockGrid<D>, owner: HashMap<BlockId, usize>, cfg: SolverConfig<P>) -> Self {
+    pub fn new(
+        mut grid: BlockGrid<D>,
+        owner: HashMap<BlockId, usize>,
+        cfg: SolverConfig<P>,
+    ) -> Self {
+        // Replicated-deterministic by construction: every rank holds the
+        // identical cfg, so every rank binarizes identical solid masks.
+        grid.ensure_geometry(&cfg.geometry);
         let engine = cfg.engine();
         let walk = CurveWalk::build(&grid, cfg.partitioner.curve());
         DistSim {
@@ -1285,7 +1292,7 @@ mod tests {
         let mut st = Stepper::new(subcycled_cfg(e));
         let mut serial_dts = Vec::new();
         for _ in 0..steps {
-            let dt0 = st.stable_dt(&g);
+            let dt0 = st.stable_dt(&mut g);
             serial_dts.push(dt0);
             st.step(&mut g, dt0, None);
         }

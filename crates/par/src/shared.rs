@@ -337,6 +337,7 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
 
     /// Fill ghosts and evaluate the RHS of every block in parallel.
     fn eval_rhs(&mut self, grid: &mut BlockGrid<D>) {
+        grid.ensure_geometry(&self.cfg.geometry);
         self.engine.revalidate(grid);
         self.refresh_sweep_order(grid);
         if self.cfg.comm_overlap {
@@ -532,14 +533,17 @@ impl<const D: usize, P: Physics> ParStepper<D, P> {
     /// and ghost fills run on the pool, with the same per-block
     /// arithmetic as the serial driver.
     pub fn step_subcycled(&mut self, grid: &mut BlockGrid<D>, dt0: f64) {
+        grid.ensure_geometry(&self.cfg.geometry);
         let mut sub = std::mem::take(&mut self.sub);
         subcycle::step_subcycled(self, grid, &mut sub, dt0, None);
         self.sub = sub;
     }
 
     /// Mode-dispatching stable step size (global CFL reduction versus
-    /// coarsest-level `dt₀`).
-    pub fn stable_dt(&mut self, grid: &BlockGrid<D>) -> f64 {
+    /// coarsest-level `dt₀`). Installs the config's immersed geometry
+    /// first so the CFL scan sees the same solid mask the step will.
+    pub fn stable_dt(&mut self, grid: &mut BlockGrid<D>) -> f64 {
+        grid.ensure_geometry(&self.cfg.geometry);
         match self.cfg.time_step_mode {
             TimeStepMode::Global => self.max_dt(grid),
             TimeStepMode::Subcycled => self.max_dt0(grid),

@@ -19,24 +19,28 @@ use ablock_par::{
     run_resilient_with, DistSim, FaultPlan, Machine, MachineConfig, ParStepper, Policy,
     RecoverConfig,
 };
-use ablock_solver::{problems, Euler, Scheme, SolverConfig, Stepper, TimeStepMode};
-use ablock_testkit::{cases, flag_for_key, gen_schedule, Schedule};
+use ablock_solver::{problems, Euler, Geometry, Scheme, SolverConfig, Stepper, TimeStepMode};
+use ablock_testkit::{cases, flag_for_key, gen_schedule, random_geometry, Schedule};
 
 const DT: f64 = 1e-3;
 const MAX_LEVEL: u8 = 2;
 const POLICY: Policy = Policy::SfcHilbert;
 const TRANSFER: Transfer = Transfer::Conservative(ProlongOrder::LinearMinmod);
 
-fn cfg(overlap: bool) -> SolverConfig<Euler<2>> {
-    SolverConfig::new(Euler::new(1.4), Scheme::muscl_rusanov())
+fn cfg(overlap: bool, geom: &Option<Geometry>) -> SolverConfig<Euler<2>> {
+    let mut c = SolverConfig::new(Euler::new(1.4), Scheme::muscl_rusanov())
         .with_comm_overlap(overlap)
-        .with_partitioner(POLICY.partitioner())
+        .with_partitioner(POLICY.partitioner());
+    if let Some(g) = geom {
+        c = c.with_geometry(g.clone());
+    }
+    c
 }
 
 /// Subcycled variant: refluxing + local time stepping on top of the
 /// overlap knob under test.
 fn sub_cfg(overlap: bool) -> SolverConfig<Euler<2>> {
-    cfg(overlap)
+    cfg(overlap, &None)
         .with_refluxing(true)
         .with_time_step_mode(TimeStepMode::Subcycled)
 }
@@ -113,9 +117,12 @@ fn adapt_serial(grid: &mut BlockGrid<2>, seed: u64, density: u8) -> u64 {
 
 /// Serial reference (`comm_overlap` has no serial meaning; the `Stepper`
 /// ignores it by construction).
-fn run_serial(schedule: &Schedule) -> (BlockGrid<2>, Vec<u64>) {
+fn run_serial(schedule: &Schedule, geom: &Option<Geometry>) -> (BlockGrid<2>, Vec<u64>) {
     let mut grid = base_grid();
-    let mut stepper: Stepper<2, Euler<2>> = Stepper::new(cfg(true));
+    // masks must exist before the round-0 adapt on every backend
+    // (DistSim binarizes them at construction)
+    grid.ensure_geometry(geom);
+    let mut stepper: Stepper<2, Euler<2>> = Stepper::new(cfg(true, geom));
     let mut deltas = Vec::new();
     for round in &schedule.rounds {
         deltas.push(adapt_serial(&mut grid, round.flag_seed, round.density));
@@ -127,9 +134,14 @@ fn run_serial(schedule: &Schedule) -> (BlockGrid<2>, Vec<u64>) {
     (grid, deltas)
 }
 
-fn run_shared(schedule: &Schedule, overlap: bool) -> (BlockGrid<2>, Vec<u64>) {
+fn run_shared(
+    schedule: &Schedule,
+    overlap: bool,
+    geom: &Option<Geometry>,
+) -> (BlockGrid<2>, Vec<u64>) {
     let mut grid = base_grid();
-    let mut stepper: ParStepper<2, Euler<2>> = ParStepper::new(cfg(overlap));
+    grid.ensure_geometry(geom);
+    let mut stepper: ParStepper<2, Euler<2>> = ParStepper::new(cfg(overlap, geom));
     let mut deltas = Vec::new();
     for round in &schedule.rounds {
         deltas.push(adapt_serial(&mut grid, round.flag_seed, round.density));
@@ -140,9 +152,14 @@ fn run_shared(schedule: &Schedule, overlap: bool) -> (BlockGrid<2>, Vec<u64>) {
     (grid, deltas)
 }
 
-fn run_dist(schedule: &Schedule, nranks: usize, overlap: bool) -> (BlockGrid<2>, Vec<u64>) {
+fn run_dist(
+    schedule: &Schedule,
+    nranks: usize,
+    overlap: bool,
+    geom: &Option<Geometry>,
+) -> (BlockGrid<2>, Vec<u64>) {
     let results = Machine::run(nranks, |comm| {
-        let mut sim = DistSim::partitioned(base_grid(), comm.nranks(), cfg(overlap));
+        let mut sim = DistSim::partitioned(base_grid(), comm.nranks(), cfg(overlap, geom));
         let mut deltas = Vec::new();
         for round in &schedule.rounds {
             let owned = sim.owned_ids(comm.rank());
@@ -172,11 +189,14 @@ fn run_resilient_backend(
     nranks: usize,
     faults: Option<std::sync::Arc<FaultPlan>>,
     overlap: bool,
+    geom: &Option<Geometry>,
 ) -> BlockGrid<2> {
     let rounds = schedule.rounds.clone();
     let round0 = rounds[0];
+    let g0 = geom.clone();
     let make_grid = move || {
         let mut g = base_grid();
+        g.ensure_geometry(&g0);
         adapt_serial(&mut g, round0.flag_seed, round0.density);
         g
     };
@@ -195,7 +215,7 @@ fn run_resilient_backend(
         nranks,
         cum,
         DT,
-        cfg(overlap),
+        cfg(overlap, geom),
         make_grid,
         rcfg,
         faults,
@@ -218,9 +238,9 @@ fn run_resilient_backend(
 fn shared_overlap_on_off_matches_serial() {
     cases(6, 0x5EED_0050, |_, rng| {
         let schedule = gen_schedule(rng);
-        let (serial, d_serial) = run_serial(&schedule);
+        let (serial, d_serial) = run_serial(&schedule, &None);
         for overlap in [true, false] {
-            let (shared, d_shared) = run_shared(&schedule, overlap);
+            let (shared, d_shared) = run_shared(&schedule, overlap, &None);
             assert_eq!(d_serial, d_shared, "epoch deltas serial vs shared overlap={overlap}");
             assert_bitwise_eq(&serial, &shared, &format!("Stepper vs ParStepper overlap={overlap}"));
         }
@@ -235,9 +255,9 @@ fn shared_overlap_on_off_matches_serial() {
 fn dist_overlap_on_off_matches_serial() {
     cases(4, 0x5EED_0051, |_, rng| {
         let schedule = gen_schedule(rng);
-        let (serial, d_serial) = run_serial(&schedule);
+        let (serial, d_serial) = run_serial(&schedule, &None);
         for overlap in [true, false] {
-            let (dist, d_dist) = run_dist(&schedule, 2, overlap);
+            let (dist, d_dist) = run_dist(&schedule, 2, overlap, &None);
             assert_eq!(d_serial.len(), d_dist.len(), "round counts overlap={overlap}");
             for (i, (&ds, &dd)) in d_serial.iter().zip(&d_dist).enumerate() {
                 assert!(
@@ -250,15 +270,52 @@ fn dist_overlap_on_off_matches_serial() {
     });
 }
 
+/// The masked-geometry axis: a random immersed SDF rides the same
+/// schedules. Wall fluxes, frozen solid cells, and mask-aware
+/// prolongation are all rank-local and deterministic, so flipping
+/// `comm_overlap` (and distributing across ranks, and crashing a rank)
+/// must stay bitwise-invisible on masked worlds too.
+#[test]
+fn overlap_on_off_matches_serial_masked_geometry() {
+    cases(3, 0x5EED_0054, |_, rng| {
+        let geom = Some(random_geometry(rng, 2));
+        let schedule = gen_schedule(rng);
+        let (serial, d_serial) = run_serial(&schedule, &geom);
+        for overlap in [true, false] {
+            let (shared, d_shared) = run_shared(&schedule, overlap, &geom);
+            assert_eq!(d_serial, d_shared, "masked epoch deltas serial vs shared overlap={overlap}");
+            assert_bitwise_eq(
+                &serial,
+                &shared,
+                &format!("masked Stepper vs ParStepper overlap={overlap}"),
+            );
+            let (dist, d_dist) = run_dist(&schedule, 2, overlap, &geom);
+            for (i, (&ds, &dd)) in d_serial.iter().zip(&d_dist).enumerate() {
+                assert!(
+                    dd == ds || dd == ds + 1,
+                    "masked epoch delta round {i} overlap={overlap}: serial {ds} vs dist {dd}"
+                );
+            }
+            assert_bitwise_eq(
+                &serial,
+                &dist,
+                &format!("masked Stepper vs DistSim overlap={overlap}"),
+            );
+        }
+        let resilient = run_resilient_backend(&schedule, 2, None, true, &geom);
+        assert_bitwise_eq(&serial, &resilient, "masked Stepper vs resilient overlap=on");
+    });
+}
+
 /// A resilient run that crashes rank 1 mid-schedule and recovers on fewer
 /// ranks, with overlap on, still matches the serial reference bitwise.
 #[test]
 fn resilient_crash_under_overlap_matches_serial() {
     cases(3, 0x5EED_0052, |seed, rng| {
         let schedule = gen_schedule(rng);
-        let (serial, _) = run_serial(&schedule);
+        let (serial, _) = run_serial(&schedule, &None);
         let faults = std::sync::Arc::new(FaultPlan::new(seed).crash_rank(1, 30));
-        let resilient = run_resilient_backend(&schedule, 2, Some(faults), true);
+        let resilient = run_resilient_backend(&schedule, 2, Some(faults), true, &None);
         assert_bitwise_eq(&serial, &resilient, "Stepper vs faulted resilient overlap=on");
     });
 }
@@ -278,7 +335,7 @@ fn aggregated_messages_equal_active_pairs() {
             let mut sim = DistSim::partitioned(
                 base_grid(),
                 comm.nranks(),
-                cfg(overlap).with_metrics(metrics.clone()),
+                cfg(overlap, &None).with_metrics(metrics.clone()),
             );
             // one adapt round so prolongation (phase-2) traffic exists
             let owned = sim.owned_ids(comm.rank());

@@ -18,15 +18,19 @@ use ablock_core::ops::ProlongOrder;
 use ablock_core::sfc::Curve;
 use ablock_core::verify::check_grid;
 use ablock_par::{DistSim, Machine, Partitioner, WeightFn};
-use ablock_solver::{problems, Euler, Scheme, SolverConfig, Stepper};
-use ablock_testkit::{cases, flag_for_key, gen_schedule, Schedule};
+use ablock_solver::{problems, Euler, Geometry, Scheme, SolverConfig, Stepper};
+use ablock_testkit::{cases, flag_for_key, gen_schedule, random_geometry, Schedule};
 
 const DT: f64 = 1e-3;
 const MAX_LEVEL: u8 = 2;
 const TRANSFER: Transfer = Transfer::Conservative(ProlongOrder::LinearMinmod);
 
-fn cfg() -> SolverConfig<Euler<2>> {
-    SolverConfig::new(Euler::new(1.4), Scheme::muscl_rusanov())
+fn cfg(geom: &Option<Geometry>) -> SolverConfig<Euler<2>> {
+    let mut c = SolverConfig::new(Euler::new(1.4), Scheme::muscl_rusanov());
+    if let Some(g) = geom {
+        c = c.with_geometry(g.clone());
+    }
+    c
 }
 
 fn base_grid() -> BlockGrid<2> {
@@ -92,9 +96,12 @@ fn assert_bitwise_eq(a: &BlockGrid<2>, b: &BlockGrid<2>, what: &str) {
     }
 }
 
-fn run_serial(schedule: &Schedule) -> BlockGrid<2> {
+fn run_serial(schedule: &Schedule, geom: &Option<Geometry>) -> BlockGrid<2> {
     let mut grid = base_grid();
-    let mut stepper: Stepper<2, Euler<2>> = Stepper::new(cfg());
+    // masks must exist before the round-0 adapt on every backend
+    // (DistSim binarizes them at construction)
+    grid.ensure_geometry(geom);
+    let mut stepper: Stepper<2, Euler<2>> = Stepper::new(cfg(geom));
     for round in &schedule.rounds {
         let flags = flags_for(&grid, round.flag_seed, round.density, None);
         adapt(&mut grid, &flags, TRANSFER);
@@ -116,12 +123,13 @@ fn run_dist(
     overlap: bool,
     weight_fn: Option<WeightFn<2>>,
     check_owner: bool,
+    geom: &Option<Geometry>,
 ) -> BlockGrid<2> {
     let results = Machine::run(nranks, |comm| {
         let mut sim = DistSim::partitioned(
             base_grid(),
             comm.nranks(),
-            cfg().with_comm_overlap(overlap).with_partitioner(part.clone()),
+            cfg(geom).with_comm_overlap(overlap).with_partitioner(part.clone()),
         );
         if let Some(w) = &weight_fn {
             sim.set_weight_fn(w.clone());
@@ -174,10 +182,10 @@ fn run_dist(
 fn incremental_rebalance_matches_from_scratch_and_serial() {
     cases(4, 0x5EED_0060, |_, rng| {
         let schedule = gen_schedule(rng);
-        let serial = run_serial(&schedule);
+        let serial = run_serial(&schedule, &None);
         let part = Partitioner::default();
         for overlap in [true, false] {
-            let dist = run_dist(&schedule, 3, &part, overlap, None, true);
+            let dist = run_dist(&schedule, 3, &part, overlap, None, true, &None);
             assert_bitwise_eq(&serial, &dist, &format!("serial vs dist overlap={overlap}"));
         }
     });
@@ -189,9 +197,9 @@ fn incremental_rebalance_matches_from_scratch_and_serial() {
 fn incremental_rebalance_exact_on_morton() {
     cases(3, 0x5EED_0061, |_, rng| {
         let schedule = gen_schedule(rng);
-        let serial = run_serial(&schedule);
+        let serial = run_serial(&schedule, &None);
         let part = Partitioner::sfc(Curve::Morton);
-        let dist = run_dist(&schedule, 2, &part, true, None, true);
+        let dist = run_dist(&schedule, 2, &part, true, None, true, &None);
         assert_bitwise_eq(&serial, &dist, "serial vs dist (Morton)");
     });
 }
@@ -203,7 +211,7 @@ fn incremental_rebalance_exact_on_morton() {
 fn measured_weight_hook_keeps_state_bitwise() {
     cases(3, 0x5EED_0062, |_, rng| {
         let schedule = gen_schedule(rng);
-        let serial = run_serial(&schedule);
+        let serial = run_serial(&schedule, &None);
         let weights: WeightFn<2> = Arc::new(|grid, id| {
             let key = grid.block(id).key();
             // key-derived, rank-independent pseudo-cost in [1, 8)
@@ -216,7 +224,24 @@ fn measured_weight_hook_keeps_state_bitwise() {
         let part = Partitioner::default();
         // ownership diverges from the uniform-weight from-scratch oracle
         // by design; the invariant under test is bitwise state safety
-        let dist = run_dist(&schedule, 3, &part, true, Some(weights), false);
+        let dist = run_dist(&schedule, 3, &part, true, Some(weights), false, &None);
         assert_bitwise_eq(&serial, &dist, "serial vs dist (weight hook)");
+    });
+}
+
+/// The masked-geometry axis: migrated blocks carry only the `nvar` field
+/// planes — solid masks never travel, each rank re-binarizes them from
+/// the replicated geometry. The incremental-vs-from-scratch ownership
+/// oracle and the bitwise serial equality must both survive masked
+/// worlds.
+#[test]
+fn incremental_rebalance_masked_geometry() {
+    cases(3, 0x5EED_0063, |_, rng| {
+        let geom = Some(random_geometry(rng, 2));
+        let schedule = gen_schedule(rng);
+        let serial = run_serial(&schedule, &geom);
+        let part = Partitioner::default();
+        let dist = run_dist(&schedule, 3, &part, true, None, true, &geom);
+        assert_bitwise_eq(&serial, &dist, "serial vs dist (masked geometry)");
     });
 }

@@ -22,9 +22,9 @@ use ablock_par::{
     RecoverConfig,
 };
 use ablock_solver::{
-    problems, total_conserved, Euler, Scheme, SolverConfig, Stepper, TimeStepMode,
+    problems, total_conserved, Euler, Geometry, Scheme, SolverConfig, Stepper, TimeStepMode,
 };
-use ablock_testkit::{cases, flag_for_key, gen_schedule, Schedule};
+use ablock_testkit::{cases, flag_for_key, gen_schedule, random_geometry, Schedule};
 
 /// Fixed outer (coarsest-level) step. Stable at every level of the
 /// `MAX_LEVEL = 2` hierarchy, and usable by `run_resilient_with`, which
@@ -33,11 +33,15 @@ const DT: f64 = 1e-3;
 const MAX_LEVEL: u8 = 2;
 const TRANSFER: Transfer = Transfer::Conservative(ProlongOrder::LinearMinmod);
 
-fn sub_cfg(policy: Policy) -> SolverConfig<Euler<2>> {
-    SolverConfig::new(Euler::new(1.4), Scheme::muscl_rusanov())
+fn sub_cfg(policy: Policy, geom: &Option<Geometry>) -> SolverConfig<Euler<2>> {
+    let mut cfg = SolverConfig::new(Euler::new(1.4), Scheme::muscl_rusanov())
         .with_partitioner(policy.partitioner())
         .with_refluxing(true)
-        .with_time_step_mode(TimeStepMode::Subcycled)
+        .with_time_step_mode(TimeStepMode::Subcycled);
+    if let Some(g) = geom {
+        cfg = cfg.with_geometry(g.clone());
+    }
+    cfg
 }
 
 /// The global-Δt reference oracle: same scheme, same refluxing, uniform dt.
@@ -123,38 +127,44 @@ fn checkpoint_cut(grid: &BlockGrid<2>) -> BlockGrid<2> {
 /// coarsest-level cycle (finer levels substep 2^Δℓ times inside it).
 /// Also returns the per-step `stable_dt` trace so distributed runs can
 /// be checked for bitwise-equal CFL reductions.
-fn run_serial_sub(schedule: &Schedule) -> (BlockGrid<2>, Vec<u64>) {
+fn run_serial_sub(schedule: &Schedule, geom: &Option<Geometry>) -> (BlockGrid<2>, Vec<u64>) {
     let mut grid = base_grid();
-    let mut stepper: Stepper<2, Euler<2>> = Stepper::new(sub_cfg(Policy::SfcHilbert));
+    // install the immersed geometry before the first adapt, matching
+    // DistSim (which binarizes masks at construction): the round-0
+    // prolongation must already be mask-aware on every backend
+    grid.ensure_geometry(geom);
+    let mut stepper: Stepper<2, Euler<2>> = Stepper::new(sub_cfg(Policy::SfcHilbert, geom));
     let mut dts = Vec::new();
     for (ri, round) in schedule.rounds.iter().enumerate() {
         adapt_serial(&mut grid, round.flag_seed, round.density);
         for _ in 0..round.steps {
-            dts.push(stepper.stable_dt(&grid).to_bits());
+            dts.push(stepper.stable_dt(&mut grid).to_bits());
             stepper.step(&mut grid, DT, None);
         }
         if schedule.checkpoint_after_round == Some(ri) {
             grid = checkpoint_cut(&grid);
-            stepper = Stepper::new(sub_cfg(Policy::SfcHilbert));
+            stepper = Stepper::new(sub_cfg(Policy::SfcHilbert, geom));
         }
     }
     check_grid(&grid).unwrap();
     (grid, dts)
 }
 
-fn run_shared_sub(schedule: &Schedule) -> (BlockGrid<2>, Vec<u64>) {
+fn run_shared_sub(schedule: &Schedule, geom: &Option<Geometry>) -> (BlockGrid<2>, Vec<u64>) {
     let mut grid = base_grid();
-    let mut stepper: ParStepper<2, Euler<2>> = ParStepper::new(sub_cfg(Policy::SfcHilbert));
+    grid.ensure_geometry(geom);
+    let mut stepper: ParStepper<2, Euler<2>> =
+        ParStepper::new(sub_cfg(Policy::SfcHilbert, geom));
     let mut dts = Vec::new();
     for (ri, round) in schedule.rounds.iter().enumerate() {
         adapt_serial(&mut grid, round.flag_seed, round.density);
         for _ in 0..round.steps {
-            dts.push(stepper.stable_dt(&grid).to_bits());
+            dts.push(stepper.stable_dt(&mut grid).to_bits());
             stepper.step(&mut grid, DT);
         }
         if schedule.checkpoint_after_round == Some(ri) {
             grid = checkpoint_cut(&grid);
-            stepper = ParStepper::new(sub_cfg(Policy::SfcHilbert));
+            stepper = ParStepper::new(sub_cfg(Policy::SfcHilbert, geom));
         }
     }
     (grid, dts)
@@ -163,9 +173,15 @@ fn run_shared_sub(schedule: &Schedule) -> (BlockGrid<2>, Vec<u64>) {
 /// Distributed subcycled backend under a chosen partition policy. The
 /// per-level allreduce in `DistSim::stable_dt` must reproduce the serial
 /// CFL trace bitwise (f64 max is exact and order-independent).
-fn run_dist_sub(schedule: &Schedule, nranks: usize, policy: Policy) -> (BlockGrid<2>, Vec<u64>) {
+fn run_dist_sub(
+    schedule: &Schedule,
+    nranks: usize,
+    policy: Policy,
+    geom: &Option<Geometry>,
+) -> (BlockGrid<2>, Vec<u64>) {
+    let geom = geom.clone();
     let results = Machine::run(nranks, move |comm| {
-        let mut sim = DistSim::partitioned(base_grid(), comm.nranks(), sub_cfg(policy));
+        let mut sim = DistSim::partitioned(base_grid(), comm.nranks(), sub_cfg(policy, &geom));
         let mut dts = Vec::new();
         for (ri, round) in schedule.rounds.iter().enumerate() {
             let owned = sim.owned_ids(comm.rank());
@@ -178,7 +194,7 @@ fn run_dist_sub(schedule: &Schedule, nranks: usize, policy: Policy) -> (BlockGri
             if schedule.checkpoint_after_round == Some(ri) {
                 sim.gather_full(&comm);
                 let loaded = checkpoint_cut(&sim.grid);
-                sim = DistSim::partitioned(loaded, comm.nranks(), sub_cfg(policy));
+                sim = DistSim::partitioned(loaded, comm.nranks(), sub_cfg(policy, &geom));
             }
         }
         sim.gather_full(&comm);
@@ -199,11 +215,14 @@ fn run_resilient_sub(
     schedule: &Schedule,
     nranks: usize,
     faults: Option<std::sync::Arc<FaultPlan>>,
+    geom: &Option<Geometry>,
 ) -> BlockGrid<2> {
     let rounds = schedule.rounds.clone();
     let round0 = rounds[0];
+    let g0 = geom.clone();
     let make_grid = move || {
         let mut g = base_grid();
+        g.ensure_geometry(&g0);
         adapt_serial(&mut g, round0.flag_seed, round0.density);
         g
     };
@@ -222,7 +241,7 @@ fn run_resilient_sub(
         nranks,
         cum,
         DT,
-        sub_cfg(Policy::SfcHilbert),
+        sub_cfg(Policy::SfcHilbert, geom),
         make_grid,
         rcfg,
         faults,
@@ -242,34 +261,47 @@ fn run_resilient_sub(
 /// One schedule through every subcycled backend: bitwise state equality
 /// everywhere, bitwise-equal per-step CFL (`stable_dt`) traces where the
 /// backend exposes them.
-fn subcycled_differential_case(rng: &mut ablock_testkit::Rng) {
+fn subcycled_differential_case(rng: &mut ablock_testkit::Rng, geom: &Option<Geometry>) {
     let schedule = gen_schedule(rng);
-    let (serial, dt_serial) = run_serial_sub(&schedule);
-    let (shared, dt_shared) = run_shared_sub(&schedule);
+    let (serial, dt_serial) = run_serial_sub(&schedule, geom);
+    let (shared, dt_shared) = run_shared_sub(&schedule, geom);
     assert_eq!(dt_serial, dt_shared, "stable_dt trace serial vs shared");
     assert_bitwise_eq(&serial, &shared, "subcycled Stepper vs ParStepper");
     for policy in [Policy::SfcHilbert, Policy::SfcMorton] {
-        let (dist, dt_dist) = run_dist_sub(&schedule, 2, policy);
+        let (dist, dt_dist) = run_dist_sub(&schedule, 2, policy, geom);
         assert_eq!(dt_serial, dt_dist, "stable_dt trace serial vs dist {policy:?}");
         assert_bitwise_eq(&serial, &dist, &format!("subcycled Stepper vs DistSim {policy:?}"));
     }
-    let resilient = run_resilient_sub(&schedule, 2, None);
+    let resilient = run_resilient_sub(&schedule, 2, None, geom);
     assert_bitwise_eq(&serial, &resilient, "subcycled Stepper vs run_resilient");
 }
 
 #[test]
 fn subcycled_differential_batch_a() {
-    cases(5, 0x5EED_0060, |_, rng| subcycled_differential_case(rng));
+    cases(5, 0x5EED_0060, |_, rng| subcycled_differential_case(rng, &None));
 }
 
 #[test]
 fn subcycled_differential_batch_b() {
-    cases(5, 0x5EED_0061, |_, rng| subcycled_differential_case(rng));
+    cases(5, 0x5EED_0061, |_, rng| subcycled_differential_case(rng, &None));
 }
 
 #[test]
 fn subcycled_differential_batch_c() {
-    cases(5, 0x5EED_0062, |_, rng| subcycled_differential_case(rng));
+    cases(5, 0x5EED_0062, |_, rng| subcycled_differential_case(rng, &None));
+}
+
+/// The masked-geometry axis: a random immersed SDF is installed through
+/// `SolverConfig::with_geometry` on every backend. Solid cells freeze,
+/// solid faces act as reflective walls, and masks re-binarize
+/// deterministically on every rank — so the bitwise equivalence across
+/// serial/pool/dist/resilient must be unchanged.
+#[test]
+fn subcycled_differential_masked_geometry() {
+    cases(3, 0x5EED_0065, |_, rng| {
+        let geom = Some(random_geometry(rng, 2));
+        subcycled_differential_case(rng, &geom);
+    });
 }
 
 /// Injected faults must not change the subcycled answer: a resilient run
@@ -279,9 +311,9 @@ fn subcycled_differential_batch_c() {
 fn subcycled_differential_with_injected_faults() {
     cases(3, 0x5EED_0063, |seed, rng| {
         let schedule = gen_schedule(rng);
-        let (serial, _) = run_serial_sub(&schedule);
+        let (serial, _) = run_serial_sub(&schedule, &None);
         let faults = std::sync::Arc::new(FaultPlan::new(seed).crash_rank(1, 30));
-        let resilient = run_resilient_sub(&schedule, 2, Some(faults));
+        let resilient = run_resilient_sub(&schedule, 2, Some(faults), &None);
         assert_bitwise_eq(&serial, &resilient, "subcycled Stepper vs faulted run_resilient");
     });
 }
@@ -302,7 +334,7 @@ fn subcycled_totals_match_global_dt_to_ulps() {
         let mut g_glob = base_grid();
         let nvar = 4;
         let t0: Vec<f64> = (0..nvar).map(|v| total_conserved(&g_sub, v)).collect();
-        let mut st_sub: Stepper<2, Euler<2>> = Stepper::new(sub_cfg(Policy::SfcHilbert));
+        let mut st_sub: Stepper<2, Euler<2>> = Stepper::new(sub_cfg(Policy::SfcHilbert, &None));
         let mut st_glob: Stepper<2, Euler<2>> = Stepper::new(global_cfg());
         // one "event" = a step or an adapt round; each adds at most a few
         // ulps of summation noise to a conserved total

@@ -25,6 +25,7 @@
 //! order) and the ghost configuration matches the physics and scheme via
 //! [`ghost_config_for`]. Every field stays public and overridable.
 
+use ablock_core::geom::Geometry;
 use ablock_core::ghost::GhostConfig;
 use ablock_core::partition::Partitioner;
 use ablock_obs::Metrics;
@@ -86,6 +87,14 @@ pub struct SolverConfig<P: Physics> {
     /// by the shared-memory stepper for its sweep order). Defaults to
     /// Hilbert SFC cut points — the paper's re-balancing strategy.
     pub partitioner: Partitioner,
+    /// Immersed solid geometry (DESIGN.md §18). When set, every executor
+    /// installs it on the grid before its first sweep
+    /// ([`BlockGrid::ensure_geometry`](ablock_core::grid::BlockGrid::ensure_geometry)):
+    /// blocks carry a solid-cell mask plane, solid faces act as reflective
+    /// walls, and solid cells stay bitwise frozen. `None` leaves whatever
+    /// the grid already has (including a geometry installed directly via
+    /// `BlockGrid::set_geometry`) untouched.
+    pub geometry: Option<Geometry>,
 }
 
 impl<P: Physics> SolverConfig<P> {
@@ -109,6 +118,7 @@ impl<P: Physics> SolverConfig<P> {
             comm_overlap: true,
             metrics: Metrics::null(),
             partitioner: Partitioner::default(),
+            geometry: None,
         }
     }
 
@@ -160,6 +170,14 @@ impl<P: Physics> SolverConfig<P> {
     /// from every layer this config reaches).
     pub fn with_metrics(mut self, metrics: Metrics) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Install an immersed solid geometry: the grid gets per-block solid
+    /// masks, solid faces become reflective walls, and geometry-aware
+    /// executors keep masks in sync across refine/coarsen/migration.
+    pub fn with_geometry(mut self, geometry: Geometry) -> Self {
+        self.geometry = Some(geometry);
         self
     }
 

@@ -204,7 +204,10 @@ impl<const D: usize> SweepEngine<D> {
             .map(|id| id.index() + 1)
             .max()
             .unwrap_or(0);
-        let shape = grid.params().field_shape();
+        // grid.field_shape() (not params().field_shape()): includes the
+        // solid-mask plane when a geometry is installed, so stage snapshots
+        // can copy whole allocations.
+        let shape = grid.field_shape();
         if self.shape != Some(shape) {
             self.rhs.clear();
             self.stage.clear();
@@ -282,7 +285,9 @@ impl<const D: usize> SweepEngine<D> {
 }
 
 /// Forward-Euler update of one block: `u += dt·r` over the interior, then
-/// positivity floors. Returns cells floored.
+/// positivity floors. Returns cells floored. Solid-masked cells are
+/// skipped outright — even a zero RHS would flip `-0.0` sign bits — so
+/// immersed-solid state stays bitwise frozen (DESIGN.md §18).
 pub fn fe_update_block<const D: usize, P: Physics>(
     phys: &P,
     field: &mut FieldBlock<D>,
@@ -295,15 +300,26 @@ pub fn fe_update_block<const D: usize, P: Physics>(
     let mut rowbox = ib;
     rowbox.hi[0] = ib.lo[0] + 1;
     let row_len = (ib.hi[0] - ib.lo[0]) as usize;
+    let masked = shape.mask_plane;
+    let mo = shape.nvar * ps;
     let us = field.as_mut_slice();
     let rs = rhs.as_slice();
     for rc in rowbox.iter() {
         let i0 = shape.lin(rc);
         for v in 0..shape.nvar {
             let o = v * ps + i0;
-            let (urow, rrow) = (&mut us[o..o + row_len], &rs[o..o + row_len]);
-            for (x, &r) in urow.iter_mut().zip(rrow) {
-                *x += dt * r;
+            if masked {
+                for k in 0..row_len {
+                    if us[mo + i0 + k] != 0.0 {
+                        continue;
+                    }
+                    us[o + k] += dt * rs[o + k];
+                }
+            } else {
+                let (urow, rrow) = (&mut us[o..o + row_len], &rs[o..o + row_len]);
+                for (x, &r) in urow.iter_mut().zip(rrow) {
+                    *x += dt * r;
+                }
             }
         }
     }
@@ -338,6 +354,8 @@ pub fn rk2_stage2_block<const D: usize, P: Physics>(
     let mut rowbox = ib;
     rowbox.hi[0] = ib.lo[0] + 1;
     let row_len = (ib.hi[0] - ib.lo[0]) as usize;
+    let masked = shape.mask_plane;
+    let mo = shape.nvar * ps;
     let us = field.as_mut_slice();
     let rs = rhs.as_slice();
     let ss = stage.as_slice();
@@ -345,10 +363,21 @@ pub fn rk2_stage2_block<const D: usize, P: Physics>(
         let i0 = shape.lin(rc);
         for v in 0..shape.nvar {
             let o = v * ps + i0;
-            let urow = &mut us[o..o + row_len];
-            let (rrow, srow) = (&rs[o..o + row_len], &ss[o..o + row_len]);
-            for (k, x) in urow.iter_mut().enumerate() {
-                *x = 0.5 * srow[k] + 0.5 * (*x + dt * rrow[k]);
+            if masked {
+                // skip solid cells: u* == u^n there, and the averaging
+                // arithmetic must not touch the frozen state
+                for k in 0..row_len {
+                    if us[mo + i0 + k] != 0.0 {
+                        continue;
+                    }
+                    us[o + k] = 0.5 * ss[o + k] + 0.5 * (us[o + k] + dt * rs[o + k]);
+                }
+            } else {
+                let urow = &mut us[o..o + row_len];
+                let (rrow, srow) = (&rs[o..o + row_len], &ss[o..o + row_len]);
+                for (k, x) in urow.iter_mut().enumerate() {
+                    *x = 0.5 * srow[k] + 0.5 * (*x + dt * rrow[k]);
+                }
             }
         }
     }

@@ -16,7 +16,7 @@
 use ablock_core::field::FieldBlock;
 use ablock_core::index::{Face, IVec};
 
-use crate::flux::{numerical_flux_rows, Riemann};
+use crate::flux::{numerical_flux, numerical_flux_rows, Riemann};
 use crate::physics::{Physics, MAX_VARS, ROW_CHUNK};
 use crate::recon::{limited_slope, Recon};
 
@@ -179,6 +179,13 @@ pub fn compute_rhs_block_fluxes<const D: usize, P: Physics>(
     let shape = *field.shape();
     let strides = shape.strides();
     let ps = shape.plane_stride();
+    // Immersed-solid handling (DESIGN.md §18): when the shape carries a
+    // mask plane, interfaces between two solid cells get zero flux and
+    // solid/fluid interfaces get a reflective-wall flux built by mirroring
+    // the fluid state. The maskless path is bitwise untouched.
+    let masked = shape.mask_plane;
+    let mask: &[f64] = if masked { field.mask().expect("mask plane") } else { &[] };
+    let vecs: Vec<[usize; 3]> = if masked { phys.vector_components() } else { Vec::new() };
 
     // zero the RHS interior, plane by plane (x rows are contiguous in
     // every variable plane)
@@ -254,6 +261,19 @@ pub fn compute_rhs_block_fluxes<const D: usize, P: Physics>(
                         s[j] = limited_slope(lim, p[j] - p[j - step], p[j + step] - p[j]);
                     }
                 }
+                if masked {
+                    // First order at walls: a cell whose slope stencil
+                    // touches a solid cell extrapolates constantly. The
+                    // check uses the ghost masks too, so neighboring blocks
+                    // make the bitwise-same decision at shared interfaces.
+                    for j in b..b + srow_len {
+                        if mask[j - step] != 0.0 || mask[j] != 0.0 || mask[j + step] != 0.0 {
+                            for v in 0..n {
+                                slope[v * ps + j] = 0.0;
+                            }
+                        }
+                    }
+                }
             }
         }
         for rc in rowbox.iter() {
@@ -294,6 +314,49 @@ pub fn compute_rhs_block_fluxes<const D: usize, P: Physics>(
                     lanes,
                 );
                 nflux += lanes;
+
+                if masked {
+                    // Override the lanes that touch a solid cell BEFORE the
+                    // flux-store recording and the RHS accumulation, so the
+                    // refluxing pass sees wall fluxes too. Solid/solid
+                    // interfaces carry nothing; solid/fluid interfaces get
+                    // the reflective-wall flux from the mirrored fluid
+                    // state (the fluid-side reconstruction is first-order
+                    // here because its slope was zeroed above), whose mass
+                    // and energy components are exactly ±0.0 — only the
+                    // normal momentum (wall pressure) survives.
+                    for k in 0..lanes {
+                        let solid_l = mask[im0 + k] != 0.0;
+                        let solid_r = mask[ic0 + k] != 0.0;
+                        if !solid_l && !solid_r {
+                            continue;
+                        }
+                        if solid_l && solid_r {
+                            for v in 0..n {
+                                f[v * ROW_CHUNK + k] = 0.0;
+                            }
+                            continue;
+                        }
+                        let slab = if solid_l { &ur } else { &ul };
+                        let mut uf = [0.0; MAX_VARS];
+                        for (v, x) in uf[..n].iter_mut().enumerate() {
+                            *x = slab[v * ROW_CHUNK + k];
+                        }
+                        let mut um = uf;
+                        for t in &vecs {
+                            um[t[dir]] = -um[t[dir]];
+                        }
+                        let mut fw = [0.0; MAX_VARS];
+                        if solid_l {
+                            numerical_flux(phys, scheme.riemann, &um[..n], &uf[..n], dir, &mut fw[..n]);
+                        } else {
+                            numerical_flux(phys, scheme.riemann, &uf[..n], &um[..n], dir, &mut fw[..n]);
+                        }
+                        for v in 0..n {
+                            f[v * ROW_CHUNK + k] = fw[v];
+                        }
+                    }
+                }
 
                 if let Some(store) = flux_store.as_deref_mut() {
                     if dir == 0 {
@@ -446,6 +509,7 @@ pub fn max_rate_block<const D: usize, P: Physics>(
     let shape = *field.shape();
     let ps = shape.plane_stride();
     let u = field.as_slice();
+    let mask = field.mask();
     let mut rate: f64 = 0.0;
     let ib = shape.interior_box();
     let mut rowbox = ib;
@@ -461,6 +525,11 @@ pub fn max_rate_block<const D: usize, P: Physics>(
                 phys.max_speed_rows(&u[base + k0..], ps, d, m, lanes);
             }
             for k in 0..lanes {
+                // solid cells never constrain dt (their frozen state may
+                // be arbitrary, e.g. all-zero)
+                if mask.is_some_and(|m| m[base + k0 + k] != 0.0) {
+                    continue;
+                }
                 let mut r = 0.0;
                 for d in 0..D {
                     r += ms[d][k] / h[d];
@@ -474,16 +543,42 @@ pub fn max_rate_block<const D: usize, P: Physics>(
 }
 
 /// Apply positivity floors over the interior; returns cells clamped.
+/// Solid cells are skipped — their frozen state must stay bitwise inert,
+/// and floors would otherwise clamp e.g. an all-zero solid interior.
 pub fn apply_floors_block<const D: usize, P: Physics>(
     phys: &P,
     field: &mut FieldBlock<D>,
 ) -> usize {
     let mut count = 0;
-    field.for_each_interior(|_, u| {
-        if phys.apply_floors(u) {
-            count += 1;
+    if field.shape().mask_plane {
+        let shape = *field.shape();
+        let ps = shape.plane_stride();
+        let n = shape.nvar;
+        let mo = n * ps;
+        let data = field.as_mut_slice();
+        let mut buf = [0.0; MAX_VARS];
+        for c in shape.interior_box().iter() {
+            let i = shape.lin(c);
+            if data[mo + i] != 0.0 {
+                continue;
+            }
+            for (v, b) in buf[..n].iter_mut().enumerate() {
+                *b = data[i + v * ps];
+            }
+            if phys.apply_floors(&mut buf[..n]) {
+                count += 1;
+                for (v, &b) in buf[..n].iter().enumerate() {
+                    data[i + v * ps] = b;
+                }
+            }
         }
-    });
+    } else {
+        field.for_each_interior(|_, u| {
+            if phys.apply_floors(u) {
+                count += 1;
+            }
+        });
+    }
     count
 }
 

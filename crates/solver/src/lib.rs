@@ -39,6 +39,7 @@ pub mod reflux;
 pub mod stepper;
 pub mod subcycle;
 
+pub use ablock_core::geom::Geometry;
 pub use ablock_core::partition::Partitioner;
 pub use config::{SolverConfig, TimeStepMode};
 pub use engine::{ghost_config_for, EngineStats, SweepEngine, SweepSplit};
@@ -50,5 +51,5 @@ pub use mhd::IdealMhd;
 pub use physics::Physics;
 pub use poisson::{MultigridPoisson, PoissonBc};
 pub use recon::{Limiter, Recon};
-pub use stepper::{total_conserved, Stepper, TimeScheme};
+pub use stepper::{total_conserved, total_conserved_fluid, Stepper, TimeScheme};
 pub use subcycle::{SubcycleBackend, SubcycleState};

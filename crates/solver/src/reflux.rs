@@ -204,6 +204,12 @@ pub fn reflux_state<const D: usize>(
     });
     for (id, c, fix) in fixes {
         let field = grid.block_mut(id).field_mut();
+        // Solid coarse cells stay bitwise frozen (DESIGN.md §18): the fine
+        // side's wall fluxes carry no mass/energy across the interface, so
+        // skipping the correction loses nothing conserved.
+        if field.is_solid(c) {
+            continue;
+        }
         for (v, dx) in fix.iter().enumerate() {
             *field.at_mut(c, v) += dx;
         }

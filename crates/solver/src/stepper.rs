@@ -159,6 +159,7 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
     /// Evaluate `L(u)` into the engine's rhs scratch for every block.
     /// Ghosts are filled first. Returns ids processed.
     fn eval_rhs(&mut self, grid: &mut BlockGrid<D>, bc: Option<&BcFn<D>>) -> Vec<BlockId> {
+        grid.ensure_geometry(&self.cfg.geometry);
         self.engine.fill_ghosts(grid, bc);
         let ids = grid.block_ids();
         {
@@ -195,6 +196,7 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
     /// [`TimeStepMode::Subcycled`], `dt` is the coarsest-level `dt₀` and
     /// finer levels take halved substeps (see [`crate::subcycle`]).
     pub fn step(&mut self, grid: &mut BlockGrid<D>, dt: f64, bc: Option<&BcFn<D>>) {
+        grid.ensure_geometry(&self.cfg.geometry);
         if self.cfg.time_step_mode == TimeStepMode::Subcycled {
             return self.step_subcycled(grid, dt, bc);
         }
@@ -259,6 +261,9 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
         t_end: f64,
         bc: Option<&BcFn<D>>,
     ) -> usize {
+        // Install the config's geometry before the first CFL scan so solid
+        // cells never constrain dt.
+        grid.ensure_geometry(&self.cfg.geometry);
         let mut t = t0;
         let mut steps = 0;
         while t < t_end - 1e-14 {
@@ -282,6 +287,39 @@ pub fn total_conserved<const D: usize>(grid: &BlockGrid<D>, v: usize) -> f64 {
             let h = grid.layout().cell_size(n.key().level, m);
             let vol: f64 = h.iter().product();
             n.field().interior_sum(v) * vol
+        })
+        .sum()
+}
+
+/// Volume-weighted total of one conserved variable over the *fluid* cells
+/// only — the conserved quantity on grids with an immersed solid geometry
+/// (solid faces are reflective walls, so nothing crosses them; see
+/// DESIGN.md §18). Identical to [`total_conserved`] on maskless grids,
+/// including the summation order.
+pub fn total_conserved_fluid<const D: usize>(grid: &BlockGrid<D>, v: usize) -> f64 {
+    let m = grid.params().block_dims;
+    grid.blocks()
+        .map(|(_, n)| {
+            let h = grid.layout().cell_size(n.key().level, m);
+            let vol: f64 = h.iter().product();
+            let f = n.field();
+            match f.mask() {
+                None => f.interior_sum(v) * vol,
+                Some(mask) => {
+                    let shape = *f.shape();
+                    let ps = shape.plane_stride();
+                    let data = f.as_slice();
+                    let mut s = 0.0;
+                    for c in shape.interior_box().iter() {
+                        let i = shape.lin(c);
+                        if mask[i] != 0.0 {
+                            continue;
+                        }
+                        s += data[v * ps + i];
+                    }
+                    s * vol
+                }
+            }
         })
         .sum()
 }
@@ -492,6 +530,107 @@ mod tests {
         st.run_until(&mut g, 0.0, 0.05, None);
         assert!((total_conserved(&g, 0) - m0).abs() < 1e-12 * m0.abs());
         assert!((total_conserved(&g, 3) - e0).abs() < 1e-12 * e0.abs());
+    }
+
+    #[test]
+    fn immersed_solid_conserves_fluid_mass_and_energy_exactly() {
+        // A sphere in a periodic 2D flow: solid faces are reflective
+        // walls whose mass/energy flux components are exactly ±0.0, so
+        // fluid-cell totals of rho and E must hold to the last ulp, the
+        // solid interior must stay bitwise frozen, and the mask
+        // invariants must survive the run.
+        use ablock_core::geom::Geometry;
+        let e = Euler::<2>::new(1.4);
+        let mut g = BlockGrid::<2>::new(
+            RootLayout::unit([2, 2], Boundary::Periodic),
+            GridParams::new([8, 8], 2, 4, 2),
+        );
+        crate::problems::advected_gaussian(&mut g, &e, [0.6, -0.4], [0.25, 0.25], 0.1);
+        let geom = Geometry::sphere([0.65, 0.6, 0.0], 0.18);
+        let cfg = SolverConfig::new(e, Scheme::muscl_rusanov())
+            .with_refluxing(true)
+            .with_geometry(geom)
+            .with_cfl(0.3);
+        let mut st = Stepper::new(cfg);
+        // install the geometry (first step does it), then baseline totals
+        st.step(&mut g, 1e-4, None);
+        ablock_core::verify::check_grid(&g).unwrap();
+        let frozen: Vec<(ablock_core::arena::BlockId, Vec<u64>)> = g
+            .blocks()
+            .map(|(id, n)| {
+                let f = n.field();
+                let bits = f
+                    .shape()
+                    .interior_box()
+                    .iter()
+                    .filter(|&c| f.is_solid(c))
+                    .flat_map(|c| (0..4).map(move |v| (c, v)))
+                    .map(|(c, v)| f.at(c, v).to_bits())
+                    .collect();
+                (id, bits)
+            })
+            .collect();
+        assert!(frozen.iter().any(|(_, b)| !b.is_empty()), "sphere must cover cells");
+        let m0 = total_conserved_fluid(&g, 0);
+        let e0 = total_conserved_fluid(&g, 3);
+        st.run_until(&mut g, 0.0, 0.02, None);
+        let m1 = total_conserved_fluid(&g, 0);
+        let e1 = total_conserved_fluid(&g, 3);
+        assert!((m1 - m0).abs() < 1e-13 * m0.abs(), "mass drift {m0} -> {m1}");
+        assert!((e1 - e0).abs() < 1e-13 * e0.abs(), "energy drift {e0} -> {e1}");
+        for (id, bits) in frozen {
+            let f = g.block(id).field();
+            let now: Vec<u64> = f
+                .shape()
+                .interior_box()
+                .iter()
+                .filter(|&c| f.is_solid(c))
+                .flat_map(|c| (0..4).map(move |v| (c, v)))
+                .map(|(c, v)| f.at(c, v).to_bits())
+                .collect();
+            assert_eq!(bits, now, "solid cells must stay bitwise frozen");
+        }
+        ablock_core::verify::check_grid(&g).unwrap();
+    }
+
+    #[test]
+    fn immersed_solid_conserves_on_refined_subcycled_grid() {
+        // Same sphere, but with a refined block overlapping the body and
+        // subcycled time stepping: the wall treatment must stay exactly
+        // conservative through prolongation, restriction, and
+        // state-space refluxing.
+        use ablock_core::geom::Geometry;
+        let e = Euler::<2>::new(1.4);
+        let run = |mode: TimeStepMode| -> (f64, f64) {
+            let mut g = BlockGrid::<2>::new(
+                RootLayout::unit([2, 2], Boundary::Periodic),
+                GridParams::new([8, 8], 2, 4, 2),
+            );
+            crate::problems::advected_gaussian(&mut g, &e, [0.6, -0.4], [0.25, 0.25], 0.1);
+            let cfg = SolverConfig::new(e.clone(), Scheme::muscl_rusanov())
+                .with_refluxing(true)
+                .with_geometry(Geometry::sphere([0.65, 0.6, 0.0], 0.18))
+                .with_time_step_mode(mode)
+                .with_cfl(0.3);
+            let mut st = Stepper::new(cfg);
+            st.step(&mut g, 1e-4, None); // installs geometry
+            let id = g.find(BlockKey::new(0, [1, 1])).unwrap();
+            g.refine(id, Transfer::Conservative(ProlongOrder::LinearMinmod)).unwrap();
+            ablock_core::verify::check_grid(&g).unwrap();
+            let m0 = total_conserved_fluid(&g, 0);
+            let e0 = total_conserved_fluid(&g, 3);
+            st.run_until(&mut g, 0.0, 0.02, None);
+            ablock_core::verify::check_grid(&g).unwrap();
+            (
+                (total_conserved_fluid(&g, 0) - m0).abs() / m0.abs(),
+                (total_conserved_fluid(&g, 3) - e0).abs() / e0.abs(),
+            )
+        };
+        for mode in [TimeStepMode::Global, TimeStepMode::Subcycled] {
+            let (dm, de) = run(mode);
+            assert!(dm < 1e-12, "{mode:?} mass drift {dm}");
+            assert!(de < 1e-12, "{mode:?} energy drift {de}");
+        }
     }
 
     #[test]

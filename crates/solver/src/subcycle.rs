@@ -626,8 +626,11 @@ impl<const D: usize, P: Physics> Stepper<D, P> {
 
     /// Mode-dispatching stable step size: the global CFL reduction under
     /// [`TimeStepMode::Global`], the coarsest-level `dt₀` under
-    /// [`TimeStepMode::Subcycled`].
-    pub fn stable_dt(&mut self, grid: &BlockGrid<D>) -> f64 {
+    /// [`TimeStepMode::Subcycled`]. Installs the config's immersed
+    /// geometry first so the CFL scan sees the same solid mask the step
+    /// will (solid cells never constrain `dt`).
+    pub fn stable_dt(&mut self, grid: &mut BlockGrid<D>) -> f64 {
+        grid.ensure_geometry(&self.config().geometry);
         match self.config().time_step_mode {
             TimeStepMode::Global => self.max_dt(grid),
             TimeStepMode::Subcycled => self.max_dt0(grid),
@@ -691,7 +694,7 @@ mod tests {
                 .with_time_step_mode(mode);
             let mut st = Stepper::new(cfg);
             for _ in 0..8 {
-                let dt = st.stable_dt(&g);
+                let dt = st.stable_dt(&mut g);
                 st.step(&mut g, dt, None);
             }
             interiors(&g)
@@ -747,7 +750,7 @@ mod tests {
             .with_time_step_mode(TimeStepMode::Subcycled)
             .with_metrics(metrics.clone());
         let mut st = Stepper::new(cfg);
-        let dt0 = st.stable_dt(&g);
+        let dt0 = st.stable_dt(&mut g);
         st.step(&mut g, dt0, None);
         let s = metrics.snapshot();
         // 1 coarse substep + 2 fine substeps per outer step.

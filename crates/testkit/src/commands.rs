@@ -27,6 +27,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use ablock_core::arena::BlockId;
 use ablock_core::balance::{apply_adapt, plan_adapt, Flag};
+use ablock_core::geom::Geometry;
 use ablock_core::ghost::GhostExchange;
 use ablock_core::grid::{BlockGrid, GridParams, Transfer};
 use ablock_core::index::IVec;
@@ -89,6 +90,13 @@ pub enum FuzzCmd {
         /// Whether to install a mask or clear it.
         masked: bool,
     },
+    /// Install the random immersed geometry derived from the seed via
+    /// [`random_geometry`] (`seed = 0` clears the geometry instead,
+    /// tearing the mask plane back down). Binarization touches only the
+    /// mask plane, so every conserved total must survive bit for bit;
+    /// afterwards solid cells are frozen and step commands assert they
+    /// stay bitwise inert.
+    Geometry(u64),
     /// Checkpoint save → load → bitwise comparison, then continue on the
     /// *loaded* grid (so later commands exercise the reconstructed state).
     Checkpoint,
@@ -140,8 +148,10 @@ pub enum FuzzCmd {
 }
 
 /// Format a script as the compact text form accepted by [`parse_script`]:
-/// `R<r>` `C<r>` `A<seed>:<density>` `M<seed>:<0|1>` `B<r>` `K` `G` `S`
-/// `T` `O` `N` `P` `X`, space-separated, seeds in hex.
+/// `R<r>` `C<r>` `A<seed>:<density>` `M<seed>:<0|1>` `B<r>` `G<seed>`
+/// `K` `G` `S` `T` `O` `N` `P` `X`, space-separated, seeds in hex (bare
+/// `G` is the ghost-fill command; `G` with a payload installs a random
+/// immersed geometry).
 pub fn format_script(cmds: &[FuzzCmd]) -> String {
     let words: Vec<String> = cmds
         .iter()
@@ -153,6 +163,7 @@ pub fn format_script(cmds: &[FuzzCmd]) -> String {
                 format!("M{seed:x}:{}", u8::from(*masked))
             }
             FuzzCmd::Rebalance(r) => format!("B{r}"),
+            FuzzCmd::Geometry(seed) => format!("G{seed:x}"),
             FuzzCmd::Checkpoint => "K".to_string(),
             FuzzCmd::Ghost => "G".to_string(),
             FuzzCmd::Step => "S".to_string(),
@@ -205,6 +216,10 @@ pub fn parse_script(s: &str) -> Result<Vec<FuzzCmd>, String> {
             }
             "K" if rest.is_empty() => FuzzCmd::Checkpoint,
             "G" if rest.is_empty() => FuzzCmd::Ghost,
+            "G" => FuzzCmd::Geometry(
+                u64::from_str_radix(rest, 16)
+                    .map_err(|e| format!("bad geometry seed {rest:?}: {e}"))?,
+            ),
             "S" if rest.is_empty() => FuzzCmd::Step,
             "T" if rest.is_empty() => FuzzCmd::StepSub,
             "O" if rest.is_empty() => FuzzCmd::StepPar { overlap: true },
@@ -341,6 +356,52 @@ pub fn derive_setup<const D: usize>(seed: u64) -> Setup<D> {
     Setup { roots, bcs, max_level, mask_seed }
 }
 
+/// Derive a random immersed geometry from an rng stream: 1–3 primitives
+/// (spheres, cuboids, axis-aligned cylinders) unioned together, sized to
+/// sit inside the unit domains the fuzz worlds use, occasionally
+/// inverted so the fluid runs in pockets through the solid. Primitive
+/// centers collapse to `0` on axes at or above `dim`, so lower-
+/// dimensional worlds (which sample the geometry on the `y = z = 0`
+/// subspace) still intersect the solid. Shared by the fuzzer's
+/// `G<seed>` command and the amr property suites.
+pub fn random_geometry(rng: &mut Rng, dim: usize) -> Geometry {
+    fn primitive(rng: &mut Rng, dim: usize) -> Geometry {
+        let mut c = [0.0; 3];
+        for (d, x) in c.iter_mut().enumerate() {
+            if d < dim {
+                *x = rng.f64_in(0.2, 0.8);
+            }
+        }
+        match rng.u64_below(3) {
+            0 => Geometry::sphere(c, rng.f64_in(0.08, 0.22)),
+            1 => {
+                let mut lo = [0.0; 3];
+                let mut hi = [0.0; 3];
+                for d in 0..3 {
+                    let half = rng.f64_in(0.05, 0.2);
+                    lo[d] = c[d] - half;
+                    hi[d] = c[d] + half;
+                }
+                Geometry::cuboid(lo, hi)
+            }
+            _ => Geometry::cylinder(
+                rng.u64_below(3) as usize,
+                c,
+                rng.f64_in(0.06, 0.18),
+            ),
+        }
+    }
+    let n = 1 + rng.u64_below(3);
+    let mut g = primitive(rng, dim);
+    for _ in 1..n {
+        g = g.union(primitive(rng, dim));
+    }
+    if rng.bool(0.15) {
+        g = g.invert();
+    }
+    g
+}
+
 fn build_world<const D: usize>(setup: &Setup<D>) -> BlockGrid<D> {
     let mut layout = RootLayout::unit(setup.roots, Boundary::Outflow);
     for d in 0..D {
@@ -461,8 +522,19 @@ impl<const D: usize> Harness<D> {
     }
 
     fn check_conserved(&self, before: &[f64], what: &str) -> Result<(), String> {
+        let all: Vec<usize> = (0..D + 2).collect();
+        self.check_conserved_vars(before, &all, what)
+    }
+
+    fn check_conserved_vars(
+        &self,
+        before: &[f64],
+        vars: &[usize],
+        what: &str,
+    ) -> Result<(), String> {
         let after = self.totals();
-        for (v, (&b, &a)) in before.iter().zip(&after).enumerate() {
+        for &v in vars {
+            let (b, a) = (before[v], after[v]);
             // Relative with an absolute floor at the O(1) domain scale:
             // transverse momentum totals are exactly zero, so a pure
             // relative test would flag denormal-level roundoff.
@@ -474,6 +546,53 @@ impl<const D: usize> Harness<D> {
             }
         }
         Ok(())
+    }
+
+    /// Which conserved totals a *step* must preserve in this world.
+    /// Periodic faces move nothing out of the domain; reflective walls
+    /// (`Reflect` axis boundaries, root-mask holes — [`RootLayout`]'s
+    /// `hole_boundary` defaults to `Reflect` — and immersed solid faces)
+    /// exert force but pass exactly zero mass and energy, so rho and E
+    /// survive; any `Outflow` face conserves nothing. Solid cells are
+    /// frozen bitwise, so whole-grid totals conserve iff fluid totals do.
+    fn step_conserved_vars(&self) -> Vec<usize> {
+        if self
+            .setup
+            .bcs
+            .iter()
+            .any(|b| !matches!(b, Boundary::Periodic | Boundary::Reflect))
+        {
+            return Vec::new();
+        }
+        let walls = self.setup.mask_seed.is_some()
+            || self.grid.layout().geometry.is_some()
+            || self.setup.bcs.iter().any(|b| matches!(b, Boundary::Reflect));
+        if walls {
+            vec![0, D + 1]
+        } else {
+            (0..D + 2).collect()
+        }
+    }
+
+    /// Raw state bits of every solid interior cell, in block iteration
+    /// order (stable across a non-structural command). Empty without an
+    /// installed geometry.
+    fn solid_bits(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (_, node) in self.grid.blocks() {
+            let f = node.field();
+            if f.mask().is_none() {
+                continue;
+            }
+            for c in f.shape().interior_box().iter() {
+                if f.is_solid(c) {
+                    for v in 0..f.shape().nvar {
+                        out.push(f.at(c, v).to_bits());
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// The oracle stack run after every command.
@@ -641,6 +760,22 @@ impl<const D: usize> Harness<D> {
                 *self = Harness::new(self.setup);
                 return self.post_check(true);
             }
+            FuzzCmd::Geometry(seed) => {
+                // binarization writes only the mask plane; the physics
+                // state (and so every conserved total) must survive bitwise
+                let before = self.totals();
+                let geometry =
+                    (seed != 0).then(|| random_geometry(&mut Rng::new(seed), D));
+                self.grid.set_geometry(geometry);
+                // the epoch bump (iff the geometry changed) invalidates
+                // ghost plans, but the leaf set is untouched — the walk's
+                // entries stay exact, so re-stamp rather than rebuild
+                if let Some(w) = self.walk.as_mut() {
+                    w.sync_epoch(&self.grid);
+                }
+                self.check_conserved(&before, "set_geometry")?;
+                structural = true;
+            }
             FuzzCmd::Checkpoint => {
                 let mut buf = Vec::new();
                 save_grid(&mut buf, &self.grid).map_err(|e| format!("save_grid: {e}"))?;
@@ -707,8 +842,12 @@ impl<const D: usize> Harness<D> {
                 if self.stepper.is_none() {
                     self.stepper = Some(fresh_stepper());
                 }
+                let solid_before = self.solid_bits();
                 let stepper = self.stepper.as_mut().expect("just set");
                 stepper.step_rk2(&mut self.grid, STEP_DT, None);
+                if self.solid_bits() != solid_before {
+                    return Err("step touched a frozen solid cell".to_string());
+                }
                 for (_, node) in self.grid.blocks() {
                     let f = node.field();
                     for c in f.shape().interior_box().iter() {
@@ -749,6 +888,8 @@ impl<const D: usize> Harness<D> {
                     flat.step_rk2(&mut twin, fine_dt, None);
                 }
                 let before = self.totals();
+                let cons_vars = self.step_conserved_vars();
+                let solid_before = self.solid_bits();
                 let st = self.sub_stepper.get_or_insert_with(|| {
                     Stepper::new(
                         SolverConfig::new(Euler::new(1.4), Scheme::muscl_rusanov())
@@ -757,13 +898,15 @@ impl<const D: usize> Harness<D> {
                     )
                 });
                 st.step(&mut self.grid, STEP_DT, None);
-                // refluxed subcycling is exactly conservative wherever
-                // nothing leaves the domain: every boundary periodic and
-                // no root mask (mask holes are internal clamp boundaries)
-                if self.setup.mask_seed.is_none()
-                    && self.setup.bcs.iter().all(|b| matches!(b, Boundary::Periodic))
-                {
-                    self.check_conserved(&before, "subcycled step")?;
+                // refluxed subcycling is exactly conservative in whatever
+                // the world's boundaries preserve: everything when all
+                // faces are periodic; mass and energy when the only
+                // non-periodic faces are reflective walls (Reflect axes,
+                // root-mask holes, immersed solid faces); nothing once
+                // Outflow lets state leave the domain.
+                self.check_conserved_vars(&before, &cons_vars, "subcycled step")?;
+                if self.solid_bits() != solid_before {
+                    return Err("subcycled step touched a frozen solid cell".to_string());
                 }
                 for (_, node) in self.grid.blocks() {
                     let key = node.key();
@@ -809,6 +952,7 @@ impl<const D: usize> Harness<D> {
                 let mut twin: BlockGrid<D> =
                     load_grid(&mut buf.as_slice()).map_err(|e| format!("load_grid: {e}"))?;
                 fresh_stepper().step_rk2(&mut twin, STEP_DT, None);
+                let solid_before = self.solid_bits();
                 let par = if overlap { &mut self.par_on } else { &mut self.par_off };
                 let par = par.get_or_insert_with(|| {
                     ParStepper::new(
@@ -817,6 +961,9 @@ impl<const D: usize> Harness<D> {
                     )
                 });
                 par.step_rk2(&mut self.grid, STEP_DT);
+                if self.solid_bits() != solid_before {
+                    return Err("parallel step touched a frozen solid cell".to_string());
+                }
                 for (_, node) in self.grid.blocks() {
                     let key = node.key();
                     let tid = twin
@@ -1046,10 +1193,13 @@ pub fn gen_script(seed: u64, max_cmds: usize, sabotage: bool) -> Vec<FuzzCmd> {
                 FuzzCmd::StepPar { overlap: false }
             } else if roll < 0.93 {
                 FuzzCmd::Checkpoint
-            } else if roll < 0.96 {
+            } else if roll < 0.955 {
                 FuzzCmd::Snapshot
-            } else {
+            } else if roll < 0.98 {
                 FuzzCmd::Remask { seed: rng.next_u64(), masked: rng.coin() }
+            } else {
+                // seed 0 clears the geometry: exercise mask-plane teardown
+                FuzzCmd::Geometry(if rng.bool(0.25) { 0 } else { rng.next_u64() })
             }
         })
         .collect();
@@ -1076,12 +1226,17 @@ pub struct FuzzConfig {
     /// Insert one [`FuzzCmd::Sabotage`] per sequence (harness self-test:
     /// the run *must* fail and shrink to a tiny script).
     pub sabotage: bool,
+    /// Prepend a seed-derived [`FuzzCmd::Geometry`] to every sequence so
+    /// the whole script — adapts, steps, checkpoints, oracles — runs on
+    /// a masked world. The default mix reaches geometry on only ~2% of
+    /// commands; this dedicates a full budget to the immersed path.
+    pub masked: bool,
 }
 
 impl FuzzConfig {
     /// A quick configuration with the given sequence count.
     pub fn quick(sequences: u64, base_seed: u64) -> Self {
-        FuzzConfig { sequences, base_seed, max_cmds: 24, sabotage: false }
+        FuzzConfig { sequences, base_seed, max_cmds: 24, sabotage: false, masked: false }
     }
 }
 
@@ -1125,7 +1280,11 @@ pub fn run_fuzz<const D: usize>(cfg: &FuzzConfig) -> FuzzOutcome {
     let mut commands = 0u64;
     for i in 0..cfg.sequences {
         let seed = subseed(cfg.base_seed, i);
-        let script = gen_script(seed, cfg.max_cmds, cfg.sabotage);
+        let mut script = gen_script(seed, cfg.max_cmds, cfg.sabotage);
+        if cfg.masked {
+            // `| 1` keeps the seed nonzero — zero would *clear* geometry
+            script.insert(0, FuzzCmd::Geometry(seed | 1));
+        }
         commands += script.len() as u64;
         let Err(first_error) = run_script::<D>(seed, &script) else {
             continue;
@@ -1161,6 +1320,7 @@ mod tests {
             FuzzCmd::Adapt { seed: 0xDEAD_BEEF, density: 12 },
             FuzzCmd::Remask { seed: 0xF00, masked: true },
             FuzzCmd::Rebalance(9),
+            FuzzCmd::Geometry(0xBEE),
             FuzzCmd::Checkpoint,
             FuzzCmd::Ghost,
             FuzzCmd::Step,
@@ -1172,7 +1332,7 @@ mod tests {
         ];
         let text = format_script(&script);
         assert_eq!(parse_script(&text).unwrap(), script);
-        assert_eq!(text, "R17 C3 Adeadbeef:12 Mf00:1 B9 K G S T O N P X");
+        assert_eq!(text, "R17 C3 Adeadbeef:12 Mf00:1 B9 Gbee K G S T O N P X");
     }
 
     #[test]
@@ -1180,6 +1340,7 @@ mod tests {
         assert!(parse_script("Q9").is_err());
         assert!(parse_script("A12").is_err()); // missing density
         assert!(parse_script("Mzz:1").is_err());
+        assert!(parse_script("Gzz").is_err()); // not a hex geometry seed
         assert!(parse_script("K7").is_err());
         assert!(parse_script("T3").is_err());
         assert!(parse_script("O7").is_err());
@@ -1304,6 +1465,44 @@ mod tests {
             ],
         )
         .unwrap();
+    }
+
+    #[test]
+    fn geometry_command_freezes_solids_across_the_stack() {
+        // install a random SDF, push it through every stepper class plus
+        // checkpoint/snapshot roundtrips and structural commands, clear
+        // it again; the per-command oracles (mask invariants via
+        // check_grid, solid cells bitwise-inert, conserved totals) do the
+        // actual checking
+        run_script::<2>(
+            0x5EED_0016,
+            &[
+                FuzzCmd::Geometry(0xD1CE),
+                FuzzCmd::Step,
+                FuzzCmd::Refine(2),
+                FuzzCmd::StepSub,
+                FuzzCmd::StepPar { overlap: true },
+                FuzzCmd::Checkpoint,
+                FuzzCmd::Step,
+                FuzzCmd::Adapt { seed: 0xA11CE, density: 20 },
+                FuzzCmd::Snapshot,
+                FuzzCmd::StepSub,
+                FuzzCmd::Geometry(0),
+                FuzzCmd::Step,
+            ],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn random_geometries_have_bounded_depth_and_validate() {
+        for seed in 1..200u64 {
+            for dim in 1..=3 {
+                let g = random_geometry(&mut Rng::new(seed), dim);
+                assert!(g.validate(), "seed {seed} dim {dim}: {g:?}");
+                assert!(g.depth() <= 8, "seed {seed} dim {dim} too deep");
+            }
+        }
     }
 
     #[test]

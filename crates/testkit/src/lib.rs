@@ -34,8 +34,8 @@ pub mod shrink;
 
 pub use commands::{
     derive_setup, flag_for_key, format_script, gen_schedule, gen_script, parse_script,
-    run_fuzz, run_script, run_script_digest, AdaptRound, FuzzCmd, FuzzConfig, FuzzFailure,
-    FuzzOutcome, Schedule,
+    random_geometry, run_fuzz, run_script, run_script_digest, AdaptRound, FuzzCmd,
+    FuzzConfig, FuzzFailure, FuzzOutcome, Schedule,
 };
 pub use golden::{grid_digest, Fnv64, GoldenCase, GOLDEN_CASES};
 pub use model::{ModelConn, ModelError, RefModel};
